@@ -1,0 +1,70 @@
+//! Simulator throughput: full end-to-end runs of the Table IV suite and a
+//! scaled SWIM trace, measured in wall-time per complete simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lips_cluster::{ec2_100_node, ec2_20_node};
+use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_sim::{Placement, Scheduler, Simulation};
+use lips_workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy, SwimCfg};
+
+fn run_suite(kind: &str) -> f64 {
+    let mut cluster = ec2_20_node(0.5, 1e9);
+    let bound = bind_workload(&mut cluster, table_iv_suite(), PlacementPolicy::RoundRobin, 1);
+    let placement = Placement::spread_blocks(&cluster, 1);
+    let mut sched: Box<dyn Scheduler> = match kind {
+        "lips" => Box::new(LipsScheduler::new(LipsConfig::small_cluster(600.0))),
+        "default" => Box::new(HadoopDefaultScheduler::new()),
+        _ => Box::new(DelayScheduler::default()),
+    };
+    let r = Simulation::new(&cluster, &bound)
+        .with_placement(placement)
+        .run(sched.as_mut())
+        .unwrap();
+    r.metrics.total_dollars()
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_iv_suite_20_nodes");
+    g.sample_size(10);
+    for kind in ["lips", "default", "delay"] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
+            b.iter(|| black_box(run_suite(kind)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_swim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swim_100_jobs_100_nodes");
+    g.sample_size(10);
+    let cfg = SwimCfg { jobs: 100, ..Default::default() };
+    for kind in ["lips", "default"] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
+            b.iter(|| {
+                let mut cluster = ec2_100_node(1e9, 1);
+                let bound = bind_workload(
+                    &mut cluster,
+                    swim_trace(&cfg, 1),
+                    PlacementPolicy::RoundRobin,
+                    1,
+                );
+                let placement = Placement::spread_blocks(&cluster, 1);
+                let mut sched: Box<dyn Scheduler> = match *kind {
+                    "lips" => Box::new(LipsScheduler::new(LipsConfig::large_cluster(600.0))),
+                    _ => Box::new(HadoopDefaultScheduler::new()),
+                };
+                let r = Simulation::new(&cluster, &bound)
+                    .with_placement(placement)
+                    .run(sched.as_mut())
+                    .unwrap();
+                black_box(r.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suite, bench_swim);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 1: when does it pay to move the data to cheaper cycles?
+//!
+//! For each benchmark kind, prints the net dollars saved per 64 MB block
+//! by moving data from a node priced `a` to one priced `b`, as a function
+//! of the price ratio `a/b` — plus the break-even ratio. CPU-intensive
+//! kinds (Pi, WordCount) cross early; I/O-bound kinds (Grep) need a much
+//! larger price gap.
+
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::Table;
+use lips_cluster::{BLOCK_MB, MILLICENT};
+use lips_core::analysis::{break_even_ratio_for_kind, savings_per_mb};
+use lips_workload::JobKind;
+
+fn main() {
+    // Destination price: a cheap node at 1 millicent per ECU-second;
+    // transfer at the paper's cross-zone price (62.5 millicent per block).
+    let b = 1.0 * MILLICENT;
+    let d = 62.5 * MILLICENT / BLOCK_MB;
+
+    println!("Figure 1 — net saving (millicents per 64 MB block) from moving data");
+    println!("to a node with cheaper CPU, vs. the source/destination price ratio a/b.");
+    println!("(b = 1 millicent/ECU-s, transfer = 62.5 millicents/block)\n");
+
+    let ratios = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0];
+    let mut headers = vec!["a/b".to_string()];
+    headers.extend(JobKind::ALL.iter().map(|k| k.name().to_string()));
+    let mut t = Table::new(headers);
+    for &r in &ratios {
+        let mut row = vec![format!("{r:.0}")];
+        for k in JobKind::ALL {
+            let c = k.tcp_ecu_sec_per_mb();
+            let save_block = if k == JobKind::Pi {
+                // No data to move: savings are pure CPU repricing of a
+                // "block-equivalent" of work (plotted as the always-move
+                // extreme in the paper).
+                400.0 * (r * b - b) / MILLICENT
+            } else {
+                savings_per_mb(c, r * b, b, d) * BLOCK_MB / MILLICENT
+            };
+            row.push(format!("{save_block:+.1}"));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!("\nBreak-even price ratio a/b per kind (move pays off above it):");
+    let mut t2 = Table::new(["kind", "break-even a/b"]);
+    let mut records = Vec::new();
+    for k in JobKind::ALL {
+        let r = break_even_ratio_for_kind(k, b, d);
+        t2.row([k.name().to_string(), format!("{r:.2}")]);
+        records.push(ExperimentRecord::new("fig1", k.name()).value("break_even_ratio", r));
+    }
+    t2.print();
+    println!("\nPaper shape: Pi/WordCount move at small ratios; Grep needs a large one.");
+    emit_json(&records);
+}

@@ -1,0 +1,58 @@
+//! Figure 10: total job execution time for the Figure 9 runs (100-node
+//! SWIM workload).
+//!
+//! Paper shape: LiPS is 40–100 % slower than the delay scheduler and
+//! comparable to the Hadoop default.
+//!
+//! Flags: `--scale F`, `--epoch SECONDS`, `--json`.
+
+use lips_bench::experiments::{fig9_run, PAPER_SCHEDULERS};
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::table::secs;
+use lips_bench::{SchedulerKind, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: f64| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = arg("--scale", 1.0);
+    let epoch = arg("--epoch", 600.0);
+
+    println!("Figure 10 — job execution time for the Figure 9 runs\n");
+    let m = fig9_run(epoch, 2013, scale);
+    let delay_mean = m.get(SchedulerKind::Delay).mean_job_duration();
+
+    let mut t = Table::new([
+        "Scheduler",
+        "Makespan",
+        "Total job duration",
+        "Mean job duration",
+        "vs delay",
+    ]);
+    let mut records = Vec::new();
+    for k in PAPER_SCHEDULERS {
+        let r = m.get(k);
+        t.row([
+            k.label().to_string(),
+            secs(r.makespan),
+            secs(r.total_job_duration()),
+            secs(r.mean_job_duration()),
+            format!("{:.2}x", r.mean_job_duration() / delay_mean),
+        ]);
+        records.push(
+            ExperimentRecord::new("fig10", k.label())
+                .value("makespan", r.makespan)
+                .value("total_job_duration", r.total_job_duration())
+                .value("mean_job_duration", r.mean_job_duration()),
+        );
+    }
+    t.print();
+    println!("\nPaper reference: LiPS 1.4x-2.0x the delay scheduler's execution time,");
+    println!("similar to the Hadoop default scheduler.");
+    emit_json(&records);
+}

@@ -1,0 +1,62 @@
+//! Figure 5: average cost reduction of LiPS (LP optimum) vs. the ideal
+//! delay scheduler (random block shuffle + 100 % locality) in simulated
+//! environments, as the problem grows.
+//!
+//! Paper shape: ~30 % at (J=200, S=10, M=10) rising to ~70 % at
+//! (J=1000, S=100, M=100).
+//!
+//! Flags: `--quick` (smaller points / fewer trials), `--trials N`,
+//! `--json`.
+
+use lips_bench::fig5::{fig5_point, paper_points, Fig5Point};
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::table::pct;
+use lips_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 5 });
+
+    let points: Vec<Fig5Point> = if quick {
+        vec![
+            Fig5Point { tasks: 200, stores: 10, machines: 10 },
+            Fig5Point { tasks: 400, stores: 25, machines: 25 },
+            Fig5Point { tasks: 600, stores: 50, machines: 50 },
+        ]
+    } else {
+        paper_points()
+    };
+
+    println!("Figure 5 — average cost reduction of LiPS vs. ideal delay (100% locality)");
+    println!("Random clusters: CPU 0-5 millicent/ECU-s, transfer 0-60 millicent/block,");
+    println!("inputs 0-6 GB, job CPU 0-1000 ECU-s. {trials} trials per point.\n");
+
+    let mut t = Table::new(["J tasks", "S", "M", "LiPS ($)", "ideal delay ($)", "reduction"]);
+    let mut records = Vec::new();
+    for p in points {
+        let r = fig5_point(p, trials, 2013);
+        t.row([
+            format!("{}", p.tasks),
+            format!("{}", p.stores),
+            format!("{}", p.machines),
+            format!("{:.4}", r.lips_dollars),
+            format!("{:.4}", r.ideal_delay_dollars),
+            pct(r.reduction),
+        ]);
+        records.push(
+            ExperimentRecord::new("fig5", format!("J{}-S{}-M{}", p.tasks, p.stores, p.machines))
+                .value("lips_dollars", r.lips_dollars)
+                .value("ideal_delay_dollars", r.ideal_delay_dollars)
+                .value("reduction", r.reduction),
+        );
+    }
+    t.print();
+    println!("\nPaper reference: ~30% at (200,10,10) rising to ~70% at (1000,100,100).");
+    emit_json(&records);
+}

@@ -1,0 +1,60 @@
+//! Figure 6: total dollar cost of the Table IV suite (J1–J9, 1608 maps)
+//! on the 20-node testbed, under three node-mix settings, for LiPS vs.
+//! the Hadoop default and delay schedulers.
+//!
+//! Paper shape: LiPS saves 62 % in the homogeneous setting, rising to
+//! 79–81 % with 50 % c1.medium nodes.
+//!
+//! Flags: `--quick` (scaled-down suite), `--epoch SECONDS`, `--json`.
+
+use lips_bench::experiments::{fig6_run, Fig6Setting, PAPER_SCHEDULERS};
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::table::{dollars, pct};
+use lips_bench::{SchedulerKind, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epoch = args
+        .iter()
+        .position(|a| a == "--epoch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000.0);
+
+    println!("Figure 6 — total cost of J1-J9 (1608 maps, 100 GB) on 20 EC2 nodes");
+    println!("LiPS epoch = {epoch} s; speculative execution off.\n");
+
+    let mut t = Table::new([
+        "Setting",
+        "LiPS ($)",
+        "Default ($)",
+        "Delay ($)",
+        "saving vs default",
+        "saving vs delay",
+    ]);
+    let mut records = Vec::new();
+    for setting in Fig6Setting::ALL {
+        let m = fig6_run(setting, epoch, 2013);
+        let get = |k: SchedulerKind| m.get(k).metrics.total_dollars();
+        t.row([
+            setting.label().to_string(),
+            dollars(get(SchedulerKind::Lips)),
+            dollars(get(SchedulerKind::HadoopDefault)),
+            dollars(get(SchedulerKind::Delay)),
+            pct(m.lips_saving_vs(SchedulerKind::HadoopDefault)),
+            pct(m.lips_saving_vs(SchedulerKind::Delay)),
+        ]);
+        let mut rec = ExperimentRecord::new("fig6", setting.label());
+        for k in PAPER_SCHEDULERS {
+            rec = rec.value(k.label(), get(k));
+        }
+        records.push(
+            rec.value("saving_vs_default", m.lips_saving_vs(SchedulerKind::HadoopDefault))
+                .value("saving_vs_delay", m.lips_saving_vs(SchedulerKind::Delay)),
+        );
+    }
+    t.print();
+    println!("\nPaper reference: 62% saving in setting (i) rising to 79-81% in (iii),");
+    println!("vs. both the default and delay schedulers.");
+    emit_json(&records);
+}

@@ -1,0 +1,58 @@
+//! Figure 7: total job execution time for the Figure 6 runs.
+//!
+//! Paper shape: LiPS runs 40–100 % *longer* than the delay scheduler —
+//! it buys dollars with makespan by packing work onto cheap (often
+//! slower) nodes; adding more powerful instances makes LiPS *slower*
+//! because it prefers the cheap ones.
+//!
+//! Flags: `--epoch SECONDS`, `--json`.
+
+use lips_bench::experiments::{fig6_run, Fig6Setting};
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::table::secs;
+use lips_bench::{SchedulerKind, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epoch = args
+        .iter()
+        .position(|a| a == "--epoch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000.0);
+
+    println!("Figure 7 — total job execution time (makespan) of the Figure 6 runs");
+    println!("LiPS epoch = {epoch} s.\n");
+
+    let mut t = Table::new([
+        "Setting",
+        "LiPS",
+        "Default",
+        "Delay",
+        "LiPS / Delay",
+    ]);
+    let mut records = Vec::new();
+    for setting in Fig6Setting::ALL {
+        let m = fig6_run(setting, epoch, 2013);
+        let get = |k: SchedulerKind| m.get(k).makespan;
+        let ratio = get(SchedulerKind::Lips) / get(SchedulerKind::Delay);
+        t.row([
+            setting.label().to_string(),
+            secs(get(SchedulerKind::Lips)),
+            secs(get(SchedulerKind::HadoopDefault)),
+            secs(get(SchedulerKind::Delay)),
+            format!("{ratio:.2}x"),
+        ]);
+        records.push(
+            ExperimentRecord::new("fig7", setting.label())
+                .value("lips_makespan", get(SchedulerKind::Lips))
+                .value("default_makespan", get(SchedulerKind::HadoopDefault))
+                .value("delay_makespan", get(SchedulerKind::Delay))
+                .value("lips_over_delay", ratio),
+        );
+    }
+    t.print();
+    println!("\nPaper reference: LiPS 1.4x-2.0x the delay scheduler's execution time,");
+    println!("growing as powerful instances are added (LiPS ignores them for cost).");
+    emit_json(&records);
+}

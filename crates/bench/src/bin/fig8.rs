@@ -1,0 +1,48 @@
+//! Figure 8: the epoch-length knob — (a) total job execution time and
+//! (b) total cost, as the LiPS epoch grows, on the Fig 6 setting (iii)
+//! testbed.
+//!
+//! Paper shape: cost decreases with epoch length, execution time
+//! increases (longer epochs let the LP concentrate work on the cheapest
+//! nodes at the expense of parallelism).
+//!
+//! Flags: `--json`.
+
+use lips_bench::experiments::fig8_run;
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::table::{dollars, secs};
+use lips_bench::Table;
+
+fn main() {
+    println!("Figure 8 — cost vs. execution time as the LiPS epoch length varies");
+    println!("(Table IV suite on the 20-node, 50% c1.medium testbed)\n");
+
+    let epochs = [100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0];
+    let mut t = Table::new(["Epoch (s)", "Total cost ($)", "Exec time", "Busy nodes"]);
+    let mut records = Vec::new();
+    for &e in &epochs {
+        let r = fig8_run(e, 2013);
+        let busy = r
+            .metrics
+            .busy_sec_by_machine
+            .values()
+            .filter(|&&v| v > 1.0)
+            .count();
+        t.row([
+            format!("{e:.0}"),
+            dollars(r.metrics.total_dollars()),
+            secs(r.makespan),
+            format!("{busy}"),
+        ]);
+        records.push(
+            ExperimentRecord::new("fig8", format!("epoch={e}"))
+                .value("total_dollars", r.metrics.total_dollars())
+                .value("makespan", r.makespan)
+                .value("busy_nodes", busy as f64),
+        );
+    }
+    t.print();
+    println!("\nPaper reference: increasing epoch length decreases cost and increases");
+    println!("execution time (Fig 8a/8b); short epochs spread work over more nodes.");
+    emit_json(&records);
+}

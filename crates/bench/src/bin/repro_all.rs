@@ -1,0 +1,57 @@
+//! Run the whole reproduction suite: every table and figure, in paper
+//! order, at a scale that completes in minutes on a laptop.
+//!
+//! Flags:
+//! * `--full` — paper-scale everywhere (Fig 5 at 100 nodes, Fig 9 with
+//!   the full 400-job trace); substantially slower.
+//! * `--json` — also emit machine-readable records per experiment.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+
+    let run = |name: &str, extra: &[&str]| {
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        let mut cmd = Command::new(bin_dir.join(name));
+        cmd.args(extra);
+        if json {
+            cmd.arg("--json");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    };
+
+    run("table1", &[]);
+    run("fig1", &[]);
+    run("table3", &[]);
+    run("table4", &[]);
+    if full {
+        run("fig5", &[]);
+    } else {
+        run("fig5", &["--quick"]);
+    }
+    run("fig6", &[]);
+    run("fig7", &[]);
+    run("fig8", &[]);
+    if full {
+        run("fig9", &[]);
+        run("fig10", &[]);
+    } else {
+        run("fig9", &["--scale", "0.25"]);
+        run("fig10", &["--scale", "0.25"]);
+    }
+    run("fig11", &[]);
+    run("ablations", &[]);
+    run("ext_shuffle", &[]);
+    run("advisor", &[]);
+
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,38 @@
+//! Table I: CPU intensiveness of the benchmark jobs.
+//!
+//! Regenerates the paper's job-characterization table from the workload
+//! models (ECU-seconds per 64 MB block per job kind).
+
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::Table;
+use lips_workload::JobKind;
+
+fn main() {
+    println!("Table I — CPU intensiveness for different jobs");
+    println!("(ECU seconds per 64 MB block; one ECU = 1.0-1.2 GHz 2007 Opteron/Xeon)\n");
+    let mut headers = vec!["".to_string()];
+    headers.extend(JobKind::ALL.iter().map(|k| k.name().to_string()));
+    let mut t = Table::new(headers);
+
+    let mut prop = vec!["Property".to_string()];
+    prop.extend(JobKind::ALL.iter().map(|k| k.property().to_string()));
+    t.row(prop);
+
+    let mut cpu = vec!["CPU sec / 64MB".to_string()];
+    cpu.extend(JobKind::ALL.iter().map(|k| match k.ecu_sec_per_block() {
+        Some(v) => format!("{v:.0}"),
+        None => "inf".to_string(),
+    }));
+    t.row(cpu);
+    t.print();
+
+    println!("\nPaper reference: Grep 20, Stress1 37, Stress2 75, WordCount 90, Pi inf.");
+    let records: Vec<ExperimentRecord> = JobKind::ALL
+        .iter()
+        .map(|k| {
+            ExperimentRecord::new("table1", k.name())
+                .value("ecu_sec_per_block", k.ecu_sec_per_block().unwrap_or(f64::INFINITY))
+        })
+        .collect();
+    emit_json(&records);
+}

@@ -1,0 +1,35 @@
+//! Table IV: the J1–J9 experiment suite (1608 map tasks, 100 GB input).
+
+use lips_bench::report::{emit_json, ExperimentRecord};
+use lips_bench::Table;
+use lips_workload::table_iv_suite;
+
+fn main() {
+    println!("Table IV — job details for the 20-node experiments\n");
+    let mut t = Table::new(["Job", "Kind", "Tasks", "Input (GB)", "Total ECU-sec"]);
+    let suite = table_iv_suite();
+    let mut records = Vec::new();
+    for j in &suite {
+        t.row([
+            j.name.clone(),
+            j.kind.name().to_string(),
+            format!("{}", j.tasks),
+            if j.input_mb > 0.0 { format!("{:.0}", j.input_mb / 1024.0) } else { "-".into() },
+            format!("{:.0}", j.total_ecu_sec()),
+        ]);
+        records.push(
+            ExperimentRecord::new("table4", &j.name)
+                .value("tasks", j.tasks as f64)
+                .value("input_mb", j.input_mb)
+                .value("total_ecu_sec", j.total_ecu_sec()),
+        );
+    }
+    t.print();
+
+    let tasks: u32 = suite.iter().map(|j| j.tasks).sum();
+    let input: f64 = suite.iter().map(|j| j.input_mb).sum::<f64>() / 1024.0;
+    let work: f64 = suite.iter().map(|j| j.total_ecu_sec()).sum();
+    println!("\nTotals: {tasks} map tasks, {input:.0} GB input, {work:.0} ECU-seconds.");
+    println!("Paper reference: 1608 map tasks, 100 GB total input.");
+    emit_json(&records);
+}

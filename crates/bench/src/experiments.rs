@@ -1,0 +1,155 @@
+//! Shared experiment logic for the figure binaries (Figures 6–11 all run
+//! scheduler matchups on the paper's two testbeds; the binaries only
+//! format results).
+
+use lips_cluster::{ec2_100_node, ec2_20_node, Cluster};
+use lips_core::LipsConfig;
+use lips_workload::{swim_trace, table_iv_suite, JobSpec, SwimCfg};
+
+use crate::matchup::{run_matchup, Matchup, MatchupSpec, SchedulerKind};
+
+/// The three cluster settings of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig6Setting {
+    /// (i) all 20 nodes m1.medium.
+    AllM1Medium,
+    /// (ii) 25 % c1.medium.
+    QuarterC1,
+    /// (iii) 50 % c1.medium.
+    HalfC1,
+}
+
+impl Fig6Setting {
+    pub const ALL: [Fig6Setting; 3] =
+        [Fig6Setting::AllM1Medium, Fig6Setting::QuarterC1, Fig6Setting::HalfC1];
+
+    pub fn c1_fraction(self) -> f64 {
+        match self {
+            Fig6Setting::AllM1Medium => 0.0,
+            Fig6Setting::QuarterC1 => 0.25,
+            Fig6Setting::HalfC1 => 0.5,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig6Setting::AllM1Medium => "(i) 20x m1.medium",
+            Fig6Setting::QuarterC1 => "(ii) 25% c1.medium",
+            Fig6Setting::HalfC1 => "(iii) 50% c1.medium",
+        }
+    }
+}
+
+/// Schedulers compared in the paper's testbed figures.
+pub const PAPER_SCHEDULERS: [SchedulerKind; 3] =
+    [SchedulerKind::Lips, SchedulerKind::HadoopDefault, SchedulerKind::Delay];
+
+/// Figures 6/7: Table IV suite (J1–J9, 1608 maps) on the 20-node testbed.
+pub fn fig6_run(setting: Fig6Setting, epoch_s: f64, seed: u64) -> Matchup {
+    let spec = MatchupSpec {
+        make_cluster: move || ec2_20_node(setting.c1_fraction(), 1e9),
+        make_jobs: table_iv_suite,
+        seed,
+        lips: LipsConfig::small_cluster(epoch_s),
+    };
+    run_matchup(&spec, &PAPER_SCHEDULERS)
+}
+
+/// Figure 8: LiPS-only epoch sweep on setting (iii).
+pub fn fig8_run(epoch_s: f64, seed: u64) -> lips_sim::SimReport {
+    let spec = MatchupSpec {
+        make_cluster: || ec2_20_node(0.5, 1e9),
+        make_jobs: table_iv_suite,
+        seed,
+        lips: LipsConfig::small_cluster(epoch_s),
+    };
+    let m = run_matchup(&spec, &[SchedulerKind::Lips]);
+    m.reports.into_iter().next().unwrap().1
+}
+
+/// Figures 9/10: SWIM-like 400-job trace on the 100-node testbed.
+///
+/// `scale` shrinks the trace (job count) for quick runs; `1.0` is the
+/// paper's full 400-job day.
+pub fn fig9_run(epoch_s: f64, seed: u64, scale: f64) -> Matchup {
+    let cfg = SwimCfg { jobs: (400.0 * scale).round().max(10.0) as usize, ..Default::default() };
+    let spec = MatchupSpec {
+        make_cluster: move || ec2_100_node(1e9, seed),
+        make_jobs: move || swim_trace(&cfg, seed),
+        seed,
+        lips: LipsConfig::large_cluster(epoch_s),
+    };
+    run_matchup(&spec, &PAPER_SCHEDULERS)
+}
+
+/// Figure 11: per-node accumulated CPU (busy) seconds under LiPS for one
+/// epoch length, on the Fig 6 setting (iii) testbed. Returns
+/// `(machine label, busy seconds)` sorted by machine id.
+pub fn fig11_run(epoch_s: f64, seed: u64) -> Vec<(String, f64)> {
+    let report = fig8_run(epoch_s, seed);
+    let cluster = fig6_cluster_for_labels();
+    let mut rows: Vec<(String, f64)> = cluster
+        .machines
+        .iter()
+        .map(|m| {
+            let busy = report
+                .metrics
+                .busy_sec_by_machine
+                .get(&m.id)
+                .copied()
+                .unwrap_or(0.0);
+            (m.name.clone(), busy)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+fn fig6_cluster_for_labels() -> Cluster {
+    ec2_20_node(0.5, 1e9)
+}
+
+/// A scaled-down Table IV suite (same job mix, smaller inputs) for quick
+/// demo/CI runs.
+pub fn mini_suite(divisor: u32) -> Vec<JobSpec> {
+    table_iv_suite()
+        .into_iter()
+        .map(|mut j| {
+            j.tasks = (j.tasks / divisor).max(1);
+            j.input_mb /= divisor as f64;
+            j
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_settings_enumerate() {
+        assert_eq!(Fig6Setting::AllM1Medium.c1_fraction(), 0.0);
+        assert_eq!(Fig6Setting::HalfC1.c1_fraction(), 0.5);
+        assert_eq!(Fig6Setting::ALL.len(), 3);
+    }
+
+    #[test]
+    fn mini_suite_preserves_mix() {
+        let mini = mini_suite(8);
+        assert_eq!(mini.len(), 9);
+        let total: u32 = mini.iter().map(|j| j.tasks).sum();
+        assert_eq!(total, 1608 / 8 + 1); // Pi jobs floor to 4/8 -> 0 -> max(1)
+    }
+
+    #[test]
+    fn fig9_scaled_down_completes_with_all_paper_schedulers() {
+        // A 5% trace on the full 100-node testbed, end to end.
+        let m = fig9_run(600.0, 2, 0.05);
+        for (k, r) in &m.reports {
+            assert_eq!(r.outcomes.len(), 20, "{}", k.label());
+        }
+        // LiPS must be the cheapest of the three.
+        assert!(m.lips_saving_vs(SchedulerKind::HadoopDefault) > 0.0);
+        assert!(m.lips_saving_vs(SchedulerKind::Delay) > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # lips-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), built on a
+//! small shared library:
+//!
+//! * [`table`] — fixed-width ASCII table printing (paper-style rows).
+//! * [`matchup`] — run LiPS / Hadoop-default / delay / fair head-to-head
+//!   on identical clusters, workloads, and initial placements.
+//! * [`fig5`] — the analytic simulation sweep of Figure 5 (LP optimum vs
+//!   the 100 %-locality ideal-delay baseline on random clusters).
+//! * [`report`] — machine-readable experiment records (JSON) so
+//!   EXPERIMENTS.md numbers are regenerable.
+//!
+//! Every experiment is seeded and deterministic.
+
+pub mod experiments;
+pub mod fig5;
+pub mod matchup;
+pub mod report;
+pub mod table;
+
+pub use experiments::{fig6_run, fig8_run, fig9_run, fig11_run, Fig6Setting, PAPER_SCHEDULERS};
+pub use fig5::{fig5_point, Fig5Point, Fig5Result};
+pub use matchup::{run_matchup, Matchup, MatchupSpec, SchedulerKind};
+pub use report::ExperimentRecord;
+pub use table::Table;

@@ -1,0 +1,170 @@
+//! Head-to-head scheduler runs on identical conditions.
+//!
+//! Each scheduler gets its own freshly built (but identically seeded)
+//! cluster, workload binding, and initial block placement, so runs are
+//! independent yet perfectly comparable.
+
+use lips_cluster::Cluster;
+use lips_core::{DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_sim::{Placement, Scheduler, SimReport, Simulation};
+use lips_workload::{bind_workload, JobSpec, PlacementPolicy};
+
+/// Which policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    Lips,
+    HadoopDefault,
+    Delay,
+    Fair,
+}
+
+impl SchedulerKind {
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Lips,
+        SchedulerKind::HadoopDefault,
+        SchedulerKind::Delay,
+        SchedulerKind::Fair,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Lips => "LiPS",
+            SchedulerKind::HadoopDefault => "Hadoop default",
+            SchedulerKind::Delay => "Delay",
+            SchedulerKind::Fair => "Fair",
+        }
+    }
+}
+
+/// One comparable experiment: cluster factory + workload factory + seeds.
+pub struct MatchupSpec<C, W>
+where
+    C: Fn() -> Cluster,
+    W: Fn() -> Vec<JobSpec>,
+{
+    pub make_cluster: C,
+    pub make_jobs: W,
+    /// Seed for input binding and the initial block spread.
+    pub seed: u64,
+    /// LiPS configuration (other schedulers have no knobs here).
+    pub lips: LipsConfig,
+}
+
+/// Results per scheduler, in [`SchedulerKind::ALL`] order (minus any
+/// schedulers not requested).
+pub struct Matchup {
+    pub reports: Vec<(SchedulerKind, SimReport)>,
+}
+
+impl Matchup {
+    pub fn get(&self, kind: SchedulerKind) -> &SimReport {
+        &self.reports.iter().find(|(k, _)| *k == kind).expect("scheduler was run").1
+    }
+
+    /// Cost reduction of LiPS relative to `baseline`:
+    /// `1 − cost(LiPS)/cost(baseline)`.
+    pub fn lips_saving_vs(&self, baseline: SchedulerKind) -> f64 {
+        let lips = self.get(SchedulerKind::Lips).metrics.total_dollars();
+        let base = self.get(baseline).metrics.total_dollars();
+        1.0 - lips / base
+    }
+}
+
+/// Run `kinds` under identical conditions.
+pub fn run_matchup<C, W>(spec: &MatchupSpec<C, W>, kinds: &[SchedulerKind]) -> Matchup
+where
+    C: Fn() -> Cluster,
+    W: Fn() -> Vec<JobSpec>,
+{
+    let mut reports = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let mut cluster = (spec.make_cluster)();
+        let bound =
+            bind_workload(&mut cluster, (spec.make_jobs)(), PlacementPolicy::RoundRobin, spec.seed);
+        let placement = Placement::spread_blocks(&cluster, spec.seed);
+        let sim = Simulation::new(&cluster, &bound).with_placement(placement);
+        let report = match kind {
+            SchedulerKind::Lips => {
+                let mut s = LipsScheduler::new(spec.lips.clone());
+                sim.run(&mut s)
+            }
+            SchedulerKind::HadoopDefault => {
+                let mut s = HadoopDefaultScheduler::new();
+                sim.run(&mut s)
+            }
+            SchedulerKind::Delay => {
+                let mut s = DelayScheduler::default();
+                sim.run(&mut s)
+            }
+            SchedulerKind::Fair => {
+                let mut s = FairScheduler::new();
+                sim.run(&mut s)
+            }
+        }
+        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
+        reports.push((kind, report));
+    }
+    Matchup { reports }
+}
+
+/// Convenience: run a scheduler by kind on explicit pieces (used by
+/// benches that want to control the placement themselves).
+pub fn run_one(
+    cluster: &Cluster,
+    bound: &lips_workload::BoundWorkload,
+    placement: Placement,
+    kind: SchedulerKind,
+    lips: &LipsConfig,
+) -> SimReport {
+    let sim = Simulation::new(cluster, bound).with_placement(placement);
+    let mut sched: Box<dyn Scheduler> = match kind {
+        SchedulerKind::Lips => Box::new(LipsScheduler::new(lips.clone())),
+        SchedulerKind::HadoopDefault => Box::new(HadoopDefaultScheduler::new()),
+        SchedulerKind::Delay => Box::new(DelayScheduler::default()),
+        SchedulerKind::Fair => Box::new(FairScheduler::new()),
+    };
+    sim.run(sched.as_mut()).unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_cluster::ec2_20_node;
+    use lips_workload::JobKind;
+
+    fn spec() -> MatchupSpec<impl Fn() -> Cluster, impl Fn() -> Vec<JobSpec>> {
+        MatchupSpec {
+            make_cluster: || ec2_20_node(0.5, 1e9),
+            make_jobs: || {
+                vec![
+                    JobSpec::new(0, "g", JobKind::Grep, 2048.0, 32),
+                    JobSpec::new(1, "w", JobKind::WordCount, 2048.0, 32),
+                ]
+            },
+            seed: 42,
+            lips: LipsConfig::small_cluster(400.0),
+        }
+    }
+
+    #[test]
+    fn all_schedulers_complete_and_lips_wins() {
+        let m = run_matchup(&spec(), &SchedulerKind::ALL);
+        assert_eq!(m.reports.len(), 4);
+        for (k, r) in &m.reports {
+            assert_eq!(r.outcomes.len(), 2, "{}", k.label());
+        }
+        // The paper's headline ordering.
+        assert!(m.lips_saving_vs(SchedulerKind::HadoopDefault) > 0.0);
+        assert!(m.lips_saving_vs(SchedulerKind::Delay) > 0.0);
+    }
+
+    #[test]
+    fn matchup_is_deterministic() {
+        let a = run_matchup(&spec(), &[SchedulerKind::Lips]);
+        let b = run_matchup(&spec(), &[SchedulerKind::Lips]);
+        assert_eq!(
+            a.get(SchedulerKind::Lips).metrics.total_dollars(),
+            b.get(SchedulerKind::Lips).metrics.total_dollars()
+        );
+    }
+}

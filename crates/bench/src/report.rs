@@ -1,0 +1,56 @@
+//! Machine-readable experiment records, so EXPERIMENTS.md numbers can be
+//! regenerated and diffed (`--json` flag on every binary).
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's key numbers, serialized as JSON by the binaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig6"`.
+    pub id: String,
+    /// Free-form label of the configuration, e.g. `"setting (iii)"`.
+    pub config: String,
+    /// Named scalar results, e.g. `("lips_dollars", 0.31)`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl ExperimentRecord {
+    pub fn new(id: impl Into<String>, config: impl Into<String>) -> Self {
+        ExperimentRecord { id: id.into(), config: config.into(), values: Vec::new() }
+    }
+
+    pub fn value(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.values.push((name.into(), v));
+        self
+    }
+
+    /// Render as a single JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("record serializes")
+    }
+}
+
+/// Print records as JSON lines if `--json` was passed, otherwise no-op.
+pub fn emit_json(records: &[ExperimentRecord]) {
+    if std::env::args().any(|a| a == "--json") {
+        for r in records {
+            println!("{}", r.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let r = ExperimentRecord::new("fig6", "setting (i)")
+            .value("lips", 0.25)
+            .value("default", 1.0);
+        let parsed: ExperimentRecord = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(parsed.id, "fig6");
+        assert_eq!(parsed.values.len(), 2);
+        assert_eq!(parsed.values[0].1, 0.25);
+    }
+}

@@ -1,0 +1,282 @@
+//! The assembled cluster: machines + stores + zones + data catalog, and the
+//! derived cost/bandwidth matrices of Table II.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{DataId, DataObject};
+use crate::machine::{Machine, MachineId};
+use crate::store::{Store, StoreId};
+use crate::zone::{NetworkPolicy, Zone};
+
+/// Explicit per-pair transfer prices that override the zone-based network
+/// policy. The Fig 5 simulations draw "data transfer cost between two
+/// nodes" uniformly at random, which no zone policy can express.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostOverrides {
+    /// Dollars per MB between machine `l` and store `m` (`|M| × |S|`).
+    pub ms_dollars_per_mb: Vec<Vec<f64>>,
+    /// Dollars per MB between stores `i` and `j` (`|S| × |S|`).
+    pub ss_dollars_per_mb: Vec<Vec<f64>>,
+}
+
+/// A fully described cluster. Construction goes through
+/// [`crate::builder::ClusterBuilder`]; this type is read-only afterwards —
+/// runtime state (where blocks currently live, what is running) belongs to
+/// the simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    pub zones: Vec<Zone>,
+    pub machines: Vec<Machine>,
+    pub stores: Vec<Store>,
+    pub data: Vec<DataObject>,
+    pub network: NetworkPolicy,
+    /// When set, transfer prices come from these matrices instead of the
+    /// zone policy (bandwidths stay zone-based).
+    pub overrides: Option<CostOverrides>,
+}
+
+impl Cluster {
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.0]
+    }
+
+    pub fn store(&self, id: StoreId) -> &Store {
+        &self.stores[id.0]
+    }
+
+    pub fn data_object(&self, id: DataId) -> &DataObject {
+        &self.data[id.0]
+    }
+
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    pub fn num_stores(&self) -> usize {
+        self.stores.len()
+    }
+
+    pub fn num_data(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `MS_lm`: dollars per MB moved between machine `l` and store `m`
+    /// during execution. Node-local and intra-zone reads are free in the
+    /// EC2 model; cross-zone reads pay the provider's transfer price.
+    pub fn ms_cost(&self, l: MachineId, m: StoreId) -> f64 {
+        if let Some(ov) = &self.overrides {
+            return ov.ms_dollars_per_mb[l.0][m.0];
+        }
+        let store = self.store(m);
+        if store.is_local_to(l) {
+            return 0.0;
+        }
+        self.network.dollars_per_mb(self.machine(l).zone, store.zone)
+    }
+
+    /// `SS_ij`: dollars per MB moved between two stores (data placement).
+    pub fn ss_cost(&self, i: StoreId, j: StoreId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        if let Some(ov) = &self.overrides {
+            return ov.ss_dollars_per_mb[i.0][j.0];
+        }
+        self.network.dollars_per_mb(self.store(i).zone, self.store(j).zone)
+    }
+
+    /// `B_lm` variant for execution reads: MB/s between machine `l` and
+    /// store `m`.
+    pub fn bandwidth_machine_store(&self, l: MachineId, m: StoreId) -> f64 {
+        let store = self.store(m);
+        if store.is_local_to(l) {
+            return self.network.local_mbps;
+        }
+        self.network.bandwidth(self.machine(l).zone, store.zone)
+    }
+
+    /// `B_ij` variant for placement moves: MB/s between two stores.
+    pub fn bandwidth_store_store(&self, i: StoreId, j: StoreId) -> f64 {
+        if i == j {
+            return self.network.local_mbps;
+        }
+        self.network.bandwidth(self.store(i).zone, self.store(j).zone)
+    }
+
+    /// Hadoop locality level of a (machine, store) pair, used by the greedy
+    /// baselines: 0 = node-local, 1 = zone-local ("rack"), 2 = remote.
+    pub fn locality_level(&self, l: MachineId, m: StoreId) -> u8 {
+        let store = self.store(m);
+        if store.is_local_to(l) {
+            0
+        } else if store.zone == self.machine(l).zone {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The store co-located with a machine, if any.
+    pub fn store_of_machine(&self, l: MachineId) -> Option<StoreId> {
+        self.stores.iter().find(|s| s.colocated == Some(l)).map(|s| s.id)
+    }
+
+    /// Total cluster CPU throughput in ECU.
+    pub fn total_ecu(&self) -> f64 {
+        self.machines.iter().map(|m| m.tp_ecu).sum()
+    }
+
+    /// Cheapest CPU price across machines (dollars per ECU-second).
+    pub fn min_cpu_cost(&self) -> f64 {
+        self.machines.iter().map(|m| m.cpu_cost).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Most expensive CPU price across machines.
+    pub fn max_cpu_cost(&self) -> f64 {
+        self.machines.iter().map(|m| m.cpu_cost).fold(0.0, f64::max)
+    }
+
+    /// Structural sanity checks (ids consecutive, references valid); used
+    /// by builders and property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, m) in self.machines.iter().enumerate() {
+            if m.id.0 != i {
+                return Err(format!("machine {i} has id {:?}", m.id));
+            }
+            if m.zone.0 >= self.zones.len() {
+                return Err(format!("machine {i} references zone {:?}", m.zone));
+            }
+            if m.tp_ecu <= 0.0 || m.slots == 0 {
+                return Err(format!("machine {i} has no capacity"));
+            }
+            if m.cpu_cost < 0.0 {
+                return Err(format!("machine {i} has negative price"));
+            }
+        }
+        for (i, s) in self.stores.iter().enumerate() {
+            if s.id.0 != i {
+                return Err(format!("store {i} has id {:?}", s.id));
+            }
+            if s.zone.0 >= self.zones.len() {
+                return Err(format!("store {i} references zone {:?}", s.zone));
+            }
+            if let Some(mid) = s.colocated {
+                if mid.0 >= self.machines.len() {
+                    return Err(format!("store {i} colocated with missing machine"));
+                }
+                if self.machines[mid.0].zone != s.zone {
+                    return Err(format!("store {i} zone differs from its machine"));
+                }
+            }
+            if s.capacity_mb < 0.0 {
+                return Err(format!("store {i} has negative capacity"));
+            }
+        }
+        for (i, d) in self.data.iter().enumerate() {
+            if d.id.0 != i {
+                return Err(format!("data {i} has id {:?}", d.id));
+            }
+            if d.origin.0 >= self.stores.len() {
+                return Err(format!("data {i} originates at missing store"));
+            }
+        }
+        if let Some(ov) = &self.overrides {
+            let (m, s) = (self.machines.len(), self.stores.len());
+            if ov.ms_dollars_per_mb.len() != m
+                || ov.ms_dollars_per_mb.iter().any(|r| r.len() != s)
+            {
+                return Err("override MS matrix has wrong shape".into());
+            }
+            if ov.ss_dollars_per_mb.len() != s
+                || ov.ss_dollars_per_mb.iter().any(|r| r.len() != s)
+            {
+                return Err("override SS matrix has wrong shape".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceType;
+    use crate::zone::ZoneId;
+
+    fn tiny() -> Cluster {
+        // 2 zones, 2 machines (one per zone) each with a co-located store,
+        // plus one standalone store in zone 0; one data object.
+        let zones = vec![Zone::new(0, "a"), Zone::new(1, "b")];
+        let machines = vec![
+            Machine::from_instance(0, "m0", ZoneId(0), InstanceType::M1_MEDIUM, 0.5, 3600.0),
+            Machine::from_instance(1, "m1", ZoneId(1), InstanceType::C1_MEDIUM, 0.5, 3600.0),
+        ];
+        let stores = vec![
+            Store::new(0, "s0", ZoneId(0), 1e6, Some(MachineId(0))),
+            Store::new(1, "s1", ZoneId(1), 1e6, Some(MachineId(1))),
+            Store::new(2, "s2", ZoneId(0), 1e6, None),
+        ];
+        let data = vec![DataObject::new(0, "d0", 640.0, StoreId(0))];
+        Cluster { zones, machines, stores, data, network: Default::default(), overrides: None }
+    }
+
+    #[test]
+    fn validates() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn ms_cost_free_local_and_intra_zone_paid_cross_zone() {
+        let c = tiny();
+        assert_eq!(c.ms_cost(MachineId(0), StoreId(0)), 0.0); // node-local
+        assert_eq!(c.ms_cost(MachineId(0), StoreId(2)), 0.0); // intra-zone
+        assert!(c.ms_cost(MachineId(0), StoreId(1)) > 0.0); // cross-zone
+    }
+
+    #[test]
+    fn ss_cost_symmetric_zero_on_diagonal() {
+        let c = tiny();
+        assert_eq!(c.ss_cost(StoreId(0), StoreId(0)), 0.0);
+        assert_eq!(c.ss_cost(StoreId(0), StoreId(1)), c.ss_cost(StoreId(1), StoreId(0)));
+        assert_eq!(c.ss_cost(StoreId(0), StoreId(2)), 0.0); // same zone
+    }
+
+    #[test]
+    fn bandwidth_tiers() {
+        let c = tiny();
+        let local = c.bandwidth_machine_store(MachineId(0), StoreId(0));
+        let zone = c.bandwidth_machine_store(MachineId(0), StoreId(2));
+        let cross = c.bandwidth_machine_store(MachineId(0), StoreId(1));
+        assert!(local > zone, "{local} {zone}");
+        assert!(zone > cross, "{zone} {cross}");
+    }
+
+    #[test]
+    fn locality_levels() {
+        let c = tiny();
+        assert_eq!(c.locality_level(MachineId(0), StoreId(0)), 0);
+        assert_eq!(c.locality_level(MachineId(0), StoreId(2)), 1);
+        assert_eq!(c.locality_level(MachineId(0), StoreId(1)), 2);
+    }
+
+    #[test]
+    fn store_of_machine_roundtrip() {
+        let c = tiny();
+        assert_eq!(c.store_of_machine(MachineId(0)), Some(StoreId(0)));
+        assert_eq!(c.store_of_machine(MachineId(1)), Some(StoreId(1)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = tiny();
+        assert!((c.total_ecu() - 7.0).abs() < 1e-12); // 2 + 5
+        assert!(c.min_cpu_cost() < c.max_cpu_cost());
+    }
+
+    #[test]
+    fn validate_rejects_cross_zone_colocation() {
+        let mut c = tiny();
+        c.stores[0].zone = ZoneId(1); // machine 0 is in zone 0
+        assert!(c.validate().is_err());
+    }
+}

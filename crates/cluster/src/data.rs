@@ -1,0 +1,53 @@
+//! Data objects — the paper's set `D` (job input files, split into 64 MB
+//! blocks on the distributed file system).
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::StoreId;
+use crate::BLOCK_MB;
+
+/// Index of a data object within a cluster's data catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataId(pub usize);
+
+/// A data object: a named blob with an original location `O_i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataObject {
+    pub id: DataId,
+    pub name: String,
+    /// `Size(D)` in MB.
+    pub size_mb: f64,
+    /// `O_i`: the store holding the object before any scheduling decision.
+    pub origin: StoreId,
+}
+
+impl DataObject {
+    pub fn new(id: usize, name: impl Into<String>, size_mb: f64, origin: StoreId) -> Self {
+        assert!(size_mb >= 0.0, "data size must be nonnegative");
+        DataObject { id: DataId(id), name: name.into(), size_mb, origin }
+    }
+
+    /// Number of 64 MB blocks (rounded up; zero-sized objects have none).
+    pub fn blocks(&self) -> u64 {
+        (self.size_mb / BLOCK_MB).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_rounds_up() {
+        assert_eq!(DataObject::new(0, "d", 0.0, StoreId(0)).blocks(), 0);
+        assert_eq!(DataObject::new(0, "d", 64.0, StoreId(0)).blocks(), 1);
+        assert_eq!(DataObject::new(0, "d", 65.0, StoreId(0)).blocks(), 2);
+        assert_eq!(DataObject::new(0, "d", 10_240.0, StoreId(0)).blocks(), 160);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_size_rejected() {
+        DataObject::new(0, "d", -1.0, StoreId(0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Amazon EC2 instance catalog — Table III of the paper.
+//!
+//! The paper prices CPU by the *EC2-Compute-Unit-second* ("one ECU provides
+//! the equivalent CPU capacity of a 1.0–1.2 GHz 2007 Opteron"), breaking
+//! Amazon's per-hour charges down so heterogeneous nodes can be compared.
+//! The derived millicent-per-ECU-second figures below are Table III's own
+//! numbers; the headline ratio — c1.medium is 4–5× *cheaper* per ECU-second
+//! than m1.medium while being 2.5× faster — is what creates LiPS's savings
+//! opportunity.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::MILLICENT;
+
+/// An EC2 instance type as modeled by Table III.
+///
+/// Values are always catalog entries, so serde encodes an instance by its
+/// Amazon name and looks the catalog back up on deserialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceType {
+    /// Amazon name, e.g. `"c1.medium"`.
+    pub name: &'static str,
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// EC2 compute units: total CPU throughput in ECU (ECU-seconds of work
+    /// per wall-clock second).
+    pub ecu: f64,
+    /// Memory in GB (modeled for completeness; the LP does not use it).
+    pub mem_gb: f64,
+    /// Local storage in GB; becomes the co-located data store's capacity.
+    pub storage_gb: f64,
+    /// Hourly price range in dollars (low, high).
+    pub price_per_hour: (f64, f64),
+    /// Price range in millicents per ECU-second, as derived in Table III.
+    pub millicent_per_ecu_sec: (f64, f64),
+    /// Concurrent map slots a TaskTracker on this instance runs.
+    pub map_slots: u32,
+}
+
+impl InstanceType {
+    /// `m1.small`: 1 vCPU / 1 ECU, $0.08–0.12 per hour.
+    pub const M1_SMALL: InstanceType = InstanceType {
+        name: "m1.small",
+        vcpus: 1,
+        ecu: 1.0,
+        mem_gb: 1.7,
+        storage_gb: 160.0,
+        price_per_hour: (0.08, 0.12),
+        millicent_per_ecu_sec: (2.22, 3.33),
+        map_slots: 1,
+    };
+
+    /// `m1.medium`: 1 vCPU / 2 ECU, $0.13–0.23 per hour. Table III derives
+    /// 4.44–6.39 millicent per ECU-second — the expensive-cycles node.
+    pub const M1_MEDIUM: InstanceType = InstanceType {
+        name: "m1.medium",
+        vcpus: 1,
+        ecu: 2.0,
+        mem_gb: 3.75,
+        storage_gb: 410.0,
+        price_per_hour: (0.13, 0.23),
+        millicent_per_ecu_sec: (4.44, 6.39),
+        map_slots: 1,
+    };
+
+    /// `c1.medium`: 2 vCPU / 5 ECU, $0.17–0.23 per hour; 0.92–1.28
+    /// millicent per ECU-second — 4–5× cheaper cycles than m1.medium.
+    pub const C1_MEDIUM: InstanceType = InstanceType {
+        name: "c1.medium",
+        vcpus: 2,
+        ecu: 5.0,
+        mem_gb: 1.7,
+        storage_gb: 350.0,
+        price_per_hour: (0.17, 0.23),
+        millicent_per_ecu_sec: (0.92, 1.28),
+        map_slots: 2,
+    };
+
+    /// All catalog entries, in Table III order.
+    pub const CATALOG: [InstanceType; 3] =
+        [Self::M1_SMALL, Self::M1_MEDIUM, Self::C1_MEDIUM];
+
+    /// Midpoint CPU price in dollars per ECU-second (`CPU_Cost(M)` in the
+    /// paper's notation).
+    pub fn cpu_cost_dollars(&self) -> f64 {
+        let (lo, hi) = self.millicent_per_ecu_sec;
+        (lo + hi) / 2.0 * MILLICENT
+    }
+
+    /// CPU price at a point within the published range; `t` in \[0,1\] picks
+    /// between the low and high figure (used to model spot-like diversity).
+    pub fn cpu_cost_dollars_at(&self, t: f64) -> f64 {
+        let (lo, hi) = self.millicent_per_ecu_sec;
+        (lo + t.clamp(0.0, 1.0) * (hi - lo)) * MILLICENT
+    }
+
+    /// Find a catalog entry by name.
+    pub fn by_name(name: &str) -> Option<InstanceType> {
+        Self::CATALOG.into_iter().find(|i| i.name == name)
+    }
+}
+
+impl Serialize for InstanceType {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name)
+    }
+}
+
+impl<'de> Deserialize<'de> for InstanceType {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(deserializer)?;
+        InstanceType::by_name(&name)
+            .ok_or_else(|| D::Error::custom(format!("unknown instance type {name:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup() {
+        assert_eq!(InstanceType::by_name("c1.medium"), Some(InstanceType::C1_MEDIUM));
+        assert_eq!(InstanceType::by_name("x9.metal"), None);
+    }
+
+    #[test]
+    fn c1_medium_is_4_to_5x_cheaper_per_ecu_sec_than_m1_medium() {
+        // The central Table III observation.
+        let ratio = InstanceType::M1_MEDIUM.cpu_cost_dollars()
+            / InstanceType::C1_MEDIUM.cpu_cost_dollars();
+        assert!((4.0..=5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn c1_medium_has_2_5x_cpu_of_m1_medium() {
+        assert!((InstanceType::C1_MEDIUM.ecu / InstanceType::M1_MEDIUM.ecu - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_prices_are_inside_hourly_range_for_c1() {
+        // Sanity of Table III's own derivation for c1.medium:
+        // $0.17/hr ÷ 5 ECU ÷ 3600 s ≈ 0.94 millicent/ECU-s.
+        let i = InstanceType::C1_MEDIUM;
+        let derived_low = i.price_per_hour.0 / i.ecu / 3600.0 / MILLICENT;
+        assert!((derived_low - i.millicent_per_ecu_sec.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cost_at_interpolates_and_clamps() {
+        let i = InstanceType::M1_SMALL;
+        assert!((i.cpu_cost_dollars_at(0.0) - 2.22 * MILLICENT).abs() < 1e-12);
+        assert!((i.cpu_cost_dollars_at(1.0) - 3.33 * MILLICENT).abs() < 1e-12);
+        assert_eq!(i.cpu_cost_dollars_at(-3.0), i.cpu_cost_dollars_at(0.0));
+        assert_eq!(i.cpu_cost_dollars_at(9.0), i.cpu_cost_dollars_at(1.0));
+        let mid = i.cpu_cost_dollars();
+        assert!((i.cpu_cost_dollars_at(0.5) - mid).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,109 @@
+//! Computation nodes — the paper's set `M` (Hadoop TaskTrackers).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instance::InstanceType;
+use crate::zone::ZoneId;
+
+/// Index of a machine within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+/// A computation node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    pub id: MachineId,
+    pub name: String,
+    pub zone: ZoneId,
+    /// The EC2 instance type this node runs on.
+    pub instance: InstanceType,
+    /// `TP(M)`: CPU throughput in ECU (ECU-seconds of work per second).
+    pub tp_ecu: f64,
+    /// `CPU_Cost(M)`: dollars per ECU-second on this node.
+    pub cpu_cost: f64,
+    /// Concurrent map slots (tasks that can run in parallel).
+    pub slots: u32,
+    /// `uptime(M)`: seconds the node is available in the offline model.
+    pub uptime: f64,
+}
+
+impl Machine {
+    /// Build a machine from an instance type with the catalog midpoint
+    /// price; `price_t` in \[0,1\] picks within the published price range.
+    pub fn from_instance(
+        id: usize,
+        name: impl Into<String>,
+        zone: ZoneId,
+        instance: InstanceType,
+        price_t: f64,
+        uptime: f64,
+    ) -> Self {
+        Machine {
+            id: MachineId(id),
+            name: name.into(),
+            zone,
+            instance,
+            tp_ecu: instance.ecu,
+            cpu_cost: instance.cpu_cost_dollars_at(price_t),
+            slots: instance.map_slots,
+            uptime,
+        }
+    }
+
+    /// Dollars charged for `ecu_seconds` of work on this node.
+    pub fn cpu_dollars(&self, ecu_seconds: f64) -> f64 {
+        self.cpu_cost * ecu_seconds
+    }
+
+    /// Wall-clock seconds one slot takes to execute `ecu_seconds` of work.
+    ///
+    /// Each slot delivers an equal share of the node's ECU throughput, so a
+    /// 5-ECU, 2-slot c1.medium runs a task at 2.5 ECU.
+    pub fn slot_seconds_for(&self, ecu_seconds: f64) -> f64 {
+        let per_slot = self.tp_ecu / self.slots.max(1) as f64;
+        ecu_seconds / per_slot
+    }
+
+    /// Total ECU-seconds available over `duration` wall-clock seconds
+    /// (the capacity term `TP(M_l) · uptime(M_l)` / `TP(M_l) · e`).
+    pub fn capacity_ecu_seconds(&self, duration: f64) -> f64 {
+        self.tp_ecu * duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c1(price_t: f64) -> Machine {
+        Machine::from_instance(0, "node0", ZoneId(0), InstanceType::C1_MEDIUM, price_t, 3600.0)
+    }
+
+    #[test]
+    fn from_instance_copies_catalog_figures() {
+        let m = c1(0.5);
+        assert_eq!(m.tp_ecu, 5.0);
+        assert_eq!(m.slots, 2);
+        assert!((m.cpu_cost - InstanceType::C1_MEDIUM.cpu_cost_dollars()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn billing_is_linear_in_work() {
+        let m = c1(0.0);
+        assert!((m.cpu_dollars(100.0) - 100.0 * m.cpu_cost).abs() < 1e-15);
+        assert_eq!(m.cpu_dollars(0.0), 0.0);
+    }
+
+    #[test]
+    fn slot_share_divides_throughput() {
+        let m = c1(0.0);
+        // 5 ECU / 2 slots = 2.5 ECU per slot; 25 ECU-s of work -> 10 s.
+        assert!((m.slot_seconds_for(25.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_scales_with_duration() {
+        let m = c1(0.0);
+        assert!((m.capacity_ecu_seconds(400.0) - 2000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Explicit Table II matrices: `JD`, `JM`, `MS`, `SS`, `B` materialized as
+//! arrays for inspection, export, and analytic tooling.
+//!
+//! The scheduler itself queries these quantities through [`Cluster`]
+//! methods (never materializing `|M|·|S|` arrays on the hot path); this
+//! module is the *presentation* of Table II: "determining matrices such as
+//! M, S, and MS is a purely infrastructure issue and it is populated once
+//! when the scheduler is setup."
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::machine::MachineId;
+use crate::store::StoreId;
+
+/// Job-side inputs needed to derive the job-dependent matrices.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixJob {
+    /// `CPU(J)` in ECU-seconds.
+    pub cpu_ecu_sec: f64,
+    /// Index of the data object the job accesses (`JD` row), if any.
+    pub data: Option<usize>,
+}
+
+/// The materialized Table II matrices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulingMatrices {
+    /// `JD[k][i]` ∈ {0,1}: job `k` accesses data object `i`.
+    pub jd: Vec<Vec<f64>>,
+    /// `JM[k][l]` = `CPU(J_k) · CPU_Cost(M_l)` (dollars).
+    pub jm: Vec<Vec<f64>>,
+    /// `MS[l][m]`: dollars per MB between machine `l` and store `m`.
+    pub ms: Vec<Vec<f64>>,
+    /// `SS[i][j]`: dollars per MB between stores `i` and `j`.
+    pub ss: Vec<Vec<f64>>,
+    /// `B[l][m]`: MB/s between machine `l` and store `m`.
+    pub b: Vec<Vec<f64>>,
+}
+
+impl SchedulingMatrices {
+    /// Materialize all matrices for `cluster` and `jobs`. `n_data` sizes
+    /// the `JD` columns (number of data objects).
+    pub fn build(cluster: &Cluster, jobs: &[MatrixJob], n_data: usize) -> Self {
+        let m = cluster.num_machines();
+        let s = cluster.num_stores();
+        let jd = jobs
+            .iter()
+            .map(|j| {
+                let mut row = vec![0.0; n_data];
+                if let Some(d) = j.data {
+                    row[d] = 1.0;
+                }
+                row
+            })
+            .collect();
+        let jm = jobs
+            .iter()
+            .map(|j| {
+                (0..m)
+                    .map(|l| j.cpu_ecu_sec * cluster.machine(MachineId(l)).cpu_cost)
+                    .collect()
+            })
+            .collect();
+        let ms = (0..m)
+            .map(|l| (0..s).map(|st| cluster.ms_cost(MachineId(l), StoreId(st))).collect())
+            .collect();
+        let ss = (0..s)
+            .map(|i| (0..s).map(|j| cluster.ss_cost(StoreId(i), StoreId(j))).collect())
+            .collect();
+        let b = (0..m)
+            .map(|l| {
+                (0..s)
+                    .map(|st| cluster.bandwidth_machine_store(MachineId(l), StoreId(st)))
+                    .collect()
+            })
+            .collect();
+        SchedulingMatrices { jd, jm, ms, ss, b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ec2_20_node;
+
+    fn jobs() -> Vec<MatrixJob> {
+        vec![
+            MatrixJob { cpu_ecu_sec: 100.0, data: Some(0) },
+            MatrixJob { cpu_ecu_sec: 50.0, data: None },
+        ]
+    }
+
+    #[test]
+    fn shapes_match_cluster() {
+        let c = ec2_20_node(0.5, 3600.0);
+        let m = SchedulingMatrices::build(&c, &jobs(), 3);
+        assert_eq!(m.jd.len(), 2);
+        assert_eq!(m.jd[0].len(), 3);
+        assert_eq!(m.jm.len(), 2);
+        assert_eq!(m.jm[0].len(), 20);
+        assert_eq!(m.ms.len(), 20);
+        assert_eq!(m.ms[0].len(), 20);
+        assert_eq!(m.ss.len(), 20);
+        assert_eq!(m.b.len(), 20);
+    }
+
+    #[test]
+    fn entries_agree_with_cluster_methods() {
+        let c = ec2_20_node(0.5, 3600.0);
+        let m = SchedulingMatrices::build(&c, &jobs(), 3);
+        for l in 0..20 {
+            for s in 0..20 {
+                assert_eq!(m.ms[l][s], c.ms_cost(MachineId(l), StoreId(s)));
+                assert_eq!(m.b[l][s], c.bandwidth_machine_store(MachineId(l), StoreId(s)));
+            }
+            assert_eq!(m.jm[0][l], 100.0 * c.machine(MachineId(l)).cpu_cost);
+        }
+        // JD marks exactly the accessed object.
+        assert_eq!(m.jd[0], vec![1.0, 0.0, 0.0]);
+        assert_eq!(m.jd[1], vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ss_diagonal_zero_and_symmetric() {
+        let c = ec2_20_node(0.25, 3600.0);
+        let m = SchedulingMatrices::build(&c, &jobs(), 1);
+        for i in 0..20 {
+            assert_eq!(m.ss[i][i], 0.0);
+            for j in 0..20 {
+                assert_eq!(m.ss[i][j], m.ss[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn serializes_for_export() {
+        let c = ec2_20_node(0.0, 3600.0);
+        let m = SchedulingMatrices::build(&c, &jobs(), 2);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"jm\""));
+        let back: SchedulingMatrices = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ms.len(), m.ms.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Data stores — the paper's set `S` (HDFS DataNodes or remote stores).
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineId;
+use crate::zone::ZoneId;
+
+/// Index of a data store within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StoreId(pub usize);
+
+/// A data store. Most stores are co-located with a machine (a DataNode on
+/// the same VM); a store may also stand alone (an S3/EBS-like remote store).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Store {
+    pub id: StoreId,
+    pub name: String,
+    pub zone: ZoneId,
+    /// `Cap(S)`: capacity in MB.
+    pub capacity_mb: f64,
+    /// Machine this store shares a node with, if any. Reads from a
+    /// co-located machine are "data-local" in Hadoop terms.
+    pub colocated: Option<MachineId>,
+}
+
+impl Store {
+    pub fn new(
+        id: usize,
+        name: impl Into<String>,
+        zone: ZoneId,
+        capacity_mb: f64,
+        colocated: Option<MachineId>,
+    ) -> Self {
+        Store { id: StoreId(id), name: name.into(), zone, capacity_mb, colocated }
+    }
+
+    /// Whether a read from `machine` is node-local.
+    pub fn is_local_to(&self, machine: MachineId) -> bool {
+        self.colocated == Some(machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let s = Store::new(0, "dn0", ZoneId(0), 1000.0, Some(MachineId(3)));
+        assert!(s.is_local_to(MachineId(3)));
+        assert!(!s.is_local_to(MachineId(4)));
+        let remote = Store::new(1, "s3", ZoneId(0), 1e9, None);
+        assert!(!remote.is_local_to(MachineId(3)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Availability zones and the inter-zone network policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CROSS_ZONE_DOLLARS_PER_MB, CROSS_ZONE_MBPS, INTRA_ZONE_MBPS};
+
+/// Index of an availability zone within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZoneId(pub usize);
+
+/// An availability zone (e.g. `us-east-1a`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zone {
+    pub id: ZoneId,
+    pub name: String,
+}
+
+impl Zone {
+    pub fn new(id: usize, name: impl Into<String>) -> Self {
+        Zone { id: ZoneId(id), name: name.into() }
+    }
+}
+
+/// Network policy between zones: bandwidth and per-MB transfer price.
+///
+/// Default models the paper's EC2 setup: 500 Mbps within a zone at no
+/// charge, 250 Mbps across zones at $0.01/GB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkPolicy {
+    /// MB/s between endpoints in the same zone.
+    pub intra_zone_mbps: f64,
+    /// MB/s between endpoints in different zones.
+    pub cross_zone_mbps: f64,
+    /// Dollars per MB within a zone.
+    pub intra_zone_dollars_per_mb: f64,
+    /// Dollars per MB across zones.
+    pub cross_zone_dollars_per_mb: f64,
+    /// Bandwidth between two co-located endpoints (same physical node):
+    /// effectively local-disk speed.
+    pub local_mbps: f64,
+}
+
+impl Default for NetworkPolicy {
+    fn default() -> Self {
+        NetworkPolicy {
+            intra_zone_mbps: INTRA_ZONE_MBPS,
+            cross_zone_mbps: CROSS_ZONE_MBPS,
+            intra_zone_dollars_per_mb: 0.0,
+            cross_zone_dollars_per_mb: CROSS_ZONE_DOLLARS_PER_MB,
+            local_mbps: 400.0,
+        }
+    }
+}
+
+impl NetworkPolicy {
+    /// Bandwidth in MB/s between two zones (`local` when the endpoints are
+    /// the same physical node — handled by the cluster, not here).
+    pub fn bandwidth(&self, a: ZoneId, b: ZoneId) -> f64 {
+        if a == b {
+            self.intra_zone_mbps
+        } else {
+            self.cross_zone_mbps
+        }
+    }
+
+    /// Transfer price in dollars per MB between two zones.
+    pub fn dollars_per_mb(&self, a: ZoneId, b: ZoneId) -> f64 {
+        if a == b {
+            self.intra_zone_dollars_per_mb
+        } else {
+            self.cross_zone_dollars_per_mb
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_matches_paper() {
+        let p = NetworkPolicy::default();
+        let (a, b) = (ZoneId(0), ZoneId(1));
+        assert_eq!(p.bandwidth(a, a), INTRA_ZONE_MBPS);
+        assert_eq!(p.bandwidth(a, b), CROSS_ZONE_MBPS);
+        assert_eq!(p.dollars_per_mb(a, a), 0.0);
+        assert!(p.dollars_per_mb(a, b) > 0.0);
+    }
+
+    #[test]
+    fn zone_construction() {
+        let z = Zone::new(2, "us-east-1c");
+        assert_eq!(z.id, ZoneId(2));
+        assert_eq!(z.name, "us-east-1c");
+    }
+}

@@ -1,0 +1,113 @@
+//! The Figure 1 break-even calculus.
+//!
+//! Consider a job with its data on node A, needing `c` ECU-seconds per MB.
+//! CPU prices are `a` on node A and `b` on node B (dollars per ECU-second),
+//! and moving data from A to B costs `d` dollars per MB. Then moving the
+//! data to B is worthwhile exactly when
+//!
+//! ```text
+//! c·a  >  c·b + d
+//! ```
+//!
+//! Figure 1 plots, per benchmark kind, whether the move pays off as a
+//! function of the price ratio `a/b`: CPU-intensive jobs (Pi, WordCount)
+//! should chase cheap cycles; I/O-bound jobs (Grep) should stay near their
+//! data.
+
+use lips_workload::JobKind;
+
+/// Net dollars saved per MB by moving the computation's data from node A
+/// (price `a`) to node B (price `b`) at transfer price `d` per MB, for a
+/// job needing `c` ECU-seconds per MB. Positive = the move pays off.
+pub fn savings_per_mb(c: f64, a: f64, b: f64, d: f64) -> f64 {
+    c * a - (c * b + d)
+}
+
+/// The paper's inequality `c·a > c·b + d`.
+pub fn move_pays_off(c: f64, a: f64, b: f64, d: f64) -> bool {
+    savings_per_mb(c, a, b, d) > 0.0
+}
+
+/// Minimum price ratio `a/b` above which moving pays off, for intensity `c`
+/// (ECU-s/MB), destination price `b`, and transfer price `d` per MB:
+///
+/// `c·a > c·b + d  ⇔  a/b > 1 + d/(c·b)`.
+///
+/// Returns `f64::INFINITY` when `c == 0` and `d > 0` (a job that does no
+/// CPU work per byte can never amortize a transfer), and `1.0` when the
+/// transfer is free.
+pub fn break_even_ratio(c: f64, b: f64, d: f64) -> f64 {
+    assert!(c >= 0.0 && b > 0.0 && d >= 0.0);
+    if d == 0.0 {
+        return 1.0;
+    }
+    if c == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 + d / (c * b)
+}
+
+/// Break-even ratio for one of the paper's benchmark kinds (Pi yields 1.0
+/// conceptually: with no input there is nothing to transfer, so cheap
+/// cycles always win — the paper plots it as the always-move extreme).
+pub fn break_even_ratio_for_kind(kind: JobKind, b: f64, d: f64) -> f64 {
+    if kind == JobKind::Pi {
+        return 1.0;
+    }
+    break_even_ratio(kind.tcp_ecu_sec_per_mb(), b, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_cluster::{BLOCK_MB, MILLICENT};
+
+    #[test]
+    fn inequality_matches_by_hand() {
+        // c=1 ECU-s/MB, a=$2e-5, b=$1e-5, d=$0.5e-5/MB:
+        // save = 2e-5 - (1e-5 + 0.5e-5) = 0.5e-5 > 0 -> move.
+        assert!(move_pays_off(1.0, 2e-5, 1e-5, 0.5e-5));
+        // With d=2e-5 the move loses.
+        assert!(!move_pays_off(1.0, 2e-5, 1e-5, 2e-5));
+        assert!((savings_per_mb(1.0, 2e-5, 1e-5, 0.5e-5) - 0.5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn break_even_consistency_with_inequality() {
+        let (c, b, d) = (0.5, 1.0 * MILLICENT, 20.0 * MILLICENT / BLOCK_MB);
+        let r = break_even_ratio(c, b, d);
+        let eps = 1e-9;
+        assert!(move_pays_off(c, (r + eps) * b, b, d));
+        assert!(!move_pays_off(c, (r - eps) * b, b, d));
+    }
+
+    #[test]
+    fn free_transfer_always_moves_to_cheaper() {
+        assert_eq!(break_even_ratio(1.0, 1e-5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_intensity_never_moves() {
+        assert_eq!(break_even_ratio(0.0, 1e-5, 1e-6), f64::INFINITY);
+    }
+
+    #[test]
+    fn kind_ordering_matches_figure_1() {
+        // Cheaper-to-move ordering: Pi < WordCount < Stress2 < Stress1 < Grep
+        // (higher CPU intensity ⇒ lower break-even ratio ⇒ moves sooner).
+        let b = 1.0 * MILLICENT;
+        let d = 62.5 * MILLICENT / BLOCK_MB; // cross-zone price
+        let r: Vec<f64> = [JobKind::Pi, JobKind::WordCount, JobKind::Stress2, JobKind::Stress1, JobKind::Grep]
+            .iter()
+            .map(|&k| break_even_ratio_for_kind(k, b, d))
+            .collect();
+        assert!(r.windows(2).all(|w| w[0] <= w[1]), "{r:?}");
+        assert_eq!(r[0], 1.0); // Pi always chases cheap cycles
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_inputs_rejected() {
+        break_even_ratio(-1.0, 1.0, 1.0);
+    }
+}

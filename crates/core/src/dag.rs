@@ -1,0 +1,213 @@
+//! Level-by-level execution of dependent workflows (§III).
+//!
+//! [`run_dag`] reduces a [`JobDag`] to its levels and schedules each level
+//! as an independent job set with any policy, chaining the data placement:
+//! copies made while scheduling level *k* (e.g. LiPS shipping inputs to
+//! cheap zones) remain in place for level *k+1* — the paper's observation
+//! that "successors' target data is more likely to have been stored
+//! nearby" falls out naturally.
+
+use std::fmt;
+
+use lips_cluster::Cluster;
+use lips_sim::{Placement, Scheduler, SimError, SimReport, Simulation};
+use lips_workload::dag::{DagError, JobDag};
+use lips_workload::{bind_workload, BoundWorkload, PlacementPolicy};
+
+/// Result of a full DAG execution.
+#[derive(Debug)]
+pub struct DagReport {
+    /// One simulation report per level, in level order.
+    pub level_reports: Vec<SimReport>,
+    /// Dollars across all levels.
+    pub total_dollars: f64,
+    /// End-to-end completion time (levels are serialized).
+    pub makespan: f64,
+}
+
+impl DagReport {
+    /// Jobs completed across all levels.
+    pub fn jobs_completed(&self) -> usize {
+        self.level_reports.iter().map(|r| r.outcomes.len()).sum()
+    }
+}
+
+/// DAG execution failures.
+#[derive(Debug)]
+pub enum DagRunError {
+    Dag(DagError),
+    Sim { level: usize, source: SimError },
+}
+
+impl fmt::Display for DagRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagRunError::Dag(e) => write!(f, "invalid dag: {e}"),
+            DagRunError::Sim { level, source } => {
+                write!(f, "simulation failed at level {level}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagRunError {}
+
+impl From<DagError> for DagRunError {
+    fn from(e: DagError) -> Self {
+        DagRunError::Dag(e)
+    }
+}
+
+/// Execute `dag` on `cluster` level by level.
+///
+/// * All inputs are bound and block-spread up front (they exist on HDFS
+///   before the workflow starts).
+/// * `make_scheduler(level)` provides a fresh policy per level (epoch
+///   policies keep no cross-level state worth preserving).
+/// * The placement produced by each level seeds the next.
+pub fn run_dag(
+    cluster: &mut Cluster,
+    dag: &JobDag,
+    make_scheduler: impl Fn(usize) -> Box<dyn Scheduler>,
+    seed: u64,
+) -> Result<DagReport, DagRunError> {
+    let levels = dag.levels()?;
+    // Bind every job's input once; remember the bound specs by id.
+    let all_bound = bind_workload(cluster, dag.jobs.clone(), PlacementPolicy::RoundRobin, seed);
+    let mut placement = Placement::spread_blocks(cluster, seed);
+
+    let mut level_reports = Vec::with_capacity(levels.len());
+    let mut total_dollars = 0.0;
+    let mut makespan = 0.0;
+    for (li, level) in levels.iter().enumerate() {
+        let jobs: Vec<_> = all_bound
+            .jobs
+            .iter()
+            .filter(|j| level.contains(&j.id))
+            .cloned()
+            .map(|mut j| {
+                j.arrival_s = 0.0; // the level starts when its predecessors end
+                j
+            })
+            .collect();
+        let bound = BoundWorkload { jobs };
+        let mut sched = make_scheduler(li);
+        let report = Simulation::new(cluster, &bound)
+            .with_placement(placement)
+            .run(sched.as_mut())
+            .map_err(|source| DagRunError::Sim { level: li, source })?;
+        total_dollars += report.metrics.total_dollars();
+        makespan += report.makespan;
+        placement = report.final_placement.clone();
+        level_reports.push(report);
+    }
+    Ok(DagReport { level_reports, total_dollars, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+    use lips_cluster::ec2_20_node;
+    use lips_workload::{JobId, JobKind, JobSpec};
+
+    fn diamond() -> JobDag {
+        let job = |i: usize, kind| JobSpec::new(i, format!("j{i}"), kind, 1024.0, 16);
+        JobDag::new(
+            vec![
+                job(0, JobKind::Grep),
+                job(1, JobKind::WordCount),
+                job(2, JobKind::Stress2),
+                job(3, JobKind::Grep),
+            ],
+            vec![
+                (JobId(0), JobId(1)),
+                (JobId(0), JobId(2)),
+                (JobId(1), JobId(3)),
+                (JobId(2), JobId(3)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dag_completes_all_jobs_in_level_order() {
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let report = run_dag(
+            &mut cluster,
+            &diamond(),
+            |_| Box::new(HadoopDefaultScheduler::new()),
+            3,
+        )
+        .unwrap();
+        assert_eq!(report.level_reports.len(), 3);
+        assert_eq!(report.jobs_completed(), 4);
+        assert!(report.total_dollars > 0.0);
+        // Serialized levels: total makespan exceeds any single level's.
+        let longest = report
+            .level_reports
+            .iter()
+            .map(|r| r.makespan)
+            .fold(0.0f64, f64::max);
+        assert!(report.makespan >= longest);
+    }
+
+    #[test]
+    fn lips_dag_is_cheaper_than_default_dag() {
+        let mut c1 = ec2_20_node(0.5, 1e9);
+        let lips = run_dag(
+            &mut c1,
+            &diamond(),
+            |_| Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+            3,
+        )
+        .unwrap();
+        let mut c2 = ec2_20_node(0.5, 1e9);
+        let default = run_dag(
+            &mut c2,
+            &diamond(),
+            |_| Box::new(HadoopDefaultScheduler::new()),
+            3,
+        )
+        .unwrap();
+        assert!(
+            lips.total_dollars < default.total_dollars,
+            "lips {} vs default {}",
+            lips.total_dollars,
+            default.total_dollars
+        );
+    }
+
+    #[test]
+    fn placement_chains_across_levels() {
+        // LiPS moves data in level 0; the moves must be visible to level 1
+        // (final placement flows forward), which we detect via move costs:
+        // re-running level-1 jobs from the original placement would move
+        // again, but chained placement lets later levels reuse copies.
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let report = run_dag(
+            &mut cluster,
+            &diamond(),
+            |_| Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+            4,
+        )
+        .unwrap();
+        // All levels completed with the chained placements accepted by the
+        // simulator's validation (no MissingData), which is the property
+        // under test.
+        assert_eq!(report.jobs_completed(), 4);
+    }
+
+    #[test]
+    fn invalid_dag_is_rejected() {
+        let mut cluster = ec2_20_node(0.0, 1e9);
+        let job = |i: usize| JobSpec::new(i, format!("j{i}"), JobKind::Grep, 640.0, 10);
+        let dag = JobDag {
+            jobs: vec![job(0), job(1)],
+            edges: vec![(JobId(0), JobId(1)), (JobId(1), JobId(0))],
+        };
+        let err = run_dag(&mut cluster, &dag, |_| Box::new(HadoopDefaultScheduler::new()), 1)
+            .unwrap_err();
+        assert!(matches!(err, DagRunError::Dag(DagError::Cycle(_))));
+    }
+}

@@ -1,0 +1,657 @@
+//! The LiPS online scheduler — Figure 4 of the paper.
+//!
+//! Every epoch `e`, LiPS snapshots the queue and the current data
+//! placement, lowers them into the Fig 4 LP (via [`crate::lp_build`]),
+//! solves it, and turns the fractional solution into simulator actions:
+//!
+//! * planned copies become [`Action::MoveData`]s (split across current
+//!   holders, cheapest-first, so no single holder is over-drawn);
+//! * task fractions become [`Action::RunChunk`]s, split into
+//!   natural-task-size pieces (the paper's minimum-viable-task rounding);
+//! * the **fake node** share is simply *not emitted* — that work stays in
+//!   the queue for the next epoch, exactly the paper's deferral semantics.
+//!
+//! The epoch length is the cost↔makespan knob (Figure 8): longer epochs
+//! let the LP concentrate work on the cheapest nodes; shorter epochs force
+//! parallelism.
+
+use std::collections::HashMap;
+
+use lips_cluster::{DataId, StoreId};
+use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
+
+use crate::lp_build::{solve, LpInstance, LpJob, PruneConfig};
+
+/// Tuning for [`LipsScheduler`].
+#[derive(Debug, Clone)]
+pub struct LipsConfig {
+    /// Epoch length `e` in seconds.
+    pub epoch_s: f64,
+    /// Fake-node price in dollars per ECU-second. Must dwarf every real
+    /// price (real prices are ~1e-5 $/ECU-s).
+    pub fake_cost: f64,
+    /// Jobs per epoch LP (FIFO beyond this wait a turn); keeps solve times
+    /// flat on trace workloads.
+    pub max_jobs_per_lp: usize,
+    /// Machine-candidate cap per job (`None` = exact model).
+    pub max_machines_per_job: Option<usize>,
+    /// New-copy store-candidate cap per job (`None` = exact model).
+    pub max_new_stores_per_job: Option<usize>,
+    /// Holder-store cap per job: only the K stores holding the most
+    /// unread data enter the LP (the rest defer to later epochs via the
+    /// fake node). `None` = all holders.
+    pub max_holder_stores_per_job: Option<usize>,
+    /// Allocations smaller than this fraction of a natural task are
+    /// deferred to the next epoch rather than launched as micro-tasks
+    /// (the paper's minimum viable task size) — unless they are the last
+    /// crumbs of a job.
+    pub min_task_fraction: f64,
+    /// Enforce the per-machine read-time budget (constraint (21)).
+    pub enforce_transfer_time: bool,
+    /// Fair-sharing strength σ ∈ [0, 1]: each FairScheduler pool with
+    /// queued work is guaranteed at least
+    /// `σ · min(pool demand, capacity / #pools)` ECU-seconds per epoch.
+    /// 0 disables fairness (pure cost optimization, the paper's default);
+    /// if the fairness floors make an epoch LP infeasible the scheduler
+    /// retries without them.
+    pub fairness: f64,
+}
+
+impl Default for LipsConfig {
+    fn default() -> Self {
+        LipsConfig {
+            epoch_s: 400.0,
+            fake_cost: 1.0,
+            max_jobs_per_lp: 48,
+            max_machines_per_job: None,
+            max_new_stores_per_job: Some(8),
+            max_holder_stores_per_job: None,
+            min_task_fraction: 0.05,
+            enforce_transfer_time: true,
+            fairness: 0.0,
+        }
+    }
+}
+
+impl LipsConfig {
+    /// Preset for ≤ ~20-node clusters: exact model.
+    pub fn small_cluster(epoch_s: f64) -> Self {
+        LipsConfig { epoch_s, max_new_stores_per_job: None, ..Default::default() }
+    }
+
+    /// Preset for ~100-node clusters / trace workloads: pruned candidates.
+    pub fn large_cluster(epoch_s: f64) -> Self {
+        LipsConfig {
+            epoch_s,
+            max_jobs_per_lp: 16,
+            max_machines_per_job: Some(16),
+            max_new_stores_per_job: Some(6),
+            max_holder_stores_per_job: Some(20),
+            ..Default::default()
+        }
+    }
+}
+
+/// The LiPS epoch scheduler.
+#[derive(Debug)]
+pub struct LipsScheduler {
+    pub config: LipsConfig,
+    /// MB of each (data, store) already handed to chunks.
+    issued: HashMap<(DataId, StoreId), f64>,
+    /// MB arriving at (data, store) from moves issued in past epochs (the
+    /// placement reflects them immediately, but we must not re-plan them).
+    /// Kept implicitly: placement already includes planned copies, so this
+    /// tracks nothing extra — retained for the read ledger only.
+    solves: usize,
+    lp_failures: usize,
+}
+
+impl LipsScheduler {
+    pub fn new(config: LipsConfig) -> Self {
+        LipsScheduler { config, issued: HashMap::new(), solves: 0, lp_failures: 0 }
+    }
+
+    /// With the default configuration and a given epoch.
+    pub fn with_epoch(epoch_s: f64) -> Self {
+        Self::new(LipsConfig { epoch_s, ..Default::default() })
+    }
+
+    /// Number of LP solves performed so far.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Number of LP failures absorbed by the greedy fallback.
+    pub fn lp_failures(&self) -> usize {
+        self.lp_failures
+    }
+
+    fn unread(&self, ctx: &SchedulerContext<'_>, data: DataId, store: StoreId) -> f64 {
+        (ctx.placement.amount(data, store)
+            - self.issued.get(&(data, store)).copied().unwrap_or(0.0))
+        .max(0.0)
+    }
+
+    /// Build the epoch LP jobs from the queue snapshot.
+    fn lp_jobs(&self, ctx: &SchedulerContext<'_>) -> Vec<LpJob> {
+        ctx.queue
+            .iter()
+            .filter(|j| j.has_unassigned_work())
+            .take(self.config.max_jobs_per_lp)
+            .map(|j| {
+                let mut avail: Vec<(StoreId, f64)> = match j.data {
+                    Some(d) if j.remaining_mb > WORK_EPS => ctx
+                        .placement
+                        .stores_of(d)
+                        .into_iter()
+                        .filter_map(|(s, _)| {
+                            let un = self.unread(ctx, d, s);
+                            (un > WORK_EPS).then(|| (s, (un / j.remaining_mb).min(1.0)))
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                // Holder pruning: keep the K largest stocks; the rest of
+                // the data simply waits for a later epoch.
+                if let Some(k) = self.config.max_holder_stores_per_job {
+                    if avail.len() > k {
+                        avail.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                        avail.truncate(k);
+                        avail.sort_by_key(|&(s, _)| s);
+                    }
+                }
+                LpJob {
+                    id: j.id,
+                    data: j.data,
+                    size_mb: if j.remaining_mb > WORK_EPS { j.remaining_mb } else { 0.0 },
+                    tcp: j.tcp,
+                    fixed_ecu: j.remaining_fixed_ecu,
+                    avail,
+                }
+            })
+            .collect()
+    }
+
+    /// Fair-share floors for the epoch LP: sigma * min(pool demand,
+    /// equal share of epoch capacity) ECU-seconds per pool.
+    fn pool_floors(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        jobs: &[LpJob],
+    ) -> Vec<(Vec<usize>, f64)> {
+        if self.config.fairness <= 0.0 {
+            return Vec::new();
+        }
+        let mut pools: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (k, job) in jobs.iter().enumerate() {
+            if let Some(pj) = ctx.queue.iter().find(|j| j.id == job.id) {
+                pools.entry(pj.pool.as_str()).or_default().push(k);
+            }
+        }
+        if pools.len() < 2 {
+            return Vec::new(); // fairness is vacuous with one pool
+        }
+        let capacity: f64 = ctx
+            .cluster
+            .machines
+            .iter()
+            .map(|m| m.capacity_ecu_seconds(self.config.epoch_s))
+            .sum();
+        let share = capacity / pools.len() as f64;
+        let mut floors: Vec<(Vec<usize>, f64)> = pools.into_values().map(|members| {
+                let demand: f64 = members.iter().map(|&k| jobs[k].work_ecu()).sum();
+                let floor = self.config.fairness * demand.min(share);
+                (members, floor)
+            })
+            .collect();
+        floors.sort_by(|a, b| a.0.cmp(&b.0));
+        floors
+    }
+
+    /// Emergency progress: one natural-task chunk of the oldest job on the
+    /// cheapest feasible machine. Only used if the LP solver fails, so a
+    /// numerical hiccup can never stall the cluster.
+    fn greedy_fallback(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let Some(job) = ctx.jobs_with_work().next() else { return vec![] };
+        if job.remaining_mb > WORK_EPS {
+            let d = job.data.unwrap();
+            let source = ctx
+                .placement
+                .stores_of(d)
+                .into_iter()
+                .map(|(s, _)| s).find(|&s| self.unread(ctx, d, s) > WORK_EPS);
+            let Some(s) = source else { return vec![] };
+            let mb = job.task_mb.min(job.remaining_mb).min(self.unread(ctx, d, s));
+            let machine = ctx.cluster.store(s).colocated.unwrap_or(ctx.cluster.machines[0].id);
+            *self.issued.entry((d, s)).or_default() += mb;
+            vec![Action::RunChunk { job: job.id, machine, source: Some(s), mb, fixed_ecu: 0.0 }]
+        } else {
+            let cheapest = ctx
+                .cluster
+                .machines
+                .iter()
+                .min_by(|a, b| a.cpu_cost.total_cmp(&b.cpu_cost))
+                .unwrap()
+                .id;
+            let ecu = job.task_fixed_ecu.min(job.remaining_fixed_ecu);
+            vec![Action::RunChunk {
+                job: job.id,
+                machine: cheapest,
+                source: None,
+                mb: 0.0,
+                fixed_ecu: ecu,
+            }]
+        }
+    }
+}
+
+impl Scheduler for LipsScheduler {
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let jobs = self.lp_jobs(ctx);
+        if jobs.is_empty() {
+            return vec![];
+        }
+        let store_free_mb: Vec<f64> = ctx
+            .cluster
+            .stores
+            .iter()
+            .map(|s| (s.capacity_mb - ctx.placement.used_mb(s.id)).max(0.0))
+            .collect();
+        let pool_floors = self.pool_floors(ctx, &jobs);
+        let inst = LpInstance {
+            cluster: ctx.cluster,
+            jobs,
+            duration: self.config.epoch_s,
+            fake_cost: Some(self.config.fake_cost),
+            allow_moves: true,
+            enforce_transfer_time: self.config.enforce_transfer_time,
+            store_free_mb,
+            pool_floors,
+            prune: PruneConfig {
+                max_machines_per_job: self.config.max_machines_per_job,
+                max_new_stores_per_job: self.config.max_new_stores_per_job,
+            },
+        };
+        self.solves += 1;
+        let sched = match solve(&inst) {
+            Ok(s) => s,
+            Err(_) if !inst.pool_floors.is_empty() => {
+                // Fairness floors can conflict with data/capacity
+                // constraints; cost-only scheduling is the sane fallback.
+                let mut relaxed = inst.clone();
+                relaxed.pool_floors.clear();
+                match solve(&relaxed) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.lp_failures += 1;
+                        return self.greedy_fallback(ctx);
+                    }
+                }
+            }
+            Err(_) => {
+                self.lp_failures += 1;
+                return self.greedy_fallback(ctx);
+            }
+        };
+
+        let mut actions: Vec<Action> = Vec::new();
+        // Track how much will be present at each (data, store) after the
+        // planned moves, so chunk emission can honour constraint (13)
+        // (each entry starts from the *unread* amount).
+        let mut budget: HashMap<(DataId, StoreId), f64> = HashMap::new();
+        let budget_of = |this: &Self, data: DataId, store: StoreId| -> f64 {
+            this.unread(ctx, data, store)
+        };
+
+        // --- 1. data moves (already per-source from the LP decode) ------
+        for &(data, src, dst, mb) in &sched.moves {
+            // Clamp by what the source physically holds (the LP worked in
+            // unread fractions, which never exceed the holder's stock, but
+            // guard against float drift).
+            let take = mb.min(ctx.placement.amount(data, src));
+            if take <= WORK_EPS {
+                continue;
+            }
+            actions.push(Action::MoveData { data, from: src, to: dst, mb: take });
+            *budget.entry((data, dst)).or_insert_with(|| budget_of(self, data, dst)) += take;
+        }
+
+        // --- 2. task chunks, rounded to natural task sizes --------------
+        // Group LP assignments per job to find the deferral share.
+        for (job_id, machine, source, frac) in sched.assignments {
+            let Some(pj) = ctx.queue.iter().find(|j| j.id == job_id) else { continue };
+            match source {
+                Some(store) => {
+                    let data = pj.data.expect("data job");
+                    let want = frac * pj.remaining_mb;
+                    let cap = *budget
+                        .entry((data, store))
+                        .or_insert_with(|| budget_of(self, data, store));
+                    let mut total = want.min(cap);
+                    // Minimum-viable-task rounding: defer crumbs unless
+                    // they finish the job.
+                    let min_mb = self.config.min_task_fraction * pj.task_mb;
+                    if total < min_mb && total < pj.remaining_mb - WORK_EPS {
+                        continue;
+                    }
+                    *budget.get_mut(&(data, store)).unwrap() -= total;
+                    *self.issued.entry((data, store)).or_default() += total;
+                    while total > WORK_EPS {
+                        let mb = total.min(pj.task_mb);
+                        actions.push(Action::RunChunk {
+                            job: job_id,
+                            machine,
+                            source: Some(store),
+                            mb,
+                            fixed_ecu: 0.0,
+                        });
+                        total -= mb;
+                    }
+                }
+                None => {
+                    let mut total = frac * pj.remaining_fixed_ecu;
+                    let min_ecu = self.config.min_task_fraction * pj.task_fixed_ecu;
+                    if total < min_ecu && total < pj.remaining_fixed_ecu - WORK_EPS {
+                        continue;
+                    }
+                    while total > WORK_EPS {
+                        let ecu = total.min(pj.task_fixed_ecu);
+                        actions.push(Action::RunChunk {
+                            job: job_id,
+                            machine,
+                            source: None,
+                            mb: 0.0,
+                            fixed_ecu: ecu,
+                        });
+                        total -= ecu;
+                    }
+                }
+            }
+        }
+
+        // Guarantee progress even if the LP deferred everything while the
+        // cluster is idle (can only happen with a degenerate config).
+        if actions.is_empty()
+            && !crate::baselines::any_busy(ctx)
+            && ctx.jobs_with_work().next().is_some()
+        {
+            return self.greedy_fallback(ctx);
+        }
+        actions
+    }
+
+    fn epoch(&self) -> Option<f64> {
+        Some(self.config.epoch_s)
+    }
+
+    fn name(&self) -> &str {
+        "lips"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_cluster::{ec2_20_node, ec2_mixed_cluster};
+    use lips_sim::{Placement, Simulation};
+    use lips_workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
+
+    fn run_lips(
+        c1_fraction: f64,
+        jobs: Vec<JobSpec>,
+        epoch: f64,
+        seed: u64,
+    ) -> lips_sim::SimReport {
+        let mut cluster = ec2_20_node(c1_fraction, 1e9);
+        let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, seed);
+        let placement = Placement::spread_blocks(&cluster, seed);
+        Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(epoch)))
+            .unwrap()
+    }
+
+    fn small_suite() -> Vec<JobSpec> {
+        vec![
+            JobSpec::new(0, "g", JobKind::Grep, 4096.0, 64),
+            JobSpec::new(1, "w", JobKind::WordCount, 4096.0, 64),
+            JobSpec::new(2, "p", JobKind::Pi, 0.0, 4),
+        ]
+    }
+
+    #[test]
+    fn completes_mixed_workload() {
+        let report = run_lips(0.5, small_suite(), 400.0, 1);
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.metrics.total_dollars() > 0.0);
+    }
+
+    #[test]
+    fn beats_hadoop_default_on_cost() {
+        // The paper's central claim, as an invariant on a heterogeneous
+        // cluster.
+        let lips = run_lips(0.5, small_suite(), 600.0, 1);
+
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let bound =
+            bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 1);
+        let placement = Placement::spread_blocks(&cluster, 1);
+        let default = Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut crate::baselines::HadoopDefaultScheduler::new())
+            .unwrap();
+
+        assert!(
+            lips.metrics.total_dollars() < default.metrics.total_dollars(),
+            "lips {} vs default {}",
+            lips.metrics.total_dollars(),
+            default.metrics.total_dollars()
+        );
+    }
+
+    #[test]
+    fn pi_work_lands_on_cheapest_nodes() {
+        let report = run_lips(0.5, vec![JobSpec::new(0, "p", JobKind::Pi, 0.0, 8)], 400.0, 2);
+        let cluster = ec2_20_node(0.5, 1e9);
+        let min_cost = cluster.min_cpu_cost();
+        // All ECU-seconds must be billed at (near) the cheapest price.
+        let billed = report.metrics.cpu_dollars;
+        let total_ecu: f64 = report.metrics.ecu_sec_by_machine.values().sum();
+        assert!(
+            billed / total_ecu < min_cost * 1.2,
+            "avg price {} vs min {}",
+            billed / total_ecu,
+            min_cost
+        );
+    }
+
+    #[test]
+    fn longer_epoch_does_not_cost_more() {
+        // Fig 8(b): cost is non-increasing in epoch length.
+        let short = run_lips(0.5, small_suite(), 200.0, 3);
+        let long = run_lips(0.5, small_suite(), 1600.0, 3);
+        assert!(
+            long.metrics.total_dollars() <= short.metrics.total_dollars() * 1.05,
+            "long {} vs short {}",
+            long.metrics.total_dollars(),
+            short.metrics.total_dollars()
+        );
+    }
+
+    #[test]
+    fn shorter_epoch_finishes_sooner() {
+        // Fig 8(a): shorter epochs → more parallelism → shorter makespan.
+        let short = run_lips(0.5, small_suite(), 200.0, 3);
+        let long = run_lips(0.5, small_suite(), 1600.0, 3);
+        assert!(
+            short.makespan <= long.makespan * 1.05,
+            "short {} vs long {}",
+            short.makespan,
+            long.makespan
+        );
+    }
+
+    #[test]
+    fn pruned_config_completes_on_larger_cluster() {
+        let mut cluster = ec2_mixed_cluster(40, 0.5, 1e9, 5);
+        let bound =
+            bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 5);
+        let placement = Placement::spread_blocks(&cluster, 5);
+        let mut sched = LipsScheduler::new(LipsConfig::large_cluster(400.0));
+        let report = Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut sched)
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(sched.solves() > 0);
+        assert_eq!(sched.lp_failures(), 0);
+    }
+
+    #[test]
+    fn respects_arrivals() {
+        let jobs = vec![
+            JobSpec::new(0, "early", JobKind::Grep, 1280.0, 20),
+            JobSpec::new(1, "late", JobKind::Grep, 1280.0, 20).arriving_at(3000.0),
+        ];
+        let report = run_lips(0.25, jobs, 400.0, 4);
+        let late = report.outcomes.iter().find(|o| o.name == "late").unwrap();
+        assert!(late.completed > 3000.0);
+    }
+
+    #[test]
+    fn fairness_guarantees_minority_pool_service() {
+        // Two pools on a capacity-tight epoch: without fairness the LP
+        // picks one vertex (one pool may be fully deferred); with sigma = 1
+        // both pools get scheduled work in the first epoch.
+        let jobs = vec![
+            JobSpec::new(0, "etl-a", JobKind::Stress2, 8192.0, 128).in_pool("etl"),
+            JobSpec::new(1, "adhoc-b", JobKind::Stress2, 8192.0, 128).in_pool("adhoc"),
+        ];
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let bound = lips_workload::bind_workload(
+            &mut cluster,
+            jobs,
+            lips_workload::PlacementPolicy::RoundRobin,
+            21,
+        );
+        let placement = lips_sim::Placement::spread_blocks(&cluster, 21);
+        let mut cfg = LipsConfig::small_cluster(200.0); // tight epochs
+        cfg.fairness = 1.0;
+        let mut sched = LipsScheduler::new(cfg);
+        let r = lips_sim::Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut sched)
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 2);
+        // Both pools finish within 2x of each other (fair service).
+        let t0 = r.outcomes.iter().find(|o| o.pool == "etl").unwrap().completed;
+        let t1 = r.outcomes.iter().find(|o| o.pool == "adhoc").unwrap().completed;
+        assert!(t0.max(t1) / t0.min(t1) < 2.0, "etl {t0} adhoc {t1}");
+        assert_eq!(sched.lp_failures(), 0);
+    }
+
+    #[test]
+    fn fairness_never_lowers_cost() {
+        // Fairness is a constraint: the fair optimum cannot beat the
+        // unconstrained one.
+        let run = |sigma: f64| {
+            let jobs = vec![
+                JobSpec::new(0, "a", JobKind::Grep, 4096.0, 64).in_pool("p0"),
+                JobSpec::new(1, "b", JobKind::WordCount, 4096.0, 64).in_pool("p1"),
+            ];
+            let mut cluster = ec2_20_node(0.5, 1e9);
+            let bound = lips_workload::bind_workload(
+                &mut cluster,
+                jobs,
+                lips_workload::PlacementPolicy::RoundRobin,
+                22,
+            );
+            let placement = lips_sim::Placement::spread_blocks(&cluster, 22);
+            let mut cfg = LipsConfig::small_cluster(400.0);
+            cfg.fairness = sigma;
+            lips_sim::Simulation::new(&cluster, &bound)
+                .with_placement(placement)
+                .run(&mut LipsScheduler::new(cfg))
+                .unwrap()
+                .metrics
+                .total_dollars()
+        };
+        let unfair = run(0.0);
+        let fair = run(1.0);
+        assert!(fair >= unfair - 1e-9, "fair {fair} vs unfair {unfair}");
+    }
+
+    #[test]
+    fn single_pool_fairness_is_vacuous() {
+        let jobs = vec![JobSpec::new(0, "a", JobKind::Grep, 1024.0, 16)];
+        let mut cluster = ec2_20_node(0.25, 1e9);
+        let bound = lips_workload::bind_workload(
+            &mut cluster,
+            jobs,
+            lips_workload::PlacementPolicy::RoundRobin,
+            23,
+        );
+        let p1 = lips_sim::Placement::spread_blocks(&cluster, 23);
+        let p2 = lips_sim::Placement::spread_blocks(&cluster, 23);
+        let mut cfg = LipsConfig::small_cluster(400.0);
+        cfg.fairness = 1.0;
+        let with_fair = lips_sim::Simulation::new(&cluster, &bound)
+            .with_placement(p1)
+            .run(&mut LipsScheduler::new(cfg))
+            .unwrap();
+        let without = lips_sim::Simulation::new(&cluster, &bound)
+            .with_placement(p2)
+            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(400.0)))
+            .unwrap();
+        assert_eq!(
+            with_fair.metrics.total_dollars(),
+            without.metrics.total_dollars()
+        );
+    }
+
+    #[test]
+    fn schedules_reduce_phases_end_to_end() {
+        // A shuffle-heavy WordCount: LiPS must schedule the reduce chunks
+        // (placed where the maps ran) and still complete and win on cost.
+        let jobs = vec![
+            JobSpec::new(0, "wc", JobKind::WordCount, 2048.0, 32).with_reduce(8, 1024.0, 1.0),
+            JobSpec::new(1, "g", JobKind::Grep, 2048.0, 32).with_reduce(4, 256.0, 0.2),
+        ];
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let bound = lips_workload::bind_workload(
+            &mut cluster,
+            jobs.clone(),
+            lips_workload::PlacementPolicy::RoundRobin,
+            31,
+        );
+        let placement = lips_sim::Placement::spread_blocks(&cluster, 31);
+        let lips = lips_sim::Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)))
+            .unwrap();
+        assert_eq!(lips.outcomes.len(), 2);
+        let demand: f64 = jobs.iter().map(|j| j.total_ecu_sec_with_reduce()).sum();
+        let executed: f64 = lips.metrics.ecu_sec_by_machine.values().sum();
+        assert!((executed - demand).abs() < 1e-3, "{executed} vs {demand}");
+
+        let mut c2 = ec2_20_node(0.5, 1e9);
+        let bound2 = lips_workload::bind_workload(
+            &mut c2,
+            jobs,
+            lips_workload::PlacementPolicy::RoundRobin,
+            31,
+        );
+        let p2 = lips_sim::Placement::spread_blocks(&c2, 31);
+        let default = lips_sim::Simulation::new(&c2, &bound2)
+            .with_placement(p2)
+            .run(&mut crate::baselines::HadoopDefaultScheduler::new())
+            .unwrap();
+        assert!(
+            lips.metrics.total_dollars() < default.metrics.total_dollars(),
+            "lips {} vs default {}",
+            lips.metrics.total_dollars(),
+            default.metrics.total_dollars()
+        );
+    }
+}
+

@@ -1,0 +1,752 @@
+//! Lowering a scheduling instance into the paper's linear programs.
+//!
+//! One builder serves all three models:
+//!
+//! * **Fig 2** (offline simple task scheduling): moves disabled, duration =
+//!   uptime.
+//! * **Fig 3** (offline co-scheduling): moves enabled, duration = uptime.
+//! * **Fig 4** (online epoch model): moves enabled, duration = epoch `e`,
+//!   fake node enabled, transfer-time constraint enabled.
+//!
+//! ## Variables
+//!
+//! For each job `k`, machine `l`, candidate store `m`:
+//! `x^t_klm ∈ [0,1]` — fraction of `k` run on `l` reading from `m`.
+//! For each job `k` and store `m`: `n_km ∈ [0,1]` — *new* fraction of `k`'s
+//! data copied to `m` (the paper's `x^d_im` minus what is already there;
+//! existing fractions enter as constants, so only genuinely new copies pay
+//! the `SS` price — see constraint (24)/(13) note below). Input-less jobs
+//! (Pi) get `x^t_kl` without a store index. With the fake node enabled
+//! every job also gets `f_k ∈ [0,1]` at an enormous CPU price.
+//!
+//! ## Constraints (paper numbering, Fig 4)
+//!
+//! * (20) `Σ x^t + f_k ≥ 1` — all work assigned (possibly to the fake
+//!   node, i.e. deferred).
+//! * (24) `Σ_l x^t_klm ≤ avail_km + n_km` — tasks read only data that is
+//!   (or will be) on the store.
+//! * (23) `Σ work·x^t ≤ TP_l · duration` per machine.
+//! * (21) `Σ read-time ≤ duration · slots_l` per machine — the paper
+//!   states this per (job, machine); we aggregate per machine (documented
+//!   deviation: slots share one NIC, and this keeps the row count linear
+//!   in `|M|` instead of `|J|·|M|`).
+//! * (22) `Σ n_km · Size_k ≤ free capacity` per store.
+//! * (19) is intentionally *not* enforced for the fake-node share: data is
+//!   only placed for work actually scheduled this epoch; deferred work
+//!   defers its placement too (strictly cheaper, same deployment
+//!   behaviour).
+
+use std::collections::HashMap;
+
+use lips_cluster::{Cluster, DataId, MachineId, StoreId};
+use lips_lp::{Cmp, LpError, Model, VarId};
+use lips_workload::JobId;
+
+/// One job as the LP sees it: remaining divisible work plus current data
+/// availability.
+#[derive(Debug, Clone)]
+pub struct LpJob {
+    pub id: JobId,
+    pub data: Option<DataId>,
+    /// Remaining input in MB — the LP's `Size(D_k)`.
+    pub size_mb: f64,
+    /// ECU-seconds per MB.
+    pub tcp: f64,
+    /// Remaining input-independent work (ECU-seconds).
+    pub fixed_ecu: f64,
+    /// Fraction of `size_mb` already available per store (constants
+    /// `avail_km`); entries must be positive.
+    pub avail: Vec<(StoreId, f64)>,
+}
+
+impl LpJob {
+    /// Total remaining ECU-seconds.
+    pub fn work_ecu(&self) -> f64 {
+        self.size_mb * self.tcp + self.fixed_ecu
+    }
+}
+
+/// Candidate pruning for large instances. `None` everywhere = the exact
+/// paper model.
+#[derive(Debug, Clone, Default)]
+pub struct PruneConfig {
+    /// Cap on machines considered per job (cheapest by CPU price, plus all
+    /// machines co-located with the job's data holders).
+    pub max_machines_per_job: Option<usize>,
+    /// Cap on *new-copy* destination stores per job (stores co-located
+    /// with the candidate machines).
+    pub max_new_stores_per_job: Option<usize>,
+}
+
+/// A full LP instance description.
+#[derive(Debug, Clone)]
+pub struct LpInstance<'a> {
+    pub cluster: &'a Cluster,
+    pub jobs: Vec<LpJob>,
+    /// Scheduling horizon: `uptime(M)` offline, epoch `e` online.
+    pub duration: f64,
+    /// Dollars per ECU-second on the fake node (`None` disables it; the
+    /// offline models require full assignment).
+    pub fake_cost: Option<f64>,
+    /// Allow data movement (`n` variables) — Fig 3/4 yes, Fig 2 no.
+    pub allow_moves: bool,
+    /// Enforce the per-machine read-time budget (constraint (21)).
+    pub enforce_transfer_time: bool,
+    /// Free capacity per store in MB (indexed by store id); defaults to
+    /// full capacities when empty.
+    pub store_free_mb: Vec<f64>,
+    /// Fair-share floors: each entry `(job indices, min ECU-seconds)`
+    /// forces the group (a FairScheduler pool) to receive at least that
+    /// much *scheduled* (non-deferred) work this horizon. Empty = pure
+    /// cost optimization. The paper lists fair sharing among the
+    /// dimensions a co-scheduler must handle jointly (§I); this is the
+    /// LP-native encoding.
+    pub pool_floors: Vec<(Vec<usize>, f64)>,
+    pub prune: PruneConfig,
+}
+
+/// A solved fractional schedule.
+#[derive(Debug, Clone)]
+pub struct FractionalSchedule {
+    /// `(job, machine, source store, fraction)`; store is `None` for
+    /// input-less work.
+    pub assignments: Vec<(JobId, MachineId, Option<StoreId>, f64)>,
+    /// Planned copies: `(data, source store, dest store, MB)`.
+    pub moves: Vec<(DataId, StoreId, StoreId, f64)>,
+    /// Fraction of each job deferred to the fake node.
+    pub deferred: HashMap<JobId, f64>,
+    /// LP objective: predicted dollars for the scheduled (non-deferred)
+    /// work, *excluding* the fake node's fictitious charge.
+    pub predicted_dollars: f64,
+    /// Raw LP objective (including fake-node charges).
+    pub lp_objective: f64,
+    /// Simplex pivots used.
+    pub iterations: usize,
+}
+
+/// One planned-copy variable: fraction of job `job`'s data copied to
+/// `dest`, sourced from the holders in `sources` (all at the same unit
+/// price — holders are grouped by exact `SS` cost so the LP's price always
+/// matches what emission will actually pay).
+struct NdVar {
+    job: usize,
+    dest: StoreId,
+    var: VarId,
+    /// `(holder, stock fraction)` pairs this variable may draw from.
+    sources: Vec<(StoreId, f64)>,
+}
+
+/// Internal handle map from LP variables back to schedule entities.
+struct VarMaps {
+    // (job idx, machine, store) -> var
+    xt: HashMap<(usize, MachineId, Option<StoreId>), VarId>,
+    nd: Vec<NdVar>,
+    fake: HashMap<usize, VarId>,
+    /// CPU-capacity constraint per machine (constraint (23)/(12)).
+    capacity_rows: Vec<(MachineId, lips_lp::ConstraintId)>,
+}
+
+/// Build the LP [`Model`] for an instance. Returns the model plus the maps
+/// needed to decode a solution.
+fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
+    let cluster = inst.cluster;
+    let mut model = Model::minimize();
+    let mut maps =
+        VarMaps {
+            xt: HashMap::new(),
+            nd: Vec::new(),
+            fake: HashMap::new(),
+            capacity_rows: Vec::new(),
+        };
+
+    // --- candidate selection -------------------------------------------
+    // Machines sorted by CPU price once (cheap-cycle preference).
+    let mut machines_by_price: Vec<MachineId> =
+        cluster.machines.iter().map(|m| m.id).collect();
+    machines_by_price
+        .sort_by(|a, b| cluster.machine(*a).cpu_cost.total_cmp(&cluster.machine(*b).cpu_cost));
+
+    let mut job_machines: Vec<Vec<MachineId>> = Vec::with_capacity(inst.jobs.len());
+    let mut job_stores: Vec<Vec<StoreId>> = Vec::with_capacity(inst.jobs.len());
+    for job in &inst.jobs {
+        // Machine candidates: cheapest N + machines holding this job's data.
+        let mut machines: Vec<MachineId> = match inst.prune.max_machines_per_job {
+            Some(n) => machines_by_price.iter().copied().take(n).collect(),
+            None => machines_by_price.clone(),
+        };
+        for &(s, _) in &job.avail {
+            if let Some(mid) = cluster.store(s).colocated {
+                if !machines.contains(&mid) {
+                    machines.push(mid);
+                }
+            }
+        }
+        machines.sort();
+
+        // Store candidates: holders always; new-copy destinations are the
+        // stores co-located with candidate machines (capped).
+        let mut stores: Vec<StoreId> = job.avail.iter().map(|&(s, _)| s).collect();
+        if inst.allow_moves {
+            let mut extra: Vec<StoreId> = Vec::new();
+            for &mid in &machines {
+                if let Some(sid) = cluster.store_of_machine(mid) {
+                    if !stores.contains(&sid) && !extra.contains(&sid) {
+                        extra.push(sid);
+                    }
+                }
+            }
+            if let Some(cap) = inst.prune.max_new_stores_per_job {
+                extra.truncate(cap);
+            }
+            stores.extend(extra);
+        }
+        stores.sort();
+        stores.dedup();
+        job_machines.push(machines);
+        job_stores.push(stores);
+    }
+
+    // --- variables ------------------------------------------------------
+    for (k, job) in inst.jobs.iter().enumerate() {
+        let work = job.work_ecu();
+        if job.size_mb > 0.0 {
+            for &l in &job_machines[k] {
+                let cpu_price = cluster.machine(l).cpu_cost;
+                for &m in &job_stores[k] {
+                    // Eq (7)+(8): CPU dollars + read dollars per unit
+                    // fraction.
+                    let cost = work * cpu_price + job.size_mb * cluster.ms_cost(l, m);
+                    let v = model.add_var(format!("xt_{k}_{}_{}", l.0, m.0), 0.0, 1.0, cost);
+                    maps.xt.insert((k, l, Some(m)), v);
+                }
+            }
+            if inst.allow_moves {
+                let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
+                for &m in &job_stores[k] {
+                    // A store already holding everything needs no copies.
+                    if avail.get(&m).copied().unwrap_or(0.0) >= 1.0 {
+                        continue;
+                    }
+                    // Group holders by their exact SS price to this
+                    // destination: one variable per price class, bounded by
+                    // that class's actual stock, so the LP can never price
+                    // a copy below what emission will pay for it.
+                    let mut holders: Vec<(StoreId, f64)> = job
+                        .avail
+                        .iter()
+                        .copied()
+                        .filter(|&(s, frac)| s != m && frac > 0.0)
+                        .collect();
+                    holders.sort_by(|a, b| {
+                        cluster
+                            .ss_cost(a.0, m)
+                            .total_cmp(&cluster.ss_cost(b.0, m))
+                            .then(a.0.cmp(&b.0))
+                    });
+                    let mut i = 0;
+                    while i < holders.len() {
+                        let price = cluster.ss_cost(holders[i].0, m);
+                        let mut sources = Vec::new();
+                        let mut stock = 0.0;
+                        while i < holders.len() && cluster.ss_cost(holders[i].0, m) == price {
+                            sources.push(holders[i]);
+                            stock += holders[i].1;
+                            i += 1;
+                        }
+                        // Eq (6): move dollars per unit fraction.
+                        let cost = job.size_mb * price;
+                        let v = model.add_var(
+                            format!("nd_{k}_{}_{}", m.0, maps.nd.len()),
+                            0.0,
+                            stock.min(1.0),
+                            cost,
+                        );
+                        maps.nd.push(NdVar { job: k, dest: m, var: v, sources });
+                    }
+                }
+            }
+        } else {
+            // Input-less job: one variable per machine.
+            for &l in &job_machines[k] {
+                let cost = work * cluster.machine(l).cpu_cost;
+                let v = model.add_var(format!("xt_{k}_{}", l.0), 0.0, 1.0, cost);
+                maps.xt.insert((k, l, None), v);
+            }
+        }
+        if let Some(fc) = inst.fake_cost {
+            let v = model.add_var(format!("fake_{k}"), 0.0, 1.0, work.max(1e-9) * fc);
+            maps.fake.insert(k, v);
+        }
+    }
+
+    // --- constraints ----------------------------------------------------
+    // (20): every job fully assigned (fake node included).
+    for (k, job) in inst.jobs.iter().enumerate() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &l in &job_machines[k] {
+            if job.size_mb > 0.0 {
+                for &m in &job_stores[k] {
+                    terms.push((maps.xt[&(k, l, Some(m))], 1.0));
+                }
+            } else {
+                terms.push((maps.xt[&(k, l, None)], 1.0));
+            }
+        }
+        if let Some(&f) = maps.fake.get(&k) {
+            terms.push((f, 1.0));
+        }
+        model.add_constraint(terms, Cmp::Ge, 1.0);
+    }
+
+    // (24)/(13): task reads bounded by availability + new copies.
+    for (k, job) in inst.jobs.iter().enumerate() {
+        if job.size_mb <= 0.0 {
+            continue;
+        }
+        let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
+        for &m in &job_stores[k] {
+            let mut terms: Vec<(VarId, f64)> = job_machines[k]
+                .iter()
+                .map(|&l| (maps.xt[&(k, l, Some(m))], 1.0))
+                .collect();
+            for nd in maps.nd.iter().filter(|n| n.job == k && n.dest == m) {
+                terms.push((nd.var, -1.0));
+            }
+            let a = avail.get(&m).copied().unwrap_or(0.0).min(1.0);
+            model.add_constraint(terms, Cmp::Le, a);
+        }
+    }
+
+    // (23)/(12): machine CPU capacity.
+    for mid in cluster.machines.iter().map(|m| m.id) {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for (k, job) in inst.jobs.iter().enumerate() {
+            let work = job.work_ecu();
+            if !job_machines[k].contains(&mid) {
+                continue;
+            }
+            if job.size_mb > 0.0 {
+                for &m in &job_stores[k] {
+                    terms.push((maps.xt[&(k, mid, Some(m))], work));
+                }
+            } else {
+                terms.push((maps.xt[&(k, mid, None)], work));
+            }
+        }
+        if !terms.is_empty() {
+            let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
+            let row = model.add_constraint(terms, Cmp::Le, cap);
+            maps.capacity_rows.push((mid, row));
+        }
+    }
+
+    // (21): per-machine read-time budget (aggregated across jobs/slots).
+    if inst.enforce_transfer_time {
+        for mid in cluster.machines.iter().map(|m| m.id) {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (k, job) in inst.jobs.iter().enumerate() {
+                if job.size_mb <= 0.0 || !job_machines[k].contains(&mid) {
+                    continue;
+                }
+                for &m in &job_stores[k] {
+                    let bw = cluster.bandwidth_machine_store(mid, m);
+                    terms.push((maps.xt[&(k, mid, Some(m))], job.size_mb / bw));
+                }
+            }
+            if !terms.is_empty() {
+                let budget = inst.duration * cluster.machine(mid).slots as f64;
+                model.add_constraint(terms, Cmp::Le, budget);
+            }
+        }
+    }
+
+    // Fair-share floors: Σ_{k∈pool} work_k · Σ x^t_k ≥ min_ecu.
+    for (members, min_ecu) in &inst.pool_floors {
+        if *min_ecu <= 0.0 {
+            continue;
+        }
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &k in members {
+            let job = &inst.jobs[k];
+            let work = job.work_ecu();
+            for &l in &job_machines[k] {
+                if job.size_mb > 0.0 {
+                    for &m in &job_stores[k] {
+                        terms.push((maps.xt[&(k, l, Some(m))], work));
+                    }
+                } else {
+                    terms.push((maps.xt[&(k, l, None)], work));
+                }
+            }
+        }
+        if !terms.is_empty() {
+            model.add_constraint(terms, Cmp::Ge, *min_ecu);
+        }
+    }
+
+    // (22)/(11): store capacity for new copies.
+    if inst.allow_moves {
+        let free = |s: StoreId| -> f64 {
+            inst.store_free_mb
+                .get(s.0)
+                .copied()
+                .unwrap_or_else(|| cluster.store(s).capacity_mb)
+        };
+        let mut per_store: HashMap<StoreId, Vec<(VarId, f64)>> = HashMap::new();
+        for nd in &maps.nd {
+            per_store
+                .entry(nd.dest)
+                .or_default()
+                .push((nd.var, inst.jobs[nd.job].size_mb));
+        }
+        let mut stores: Vec<_> = per_store.into_iter().collect();
+        stores.sort_by_key(|(s, _)| *s);
+        for (s, terms) in stores {
+            model.add_constraint(terms, Cmp::Le, free(s).max(0.0));
+        }
+    }
+
+    (model, maps)
+}
+
+/// Build and solve; decode into a [`FractionalSchedule`].
+pub fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, LpError> {
+    Ok(solve_with_shadow_prices(inst)?.0)
+}
+
+/// Like [`solve`], additionally returning the shadow price of each
+/// machine's CPU-capacity row: the dollars the optimal schedule would save
+/// per extra ECU-second of capacity on that node (≤ 0; more negative =
+/// more valuable). Machines whose capacity row was slack report 0.
+pub fn solve_with_shadow_prices(
+    inst: &LpInstance<'_>,
+) -> Result<(FractionalSchedule, Vec<(MachineId, f64)>), LpError> {
+    let (model, maps) = build(inst);
+    let sol = model.solve()?;
+    let sens = lips_lp::sensitivity::analyze(&model, &sol);
+    let shadows: Vec<(MachineId, f64)> = maps
+        .capacity_rows
+        .iter()
+        .map(|&(m, row)| (m, sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0)))
+        .collect();
+    let eps = 1e-7;
+
+    let mut assignments = Vec::new();
+    for (&(k, l, m), &v) in &maps.xt {
+        let frac = sol.value_of(v);
+        if frac > eps {
+            assignments.push((inst.jobs[k].id, l, m, frac));
+        }
+    }
+    // Deterministic ordering (HashMap iteration is not).
+    assignments.sort_by(|a, b| {
+        (a.0, a.1, a.2.map(|s| s.0)).cmp(&(b.0, b.1, b.2.map(|s| s.0)))
+    });
+
+    let mut moves = Vec::new();
+    for nd in &maps.nd {
+        let mut frac = sol.value_of(nd.var);
+        if frac <= eps {
+            continue;
+        }
+        let job = &inst.jobs[nd.job];
+        let data = job.data.expect("moves only for data jobs");
+        // Distribute the group's fraction across its (equal-price) holders
+        // without over-drawing any single one.
+        for &(src, stock) in &nd.sources {
+            if frac <= eps {
+                break;
+            }
+            let take = frac.min(stock);
+            moves.push((data, src, nd.dest, take * job.size_mb));
+            frac -= take;
+        }
+    }
+    moves.sort_by_key(|a| (a.0, a.1, a.2));
+
+    let mut deferred = HashMap::new();
+    let mut fake_dollars = 0.0;
+    for (&k, &v) in &maps.fake {
+        let frac = sol.value_of(v);
+        if frac > eps {
+            deferred.insert(inst.jobs[k].id, frac);
+            fake_dollars +=
+                frac * inst.jobs[k].work_ecu().max(1e-9) * inst.fake_cost.unwrap();
+        }
+    }
+
+    Ok((
+        FractionalSchedule {
+            assignments,
+            moves,
+            deferred,
+            predicted_dollars: sol.objective() - fake_dollars,
+            lp_objective: sol.objective(),
+            iterations: sol.iterations(),
+        },
+        shadows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_cluster::{ec2_20_node, InstanceType};
+    use lips_workload::JobKind;
+
+    /// Two-machine cluster: expensive m1.medium in zone a holding the
+    /// data, cheap c1.medium in zone b.
+    fn two_node() -> Cluster {
+        let mut b = lips_cluster::ClusterBuilder::new();
+        let za = b.add_zone("a");
+        let zb = b.add_zone("b");
+        b.add_machine(za, InstanceType::M1_MEDIUM, 1.0, 100_000.0);
+        b.add_machine(zb, InstanceType::C1_MEDIUM, 0.0, 100_000.0);
+        b.build()
+    }
+
+    fn one_job(size_mb: f64, tcp: f64, holder: StoreId) -> LpJob {
+        LpJob {
+            id: JobId(0),
+            data: Some(DataId(0)),
+            size_mb,
+            tcp,
+            fixed_ecu: 0.0,
+            avail: vec![(holder, 1.0)],
+        }
+    }
+
+    fn base_inst<'a>(cluster: &'a Cluster, jobs: Vec<LpJob>) -> LpInstance<'a> {
+        LpInstance {
+            cluster,
+            jobs,
+            duration: 100_000.0,
+            fake_cost: None,
+            allow_moves: true,
+            enforce_transfer_time: false,
+            store_free_mb: vec![],
+            pool_floors: vec![],
+            prune: PruneConfig::default(),
+        }
+    }
+
+    #[test]
+    fn cpu_heavy_job_chases_cheap_cycles() {
+        // WordCount-intensity data on the expensive node: the LP pays the
+        // cross-zone transfer once (as a move or a remote read — the two
+        // are price-identical for a single pass) and runs on the cheap
+        // c1.medium.
+        let cluster = two_node();
+        let size = 10.0 * 1024.0;
+        let tcp = JobKind::WordCount.tcp_ecu_sec_per_mb();
+        let job = one_job(size, tcp, StoreId(0));
+        let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
+        assert!(sched.assignments.iter().all(|&(_, l, _, _)| l == MachineId(1)));
+        let expect = size * tcp * cluster.machine(MachineId(1)).cpu_cost
+            + size * cluster.ss_cost(StoreId(0), StoreId(1));
+        assert!((sched.predicted_dollars - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_heavy_job_stays_local_when_transfer_is_dear() {
+        // Grep on the expensive node with a pricey network ($0.10/GB):
+        // transfer dominates, stay near the data (Figure 1's left side).
+        let mut cluster = two_node();
+        cluster.network.cross_zone_dollars_per_mb = 0.10 / 1024.0;
+        let job = one_job(10.0 * 1024.0, JobKind::Grep.tcp_ecu_sec_per_mb(), StoreId(0));
+        let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
+        assert!(sched.moves.is_empty(), "grep should not move: {:?}", sched.moves);
+        assert!(sched.assignments.iter().all(|&(_, l, _, _)| l == MachineId(0)));
+    }
+
+    #[test]
+    fn break_even_consistency_with_analysis_module() {
+        // The LP's move/stay decision must agree with the closed form for
+        // a single job on the two-node cluster.
+        let cluster = two_node();
+        let a = cluster.machine(MachineId(0)).cpu_cost;
+        let b = cluster.machine(MachineId(1)).cpu_cost;
+        let d = cluster.ss_cost(StoreId(0), StoreId(1));
+        for tcp in [0.05, 0.2, 0.5, 1.0, 2.0, 5.0] {
+            let job = one_job(1024.0, tcp, StoreId(0));
+            let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
+            let moved = !sched.moves.is_empty();
+            // Read price while running remotely equals the move price here,
+            // so the LP may also "run remote without moving"; both count as
+            // using cheap cycles.
+            let used_cheap = sched
+                .assignments
+                .iter()
+                .any(|&(_, l, _, frac)| l == MachineId(1) && frac > 0.5);
+            let should = crate::analysis::move_pays_off(tcp, a, b, d);
+            assert_eq!(
+                moved || used_cheap,
+                should,
+                "tcp={tcp}: moved={moved} cheap={used_cheap} expected={should}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_mode_has_no_moves() {
+        let cluster = two_node();
+        let job = one_job(1024.0, 5.0, StoreId(0));
+        let mut inst = base_inst(&cluster, vec![job]);
+        inst.allow_moves = false;
+        let sched = solve(&inst).unwrap();
+        assert!(sched.moves.is_empty());
+        // CPU-heavy but data pinned: may still run remotely reading
+        // cross-zone, but every assignment must read from store 0.
+        assert!(sched.assignments.iter().all(|&(_, _, s, _)| s == Some(StoreId(0))));
+    }
+
+    #[test]
+    fn capacity_forces_spill_to_expensive_node() {
+        // Duration such that both nodes together barely fit the work
+        // (5 + 2 = 7 ECU): the cheap node saturates at 5/7, the rest
+        // spills onto the expensive node.
+        let cluster = two_node();
+        let work_ecu = 10_000.0;
+        let size = 1024.0;
+        let tcp = work_ecu / size;
+        let duration = work_ecu / 7.0 * 1.0001;
+        let mut inst = base_inst(&cluster, vec![one_job(size, tcp, StoreId(0))]);
+        inst.duration = duration;
+        let sched = solve(&inst).unwrap();
+        let on_cheap: f64 = sched
+            .assignments
+            .iter()
+            .filter(|&&(_, l, _, _)| l == MachineId(1))
+            .map(|&(_, _, _, f)| f)
+            .sum();
+        let on_exp: f64 = sched
+            .assignments
+            .iter()
+            .filter(|&&(_, l, _, _)| l == MachineId(0))
+            .map(|&(_, _, _, f)| f)
+            .sum();
+        assert!((on_cheap - 5.0 / 7.0).abs() < 1e-3, "cheap share {on_cheap}");
+        assert!((on_exp - 2.0 / 7.0).abs() < 1e-3, "expensive share {on_exp}");
+    }
+
+    #[test]
+    fn insufficient_capacity_without_fake_node_is_infeasible() {
+        let cluster = two_node();
+        let work_ecu = 10_000.0;
+        let size = 1024.0;
+        let mut inst =
+            base_inst(&cluster, vec![one_job(size, work_ecu / size, StoreId(0))]);
+        inst.duration = work_ecu / 7.0 * 0.9; // 10% short of combined capacity
+        assert!(solve(&inst).is_err());
+    }
+
+    #[test]
+    fn fake_node_absorbs_overflow_instead_of_infeasible() {
+        // Duration so small no real machine can take the work.
+        let cluster = two_node();
+        let mut inst = base_inst(&cluster, vec![one_job(1024.0, 10.0, StoreId(0))]);
+        inst.duration = 1.0;
+        // Without the fake node: infeasible.
+        assert!(solve(&inst).is_err());
+        // With it: solvable, nearly everything deferred.
+        inst.fake_cost = Some(1.0); // $1 per ECU-second — enormous
+        let sched = solve(&inst).unwrap();
+        let deferred = sched.deferred[&JobId(0)];
+        assert!(deferred > 0.99, "deferred {deferred}");
+        // Predicted dollars excludes the fictitious fake charge.
+        assert!(sched.predicted_dollars < 1.0);
+    }
+
+    #[test]
+    fn inputless_job_goes_to_cheapest_cycles() {
+        let cluster = two_node();
+        let job = LpJob {
+            id: JobId(0),
+            data: None,
+            size_mb: 0.0,
+            tcp: 0.0,
+            fixed_ecu: 1000.0,
+            avail: vec![],
+        };
+        let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
+        assert_eq!(sched.assignments.len(), 1);
+        let (_, l, s, frac) = sched.assignments[0];
+        assert_eq!(l, MachineId(1));
+        assert_eq!(s, None);
+        assert!((frac - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_time_budget_limits_remote_reads() {
+        // Epoch so short the cross-zone link cannot ship the data in time:
+        // with moves disabled and the data remote to the cheap node, the
+        // job must run on the expensive holder node instead.
+        let cluster = two_node();
+        let size = 10.0 * 1024.0; // 10 GB
+        let mut inst = base_inst(&cluster, vec![one_job(size, 5.0, StoreId(0))]);
+        inst.allow_moves = false;
+        inst.enforce_transfer_time = true;
+        // Cross-zone: 31.25 MB/s → 10 GB needs ~327 s; give 60 s.
+        // Local read at 400 MB/s needs ~26 s — fits.
+        inst.duration = 60.0;
+        // Also relax CPU capacity so only the transfer constraint binds.
+        // (Machine capacity at 60 s would bind too; raise TP.)
+        let mut cluster2 = cluster.clone();
+        cluster2.machines[0].tp_ecu = 1e6;
+        cluster2.machines[1].tp_ecu = 1e6;
+        inst.cluster = &cluster2;
+        let sched = solve(&inst).unwrap();
+        let remote: f64 = sched
+            .assignments
+            .iter()
+            .filter(|&&(_, l, _, _)| l == MachineId(1))
+            .map(|&(_, _, _, f)| f)
+            .sum();
+        // At most 60s × 2 slots × 31.25 MB/s / 10 GB ≈ 0.37 may run remote.
+        assert!(remote < 0.4, "remote share {remote}");
+    }
+
+    #[test]
+    fn store_capacity_blocks_moves() {
+        let mut cluster = two_node();
+        cluster.stores[1].capacity_mb = 100.0; // cheap node's store is tiny
+        let job = one_job(10.0 * 1024.0, 5.0, StoreId(0));
+        let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
+        let moved: f64 = sched.moves.iter().map(|&(_, _, _, mb)| mb).sum();
+        assert!(moved <= 100.0 + 1e-6, "moved {moved}");
+    }
+
+    #[test]
+    fn pruning_keeps_solution_feasible() {
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let jobs: Vec<LpJob> = (0..4)
+            .map(|i| LpJob {
+                id: JobId(i),
+                data: Some(DataId(i)),
+                size_mb: 640.0,
+                tcp: 1.0,
+                fixed_ecu: 0.0,
+                avail: vec![(StoreId(i), 1.0)],
+            })
+            .collect();
+        let mut inst = base_inst(&cluster, jobs);
+        inst.prune = PruneConfig {
+            max_machines_per_job: Some(4),
+            max_new_stores_per_job: Some(2),
+        };
+        let sched = solve(&inst).unwrap();
+        // Every job fully assigned.
+        for i in 0..4 {
+            let total: f64 = sched
+                .assignments
+                .iter()
+                .filter(|&&(j, _, _, _)| j == JobId(i))
+                .map(|&(_, _, _, f)| f)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-5, "job {i}: {total}");
+        }
+        // Pruned model must not cost less than the exact one.
+        let exact = solve(&base_inst(&cluster, inst.jobs.clone())).unwrap();
+        assert!(sched.predicted_dollars >= exact.predicted_dollars - 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Blocks: the unit of HDFS storage and replication.
+
+use serde::{Deserialize, Serialize};
+
+use lips_cluster::DataId;
+
+/// Globally unique block id within a NameNode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+/// One block of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub id: BlockId,
+    /// The data object (file) this block belongs to.
+    pub data: DataId,
+    /// Position within the file.
+    pub index: u32,
+    /// Size in MB (the final block of a file may be short).
+    pub size_mb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_identity() {
+        let b = Block { id: BlockId(7), data: DataId(1), index: 3, size_mb: 64.0 };
+        assert_eq!(b.id, BlockId(7));
+        assert_eq!(b.index, 3);
+    }
+}

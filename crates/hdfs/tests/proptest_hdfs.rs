@@ -1,0 +1,90 @@
+//! NameNode property tests: namespace invariants under arbitrary file
+//! creation, replica loss, and re-replication sequences.
+
+use lips_cluster::{ec2_mixed_cluster, DataId, MachineId};
+use lips_hdfs::{CostAwareTargetChooser, DefaultTargetChooser, NameNode, ReplicationTargetChooser};
+use proptest::prelude::*;
+
+fn check_invariants(nn: &NameNode, cluster: &lips_cluster::Cluster, files: &[(DataId, f64)]) {
+    for &(data, size) in files {
+        let blocks = nn.blocks_of(data);
+        // Blocks cover the file exactly.
+        let total: f64 = blocks.iter().map(|&b| nn.block(b).unwrap().size_mb).sum();
+        assert!((total - size).abs() < 1e-9, "{data:?}: {total} vs {size}");
+        for &b in blocks {
+            let reps = nn.replicas_of(b);
+            // Replica sets never contain duplicates.
+            let mut uniq: Vec<_> = reps.to_vec();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), reps.len(), "duplicate replica for {b:?}");
+            // Replicas only live on DataNode stores.
+            for &s in reps {
+                assert!(cluster.store(s).colocated.is_some());
+            }
+        }
+    }
+    // Capacity accounting: usage never exceeds capacity.
+    for store in &cluster.stores {
+        let used = nn.used_mb(store.id);
+        assert!(used <= store.capacity_mb + 1e-6, "store {:?} over capacity", store.id);
+    }
+    // Placement view agrees on total bytes.
+    let placement = nn.to_placement();
+    for &(data, size) in files {
+        let total: f64 = placement.stores_of(data).iter().map(|&(_, mb)| mb).sum();
+        let reps = nn.replication as f64;
+        assert!((total - size * reps).abs() < 1e-6, "{data:?}: placed {total}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn namespace_invariants_hold(
+        nodes in 4usize..30,
+        replication in 1usize..4,
+        seed in 0u64..10_000,
+        sizes in prop::collection::vec(1.0f64..500.0, 1..6),
+        cost_aware in any::<bool>(),
+    ) {
+        let cluster = ec2_mixed_cluster(nodes, 0.4, 3600.0, seed);
+        let mut nn = NameNode::new(replication.min(nodes));
+        let mut chooser: Box<dyn ReplicationTargetChooser> = if cost_aware {
+            Box::new(CostAwareTargetChooser::new(1.0))
+        } else {
+            Box::new(DefaultTargetChooser::new(seed))
+        };
+        let mut files = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let writer = Some(MachineId(i % nodes));
+            nn.create_file(&cluster, DataId(i), size, writer, chooser.as_mut()).unwrap();
+            files.push((DataId(i), size));
+        }
+        check_invariants(&nn, &cluster, &files);
+        prop_assert!(nn.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn lose_and_rereplicate_restores_factor(
+        nodes in 5usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let cluster = ec2_mixed_cluster(nodes, 0.3, 3600.0, seed);
+        let mut nn = NameNode::new(3.min(nodes));
+        let mut ch = DefaultTargetChooser::new(seed);
+        nn.create_file(&cluster, DataId(0), 256.0, None, &mut ch).unwrap();
+        // Lose the first replica of every block.
+        let blocks: Vec<_> = nn.blocks_of(DataId(0)).to_vec();
+        for &b in &blocks {
+            let victim = nn.replicas_of(b)[0];
+            nn.lose_replica(b, victim).unwrap();
+        }
+        prop_assert_eq!(nn.under_replicated().len(), blocks.len());
+        let added = nn.re_replicate(&cluster, &mut ch).unwrap();
+        prop_assert_eq!(added, blocks.len());
+        prop_assert!(nn.under_replicated().is_empty());
+        check_invariants(&nn, &cluster, &[(DataId(0), 256.0)]);
+    }
+}

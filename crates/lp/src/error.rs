@@ -1,0 +1,81 @@
+//! Error type shared by every solver in the crate.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system admits no point satisfying all constraints and
+    /// variable bounds (phase-1 objective stayed positive).
+    Infeasible,
+    /// The objective can be improved without bound along a feasible ray.
+    Unbounded,
+    /// The solver exceeded its iteration budget; usually indicates cycling
+    /// on a severely degenerate model even under Bland's rule, or a model far
+    /// larger than the configured limit allows.
+    IterationLimit { iterations: usize },
+    /// A variable was declared with `lb > ub`.
+    InvertedBounds { var: usize, lb: f64, ub: f64 },
+    /// A coefficient, bound, or right-hand side was NaN or infinite where a
+    /// finite value is required.
+    NonFiniteInput { what: &'static str },
+    /// A constraint referenced a variable id not belonging to this model.
+    UnknownVariable { var: usize },
+    /// The basis matrix became numerically singular and refactorization did
+    /// not recover it.
+    SingularBasis,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} iterations")
+            }
+            LpError::InvertedBounds { var, lb, ub } => {
+                write!(f, "variable {var} has inverted bounds [{lb}, {ub}]")
+            }
+            LpError::NonFiniteInput { what } => {
+                write!(f, "non-finite input where finite required: {what}")
+            }
+            LpError::UnknownVariable { var } => {
+                write!(f, "constraint references unknown variable id {var}")
+            }
+            LpError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_distinct() {
+        let errs = [
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::IterationLimit { iterations: 7 },
+            LpError::InvertedBounds { var: 1, lb: 2.0, ub: 1.0 },
+            LpError::NonFiniteInput { what: "rhs" },
+            LpError::UnknownVariable { var: 3 },
+            LpError::SingularBasis,
+        ];
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        for (i, a) in msgs.iter().enumerate() {
+            for b in msgs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_limit_reports_count() {
+        let e = LpError::IterationLimit { iterations: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

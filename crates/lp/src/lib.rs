@@ -1,0 +1,56 @@
+//! # lips-lp — a self-contained linear-programming solver
+//!
+//! The LiPS scheduler (Ehsan et al., IPDPS 2013) reduces cost-optimal
+//! data/task co-scheduling to linear programs (Figures 2–4 of the paper) and
+//! solves them with GLPK.  This crate is the GLPK substitute: a from-scratch,
+//! dependency-free LP solver tuned for the scheduler's problem shapes
+//! (thousands of rows, tens of thousands of sparse columns, all variables
+//! boxed into `[0, 1]`).
+//!
+//! Two solvers are provided:
+//!
+//! * [`revised::RevisedSimplex`] — the production solver: a two-phase,
+//!   bounded-variable revised primal simplex with a dense-LU factorization of
+//!   the basis, product-form (eta-file) updates between refactorizations,
+//!   Dantzig pricing and a Bland anti-cycling fallback.
+//! * [`dense::DenseSimplex`] — a textbook two-phase tableau simplex used as a
+//!   cross-checking oracle in tests and for very small models.
+//!
+//! Both consume the same [`model::Model`] builder and return the same
+//! [`solution::Solution`].
+//!
+//! ```
+//! use lips_lp::{Model, Sense, Cmp};
+//!
+//! // min 2x + 3y  s.t.  x + y >= 4,  x <= 3,  0 <= x,y <= 10
+//! let mut m = Model::new(Sense::Minimize);
+//! let x = m.add_var("x", 0.0, 10.0, 2.0);
+//! let y = m.add_var("y", 0.0, 10.0, 3.0);
+//! m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+//! m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective() - 9.0).abs() < 1e-6); // x=3, y=1
+//! ```
+
+pub mod dense;
+pub mod error;
+pub mod lu;
+pub mod model;
+pub mod presolve;
+pub mod revised;
+pub mod scaling;
+pub mod sensitivity;
+pub mod solution;
+pub mod sparse;
+pub mod standard;
+
+pub use error::LpError;
+pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
+pub use solution::{Solution, Status};
+
+/// Default feasibility / optimality tolerance used across the crate.
+pub const TOL: f64 = 1e-7;
+
+/// Pivot-magnitude tolerance: elements smaller than this are treated as zero
+/// during elimination and the ratio test.
+pub const PIVOT_TOL: f64 = 1e-9;

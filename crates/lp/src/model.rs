@@ -1,0 +1,303 @@
+//! Problem builder: variables with box bounds, linear constraints, and an
+//! objective sense. This is the single entry point both solvers consume.
+
+use crate::error::LpError;
+use crate::solution::Solution;
+use crate::TOL;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Positional index of the variable inside its model (also the index
+    /// into [`Solution::values`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a model constraint (row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    /// Positional index of the constraint inside its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// (variable index, coefficient) pairs; duplicates are summed when the
+    /// model is lowered to matrix form.
+    pub terms: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables carry box bounds `[lb, ub]` (either side may be infinite) and an
+/// objective coefficient. Constraints are arbitrary sparse linear rows.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Model {
+    /// Create an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model { sense, vars: Vec::new(), cons: Vec::new() }
+    }
+
+    /// Shorthand for `Model::new(Sense::Minimize)`.
+    pub fn minimize() -> Self {
+        Model::new(Sense::Minimize)
+    }
+
+    /// Optimization sense of this model.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a variable with bounds `[lb, ub]` and objective coefficient `obj`.
+    ///
+    /// Either bound may be `±f64::INFINITY`. Panics if `obj` is non-finite
+    /// (bounds are validated at solve time so infeasible boxes surface as
+    /// [`LpError::InvertedBounds`]).
+    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(obj.is_finite(), "objective coefficient must be finite");
+        assert!(!lb.is_nan() && !ub.is_nan(), "bounds must not be NaN");
+        self.vars.push(Variable { name: name.into(), lb, ub, obj });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add a constraint `Σ coef·var  cmp  rhs`.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> ConstraintId {
+        let terms: Vec<(usize, f64)> = terms.into_iter().map(|(v, c)| (v.0, c)).collect();
+        self.cons.push(Constraint { terms, cmp, rhs });
+        ConstraintId(self.cons.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Bounds of a variable.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lb, self.vars[v.0].ub)
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn var_obj(&self, v: VarId) -> f64 {
+        self.vars[v.0].obj
+    }
+
+    /// Validate structural sanity: finite rhs/coefficients, known variable
+    /// ids, non-inverted bounds.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lb > v.ub {
+                return Err(LpError::InvertedBounds { var: i, lb: v.lb, ub: v.ub });
+            }
+        }
+        for c in &self.cons {
+            if !c.rhs.is_finite() {
+                return Err(LpError::NonFiniteInput { what: "constraint rhs" });
+            }
+            for &(v, coef) in &c.terms {
+                if v >= self.vars.len() {
+                    return Err(LpError::UnknownVariable { var: v });
+                }
+                if !coef.is_finite() {
+                    return Err(LpError::NonFiniteInput { what: "constraint coefficient" });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Objective value of an assignment (no feasibility checking).
+    pub fn objective_of(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, xi)| v.obj * xi).sum()
+    }
+
+    /// Maximum constraint / bound violation of an assignment.
+    ///
+    /// Returns `0.0` for feasible points; used pervasively in tests to check
+    /// solver output against the *original* model rather than any derived
+    /// standard form.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if v.lb.is_finite() {
+                worst = worst.max(v.lb - xi);
+            }
+            if v.ub.is_finite() {
+                worst = worst.max(xi - v.ub);
+            }
+        }
+        for c in &self.cons {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v]).sum();
+            let viol = match c.cmp {
+                Cmp::Le => lhs - c.rhs,
+                Cmp::Ge => c.rhs - lhs,
+                Cmp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// True if `x` satisfies every constraint and bound within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.vars.len() && self.max_violation(x) <= tol
+    }
+
+    /// Solve with the production solver ([`crate::revised::RevisedSimplex`])
+    /// under default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        crate::revised::RevisedSimplex::default().solve(self)
+    }
+
+    /// Solve with the dense tableau oracle (small models only).
+    pub fn solve_dense(&self) -> Result<Solution, LpError> {
+        crate::dense::DenseSimplex::default().solve(self)
+    }
+
+    /// Quick feasibility probe: does any feasible point exist? Runs phase 1
+    /// only (by solving with a zero objective).
+    pub fn has_feasible_point(&self) -> Result<bool, LpError> {
+        let mut probe = self.clone();
+        for v in &mut probe.vars {
+            v.obj = 0.0;
+        }
+        match probe.solve() {
+            Ok(sol) => Ok(self.is_feasible(sol.values(), 10.0 * TOL)),
+            Err(LpError::Infeasible) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_introspect() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 2.5);
+        let y = m.add_var("y", -1.0, f64::INFINITY, -1.0);
+        let c = m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Le, 3.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.var_bounds(y), (-1.0, f64::INFINITY));
+        assert_eq!(m.var_obj(x), 2.5);
+        assert_eq!(c.index(), 0);
+        assert_eq!(x.index(), 0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_inverted_bounds() {
+        let mut m = Model::minimize();
+        m.add_var("x", 2.0, 1.0, 0.0);
+        assert!(matches!(m.validate(), Err(LpError::InvertedBounds { var: 0, .. })));
+    }
+
+    #[test]
+    fn validate_catches_unknown_var() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        let mut m2 = Model::minimize();
+        m2.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
+        assert!(matches!(m2.validate(), Err(LpError::UnknownVariable { var: 0 })));
+    }
+
+    #[test]
+    fn validate_catches_nonfinite_rhs() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, f64::INFINITY);
+        assert!(matches!(m.validate(), Err(LpError::NonFiniteInput { .. })));
+    }
+
+    #[test]
+    fn violation_measures_all_constraint_kinds() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 0.5);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 0.2);
+        m.add_constraint([(x, 2.0)], Cmp::Eq, 0.6);
+        assert!(m.is_feasible(&[0.3], 1e-9));
+        assert!(!m.is_feasible(&[0.8], 1e-9)); // violates Le and Eq
+        assert!((m.max_violation(&[0.8]) - 1.0).abs() < 1e-12); // |1.6-0.6| = 1.0
+    }
+
+    #[test]
+    fn objective_of_sums_terms() {
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, 1.0, 3.0);
+        m.add_var("y", 0.0, 1.0, -2.0);
+        assert!((m.objective_of(&[1.0, 0.5]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_terms_allowed_in_builder() {
+        // duplicates must be summed at lowering time, so feasibility checks
+        // must treat (x,1.0),(x,1.0) as 2x.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        m.add_constraint([(x, 1.0), (x, 1.0)], Cmp::Ge, 4.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value_of(x) - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,324 @@
+//! Presolve: cheap model reductions applied before the simplex runs.
+//!
+//! The scheduling LPs routinely contain structure a solver shouldn't waste
+//! pivots on: variables fixed by their bounds (`lb == ub` — e.g. pinned
+//! placements), singleton rows (`a·x ≤ b` — pure bound tightenings), and
+//! empty rows. Presolve eliminates them and returns a [`Restore`] that
+//! maps a reduced solution back onto the original variable space.
+//!
+//! ```
+//! use lips_lp::{Model, Cmp};
+//! use lips_lp::presolve::presolve;
+//!
+//! let mut m = Model::minimize();
+//! let x = m.add_var("x", 2.0, 2.0, 5.0);          // fixed
+//! let y = m.add_var("y", 0.0, 10.0, 1.0);
+//! m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 6.0);
+//! let (reduced, restore) = presolve(&m).unwrap();
+//! assert_eq!(reduced.num_vars(), 1);              // x substituted out
+//! let sol = reduced.solve().unwrap();
+//! let full = restore.restore(sol.values());
+//! assert!((full[0] - 2.0).abs() < 1e-9);
+//! assert!((full[1] - 4.0).abs() < 1e-9);
+//! ```
+
+use crate::error::LpError;
+use crate::model::{Cmp, Model};
+use crate::TOL;
+
+/// Maps a reduced solution back to the original variable space.
+#[derive(Debug, Clone)]
+pub struct Restore {
+    /// For each original variable: `Ok(reduced index)` if it survived,
+    /// `Err(fixed value)` if presolve fixed it.
+    mapping: Vec<Result<usize, f64>>,
+    /// Objective contribution of the eliminated variables.
+    pub objective_offset: f64,
+}
+
+impl Restore {
+    /// Expand reduced-space values into original-space values.
+    pub fn restore(&self, reduced: &[f64]) -> Vec<f64> {
+        self.mapping
+            .iter()
+            .map(|m| match m {
+                Ok(idx) => reduced[*idx],
+                Err(v) => *v,
+            })
+            .collect()
+    }
+
+    /// Number of variables presolve eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.mapping.iter().filter(|m| m.is_err()).count()
+    }
+}
+
+/// Apply presolve reductions. Returns the reduced model plus the restore
+/// map, or an error if a reduction proves the model infeasible outright.
+pub fn presolve(model: &Model) -> Result<(Model, Restore), LpError> {
+    model.validate()?;
+    let n = model.num_vars();
+
+    // Working bounds, tightened by singleton rows.
+    let mut lb: Vec<f64> = (0..n).map(|i| model.var_bounds(crate::VarId(i)).0).collect();
+    let mut ub: Vec<f64> = (0..n).map(|i| model.var_bounds(crate::VarId(i)).1).collect();
+
+    // Pass 1: singleton and empty rows.
+    let mut keep_row = vec![true; model.cons.len()];
+    for (ri, con) in model.cons.iter().enumerate() {
+        // Merge duplicate terms first.
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for &(v, c) in &con.terms {
+            if c == 0.0 {
+                continue;
+            }
+            match terms.iter_mut().find(|(tv, _)| *tv == v) {
+                Some((_, tc)) => *tc += c,
+                None => terms.push((v, c)),
+            }
+        }
+        terms.retain(|&(_, c)| c != 0.0);
+        match terms.len() {
+            0 => {
+                // Empty row: 0 cmp rhs must hold.
+                let ok = match con.cmp {
+                    Cmp::Le => 0.0 <= con.rhs + TOL,
+                    Cmp::Ge => 0.0 >= con.rhs - TOL,
+                    Cmp::Eq => con.rhs.abs() <= TOL,
+                };
+                if !ok {
+                    return Err(LpError::Infeasible);
+                }
+                keep_row[ri] = false;
+            }
+            1 => {
+                // Singleton: pure bound information.
+                let (v, c) = terms[0];
+                let bound = con.rhs / c;
+                match (con.cmp, c > 0.0) {
+                    (Cmp::Le, true) | (Cmp::Ge, false) => ub[v] = ub[v].min(bound),
+                    (Cmp::Ge, true) | (Cmp::Le, false) => lb[v] = lb[v].max(bound),
+                    (Cmp::Eq, _) => {
+                        lb[v] = lb[v].max(bound);
+                        ub[v] = ub[v].min(bound);
+                    }
+                }
+                if lb[v] > ub[v] + TOL {
+                    return Err(LpError::Infeasible);
+                }
+                keep_row[ri] = false;
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: fixed variables (after tightening).
+    let mut mapping: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    let mut objective_offset = 0.0;
+    let mut next = 0usize;
+    for i in 0..n {
+        if (ub[i] - lb[i]).abs() <= TOL && lb[i].is_finite() {
+            let v = (lb[i] + ub[i]) / 2.0;
+            objective_offset += model.var_obj(crate::VarId(i)) * v;
+            mapping.push(Err(v));
+        } else {
+            mapping.push(Ok(next));
+            next += 1;
+        }
+    }
+
+    // Build the reduced model.
+    let mut reduced = Model::new(model.sense());
+    for i in 0..n {
+        if mapping[i].is_ok() {
+            reduced.add_var(
+                model.var_name(crate::VarId(i)).to_string(),
+                lb[i],
+                ub[i],
+                model.var_obj(crate::VarId(i)),
+            );
+        }
+    }
+    for (ri, con) in model.cons.iter().enumerate() {
+        if !keep_row[ri] {
+            continue;
+        }
+        let mut rhs = con.rhs;
+        let mut terms: Vec<(crate::VarId, f64)> = Vec::new();
+        for &(v, c) in &con.terms {
+            match mapping[v] {
+                Ok(idx) => terms.push((crate::VarId(idx), c)),
+                Err(fixed) => rhs -= c * fixed,
+            }
+        }
+        if terms.is_empty() {
+            let ok = match con.cmp {
+                Cmp::Le => 0.0 <= rhs + TOL,
+                Cmp::Ge => 0.0 >= rhs - TOL,
+                Cmp::Eq => rhs.abs() <= TOL,
+            };
+            if !ok {
+                return Err(LpError::Infeasible);
+            }
+            continue;
+        }
+        reduced.add_constraint(terms, con.cmp, rhs);
+    }
+
+    Ok((reduced, Restore { mapping, objective_offset }))
+}
+
+/// Solve via presolve: reduce, solve, restore. The returned objective is
+/// for the *original* model (offset re-added).
+pub fn solve_presolved(model: &Model) -> Result<(f64, Vec<f64>), LpError> {
+    let (reduced, restore) = presolve(model)?;
+    if reduced.num_vars() == 0 {
+        // Everything fixed; verify feasibility of the fixed point.
+        let full = restore.restore(&[]);
+        if !model.is_feasible(&full, 1e-6) {
+            return Err(LpError::Infeasible);
+        }
+        return Ok((model.objective_of(&full), full));
+    }
+    let sol = reduced.solve()?;
+    let full = restore.restore(sol.values());
+    Ok((sol.objective() + restore.objective_offset, full))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model};
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 3.0, 3.0, 2.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let (reduced, restore) = presolve(&m).unwrap();
+        assert_eq!(reduced.num_vars(), 1);
+        assert_eq!(restore.eliminated(), 1);
+        assert_eq!(restore.objective_offset, 6.0);
+        let (obj, full) = solve_presolved(&m).unwrap();
+        assert!((obj - 8.0).abs() < 1e-6); // x=3 (cost 6) + y=2 (cost 2)
+        assert!((full[x.index()] - 3.0).abs() < 1e-9);
+        assert!((full[y.index()] - 2.0).abs() < 1e-6);
+        assert!(m.is_feasible(&full, 1e-6));
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 100.0, -1.0);
+        m.add_constraint([(x, 2.0)], Cmp::Le, 10.0); // x <= 5
+        m.add_constraint([(x, -1.0)], Cmp::Le, -2.0); // x >= 2
+        let (reduced, _) = presolve(&m).unwrap();
+        assert_eq!(reduced.num_constraints(), 0);
+        assert_eq!(reduced.var_bounds(crate::VarId(0)), (2.0, 5.0));
+        let (obj, _) = solve_presolved(&m).unwrap();
+        assert!((obj + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_rows_checked() {
+        let mut m = Model::minimize();
+        let _ = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint(Vec::<(crate::VarId, f64)>::new(), Cmp::Le, -1.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_singletons_detected() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 8.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn fixed_substitution_can_empty_a_row_infeasibly() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 2.0, 2.0, 0.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 5.0); // 2 >= 5: impossible
+        assert_eq!(presolve(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn duplicate_terms_merged_before_classification() {
+        // (x,1)+(x,1) is a singleton row 2x <= 8 -> x <= 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 100.0, -1.0);
+        m.add_constraint([(x, 1.0), (x, 1.0)], Cmp::Le, 8.0);
+        let (reduced, _) = presolve(&m).unwrap();
+        assert_eq!(reduced.num_constraints(), 0);
+        let (obj, _) = solve_presolved(&m).unwrap();
+        assert!((obj + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_variables_fixed_feasible() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0, 1.0, 3.0);
+        let y = m.add_var("y", 2.0, 2.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0);
+        let (obj, full) = solve_presolved(&m).unwrap();
+        assert_eq!(full, vec![1.0, 2.0]);
+        assert!((obj - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_variables_fixed_infeasible() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0, 1.0, 0.0);
+        m.add_constraint([(x, 1.0)], Cmp::Eq, 2.0);
+        assert_eq!(solve_presolved(&m).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn presolved_agrees_with_direct_on_random_models() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut checked = 0;
+        for case in 0..200 {
+            let n = rng.gen_range(2..8);
+            let mut m = Model::minimize();
+            let vars: Vec<_> = (0..n)
+                .map(|i| {
+                    let lo = rng.gen_range(-2.0..2.0);
+                    // 30% of variables are fixed.
+                    let hi = if rng.gen_bool(0.3) { lo } else { lo + rng.gen_range(0.0..3.0) };
+                    m.add_var(format!("x{i}"), lo, hi, rng.gen_range(-2.0..2.0))
+                })
+                .collect();
+            for _ in 0..rng.gen_range(1..6) {
+                let cmp = [Cmp::Le, Cmp::Ge, Cmp::Eq][rng.gen_range(0..3)];
+                // 30% singleton rows.
+                let terms: Vec<_> = if rng.gen_bool(0.3) {
+                    vec![(vars[rng.gen_range(0..n)], rng.gen_range(-2.0..2.0f64))]
+                } else {
+                    vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect()
+                };
+                m.add_constraint(terms, cmp, rng.gen_range(-4.0..4.0));
+            }
+            let direct = m.solve();
+            let pre = solve_presolved(&m);
+            match (direct, pre) {
+                (Ok(a), Ok((obj, full))) => {
+                    checked += 1;
+                    assert!(
+                        (a.objective() - obj).abs() / (1.0 + a.objective().abs()) < 1e-5,
+                        "case {case}: {} vs {obj}",
+                        a.objective()
+                    );
+                    assert!(m.is_feasible(&full, 1e-5), "case {case}");
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("case {case}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(checked > 30, "too few feasible cases: {checked}");
+    }
+}

@@ -1,0 +1,894 @@
+//! Production solver: two-phase, bounded-variable revised primal simplex.
+//!
+//! Design notes (why this shape):
+//!
+//! * **Bounded variables.** Every variable of the LiPS scheduling LPs lives
+//!   in `[0, 1]`; handling bounds natively (nonbasic-at-lower /
+//!   nonbasic-at-upper, bound flips in the ratio test) keeps the basis a
+//!   fraction of the size that a split `x = x⁺ − x⁻` reformulation would
+//!   need.
+//! * **Product-form updates.** The basis inverse is represented as a dense
+//!   LU factorization plus a file of eta vectors, refactorized periodically.
+//!   FTRAN/BTRAN are `O(m² + m·#etas)` which is fast at the few-thousand-row
+//!   scale the scheduler produces.
+//! * **Phase 1 with per-row artificials.** Rows whose slack cannot absorb
+//!   the initial residual get a signed artificial column; phase 1 minimizes
+//!   the artificial mass, phase 2 pins artificials to `[0,0]` and restores
+//!   the true costs without rebuilding the basis.
+//! * **Dantzig pricing + Bland fallback.** Dantzig (most-negative reduced
+//!   cost) is fast in practice; after a run of degenerate pivots the solver
+//!   switches to Bland's rule, which guarantees termination, and switches
+//!   back once the objective moves again.
+
+#![allow(clippy::needless_range_loop)] // simplex kernels read clearer with indices
+
+use crate::error::LpError;
+use crate::lu::DenseLu;
+use crate::model::Model;
+use crate::solution::Solution;
+use crate::standard::StandardForm;
+use crate::{PIVOT_TOL, TOL};
+
+/// Tuning knobs for [`RevisedSimplex`].
+#[derive(Debug, Clone)]
+pub struct RevisedOptions {
+    /// Hard cap on total pivots across both phases.
+    pub max_iterations: usize,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_interval: usize,
+    /// Reduced-cost / feasibility tolerance.
+    pub tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+    /// Partial pricing window: scan at most this many *eligible* columns
+    /// per pricing pass, resuming where the previous pass stopped
+    /// (`None` = full Dantzig pricing). Cuts per-iteration cost from
+    /// `O(n)` to `O(window)` on wide models at the price of slightly less
+    /// greedy pivots; the optimum is unaffected (a pass that finds no
+    /// eligible column in the window continues scanning the rest).
+    pub partial_pricing: Option<usize>,
+}
+
+impl Default for RevisedOptions {
+    fn default() -> Self {
+        RevisedOptions {
+            max_iterations: 200_000,
+            refactor_interval: 96,
+            tol: TOL,
+            pivot_tol: PIVOT_TOL,
+            bland_trigger: 200,
+            partial_pricing: None,
+        }
+    }
+}
+
+/// The solver itself; stateless between `solve` calls.
+#[derive(Debug, Clone, Default)]
+pub struct RevisedSimplex {
+    /// Options used for every solve.
+    pub options: RevisedOptions,
+}
+
+impl RevisedSimplex {
+    /// Construct with explicit options.
+    pub fn with_options(options: RevisedOptions) -> Self {
+        RevisedSimplex { options }
+    }
+
+    /// Solve `model` to proven optimality (or a definitive error).
+    pub fn solve(&self, model: &Model) -> Result<Solution, LpError> {
+        model.validate()?;
+        let sf = StandardForm::from_model(model);
+        let mut w = Worker::new(&sf, &self.options);
+        w.init_basis();
+        w.refactor()?;
+
+        // Phase 1: minimize total artificial mass.
+        if w.has_artificials() {
+            w.set_phase1_costs();
+            w.run()?;
+            // Per-row relative residual check: an artificial's value is the
+            // residual of *its own* row, so compare it against that row's
+            // scale — a global max-|b| scale would let large capacity rows
+            // mask real infeasibility on small rows.
+            if w.worst_relative_infeasibility() > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            w.pin_artificials();
+        }
+
+        // Phase 2: the real objective.
+        w.set_phase2_costs();
+        w.run()?;
+
+        let values = w.x[..sf.n_structural].to_vec();
+        let internal: f64 = w.costs.iter().zip(&w.x).map(|(c, x)| c * x).sum();
+        let duals = w.current_duals();
+        Ok(Solution::new(sf.external_objective(internal), values, duals, w.iterations))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic with both bounds infinite; rests at zero.
+    Free,
+}
+
+/// One product-form update: `B_new = B_old · E` where `E` is the identity
+/// with column `row` replaced by `col` (the FTRAN'd entering column).
+struct Eta {
+    row: usize,
+    col: Vec<f64>,
+}
+
+struct Worker<'a> {
+    sf: &'a StandardForm,
+    opts: &'a RevisedOptions,
+    /// Number of non-artificial columns (structural + slack).
+    n_real: usize,
+    /// Artificial column sign per row (`0.0` = row has no artificial).
+    art_sign: Vec<f64>,
+    /// Column ids of created artificials (each ≥ `n_real`).
+    art_cols: Vec<usize>,
+    /// Maps artificial column id → row.
+    art_row: Vec<usize>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    costs: Vec<f64>,
+    state: Vec<VarState>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    lu: Option<DenseLu>,
+    etas: Vec<Eta>,
+    iterations: usize,
+    degenerate_run: usize,
+    bland: bool,
+    in_phase1: bool,
+    /// Rotating start offset for partial pricing.
+    price_cursor: usize,
+}
+
+impl<'a> Worker<'a> {
+    fn new(sf: &'a StandardForm, opts: &'a RevisedOptions) -> Self {
+        let n_real = sf.ncols();
+        let m = sf.nrows();
+        Worker {
+            sf,
+            opts,
+            n_real,
+            art_sign: vec![0.0; m],
+            art_cols: Vec::new(),
+            art_row: Vec::new(),
+            lb: sf.lb.clone(),
+            ub: sf.ub.clone(),
+            costs: vec![0.0; n_real],
+            state: vec![VarState::AtLower; n_real],
+            basis: Vec::with_capacity(m),
+            x: vec![0.0; n_real],
+            lu: None,
+            etas: Vec::new(),
+            iterations: 0,
+            degenerate_run: 0,
+            bland: false,
+            in_phase1: false,
+            price_cursor: 0,
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.sf.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.n_real + self.art_cols.len()
+    }
+
+    fn has_artificials(&self) -> bool {
+        !self.art_cols.is_empty()
+    }
+
+    /// Visit the nonzero entries of a column (handles artificial columns,
+    /// which are signed unit vectors). Closure-based to stay allocation-free
+    /// on the pricing hot path.
+    fn for_col(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.n_real {
+            for (r, v) in self.sf.a.col(j) {
+                f(r, v);
+            }
+        } else {
+            let row = self.art_row[j - self.n_real];
+            f(row, self.art_sign[row]);
+        }
+    }
+
+    /// Place structural and slack variables at their initial nonbasic
+    /// positions, choose the starting basis (slack where it can absorb the
+    /// row residual, artificial otherwise).
+    fn init_basis(&mut self) {
+        let n_struct = self.sf.n_structural;
+        let m = self.m();
+
+        // Structural variables: rest at the finite bound nearest zero.
+        for j in 0..n_struct {
+            let (lo, hi) = (self.lb[j], self.ub[j]);
+            let (st, v) = match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => {
+                    if lo.abs() <= hi.abs() {
+                        (VarState::AtLower, lo)
+                    } else {
+                        (VarState::AtUpper, hi)
+                    }
+                }
+                (true, false) => (VarState::AtLower, lo),
+                (false, true) => (VarState::AtUpper, hi),
+                (false, false) => (VarState::Free, 0.0),
+            };
+            self.state[j] = st;
+            self.x[j] = v;
+        }
+
+        // Row residuals with only structural variables placed.
+        let mut resid = self.sf.b.clone();
+        for j in 0..n_struct {
+            if self.x[j] != 0.0 {
+                for (r, v) in self.sf.a.col(j) {
+                    resid[r] -= v * self.x[j];
+                }
+            }
+        }
+
+        // One slack per row: basic if it can hold the residual, else pinned
+        // at its nearest bound with an artificial absorbing the rest.
+        self.basis.clear();
+        for i in 0..m {
+            let s = n_struct + i;
+            let (lo, hi) = (self.lb[s], self.ub[s]);
+            let r = resid[i];
+            if r >= lo - self.opts.tol && r <= hi + self.opts.tol {
+                self.state[s] = VarState::Basic;
+                self.x[s] = r;
+                self.basis.push(s);
+            } else {
+                let v = if r < lo { lo } else { hi };
+                self.state[s] = if v == lo { VarState::AtLower } else { VarState::AtUpper };
+                self.x[s] = v;
+                let excess = r - v;
+                let sign = if excess >= 0.0 { 1.0 } else { -1.0 };
+                self.art_sign[i] = sign;
+                let col = self.n_real + self.art_cols.len();
+                self.art_cols.push(col);
+                self.art_row.push(i);
+                self.lb.push(0.0);
+                self.ub.push(f64::INFINITY);
+                self.costs.push(0.0);
+                self.state.push(VarState::Basic);
+                self.x.push(excess.abs());
+                self.basis.push(col);
+            }
+        }
+    }
+
+    fn set_phase1_costs(&mut self) {
+        self.in_phase1 = true;
+        for c in self.costs.iter_mut() {
+            *c = 0.0;
+        }
+        for &j in &self.art_cols {
+            self.costs[j] = 1.0;
+        }
+    }
+
+    fn set_phase2_costs(&mut self) {
+        self.in_phase1 = false;
+        for (j, c) in self.costs.iter_mut().enumerate() {
+            *c = if j < self.n_real { self.sf.c[j] } else { 0.0 };
+        }
+    }
+
+    /// Largest artificial value relative to its own row's magnitude.
+    fn worst_relative_infeasibility(&self) -> f64 {
+        self.art_cols
+            .iter()
+            .map(|&j| {
+                let row = self.art_row[j - self.n_real];
+                self.x[j].max(0.0) / (1.0 + self.sf.b[row].abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// After a successful phase 1, forbid artificials from ever re-entering:
+    /// clamp them into `[0, 0]`.
+    fn pin_artificials(&mut self) {
+        for &j in &self.art_cols {
+            self.lb[j] = 0.0;
+            self.ub[j] = 0.0;
+            if self.state[j] != VarState::Basic {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+    }
+
+    /// Rebuild the LU factorization from the current basis and recompute the
+    /// basic values from scratch (limits numerical drift).
+    fn refactor(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        let mut dense = vec![0.0; m * m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            self.for_col(j, |r, v| dense[r * m + i] = v);
+        }
+        self.lu = Some(DenseLu::factorize(m, dense, self.opts.pivot_tol)?);
+        self.etas.clear();
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    /// xB = B⁻¹ (b − N x_N).
+    fn recompute_basic_values(&mut self) {
+        let m = self.m();
+        let mut rhs = self.sf.b.clone();
+        for j in 0..self.ncols() {
+            if self.state[j] != VarState::Basic && self.x[j] != 0.0 {
+                let xj = self.x[j];
+                self.for_col(j, |r, v| rhs[r] -= v * xj);
+            }
+        }
+        self.ftran(&mut rhs);
+        for i in 0..m {
+            self.x[self.basis[i]] = rhs[i];
+        }
+    }
+
+    /// Solve `B t = v` in place.
+    fn ftran(&self, v: &mut [f64]) {
+        self.lu.as_ref().expect("basis factorized").solve_in_place(v);
+        for eta in &self.etas {
+            let tr = v[eta.row] / eta.col[eta.row];
+            if tr != 0.0 {
+                for (i, &w) in eta.col.iter().enumerate() {
+                    if i != eta.row && w != 0.0 {
+                        v[i] -= w * tr;
+                    }
+                }
+            }
+            v[eta.row] = tr;
+        }
+    }
+
+    /// Solve `Bᵀ y = v` in place.
+    fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.row];
+            for (i, &w) in eta.col.iter().enumerate() {
+                if i != eta.row {
+                    s -= w * v[i];
+                }
+            }
+            v[eta.row] = s / eta.col[eta.row];
+        }
+        self.lu.as_ref().expect("basis factorized").solve_transpose_in_place(v);
+    }
+
+    /// Simplex multipliers for the *current* cost vector.
+    fn current_duals(&self) -> Vec<f64> {
+        let mut y: Vec<f64> = self.basis.iter().map(|&j| self.costs[j]).collect();
+        self.btran(&mut y);
+        y
+    }
+
+    /// Reduced cost of nonbasic column `j` given multipliers `y`.
+    fn reduced_cost(&self, y: &[f64], j: usize) -> f64 {
+        if j < self.n_real {
+            self.costs[j] - self.sf.a.dot_col(y, j)
+        } else {
+            let row = self.art_row[j - self.n_real];
+            self.costs[j] - y[row] * self.art_sign[row]
+        }
+    }
+
+    /// Pick the entering column, honoring Dantzig or Bland mode. Returns
+    /// `(column, direction)` with direction `+1` (increase from lower/free)
+    /// or `-1` (decrease from upper).
+    fn price(&mut self, y: &[f64]) -> Option<(usize, f64)> {
+        let tol = self.opts.tol;
+        let n = self.ncols();
+        let window = if self.bland { None } else { self.opts.partial_pricing };
+        let start = self.price_cursor % n.max(1);
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, violation)
+        let mut eligible_seen = 0usize;
+        for step in 0..n {
+            // Bland mode must scan in plain index order for its
+            // termination guarantee; otherwise rotate from the cursor so
+            // partial pricing covers all columns fairly across passes.
+            let j = if self.bland { step } else { (start + step) % n };
+            let (dir, viol) = match self.state[j] {
+                VarState::Basic => continue,
+                VarState::AtLower | VarState::Free => {
+                    let d = self.reduced_cost(y, j);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else if self.state[j] == VarState::Free && d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::AtUpper => {
+                    let d = self.reduced_cost(y, j);
+                    if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if self.bland {
+                // Bland: first eligible index wins.
+                return Some((j, dir));
+            }
+            match best {
+                Some((_, _, bv)) if bv >= viol => {}
+                _ => best = Some((j, dir, viol)),
+            }
+            eligible_seen += 1;
+            if let Some(w) = window {
+                if eligible_seen >= w {
+                    // Resume the next pass after this column.
+                    self.price_cursor = (start + step + 1) % n;
+                    break;
+                }
+            }
+        }
+        best.map(|(j, d, _)| (j, d))
+    }
+
+    /// One full simplex phase with the current cost vector.
+    fn run(&mut self) -> Result<(), LpError> {
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit { iterations: self.iterations });
+            }
+            let y = self.current_duals();
+            let Some((q, dir)) = self.price(&y) else {
+                return Ok(()); // phase optimal
+            };
+
+            // FTRAN the entering column.
+            let m = self.m();
+            let mut w = vec![0.0; m];
+            self.for_col(q, |r, v| w[r] += v);
+            self.ftran(&mut w);
+
+            // Ratio test: how far can x_q move?
+            let bound_gap = if self.lb[q].is_finite() && self.ub[q].is_finite() {
+                self.ub[q] - self.lb[q]
+            } else {
+                f64::INFINITY
+            };
+            let mut t = bound_gap;
+            let mut leaving: Option<(usize, VarState)> = None;
+            for i in 0..m {
+                let wi = w[i];
+                if wi.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let bvar = self.basis[i];
+                // x_B changes at rate −dir·w per unit of t.
+                let delta = dir * wi;
+                let (limit, hits) = if delta > 0.0 {
+                    let lo = self.lb[bvar];
+                    if lo.is_finite() {
+                        ((self.x[bvar] - lo) / delta, VarState::AtLower)
+                    } else {
+                        continue;
+                    }
+                } else {
+                    let hi = self.ub[bvar];
+                    if hi.is_finite() {
+                        ((hi - self.x[bvar]) / (-delta), VarState::AtUpper)
+                    } else {
+                        continue;
+                    }
+                };
+                let limit = limit.max(0.0);
+                let better = match leaving {
+                    None => limit < t - 1e-12,
+                    Some((cur, _)) => {
+                        if self.bland {
+                            // Bland tie-break: smaller basic variable index.
+                            limit < t - 1e-12
+                                || (limit <= t + 1e-12 && self.basis[i] < self.basis[cur])
+                        } else {
+                            // Prefer larger pivot magnitude on near-ties for
+                            // numerical stability.
+                            limit < t - 1e-12
+                                || (limit <= t + 1e-12 && wi.abs() > w[cur].abs())
+                        }
+                    }
+                };
+                if better {
+                    t = limit.min(t);
+                    leaving = Some((i, hits));
+                }
+            }
+
+            if t.is_infinite() {
+                return if self.in_phase1 {
+                    // Phase-1 objective is bounded below by 0; an unbounded
+                    // ray here means numerical trouble.
+                    Err(LpError::SingularBasis)
+                } else {
+                    Err(LpError::Unbounded)
+                };
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: x_q jumps to its opposite bound.
+                    for i in 0..m {
+                        if w[i] != 0.0 {
+                            self.x[self.basis[i]] -= dir * t * w[i];
+                        }
+                    }
+                    self.x[q] = if dir > 0.0 { self.ub[q] } else { self.lb[q] };
+                    self.state[q] =
+                        if dir > 0.0 { VarState::AtUpper } else { VarState::AtLower };
+                }
+                Some((r, hits)) => {
+                    if w[r].abs() <= self.opts.pivot_tol {
+                        // Pivot too small; refactorize and retry this
+                        // iteration with fresh numerics.
+                        self.refactor()?;
+                        continue;
+                    }
+                    for i in 0..m {
+                        if w[i] != 0.0 {
+                            self.x[self.basis[i]] -= dir * t * w[i];
+                        }
+                    }
+                    self.x[q] += dir * t;
+                    let out = self.basis[r];
+                    self.state[out] = hits;
+                    // Snap the leaving variable exactly onto its bound.
+                    self.x[out] = match hits {
+                        VarState::AtLower => self.lb[out],
+                        VarState::AtUpper => self.ub[out],
+                        _ => unreachable!(),
+                    };
+                    self.basis[r] = q;
+                    self.state[q] = VarState::Basic;
+                    self.etas.push(Eta { row: r, col: w });
+                    if self.etas.len() >= self.opts.refactor_interval {
+                        self.refactor()?;
+                    }
+                }
+            }
+
+            // Degeneracy bookkeeping → Bland switch.
+            if t <= 1e-10 {
+                self.degenerate_run += 1;
+                if self.degenerate_run > self.opts.bland_trigger {
+                    self.bland = true;
+                }
+            } else {
+                self.degenerate_run = 0;
+                self.bland = false;
+            }
+            self.iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn trivial_bounds_only() {
+        // min 2x - y, 0<=x<=3, 1<=y<=4  ->  x=0, y=4, obj=-4.
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, 3.0, 2.0);
+        m.add_var("y", 1.0, 4.0, -1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), -4.0);
+        assert_close(sol.values()[0], 0.0);
+        assert_close(sol.values()[1], 4.0);
+    }
+
+    #[test]
+    fn textbook_2d() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18, x,y>=0 -> (2,6), 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 36.0);
+        assert_close(sol.value_of(x), 2.0);
+        assert_close(sol.value_of(y), 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x + 2y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj=14.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 14.0);
+        assert_close(sol.value_of(x), 6.0);
+        assert_close(sol.value_of(y), 4.0);
+    }
+
+    #[test]
+    fn ge_constraints_phase1() {
+        // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6 -> (3,1), obj=9.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Ge, 6.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 9.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_infeasible_contradictory_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 5.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, -1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // min -x - 2y with x,y in [0,1] and x + y <= 3 (slack basic, both
+        // structural vars reach their upper bounds by bound flips).
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, -1.0);
+        let y = m.add_var("y", 0.0, 1.0, -2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), -3.0);
+        assert_close(sol.value_of(x), 1.0);
+        assert_close(sol.value_of(y), 1.0);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y, x >= 2, y >= 3, x + y >= 7 -> obj 7 (e.g. x=4,y=3).
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 2.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 3.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 7.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 7.0);
+        assert!(m.is_feasible(sol.values(), 1e-7));
+    }
+
+    #[test]
+    fn negative_bounds() {
+        // min x, -5 <= x <= -1, x >= -3  ->  x = -3.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", -5.0, -1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, -3.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value_of(x), -3.0);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x + y, x free, y >= 0, x + y = 1, x >= -2  ->  x=-2, y=3, obj=1
+        // (obj is constant along the constraint, any feasible point works).
+        let mut m = Model::minimize();
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, -2.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 1.0);
+        assert!(m.is_feasible(sol.values(), 1e-7));
+    }
+
+    #[test]
+    fn free_variable_drives_objective() {
+        // min x with x free and x >= -7 via constraint  ->  x = -7.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, -7.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value_of(x), -7.0);
+    }
+
+    #[test]
+    fn degenerate_model_terminates() {
+        // Classic degeneracy: redundant constraints through the optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint([(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Le, 2.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 1.0);
+    }
+
+    #[test]
+    fn transportation_like_structure() {
+        // 2 supplies x 3 demands min-cost transportation; optimal cost by
+        // inspection: supply0->d1 (cost 1)*10, supply0->d0 (2)*5,
+        // Solve and verify against the dense oracle instead of by hand.
+        let mut m = Model::minimize();
+        let costs = [[2.0, 1.0, 4.0], [3.0, 2.0, 1.0]];
+        let supply = [15.0, 20.0];
+        let demand = [5.0, 10.0, 20.0];
+        let mut vars = [[None; 3]; 2];
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                vars[i][j] = Some(m.add_var(format!("x{i}{j}"), 0.0, f64::INFINITY, c));
+            }
+        }
+        for (i, &s) in supply.iter().enumerate() {
+            m.add_constraint((0..3).map(|j| (vars[i][j].unwrap(), 1.0)), Cmp::Le, s);
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            m.add_constraint((0..2).map(|i| (vars[i][j].unwrap(), 1.0)), Cmp::Ge, d);
+        }
+        let sol = m.solve().unwrap();
+        let oracle = m.solve_dense().unwrap();
+        assert_close(sol.objective(), oracle.objective());
+        assert!(m.is_feasible(sol.values(), 1e-6));
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_standard_problem() {
+        // max 3x+5y (textbook_2d): primal opt 36; b'y must equal 36 too.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint([(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let sol = m.solve().unwrap();
+        let b = [4.0, 12.0, 18.0];
+        let by: f64 = b.iter().zip(sol.duals()).map(|(b, y)| b * y).sum();
+        // Internally minimized −obj, so b'y == −36.
+        assert_close(by, -36.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let solver = RevisedSimplex::with_options(RevisedOptions {
+            max_iterations: 0,
+            ..Default::default()
+        });
+        assert!(matches!(solver.solve(&m), Err(LpError::IterationLimit { .. })));
+    }
+
+    #[test]
+    fn refactor_interval_one_still_correct() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Ge, 6.0);
+        let solver = RevisedSimplex::with_options(RevisedOptions {
+            refactor_interval: 1,
+            ..Default::default()
+        });
+        let sol = solver.solve(&m).unwrap();
+        assert_close(sol.objective(), 9.0);
+    }
+
+    #[test]
+    fn empty_model_solves_to_zero() {
+        let m = Model::minimize();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective(), 0.0);
+        assert!(sol.values().is_empty());
+    }
+
+    #[test]
+    fn fixed_variables() {
+        // x fixed at 2 by bounds; min y with y >= 10 - 3x = 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 2.0, 2.0, 0.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 3.0), (y, 1.0)], Cmp::Ge, 10.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value_of(x), 2.0);
+        assert_close(sol.value_of(y), 4.0);
+    }
+
+    #[test]
+    fn partial_pricing_reaches_the_same_optimum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        for case in 0..30 {
+            let n = rng.gen_range(5..40);
+            let mut m = Model::minimize();
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_var(format!("x{i}"), 0.0, 1.0, rng.gen_range(-2.0..2.0)))
+                .collect();
+            for _ in 0..rng.gen_range(1..8) {
+                let terms: Vec<_> =
+                    vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
+                let cap = n as f64 * 0.3;
+                m.add_constraint(terms, Cmp::Le, cap);
+            }
+            let full = m.solve().unwrap();
+            for window in [1usize, 4, 16] {
+                let solver = RevisedSimplex::with_options(RevisedOptions {
+                    partial_pricing: Some(window),
+                    ..Default::default()
+                });
+                let partial = solver.solve(&m).unwrap();
+                assert!(
+                    (full.objective() - partial.objective()).abs()
+                        / (1.0 + full.objective().abs())
+                        < 1e-7,
+                    "case {case} window {window}: {} vs {}",
+                    full.objective(),
+                    partial.objective()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_pricing_infeasible_and_unbounded_still_detected() {
+        let solver = RevisedSimplex::with_options(RevisedOptions {
+            partial_pricing: Some(1),
+            ..Default::default()
+        });
+        let mut inf = Model::minimize();
+        let x = inf.add_var("x", 0.0, 1.0, 1.0);
+        inf.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solver.solve(&inf).unwrap_err(), LpError::Infeasible);
+
+        let mut unb = Model::minimize();
+        let y = unb.add_var("y", 0.0, f64::INFINITY, -1.0);
+        unb.add_constraint([(y, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(solver.solve(&unb).unwrap_err(), LpError::Unbounded);
+    }
+}
+

@@ -1,0 +1,84 @@
+//! Solver output: status, primal values, objective, and (when available)
+//! dual values.
+
+use crate::model::VarId;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// Result of a successful solve.
+///
+/// Infeasibility, unboundedness, and iteration exhaustion are reported as
+/// [`crate::LpError`] variants instead of statuses, so a `Solution` always
+/// carries a usable optimal point.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    status: Status,
+    objective: f64,
+    values: Vec<f64>,
+    duals: Vec<f64>,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        objective: f64,
+        values: Vec<f64>,
+        duals: Vec<f64>,
+        iterations: usize,
+    ) -> Self {
+        Solution { status: Status::Optimal, objective, values, duals, iterations }
+    }
+
+    /// Termination status (always [`Status::Optimal`] for a returned value).
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Optimal objective value in the *original* model sense (a maximization
+    /// model reports the maximum, not the negated internal minimum).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Primal values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Primal value of one variable.
+    pub fn value_of(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Dual values (simplex multipliers `y`), one per constraint, in the
+    /// internal minimization sense. Diagnostic only.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Number of simplex pivots performed (both phases).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let s = Solution::new(1.5, vec![0.5, 1.0], vec![2.0], 7);
+        assert_eq!(s.status(), Status::Optimal);
+        assert_eq!(s.objective(), 1.5);
+        assert_eq!(s.values(), &[0.5, 1.0]);
+        assert_eq!(s.value_of(VarId(1)), 1.0);
+        assert_eq!(s.duals(), &[2.0]);
+        assert_eq!(s.iterations(), 7);
+    }
+}

@@ -1,0 +1,168 @@
+//! Compressed-sparse-column matrix used to store the constraint matrix.
+//!
+//! The revised simplex only ever needs two access patterns: "iterate the
+//! nonzeros of column j" (pricing denominators, FTRAN right-hand sides) and
+//! "dot a dense row-vector with column j" (reduced costs). CSC serves both.
+
+/// Immutable CSC matrix.
+#[derive(Debug, Clone)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes the nonzeros of column `j`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Build from unsorted triplets; duplicate `(row, col)` entries are
+    /// summed, exact zeros after summation are dropped.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        // Bucket by column, then sort each bucket by row and merge dups.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for (r, c, v) in triplets {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of {nrows}x{ncols}");
+            cols[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for bucket in &mut cols {
+            bucket.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < bucket.len() {
+                let r = bucket[i].0;
+                let mut v = 0.0;
+                while i < bucket.len() && bucket[i].0 == r {
+                    v += bucket[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Nonzeros of column `j` as `(row, value)` pairs.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// Dense dot product `row_vec · column j`.
+    pub fn dot_col(&self, row_vec: &[f64], j: usize) -> f64 {
+        debug_assert_eq!(row_vec.len(), self.nrows);
+        self.col(j).map(|(r, v)| row_vec[r] * v).sum()
+    }
+
+    /// Scatter column `j` into a dense vector: `out[r] += scale * v`.
+    pub fn scatter_col(&self, j: usize, scale: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.nrows);
+        for (r, v) in self.col(j) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// Materialize column `j` as a dense vector (allocates).
+    pub fn dense_col(&self, j: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows];
+        self.scatter_col(j, 1.0, &mut out);
+        out
+    }
+
+    /// Dense `A · x` (allocates the result).
+    pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.ncols);
+        let mut out = vec![0.0; self.nrows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                self.scatter_col(j, xj, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CscMatrix::from_triplets(2, 3, [(0, 0, 1.0), (1, 1, 3.0), (0, 2, 2.0)])
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!((m.nrows(), m.ncols(), m.nnz()), (2, 3, 3));
+    }
+
+    #[test]
+    fn column_iteration() {
+        let m = sample();
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(m.col(2).collect::<Vec<_>>(), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn duplicates_are_summed_zeros_dropped() {
+        let m = CscMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0)]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 3.0)]);
+        assert_eq!(m.col(1).count(), 0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn dot_and_scatter() {
+        let m = sample();
+        assert_eq!(m.dot_col(&[2.0, 5.0], 1), 15.0);
+        let mut out = vec![0.0; 2];
+        m.scatter_col(2, 0.5, &mut out);
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_dense_matches_by_hand() {
+        let m = sample();
+        // A * [1, 2, 3] = [1*1 + 2*3, 3*2] = [7, 6]
+        assert_eq!(m.mul_dense(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_col_materializes() {
+        let m = sample();
+        assert_eq!(m.dense_col(2), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_triplet_panics() {
+        CscMatrix::from_triplets(1, 1, [(1, 0, 1.0)]);
+    }
+}

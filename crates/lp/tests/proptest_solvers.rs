@@ -1,0 +1,180 @@
+//! Property tests: the production revised simplex must agree with the dense
+//! tableau oracle on random models, and every returned point must be
+//! feasible for the *original* model.
+
+use lips_lp::{Cmp, LpError, Model, Sense};
+use proptest::prelude::*;
+
+/// A randomly generated LP description (kept small so the dense oracle is
+/// fast and disagreements shrink well).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    // per-var: (lb, ub_gap, obj)
+    vars: Vec<(f64, f64, f64)>,
+    // per-constraint: (coefs, cmp, rhs)
+    cons: Vec<(Vec<f64>, u8, f64)>,
+    maximize: bool,
+}
+
+fn lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (2usize..6, 1usize..6, any::<bool>())
+        .prop_flat_map(|(nvars, ncons, maximize)| {
+            let var = (-3.0f64..3.0, 0.0f64..5.0, -4.0f64..4.0);
+            let coef = -3.0f64..3.0;
+            let con = (prop::collection::vec(coef, nvars), 0u8..3, -6.0f64..6.0);
+            (
+                Just(nvars),
+                prop::collection::vec(var, nvars),
+                prop::collection::vec(con, ncons),
+                Just(maximize),
+            )
+        })
+        .prop_map(|(nvars, vars, cons, maximize)| RandomLp { nvars, vars, cons, maximize })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let sense = if lp.maximize { Sense::Maximize } else { Sense::Minimize };
+    let mut m = Model::new(sense);
+    let vars: Vec<_> = lp
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(lb, gap, obj))| m.add_var(format!("x{i}"), lb, lb + gap, obj))
+        .collect();
+    for (coefs, cmp, rhs) in &lp.cons {
+        let cmp = match cmp % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        m.add_constraint(
+            coefs.iter().enumerate().map(|(i, &c)| (vars[i], c)).take(lp.nvars),
+            cmp,
+            *rhs,
+        );
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Both solvers agree on status; on Optimal they agree on objective and
+    /// both points are feasible.
+    #[test]
+    fn revised_matches_dense_oracle(lp in lp_strategy()) {
+        let m = build(&lp);
+        let revised = m.solve();
+        let dense = m.solve_dense();
+        match (revised, dense) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(m.is_feasible(a.values(), 1e-5),
+                    "revised point infeasible: viol={}", m.max_violation(a.values()));
+                prop_assert!(m.is_feasible(b.values(), 1e-5),
+                    "dense point infeasible: viol={}", m.max_violation(b.values()));
+                let scale = 1.0 + a.objective().abs().max(b.objective().abs());
+                prop_assert!((a.objective() - b.objective()).abs() / scale < 1e-5,
+                    "objectives differ: revised={} dense={}", a.objective(), b.objective());
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            // A model can be both infeasible and (if feasible) unbounded
+            // detectors may disagree only through tolerance edge cases near
+            // empty boxes; treat any other mismatch as failure.
+            (a, b) => prop_assert!(false, "solver disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The optimum can never be beaten by a random feasible point.
+    #[test]
+    fn optimum_dominates_random_feasible_points(
+        lp in lp_strategy(),
+        probe in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let m = build(&lp);
+        if let Ok(sol) = m.solve() {
+            // Sample a point inside the variable boxes; only compare when it
+            // happens to satisfy all the constraints.
+            let point: Vec<f64> = lp.vars.iter().enumerate().map(|(i, &(lb, gap, _))| {
+                lb + probe[i % probe.len()] * gap
+            }).collect();
+            if m.is_feasible(&point, 1e-9) {
+                let obj = m.objective_of(&point);
+                match m.sense() {
+                    Sense::Minimize => prop_assert!(sol.objective() <= obj + 1e-6),
+                    Sense::Maximize => prop_assert!(sol.objective() >= obj - 1e-6),
+                }
+            }
+        }
+    }
+
+    /// Solving a model twice yields the same objective (determinism).
+    #[test]
+    fn solve_is_deterministic(lp in lp_strategy()) {
+        let m = build(&lp);
+        let a = m.solve();
+        let b = m.solve();
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.objective(), y.objective());
+                prop_assert_eq!(x.values(), y.values());
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "nondeterministic status"),
+        }
+    }
+}
+
+/// Larger randomized agreement sweep with a seeded RNG (outside proptest so
+/// the problem sizes can grow a little without shrink blowup).
+#[test]
+fn seeded_agreement_sweep() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2013);
+    let mut optimal = 0;
+    for case in 0..300 {
+        let nvars = rng.gen_range(2..10);
+        let ncons = rng.gen_range(1..10);
+        let maximize = rng.gen_bool(0.5);
+        let mut m = Model::new(if maximize { Sense::Maximize } else { Sense::Minimize });
+        let vars: Vec<_> = (0..nvars)
+            .map(|i| {
+                let lb = rng.gen_range(-2.0..2.0);
+                let ub = lb + rng.gen_range(0.0..4.0);
+                m.add_var(format!("x{i}"), lb, ub, rng.gen_range(-3.0..3.0))
+            })
+            .collect();
+        for _ in 0..ncons {
+            let cmp = match rng.gen_range(0..3) {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            let terms: Vec<_> =
+                vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect();
+            m.add_constraint(terms, cmp, rng.gen_range(-5.0..5.0));
+        }
+        let a = m.solve();
+        let b = m.solve_dense();
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                optimal += 1;
+                assert!(m.is_feasible(x.values(), 1e-5), "case {case}: revised infeasible");
+                assert!(m.is_feasible(y.values(), 1e-5), "case {case}: dense infeasible");
+                let scale = 1.0 + x.objective().abs().max(y.objective().abs());
+                assert!(
+                    (x.objective() - y.objective()).abs() / scale < 1e-5,
+                    "case {case}: {} vs {}",
+                    x.objective(),
+                    y.objective()
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (a, b) => panic!("case {case}: disagreement {a:?} vs {b:?}"),
+        }
+    }
+    // Bounded boxes mean unbounded cannot occur, and a healthy share of the
+    // random cases must actually be feasible for the sweep to mean anything.
+    assert!(optimal > 50, "only {optimal} optimal cases — generator too tight");
+}

@@ -1,0 +1,270 @@
+//! Runtime data placement: which stores hold how much of each data object,
+//! and when in-flight copies become readable.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use lips_cluster::{Cluster, DataId, StoreId};
+
+use crate::{Time, WORK_EPS};
+
+/// Per-store holding of one data object.
+#[derive(Debug, Clone, Copy, Default)]
+struct Holding {
+    mb: f64,
+    /// Completion time of the latest inbound copy; reads must not start
+    /// earlier.
+    ready_at: Time,
+}
+
+/// Per-(data, store) presence. Copies are additive — moving data is a
+/// *copy* (the origin keeps its replica), matching HDFS re-replication and
+/// the paper's `x^d` fractions which may sum to more than 1.
+///
+/// Indexed by data object first: schedulers constantly ask "where does this
+/// object live?", which must not scan other objects' entries.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    /// Holdings per data object, keyed by store (BTreeMap for
+    /// deterministic iteration order).
+    by_data: HashMap<DataId, BTreeMap<StoreId, Holding>>,
+    /// MB consumed per store (for capacity accounting).
+    store_used_mb: HashMap<StoreId, f64>,
+}
+
+impl Placement {
+    /// Empty placement (seed manually with [`Placement::add_copy`]).
+    pub fn empty() -> Self {
+        Placement::default()
+    }
+
+    /// Seed from a cluster's catalog: every object fully present at its
+    /// origin at t = 0.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let mut p = Placement::default();
+        for d in &cluster.data {
+            p.add_copy(d.id, d.origin, d.size_mb, 0.0);
+        }
+        p
+    }
+
+    /// HDFS-style initial placement: each object's 64 MB blocks land on
+    /// uniformly random DataNode stores (seeded). This is what a real
+    /// Hadoop cluster looks like before any scheduler runs, and the
+    /// starting condition of the paper's testbed experiments.
+    pub fn spread_blocks(cluster: &Cluster, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let datanodes: Vec<StoreId> =
+            cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+        assert!(!datanodes.is_empty(), "cluster has no DataNode stores");
+        let mut p = Placement::default();
+        for d in &cluster.data {
+            let mut left = d.size_mb;
+            while left > WORK_EPS {
+                let chunk = left.min(lips_cluster::BLOCK_MB);
+                let s = datanodes[rng.gen_range(0..datanodes.len())];
+                p.add_copy(d.id, s, chunk, 0.0);
+                left -= chunk;
+            }
+        }
+        p
+    }
+
+    /// HDFS-style placement with replication: each block lands on
+    /// `replicas` *distinct* random DataNodes (capped by the DataNode
+    /// count). Baselines gain locality options exactly as real HDFS
+    /// replication provides; capacity accounting counts every replica.
+    pub fn spread_blocks_replicated(cluster: &Cluster, seed: u64, replicas: usize) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let datanodes: Vec<StoreId> =
+            cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+        assert!(!datanodes.is_empty(), "cluster has no DataNode stores");
+        let r = replicas.clamp(1, datanodes.len());
+        let mut p = Placement::default();
+        for d in &cluster.data {
+            let mut left = d.size_mb;
+            while left > WORK_EPS {
+                let chunk = left.min(lips_cluster::BLOCK_MB);
+                for &s in datanodes.choose_multiple(&mut rng, r) {
+                    p.add_copy(d.id, s, chunk, 0.0);
+                }
+                left -= chunk;
+            }
+        }
+        p
+    }
+
+    /// MB of `data` held (or arriving) at `store`.
+    pub fn amount(&self, data: DataId, store: StoreId) -> f64 {
+        self.by_data
+            .get(&data)
+            .and_then(|m| m.get(&store))
+            .map_or(0.0, |h| h.mb)
+    }
+
+    /// Earliest time reads of `data` from `store` may start.
+    pub fn ready_at(&self, data: DataId, store: StoreId) -> Time {
+        self.by_data
+            .get(&data)
+            .and_then(|m| m.get(&store))
+            .map_or(0.0, |h| h.ready_at)
+    }
+
+    /// Whether at least `mb` of `data` is (or will be) at `store`.
+    pub fn has(&self, data: DataId, store: StoreId, mb: f64) -> bool {
+        self.amount(data, store) + WORK_EPS >= mb
+    }
+
+    /// Total MB used on `store`.
+    pub fn used_mb(&self, store: StoreId) -> f64 {
+        self.store_used_mb.get(&store).copied().unwrap_or(0.0)
+    }
+
+    /// Record an inbound copy of `mb` of `data` to `store`, readable from
+    /// `ready` onwards.
+    pub fn add_copy(&mut self, data: DataId, store: StoreId, mb: f64, ready: Time) {
+        assert!(mb >= 0.0);
+        let h = self.by_data.entry(data).or_default().entry(store).or_default();
+        h.mb += mb;
+        h.ready_at = h.ready_at.max(ready);
+        *self.store_used_mb.entry(store).or_default() += mb;
+    }
+
+    /// Stores currently holding any part of `data`, in store-id order.
+    pub fn stores_of(&self, data: DataId) -> Vec<(StoreId, f64)> {
+        self.by_data
+            .get(&data)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, h)| h.mb > WORK_EPS)
+                    .map(|(&s, h)| (s, h.mb))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Visit holders of `data` without allocating.
+    pub fn for_stores_of(&self, data: DataId, mut f: impl FnMut(StoreId, f64)) {
+        if let Some(m) = self.by_data.get(&data) {
+            for (&s, h) in m {
+                if h.mb > WORK_EPS {
+                    f(s, h.mb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_cluster::{ec2_20_node, DataObject};
+
+    fn cluster_with_data() -> Cluster {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        c.data.push(DataObject::new(0, "d0", 1000.0, StoreId(3)));
+        c
+    }
+
+    #[test]
+    fn seeds_from_catalog() {
+        let c = cluster_with_data();
+        let p = Placement::from_cluster(&c);
+        assert_eq!(p.amount(DataId(0), StoreId(3)), 1000.0);
+        assert_eq!(p.amount(DataId(0), StoreId(4)), 0.0);
+        assert_eq!(p.used_mb(StoreId(3)), 1000.0);
+        assert_eq!(p.ready_at(DataId(0), StoreId(3)), 0.0);
+    }
+
+    #[test]
+    fn copies_are_additive_and_gate_reads() {
+        let c = cluster_with_data();
+        let mut p = Placement::from_cluster(&c);
+        p.add_copy(DataId(0), StoreId(7), 400.0, 120.0);
+        p.add_copy(DataId(0), StoreId(7), 100.0, 80.0);
+        assert_eq!(p.amount(DataId(0), StoreId(7)), 500.0);
+        // The *latest* arrival gates reads.
+        assert_eq!(p.ready_at(DataId(0), StoreId(7)), 120.0);
+        // Origin untouched.
+        assert_eq!(p.amount(DataId(0), StoreId(3)), 1000.0);
+        // Store accounting follows.
+        assert_eq!(p.used_mb(StoreId(7)), 500.0);
+    }
+
+    #[test]
+    fn has_respects_epsilon() {
+        let c = cluster_with_data();
+        let p = Placement::from_cluster(&c);
+        assert!(p.has(DataId(0), StoreId(3), 1000.0));
+        assert!(!p.has(DataId(0), StoreId(3), 1000.1));
+        assert!(p.has(DataId(0), StoreId(4), 0.0));
+    }
+
+    #[test]
+    fn spread_blocks_covers_size_across_datanodes() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        c.data.push(DataObject::new(0, "d0", 10.0 * 1024.0, StoreId(0)));
+        let p = Placement::spread_blocks(&c, 3);
+        let total: f64 = p.stores_of(DataId(0)).iter().map(|(_, mb)| mb).sum();
+        assert!((total - 10.0 * 1024.0).abs() < 1e-6);
+        // 160 blocks over 20 nodes: essentially every node holds some.
+        assert!(p.stores_of(DataId(0)).len() >= 15);
+        // Deterministic per seed.
+        let p2 = Placement::spread_blocks(&c, 3);
+        assert_eq!(p.stores_of(DataId(0)), p2.stores_of(DataId(0)));
+    }
+
+    #[test]
+    fn spread_blocks_handles_non_block_multiple() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        c.data.push(DataObject::new(0, "d0", 100.0, StoreId(0)));
+        let p = Placement::spread_blocks(&c, 1);
+        let total: f64 = p.stores_of(DataId(0)).iter().map(|(_, mb)| mb).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stores_of_sorted() {
+        let c = cluster_with_data();
+        let mut p = Placement::from_cluster(&c);
+        p.add_copy(DataId(0), StoreId(9), 10.0, 0.0);
+        p.add_copy(DataId(0), StoreId(1), 10.0, 0.0);
+        let stores: Vec<StoreId> = p.stores_of(DataId(0)).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(stores, vec![StoreId(1), StoreId(3), StoreId(9)]);
+    }
+
+    #[test]
+    fn for_stores_of_matches_stores_of() {
+        let c = cluster_with_data();
+        let mut p = Placement::from_cluster(&c);
+        p.add_copy(DataId(0), StoreId(9), 10.0, 0.0);
+        let mut visited = Vec::new();
+        p.for_stores_of(DataId(0), |s, mb| visited.push((s, mb)));
+        assert_eq!(visited, p.stores_of(DataId(0)));
+    }
+
+    #[test]
+    fn replicated_spread_multiplies_presence() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        c.data.push(DataObject::new(0, "d0", 1024.0, StoreId(0)));
+        let p = Placement::spread_blocks_replicated(&c, 5, 3);
+        let total: f64 = p.stores_of(DataId(0)).iter().map(|(_, mb)| mb).sum();
+        assert!((total - 3.0 * 1024.0).abs() < 1e-6, "total {total}");
+        // Deterministic.
+        let p2 = Placement::spread_blocks_replicated(&c, 5, 3);
+        assert_eq!(p.stores_of(DataId(0)), p2.stores_of(DataId(0)));
+    }
+
+    #[test]
+    fn replication_clamped_to_datanode_count() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        c.data.push(DataObject::new(0, "d0", 64.0, StoreId(0)));
+        let p = Placement::spread_blocks_replicated(&c, 1, 999);
+        // One block replicated onto every one of the 20 DataNodes.
+        assert_eq!(p.stores_of(DataId(0)).len(), 20);
+    }
+}
+

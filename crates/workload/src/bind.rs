@@ -1,0 +1,155 @@
+//! Binding a workload to a cluster: every input-reading job gets a data
+//! object registered in the cluster's catalog, with an original location
+//! `O_i` chosen by a placement policy (mirroring how HDFS happened to
+//! spread the inputs before the scheduler runs).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use lips_cluster::{Cluster, DataObject, StoreId};
+
+use crate::job::JobSpec;
+
+/// How original data locations are chosen at bind time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementPolicy {
+    /// Inputs round-robin across machine-co-located stores.
+    RoundRobin,
+    /// Inputs land on uniformly random co-located stores (seeded).
+    RandomUniform,
+    /// Everything starts on one store (S3-style single origin).
+    SingleStore(StoreId),
+}
+
+/// A workload whose inputs exist in a cluster's data catalog.
+#[derive(Debug, Clone)]
+pub struct BoundWorkload {
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BoundWorkload {
+    /// Total ECU-seconds across all jobs.
+    pub fn total_ecu_sec(&self) -> f64 {
+        self.jobs.iter().map(|j| j.total_ecu_sec()).sum()
+    }
+
+    /// Total input MB across all jobs.
+    pub fn total_input_mb(&self) -> f64 {
+        self.jobs.iter().map(|j| j.input_mb).sum()
+    }
+
+    /// Total natural task count.
+    pub fn total_tasks(&self) -> u32 {
+        self.jobs.iter().map(|j| j.tasks).sum()
+    }
+}
+
+/// Register each job's input in `cluster` and set [`JobSpec::data`].
+///
+/// Panics if the cluster has no stores to place on (programming error).
+pub fn bind_workload(
+    cluster: &mut Cluster,
+    mut jobs: Vec<JobSpec>,
+    policy: PlacementPolicy,
+    seed: u64,
+) -> BoundWorkload {
+    let candidate_stores: Vec<StoreId> = match policy {
+        PlacementPolicy::SingleStore(s) => vec![s],
+        _ => {
+            // Co-located stores only: HDFS DataNodes live on workers.
+            let v: Vec<StoreId> =
+                cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+            assert!(!v.is_empty(), "cluster has no DataNode stores");
+            v
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rr = 0usize;
+    for job in jobs.iter_mut().filter(|j| j.reads_input()) {
+        let origin = match policy {
+            PlacementPolicy::RoundRobin => {
+                let s = candidate_stores[rr % candidate_stores.len()];
+                rr += 1;
+                s
+            }
+            PlacementPolicy::RandomUniform => {
+                candidate_stores[rng.gen_range(0..candidate_stores.len())]
+            }
+            PlacementPolicy::SingleStore(s) => s,
+        };
+        let id = cluster.data.len();
+        let obj = DataObject::new(id, format!("input-{}", job.name), job.input_mb, origin);
+        job.data = Some(obj.id);
+        cluster.data.push(obj);
+    }
+    debug_assert!(cluster.validate().is_ok());
+    BoundWorkload { jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::JobKind;
+    use lips_cluster::ec2_20_node;
+
+    fn jobs3() -> Vec<JobSpec> {
+        vec![
+            JobSpec::new(0, "a", JobKind::Grep, 640.0, 10),
+            JobSpec::new(1, "b", JobKind::Pi, 0.0, 4),
+            JobSpec::new(2, "c", JobKind::WordCount, 1280.0, 20),
+        ]
+    }
+
+    #[test]
+    fn binds_only_input_reading_jobs() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        let w = bind_workload(&mut c, jobs3(), PlacementPolicy::RoundRobin, 0);
+        assert_eq!(c.num_data(), 2); // Pi has no input
+        assert!(w.jobs[0].data.is_some());
+        assert!(w.jobs[1].data.is_none());
+        assert!(w.jobs[2].data.is_some());
+    }
+
+    #[test]
+    fn round_robin_spreads_origins() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        bind_workload(&mut c, jobs3(), PlacementPolicy::RoundRobin, 0);
+        assert_ne!(c.data[0].origin, c.data[1].origin);
+    }
+
+    #[test]
+    fn single_store_policy() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        let target = StoreId(5);
+        bind_workload(&mut c, jobs3(), PlacementPolicy::SingleStore(target), 0);
+        assert!(c.data.iter().all(|d| d.origin == target));
+    }
+
+    #[test]
+    fn random_uniform_is_seed_deterministic() {
+        let mut c1 = ec2_20_node(0.0, 3600.0);
+        let mut c2 = ec2_20_node(0.0, 3600.0);
+        bind_workload(&mut c1, jobs3(), PlacementPolicy::RandomUniform, 9);
+        bind_workload(&mut c2, jobs3(), PlacementPolicy::RandomUniform, 9);
+        assert_eq!(c1.data[0].origin, c2.data[0].origin);
+    }
+
+    #[test]
+    fn workload_aggregates() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        let w = bind_workload(&mut c, jobs3(), PlacementPolicy::RoundRobin, 0);
+        assert_eq!(w.total_tasks(), 34);
+        assert!((w.total_input_mb() - 1920.0).abs() < 1e-9);
+        assert!(w.total_ecu_sec() > 0.0);
+    }
+
+    #[test]
+    fn data_sizes_match_job_inputs() {
+        let mut c = ec2_20_node(0.0, 3600.0);
+        let w = bind_workload(&mut c, jobs3(), PlacementPolicy::RoundRobin, 0);
+        for j in w.jobs.iter().filter(|j| j.reads_input()) {
+            let d = c.data_object(j.data.unwrap());
+            assert_eq!(d.size_mb, j.input_mb);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The benchmark job kinds of Table I, with their measured CPU
+//! intensities.
+//!
+//! The paper expresses intensity as "CPU seconds per 64 MB block" on one
+//! EC2 compute unit; this module stores the same numbers and converts to
+//! per-MB for the scheduler math. Pi has no input at all — its cost is per
+//! task (1 billion samples each) — which the paper denotes `TCP = ∞`.
+
+use serde::{Deserialize, Serialize};
+
+use lips_cluster::BLOCK_MB;
+
+/// One of the paper's benchmark applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Pattern search matching <0.01 % of input — I/O bound.
+    Grep,
+    /// Sequential reader with a light tunable CPU op per byte — I/O bound.
+    Stress1,
+    /// Sequential reader with a heavy tunable CPU op per byte — mixed.
+    Stress2,
+    /// Word frequency count; significant map-side sorting — CPU bound.
+    WordCount,
+    /// Monte-Carlo π estimator; no input data — maximally CPU bound.
+    Pi,
+}
+
+impl JobKind {
+    /// All kinds, in Table I column order.
+    pub const ALL: [JobKind; 5] =
+        [JobKind::Grep, JobKind::Stress1, JobKind::Stress2, JobKind::WordCount, JobKind::Pi];
+
+    /// Table I: ECU-seconds consumed per 64 MB input block, or `None` for
+    /// Pi (which consumes no input; the paper writes `∞`).
+    pub fn ecu_sec_per_block(self) -> Option<f64> {
+        match self {
+            JobKind::Grep => Some(20.0),
+            JobKind::Stress1 => Some(37.0),
+            JobKind::Stress2 => Some(75.0),
+            JobKind::WordCount => Some(90.0),
+            JobKind::Pi => None,
+        }
+    }
+
+    /// `TCP(x)`: ECU-seconds per MB of input (0 for Pi, whose work is per
+    /// task instead — see [`JobKind::ecu_sec_per_task`]).
+    pub fn tcp_ecu_sec_per_mb(self) -> f64 {
+        self.ecu_sec_per_block().map_or(0.0, |b| b / BLOCK_MB)
+    }
+
+    /// Fixed per-task work for input-less kinds. The Pi estimator generates
+    /// 10⁹ samples per task; on one ECU that measures ≈ 400 ECU-seconds
+    /// (order-of-magnitude calibration — the exact value only scales Pi's
+    /// share of total cost, not any scheduler comparison).
+    pub fn ecu_sec_per_task(self) -> f64 {
+        match self {
+            JobKind::Pi => 400.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Table I's qualitative "Property" row.
+    pub fn property(self) -> &'static str {
+        match self {
+            JobKind::Grep | JobKind::Stress1 => "I/O",
+            JobKind::Stress2 => "Mixed",
+            JobKind::WordCount | JobKind::Pi => "CPU",
+        }
+    }
+
+    /// Display name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Grep => "Grep",
+            JobKind::Stress1 => "Stress1",
+            JobKind::Stress2 => "Stress2",
+            JobKind::WordCount => "WordCount",
+            JobKind::Pi => "Pi",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_block_figures() {
+        assert_eq!(JobKind::Grep.ecu_sec_per_block(), Some(20.0));
+        assert_eq!(JobKind::Stress1.ecu_sec_per_block(), Some(37.0));
+        assert_eq!(JobKind::Stress2.ecu_sec_per_block(), Some(75.0));
+        assert_eq!(JobKind::WordCount.ecu_sec_per_block(), Some(90.0));
+        assert_eq!(JobKind::Pi.ecu_sec_per_block(), None);
+    }
+
+    #[test]
+    fn tcp_is_per_mb() {
+        assert!((JobKind::Grep.tcp_ecu_sec_per_mb() - 20.0 / 64.0).abs() < 1e-12);
+        assert_eq!(JobKind::Pi.tcp_ecu_sec_per_mb(), 0.0);
+    }
+
+    #[test]
+    fn intensity_ordering_matches_paper() {
+        // Grep < Stress1 < Stress2 < WordCount in CPU-per-byte.
+        let t: Vec<f64> = [JobKind::Grep, JobKind::Stress1, JobKind::Stress2, JobKind::WordCount]
+            .iter()
+            .map(|k| k.tcp_ecu_sec_per_mb())
+            .collect();
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn only_pi_has_per_task_cost() {
+        for k in JobKind::ALL {
+            if k == JobKind::Pi {
+                assert!(k.ecu_sec_per_task() > 0.0);
+            } else {
+                assert_eq!(k.ecu_sec_per_task(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn properties_match_table_i() {
+        assert_eq!(JobKind::Grep.property(), "I/O");
+        assert_eq!(JobKind::Stress2.property(), "Mixed");
+        assert_eq!(JobKind::WordCount.property(), "CPU");
+        assert_eq!(JobKind::Pi.property(), "CPU");
+    }
+}

@@ -1,0 +1,91 @@
+//! Random workloads for the Figure 5 sweep.
+//!
+//! Figure 5's caption pins the generator ranges: "Data input size range:
+//! 0–6 GB; job CPU requirement range: 0–1000 CPU second". Jobs here carry a
+//! *custom* CPU intensity derived from those two draws rather than a Table I
+//! kind, exactly as the paper's simulator randomizes jobs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use lips_cluster::BLOCK_MB;
+
+use crate::job::JobSpec;
+use crate::kind::JobKind;
+
+/// Configuration for [`random_workload`]; defaults are the Fig 5 caption
+/// ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomWorkloadCfg {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Input size range in MB (paper: 0–6 GB).
+    pub input_mb: (f64, f64),
+    /// Total CPU requirement range in ECU-seconds (paper: 0–1000).
+    pub cpu_ecu_sec: (f64, f64),
+}
+
+impl Default for RandomWorkloadCfg {
+    fn default() -> Self {
+        RandomWorkloadCfg {
+            jobs: 10,
+            input_mb: (64.0, 6.0 * 1024.0),
+            cpu_ecu_sec: (10.0, 1000.0),
+        }
+    }
+}
+
+/// Generate `cfg.jobs` random jobs (all arriving at t = 0). Task counts are
+/// one per 64 MB block, mirroring Hadoop's split behaviour.
+pub fn random_workload(cfg: &RandomWorkloadCfg, seed: u64) -> Vec<JobSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..cfg.jobs)
+        .map(|i| {
+            let input_mb = rng.gen_range(cfg.input_mb.0..=cfg.input_mb.1);
+            let cpu = rng.gen_range(cfg.cpu_ecu_sec.0..=cfg.cpu_ecu_sec.1);
+            let tasks = ((input_mb / BLOCK_MB).ceil() as u32).max(1);
+            let mut j = JobSpec::new(i, format!("rand-{i}"), JobKind::Grep, input_mb, tasks);
+            // Override the Table I intensity with the random draw.
+            j.tcp_ecu_sec_per_mb = cpu / input_mb;
+            j.ecu_sec_per_task = 0.0;
+            j
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_ranges() {
+        let cfg = RandomWorkloadCfg::default();
+        for j in random_workload(&cfg, 11) {
+            assert!(j.input_mb >= 64.0 && j.input_mb <= 6.0 * 1024.0);
+            let cpu = j.total_ecu_sec();
+            assert!((10.0 - 1e-9..=1000.0 + 1e-9).contains(&cpu), "cpu {cpu}");
+            assert!(j.tasks >= 1);
+        }
+    }
+
+    #[test]
+    fn task_count_tracks_blocks() {
+        for j in random_workload(&RandomWorkloadCfg::default(), 12) {
+            assert_eq!(j.tasks, (j.input_mb / BLOCK_MB).ceil() as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_workload(&RandomWorkloadCfg::default(), 1);
+        let b = random_workload(&RandomWorkloadCfg::default(), 1);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.input_mb == y.input_mb));
+    }
+
+    #[test]
+    fn job_count_honored() {
+        let cfg = RandomWorkloadCfg { jobs: 37, ..Default::default() };
+        assert_eq!(random_workload(&cfg, 0).len(), 37);
+    }
+}

@@ -1,0 +1,96 @@
+//! The J1–J9 experiment suite of Table IV.
+//!
+//! | Jobs  | Kind      | Tasks | Input |
+//! |-------|-----------|-------|-------|
+//! | J1–J2 | Pi        | 4     | –     |
+//! | J3–J4 | WordCount | 160   | 10 GB |
+//! | J5–J7 | Grep      | 320   | 20 GB |
+//! | J8–J9 | Stress2   | 160   | 10 GB |
+//!
+//! Totals: 1608 map tasks, 100 GB of input — the workload behind Figures
+//! 6, 7, 8 and 11.
+
+use crate::job::JobSpec;
+use crate::kind::JobKind;
+
+const GB: f64 = 1024.0;
+
+/// Construct the nine-job suite (all arriving at t = 0).
+pub fn table_iv_suite() -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(9);
+    let mut id = 0;
+    let mut push = |jobs: &mut Vec<JobSpec>, kind, input_mb, tasks| {
+        let name = format!("J{}-{}", id + 1, kind_name(kind));
+        jobs.push(JobSpec::new(id, name, kind, input_mb, tasks));
+        id += 1;
+    };
+    for _ in 0..2 {
+        push(&mut jobs, JobKind::Pi, 0.0, 4);
+    }
+    for _ in 0..2 {
+        push(&mut jobs, JobKind::WordCount, 10.0 * GB, 160);
+    }
+    for _ in 0..3 {
+        push(&mut jobs, JobKind::Grep, 20.0 * GB, 320);
+    }
+    for _ in 0..2 {
+        push(&mut jobs, JobKind::Stress2, 10.0 * GB, 160);
+    }
+    jobs
+}
+
+fn kind_name(kind: JobKind) -> &'static str {
+    kind.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_jobs() {
+        assert_eq!(table_iv_suite().len(), 9);
+    }
+
+    #[test]
+    fn total_1608_map_tasks() {
+        let total: u32 = table_iv_suite().iter().map(|j| j.tasks).sum();
+        assert_eq!(total, 1608);
+    }
+
+    #[test]
+    fn total_100_gb_input() {
+        let total: f64 = table_iv_suite().iter().map(|j| j.input_mb).sum();
+        assert!((total - 100.0 * GB).abs() < 1e-6);
+    }
+
+    #[test]
+    fn composition_matches_table_iv() {
+        let jobs = table_iv_suite();
+        let count = |k: JobKind| jobs.iter().filter(|j| j.kind == k).count();
+        assert_eq!(count(JobKind::Pi), 2);
+        assert_eq!(count(JobKind::WordCount), 2);
+        assert_eq!(count(JobKind::Grep), 3);
+        assert_eq!(count(JobKind::Stress2), 2);
+        assert_eq!(count(JobKind::Stress1), 0);
+    }
+
+    #[test]
+    fn block_sized_tasks() {
+        // 10 GB / 160 tasks = 64 MB per task; 20 GB / 320 likewise.
+        for j in table_iv_suite() {
+            if j.reads_input() {
+                assert!((j.mb_per_task() - 64.0).abs() < 1e-9, "{}", j.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_arrive_at_zero_with_unique_ids() {
+        let jobs = table_iv_suite();
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0, i);
+            assert_eq!(j.arrival_s, 0.0);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! SWIM trace-file compatibility: parse and write the SWIM repository's
+//! TSV workload format, and convert records into [`JobSpec`]s.
+//!
+//! The paper replays `FB-2010_samples_24_times_1hr_0.tsv` from SWIM
+//! (<https://github.com/SWIMProjectUCB/SWIM>). Those files are TSVs with
+//! one job per line:
+//!
+//! ```text
+//! job_id \t submit_time_s \t inter_submit_gap_s \t map_input_bytes \t
+//! shuffle_bytes \t reduce_output_bytes
+//! ```
+//!
+//! This module lets the harness run from a *real* SWIM file when the user
+//! has one, and can also export our synthetic traces in the same format
+//! (so external SWIM tooling can consume them).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use lips_cluster::BLOCK_MB;
+
+use crate::job::{JobId, JobSpec};
+use crate::kind::JobKind;
+
+/// One parsed SWIM record (sizes in bytes, times in seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwimRecord {
+    pub job_id: String,
+    pub submit_time_s: f64,
+    pub inter_submit_gap_s: f64,
+    pub map_input_bytes: u64,
+    pub shuffle_bytes: u64,
+    pub reduce_output_bytes: u64,
+}
+
+/// Parse failures carry the offending line number.
+#[derive(Debug)]
+pub struct SwimParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for SwimParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWIM TSV parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwimParseError {}
+
+/// Parse a SWIM TSV stream. Blank lines and `#` comments are skipped.
+pub fn parse_swim_tsv(reader: impl BufRead) -> Result<Vec<SwimRecord>, SwimParseError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| SwimParseError { line: lineno, message: e.to_string() })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 6 {
+            return Err(SwimParseError {
+                line: lineno,
+                message: format!("expected 6 tab-separated fields, found {}", fields.len()),
+            });
+        }
+        let f64_at = |idx: usize| -> Result<f64, SwimParseError> {
+            fields[idx].parse().map_err(|e| SwimParseError {
+                line: lineno,
+                message: format!("field {idx} ({:?}): {e}", fields[idx]),
+            })
+        };
+        let u64_at = |idx: usize| -> Result<u64, SwimParseError> {
+            // SWIM files occasionally carry float-formatted byte counts.
+            let v: f64 = f64_at(idx)?;
+            if v < 0.0 {
+                return Err(SwimParseError {
+                    line: lineno,
+                    message: format!("field {idx} is negative"),
+                });
+            }
+            Ok(v.round() as u64)
+        };
+        out.push(SwimRecord {
+            job_id: fields[0].to_string(),
+            submit_time_s: f64_at(1)?,
+            inter_submit_gap_s: f64_at(2)?,
+            map_input_bytes: u64_at(3)?,
+            shuffle_bytes: u64_at(4)?,
+            reduce_output_bytes: u64_at(5)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Write records in SWIM's TSV format.
+pub fn write_swim_tsv(records: &[SwimRecord], mut w: impl Write) -> std::io::Result<()> {
+    for r in records {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            r.job_id,
+            r.submit_time_s,
+            r.inter_submit_gap_s,
+            r.map_input_bytes,
+            r.shuffle_bytes,
+            r.reduce_output_bytes
+        )?;
+    }
+    Ok(())
+}
+
+/// CPU-intensity policy when converting byte-level records into jobs
+/// (SWIM traces carry no CPU information).
+#[derive(Debug, Clone, Copy)]
+pub struct SwimConvertCfg {
+    /// Map-side kind supplying `TCP` (default WordCount-class).
+    pub kind: JobKind,
+    /// Reduce CPU per shuffled MB.
+    pub reduce_tcp: f64,
+    /// Model reduce phases from the shuffle column (off = map-only, the
+    /// paper's accounting).
+    pub with_reduce: bool,
+}
+
+impl Default for SwimConvertCfg {
+    fn default() -> Self {
+        SwimConvertCfg { kind: JobKind::WordCount, reduce_tcp: 0.5, with_reduce: false }
+    }
+}
+
+/// Convert records into bindable jobs: one map task per 64 MB block,
+/// arrivals from the submit column, reduce phases from the shuffle column.
+/// Jobs with no input bytes become single-task Pi-style CPU jobs.
+pub fn records_to_jobs(records: &[SwimRecord], cfg: &SwimConvertCfg) -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let input_mb = r.map_input_bytes as f64 / (1024.0 * 1024.0);
+            let mut job = if input_mb >= 1.0 {
+                let tasks = ((input_mb / BLOCK_MB).ceil() as u32).max(1);
+                JobSpec::new(i, format!("swim-{}", r.job_id), cfg.kind, input_mb, tasks)
+            } else {
+                JobSpec::new(i, format!("swim-{}", r.job_id), JobKind::Pi, 0.0, 1)
+            };
+            job = job.arriving_at(r.submit_time_s.max(0.0));
+            let shuffle_mb = r.shuffle_bytes as f64 / (1024.0 * 1024.0);
+            if cfg.with_reduce && shuffle_mb >= 1.0 {
+                let reduce_tasks = ((shuffle_mb / BLOCK_MB).ceil() as u32).clamp(1, job.tasks.max(1));
+                job = job.with_reduce(reduce_tasks, shuffle_mb, cfg.reduce_tcp);
+            }
+            job
+        })
+        .collect();
+    jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = JobId(i);
+    }
+    jobs
+}
+
+/// Export a synthetic trace (e.g. from [`crate::swim::swim_trace`]) in
+/// SWIM's TSV format, so external tooling can replay it.
+pub fn jobs_to_records(jobs: &[JobSpec]) -> Vec<SwimRecord> {
+    let mut prev = 0.0;
+    jobs.iter()
+        .map(|j| {
+            let gap = j.arrival_s - prev;
+            prev = j.arrival_s;
+            SwimRecord {
+                job_id: j.name.clone(),
+                submit_time_s: j.arrival_s,
+                inter_submit_gap_s: gap,
+                map_input_bytes: (j.input_mb * 1024.0 * 1024.0).round() as u64,
+                shuffle_bytes: j
+                    .reduce
+                    .map_or(0, |r| (r.shuffle_mb * 1024.0 * 1024.0).round() as u64),
+                reduce_output_bytes: 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+# FB-2010-like sample
+job1\t0.0\t0.0\t134217728\t67108864\t1048576
+job2\t12.5\t12.5\t0\t0\t0
+job3\t30\t17.5\t1073741824\t536870912\t4194304
+";
+
+    #[test]
+    fn parses_sample() {
+        let recs = parse_swim_tsv(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].job_id, "job1");
+        assert_eq!(recs[0].map_input_bytes, 128 * 1024 * 1024);
+        assert_eq!(recs[1].map_input_bytes, 0);
+        assert_eq!(recs[2].submit_time_s, 30.0);
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = parse_swim_tsv(Cursor::new("a\t1\t2\t3\n")).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("6"));
+    }
+
+    #[test]
+    fn rejects_garbage_numbers() {
+        let err = parse_swim_tsv(Cursor::new("j\tx\t0\t0\t0\t0\n")).unwrap_err();
+        assert!(err.message.contains("field 1"));
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let recs = parse_swim_tsv(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        write_swim_tsv(&recs, &mut buf).unwrap();
+        let back = parse_swim_tsv(Cursor::new(buf)).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn conversion_produces_block_sized_tasks() {
+        let recs = parse_swim_tsv(Cursor::new(SAMPLE)).unwrap();
+        let jobs = records_to_jobs(&recs, &SwimConvertCfg::default());
+        assert_eq!(jobs.len(), 3);
+        // 128 MB -> 2 tasks; zero input -> Pi; 1 GB -> 16 tasks.
+        let by_name = |n: &str| jobs.iter().find(|j| j.name.contains(n)).unwrap();
+        assert_eq!(by_name("job1").tasks, 2);
+        assert_eq!(by_name("job2").kind, JobKind::Pi);
+        assert_eq!(by_name("job3").tasks, 16);
+        // Arrival order and re-ids.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0, i);
+        }
+    }
+
+    #[test]
+    fn conversion_with_reduce_uses_shuffle_column() {
+        let recs = parse_swim_tsv(Cursor::new(SAMPLE)).unwrap();
+        let cfg = SwimConvertCfg { with_reduce: true, ..Default::default() };
+        let jobs = records_to_jobs(&recs, &cfg);
+        let j1 = jobs.iter().find(|j| j.name.contains("job1")).unwrap();
+        let r = j1.reduce.unwrap();
+        assert!((r.shuffle_mb - 64.0).abs() < 1e-9);
+        assert_eq!(r.tasks, 1);
+        // The input-less job gets no reduce (shuffle 0).
+        let j2 = jobs.iter().find(|j| j.name.contains("job2")).unwrap();
+        assert!(j2.reduce.is_none());
+    }
+
+    #[test]
+    fn synthetic_trace_exports_and_reimports() {
+        let trace = crate::swim::swim_trace(&crate::swim::SwimCfg::default(), 3);
+        let recs = jobs_to_records(&trace);
+        let mut buf = Vec::new();
+        write_swim_tsv(&recs, &mut buf).unwrap();
+        let back = parse_swim_tsv(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), trace.len());
+        let jobs = records_to_jobs(&back, &SwimConvertCfg::default());
+        // Byte counts and arrivals survive the format.
+        for (a, b) in trace.iter().zip(&jobs) {
+            assert!((a.arrival_s - b.arrival_s).abs() < 1e-6);
+            assert!((a.input_mb - b.input_mb).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Cost explorer: should *your* job move its data to cheaper cycles?
+//!
+//! An interactive-ish version of the paper's Figure 1 break-even calculus
+//! (`c·a > c·b + d`). Pass your job's CPU intensity and the two nodes'
+//! prices; get the verdict and the sensitivity around it.
+//!
+//! Usage:
+//!   cargo run --release --example cost_explorer -- \
+//!       <cpu_sec_per_mb> <src_millicent_per_ecu_s> \
+//!       <dst_millicent_per_ecu_s> <transfer_millicent_per_mb>
+//!
+//! With no arguments, runs a demo over the paper's benchmark kinds.
+
+use lips::cluster::{BLOCK_MB, MILLICENT};
+use lips::core::analysis::{break_even_ratio, move_pays_off, savings_per_mb};
+use lips::workload::JobKind;
+
+fn main() {
+    let args: Vec<f64> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+
+    if args.len() == 4 {
+        let (c, a_mc, b_mc, d_mc) = (args[0], args[1], args[2], args[3]);
+        let (a, b, d) = (a_mc * MILLICENT, b_mc * MILLICENT, d_mc * MILLICENT);
+        let save = savings_per_mb(c, a, b, d);
+        println!("job intensity: {c} ECU-s/MB");
+        println!("source node:   {a_mc} millicent/ECU-s");
+        println!("target node:   {b_mc} millicent/ECU-s");
+        println!("transfer:      {d_mc} millicent/MB");
+        println!();
+        if move_pays_off(c, a, b, d) {
+            println!(
+                "MOVE: you save {:.2} millicents per MB ({:.1} per 64 MB block).",
+                save / MILLICENT,
+                save * BLOCK_MB / MILLICENT
+            );
+        } else {
+            println!(
+                "STAY: moving would *lose* {:.2} millicents per MB.",
+                -save / MILLICENT
+            );
+        }
+        let be = break_even_ratio(c, b, d);
+        println!(
+            "Break-even price ratio a/b for this job: {:.2} (yours is {:.2}).",
+            be,
+            a / b
+        );
+        return;
+    }
+
+    println!("No (or malformed) arguments — demo mode with the paper's kinds.\n");
+    println!("Scenario: data on an m1.medium (5.4 mc/ECU-s), candidate c1.medium");
+    println!("(1.1 mc/ECU-s), cross-zone transfer at $0.01/GB.\n");
+    let a = 5.4 * MILLICENT;
+    let b = 1.1 * MILLICENT;
+    let d = 62.5 * MILLICENT / BLOCK_MB;
+    for kind in JobKind::ALL {
+        let c = kind.tcp_ecu_sec_per_mb();
+        let verdict = if kind == JobKind::Pi {
+            "MOVE (no data to ship at all)".to_string()
+        } else if move_pays_off(c, a, b, d) {
+            format!(
+                "MOVE  (+{:.1} mc/block)",
+                savings_per_mb(c, a, b, d) * BLOCK_MB / MILLICENT
+            )
+        } else {
+            format!(
+                "STAY  ({:.1} mc/block loss if moved)",
+                -savings_per_mb(c, a, b, d) * BLOCK_MB / MILLICENT
+            )
+        };
+        println!("{:<10} -> {verdict}", kind.name());
+    }
+}

@@ -1,0 +1,76 @@
+//! A dependent analytics pipeline, scheduled level by level (§III's DAG
+//! leveling): extract → two parallel transforms → aggregate.
+//!
+//! Compares the end-to-end dollar bill of the pipeline under LiPS vs. the
+//! Hadoop default scheduler. Data copies LiPS makes in early levels stay
+//! in place for later levels.
+//!
+//! Run with: cargo run --release --example dag_pipeline
+
+use lips::cluster::ec2_20_node;
+use lips::core::dag::run_dag;
+use lips::core::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::sim::Scheduler;
+use lips::workload::{JobDag, JobId, JobKind, JobSpec};
+
+fn pipeline() -> JobDag {
+    let jobs = vec![
+        // Level 0: scan the raw logs.
+        JobSpec::new(0, "extract-logs", JobKind::Grep, 8.0 * 1024.0, 128),
+        // Level 1: two independent transforms over the extract.
+        JobSpec::new(1, "sessionize", JobKind::Stress2, 4.0 * 1024.0, 64),
+        JobSpec::new(2, "tokenize", JobKind::WordCount, 4.0 * 1024.0, 64),
+        // Level 2: the final aggregate.
+        JobSpec::new(3, "aggregate", JobKind::WordCount, 2.0 * 1024.0, 32),
+    ];
+    let edges = vec![
+        (JobId(0), JobId(1)),
+        (JobId(0), JobId(2)),
+        (JobId(1), JobId(3)),
+        (JobId(2), JobId(3)),
+    ];
+    JobDag::new(jobs, edges).expect("valid pipeline")
+}
+
+fn main() {
+    let dag = pipeline();
+    let levels = dag.levels().expect("acyclic");
+    println!("Pipeline has {} levels:", levels.len());
+    for (i, level) in levels.iter().enumerate() {
+        let names: Vec<&str> = dag
+            .jobs
+            .iter()
+            .filter(|j| level.contains(&j.id))
+            .map(|j| j.name.as_str())
+            .collect();
+        println!("  level {i}: {}", names.join(", "));
+    }
+    println!();
+
+    println!("{:<16} {:>9} {:>14}", "scheduler", "total $", "end-to-end");
+    println!("{}", "-".repeat(42));
+    for (name, factory) in [
+        (
+            "lips",
+            Box::new(|_: usize| {
+                Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0)))
+                    as Box<dyn Scheduler>
+            }) as Box<dyn Fn(usize) -> Box<dyn Scheduler>>,
+        ),
+        (
+            "hadoop-default",
+            Box::new(|_: usize| {
+                Box::new(HadoopDefaultScheduler::new()) as Box<dyn Scheduler>
+            }),
+        ),
+    ] {
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let report = run_dag(&mut cluster, &dag, factory, 11).expect("pipeline completes");
+        println!(
+            "{:<16} {:>9.4} {:>12.0} s",
+            name, report.total_dollars, report.makespan
+        );
+    }
+    println!("\nLiPS ships hot inputs toward cheap zones in level 0; levels 1-2 then");
+    println!("read the already-moved copies — co-scheduling compounds across levels.");
+}

@@ -1,0 +1,64 @@
+//! Epoch tuning: explore the cost ↔ completion-time frontier for your own
+//! workload (the paper's Figure 8 knob, as a tool).
+//!
+//! LiPS is re-run over a sweep of epoch lengths; for each point the dollar
+//! bill and the makespan are printed, plus the "knee" recommendation
+//! (cheapest epoch whose makespan is within a user-chosen slowdown budget
+//! of the fastest run).
+//!
+//! Usage: cargo run --release --example epoch_tuning -- [max_slowdown]
+//! (default slowdown budget: 1.5x the fastest observed makespan)
+
+use lips::cluster::ec2_20_node;
+use lips::core::{LipsConfig, LipsScheduler};
+use lips::sim::{Placement, Simulation};
+use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
+
+fn main() {
+    let max_slowdown: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.5);
+
+    let make_jobs = || {
+        vec![
+            JobSpec::new(0, "etl", JobKind::Stress2, 8.0 * 1024.0, 128),
+            JobSpec::new(1, "index", JobKind::WordCount, 6.0 * 1024.0, 96),
+            JobSpec::new(2, "scan", JobKind::Grep, 12.0 * 1024.0, 192),
+        ]
+    };
+
+    println!("epoch (s)   total $    makespan (s)");
+    println!("-------------------------------------");
+    let mut points: Vec<(f64, f64, f64)> = Vec::new();
+    for epoch in [100.0, 200.0, 400.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0] {
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let workload = bind_workload(&mut cluster, make_jobs(), PlacementPolicy::RoundRobin, 3);
+        let placement = Placement::spread_blocks(&cluster, 3);
+        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(epoch));
+        let r = Simulation::new(&cluster, &workload)
+            .with_placement(placement)
+            .run(&mut sched)
+            .expect("completes");
+        println!("{epoch:>8.0}   {:<9.4} {:>9.0}", r.metrics.total_dollars(), r.makespan);
+        points.push((epoch, r.metrics.total_dollars(), r.makespan));
+    }
+
+    let fastest = points.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
+    let budget = fastest * max_slowdown;
+    let knee = points
+        .iter()
+        .filter(|p| p.2 <= budget)
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    match knee {
+        Some((e, cost, mk)) => {
+            println!(
+                "\nRecommendation: epoch = {e:.0} s — ${cost:.4} at {mk:.0} s makespan"
+            );
+            println!(
+                "(cheapest point within {max_slowdown:.1}x of the fastest makespan {fastest:.0} s)"
+            );
+        }
+        None => println!("\nNo point fits the slowdown budget — lower the epoch."),
+    }
+}

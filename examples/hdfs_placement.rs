@@ -1,0 +1,79 @@
+//! Data placement at *write* time: the paper's new
+//! ReplicationTargetChooser for the NameNode.
+//!
+//! The same workload runs from two different HDFS namespaces — one
+//! populated by Hadoop's default writer-local / off-rack policy, one by
+//! LiPS's cost-aware chooser that puts replicas next to cheap cycles.
+//! The *delay* task scheduler (which waits for data-local slots) then
+//! follows the data — and inherits most of LiPS's savings without any LP
+//! running at read time, because the data was born in the right place.
+//!
+//! Run with: cargo run --release --example hdfs_placement
+
+use lips::cluster::{ec2_20_node, MachineId};
+use lips::core::DelayScheduler;
+use lips::hdfs::{CostAwareTargetChooser, DefaultTargetChooser, NameNode, ReplicationTargetChooser};
+use lips::sim::Simulation;
+use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
+
+fn main() {
+    println!("Same cluster, same jobs, same (delay) task scheduler —");
+    println!("only the NameNode's replication target chooser differs.\n");
+
+    println!("{:<18} {:>9} {:>10} {:>10}", "namenode policy", "total $", "cpu $", "locality");
+    println!("{}", "-".repeat(52));
+
+    type ChooserFactory = Box<dyn Fn() -> Box<dyn ReplicationTargetChooser>>;
+    let mut results = Vec::new();
+    let choosers: Vec<(&str, ChooserFactory)> = vec![
+        ("hadoop-default", Box::new(|| Box::new(DefaultTargetChooser::new(7)))),
+        // WordCount-class intensity hint: data will be CPU-hungry.
+        ("lips-cost-aware", Box::new(|| Box::new(CostAwareTargetChooser::new(1.4)))),
+    ];
+    for (name, make_chooser) in choosers {
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let jobs = vec![
+            JobSpec::new(0, "wc-1", JobKind::WordCount, 4096.0, 64),
+            JobSpec::new(1, "wc-2", JobKind::WordCount, 4096.0, 64),
+            JobSpec::new(2, "stress", JobKind::Stress2, 4096.0, 64),
+        ];
+        let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 7);
+
+        // Populate the namespace: each input written from a rotating
+        // "writer" machine, 2-way replication.
+        let mut nn = NameNode::new(2);
+        let mut chooser = make_chooser();
+        for (i, job) in bound.jobs.iter().enumerate() {
+            if let Some(data) = job.data {
+                nn.create_file(
+                    &cluster,
+                    data,
+                    job.input_mb,
+                    Some(MachineId(i * 7 % cluster.num_machines())),
+                    chooser.as_mut(),
+                )
+                .expect("namespace has room");
+            }
+        }
+
+        let report = Simulation::new(&cluster, &bound)
+            .with_placement(nn.to_placement())
+            .run(&mut DelayScheduler::new(60))
+            .expect("completes");
+        println!(
+            "{:<18} {:>9.4} {:>10.4} {:>9.1}%",
+            name,
+            report.metrics.total_dollars(),
+            report.metrics.cpu_dollars,
+            report.metrics.locality_ratio() * 100.0,
+        );
+        results.push(report.metrics.total_dollars());
+    }
+
+    println!(
+        "\nThe cost-aware namespace cut the bill by {:.0}% before any LP ran —",
+        (1.0 - results[1] / results[0]) * 100.0
+    );
+    println!("placement-at-write and scheduling-at-read are the two halves of");
+    println!("the paper's co-scheduling argument.");
+}

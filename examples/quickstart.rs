@@ -1,0 +1,69 @@
+//! Quickstart: five minutes with LiPS.
+//!
+//! Builds a small heterogeneous EC2-like cluster, submits a mixed
+//! MapReduce workload, and compares the dollar bill under LiPS vs.
+//! Hadoop's default scheduler and the delay scheduler.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lips::cluster::ec2_20_node;
+use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::sim::{Placement, Scheduler, Simulation};
+use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
+
+fn main() {
+    // A 20-node cluster across three availability zones; half the nodes
+    // are c1.medium (fast, cheap per CPU-second), half m1.medium
+    // (slow, expensive per CPU-second).
+    let make_cluster = || ec2_20_node(0.5, 1e9);
+
+    // A small mixed workload: an I/O-bound grep, a CPU-bound word count,
+    // and a pure-CPU Pi estimation.
+    let make_jobs = || {
+        vec![
+            JobSpec::new(0, "grep-logs", JobKind::Grep, 4.0 * 1024.0, 64),
+            JobSpec::new(1, "wordcount", JobKind::WordCount, 4.0 * 1024.0, 64),
+            JobSpec::new(2, "estimate-pi", JobKind::Pi, 0.0, 8),
+        ]
+    };
+
+    println!("scheduler        total $   cpu $     transfer $  makespan");
+    println!("----------------------------------------------------------");
+    let mut lips_cost = 0.0;
+    let mut delay_cost = 0.0;
+    for (name, mut sched) in [
+        // A 1600 s epoch sits at the cost-optimal end of the dial for
+        // this workload (see the fig8 binary for the full tradeoff).
+        ("lips", Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0)))
+            as Box<dyn Scheduler>),
+        ("hadoop-default", Box::new(HadoopDefaultScheduler::new())),
+        ("delay", Box::new(DelayScheduler::default())),
+    ] {
+        let mut cluster = make_cluster();
+        let workload = bind_workload(&mut cluster, make_jobs(), PlacementPolicy::RoundRobin, 7);
+        // Inputs start HDFS-style: blocks spread over the DataNodes.
+        let placement = Placement::spread_blocks(&cluster, 7);
+        let report = Simulation::new(&cluster, &workload)
+            .with_placement(placement)
+            .run(sched.as_mut())
+            .expect("simulation completes");
+        println!(
+            "{:<16} {:<9.4} {:<9.4} {:<11.4} {:>6.0} s",
+            name,
+            report.metrics.total_dollars(),
+            report.metrics.cpu_dollars,
+            report.metrics.transfer_dollars(),
+            report.makespan,
+        );
+        match name {
+            "lips" => lips_cost = report.metrics.total_dollars(),
+            "delay" => delay_cost = report.metrics.total_dollars(),
+            _ => {}
+        }
+    }
+    println!(
+        "\nLiPS saved {:.0}% of the dollar bill vs. the delay scheduler,",
+        (1.0 - lips_cost / delay_cost) * 100.0
+    );
+    println!("trading some makespan for it — the paper's core result in miniature.");
+}

@@ -1,0 +1,77 @@
+//! Reproducibility: identical seeds must produce bit-identical experiment
+//! results — the whole harness is built on this.
+
+use lips::cluster::{ec2_100_node, ec2_20_node, random_cluster, RandomClusterCfg};
+use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::sim::{Placement, Scheduler, Simulation};
+use lips::workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy, SwimCfg};
+
+fn run_cost(sched: &mut dyn Scheduler, seed: u64) -> (f64, f64) {
+    let mut cluster = ec2_20_node(0.25, 1e9);
+    let workload =
+        bind_workload(&mut cluster, table_iv_suite(), PlacementPolicy::RoundRobin, seed);
+    let placement = Placement::spread_blocks(&cluster, seed);
+    let r = Simulation::new(&cluster, &workload)
+        .with_placement(placement)
+        .run(sched)
+        .unwrap();
+    (r.metrics.total_dollars(), r.makespan)
+}
+
+#[test]
+fn lips_runs_are_bit_identical() {
+    let a = run_cost(&mut LipsScheduler::new(LipsConfig::small_cluster(600.0)), 9);
+    let b = run_cost(&mut LipsScheduler::new(LipsConfig::small_cluster(600.0)), 9);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn baseline_runs_are_bit_identical() {
+    let a = run_cost(&mut HadoopDefaultScheduler::new(), 9);
+    let b = run_cost(&mut HadoopDefaultScheduler::new(), 9);
+    assert_eq!(a, b);
+    let c = run_cost(&mut DelayScheduler::default(), 9);
+    let d = run_cost(&mut DelayScheduler::default(), 9);
+    assert_eq!(c, d);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_cost(&mut HadoopDefaultScheduler::new(), 9);
+    let b = run_cost(&mut HadoopDefaultScheduler::new(), 10);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn generators_are_stable_across_calls() {
+    // Cluster and trace generators must not depend on global state.
+    let c1 = ec2_100_node(1e9, 3);
+    let c2 = ec2_100_node(1e9, 3);
+    assert_eq!(
+        serde_json::to_string(&c1).unwrap(),
+        serde_json::to_string(&c2).unwrap()
+    );
+    let r1 = random_cluster(&RandomClusterCfg::default(), 5);
+    let r2 = random_cluster(&RandomClusterCfg::default(), 5);
+    assert_eq!(
+        serde_json::to_string(&r1).unwrap(),
+        serde_json::to_string(&r2).unwrap()
+    );
+    let t1 = swim_trace(&SwimCfg::default(), 4);
+    let t2 = swim_trace(&SwimCfg::default(), 4);
+    assert_eq!(
+        serde_json::to_string(&t1).unwrap(),
+        serde_json::to_string(&t2).unwrap()
+    );
+}
+
+#[test]
+fn cluster_serde_roundtrip() {
+    let c = ec2_20_node(0.5, 3600.0);
+    let json = serde_json::to_string(&c).unwrap();
+    let back: lips::cluster::Cluster = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    assert_eq!(back.num_machines(), 20);
+    assert_eq!(back.machines[0].instance.name, c.machines[0].instance.name);
+    assert_eq!(back.machines[0].cpu_cost, c.machines[0].cpu_cost);
+}
