@@ -1,0 +1,407 @@
+//! Optimality certificates: given a [`Model`] and a claimed-optimal
+//! [`Solution`], independently recompute primal feasibility, dual
+//! feasibility, complementary slackness, and the duality gap — the
+//! textbook KKT conditions for a bounded-variable LP — without re-running
+//! the solver.
+//!
+//! All dual arithmetic happens in the solver's *internal minimization
+//! sense* (the convention of [`Solution::duals`]): a `Maximize` model's
+//! costs are negated, exactly as `lips_lp::sensitivity` does. With
+//! internal costs `c`, duals `y`, and reduced costs `d = c − yᵀA`:
+//!
+//! * dual feasibility: `y_i ≥ 0` on `Ge` rows, `y_i ≤ 0` on `Le` rows,
+//!   free on `Eq`; `d_j ≥ 0` where `ub_j = ∞`, `d_j ≤ 0` where
+//!   `lb_j = −∞`;
+//! * the dual objective is `bᵀy + Σ_j ([d_j]⁺·lb_j + [d_j]⁻·ub_j)`;
+//! * complementary slackness: `y_i·(a_iᵀx − b_i) = 0` per row,
+//!   `[d_j]⁺·(x_j − lb_j) = 0` and `[d_j]⁻·(ub_j − x_j) = 0` per column.
+//!
+//! Weak duality makes the certificate sound: any dual-feasible `y` bounds
+//! the optimum, so a feasible `x` whose gap to `bᵀy + …` is ~0 is optimal
+//! regardless of how the solver found it.
+
+use lips_lp::{Cmp, Model, Sense, Solution};
+
+/// Relative tolerance for the duality gap and slackness tests
+/// (acceptance: gap ≤ `GAP_RTOL · (1 + |objective|)`).
+pub const GAP_RTOL: f64 = 1e-6;
+
+/// Absolute tolerance for primal/dual feasibility residuals, scaled by
+/// problem magnitudes.
+pub const FEAS_RTOL: f64 = 1e-6;
+
+/// Why a certificate could not be computed at all (as opposed to computed
+/// and failed — that is a non-[`Certificate::is_optimal`] report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The solution carries no (or wrong-arity) dual values — e.g. the
+    /// dense tableau oracle, which reports an empty dual vector.
+    MissingDuals { expected: usize, got: usize },
+    /// Primal value vector length does not match the model.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::MissingDuals { expected, got } => write!(
+                f,
+                "solution has {got} dual values but the model has {expected} rows; \
+                 cannot certify (dense-solver solutions carry no duals)"
+            ),
+            CertifyError::DimensionMismatch { expected, got } => write!(
+                f,
+                "solution has {got} primal values but the model has {expected} variables"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Independent optimality report for one (model, solution) pair.
+///
+/// All `max_*` fields are violations normalized by the relevant problem
+/// scale, so `is_optimal` compares each against a single relative
+/// tolerance.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Objective recomputed from the primal values, in the model's own
+    /// sense (matches [`Solution::objective`] when the solver is honest).
+    pub primal_objective: f64,
+    /// Dual objective in the model's own sense.
+    pub dual_objective: f64,
+    /// `|primal − dual|` in the internal minimization sense.
+    pub duality_gap: f64,
+    /// Worst primal constraint/bound violation (raw units).
+    pub max_primal_violation: f64,
+    /// Worst dual-sign violation, normalized by the largest |cost|.
+    pub max_dual_violation: f64,
+    /// Worst complementary-slackness product, normalized by
+    /// `1 + |primal objective|`.
+    pub max_slackness_violation: f64,
+    /// `|sol.objective() − recomputed objective|`, a solver-honesty check.
+    pub objective_mismatch: f64,
+    /// Scale used for the primal feasibility test: `1 + max |rhs|`.
+    pub primal_scale: f64,
+    /// Scale used for the gap test: `1 + |primal objective|` (internal).
+    pub gap_scale: f64,
+}
+
+impl Certificate {
+    /// True when every KKT condition holds within tolerance: the solution
+    /// is optimal (weak duality), not merely claimed so.
+    pub fn is_optimal(&self) -> bool {
+        self.max_primal_violation <= FEAS_RTOL * self.primal_scale
+            && self.max_dual_violation <= FEAS_RTOL
+            && self.max_slackness_violation <= GAP_RTOL
+            && self.duality_gap <= GAP_RTOL * self.gap_scale
+            && self.objective_mismatch <= GAP_RTOL * self.gap_scale
+    }
+
+    /// Human-readable list of every failed condition (empty iff
+    /// [`Certificate::is_optimal`]).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.max_primal_violation > FEAS_RTOL * self.primal_scale {
+            out.push(format!(
+                "primal infeasible: violation {:.3e} > {:.3e}",
+                self.max_primal_violation,
+                FEAS_RTOL * self.primal_scale
+            ));
+        }
+        if self.max_dual_violation > FEAS_RTOL {
+            out.push(format!(
+                "dual infeasible: normalized sign violation {:.3e} > {FEAS_RTOL:.3e}",
+                self.max_dual_violation
+            ));
+        }
+        if self.max_slackness_violation > GAP_RTOL {
+            out.push(format!(
+                "complementary slackness violated: normalized product {:.3e} > {GAP_RTOL:.3e}",
+                self.max_slackness_violation
+            ));
+        }
+        if self.duality_gap > GAP_RTOL * self.gap_scale {
+            out.push(format!(
+                "duality gap {:.3e} > {:.3e} (primal {:.6}, dual {:.6})",
+                self.duality_gap,
+                GAP_RTOL * self.gap_scale,
+                self.primal_objective,
+                self.dual_objective
+            ));
+        }
+        if self.objective_mismatch > GAP_RTOL * self.gap_scale {
+            out.push(format!(
+                "reported objective disagrees with recomputation by {:.3e}",
+                self.objective_mismatch
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_optimal() {
+            write!(
+                f,
+                "OPTIMAL: objective {:.6}, duality gap {:.3e}, worst primal \
+                 violation {:.3e}",
+                self.primal_objective, self.duality_gap, self.max_primal_violation
+            )
+        } else {
+            write!(f, "NOT CERTIFIED: {}", self.failures().join("; "))
+        }
+    }
+}
+
+/// Verify `sol` against `model`, recomputing everything from scratch.
+///
+/// Fails with [`CertifyError`] only when the inputs are structurally
+/// unusable (no duals, wrong arity); a *wrong* solution yields an `Ok`
+/// certificate whose [`Certificate::is_optimal`] is false and whose
+/// [`Certificate::failures`] explain why.
+pub fn certify(model: &Model, sol: &Solution) -> Result<Certificate, CertifyError> {
+    let n = model.num_vars();
+    let m = model.num_constraints();
+    let x = sol.values();
+    let y = sol.duals();
+    if x.len() != n {
+        return Err(CertifyError::DimensionMismatch {
+            expected: n,
+            got: x.len(),
+        });
+    }
+    if y.len() != m {
+        return Err(CertifyError::MissingDuals {
+            expected: m,
+            got: y.len(),
+        });
+    }
+
+    // Internal minimization sense (the duals' convention).
+    let sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    // --- primal side ----------------------------------------------------
+    let max_primal_violation = model.max_violation(x);
+    let primal_objective = model.objective_of(x);
+    let p_int = sign * primal_objective;
+    let objective_mismatch = (sol.objective() - primal_objective).abs();
+
+    let mut max_rhs = 0.0f64;
+    let mut max_cost = 0.0f64;
+    for c in model.constraint_ids() {
+        max_rhs = max_rhs.max(model.constraint_rhs(c).abs());
+    }
+    for v in model.var_ids() {
+        max_cost = max_cost.max(model.var_obj(v).abs());
+    }
+    let primal_scale = 1.0 + max_rhs;
+    let gap_scale = 1.0 + p_int.abs();
+    let cost_scale = 1.0 + max_cost;
+
+    // --- dual side ------------------------------------------------------
+    // Reduced costs d = c_int − yᵀA, plus row slacks for the CS products.
+    let mut reduced: Vec<f64> = model.var_ids().map(|v| sign * model.var_obj(v)).collect();
+    let mut max_dual_violation = 0.0f64;
+    let mut max_slackness_violation = 0.0f64;
+    let mut dual_objective_int = 0.0f64;
+
+    for (i, c) in model.constraint_ids().enumerate() {
+        let yi = y[i];
+        let mut lhs = 0.0;
+        for (v, coef) in model.constraint_terms(c) {
+            reduced[v.index()] -= yi * coef;
+            lhs += coef * x[v.index()];
+        }
+        let rhs = model.constraint_rhs(c);
+        // Sign condition per row type (internal minimize: Ge rows carry
+        // y ≥ 0, Le rows y ≤ 0, Eq free).
+        let sign_violation = match model.constraint_cmp(c) {
+            Cmp::Ge => (-yi).max(0.0),
+            Cmp::Le => yi.max(0.0),
+            Cmp::Eq => 0.0,
+        };
+        max_dual_violation = max_dual_violation.max(sign_violation / cost_scale);
+        // Row complementary slackness: y_i · (a_iᵀx − b_i) ≈ 0.
+        max_slackness_violation = max_slackness_violation.max((yi * (lhs - rhs)).abs() / gap_scale);
+        dual_objective_int += yi * rhs;
+    }
+
+    for v in model.var_ids() {
+        let d = reduced[v.index()];
+        let (lb, ub) = model.var_bounds(v);
+        // Bound-side dual feasibility: a positive reduced cost needs a
+        // finite lower bound to lean on, a negative one a finite upper.
+        if lb == f64::NEG_INFINITY {
+            max_dual_violation = max_dual_violation.max(d.max(0.0) / cost_scale);
+        }
+        if ub == f64::INFINITY {
+            max_dual_violation = max_dual_violation.max((-d).max(0.0) / cost_scale);
+        }
+        // Column complementary slackness and the bound terms of the dual
+        // objective. Products with an infinite bound are skipped: their
+        // reduced-cost side is already charged as a dual violation above.
+        let xv = x[v.index()];
+        if d > 0.0 && lb.is_finite() {
+            max_slackness_violation =
+                max_slackness_violation.max((d * (xv - lb)).abs() / gap_scale);
+            dual_objective_int += d * lb;
+        }
+        if d < 0.0 && ub.is_finite() {
+            max_slackness_violation =
+                max_slackness_violation.max((d * (ub - xv)).abs() / gap_scale);
+            dual_objective_int += d * ub;
+        }
+    }
+
+    Ok(Certificate {
+        primal_objective,
+        dual_objective: sign * dual_objective_int,
+        duality_gap: (p_int - dual_objective_int).abs(),
+        max_primal_violation,
+        max_dual_violation,
+        max_slackness_violation,
+        objective_mismatch,
+        primal_scale,
+        gap_scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_lp::Model;
+
+    /// min 2x + 3y  s.t.  x + y ≥ 4,  x ≤ 3,  x,y ∈ [0,10] → x=3, y=1, obj 9.
+    fn sample() -> Model {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let y = m.add_var("y", 0.0, 10.0, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        m
+    }
+
+    #[test]
+    fn certifies_solver_output() {
+        let m = sample();
+        let sol = m.solve().unwrap();
+        let cert = certify(&m, &sol).unwrap();
+        assert!(cert.is_optimal(), "{cert}");
+        assert!((cert.primal_objective - 9.0).abs() < 1e-9);
+        assert!((cert.dual_objective - 9.0).abs() < 1e-6);
+        assert!(cert.failures().is_empty());
+    }
+
+    #[test]
+    fn certifies_maximization() {
+        // max x + y  s.t.  2x + y ≤ 4,  x + 3y ≤ 6  → x=1.2, y=1.6, obj 2.8.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 2.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let sol = m.solve().unwrap();
+        let cert = certify(&m, &sol).unwrap();
+        assert!(cert.is_optimal(), "{cert}");
+        assert!((cert.primal_objective - 2.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_rows_certify() {
+        // min x + 2y  s.t.  x + y = 3,  y ≥ 1 → x=2, y=1, obj 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0);
+        m.add_constraint([(y, 1.0)], Cmp::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        let cert = certify(&m, &sol).unwrap();
+        assert!(cert.is_optimal(), "{cert}");
+        assert!((cert.primal_objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_feasible_but_suboptimal_point() {
+        let m = sample();
+        let real = m.solve().unwrap();
+        // Hand the verifier a feasible interior point (x=3, y=4, obj 18)
+        // with the solver's duals: the gap must expose it.
+        let fake = lips_lp::Solution::from_parts(18.0, vec![3.0, 4.0], real.duals().to_vec(), 0);
+        let cert = certify(&m, &fake).unwrap();
+        assert!(!cert.is_optimal());
+        assert!(cert.duality_gap > 1.0);
+        assert!(
+            cert.failures().iter().any(|s| s.contains("duality gap")),
+            "{cert}"
+        );
+    }
+
+    #[test]
+    fn rejects_infeasible_point() {
+        let m = sample();
+        let real = m.solve().unwrap();
+        let fake = lips_lp::Solution::from_parts(0.0, vec![0.0, 0.0], real.duals().to_vec(), 0);
+        let cert = certify(&m, &fake).unwrap();
+        assert!(!cert.is_optimal());
+        assert!(cert.max_primal_violation >= 4.0 - 1e-12);
+    }
+
+    #[test]
+    fn rejects_sign_flipped_duals() {
+        let m = sample();
+        let real = m.solve().unwrap();
+        let flipped: Vec<f64> = real.duals().iter().map(|d| -d).collect();
+        let fake =
+            lips_lp::Solution::from_parts(real.objective(), real.values().to_vec(), flipped, 0);
+        let cert = certify(&m, &fake).unwrap();
+        assert!(!cert.is_optimal(), "{cert}");
+        assert!(cert.max_dual_violation > 0.0 || cert.duality_gap > 1e-6);
+    }
+
+    #[test]
+    fn rejects_lying_objective() {
+        let m = sample();
+        let real = m.solve().unwrap();
+        let fake = lips_lp::Solution::from_parts(
+            real.objective() - 5.0,
+            real.values().to_vec(),
+            real.duals().to_vec(),
+            0,
+        );
+        let cert = certify(&m, &fake).unwrap();
+        assert!(!cert.is_optimal());
+        assert!((cert.objective_mismatch - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_duals_is_an_error_not_a_pass() {
+        let m = sample();
+        let sol = m.solve_dense().unwrap(); // dense oracle: no duals
+        match certify(&m, &sol) {
+            Err(CertifyError::MissingDuals {
+                expected: 2,
+                got: 0,
+            }) => {}
+            other => panic!("expected MissingDuals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let m = sample();
+        let fake = lips_lp::Solution::from_parts(0.0, vec![1.0], vec![0.0, 0.0], 0);
+        assert!(matches!(
+            certify(&m, &fake),
+            Err(CertifyError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+}

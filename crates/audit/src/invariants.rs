@@ -1,0 +1,720 @@
+//! Paper-invariant audit: structural checks tying a generated LP back to
+//! the Fig 2/3/4 formulations of the paper.
+//!
+//! The builder in `lips-core/src/lp_build.rs` annotates every row and
+//! column it emits ([`RowKind`], [`VarKind`]); this pass re-derives the
+//! paper's structure from those annotations and verifies:
+//!
+//! * every job has exactly one coverage row `Σ x^t + f_k ≥ 1` (eq. 20)
+//!   spanning all of the job's assignment variables;
+//! * every (job, store) pair with assignment variables has the linking
+//!   row `Σ_l x^t_klm − Σ n_km ≤ avail_km` (eq. 24);
+//! * capacity rows match the cluster matrices: CPU rows carry each job's
+//!   work as the coefficient and the machine's ECU-second capacity as the
+//!   rhs (eq. 23), transfer rows carry `Size/B` coefficients (eq. 21),
+//!   store rows carry `Size` coefficients against free MB (eq. 22);
+//! * the fake node's column has unbounded capacity — it appears in *no*
+//!   capacity row, only in its coverage row — and its price strictly
+//!   dominates every real assignment of the same job.
+//!
+//! Violations are reported as [`Lint`]s with [`Rule::PaperInvariant`].
+
+use std::collections::HashMap;
+
+use lips_cluster::{MachineId, StoreId};
+use lips_lp::{Cmp, ConstraintId, Model, VarId};
+
+use crate::lint::{Lint, Rule, Severity};
+
+/// Relative tolerance when comparing annotated coefficients/rhs against
+/// the values recomputed from the expectations.
+const MATCH_RTOL: f64 = 1e-9;
+
+/// What a constraint row encodes, in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// Eq. 20: job `job` must be fully assigned (fake node included).
+    Coverage { job: usize },
+    /// Eq. 24: job `job`'s reads from `store` are bounded by availability
+    /// plus new copies.
+    Linking { job: usize, store: StoreId },
+    /// Eq. 23: CPU capacity of `machine`.
+    CpuCap { machine: MachineId },
+    /// Eq. 21: read-time budget of `machine`.
+    TransferTime { machine: MachineId },
+    /// Fair-share floor for scheduler pool `pool` (not in the paper's
+    /// figures; see lp_build docs).
+    PoolFloor { pool: usize },
+    /// Eq. 22: free capacity of `store`.
+    StoreCap { store: StoreId },
+}
+
+/// What a column (variable) encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// `x^t_klm`: fraction of `job` run on `machine` reading from `store`
+    /// (`None` for input-less work).
+    Assign {
+        job: usize,
+        machine: MachineId,
+        store: Option<StoreId>,
+    },
+    /// `n_km`: new fraction of `job`'s data copied to `dest`.
+    NewCopy { job: usize, dest: StoreId },
+    /// `f_k`: deferred fraction of `job` on the fake node.
+    Fake { job: usize },
+}
+
+/// Row/column annotations the builder emits alongside its [`Model`].
+#[derive(Debug, Clone, Default)]
+pub struct ModelAnnotations {
+    rows: Vec<(ConstraintId, RowKind)>,
+    vars: Vec<(VarId, VarKind)>,
+}
+
+impl ModelAnnotations {
+    pub fn annotate_row(&mut self, id: ConstraintId, kind: RowKind) {
+        self.rows.push((id, kind));
+    }
+
+    pub fn annotate_var(&mut self, id: VarId, kind: VarKind) {
+        self.vars.push((id, kind));
+    }
+
+    /// All annotated rows, in emission order.
+    pub fn rows(&self) -> &[(ConstraintId, RowKind)] {
+        &self.rows
+    }
+
+    /// All annotated columns, in emission order.
+    pub fn vars(&self) -> &[(VarId, VarKind)] {
+        &self.vars
+    }
+
+    /// Kind of one column, if annotated.
+    pub fn var_kind(&self, v: VarId) -> Option<VarKind> {
+        self.vars.iter().find(|&&(id, _)| id == v).map(|&(_, k)| k)
+    }
+}
+
+/// Ground truth recomputed from the instance/cluster, against which the
+/// generated model is checked. Built by `lips-core` next to the model.
+#[derive(Debug, Clone, Default)]
+pub struct PaperExpectations {
+    /// Number of jobs in the instance.
+    pub num_jobs: usize,
+    /// `work_ecu()` per job — the expected CPU-row coefficient.
+    pub job_work_ecu: Vec<f64>,
+    /// `size_mb` per job — the expected store-row coefficient.
+    pub job_size_mb: Vec<f64>,
+    /// Expected rhs of each machine's CPU-capacity row
+    /// (`TP_l · duration`).
+    pub cpu_capacity: Vec<(MachineId, f64)>,
+    /// Expected rhs of each machine's transfer-time row
+    /// (`duration · slots`); empty when eq. 21 is disabled.
+    pub transfer_budget: Vec<(MachineId, f64)>,
+    /// Expected `(machine, store) → bandwidth MB/s` used by eq. 21
+    /// coefficients.
+    pub bandwidth: Vec<((MachineId, StoreId), f64)>,
+    /// Expected rhs of each store's capacity row (free MB).
+    pub store_free_mb: Vec<(StoreId, f64)>,
+    /// Whether the fake node is enabled (Fig 4).
+    pub fake_enabled: bool,
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= MATCH_RTOL * (1.0 + a.abs().max(b.abs()))
+}
+
+fn err(location: String, detail: String) -> Lint {
+    Lint {
+        rule: Rule::PaperInvariant,
+        severity: Severity::Error,
+        location,
+        detail,
+    }
+}
+
+/// Check the generated `model` against the paper's structure.
+///
+/// Returns one [`Lint`] per violated invariant; an empty vector means the
+/// model is structurally exactly what Figs 2/3/4 prescribe.
+pub fn audit_paper_invariants(
+    model: &Model,
+    ann: &ModelAnnotations,
+    expect: &PaperExpectations,
+) -> Vec<Lint> {
+    let mut out = Vec::new();
+
+    let var_kinds: HashMap<usize, VarKind> =
+        ann.vars.iter().map(|&(v, k)| (v.index(), k)).collect();
+
+    // Partition annotated variables by job.
+    let mut assigns_of_job: HashMap<usize, Vec<VarId>> = HashMap::new();
+    let mut copies_to: HashMap<(usize, StoreId), Vec<VarId>> = HashMap::new();
+    let mut fake_of_job: HashMap<usize, VarId> = HashMap::new();
+    let mut stores_of_job: HashMap<usize, Vec<StoreId>> = HashMap::new();
+    for &(v, kind) in &ann.vars {
+        match kind {
+            VarKind::Assign { job, store, .. } => {
+                assigns_of_job.entry(job).or_default().push(v);
+                if let Some(s) = store {
+                    let stores = stores_of_job.entry(job).or_default();
+                    if !stores.contains(&s) {
+                        stores.push(s);
+                    }
+                }
+            }
+            VarKind::NewCopy { job, dest } => {
+                copies_to.entry((job, dest)).or_default().push(v);
+            }
+            VarKind::Fake { job } => {
+                fake_of_job.insert(job, v);
+            }
+        }
+    }
+
+    // --- eq. 20: coverage ----------------------------------------------
+    let mut coverage_of_job: HashMap<usize, ConstraintId> = HashMap::new();
+    for &(c, kind) in &ann.rows {
+        if let RowKind::Coverage { job } = kind {
+            if coverage_of_job.insert(job, c).is_some() {
+                out.push(err(
+                    format!("row {}", c.index()),
+                    format!("job {job} has more than one coverage row (eq. 20)"),
+                ));
+            }
+        }
+    }
+    for job in 0..expect.num_jobs {
+        let Some(&c) = coverage_of_job.get(&job) else {
+            out.push(err(
+                format!("job {job}"),
+                "no coverage row: nothing forces the job to be scheduled (eq. 20)".into(),
+            ));
+            continue;
+        };
+        if model.constraint_cmp(c) != Cmp::Ge || !close(model.constraint_rhs(c), 1.0) {
+            out.push(err(
+                format!("row {}", c.index()),
+                format!(
+                    "coverage row must read `Σ x^t + f ≥ 1`, found {:?} {}",
+                    model.constraint_cmp(c),
+                    model.constraint_rhs(c)
+                ),
+            ));
+        }
+        // The row must span exactly the job's assignment vars (+ fake).
+        let mut expected: Vec<usize> = assigns_of_job
+            .get(&job)
+            .map(|v| v.iter().map(|x| x.index()).collect())
+            .unwrap_or_default();
+        if let Some(&f) = fake_of_job.get(&job) {
+            expected.push(f.index());
+        }
+        expected.sort_unstable();
+        let mut actual: Vec<usize> = Vec::new();
+        for (v, coef) in model.constraint_terms(c) {
+            if !close(coef, 1.0) {
+                out.push(err(
+                    format!("row {}", c.index()),
+                    format!(
+                        "coverage coefficient of {} is {coef}, expected 1",
+                        model.var_name(v)
+                    ),
+                ));
+            }
+            actual.push(v.index());
+        }
+        actual.sort_unstable();
+        if actual != expected {
+            out.push(err(
+                format!("row {}", c.index()),
+                format!(
+                    "coverage row covers columns {actual:?} but job {job} owns \
+                     {expected:?} (every x^t and f must appear exactly once)"
+                ),
+            ));
+        }
+    }
+
+    // --- eq. 24: linking -----------------------------------------------
+    let mut linking_of: HashMap<(usize, StoreId), ConstraintId> = HashMap::new();
+    for &(c, kind) in &ann.rows {
+        if let RowKind::Linking { job, store } = kind {
+            linking_of.insert((job, store), c);
+        }
+    }
+    let mut pairs: Vec<(usize, StoreId)> = stores_of_job
+        .iter()
+        .flat_map(|(&job, stores)| stores.iter().map(move |&s| (job, s)))
+        .collect();
+    pairs.sort_unstable_by_key(|&(job, s)| (job, s));
+    for (job, store) in pairs {
+        let Some(&c) = linking_of.get(&(job, store)) else {
+            out.push(err(
+                format!("job {job}"),
+                format!(
+                    "no linking row for store {store:?}: tasks could read data \
+                     that is not there (eq. 24)"
+                ),
+            ));
+            continue;
+        };
+        if model.constraint_cmp(c) != Cmp::Le {
+            out.push(err(
+                format!("row {}", c.index()),
+                "linking row must be a ≤ constraint (eq. 24)".into(),
+            ));
+        }
+        let rhs = model.constraint_rhs(c);
+        if !(0.0..=1.0).contains(&rhs) {
+            out.push(err(
+                format!("row {}", c.index()),
+                format!("linking rhs {rhs} is not an availability fraction in [0, 1]"),
+            ));
+        }
+        for (v, coef) in model.constraint_terms(c) {
+            let ok = match var_kinds.get(&v.index()) {
+                Some(VarKind::Assign {
+                    job: j, store: s, ..
+                }) => *j == job && *s == Some(store) && close(coef, 1.0),
+                Some(VarKind::NewCopy { job: j, dest }) => {
+                    *j == job && *dest == store && close(coef, -1.0)
+                }
+                _ => false,
+            };
+            if !ok {
+                out.push(err(
+                    format!("row {}", c.index()),
+                    format!(
+                        "linking row for job {job}/store {store:?} contains \
+                         foreign or mis-signed term {} ({coef})",
+                        model.var_name(v)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- eqs. 23/21/22: capacity rows match the cluster matrices ---------
+    let cpu_rhs: HashMap<MachineId, f64> = expect.cpu_capacity.iter().copied().collect();
+    let transfer_rhs: HashMap<MachineId, f64> = expect.transfer_budget.iter().copied().collect();
+    let bw: HashMap<(MachineId, StoreId), f64> = expect.bandwidth.iter().copied().collect();
+    let store_rhs: HashMap<StoreId, f64> = expect.store_free_mb.iter().copied().collect();
+
+    for &(c, kind) in &ann.rows {
+        match kind {
+            RowKind::CpuCap { machine } => {
+                match cpu_rhs.get(&machine) {
+                    Some(&cap) if close(model.constraint_rhs(c), cap) => {}
+                    Some(&cap) => out.push(err(
+                        format!("row {}", c.index()),
+                        format!(
+                            "CPU capacity of {machine:?} is {} but the cluster \
+                             matrix says {cap} (eq. 23)",
+                            model.constraint_rhs(c)
+                        ),
+                    )),
+                    None => out.push(err(
+                        format!("row {}", c.index()),
+                        format!("CPU row for {machine:?} not in the cluster's machine set"),
+                    )),
+                }
+                for (v, coef) in model.constraint_terms(c) {
+                    let ok = match var_kinds.get(&v.index()) {
+                        Some(VarKind::Assign {
+                            job, machine: m, ..
+                        }) => {
+                            *m == machine
+                                && expect
+                                    .job_work_ecu
+                                    .get(*job)
+                                    .is_some_and(|&w| close(coef, w))
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        out.push(err(
+                            format!("row {}", c.index()),
+                            format!(
+                                "CPU row of {machine:?}: term {} ({coef}) does not \
+                                 equal the job's work_ecu on this machine (eq. 23)",
+                                model.var_name(v)
+                            ),
+                        ));
+                    }
+                }
+            }
+            RowKind::TransferTime { machine } => {
+                match transfer_rhs.get(&machine) {
+                    Some(&budget) if close(model.constraint_rhs(c), budget) => {}
+                    _ => out.push(err(
+                        format!("row {}", c.index()),
+                        format!(
+                            "transfer budget of {machine:?} is {} but expected \
+                             duration·slots from the cluster (eq. 21)",
+                            model.constraint_rhs(c)
+                        ),
+                    )),
+                }
+                for (v, coef) in model.constraint_terms(c) {
+                    let ok = match var_kinds.get(&v.index()) {
+                        Some(VarKind::Assign {
+                            job,
+                            machine: m,
+                            store: Some(s),
+                        }) => {
+                            *m == machine
+                                && bw.get(&(machine, *s)).is_some_and(|&b| {
+                                    expect
+                                        .job_size_mb
+                                        .get(*job)
+                                        .is_some_and(|&mb| close(coef, mb / b))
+                                })
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        out.push(err(
+                            format!("row {}", c.index()),
+                            format!(
+                                "transfer row of {machine:?}: term {} ({coef}) does \
+                                 not equal Size/B from the bandwidth matrix (eq. 21)",
+                                model.var_name(v)
+                            ),
+                        ));
+                    }
+                }
+            }
+            RowKind::StoreCap { store } => {
+                match store_rhs.get(&store) {
+                    Some(&free) if close(model.constraint_rhs(c), free) => {}
+                    _ => out.push(err(
+                        format!("row {}", c.index()),
+                        format!(
+                            "store capacity of {store:?} is {} but the cluster \
+                             says otherwise (eq. 22)",
+                            model.constraint_rhs(c)
+                        ),
+                    )),
+                }
+                for (v, coef) in model.constraint_terms(c) {
+                    let ok = match var_kinds.get(&v.index()) {
+                        Some(VarKind::NewCopy { job, dest }) => {
+                            *dest == store
+                                && expect
+                                    .job_size_mb
+                                    .get(*job)
+                                    .is_some_and(|&mb| close(coef, mb))
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        out.push(err(
+                            format!("row {}", c.index()),
+                            format!(
+                                "store row of {store:?}: term {} ({coef}) is not a \
+                                 new-copy variable scaled by Size (eq. 22)",
+                                model.var_name(v)
+                            ),
+                        ));
+                    }
+                }
+            }
+            RowKind::Coverage { .. } | RowKind::Linking { .. } | RowKind::PoolFloor { .. } => {}
+        }
+    }
+
+    // --- fake node -------------------------------------------------------
+    if expect.fake_enabled {
+        // Column membership: which rows touch each fake var.
+        let mut rows_touching: HashMap<usize, Vec<ConstraintId>> = HashMap::new();
+        for c in model.constraint_ids() {
+            for (v, coef) in model.constraint_terms(c) {
+                if coef != 0.0 {
+                    rows_touching.entry(v.index()).or_default().push(c);
+                }
+            }
+        }
+        for job in 0..expect.num_jobs {
+            let Some(&f) = fake_of_job.get(&job) else {
+                out.push(err(
+                    format!("job {job}"),
+                    "fake node enabled but the job has no fake column".into(),
+                ));
+                continue;
+            };
+            // Unbounded capacity: the fake column must appear in the
+            // coverage row only — no capacity row may constrain it.
+            let touching = rows_touching.get(&f.index()).cloned().unwrap_or_default();
+            let coverage = coverage_of_job.get(&job).copied();
+            if touching.len() != 1 || coverage != Some(touching[0]) {
+                out.push(err(
+                    format!("var {}", model.var_name(f)),
+                    format!(
+                        "fake column must appear only in job {job}'s coverage row \
+                         (unbounded capacity), but touches rows {:?}",
+                        touching.iter().map(|c| c.index()).collect::<Vec<_>>()
+                    ),
+                ));
+            }
+            // Price domination: deferring must never be cheaper than any
+            // real assignment.
+            let fake_price = model.var_obj(f);
+            for &v in assigns_of_job.get(&job).map(Vec::as_slice).unwrap_or(&[]) {
+                if fake_price <= model.var_obj(v) {
+                    out.push(err(
+                        format!("var {}", model.var_name(f)),
+                        format!(
+                            "fake price {fake_price} does not strictly dominate \
+                             real assignment {} ({})",
+                            model.var_name(v),
+                            model.var_obj(v)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_lp::Model;
+
+    /// Hand-build a minimal, correct Fig-4-shaped model: one job, two
+    /// machines (each with a co-located store), data on store 0, fake node
+    /// enabled.
+    struct Tiny {
+        model: Model,
+        ann: ModelAnnotations,
+        expect: PaperExpectations,
+    }
+
+    fn tiny() -> Tiny {
+        let mut model = Model::minimize();
+        let mut ann = ModelAnnotations::default();
+        let m0 = MachineId(0);
+        let m1 = MachineId(1);
+        let s0 = StoreId(0);
+        let s1 = StoreId(1);
+        let work = 100.0;
+        let size = 64.0;
+
+        // Assignment vars for every (machine, store) pair.
+        let mut assigns = Vec::new();
+        for (l, s) in [(m0, s0), (m0, s1), (m1, s0), (m1, s1)] {
+            let v = model.add_var(format!("xt_0_{}_{}", l.0, s.0), 0.0, 1.0, 1.0 + l.0 as f64);
+            ann.annotate_var(
+                v,
+                VarKind::Assign {
+                    job: 0,
+                    machine: l,
+                    store: Some(s),
+                },
+            );
+            assigns.push((l, s, v));
+        }
+        // One new-copy var to store 1.
+        let nd = model.add_var("nd_0_1_0", 0.0, 1.0, 0.5);
+        ann.annotate_var(nd, VarKind::NewCopy { job: 0, dest: s1 });
+        // Fake var, priced above everything.
+        let fake = model.add_var("fake_0", 0.0, 1.0, 1e6);
+        ann.annotate_var(fake, VarKind::Fake { job: 0 });
+
+        // (20) coverage.
+        let mut cov: Vec<(VarId, f64)> = assigns.iter().map(|&(_, _, v)| (v, 1.0)).collect();
+        cov.push((fake, 1.0));
+        let c = model.add_constraint(cov, Cmp::Ge, 1.0);
+        ann.annotate_row(c, RowKind::Coverage { job: 0 });
+
+        // (24) linking per store.
+        for (s, avail) in [(s0, 1.0), (s1, 0.0)] {
+            let mut terms: Vec<(VarId, f64)> = assigns
+                .iter()
+                .filter(|&&(_, st, _)| st == s)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            if s == s1 {
+                terms.push((nd, -1.0));
+            }
+            let c = model.add_constraint(terms, Cmp::Le, avail);
+            ann.annotate_row(c, RowKind::Linking { job: 0, store: s });
+        }
+
+        // (23) CPU capacity per machine.
+        for l in [m0, m1] {
+            let terms: Vec<(VarId, f64)> = assigns
+                .iter()
+                .filter(|&&(ml, _, _)| ml == l)
+                .map(|&(_, _, v)| (v, work))
+                .collect();
+            let c = model.add_constraint(terms, Cmp::Le, 500.0);
+            ann.annotate_row(c, RowKind::CpuCap { machine: l });
+        }
+
+        // (22) store capacity on the copy destination.
+        let c = model.add_constraint([(nd, size)], Cmp::Le, 1000.0);
+        ann.annotate_row(c, RowKind::StoreCap { store: s1 });
+
+        let expect = PaperExpectations {
+            num_jobs: 1,
+            job_work_ecu: vec![work],
+            job_size_mb: vec![size],
+            cpu_capacity: vec![(m0, 500.0), (m1, 500.0)],
+            transfer_budget: vec![],
+            bandwidth: vec![],
+            store_free_mb: vec![(s1, 1000.0)],
+            fake_enabled: true,
+        };
+        Tiny { model, ann, expect }
+    }
+
+    fn details(t: &Tiny) -> Vec<String> {
+        audit_paper_invariants(&t.model, &t.ann, &t.expect)
+            .into_iter()
+            .map(|l| l.detail)
+            .collect()
+    }
+
+    #[test]
+    fn correct_model_passes() {
+        let t = tiny();
+        assert_eq!(details(&t), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_coverage_row_is_caught() {
+        let mut t = tiny();
+        t.ann
+            .rows
+            .retain(|&(_, k)| !matches!(k, RowKind::Coverage { .. }));
+        let d = details(&t);
+        assert!(d.iter().any(|s| s.contains("no coverage row")), "{d:?}");
+    }
+
+    #[test]
+    fn wrong_coverage_sense_is_caught() {
+        let t = tiny();
+        // Rebuild with Le instead of Ge by tampering: easiest is a fresh
+        // model mirroring tiny() but flipping the row — instead, annotate a
+        // different row as the coverage row, which also breaks the span.
+        let mut ann = ModelAnnotations::default();
+        for &(v, k) in t.ann.vars() {
+            ann.annotate_var(v, k);
+        }
+        for &(c, k) in t.ann.rows() {
+            match k {
+                RowKind::Coverage { .. } => {
+                    ann.annotate_row(ConstraintId::from_index(1), RowKind::Coverage { job: 0 });
+                }
+                other => ann.annotate_row(c, other),
+            }
+        }
+        let found = audit_paper_invariants(&t.model, &ann, &t.expect);
+        assert!(!found.is_empty());
+        assert!(found.iter().all(|l| l.rule == Rule::PaperInvariant));
+    }
+
+    #[test]
+    fn missing_linking_row_is_caught() {
+        let mut t = tiny();
+        t.ann.rows.retain(|&(_, k)| {
+            !matches!(
+                k,
+                RowKind::Linking {
+                    store: StoreId(1),
+                    ..
+                }
+            )
+        });
+        let d = details(&t);
+        assert!(d.iter().any(|s| s.contains("no linking row")), "{d:?}");
+    }
+
+    #[test]
+    fn wrong_cpu_capacity_is_caught() {
+        let mut t = tiny();
+        t.expect.cpu_capacity[1].1 = 9999.0; // cluster says 9999, model has 500
+        let d = details(&t);
+        assert!(d.iter().any(|s| s.contains("eq. 23")), "{d:?}");
+    }
+
+    #[test]
+    fn wrong_store_capacity_is_caught() {
+        let mut t = tiny();
+        t.expect.store_free_mb[0].1 = 1.0;
+        let d = details(&t);
+        assert!(d.iter().any(|s| s.contains("eq. 22")), "{d:?}");
+    }
+
+    #[test]
+    fn fake_price_must_dominate() {
+        let mut t = tiny();
+        // Rebuild expectations only; tamper the model by giving the fake
+        // column a bargain price via a fresh model is overkill — instead
+        // check detection on a cheap fake built from scratch.
+        let mut model = Model::minimize();
+        let mut ann = ModelAnnotations::default();
+        let v = model.add_var("xt_0_0_0", 0.0, 1.0, 10.0);
+        ann.annotate_var(
+            v,
+            VarKind::Assign {
+                job: 0,
+                machine: MachineId(0),
+                store: None,
+            },
+        );
+        let f = model.add_var("fake_0", 0.0, 1.0, 1.0); // cheaper than real!
+        ann.annotate_var(f, VarKind::Fake { job: 0 });
+        let c = model.add_constraint([(v, 1.0), (f, 1.0)], Cmp::Ge, 1.0);
+        ann.annotate_row(c, RowKind::Coverage { job: 0 });
+        t.expect = PaperExpectations {
+            num_jobs: 1,
+            job_work_ecu: vec![1.0],
+            job_size_mb: vec![0.0],
+            cpu_capacity: vec![],
+            transfer_budget: vec![],
+            bandwidth: vec![],
+            store_free_mb: vec![],
+            fake_enabled: true,
+        };
+        let found = audit_paper_invariants(&model, &ann, &t.expect);
+        assert!(
+            found.iter().any(|l| l.detail.contains("strictly dominate")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn fake_in_capacity_row_is_caught() {
+        let t = tiny();
+        // Clone the model and add the fake column into a CPU row.
+        let mut model = t.model.clone();
+        let fake = t
+            .ann
+            .vars()
+            .iter()
+            .find_map(|&(v, k)| matches!(k, VarKind::Fake { .. }).then_some(v))
+            .unwrap();
+        let extra = model.add_constraint([(fake, 1.0)], Cmp::Le, 10.0);
+        let mut ann = t.ann.clone();
+        ann.annotate_row(
+            extra,
+            RowKind::CpuCap {
+                machine: MachineId(0),
+            },
+        );
+        let found = audit_paper_invariants(&model, &ann, &t.expect);
+        assert!(
+            found
+                .iter()
+                .any(|l| l.detail.contains("unbounded capacity")),
+            "{found:?}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Property test: the certificate verifier accepts every solver-optimal
+//! solution on randomly generated feasible models.
+//!
+//! Feasibility by construction: draw a witness point inside the variable
+//! boxes first, then only emit constraints the witness satisfies. The
+//! boxes are finite, so the LP is bounded and the solver must succeed —
+//! and an honest optimal solution must certify.
+
+use lips_audit::certify;
+use lips_lp::{Cmp, Model, Sense};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_feasible_model(seed: u64) -> Model {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sense = if rng.gen_bool(0.5) {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut m = Model::new(sense);
+
+    let n = rng.gen_range(2..7);
+    let mut vars = Vec::new();
+    let mut witness = Vec::new();
+    for i in 0..n {
+        let lo = rng.gen_range(-5.0..5.0);
+        let hi = lo + rng.gen_range(0.0..6.0);
+        vars.push(m.add_var(format!("x{i}"), lo, hi, rng.gen_range(-3.0..3.0)));
+        witness.push(lo + (hi - lo) * rng.gen_range(0.0..1.0));
+    }
+
+    for _ in 0..rng.gen_range(1..6) {
+        let mut terms = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            if rng.gen_bool(0.7) {
+                terms.push((v, rng.gen_range(-2.0..2.0), i));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let lhs_at_witness: f64 = terms.iter().map(|&(_, c, i)| c * witness[i]).sum();
+        let slack = rng.gen_range(0.0..3.0);
+        let (cmp, rhs) = match rng.gen_range(0..3) {
+            0 => (Cmp::Le, lhs_at_witness + slack),
+            1 => (Cmp::Ge, lhs_at_witness - slack),
+            _ => (Cmp::Eq, lhs_at_witness),
+        };
+        let row: Vec<_> = terms.into_iter().map(|(v, c, _)| (v, c)).collect();
+        m.add_constraint(row, cmp, rhs);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of the pipeline end to end: solver-optimal ⇒ certified.
+    #[test]
+    fn solver_optimal_solutions_always_certify(seed in 0u64..10_000) {
+        let m = random_feasible_model(seed);
+        let sol = m.solve().expect("feasible-by-construction model must solve");
+        let cert = certify(&m, &sol).expect("revised simplex reports duals");
+        prop_assert!(
+            cert.is_optimal(),
+            "seed {}: solver output failed certification:\n{}",
+            seed,
+            cert
+        );
+    }
+
+    /// And the converse guard: corrupting the primal point breaks at least
+    /// one of the certified conditions (except in the measure-zero case of
+    /// a degenerate alternative optimum, which the slack nudging avoids).
+    #[test]
+    fn corrupted_primal_never_certifies_better_objective(seed in 0u64..2_000) {
+        let m = random_feasible_model(seed);
+        let sol = m.solve().expect("solvable");
+        // Claim an objective strictly better than optimal; weak duality
+        // makes this impossible to certify with any feasible duals.
+        let improve = match m.sense() { Sense::Minimize => -1.0, Sense::Maximize => 1.0 };
+        let cooked = lips_lp::Solution::from_parts(
+            sol.objective() + improve,
+            sol.values().to_vec(),
+            sol.duals().to_vec(),
+            sol.iterations(),
+        );
+        let cert = certify(&m, &cooked).expect("duals present");
+        prop_assert!(!cert.is_optimal(), "seed {seed}: cooked objective certified");
+    }
+}

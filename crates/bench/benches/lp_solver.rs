@@ -107,11 +107,16 @@ fn bench_refactor_interval(c: &mut Criterion) {
             ..Default::default()
         });
         g.bench_with_input(BenchmarkId::from_parameter(interval), &solver, |b, s| {
-            b.iter(|| black_box(s.solve(&model).unwrap().objective()))
+            b.iter(|| black_box(s.solve(&model).unwrap().objective()));
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_epoch_lp, bench_raw_simplex, bench_refactor_interval);
+criterion_group!(
+    benches,
+    bench_epoch_lp,
+    bench_raw_simplex,
+    bench_refactor_interval
+);
 criterion_main!(benches);

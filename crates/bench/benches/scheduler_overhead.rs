@@ -33,7 +33,13 @@ fn fixture(machines: usize, jobs: usize) -> Fixture {
     let queue: Vec<PendingJob> = bound.jobs.iter().map(PendingJob::from_spec).collect();
     let machine_states: Vec<MachineState> =
         cluster.machines.iter().map(MachineState::new).collect();
-    Fixture { cluster, bound, placement, queue, machines: machine_states }
+    Fixture {
+        cluster,
+        bound,
+        placement,
+        queue,
+        machines: machine_states,
+    }
 }
 
 fn bench_decide(c: &mut Criterion) {
@@ -55,7 +61,7 @@ fn bench_decide(c: &mut Criterion) {
                     machines: &fx.machines,
                 };
                 black_box(s.decide(&ctx).len())
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("hadoop_default", &label), &fx, |b, fx| {
             b.iter(|| {
@@ -68,7 +74,7 @@ fn bench_decide(c: &mut Criterion) {
                     machines: &fx.machines,
                 };
                 black_box(s.decide(&ctx).len())
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("delay", &label), &fx, |b, fx| {
             b.iter(|| {
@@ -81,7 +87,7 @@ fn bench_decide(c: &mut Criterion) {
                     machines: &fx.machines,
                 };
                 black_box(s.decide(&ctx).len())
-            })
+            });
         });
     }
     g.finish();

@@ -11,7 +11,12 @@ use lips_workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy, 
 
 fn run_suite(kind: &str) -> f64 {
     let mut cluster = ec2_20_node(0.5, 1e9);
-    let bound = bind_workload(&mut cluster, table_iv_suite(), PlacementPolicy::RoundRobin, 1);
+    let bound = bind_workload(
+        &mut cluster,
+        table_iv_suite(),
+        PlacementPolicy::RoundRobin,
+        1,
+    );
     let placement = Placement::spread_blocks(&cluster, 1);
     let mut sched: Box<dyn Scheduler> = match kind {
         "lips" => Box::new(LipsScheduler::new(LipsConfig::small_cluster(600.0))),
@@ -30,7 +35,7 @@ fn bench_suite(c: &mut Criterion) {
     g.sample_size(10);
     for kind in ["lips", "default", "delay"] {
         g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
-            b.iter(|| black_box(run_suite(kind)))
+            b.iter(|| black_box(run_suite(kind)));
         });
     }
     g.finish();
@@ -39,7 +44,10 @@ fn bench_suite(c: &mut Criterion) {
 fn bench_swim(c: &mut Criterion) {
     let mut g = c.benchmark_group("swim_100_jobs_100_nodes");
     g.sample_size(10);
-    let cfg = SwimCfg { jobs: 100, ..Default::default() };
+    let cfg = SwimCfg {
+        jobs: 100,
+        ..Default::default()
+    };
     for kind in ["lips", "default"] {
         g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
             b.iter(|| {
@@ -60,7 +68,7 @@ fn bench_swim(c: &mut Criterion) {
                     .run(sched.as_mut())
                     .unwrap();
                 black_box(r.events)
-            })
+            });
         });
     }
     g.finish();

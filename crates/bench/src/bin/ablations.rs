@@ -92,11 +92,22 @@ fn main() {
     pruned.epoch_s = 2000.0;
     let (re, we) = run_with(40, exact, 1, None);
     let (rp, wp) = run_with(40, pruned, 1, None);
-    t.row(["exact (no pruning)".to_string(), dollars(re.metrics.total_dollars()), format!("{:.2} s", we)]);
-    t.row(["pruned (16 machines / 20 holders / 6 dests)".to_string(), dollars(rp.metrics.total_dollars()), format!("{:.2} s", wp)]);
+    t.row([
+        "exact (no pruning)".to_string(),
+        dollars(re.metrics.total_dollars()),
+        format!("{we:.2} s"),
+    ]);
+    t.row([
+        "pruned (16 machines / 20 holders / 6 dests)".to_string(),
+        dollars(rp.metrics.total_dollars()),
+        format!("{wp:.2} s"),
+    ]);
     t.print();
     let gap = rp.metrics.total_dollars() / re.metrics.total_dollars() - 1.0;
-    println!("Pruning cost gap: {} (positive = pruned slightly dearer)\n", pct(gap));
+    println!(
+        "Pruning cost gap: {} (positive = pruned slightly dearer)\n",
+        pct(gap)
+    );
     records.push(
         ExperimentRecord::new("ablation", "pruning")
             .value("exact_dollars", re.metrics.total_dollars())
@@ -106,7 +117,13 @@ fn main() {
 
     // ---- 2. replication --------------------------------------------------
     println!("Ablation 2 — HDFS replication factor (delay locality & LiPS edge)\n");
-    let mut t = Table::new(["replicas", "delay $", "delay locality", "LiPS $", "LiPS saving"]);
+    let mut t = Table::new([
+        "replicas",
+        "delay $",
+        "delay locality",
+        "LiPS $",
+        "LiPS saving",
+    ]);
     for r in [1usize, 2, 3] {
         let d = run_delay(20, r, None);
         let (l, _) = run_with(20, LipsConfig::small_cluster(2000.0), r, None);
@@ -129,7 +146,12 @@ fn main() {
 
     // ---- 3. stragglers ----------------------------------------------------
     println!("Ablation 3 — stragglers (10% of chunks run 4x slower)\n");
-    let mut t = Table::new(["scheduler", "clean makespan", "straggler makespan", "$ change"]);
+    let mut t = Table::new([
+        "scheduler",
+        "clean makespan",
+        "straggler makespan",
+        "$ change",
+    ]);
     let (l0, _) = run_with(20, LipsConfig::small_cluster(2000.0), 1, None);
     let (l1, _) = run_with(20, LipsConfig::small_cluster(2000.0), 1, Some((0.1, 4.0)));
     let d0 = run_delay(20, 1, None);

@@ -33,7 +33,12 @@ fn jobs(shuffle_ratio: f64) -> Vec<JobSpec> {
 
 fn run(kind: &str, shuffle_ratio: f64) -> lips_sim::SimReport {
     let mut cluster = ec2_20_node(0.5, 1e9);
-    let bound = bind_workload(&mut cluster, jobs(shuffle_ratio), PlacementPolicy::RoundRobin, 17);
+    let bound = bind_workload(
+        &mut cluster,
+        jobs(shuffle_ratio),
+        PlacementPolicy::RoundRobin,
+        17,
+    );
     let placement = Placement::spread_blocks(&cluster, 17);
     let mut sched: Box<dyn Scheduler> = match kind {
         "lips" => Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
@@ -64,7 +69,11 @@ fn main() {
         let delay = run("delay", ratio);
         let saving = 1.0 - lips.metrics.total_dollars() / delay.metrics.total_dollars();
         t.row([
-            if ratio == 0.0 { "map-only".to_string() } else { format!("{ratio:.2}") },
+            if ratio == 0.0 {
+                "map-only".to_string()
+            } else {
+                format!("{ratio:.2}")
+            },
             dollars(lips.metrics.total_dollars()),
             dollars(default.metrics.total_dollars()),
             dollars(delay.metrics.total_dollars()),

@@ -4,7 +4,7 @@
 //! Paper shape: LiPS is 40–100 % slower than the delay scheduler and
 //! comparable to the Hadoop default.
 //!
-//! Flags: `--scale F`, `--epoch SECONDS`, `--json`.
+//! Flags: `--scale F`, `--epoch SECONDS`, `--json`, `--audit` (certify the LPs first).
 
 use lips_bench::experiments::{fig9_run, PAPER_SCHEDULERS};
 use lips_bench::report::{emit_json, ExperimentRecord};
@@ -22,6 +22,7 @@ fn main() {
     };
     let scale = arg("--scale", 1.0);
     let epoch = arg("--epoch", 600.0);
+    lips_bench::audit_gate::maybe_audit(epoch);
 
     println!("Figure 10 — job execution time for the Figure 9 runs\n");
     let m = fig9_run(epoch, 2013, scale);

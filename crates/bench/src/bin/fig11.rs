@@ -7,7 +7,7 @@
 //! this workload, so a 1600 s column is included to make the
 //! concentration effect unmistakable.
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, `--audit` (certify the LPs first).
 
 use lips_bench::experiments::fig11_run;
 use lips_bench::report::{emit_json, ExperimentRecord};
@@ -15,10 +15,10 @@ use lips_bench::Table;
 use lips_sim::metrics::jain_index;
 
 fn main() {
+    lips_bench::audit_gate::maybe_audit(600.0);
     println!("Figure 11 — accumulated busy CPU time per node (LiPS)\n");
     let epochs = [400.0, 600.0, 1600.0];
-    let runs: Vec<Vec<(String, f64)>> =
-        epochs.iter().map(|&e| fig11_run(e, 2013)).collect();
+    let runs: Vec<Vec<(String, f64)>> = epochs.iter().map(|&e| fig11_run(e, 2013)).collect();
 
     let mut t = Table::new(["Node", "epoch 400 s", "epoch 600 s", "epoch 1600 s"]);
     let mut records = Vec::new();

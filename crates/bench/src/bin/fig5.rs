@@ -25,9 +25,21 @@ fn main() {
 
     let points: Vec<Fig5Point> = if quick {
         vec![
-            Fig5Point { tasks: 200, stores: 10, machines: 10 },
-            Fig5Point { tasks: 400, stores: 25, machines: 25 },
-            Fig5Point { tasks: 600, stores: 50, machines: 50 },
+            Fig5Point {
+                tasks: 200,
+                stores: 10,
+                machines: 10,
+            },
+            Fig5Point {
+                tasks: 400,
+                stores: 25,
+                machines: 25,
+            },
+            Fig5Point {
+                tasks: 600,
+                stores: 50,
+                machines: 50,
+            },
         ]
     } else {
         paper_points()
@@ -37,7 +49,14 @@ fn main() {
     println!("Random clusters: CPU 0-5 millicent/ECU-s, transfer 0-60 millicent/block,");
     println!("inputs 0-6 GB, job CPU 0-1000 ECU-s. {trials} trials per point.\n");
 
-    let mut t = Table::new(["J tasks", "S", "M", "LiPS ($)", "ideal delay ($)", "reduction"]);
+    let mut t = Table::new([
+        "J tasks",
+        "S",
+        "M",
+        "LiPS ($)",
+        "ideal delay ($)",
+        "reduction",
+    ]);
     let mut records = Vec::new();
     for p in points {
         let r = fig5_point(p, trials, 2013);
@@ -50,10 +69,13 @@ fn main() {
             pct(r.reduction),
         ]);
         records.push(
-            ExperimentRecord::new("fig5", format!("J{}-S{}-M{}", p.tasks, p.stores, p.machines))
-                .value("lips_dollars", r.lips_dollars)
-                .value("ideal_delay_dollars", r.ideal_delay_dollars)
-                .value("reduction", r.reduction),
+            ExperimentRecord::new(
+                "fig5",
+                format!("J{}-S{}-M{}", p.tasks, p.stores, p.machines),
+            )
+            .value("lips_dollars", r.lips_dollars)
+            .value("ideal_delay_dollars", r.ideal_delay_dollars)
+            .value("reduction", r.reduction),
         );
     }
     t.print();

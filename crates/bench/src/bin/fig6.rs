@@ -5,7 +5,8 @@
 //! Paper shape: LiPS saves 62 % in the homogeneous setting, rising to
 //! 79–81 % with 50 % c1.medium nodes.
 //!
-//! Flags: `--quick` (scaled-down suite), `--epoch SECONDS`, `--json`.
+//! Flags: `--quick` (scaled-down suite), `--epoch SECONDS`, `--json`, `--audit`
+//! (lint + certify the LP families before running).
 
 use lips_bench::experiments::{fig6_run, Fig6Setting, PAPER_SCHEDULERS};
 use lips_bench::report::{emit_json, ExperimentRecord};
@@ -20,6 +21,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000.0);
+
+    lips_bench::audit_gate::maybe_audit(epoch);
 
     println!("Figure 6 — total cost of J1-J9 (1608 maps, 100 GB) on 20 EC2 nodes");
     println!("LiPS epoch = {epoch} s; speculative execution off.\n");
@@ -49,8 +52,11 @@ fn main() {
             rec = rec.value(k.label(), get(k));
         }
         records.push(
-            rec.value("saving_vs_default", m.lips_saving_vs(SchedulerKind::HadoopDefault))
-                .value("saving_vs_delay", m.lips_saving_vs(SchedulerKind::Delay)),
+            rec.value(
+                "saving_vs_default",
+                m.lips_saving_vs(SchedulerKind::HadoopDefault),
+            )
+            .value("saving_vs_delay", m.lips_saving_vs(SchedulerKind::Delay)),
         );
     }
     t.print();

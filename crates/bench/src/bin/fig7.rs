@@ -5,7 +5,7 @@
 //! slower) nodes; adding more powerful instances makes LiPS *slower*
 //! because it prefers the cheap ones.
 //!
-//! Flags: `--epoch SECONDS`, `--json`.
+//! Flags: `--epoch SECONDS`, `--json`, `--audit` (certify the LPs first).
 
 use lips_bench::experiments::{fig6_run, Fig6Setting};
 use lips_bench::report::{emit_json, ExperimentRecord};
@@ -21,16 +21,12 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000.0);
 
+    lips_bench::audit_gate::maybe_audit(epoch);
+
     println!("Figure 7 — total job execution time (makespan) of the Figure 6 runs");
     println!("LiPS epoch = {epoch} s.\n");
 
-    let mut t = Table::new([
-        "Setting",
-        "LiPS",
-        "Default",
-        "Delay",
-        "LiPS / Delay",
-    ]);
+    let mut t = Table::new(["Setting", "LiPS", "Default", "Delay", "LiPS / Delay"]);
     let mut records = Vec::new();
     for setting in Fig6Setting::ALL {
         let m = fig6_run(setting, epoch, 2013);

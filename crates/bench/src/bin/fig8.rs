@@ -6,7 +6,7 @@
 //! increases (longer epochs let the LP concentrate work on the cheapest
 //! nodes at the expense of parallelism).
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, `--audit` (certify the LPs first).
 
 use lips_bench::experiments::fig8_run;
 use lips_bench::report::{emit_json, ExperimentRecord};
@@ -14,10 +14,13 @@ use lips_bench::table::{dollars, secs};
 use lips_bench::Table;
 
 fn main() {
+    lips_bench::audit_gate::maybe_audit(600.0);
     println!("Figure 8 — cost vs. execution time as the LiPS epoch length varies");
     println!("(Table IV suite on the 20-node, 50% c1.medium testbed)\n");
 
-    let epochs = [100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0];
+    let epochs = [
+        100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1600.0, 2000.0, 2400.0,
+    ];
     let mut t = Table::new(["Epoch (s)", "Total cost ($)", "Exec time", "Busy nodes"]);
     let mut records = Vec::new();
     for &e in &epochs {

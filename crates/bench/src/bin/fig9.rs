@@ -26,11 +26,18 @@ fn main() {
     let epoch = arg("--epoch", 600.0);
     let jobs = (400.0 * scale).round() as usize;
 
+    lips_bench::audit_gate::maybe_audit(epoch);
     println!("Figure 9 — total cost on 100 EC2 nodes (3 zones, 3 instance types)");
     println!("SWIM-like Facebook trace: {jobs} jobs over 24 h; LiPS epoch = {epoch} s.\n");
 
     let m = fig9_run(epoch, 2013, scale);
-    let mut t = Table::new(["Scheduler", "Total ($)", "CPU ($)", "Transfer ($)", "LiPS saving"]);
+    let mut t = Table::new([
+        "Scheduler",
+        "Total ($)",
+        "CPU ($)",
+        "Transfer ($)",
+        "LiPS saving",
+    ]);
     let mut records = Vec::new();
     for k in PAPER_SCHEDULERS {
         let r = m.get(k);

@@ -5,6 +5,8 @@
 //! * `--full` — paper-scale everywhere (Fig 5 at 100 nodes, Fig 9 with
 //!   the full 400-job trace); substantially slower.
 //! * `--json` — also emit machine-readable records per experiment.
+//! * `--audit` — lint and certify every LP family before each figure
+//!   that solves one (forwarded to the figure binaries).
 
 use std::process::Command;
 
@@ -12,10 +14,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let audit = args.iter().any(|a| a == "--audit");
 
     let exe = std::env::current_exe().expect("current exe");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
 
+    let audit_bins = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11"];
     let run = |name: &str, extra: &[&str]| {
         println!("\n================================================================");
         println!("== {name}");
@@ -25,7 +29,12 @@ fn main() {
         if json {
             cmd.arg("--json");
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if audit && audit_bins.contains(&name) {
+            cmd.arg("--audit");
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
         assert!(status.success(), "{name} failed");
     };
 

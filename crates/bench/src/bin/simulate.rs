@@ -22,9 +22,7 @@ use lips_core::{
     LipsConfig, LipsScheduler,
 };
 use lips_sim::{Placement, Scheduler, Simulation};
-use lips_workload::{
-    bind_workload, swim_trace, table_iv_suite, JobSpec, PlacementPolicy, SwimCfg,
-};
+use lips_workload::{bind_workload, swim_trace, table_iv_suite, JobSpec, PlacementPolicy, SwimCfg};
 
 #[derive(Debug, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -96,9 +94,16 @@ enum SchedulerCfg {
 
 fn sample_config() -> Config {
     Config {
-        cluster: ClusterCfg::Ec2Mixed { nodes: 20, c1_fraction: 0.5 },
+        cluster: ClusterCfg::Ec2Mixed {
+            nodes: 20,
+            c1_fraction: 0.5,
+        },
         workload: WorkloadCfg::Swim { jobs: 50, hours: 4 },
-        scheduler: SchedulerCfg::Lips { epoch_s: 600.0, fairness: 0.0, pruned: false },
+        scheduler: SchedulerCfg::Lips {
+            epoch_s: 600.0,
+            fairness: 0.0,
+            pruned: false,
+        },
         seed: 2013,
         replication: 1,
         stragglers: None,
@@ -124,9 +129,14 @@ fn build_cluster(cfg: &ClusterCfg, seed: u64) -> Cluster {
 fn build_jobs(cfg: &WorkloadCfg, seed: u64) -> Vec<JobSpec> {
     match cfg {
         WorkloadCfg::TableIv => table_iv_suite(),
-        WorkloadCfg::Swim { jobs, hours } => {
-            swim_trace(&SwimCfg { jobs: *jobs, hours: *hours, ..Default::default() }, seed)
-        }
+        WorkloadCfg::Swim { jobs, hours } => swim_trace(
+            &SwimCfg {
+                jobs: *jobs,
+                hours: *hours,
+                ..Default::default()
+            },
+            seed,
+        ),
         WorkloadCfg::Jobs { jobs } => jobs.clone(),
         WorkloadCfg::File { path } => {
             let json = fs::read_to_string(path).expect("workload file readable");
@@ -137,7 +147,11 @@ fn build_jobs(cfg: &WorkloadCfg, seed: u64) -> Vec<JobSpec> {
 
 fn build_scheduler(cfg: &SchedulerCfg) -> Box<dyn Scheduler> {
     match cfg {
-        SchedulerCfg::Lips { epoch_s, fairness, pruned } => {
+        SchedulerCfg::Lips {
+            epoch_s,
+            fairness,
+            pruned,
+        } => {
             let mut c = if *pruned {
                 LipsConfig::large_cluster(*epoch_s)
             } else {
@@ -148,7 +162,10 @@ fn build_scheduler(cfg: &SchedulerCfg) -> Box<dyn Scheduler> {
         }
         SchedulerCfg::LipsAdaptive { cost_preference } => Box::new(AdaptiveLips::new(
             LipsConfig::small_cluster(400.0),
-            AdaptiveConfig { cost_preference: *cost_preference, ..Default::default() },
+            AdaptiveConfig {
+                cost_preference: *cost_preference,
+                ..Default::default()
+            },
         )),
         SchedulerCfg::HadoopDefault => Box::new(HadoopDefaultScheduler::new()),
         SchedulerCfg::Delay => Box::new(DelayScheduler::default()),
@@ -159,7 +176,10 @@ fn build_scheduler(cfg: &SchedulerCfg) -> Box<dyn Scheduler> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--print-sample-config") {
-        println!("{}", serde_json::to_string_pretty(&sample_config()).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&sample_config()).unwrap()
+        );
         return;
     }
     let path = args
@@ -191,7 +211,9 @@ fn main() {
         sim = sim.with_stragglers(p, f, cfg.seed);
     }
     let mut sched = build_scheduler(&cfg.scheduler);
-    let r = sim.run(sched.as_mut()).unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    let r = sim
+        .run(sched.as_mut())
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"));
 
     println!("scheduler        : {}", r.scheduler);
     println!("jobs completed   : {} / {n_jobs}", r.outcomes.len());
@@ -201,7 +223,10 @@ fn main() {
     println!("  moves          : {:.4}", r.metrics.move_dollars);
     println!("makespan         : {:.0} s", r.makespan);
     println!("mean job duration: {:.0} s", r.mean_job_duration());
-    println!("data locality    : {:.1}%", r.metrics.locality_ratio() * 100.0);
+    println!(
+        "data locality    : {:.1}%",
+        r.metrics.locality_ratio() * 100.0
+    );
     println!("moved data       : {:.0} MB", r.metrics.moved_mb);
     println!("pool fairness    : {:.3} (Jain)", r.pool_fairness_jain());
     println!("events processed : {}", r.events);

@@ -30,8 +30,10 @@ fn main() {
     let records: Vec<ExperimentRecord> = JobKind::ALL
         .iter()
         .map(|k| {
-            ExperimentRecord::new("table1", k.name())
-                .value("ecu_sec_per_block", k.ecu_sec_per_block().unwrap_or(f64::INFINITY))
+            ExperimentRecord::new("table1", k.name()).value(
+                "ecu_sec_per_block",
+                k.ecu_sec_per_block().unwrap_or(f64::INFINITY),
+            )
         })
         .collect();
     emit_json(&records);

@@ -22,18 +22,24 @@ fn main() {
             format!("{}", i.mem_gb),
             format!("{}", i.storage_gb),
             format!("{:.2}-{:.2}", i.price_per_hour.0, i.price_per_hour.1),
-            format!("{:.2}-{:.2}", i.millicent_per_ecu_sec.0, i.millicent_per_ecu_sec.1),
+            format!(
+                "{:.2}-{:.2}",
+                i.millicent_per_ecu_sec.0, i.millicent_per_ecu_sec.1
+            ),
         ]);
         records.push(
             ExperimentRecord::new("table3", i.name)
                 .value("ecu", i.ecu)
-                .value("millicent_per_ecu_sec_mid", (i.millicent_per_ecu_sec.0 + i.millicent_per_ecu_sec.1) / 2.0),
+                .value(
+                    "millicent_per_ecu_sec_mid",
+                    (i.millicent_per_ecu_sec.0 + i.millicent_per_ecu_sec.1) / 2.0,
+                ),
         );
     }
     t.print();
 
-    let ratio = InstanceType::M1_MEDIUM.cpu_cost_dollars()
-        / InstanceType::C1_MEDIUM.cpu_cost_dollars();
+    let ratio =
+        InstanceType::M1_MEDIUM.cpu_cost_dollars() / InstanceType::C1_MEDIUM.cpu_cost_dollars();
     println!(
         "\nPer ECU-second, c1.medium is {ratio:.1}x cheaper than m1.medium \
          (paper: 4-5x) — the savings opportunity LiPS exploits."

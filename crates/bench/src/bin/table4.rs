@@ -14,12 +14,16 @@ fn main() {
             j.name.clone(),
             j.kind.name().to_string(),
             format!("{}", j.tasks),
-            if j.input_mb > 0.0 { format!("{:.0}", j.input_mb / 1024.0) } else { "-".into() },
+            if j.input_mb > 0.0 {
+                format!("{:.0}", j.input_mb / 1024.0)
+            } else {
+                "-".into()
+            },
             format!("{:.0}", j.total_ecu_sec()),
         ]);
         records.push(
             ExperimentRecord::new("table4", &j.name)
-                .value("tasks", j.tasks as f64)
+                .value("tasks", f64::from(j.tasks))
                 .value("input_mb", j.input_mb)
                 .value("total_ecu_sec", j.total_ecu_sec()),
         );
@@ -28,7 +32,10 @@ fn main() {
 
     let tasks: u32 = suite.iter().map(|j| j.tasks).sum();
     let input: f64 = suite.iter().map(|j| j.input_mb).sum::<f64>() / 1024.0;
-    let work: f64 = suite.iter().map(|j| j.total_ecu_sec()).sum();
+    let work: f64 = suite
+        .iter()
+        .map(lips_workload::JobSpec::total_ecu_sec)
+        .sum();
     println!("\nTotals: {tasks} map tasks, {input:.0} GB input, {work:.0} ECU-seconds.");
     println!("Paper reference: 1608 map tasks, 100 GB total input.");
     emit_json(&records);

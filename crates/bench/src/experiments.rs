@@ -20,8 +20,11 @@ pub enum Fig6Setting {
 }
 
 impl Fig6Setting {
-    pub const ALL: [Fig6Setting; 3] =
-        [Fig6Setting::AllM1Medium, Fig6Setting::QuarterC1, Fig6Setting::HalfC1];
+    pub const ALL: [Fig6Setting; 3] = [
+        Fig6Setting::AllM1Medium,
+        Fig6Setting::QuarterC1,
+        Fig6Setting::HalfC1,
+    ];
 
     pub fn c1_fraction(self) -> f64 {
         match self {
@@ -41,8 +44,11 @@ impl Fig6Setting {
 }
 
 /// Schedulers compared in the paper's testbed figures.
-pub const PAPER_SCHEDULERS: [SchedulerKind; 3] =
-    [SchedulerKind::Lips, SchedulerKind::HadoopDefault, SchedulerKind::Delay];
+pub const PAPER_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Lips,
+    SchedulerKind::HadoopDefault,
+    SchedulerKind::Delay,
+];
 
 /// Figures 6/7: Table IV suite (J1–J9, 1608 maps) on the 20-node testbed.
 pub fn fig6_run(setting: Fig6Setting, epoch_s: f64, seed: u64) -> Matchup {
@@ -72,7 +78,10 @@ pub fn fig8_run(epoch_s: f64, seed: u64) -> lips_sim::SimReport {
 /// `scale` shrinks the trace (job count) for quick runs; `1.0` is the
 /// paper's full 400-job day.
 pub fn fig9_run(epoch_s: f64, seed: u64, scale: f64) -> Matchup {
-    let cfg = SwimCfg { jobs: (400.0 * scale).round().max(10.0) as usize, ..Default::default() };
+    let cfg = SwimCfg {
+        jobs: (400.0 * scale).round().max(10.0) as usize,
+        ..Default::default()
+    };
     let spec = MatchupSpec {
         make_cluster: move || ec2_100_node(1e9, seed),
         make_jobs: move || swim_trace(&cfg, seed),
@@ -116,7 +125,7 @@ pub fn mini_suite(divisor: u32) -> Vec<JobSpec> {
         .into_iter()
         .map(|mut j| {
             j.tasks = (j.tasks / divisor).max(1);
-            j.input_mb /= divisor as f64;
+            j.input_mb /= f64::from(divisor);
             j
         })
         .collect()

@@ -13,13 +13,14 @@
 //!
 //! Every experiment is seeded and deterministic.
 
+pub mod audit_gate;
 pub mod experiments;
 pub mod fig5;
 pub mod matchup;
 pub mod report;
 pub mod table;
 
-pub use experiments::{fig6_run, fig8_run, fig9_run, fig11_run, Fig6Setting, PAPER_SCHEDULERS};
+pub use experiments::{fig11_run, fig6_run, fig8_run, fig9_run, Fig6Setting, PAPER_SCHEDULERS};
 pub use fig5::{fig5_point, Fig5Point, Fig5Result};
 pub use matchup::{run_matchup, Matchup, MatchupSpec, SchedulerKind};
 pub use report::ExperimentRecord;

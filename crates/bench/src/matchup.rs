@@ -58,7 +58,12 @@ pub struct Matchup {
 
 impl Matchup {
     pub fn get(&self, kind: SchedulerKind) -> &SimReport {
-        &self.reports.iter().find(|(k, _)| *k == kind).expect("scheduler was run").1
+        &self
+            .reports
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("scheduler was run")
+            .1
     }
 
     /// Cost reduction of LiPS relative to `baseline`:
@@ -79,8 +84,12 @@ where
     let mut reports = Vec::with_capacity(kinds.len());
     for &kind in kinds {
         let mut cluster = (spec.make_cluster)();
-        let bound =
-            bind_workload(&mut cluster, (spec.make_jobs)(), PlacementPolicy::RoundRobin, spec.seed);
+        let bound = bind_workload(
+            &mut cluster,
+            (spec.make_jobs)(),
+            PlacementPolicy::RoundRobin,
+            spec.seed,
+        );
         let placement = Placement::spread_blocks(&cluster, spec.seed);
         let sim = Simulation::new(&cluster, &bound).with_placement(placement);
         let report = match kind {
@@ -123,7 +132,8 @@ pub fn run_one(
         SchedulerKind::Delay => Box::new(DelayScheduler::default()),
         SchedulerKind::Fair => Box::new(FairScheduler::new()),
     };
-    sim.run(sched.as_mut()).unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()))
+    sim.run(sched.as_mut())
+        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()))
 }
 
 #[cfg(test)]

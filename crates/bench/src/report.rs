@@ -16,7 +16,11 @@ pub struct ExperimentRecord {
 
 impl ExperimentRecord {
     pub fn new(id: impl Into<String>, config: impl Into<String>) -> Self {
-        ExperimentRecord { id: id.into(), config: config.into(), values: Vec::new() }
+        ExperimentRecord {
+            id: id.into(),
+            config: config.into(),
+            values: Vec::new(),
+        }
     }
 
     pub fn value(mut self, name: impl Into<String>, v: f64) -> Self {

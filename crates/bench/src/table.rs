@@ -11,7 +11,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics if the width differs from the header row.
@@ -40,9 +43,10 @@ impl Table {
                 let w = widths[i];
                 let c = &cells[i];
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = c.chars().next().is_some_and(|ch| {
-                    ch.is_ascii_digit() || ch == '-' || ch == '+' || ch == '.'
-                });
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+' || ch == '.');
                 if numeric {
                     let _ = write!(out, "{c:>w$}");
                 } else {

@@ -57,7 +57,9 @@ impl ClusterBuilder {
     ) -> MachineId {
         let mid = MachineId(self.machines.len());
         let name = format!("{}-{}", instance.name, mid.0);
-        self.machines.push(Machine::from_instance(mid.0, name, zone, instance, price_t, uptime));
+        self.machines.push(Machine::from_instance(
+            mid.0, name, zone, instance, price_t, uptime,
+        ));
         let sid = StoreId(self.stores.len());
         self.stores.push(Store::new(
             sid.0,
@@ -72,12 +74,23 @@ impl ClusterBuilder {
     /// Add a standalone (not co-located) store.
     pub fn add_store(&mut self, zone: ZoneId, capacity_mb: f64) -> StoreId {
         let sid = StoreId(self.stores.len());
-        self.stores.push(Store::new(sid.0, format!("store-{}", sid.0), zone, capacity_mb, None));
+        self.stores.push(Store::new(
+            sid.0,
+            format!("store-{}", sid.0),
+            zone,
+            capacity_mb,
+            None,
+        ));
         sid
     }
 
     /// Register a data object originating at `origin`.
-    pub fn add_data(&mut self, name: impl Into<String>, size_mb: f64, origin: StoreId) -> DataObject {
+    pub fn add_data(
+        &mut self,
+        name: impl Into<String>,
+        size_mb: f64,
+        origin: StoreId,
+    ) -> DataObject {
         let d = DataObject::new(self.data.len(), name, size_mb, origin);
         self.data.push(d.clone());
         d
@@ -113,7 +126,11 @@ impl ClusterBuilder {
 
 /// The three-zone layout every EC2 testbed in the paper uses.
 fn three_zones(b: &mut ClusterBuilder) -> [ZoneId; 3] {
-    [b.add_zone("us-east-1a"), b.add_zone("us-east-1b"), b.add_zone("us-east-1c")]
+    [
+        b.add_zone("us-east-1a"),
+        b.add_zone("us-east-1b"),
+        b.add_zone("us-east-1c"),
+    ]
 }
 
 /// The 20-node Figure 6 testbed. `c1_fraction` of the nodes are c1.medium
@@ -133,7 +150,11 @@ pub fn ec2_mixed_cluster(n: usize, c1_fraction: f64, uptime: f64, seed: u64) -> 
     let n_c1 = (n as f64 * c1_fraction).round() as usize;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for i in 0..n {
-        let inst = if i < n_c1 { InstanceType::C1_MEDIUM } else { InstanceType::M1_MEDIUM };
+        let inst = if i < n_c1 {
+            InstanceType::C1_MEDIUM
+        } else {
+            InstanceType::M1_MEDIUM
+        };
         // Price diversity within the published hourly range.
         let t = rng.gen_range(0.0..1.0);
         b.add_machine(zones[i % 3], inst, t, uptime);
@@ -192,7 +213,10 @@ impl Default for RandomClusterCfg {
 /// co-located store (extra standalone stores are added if `stores >
 /// machines`), CPU prices and pairwise transfer prices drawn uniformly.
 pub fn random_cluster(cfg: &RandomClusterCfg, seed: u64) -> Cluster {
-    assert!(cfg.stores >= cfg.machines, "need at least one store per machine");
+    assert!(
+        cfg.stores >= cfg.machines,
+        "need at least one store per machine"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = ClusterBuilder::new();
     let zone = b.add_zone("sim");
@@ -210,9 +234,8 @@ pub fn random_cluster(cfg: &RandomClusterCfg, seed: u64) -> Cluster {
     }
     // Pairwise transfer prices (symmetric, zero diagonal for stores).
     let per_mb = |rng: &mut ChaCha8Rng| {
-        rng.gen_range(
-            cfg.transfer_millicent_per_block.0..=cfg.transfer_millicent_per_block.1,
-        ) * MILLICENT
+        rng.gen_range(cfg.transfer_millicent_per_block.0..=cfg.transfer_millicent_per_block.1)
+            * MILLICENT
             / crate::BLOCK_MB
     };
     let s = cfg.stores;
@@ -233,7 +256,10 @@ pub fn random_cluster(cfg: &RandomClusterCfg, seed: u64) -> Cluster {
             *cell = if m == l { 0.0 } else { ss[l][m] };
         }
     }
-    b.overrides(CostOverrides { ms_dollars_per_mb: ms, ss_dollars_per_mb: ss });
+    b.overrides(CostOverrides {
+        ms_dollars_per_mb: ms,
+        ss_dollars_per_mb: ss,
+    });
     b.build()
 }
 
@@ -249,7 +275,11 @@ mod tests {
         assert_eq!(c.zones.len(), 3);
 
         let c = ec2_20_node(0.5, 3600.0);
-        let n_c1 = c.machines.iter().filter(|m| m.instance.name == "c1.medium").count();
+        let n_c1 = c
+            .machines
+            .iter()
+            .filter(|m| m.instance.name == "c1.medium")
+            .count();
         assert_eq!(n_c1, 10);
         c.validate().unwrap();
     }
@@ -266,7 +296,11 @@ mod tests {
         assert_eq!(c.num_machines(), 100);
         assert_eq!(c.num_stores(), 100);
         for name in ["m1.small", "m1.medium", "c1.medium"] {
-            let n = c.machines.iter().filter(|m| m.instance.name == name).count();
+            let n = c
+                .machines
+                .iter()
+                .filter(|m| m.instance.name == name)
+                .count();
             assert!((33..=34).contains(&n), "{name}: {n}");
         }
         c.validate().unwrap();
@@ -283,7 +317,11 @@ mod tests {
 
     #[test]
     fn random_cluster_shapes_and_ranges() {
-        let cfg = RandomClusterCfg { machines: 5, stores: 8, ..Default::default() };
+        let cfg = RandomClusterCfg {
+            machines: 5,
+            stores: 8,
+            ..Default::default()
+        };
         let c = random_cluster(&cfg, 99);
         assert_eq!(c.num_machines(), 5);
         assert_eq!(c.num_stores(), 8);

@@ -71,7 +71,8 @@ impl Cluster {
         if store.is_local_to(l) {
             return 0.0;
         }
-        self.network.dollars_per_mb(self.machine(l).zone, store.zone)
+        self.network
+            .dollars_per_mb(self.machine(l).zone, store.zone)
     }
 
     /// `SS_ij`: dollars per MB moved between two stores (data placement).
@@ -82,7 +83,8 @@ impl Cluster {
         if let Some(ov) = &self.overrides {
             return ov.ss_dollars_per_mb[i.0][j.0];
         }
-        self.network.dollars_per_mb(self.store(i).zone, self.store(j).zone)
+        self.network
+            .dollars_per_mb(self.store(i).zone, self.store(j).zone)
     }
 
     /// `B_lm` variant for execution reads: MB/s between machine `l` and
@@ -100,7 +102,8 @@ impl Cluster {
         if i == j {
             return self.network.local_mbps;
         }
-        self.network.bandwidth(self.store(i).zone, self.store(j).zone)
+        self.network
+            .bandwidth(self.store(i).zone, self.store(j).zone)
     }
 
     /// Hadoop locality level of a (machine, store) pair, used by the greedy
@@ -118,7 +121,10 @@ impl Cluster {
 
     /// The store co-located with a machine, if any.
     pub fn store_of_machine(&self, l: MachineId) -> Option<StoreId> {
-        self.stores.iter().find(|s| s.colocated == Some(l)).map(|s| s.id)
+        self.stores
+            .iter()
+            .find(|s| s.colocated == Some(l))
+            .map(|s| s.id)
     }
 
     /// Total cluster CPU throughput in ECU.
@@ -128,7 +134,10 @@ impl Cluster {
 
     /// Cheapest CPU price across machines (dollars per ECU-second).
     pub fn min_cpu_cost(&self) -> f64 {
-        self.machines.iter().map(|m| m.cpu_cost).fold(f64::INFINITY, f64::min)
+        self.machines
+            .iter()
+            .map(|m| m.cpu_cost)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Most expensive CPU price across machines.
@@ -182,13 +191,11 @@ impl Cluster {
         }
         if let Some(ov) = &self.overrides {
             let (m, s) = (self.machines.len(), self.stores.len());
-            if ov.ms_dollars_per_mb.len() != m
-                || ov.ms_dollars_per_mb.iter().any(|r| r.len() != s)
+            if ov.ms_dollars_per_mb.len() != m || ov.ms_dollars_per_mb.iter().any(|r| r.len() != s)
             {
                 return Err("override MS matrix has wrong shape".into());
             }
-            if ov.ss_dollars_per_mb.len() != s
-                || ov.ss_dollars_per_mb.iter().any(|r| r.len() != s)
+            if ov.ss_dollars_per_mb.len() != s || ov.ss_dollars_per_mb.iter().any(|r| r.len() != s)
             {
                 return Err("override SS matrix has wrong shape".into());
             }
@@ -217,7 +224,14 @@ mod tests {
             Store::new(2, "s2", ZoneId(0), 1e6, None),
         ];
         let data = vec![DataObject::new(0, "d0", 640.0, StoreId(0))];
-        Cluster { zones, machines, stores, data, network: Default::default(), overrides: None }
+        Cluster {
+            zones,
+            machines,
+            stores,
+            data,
+            network: Default::default(),
+            overrides: None,
+        }
     }
 
     #[test]
@@ -237,7 +251,10 @@ mod tests {
     fn ss_cost_symmetric_zero_on_diagonal() {
         let c = tiny();
         assert_eq!(c.ss_cost(StoreId(0), StoreId(0)), 0.0);
-        assert_eq!(c.ss_cost(StoreId(0), StoreId(1)), c.ss_cost(StoreId(1), StoreId(0)));
+        assert_eq!(
+            c.ss_cost(StoreId(0), StoreId(1)),
+            c.ss_cost(StoreId(1), StoreId(0))
+        );
         assert_eq!(c.ss_cost(StoreId(0), StoreId(2)), 0.0); // same zone
     }
 

@@ -24,7 +24,12 @@ pub struct DataObject {
 impl DataObject {
     pub fn new(id: usize, name: impl Into<String>, size_mb: f64, origin: StoreId) -> Self {
         assert!(size_mb >= 0.0, "data size must be nonnegative");
-        DataObject { id: DataId(id), name: name.into(), size_mb, origin }
+        DataObject {
+            id: DataId(id),
+            name: name.into(),
+            size_mb,
+            origin,
+        }
     }
 
     /// Number of 64 MB blocks (rounded up; zero-sized objects have none).

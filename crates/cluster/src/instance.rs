@@ -8,8 +8,7 @@
 //! than m1.medium while being 2.5× faster — is what creates LiPS's savings
 //! opportunity.
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::MILLICENT;
 
@@ -78,8 +77,7 @@ impl InstanceType {
     };
 
     /// All catalog entries, in Table III order.
-    pub const CATALOG: [InstanceType; 3] =
-        [Self::M1_SMALL, Self::M1_MEDIUM, Self::C1_MEDIUM];
+    pub const CATALOG: [InstanceType; 3] = [Self::M1_SMALL, Self::M1_MEDIUM, Self::C1_MEDIUM];
 
     /// Midpoint CPU price in dollars per ECU-second (`CPU_Cost(M)` in the
     /// paper's notation).
@@ -102,16 +100,16 @@ impl InstanceType {
 }
 
 impl Serialize for InstanceType {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.name)
+    fn to_value(&self) -> Value {
+        Value::Str(self.name.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for InstanceType {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let name = String::deserialize(deserializer)?;
+impl Deserialize for InstanceType {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let name = String::from_value(value)?;
         InstanceType::by_name(&name)
-            .ok_or_else(|| D::Error::custom(format!("unknown instance type {name:?}")))
+            .ok_or_else(|| Error::custom(format!("unknown instance type {name:?}")))
     }
 }
 
@@ -121,15 +119,18 @@ mod tests {
 
     #[test]
     fn catalog_lookup() {
-        assert_eq!(InstanceType::by_name("c1.medium"), Some(InstanceType::C1_MEDIUM));
+        assert_eq!(
+            InstanceType::by_name("c1.medium"),
+            Some(InstanceType::C1_MEDIUM)
+        );
         assert_eq!(InstanceType::by_name("x9.metal"), None);
     }
 
     #[test]
     fn c1_medium_is_4_to_5x_cheaper_per_ecu_sec_than_m1_medium() {
         // The central Table III observation.
-        let ratio = InstanceType::M1_MEDIUM.cpu_cost_dollars()
-            / InstanceType::C1_MEDIUM.cpu_cost_dollars();
+        let ratio =
+            InstanceType::M1_MEDIUM.cpu_cost_dollars() / InstanceType::C1_MEDIUM.cpu_cost_dollars();
         assert!((4.0..=5.5).contains(&ratio), "ratio {ratio}");
     }
 

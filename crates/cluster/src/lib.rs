@@ -39,16 +39,15 @@ pub mod store;
 pub mod zone;
 
 pub use builder::{
-    ec2_100_node, ec2_20_node, ec2_mixed_cluster, random_cluster, ClusterBuilder,
-    RandomClusterCfg,
+    ec2_100_node, ec2_20_node, ec2_mixed_cluster, random_cluster, ClusterBuilder, RandomClusterCfg,
 };
 pub use cluster::Cluster;
+pub use cluster::CostOverrides;
 pub use data::{DataId, DataObject};
 pub use instance::InstanceType;
 pub use machine::{Machine, MachineId};
 pub use matrices::{MatrixJob, SchedulingMatrices};
 pub use store::{Store, StoreId};
-pub use cluster::CostOverrides;
 pub use zone::{NetworkPolicy, Zone, ZoneId};
 
 /// HDFS block size in MB (Hadoop 0.20 default used throughout the paper).

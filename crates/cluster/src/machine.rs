@@ -60,7 +60,7 @@ impl Machine {
     /// Each slot delivers an equal share of the node's ECU throughput, so a
     /// 5-ECU, 2-slot c1.medium runs a task at 2.5 ECU.
     pub fn slot_seconds_for(&self, ecu_seconds: f64) -> f64 {
-        let per_slot = self.tp_ecu / self.slots.max(1) as f64;
+        let per_slot = self.tp_ecu / f64::from(self.slots.max(1));
         ecu_seconds / per_slot
     }
 
@@ -76,7 +76,14 @@ mod tests {
     use super::*;
 
     fn c1(price_t: f64) -> Machine {
-        Machine::from_instance(0, "node0", ZoneId(0), InstanceType::C1_MEDIUM, price_t, 3600.0)
+        Machine::from_instance(
+            0,
+            "node0",
+            ZoneId(0),
+            InstanceType::C1_MEDIUM,
+            price_t,
+            3600.0,
+        )
     }
 
     #[test]

@@ -62,10 +62,18 @@ impl SchedulingMatrices {
             })
             .collect();
         let ms = (0..m)
-            .map(|l| (0..s).map(|st| cluster.ms_cost(MachineId(l), StoreId(st))).collect())
+            .map(|l| {
+                (0..s)
+                    .map(|st| cluster.ms_cost(MachineId(l), StoreId(st)))
+                    .collect()
+            })
             .collect();
         let ss = (0..s)
-            .map(|i| (0..s).map(|j| cluster.ss_cost(StoreId(i), StoreId(j))).collect())
+            .map(|i| {
+                (0..s)
+                    .map(|j| cluster.ss_cost(StoreId(i), StoreId(j)))
+                    .collect()
+            })
             .collect();
         let b = (0..m)
             .map(|l| {
@@ -85,8 +93,14 @@ mod tests {
 
     fn jobs() -> Vec<MatrixJob> {
         vec![
-            MatrixJob { cpu_ecu_sec: 100.0, data: Some(0) },
-            MatrixJob { cpu_ecu_sec: 50.0, data: None },
+            MatrixJob {
+                cpu_ecu_sec: 100.0,
+                data: Some(0),
+            },
+            MatrixJob {
+                cpu_ecu_sec: 50.0,
+                data: None,
+            },
         ]
     }
 
@@ -111,7 +125,10 @@ mod tests {
         for l in 0..20 {
             for s in 0..20 {
                 assert_eq!(m.ms[l][s], c.ms_cost(MachineId(l), StoreId(s)));
-                assert_eq!(m.b[l][s], c.bandwidth_machine_store(MachineId(l), StoreId(s)));
+                assert_eq!(
+                    m.b[l][s],
+                    c.bandwidth_machine_store(MachineId(l), StoreId(s))
+                );
             }
             assert_eq!(m.jm[0][l], 100.0 * c.machine(MachineId(l)).cpu_cost);
         }

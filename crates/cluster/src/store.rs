@@ -31,7 +31,13 @@ impl Store {
         capacity_mb: f64,
         colocated: Option<MachineId>,
     ) -> Self {
-        Store { id: StoreId(id), name: name.into(), zone, capacity_mb, colocated }
+        Store {
+            id: StoreId(id),
+            name: name.into(),
+            zone,
+            capacity_mb,
+            colocated,
+        }
     }
 
     /// Whether a read from `machine` is node-local.

@@ -17,7 +17,10 @@ pub struct Zone {
 
 impl Zone {
     pub fn new(id: usize, name: impl Into<String>) -> Self {
-        Zone { id: ZoneId(id), name: name.into() }
+        Zone {
+            id: ZoneId(id),
+            name: name.into(),
+        }
     }
 }
 

@@ -3,8 +3,7 @@
 //! serde round-trips exactly.
 
 use lips_cluster::{
-    ec2_100_node, ec2_mixed_cluster, random_cluster, Cluster, MachineId, RandomClusterCfg,
-    StoreId,
+    ec2_100_node, ec2_mixed_cluster, random_cluster, Cluster, MachineId, RandomClusterCfg, StoreId,
 };
 use proptest::prelude::*;
 

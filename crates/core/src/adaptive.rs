@@ -34,7 +34,11 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { cost_preference: 1.0, min_epoch_s: 60.0, max_epoch_s: 4000.0 }
+        AdaptiveConfig {
+            cost_preference: 1.0,
+            min_epoch_s: 60.0,
+            max_epoch_s: 4000.0,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ impl AdaptiveLips {
         assert!((0.0..=1.0).contains(&adaptive.cost_preference));
         assert!(adaptive.min_epoch_s > 0.0 && adaptive.max_epoch_s >= adaptive.min_epoch_s);
         let current_epoch = adaptive.min_epoch_s;
-        AdaptiveLips { inner: LipsScheduler::new(base), adaptive, current_epoch }
+        AdaptiveLips {
+            inner: LipsScheduler::new(base),
+            adaptive,
+            current_epoch,
+        }
     }
 
     /// The epoch currently in force.
@@ -113,7 +121,10 @@ mod tests {
         let placement = Placement::spread_blocks(&cluster, seed);
         let mut sched = AdaptiveLips::new(
             LipsConfig::small_cluster(400.0),
-            AdaptiveConfig { cost_preference: pref, ..Default::default() },
+            AdaptiveConfig {
+                cost_preference: pref,
+                ..Default::default()
+            },
         );
         Simulation::new(&cluster, &bound)
             .with_placement(placement)
@@ -171,7 +182,10 @@ mod tests {
     fn invalid_preference_rejected() {
         AdaptiveLips::new(
             LipsConfig::small_cluster(400.0),
-            AdaptiveConfig { cost_preference: 2.0, ..Default::default() },
+            AdaptiveConfig {
+                cost_preference: 2.0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -100,9 +100,7 @@ mod tests {
         assert_eq!(advice[0].instance, "c1.medium");
         // Advice is sorted by marginal value.
         for w in advice.windows(2) {
-            assert!(
-                w[0].shadow_dollars_per_ecu_sec <= w[1].shadow_dollars_per_ecu_sec + 1e-18
-            );
+            assert!(w[0].shadow_dollars_per_ecu_sec <= w[1].shadow_dollars_per_ecu_sec + 1e-18);
         }
         // Node-hour figures are positive and consistent with the shadow.
         for a in &advice {

@@ -97,10 +97,16 @@ mod tests {
         // (higher CPU intensity ⇒ lower break-even ratio ⇒ moves sooner).
         let b = 1.0 * MILLICENT;
         let d = 62.5 * MILLICENT / BLOCK_MB; // cross-zone price
-        let r: Vec<f64> = [JobKind::Pi, JobKind::WordCount, JobKind::Stress2, JobKind::Stress1, JobKind::Grep]
-            .iter()
-            .map(|&k| break_even_ratio_for_kind(k, b, d))
-            .collect();
+        let r: Vec<f64> = [
+            JobKind::Pi,
+            JobKind::WordCount,
+            JobKind::Stress2,
+            JobKind::Stress1,
+            JobKind::Grep,
+        ]
+        .iter()
+        .map(|&k| break_even_ratio_for_kind(k, b, d))
+        .collect();
         assert!(r.windows(2).all(|w| w[0] <= w[1]), "{r:?}");
         assert_eq!(r[0], 1.0); // Pi always chases cheap cycles
     }

@@ -28,13 +28,20 @@ pub struct DelayScheduler {
 
 impl Default for DelayScheduler {
     fn default() -> Self {
-        DelayScheduler { ledger: ReadLedger::default(), skips: HashMap::new(), max_skips: 20 }
+        DelayScheduler {
+            ledger: ReadLedger::default(),
+            skips: HashMap::new(),
+            max_skips: 20,
+        }
     }
 }
 
 impl DelayScheduler {
     pub fn new(max_skips: u32) -> Self {
-        DelayScheduler { max_skips, ..Default::default() }
+        DelayScheduler {
+            max_skips,
+            ..Default::default()
+        }
     }
 }
 
@@ -94,7 +101,8 @@ impl Scheduler for DelayScheduler {
                 *s += 1;
                 if *s > self.max_skips {
                     if let Some((store, _, unread)) =
-                        self.ledger.best_source(ctx.cluster, ctx.placement, job, machine)
+                        self.ledger
+                            .best_source(ctx.cluster, ctx.placement, job, machine)
                     {
                         let mb = chunk_mb(job, unread);
                         self.ledger.issue(data, store, mb);
@@ -118,7 +126,8 @@ impl Scheduler for DelayScheduler {
             let machine = free_machines(ctx).into_iter().next().expect("idle cluster");
             if job.remaining_mb > lips_sim::WORK_EPS {
                 if let Some((store, _, unread)) =
-                    self.ledger.best_source(ctx.cluster, ctx.placement, job, machine)
+                    self.ledger
+                        .best_source(ctx.cluster, ctx.placement, job, machine)
                 {
                     let mb = chunk_mb(job, unread);
                     self.ledger.issue(job.data.unwrap(), store, mb);

@@ -42,14 +42,17 @@ impl Scheduler for FairScheduler {
             let (ja, jb) = (&ctx.queue[a], &ctx.queue[b]);
             let sa = running_per_pool.get(ja.pool.as_str()).copied().unwrap_or(0);
             let sb = running_per_pool.get(jb.pool.as_str()).copied().unwrap_or(0);
-            sa.cmp(&sb).then(ja.arrival.total_cmp(&jb.arrival)).then(ja.id.cmp(&jb.id))
+            sa.cmp(&sb)
+                .then(ja.arrival.total_cmp(&jb.arrival))
+                .then(ja.id.cmp(&jb.id))
         });
         let job = &ctx.queue[order[0]];
 
         for machine in free_machines(ctx) {
             if job.remaining_mb > lips_sim::WORK_EPS {
                 if let Some((store, _, unread)) =
-                    self.ledger.best_source(ctx.cluster, ctx.placement, job, machine)
+                    self.ledger
+                        .best_source(ctx.cluster, ctx.placement, job, machine)
                 {
                     let mb = chunk_mb(job, unread);
                     self.ledger.issue(job.data.unwrap(), store, mb);
@@ -105,8 +108,20 @@ mod tests {
             .with_placement(placement)
             .run(&mut FairScheduler::new())
             .unwrap();
-        let t = |name: &str| report.outcomes.iter().find(|o| o.name == name).unwrap().completed;
-        assert!(t("small") < t("big") / 2.0, "small {} big {}", t("small"), t("big"));
+        let t = |name: &str| {
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.name == name)
+                .unwrap()
+                .completed
+        };
+        assert!(
+            t("small") < t("big") / 2.0,
+            "small {} big {}",
+            t("small"),
+            t("big")
+        );
     }
 
     #[test]
@@ -126,7 +141,11 @@ mod tests {
             .unwrap();
         assert_eq!(report.outcomes.len(), 6);
         // Pools received comparable service.
-        assert!(report.pool_fairness_jain() > 0.9, "{}", report.pool_fairness_jain());
+        assert!(
+            report.pool_fairness_jain() > 0.9,
+            "{}",
+            report.pool_fairness_jain()
+        );
     }
 
     #[test]
@@ -134,8 +153,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let report =
-            Simulation::new(&cluster, &bound).run(&mut FairScheduler::new()).unwrap();
+        let report = Simulation::new(&cluster, &bound)
+            .run(&mut FairScheduler::new())
+            .unwrap();
         assert_eq!(report.metrics.moved_mb, 0.0);
     }
 }

@@ -35,14 +35,17 @@ impl Scheduler for HadoopDefaultScheduler {
                 .then(ja.arrival.total_cmp(&jb.arrival))
                 .then(ja.id.cmp(&jb.id))
         });
-        let Some(&head) = order.first() else { return vec![] };
+        let Some(&head) = order.first() else {
+            return vec![];
+        };
         let job = &ctx.queue[head];
 
         // One launch per invocation; the engine re-invokes until quiet.
         for machine in free_machines(ctx) {
             if job.remaining_mb > lips_sim::WORK_EPS {
                 if let Some((store, _, unread)) =
-                    self.ledger.best_source(ctx.cluster, ctx.placement, job, machine)
+                    self.ledger
+                        .best_source(ctx.cluster, ctx.placement, job, machine)
                 {
                     let mb = chunk_mb(job, unread);
                     self.ledger.issue(job.data.unwrap(), store, mb);
@@ -96,7 +99,11 @@ mod tests {
         assert_eq!(report.outcomes.len(), 2);
         // Blocks are spread over every node; greedy locality should keep
         // most reads node-local.
-        assert!(report.metrics.locality_ratio() > 0.5, "{}", report.metrics.locality_ratio());
+        assert!(
+            report.metrics.locality_ratio() > 0.5,
+            "{}",
+            report.metrics.locality_ratio()
+        );
     }
 
     #[test]
@@ -106,8 +113,7 @@ mod tests {
         // should finish well before the low one despite arriving later.
         let mut cluster = lips_cluster::ec2_mixed_cluster(1, 0.0, 3600.0, 1);
         let jobs = vec![
-            JobSpec::new(0, "low", JobKind::Stress2, 1280.0, 20)
-                .with_priority(JobPriority::Low),
+            JobSpec::new(0, "low", JobKind::Stress2, 1280.0, 20).with_priority(JobPriority::Low),
             JobSpec::new(1, "high", JobKind::Stress2, 1280.0, 20)
                 .with_priority(JobPriority::VeryHigh)
                 .arriving_at(1.0),
@@ -117,7 +123,12 @@ mod tests {
             .run(&mut HadoopDefaultScheduler::new())
             .unwrap();
         let t = |name: &str| {
-            report.outcomes.iter().find(|o| o.name == name).unwrap().completed
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.name == name)
+                .unwrap()
+                .completed
         };
         assert!(t("high") < t("low"), "high {} low {}", t("high"), t("low"));
     }

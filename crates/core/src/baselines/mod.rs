@@ -64,11 +64,7 @@ impl ReadLedger {
                 (unread > lips_sim::WORK_EPS)
                     .then(|| (s, cluster.locality_level(machine, s), unread))
             })
-            .min_by(|a, b| {
-                a.1.cmp(&b.1)
-                    .then(b.2.total_cmp(&a.2))
-                    .then(a.0.cmp(&b.0))
-            })
+            .min_by(|a, b| a.1.cmp(&b.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0)))
     }
 }
 
@@ -104,8 +100,12 @@ mod tests {
     fn ledger_tracks_unread() {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
-        let bound =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(2)), 1);
+        let bound = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(2)),
+            1,
+        );
         let placement = Placement::from_cluster(&cluster);
         let mut ledger = ReadLedger::default();
         let d = bound.jobs[0].data.unwrap();
@@ -126,8 +126,9 @@ mod tests {
         // Machine 0's own store should win when it holds blocks.
         let own = cluster.store_of_machine(MachineId(0)).unwrap();
         if ledger.unread(&placement, pj.data.unwrap(), own) > 0.0 {
-            let (s, level, _) =
-                ledger.best_source(&cluster, &placement, &pj, MachineId(0)).unwrap();
+            let (s, level, _) = ledger
+                .best_source(&cluster, &placement, &pj, MachineId(0))
+                .unwrap();
             assert_eq!(s, own);
             assert_eq!(level, 0);
         }

@@ -101,7 +101,11 @@ pub fn run_dag(
         placement = report.final_placement.clone();
         level_reports.push(report);
     }
-    Ok(DagReport { level_reports, total_dollars, makespan })
+    Ok(DagReport {
+        level_reports,
+        total_dollars,
+        makespan,
+    })
 }
 
 #[cfg(test)]
@@ -206,8 +210,13 @@ mod tests {
             jobs: vec![job(0), job(1)],
             edges: vec![(JobId(0), JobId(1)), (JobId(1), JobId(0))],
         };
-        let err = run_dag(&mut cluster, &dag, |_| Box::new(HadoopDefaultScheduler::new()), 1)
-            .unwrap_err();
+        let err = run_dag(
+            &mut cluster,
+            &dag,
+            |_| Box::new(HadoopDefaultScheduler::new()),
+            1,
+        )
+        .unwrap_err();
         assert!(matches!(err, DagRunError::Dag(DagError::Cycle(_))));
     }
 }

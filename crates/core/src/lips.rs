@@ -76,7 +76,11 @@ impl Default for LipsConfig {
 impl LipsConfig {
     /// Preset for ≤ ~20-node clusters: exact model.
     pub fn small_cluster(epoch_s: f64) -> Self {
-        LipsConfig { epoch_s, max_new_stores_per_job: None, ..Default::default() }
+        LipsConfig {
+            epoch_s,
+            max_new_stores_per_job: None,
+            ..Default::default()
+        }
     }
 
     /// Preset for ~100-node clusters / trace workloads: pruned candidates.
@@ -108,12 +112,20 @@ pub struct LipsScheduler {
 
 impl LipsScheduler {
     pub fn new(config: LipsConfig) -> Self {
-        LipsScheduler { config, issued: HashMap::new(), solves: 0, lp_failures: 0 }
+        LipsScheduler {
+            config,
+            issued: HashMap::new(),
+            solves: 0,
+            lp_failures: 0,
+        }
     }
 
     /// With the default configuration and a given epoch.
     pub fn with_epoch(epoch_s: f64) -> Self {
-        Self::new(LipsConfig { epoch_s, ..Default::default() })
+        Self::new(LipsConfig {
+            epoch_s,
+            ..Default::default()
+        })
     }
 
     /// Number of LP solves performed so far.
@@ -163,7 +175,11 @@ impl LipsScheduler {
                 LpJob {
                     id: j.id,
                     data: j.data,
-                    size_mb: if j.remaining_mb > WORK_EPS { j.remaining_mb } else { 0.0 },
+                    size_mb: if j.remaining_mb > WORK_EPS {
+                        j.remaining_mb
+                    } else {
+                        0.0
+                    },
                     tcp: j.tcp,
                     fixed_ecu: j.remaining_fixed_ecu,
                     avail,
@@ -174,11 +190,7 @@ impl LipsScheduler {
 
     /// Fair-share floors for the epoch LP: sigma * min(pool demand,
     /// equal share of epoch capacity) ECU-seconds per pool.
-    fn pool_floors(
-        &self,
-        ctx: &SchedulerContext<'_>,
-        jobs: &[LpJob],
-    ) -> Vec<(Vec<usize>, f64)> {
+    fn pool_floors(&self, ctx: &SchedulerContext<'_>, jobs: &[LpJob]) -> Vec<(Vec<usize>, f64)> {
         if self.config.fairness <= 0.0 {
             return Vec::new();
         }
@@ -198,7 +210,9 @@ impl LipsScheduler {
             .map(|m| m.capacity_ecu_seconds(self.config.epoch_s))
             .sum();
         let share = capacity / pools.len() as f64;
-        let mut floors: Vec<(Vec<usize>, f64)> = pools.into_values().map(|members| {
+        let mut floors: Vec<(Vec<usize>, f64)> = pools
+            .into_values()
+            .map(|members| {
                 let demand: f64 = members.iter().map(|&k| jobs[k].work_ecu()).sum();
                 let floor = self.config.fairness * demand.min(share);
                 (members, floor)
@@ -212,19 +226,35 @@ impl LipsScheduler {
     /// cheapest feasible machine. Only used if the LP solver fails, so a
     /// numerical hiccup can never stall the cluster.
     fn greedy_fallback(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
-        let Some(job) = ctx.jobs_with_work().next() else { return vec![] };
+        let Some(job) = ctx.jobs_with_work().next() else {
+            return vec![];
+        };
         if job.remaining_mb > WORK_EPS {
             let d = job.data.unwrap();
             let source = ctx
                 .placement
                 .stores_of(d)
                 .into_iter()
-                .map(|(s, _)| s).find(|&s| self.unread(ctx, d, s) > WORK_EPS);
+                .map(|(s, _)| s)
+                .find(|&s| self.unread(ctx, d, s) > WORK_EPS);
             let Some(s) = source else { return vec![] };
-            let mb = job.task_mb.min(job.remaining_mb).min(self.unread(ctx, d, s));
-            let machine = ctx.cluster.store(s).colocated.unwrap_or(ctx.cluster.machines[0].id);
+            let mb = job
+                .task_mb
+                .min(job.remaining_mb)
+                .min(self.unread(ctx, d, s));
+            let machine = ctx
+                .cluster
+                .store(s)
+                .colocated
+                .unwrap_or(ctx.cluster.machines[0].id);
             *self.issued.entry((d, s)).or_default() += mb;
-            vec![Action::RunChunk { job: job.id, machine, source: Some(s), mb, fixed_ecu: 0.0 }]
+            vec![Action::RunChunk {
+                job: job.id,
+                machine,
+                source: Some(s),
+                mb,
+                fixed_ecu: 0.0,
+            }]
         } else {
             let cheapest = ctx
                 .cluster
@@ -299,9 +329,8 @@ impl Scheduler for LipsScheduler {
         // planned moves, so chunk emission can honour constraint (13)
         // (each entry starts from the *unread* amount).
         let mut budget: HashMap<(DataId, StoreId), f64> = HashMap::new();
-        let budget_of = |this: &Self, data: DataId, store: StoreId| -> f64 {
-            this.unread(ctx, data, store)
-        };
+        let budget_of =
+            |this: &Self, data: DataId, store: StoreId| -> f64 { this.unread(ctx, data, store) };
 
         // --- 1. data moves (already per-source from the LP decode) ------
         for &(data, src, dst, mb) in &sched.moves {
@@ -312,14 +341,23 @@ impl Scheduler for LipsScheduler {
             if take <= WORK_EPS {
                 continue;
             }
-            actions.push(Action::MoveData { data, from: src, to: dst, mb: take });
-            *budget.entry((data, dst)).or_insert_with(|| budget_of(self, data, dst)) += take;
+            actions.push(Action::MoveData {
+                data,
+                from: src,
+                to: dst,
+                mb: take,
+            });
+            *budget
+                .entry((data, dst))
+                .or_insert_with(|| budget_of(self, data, dst)) += take;
         }
 
         // --- 2. task chunks, rounded to natural task sizes --------------
         // Group LP assignments per job to find the deferral share.
         for (job_id, machine, source, frac) in sched.assignments {
-            let Some(pj) = ctx.queue.iter().find(|j| j.id == job_id) else { continue };
+            let Some(pj) = ctx.queue.iter().find(|j| j.id == job_id) else {
+                continue;
+            };
             match source {
                 Some(store) => {
                     let data = pj.data.expect("data job");
@@ -433,8 +471,7 @@ mod tests {
         let lips = run_lips(0.5, small_suite(), 600.0, 1);
 
         let mut cluster = ec2_20_node(0.5, 1e9);
-        let bound =
-            bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 1);
+        let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 1);
         let placement = Placement::spread_blocks(&cluster, 1);
         let default = Simulation::new(&cluster, &bound)
             .with_placement(placement)
@@ -451,7 +488,12 @@ mod tests {
 
     #[test]
     fn pi_work_lands_on_cheapest_nodes() {
-        let report = run_lips(0.5, vec![JobSpec::new(0, "p", JobKind::Pi, 0.0, 8)], 400.0, 2);
+        let report = run_lips(
+            0.5,
+            vec![JobSpec::new(0, "p", JobKind::Pi, 0.0, 8)],
+            400.0,
+            2,
+        );
         let cluster = ec2_20_node(0.5, 1e9);
         let min_cost = cluster.min_cpu_cost();
         // All ECU-seconds must be billed at (near) the cheapest price.
@@ -494,8 +536,7 @@ mod tests {
     #[test]
     fn pruned_config_completes_on_larger_cluster() {
         let mut cluster = ec2_mixed_cluster(40, 0.5, 1e9, 5);
-        let bound =
-            bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 5);
+        let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 5);
         let placement = Placement::spread_blocks(&cluster, 5);
         let mut sched = LipsScheduler::new(LipsConfig::large_cluster(400.0));
         let report = Simulation::new(&cluster, &bound)
@@ -544,8 +585,18 @@ mod tests {
             .unwrap();
         assert_eq!(r.outcomes.len(), 2);
         // Both pools finish within 2x of each other (fair service).
-        let t0 = r.outcomes.iter().find(|o| o.pool == "etl").unwrap().completed;
-        let t1 = r.outcomes.iter().find(|o| o.pool == "adhoc").unwrap().completed;
+        let t0 = r
+            .outcomes
+            .iter()
+            .find(|o| o.pool == "etl")
+            .unwrap()
+            .completed;
+        let t1 = r
+            .outcomes
+            .iter()
+            .find(|o| o.pool == "adhoc")
+            .unwrap()
+            .completed;
         assert!(t0.max(t1) / t0.min(t1) < 2.0, "etl {t0} adhoc {t1}");
         assert_eq!(sched.lp_failures(), 0);
     }
@@ -630,7 +681,10 @@ mod tests {
             .run(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)))
             .unwrap();
         assert_eq!(lips.outcomes.len(), 2);
-        let demand: f64 = jobs.iter().map(|j| j.total_ecu_sec_with_reduce()).sum();
+        let demand: f64 = jobs
+            .iter()
+            .map(lips_workload::JobSpec::total_ecu_sec_with_reduce)
+            .sum();
         let executed: f64 = lips.metrics.ecu_sec_by_machine.values().sum();
         assert!((executed - demand).abs() < 1e-3, "{executed} vs {demand}");
 
@@ -654,4 +708,3 @@ mod tests {
         );
     }
 }
-

@@ -38,6 +38,7 @@
 
 use std::collections::HashMap;
 
+use lips_audit::{Certificate, ModelAnnotations, PaperExpectations, RowKind, VarKind};
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
 use lips_lp::{Cmp, LpError, Model, VarId};
 use lips_workload::JobId;
@@ -144,6 +145,8 @@ struct VarMaps {
     fake: HashMap<usize, VarId>,
     /// CPU-capacity constraint per machine (constraint (23)/(12)).
     capacity_rows: Vec<(MachineId, lips_lp::ConstraintId)>,
+    /// Row/column annotations for `lips-audit`'s paper-invariant pass.
+    ann: ModelAnnotations,
 }
 
 /// Build the LP [`Model`] for an instance. Returns the model plus the maps
@@ -151,20 +154,23 @@ struct VarMaps {
 fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
     let cluster = inst.cluster;
     let mut model = Model::minimize();
-    let mut maps =
-        VarMaps {
-            xt: HashMap::new(),
-            nd: Vec::new(),
-            fake: HashMap::new(),
-            capacity_rows: Vec::new(),
-        };
+    let mut maps = VarMaps {
+        xt: HashMap::new(),
+        nd: Vec::new(),
+        fake: HashMap::new(),
+        capacity_rows: Vec::new(),
+        ann: ModelAnnotations::default(),
+    };
 
     // --- candidate selection -------------------------------------------
     // Machines sorted by CPU price once (cheap-cycle preference).
-    let mut machines_by_price: Vec<MachineId> =
-        cluster.machines.iter().map(|m| m.id).collect();
-    machines_by_price
-        .sort_by(|a, b| cluster.machine(*a).cpu_cost.total_cmp(&cluster.machine(*b).cpu_cost));
+    let mut machines_by_price: Vec<MachineId> = cluster.machines.iter().map(|m| m.id).collect();
+    machines_by_price.sort_by(|a, b| {
+        cluster
+            .machine(*a)
+            .cpu_cost
+            .total_cmp(&cluster.machine(*b).cpu_cost)
+    });
 
     let mut job_machines: Vec<Vec<MachineId>> = Vec::with_capacity(inst.jobs.len());
     let mut job_stores: Vec<Vec<StoreId>> = Vec::with_capacity(inst.jobs.len());
@@ -218,6 +224,14 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                     let cost = work * cpu_price + job.size_mb * cluster.ms_cost(l, m);
                     let v = model.add_var(format!("xt_{k}_{}_{}", l.0, m.0), 0.0, 1.0, cost);
                     maps.xt.insert((k, l, Some(m)), v);
+                    maps.ann.annotate_var(
+                        v,
+                        VarKind::Assign {
+                            job: k,
+                            machine: l,
+                            store: Some(m),
+                        },
+                    );
                 }
             }
             if inst.allow_moves {
@@ -261,7 +275,14 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                             stock.min(1.0),
                             cost,
                         );
-                        maps.nd.push(NdVar { job: k, dest: m, var: v, sources });
+                        maps.ann
+                            .annotate_var(v, VarKind::NewCopy { job: k, dest: m });
+                        maps.nd.push(NdVar {
+                            job: k,
+                            dest: m,
+                            var: v,
+                            sources,
+                        });
                     }
                 }
             }
@@ -271,11 +292,20 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                 let cost = work * cluster.machine(l).cpu_cost;
                 let v = model.add_var(format!("xt_{k}_{}", l.0), 0.0, 1.0, cost);
                 maps.xt.insert((k, l, None), v);
+                maps.ann.annotate_var(
+                    v,
+                    VarKind::Assign {
+                        job: k,
+                        machine: l,
+                        store: None,
+                    },
+                );
             }
         }
         if let Some(fc) = inst.fake_cost {
             let v = model.add_var(format!("fake_{k}"), 0.0, 1.0, work.max(1e-9) * fc);
             maps.fake.insert(k, v);
+            maps.ann.annotate_var(v, VarKind::Fake { job: k });
         }
     }
 
@@ -295,7 +325,8 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         if let Some(&f) = maps.fake.get(&k) {
             terms.push((f, 1.0));
         }
-        model.add_constraint(terms, Cmp::Ge, 1.0);
+        let row = model.add_constraint(terms, Cmp::Ge, 1.0);
+        maps.ann.annotate_row(row, RowKind::Coverage { job: k });
     }
 
     // (24)/(13): task reads bounded by availability + new copies.
@@ -313,7 +344,9 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                 terms.push((nd.var, -1.0));
             }
             let a = avail.get(&m).copied().unwrap_or(0.0).min(1.0);
-            model.add_constraint(terms, Cmp::Le, a);
+            let row = model.add_constraint(terms, Cmp::Le, a);
+            maps.ann
+                .annotate_row(row, RowKind::Linking { job: k, store: m });
         }
     }
 
@@ -336,6 +369,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         if !terms.is_empty() {
             let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
             let row = model.add_constraint(terms, Cmp::Le, cap);
+            maps.ann.annotate_row(row, RowKind::CpuCap { machine: mid });
             maps.capacity_rows.push((mid, row));
         }
     }
@@ -354,14 +388,16 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                 }
             }
             if !terms.is_empty() {
-                let budget = inst.duration * cluster.machine(mid).slots as f64;
-                model.add_constraint(terms, Cmp::Le, budget);
+                let budget = inst.duration * f64::from(cluster.machine(mid).slots);
+                let row = model.add_constraint(terms, Cmp::Le, budget);
+                maps.ann
+                    .annotate_row(row, RowKind::TransferTime { machine: mid });
             }
         }
     }
 
     // Fair-share floors: Σ_{k∈pool} work_k · Σ x^t_k ≥ min_ecu.
-    for (members, min_ecu) in &inst.pool_floors {
+    for (pool, (members, min_ecu)) in inst.pool_floors.iter().enumerate() {
         if *min_ecu <= 0.0 {
             continue;
         }
@@ -380,7 +416,8 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             }
         }
         if !terms.is_empty() {
-            model.add_constraint(terms, Cmp::Ge, *min_ecu);
+            let row = model.add_constraint(terms, Cmp::Ge, *min_ecu);
+            maps.ann.annotate_row(row, RowKind::PoolFloor { pool });
         }
     }
 
@@ -402,11 +439,101 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         let mut stores: Vec<_> = per_store.into_iter().collect();
         stores.sort_by_key(|(s, _)| *s);
         for (s, terms) in stores {
-            model.add_constraint(terms, Cmp::Le, free(s).max(0.0));
+            let row = model.add_constraint(terms, Cmp::Le, free(s).max(0.0));
+            maps.ann.annotate_row(row, RowKind::StoreCap { store: s });
         }
     }
 
     (model, maps)
+}
+
+/// Ground-truth expectations for `lips-audit`'s paper-invariant pass,
+/// recomputed from the instance independently of [`build`]'s emission
+/// logic (both read the same cluster, but through different code paths).
+fn expectations(inst: &LpInstance<'_>) -> PaperExpectations {
+    let cluster = inst.cluster;
+    let free = |s: StoreId| -> f64 {
+        inst.store_free_mb
+            .get(s.0)
+            .copied()
+            .unwrap_or_else(|| cluster.store(s).capacity_mb)
+    };
+    let mut bandwidth = Vec::new();
+    if inst.enforce_transfer_time {
+        for m in &cluster.machines {
+            for s in &cluster.stores {
+                bandwidth.push(((m.id, s.id), cluster.bandwidth_machine_store(m.id, s.id)));
+            }
+        }
+    }
+    PaperExpectations {
+        num_jobs: inst.jobs.len(),
+        job_work_ecu: inst.jobs.iter().map(LpJob::work_ecu).collect(),
+        job_size_mb: inst.jobs.iter().map(|j| j.size_mb).collect(),
+        cpu_capacity: cluster
+            .machines
+            .iter()
+            .map(|m| (m.id, m.capacity_ecu_seconds(inst.duration)))
+            .collect(),
+        transfer_budget: if inst.enforce_transfer_time {
+            cluster
+                .machines
+                .iter()
+                .map(|m| (m.id, inst.duration * f64::from(m.slots)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        bandwidth,
+        store_free_mb: cluster
+            .stores
+            .iter()
+            .map(|s| (s.id, free(s.id).max(0.0)))
+            .collect(),
+        fake_enabled: inst.fake_cost.is_some(),
+    }
+}
+
+/// Build the LP for `inst` and return it with its audit metadata: the
+/// row/column annotations emitted by the builder plus independently
+/// recomputed [`PaperExpectations`]. This is the entry point for static
+/// analysis; [`solve`] is the entry point for scheduling.
+pub fn build_audited(inst: &LpInstance<'_>) -> (Model, ModelAnnotations, PaperExpectations) {
+    let (model, maps) = build(inst);
+    let expect = expectations(inst);
+    (model, maps.ann, expect)
+}
+
+/// Run the full static-analysis suite over the LP generated for `inst`:
+/// the generic model lint plus the Fig 2/3/4 paper-invariant audit.
+/// Returns every finding; an empty vector certifies the model's structure.
+pub fn audit_instance(inst: &LpInstance<'_>) -> Vec<lips_audit::Lint> {
+    let (model, ann, expect) = build_audited(inst);
+    let mut findings = lips_audit::lint(&model);
+    findings.extend(lips_audit::audit_paper_invariants(&model, &ann, &expect));
+    findings
+}
+
+/// Like [`solve`], additionally verifying the solver's answer with an
+/// independent primal/dual certificate ([`lips_audit::certify`]).
+///
+/// Returns the schedule together with the certificate so callers can log
+/// or assert on the duality gap. Fails with [`LpError::NonFiniteInput`]…
+/// never — certification failure panics, because a wrong "optimal"
+/// schedule corrupts every dollar figure downstream and must not be
+/// silently used.
+pub fn solve_certified(
+    inst: &LpInstance<'_>,
+) -> Result<(FractionalSchedule, Certificate), LpError> {
+    let (model, maps) = build(inst);
+    let sol = model.solve()?;
+    let cert = lips_audit::certify(&model, &sol).expect("revised simplex always reports duals");
+    assert!(
+        cert.is_optimal(),
+        "LP solution failed independent certification: {cert}"
+    );
+    let schedule = decode(inst, &maps, &sol);
+    Ok((schedule, cert))
 }
 
 /// Build and solve; decode into a [`FractionalSchedule`].
@@ -423,12 +550,31 @@ pub fn solve_with_shadow_prices(
 ) -> Result<(FractionalSchedule, Vec<(MachineId, f64)>), LpError> {
     let (model, maps) = build(inst);
     let sol = model.solve()?;
+    // Every solved epoch is certified: a wrong "optimal" schedule corrupts
+    // every dollar figure downstream. The check is O(nnz), noise next to
+    // the solve itself.
+    if let Ok(cert) = lips_audit::certify(&model, &sol) {
+        assert!(
+            cert.is_optimal(),
+            "LP solution failed independent certification: {cert}"
+        );
+    }
     let sens = lips_lp::sensitivity::analyze(&model, &sol);
     let shadows: Vec<(MachineId, f64)> = maps
         .capacity_rows
         .iter()
-        .map(|&(m, row)| (m, sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0)))
+        .map(|&(m, row)| {
+            (
+                m,
+                sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0),
+            )
+        })
         .collect();
+    Ok((decode(inst, &maps, &sol), shadows))
+}
+
+/// Decode a solved LP back into schedule entities.
+fn decode(inst: &LpInstance<'_>, maps: &VarMaps, sol: &lips_lp::Solution) -> FractionalSchedule {
     let eps = 1e-7;
 
     let mut assignments = Vec::new();
@@ -439,9 +585,7 @@ pub fn solve_with_shadow_prices(
         }
     }
     // Deterministic ordering (HashMap iteration is not).
-    assignments.sort_by(|a, b| {
-        (a.0, a.1, a.2.map(|s| s.0)).cmp(&(b.0, b.1, b.2.map(|s| s.0)))
-    });
+    assignments.sort_by(|a, b| (a.0, a.1, a.2.map(|s| s.0)).cmp(&(b.0, b.1, b.2.map(|s| s.0))));
 
     let mut moves = Vec::new();
     for nd in &maps.nd {
@@ -470,22 +614,18 @@ pub fn solve_with_shadow_prices(
         let frac = sol.value_of(v);
         if frac > eps {
             deferred.insert(inst.jobs[k].id, frac);
-            fake_dollars +=
-                frac * inst.jobs[k].work_ecu().max(1e-9) * inst.fake_cost.unwrap();
+            fake_dollars += frac * inst.jobs[k].work_ecu().max(1e-9) * inst.fake_cost.unwrap();
         }
     }
 
-    Ok((
-        FractionalSchedule {
-            assignments,
-            moves,
-            deferred,
-            predicted_dollars: sol.objective() - fake_dollars,
-            lp_objective: sol.objective(),
-            iterations: sol.iterations(),
-        },
-        shadows,
-    ))
+    FractionalSchedule {
+        assignments,
+        moves,
+        deferred,
+        predicted_dollars: sol.objective() - fake_dollars,
+        lp_objective: sol.objective(),
+        iterations: sol.iterations(),
+    }
 }
 
 #[cfg(test)]
@@ -541,7 +681,10 @@ mod tests {
         let tcp = JobKind::WordCount.tcp_ecu_sec_per_mb();
         let job = one_job(size, tcp, StoreId(0));
         let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
-        assert!(sched.assignments.iter().all(|&(_, l, _, _)| l == MachineId(1)));
+        assert!(sched
+            .assignments
+            .iter()
+            .all(|&(_, l, _, _)| l == MachineId(1)));
         let expect = size * tcp * cluster.machine(MachineId(1)).cpu_cost
             + size * cluster.ss_cost(StoreId(0), StoreId(1));
         assert!((sched.predicted_dollars - expect).abs() < 1e-6);
@@ -553,10 +696,21 @@ mod tests {
         // transfer dominates, stay near the data (Figure 1's left side).
         let mut cluster = two_node();
         cluster.network.cross_zone_dollars_per_mb = 0.10 / 1024.0;
-        let job = one_job(10.0 * 1024.0, JobKind::Grep.tcp_ecu_sec_per_mb(), StoreId(0));
+        let job = one_job(
+            10.0 * 1024.0,
+            JobKind::Grep.tcp_ecu_sec_per_mb(),
+            StoreId(0),
+        );
         let sched = solve(&base_inst(&cluster, vec![job])).unwrap();
-        assert!(sched.moves.is_empty(), "grep should not move: {:?}", sched.moves);
-        assert!(sched.assignments.iter().all(|&(_, l, _, _)| l == MachineId(0)));
+        assert!(
+            sched.moves.is_empty(),
+            "grep should not move: {:?}",
+            sched.moves
+        );
+        assert!(sched
+            .assignments
+            .iter()
+            .all(|&(_, l, _, _)| l == MachineId(0)));
     }
 
     #[test]
@@ -597,7 +751,10 @@ mod tests {
         assert!(sched.moves.is_empty());
         // CPU-heavy but data pinned: may still run remotely reading
         // cross-zone, but every assignment must read from store 0.
-        assert!(sched.assignments.iter().all(|&(_, _, s, _)| s == Some(StoreId(0))));
+        assert!(sched
+            .assignments
+            .iter()
+            .all(|&(_, _, s, _)| s == Some(StoreId(0))));
     }
 
     #[test]
@@ -625,8 +782,14 @@ mod tests {
             .filter(|&&(_, l, _, _)| l == MachineId(0))
             .map(|&(_, _, _, f)| f)
             .sum();
-        assert!((on_cheap - 5.0 / 7.0).abs() < 1e-3, "cheap share {on_cheap}");
-        assert!((on_exp - 2.0 / 7.0).abs() < 1e-3, "expensive share {on_exp}");
+        assert!(
+            (on_cheap - 5.0 / 7.0).abs() < 1e-3,
+            "cheap share {on_cheap}"
+        );
+        assert!(
+            (on_exp - 2.0 / 7.0).abs() < 1e-3,
+            "expensive share {on_exp}"
+        );
     }
 
     #[test]
@@ -634,8 +797,7 @@ mod tests {
         let cluster = two_node();
         let work_ecu = 10_000.0;
         let size = 1024.0;
-        let mut inst =
-            base_inst(&cluster, vec![one_job(size, work_ecu / size, StoreId(0))]);
+        let mut inst = base_inst(&cluster, vec![one_job(size, work_ecu / size, StoreId(0))]);
         inst.duration = work_ecu / 7.0 * 0.9; // 10% short of combined capacity
         assert!(solve(&inst).is_err());
     }

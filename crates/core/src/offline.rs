@@ -37,7 +37,7 @@ pub fn lp_jobs_from_specs(jobs: &[JobSpec], placement: &Placement) -> Vec<LpJob>
                 data: spec.data,
                 size_mb: effective,
                 tcp: spec.tcp_ecu_sec_per_mb,
-                fixed_ecu: spec.ecu_sec_per_task * spec.tasks as f64,
+                fixed_ecu: spec.ecu_sec_per_task * f64::from(spec.tasks),
                 avail,
             }
         })
@@ -103,7 +103,8 @@ pub fn greedy_schedule(cluster: &Cluster, jobs: &[LpJob]) -> (Vec<(LpJob, usize)
                         continue;
                     }
                     // Cost if the whole job ran here reading from s.
-                    let cost = work * machine.cpu_cost + job.size_mb * cluster.ms_cost(machine.id, s);
+                    let cost =
+                        work * machine.cpu_cost + job.size_mb * cluster.ms_cost(machine.id, s);
                     if best.is_none_or(|(_, c)| cost < c) {
                         best = Some((machine.id.0, cost));
                     }
@@ -159,7 +160,10 @@ mod tests {
         let placement = Placement::spread_blocks(&cluster, 5);
         let lp_jobs = lp_jobs_from_specs(&bound.jobs, &placement);
         let total_avail: f64 = lp_jobs[0].avail.iter().map(|&(_, f)| f).sum();
-        assert!((total_avail - 1.0).abs() < 1e-9, "fractions sum to 1: {total_avail}");
+        assert!(
+            (total_avail - 1.0).abs() < 1e-9,
+            "fractions sum to 1: {total_avail}"
+        );
         assert!(lp_jobs[0].avail.len() > 10);
     }
 

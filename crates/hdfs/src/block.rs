@@ -26,7 +26,12 @@ mod tests {
 
     #[test]
     fn block_identity() {
-        let b = Block { id: BlockId(7), data: DataId(1), index: 3, size_mb: 64.0 };
+        let b = Block {
+            id: BlockId(7),
+            data: DataId(1),
+            index: 3,
+            size_mb: 64.0,
+        };
         assert_eq!(b.id, BlockId(7));
         assert_eq!(b.index, 3);
     }

@@ -38,7 +38,9 @@ pub struct DefaultTargetChooser {
 
 impl DefaultTargetChooser {
     pub fn new(seed: u64) -> Self {
-        DefaultTargetChooser { rng: ChaCha8Rng::seed_from_u64(seed) }
+        DefaultTargetChooser {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     fn random_from(&mut self, candidates: &[StoreId]) -> StoreId {
@@ -169,7 +171,11 @@ mod tests {
     use lips_cluster::ec2_20_node;
 
     fn usable(c: &Cluster) -> Vec<StoreId> {
-        c.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect()
+        c.stores
+            .iter()
+            .filter(|s| s.colocated.is_some())
+            .map(|s| s.id)
+            .collect()
     }
 
     #[test]
@@ -205,11 +211,17 @@ mod tests {
 
     #[test]
     fn cost_aware_prefers_cheap_cycles_for_cpu_heavy_data() {
+        // At tcp_hint = 5 ECU-sec/MB the CPU-class gap (C1 vs M1 is
+        // ≥ 1.5e-4 $/MB) dwarfs any transfer differential (cross-zone is
+        // ~1e-5 $/MB), so the replica must land on a cheap-cycle C1 node.
+        // Within the C1 class the per-node price spread is smaller than a
+        // zone transfer, so the exact node is a price-vs-distance tradeoff
+        // and not asserted.
         let c = ec2_20_node(0.5, 3600.0);
         let mut ch = CostAwareTargetChooser::new(5.0); // very CPU-heavy
         let s = ch.choose(&c, Some(MachineId(15)), &[], 0, &usable(&c));
         let m = c.store(s).colocated.unwrap();
-        assert!((c.machine(m).cpu_cost - c.min_cpu_cost()).abs() < 1e-15);
+        assert_eq!(c.machine(m).instance.name, "c1.medium");
     }
 
     #[test]

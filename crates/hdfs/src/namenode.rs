@@ -51,7 +51,10 @@ pub struct NameNode {
 
 impl NameNode {
     pub fn new(replication: usize) -> Self {
-        NameNode { replication: replication.max(1), ..Default::default() }
+        NameNode {
+            replication: replication.max(1),
+            ..Default::default()
+        }
     }
 
     /// Register a file of `size_mb` for `data`, splitting into 64 MB
@@ -76,7 +79,15 @@ impl NameNode {
             let size = left.min(BLOCK_MB);
             let id = BlockId(self.next_block);
             self.next_block += 1;
-            self.blocks.insert(id, Block { id, data, index, size_mb: size });
+            self.blocks.insert(
+                id,
+                Block {
+                    id,
+                    data,
+                    index,
+                    size_mb: size,
+                },
+            );
             self.replicas.insert(id, Vec::new());
             for r in 0..self.replication {
                 self.add_replica(cluster, id, writer, r, chooser)?;
@@ -98,7 +109,10 @@ impl NameNode {
         replica_idx: usize,
         chooser: &mut dyn ReplicationTargetChooser,
     ) -> Result<StoreId, HdfsError> {
-        let meta = *self.blocks.get(&block).ok_or(HdfsError::NoSuchBlock(block))?;
+        let meta = *self
+            .blocks
+            .get(&block)
+            .ok_or(HdfsError::NoSuchBlock(block))?;
         let existing = self.replicas[&block].clone();
         // Usable: DataNode stores with room, not already holding a replica.
         let usable: Vec<StoreId> = cluster
@@ -107,8 +121,7 @@ impl NameNode {
             .filter(|s| s.colocated.is_some())
             .filter(|s| !existing.contains(&s.id))
             .filter(|s| {
-                self.used_mb.get(&s.id).copied().unwrap_or(0.0) + meta.size_mb
-                    <= s.capacity_mb
+                self.used_mb.get(&s.id).copied().unwrap_or(0.0) + meta.size_mb <= s.capacity_mb
             })
             .map(|s| s.id)
             .collect();
@@ -125,7 +138,10 @@ impl NameNode {
     /// Drop a replica (DataNode loss); the block may become
     /// under-replicated.
     pub fn lose_replica(&mut self, block: BlockId, store: StoreId) -> Result<(), HdfsError> {
-        let meta = *self.blocks.get(&block).ok_or(HdfsError::NoSuchBlock(block))?;
+        let meta = *self
+            .blocks
+            .get(&block)
+            .ok_or(HdfsError::NoSuchBlock(block))?;
         let reps = self.replicas.get_mut(&block).unwrap();
         if let Some(pos) = reps.iter().position(|&s| s == store) {
             reps.remove(pos);
@@ -166,12 +182,18 @@ impl NameNode {
 
     /// Replica locations of one block.
     pub fn replicas_of(&self, block: BlockId) -> &[StoreId] {
-        self.replicas.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+        self.replicas
+            .get(&block)
+            .map(std::vec::Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Blocks of one file, in order.
     pub fn blocks_of(&self, data: DataId) -> &[BlockId] {
-        self.files.get(&data).map(|v| v.as_slice()).unwrap_or(&[])
+        self.files
+            .get(&data)
+            .map(std::vec::Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Block metadata.
@@ -214,8 +236,9 @@ mod tests {
         let c = ec2_20_node(0.0, 3600.0);
         let mut nn = NameNode::new(3);
         let mut ch = DefaultTargetChooser::new(1);
-        let blocks =
-            nn.create_file(&c, DataId(0), 200.0, Some(MachineId(4)), &mut ch).unwrap();
+        let blocks = nn
+            .create_file(&c, DataId(0), 200.0, Some(MachineId(4)), &mut ch)
+            .unwrap();
         assert_eq!(blocks.len(), 4); // 64+64+64+8
         assert!((nn.logical_mb() - 200.0).abs() < 1e-9);
         for &b in &blocks {
@@ -239,7 +262,8 @@ mod tests {
         let mut ch = DefaultTargetChooser::new(1);
         nn.create_file(&c, DataId(0), 64.0, None, &mut ch).unwrap();
         assert_eq!(
-            nn.create_file(&c, DataId(0), 64.0, None, &mut ch).unwrap_err(),
+            nn.create_file(&c, DataId(0), 64.0, None, &mut ch)
+                .unwrap_err(),
             HdfsError::FileExists(DataId(0))
         );
     }
@@ -271,7 +295,9 @@ mod tests {
         let mut ch = DefaultTargetChooser::new(3);
         // 20 stores × 100 MB = 2000 MB total; 3× replication of 1 GB needs
         // 3072 MB — must fail midway.
-        let err = nn.create_file(&c, DataId(0), 1024.0, None, &mut ch).unwrap_err();
+        let err = nn
+            .create_file(&c, DataId(0), 1024.0, None, &mut ch)
+            .unwrap_err();
         assert!(matches!(err, HdfsError::OutOfCapacity { .. }));
     }
 

@@ -27,14 +27,21 @@ fn check_invariants(nn: &NameNode, cluster: &lips_cluster::Cluster, files: &[(Da
     // Capacity accounting: usage never exceeds capacity.
     for store in &cluster.stores {
         let used = nn.used_mb(store.id);
-        assert!(used <= store.capacity_mb + 1e-6, "store {:?} over capacity", store.id);
+        assert!(
+            used <= store.capacity_mb + 1e-6,
+            "store {:?} over capacity",
+            store.id
+        );
     }
     // Placement view agrees on total bytes.
     let placement = nn.to_placement();
     for &(data, size) in files {
         let total: f64 = placement.stores_of(data).iter().map(|&(_, mb)| mb).sum();
         let reps = nn.replication as f64;
-        assert!((total - size * reps).abs() < 1e-6, "{data:?}: placed {total}");
+        assert!(
+            (total - size * reps).abs() < 1e-6,
+            "{data:?}: placed {total}"
+        );
     }
 }
 

@@ -30,7 +30,10 @@ pub struct DenseSimplex {
 
 impl Default for DenseSimplex {
     fn default() -> Self {
-        DenseSimplex { max_iterations: 50_000, tol: 1e-9 }
+        DenseSimplex {
+            max_iterations: 50_000,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -55,7 +58,11 @@ impl DenseSimplex {
         let mut ncols = 0usize;
         let mut c: Vec<f64> = Vec::new();
         let mut obj_const = 0.0;
-        let sense_sign = if model.sense == Sense::Maximize { -1.0 } else { 1.0 };
+        let sense_sign = if model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
         // Extra rows for upper bounds of doubly-bounded variables.
         let mut bound_rows: Vec<(usize, f64)> = Vec::new(); // (col, ub - lb)
 
@@ -63,7 +70,10 @@ impl DenseSimplex {
             let obj = sense_sign * v.obj;
             match (v.lb.is_finite(), v.ub.is_finite()) {
                 (true, _) => {
-                    maps.push(VarMap::Shifted { col: ncols, shift: v.lb });
+                    maps.push(VarMap::Shifted {
+                        col: ncols,
+                        shift: v.lb,
+                    });
                     c.push(obj);
                     obj_const += obj * v.lb;
                     if v.ub.is_finite() {
@@ -72,13 +82,19 @@ impl DenseSimplex {
                     ncols += 1;
                 }
                 (false, true) => {
-                    maps.push(VarMap::Negated { col: ncols, shift: v.ub });
+                    maps.push(VarMap::Negated {
+                        col: ncols,
+                        shift: v.ub,
+                    });
                     c.push(-obj);
                     obj_const += obj * v.ub;
                     ncols += 1;
                 }
                 (false, false) => {
-                    maps.push(VarMap::Split { pos: ncols, neg: ncols + 1 });
+                    maps.push(VarMap::Split {
+                        pos: ncols,
+                        neg: ncols + 1,
+                    });
                     c.push(obj);
                     c.push(-obj);
                     ncols += 2;
@@ -112,12 +128,20 @@ impl DenseSimplex {
                     }
                 }
             }
-            rows.push(Row { coefs, cmp: con.cmp, rhs });
+            rows.push(Row {
+                coefs,
+                cmp: con.cmp,
+                rhs,
+            });
         }
         for &(col, gap) in &bound_rows {
             let mut coefs = vec![0.0; ncols];
             coefs[col] = 1.0;
-            rows.push(Row { coefs, cmp: Cmp::Le, rhs: gap });
+            rows.push(Row {
+                coefs,
+                cmp: Cmp::Le,
+                rhs: gap,
+            });
         }
 
         // Normalize rhs >= 0.
@@ -192,7 +216,15 @@ impl DenseSimplex {
             // No growth guard in phase 1: artificial mass may shuffle
             // between rows while the total strictly decreases.
             let no_guard = vec![false; total];
-            self.optimize(&mut t, &mut basis, &d, total, &mut iterations, &[], &no_guard)?;
+            self.optimize(
+                &mut t,
+                &mut basis,
+                &d,
+                total,
+                &mut iterations,
+                &[],
+                &no_guard,
+            )?;
             // Per-row relative residual: each basic artificial's value is
             // its origin row's residual; compare to that row's scale.
             for (i, &b) in basis.iter().enumerate() {
@@ -208,7 +240,15 @@ impl DenseSimplex {
         // basic at zero, barred from growing back above zero) ----
         let mut c_full = vec![0.0; total];
         c_full[..ncols].copy_from_slice(&c);
-        self.optimize(&mut t, &mut basis, &c_full, total, &mut iterations, &art_cols, &art_flag)?;
+        self.optimize(
+            &mut t,
+            &mut basis,
+            &c_full,
+            total,
+            &mut iterations,
+            &art_cols,
+            &art_flag,
+        )?;
 
         // ---- Extract ----
         let mut z = vec![0.0; total];
@@ -224,7 +264,11 @@ impl DenseSimplex {
             };
         }
         let internal: f64 = c_full.iter().zip(&z).map(|(c, z)| c * z).sum::<f64>() + obj_const;
-        let external = if model.sense == Sense::Maximize { -internal } else { internal };
+        let external = if model.sense == Sense::Maximize {
+            -internal
+        } else {
+            internal
+        };
         // The tableau method does not track duals; report an empty vector.
         Ok(Solution::new(external, x, Vec::new(), iterations))
     }
@@ -248,7 +292,9 @@ impl DenseSimplex {
         let mut degenerate_run = 0usize;
         loop {
             if *iterations >= self.max_iterations {
-                return Err(LpError::IterationLimit { iterations: *iterations });
+                return Err(LpError::IterationLimit {
+                    iterations: *iterations,
+                });
             }
             // Reduced costs: r_j = d_j − Σ_i d_{basis i} · t[i][j].
             let bland = degenerate_run > 2 * m + 50;
@@ -296,8 +342,7 @@ impl DenseSimplex {
                 let better = match leave {
                     None => true,
                     Some((li, lr)) => {
-                        ratio < lr - 1e-12
-                            || (ratio <= lr + 1e-12 && bland && basis[i] < basis[li])
+                        ratio < lr - 1e-12 || (ratio <= lr + 1e-12 && bland && basis[i] < basis[li])
                     }
                 };
                 if better {

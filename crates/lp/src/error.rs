@@ -32,7 +32,10 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} iterations")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} iterations"
+                )
             }
             LpError::InvertedBounds { var, lb, ub } => {
                 write!(f, "variable {var} has inverted bounds [{lb}, {ub}]")
@@ -60,12 +63,16 @@ mod tests {
             LpError::Infeasible,
             LpError::Unbounded,
             LpError::IterationLimit { iterations: 7 },
-            LpError::InvertedBounds { var: 1, lb: 2.0, ub: 1.0 },
+            LpError::InvertedBounds {
+                var: 1,
+                lb: 2.0,
+                ub: 1.0,
+            },
             LpError::NonFiniteInput { what: "rhs" },
             LpError::UnknownVariable { var: 3 },
             LpError::SingularBasis,
         ];
-        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        let msgs: Vec<String> = errs.iter().map(std::string::ToString::to_string).collect();
         for (i, a) in msgs.iter().enumerate() {
             for b in msgs.iter().skip(i + 1) {
                 assert_ne!(a, b);

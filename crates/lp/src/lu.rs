@@ -131,7 +131,9 @@ mod tests {
     use super::*;
 
     fn mat_vec(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
-        (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
     }
 
     #[test]

@@ -33,6 +33,12 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuild a handle from [`VarId::index`]. The caller is responsible for
+    /// pairing it with the model it came from, exactly as with `index()`.
+    pub fn from_index(i: usize) -> VarId {
+        VarId(i)
+    }
 }
 
 /// Opaque handle to a model constraint (row).
@@ -43,6 +49,11 @@ impl ConstraintId {
     /// Positional index of the constraint inside its model.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuild a handle from [`ConstraintId::index`].
+    pub fn from_index(i: usize) -> ConstraintId {
+        ConstraintId(i)
     }
 }
 
@@ -77,7 +88,11 @@ pub struct Model {
 impl Model {
     /// Create an empty model with the given optimization sense.
     pub fn new(sense: Sense) -> Self {
-        Model { sense, vars: Vec::new(), cons: Vec::new() }
+        Model {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
     }
 
     /// Shorthand for `Model::new(Sense::Minimize)`.
@@ -92,13 +107,16 @@ impl Model {
 
     /// Add a variable with bounds `[lb, ub]` and objective coefficient `obj`.
     ///
-    /// Either bound may be `±f64::INFINITY`. Panics if `obj` is non-finite
-    /// (bounds are validated at solve time so infeasible boxes surface as
-    /// [`LpError::InvertedBounds`]).
+    /// Either bound may be `±f64::INFINITY`. Bad data (NaN bounds, non-finite
+    /// objective, inverted boxes) is accepted here and rejected by
+    /// [`Model::validate`], which every solver runs before touching the model.
     pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
-        assert!(obj.is_finite(), "objective coefficient must be finite");
-        assert!(!lb.is_nan() && !ub.is_nan(), "bounds must not be NaN");
-        self.vars.push(Variable { name: name.into(), lb, ub, obj });
+        self.vars.push(Variable {
+            name: name.into(),
+            lb,
+            ub,
+            obj,
+        });
         VarId(self.vars.len() - 1)
     }
 
@@ -139,24 +157,73 @@ impl Model {
         self.vars[v.0].obj
     }
 
-    /// Validate structural sanity: finite rhs/coefficients, known variable
+    /// All variable ids, in insertion order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len()).map(VarId)
+    }
+
+    /// All constraint ids, in insertion order.
+    pub fn constraint_ids(&self) -> impl Iterator<Item = ConstraintId> {
+        (0..self.cons.len()).map(ConstraintId)
+    }
+
+    /// Terms of a constraint, exactly as added (duplicates not summed).
+    pub fn constraint_terms(&self, c: ConstraintId) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.cons[c.0]
+            .terms
+            .iter()
+            .map(|&(v, coef)| (VarId(v), coef))
+    }
+
+    /// Comparison operator of a constraint.
+    pub fn constraint_cmp(&self, c: ConstraintId) -> Cmp {
+        self.cons[c.0].cmp
+    }
+
+    /// Right-hand side of a constraint.
+    pub fn constraint_rhs(&self, c: ConstraintId) -> f64 {
+        self.cons[c.0].rhs
+    }
+
+    /// Validate structural sanity: finite objective coefficients, non-NaN
+    /// bounds with a non-empty box, finite rhs/coefficients, known variable
     /// ids, non-inverted bounds.
     pub fn validate(&self) -> Result<(), LpError> {
         for (i, v) in self.vars.iter().enumerate() {
-            if v.lb > v.ub {
-                return Err(LpError::InvertedBounds { var: i, lb: v.lb, ub: v.ub });
+            if !v.obj.is_finite() {
+                return Err(LpError::NonFiniteInput {
+                    what: "objective coefficient",
+                });
+            }
+            if v.lb.is_nan() || v.ub.is_nan() {
+                return Err(LpError::NonFiniteInput {
+                    what: "variable bound",
+                });
+            }
+            // `lb = +inf` / `ub = -inf` make the box empty without tripping
+            // the `lb > ub` comparison when the other bound is also infinite.
+            if v.lb == f64::INFINITY || v.ub == f64::NEG_INFINITY || v.lb > v.ub {
+                return Err(LpError::InvertedBounds {
+                    var: i,
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
         }
         for c in &self.cons {
             if !c.rhs.is_finite() {
-                return Err(LpError::NonFiniteInput { what: "constraint rhs" });
+                return Err(LpError::NonFiniteInput {
+                    what: "constraint rhs",
+                });
             }
             for &(v, coef) in &c.terms {
                 if v >= self.vars.len() {
                     return Err(LpError::UnknownVariable { var: v });
                 }
                 if !coef.is_finite() {
-                    return Err(LpError::NonFiniteInput { what: "constraint coefficient" });
+                    return Err(LpError::NonFiniteInput {
+                        what: "constraint coefficient",
+                    });
                 }
             }
         }
@@ -250,7 +317,10 @@ mod tests {
     fn validate_catches_inverted_bounds() {
         let mut m = Model::minimize();
         m.add_var("x", 2.0, 1.0, 0.0);
-        assert!(matches!(m.validate(), Err(LpError::InvertedBounds { var: 0, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::InvertedBounds { var: 0, .. })
+        ));
     }
 
     #[test]
@@ -259,7 +329,91 @@ mod tests {
         let x = m.add_var("x", 0.0, 1.0, 0.0);
         let mut m2 = Model::minimize();
         m2.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
-        assert!(matches!(m2.validate(), Err(LpError::UnknownVariable { var: 0 })));
+        assert!(matches!(
+            m2.validate(),
+            Err(LpError::UnknownVariable { var: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_nan_objective() {
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, 1.0, f64::NAN);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::NonFiniteInput {
+                what: "objective coefficient"
+            })
+        ));
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, 1.0, f64::INFINITY);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::NonFiniteInput {
+                what: "objective coefficient"
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_nan_bounds() {
+        let mut m = Model::minimize();
+        m.add_var("x", f64::NAN, 1.0, 0.0);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::NonFiniteInput {
+                what: "variable bound"
+            })
+        ));
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, f64::NAN, 0.0);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::NonFiniteInput {
+                what: "variable bound"
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_empty_infinite_boxes() {
+        // lb = +inf with ub = +inf: no finite point exists, but lb > ub is
+        // false, so this needs its own check.
+        let mut m = Model::minimize();
+        m.add_var("x", f64::INFINITY, f64::INFINITY, 0.0);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::InvertedBounds { var: 0, .. })
+        ));
+        let mut m = Model::minimize();
+        m.add_var("x", f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0);
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::InvertedBounds { var: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_invalid_models_instead_of_panicking() {
+        let mut m = Model::minimize();
+        m.add_var("x", 0.0, 1.0, f64::NAN);
+        assert!(matches!(m.solve(), Err(LpError::NonFiniteInput { .. })));
+    }
+
+    #[test]
+    fn row_accessors_expose_constraints() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        let c = m.add_constraint([(x, 2.0), (y, -1.0)], Cmp::Ge, 0.5);
+        assert_eq!(m.constraint_ids().count(), 1);
+        assert_eq!(m.var_ids().collect::<Vec<_>>(), vec![x, y]);
+        assert_eq!(m.constraint_cmp(c), Cmp::Ge);
+        assert_eq!(m.constraint_rhs(c), 0.5);
+        assert_eq!(
+            m.constraint_terms(c).collect::<Vec<_>>(),
+            vec![(x, 2.0), (y, -1.0)]
+        );
     }
 
     #[test]

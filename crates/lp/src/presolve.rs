@@ -61,8 +61,12 @@ pub fn presolve(model: &Model) -> Result<(Model, Restore), LpError> {
     let n = model.num_vars();
 
     // Working bounds, tightened by singleton rows.
-    let mut lb: Vec<f64> = (0..n).map(|i| model.var_bounds(crate::VarId(i)).0).collect();
-    let mut ub: Vec<f64> = (0..n).map(|i| model.var_bounds(crate::VarId(i)).1).collect();
+    let mut lb: Vec<f64> = (0..n)
+        .map(|i| model.var_bounds(crate::VarId(i)).0)
+        .collect();
+    let mut ub: Vec<f64> = (0..n)
+        .map(|i| model.var_bounds(crate::VarId(i)).1)
+        .collect();
 
     // Pass 1: singleton and empty rows.
     let mut keep_row = vec![true; model.cons.len()];
@@ -166,7 +170,13 @@ pub fn presolve(model: &Model) -> Result<(Model, Restore), LpError> {
         reduced.add_constraint(terms, con.cmp, rhs);
     }
 
-    Ok((reduced, Restore { mapping, objective_offset }))
+    Ok((
+        reduced,
+        Restore {
+            mapping,
+            objective_offset,
+        },
+    ))
 }
 
 /// Solve via presolve: reduce, solve, restore. The returned objective is
@@ -289,7 +299,11 @@ mod tests {
                 .map(|i| {
                     let lo = rng.gen_range(-2.0..2.0);
                     // 30% of variables are fixed.
-                    let hi = if rng.gen_bool(0.3) { lo } else { lo + rng.gen_range(0.0..3.0) };
+                    let hi = if rng.gen_bool(0.3) {
+                        lo
+                    } else {
+                        lo + rng.gen_range(0.0..3.0)
+                    };
                     m.add_var(format!("x{i}"), lo, hi, rng.gen_range(-2.0..2.0))
                 })
                 .collect();
@@ -299,7 +313,9 @@ mod tests {
                 let terms: Vec<_> = if rng.gen_bool(0.3) {
                     vec![(vars[rng.gen_range(0..n)], rng.gen_range(-2.0..2.0f64))]
                 } else {
-                    vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect()
+                    vars.iter()
+                        .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+                        .collect()
                 };
                 m.add_constraint(terms, cmp, rng.gen_range(-4.0..4.0));
             }

@@ -106,7 +106,12 @@ impl RevisedSimplex {
         let values = w.x[..sf.n_structural].to_vec();
         let internal: f64 = w.costs.iter().zip(&w.x).map(|(c, x)| c * x).sum();
         let duals = w.current_duals();
-        Ok(Solution::new(sf.external_objective(internal), values, duals, w.iterations))
+        Ok(Solution::new(
+            sf.external_objective(internal),
+            values,
+            duals,
+            w.iterations,
+        ))
     }
 }
 
@@ -257,7 +262,11 @@ impl<'a> Worker<'a> {
                 self.basis.push(s);
             } else {
                 let v = if r < lo { lo } else { hi };
-                self.state[s] = if v == lo { VarState::AtLower } else { VarState::AtUpper };
+                self.state[s] = if v == lo {
+                    VarState::AtLower
+                } else {
+                    VarState::AtUpper
+                };
                 self.x[s] = v;
                 let excess = r - v;
                 let sign = if excess >= 0.0 { 1.0 } else { -1.0 };
@@ -348,7 +357,10 @@ impl<'a> Worker<'a> {
 
     /// Solve `B t = v` in place.
     fn ftran(&self, v: &mut [f64]) {
-        self.lu.as_ref().expect("basis factorized").solve_in_place(v);
+        self.lu
+            .as_ref()
+            .expect("basis factorized")
+            .solve_in_place(v);
         for eta in &self.etas {
             let tr = v[eta.row] / eta.col[eta.row];
             if tr != 0.0 {
@@ -373,7 +385,10 @@ impl<'a> Worker<'a> {
             }
             v[eta.row] = s / eta.col[eta.row];
         }
-        self.lu.as_ref().expect("basis factorized").solve_transpose_in_place(v);
+        self.lu
+            .as_ref()
+            .expect("basis factorized")
+            .solve_transpose_in_place(v);
     }
 
     /// Simplex multipliers for the *current* cost vector.
@@ -399,7 +414,11 @@ impl<'a> Worker<'a> {
     fn price(&mut self, y: &[f64]) -> Option<(usize, f64)> {
         let tol = self.opts.tol;
         let n = self.ncols();
-        let window = if self.bland { None } else { self.opts.partial_pricing };
+        let window = if self.bland {
+            None
+        } else {
+            self.opts.partial_pricing
+        };
         let start = self.price_cursor % n.max(1);
         let mut best: Option<(usize, f64, f64)> = None; // (col, dir, violation)
         let mut eligible_seen = 0usize;
@@ -453,7 +472,9 @@ impl<'a> Worker<'a> {
     fn run(&mut self) -> Result<(), LpError> {
         loop {
             if self.iterations >= self.opts.max_iterations {
-                return Err(LpError::IterationLimit { iterations: self.iterations });
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
             }
             let y = self.current_duals();
             let Some((q, dir)) = self.price(&y) else {
@@ -508,8 +529,7 @@ impl<'a> Worker<'a> {
                         } else {
                             // Prefer larger pivot magnitude on near-ties for
                             // numerical stability.
-                            limit < t - 1e-12
-                                || (limit <= t + 1e-12 && wi.abs() > w[cur].abs())
+                            limit < t - 1e-12 || (limit <= t + 1e-12 && wi.abs() > w[cur].abs())
                         }
                     }
                 };
@@ -538,8 +558,11 @@ impl<'a> Worker<'a> {
                         }
                     }
                     self.x[q] = if dir > 0.0 { self.ub[q] } else { self.lb[q] };
-                    self.state[q] =
-                        if dir > 0.0 { VarState::AtUpper } else { VarState::AtLower };
+                    self.state[q] = if dir > 0.0 {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
                 }
                 Some((r, hits)) => {
                     if w[r].abs() <= self.opts.pivot_tol {
@@ -801,7 +824,10 @@ mod tests {
             max_iterations: 0,
             ..Default::default()
         });
-        assert!(matches!(solver.solve(&m), Err(LpError::IterationLimit { .. })));
+        assert!(matches!(
+            solver.solve(&m),
+            Err(LpError::IterationLimit { .. })
+        ));
     }
 
     #[test]
@@ -850,9 +876,8 @@ mod tests {
                 .map(|i| m.add_var(format!("x{i}"), 0.0, 1.0, rng.gen_range(-2.0..2.0)))
                 .collect();
             for _ in 0..rng.gen_range(1..8) {
-                let terms: Vec<_> =
-                    vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
-                let cap = n as f64 * 0.3;
+                let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
+                let cap = f64::from(n) * 0.3;
                 m.add_constraint(terms, Cmp::Le, cap);
             }
             let full = m.solve().unwrap();
@@ -863,8 +888,7 @@ mod tests {
                 });
                 let partial = solver.solve(&m).unwrap();
                 assert!(
-                    (full.objective() - partial.objective()).abs()
-                        / (1.0 + full.objective().abs())
+                    (full.objective() - partial.objective()).abs() / (1.0 + full.objective().abs())
                         < 1e-7,
                     "case {case} window {window}: {} vs {}",
                     full.objective(),
@@ -891,4 +915,3 @@ mod tests {
         assert_eq!(solver.solve(&unb).unwrap_err(), LpError::Unbounded);
     }
 }
-

@@ -32,7 +32,11 @@ pub struct ScaleMap {
 impl ScaleMap {
     /// `x_original[j] = x_scaled[j] · col_scale[j]`.
     pub fn unscale(&self, scaled: &[f64]) -> Vec<f64> {
-        scaled.iter().zip(&self.col_scale).map(|(x, c)| x * c).collect()
+        scaled
+            .iter()
+            .zip(&self.col_scale)
+            .map(|(x, c)| x * c)
+            .collect()
     }
 
     /// The per-column scale factors.
@@ -170,14 +174,22 @@ mod tests {
                 .map(|i| {
                     // Deliberately wild magnitudes.
                     let mag = 10.0f64.powi(rng.gen_range(-5..5));
-                    m.add_var(format!("x{i}"), 0.0, rng.gen_range(1.0..10.0) * mag, rng.gen_range(-2.0..2.0))
+                    m.add_var(
+                        format!("x{i}"),
+                        0.0,
+                        rng.gen_range(1.0..10.0) * mag,
+                        rng.gen_range(-2.0..2.0),
+                    )
                 })
                 .collect();
             for _ in 0..rng.gen_range(1..5) {
                 let terms: Vec<_> = vars
                     .iter()
                     .map(|&v| {
-                        (v, rng.gen_range(0.1..2.0) * 10.0f64.powi(rng.gen_range(-4..4)))
+                        (
+                            v,
+                            rng.gen_range(0.1..2.0) * 10.0f64.powi(rng.gen_range(-4..4)),
+                        )
                     })
                     .collect();
                 m.add_constraint(terms, Cmp::Le, rng.gen_range(0.5..100.0));

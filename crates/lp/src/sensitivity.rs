@@ -27,7 +27,10 @@ pub struct Sensitivity {
 pub fn analyze(model: &Model, solution: &Solution) -> Sensitivity {
     let duals = solution.duals();
     if duals.len() != model.num_constraints() {
-        return Sensitivity { shadow_prices: Vec::new(), reduced_costs: Vec::new() };
+        return Sensitivity {
+            shadow_prices: Vec::new(),
+            reduced_costs: Vec::new(),
+        };
     }
     // Internal duals are for the minimization form; a maximization model's
     // objective was negated, so flip back.
@@ -54,7 +57,10 @@ pub fn analyze(model: &Model, solution: &Solution) -> Sensitivity {
             reduced[v] -= sign * duals[ri] * coef;
         }
     }
-    Sensitivity { shadow_prices, reduced_costs: reduced }
+    Sensitivity {
+        shadow_prices,
+        reduced_costs: reduced,
+    }
 }
 
 #[cfg(test)]
@@ -89,8 +95,16 @@ mod tests {
             let mut m = Model::minimize();
             let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
             let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
-            m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0 + if which == 0 { eps } else { 0.0 });
-            m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Ge, 6.0 + if which == 1 { eps } else { 0.0 });
+            m.add_constraint(
+                [(x, 1.0), (y, 1.0)],
+                Cmp::Ge,
+                4.0 + if which == 0 { eps } else { 0.0 },
+            );
+            m.add_constraint(
+                [(x, 1.0), (y, 3.0)],
+                Cmp::Ge,
+                6.0 + if which == 1 { eps } else { 0.0 },
+            );
             m
         };
         check_shadow_by_fd(build, 2);
@@ -103,8 +117,16 @@ mod tests {
             let mut m = Model::new(Sense::Maximize);
             let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
             let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
-            m.add_constraint([(x, 1.0)], Cmp::Le, 4.0 + if which == 0 { eps } else { 0.0 });
-            m.add_constraint([(y, 2.0)], Cmp::Le, 12.0 + if which == 1 { eps } else { 0.0 });
+            m.add_constraint(
+                [(x, 1.0)],
+                Cmp::Le,
+                4.0 + if which == 0 { eps } else { 0.0 },
+            );
+            m.add_constraint(
+                [(y, 2.0)],
+                Cmp::Le,
+                12.0 + if which == 1 { eps } else { 0.0 },
+            );
             m.add_constraint(
                 [(x, 3.0), (y, 2.0)],
                 Cmp::Le,

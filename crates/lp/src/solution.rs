@@ -31,7 +31,27 @@ impl Solution {
         duals: Vec<f64>,
         iterations: usize,
     ) -> Self {
-        Solution { status: Status::Optimal, objective, values, duals, iterations }
+        Solution {
+            status: Status::Optimal,
+            objective,
+            values,
+            duals,
+            iterations,
+        }
+    }
+
+    /// Assemble a solution from raw parts.
+    ///
+    /// Exists for verification tooling (`lips-audit`) and tests that need
+    /// to feed hand-built — possibly deliberately wrong — solutions to an
+    /// independent checker; solvers use the crate-private constructor.
+    pub fn from_parts(
+        objective: f64,
+        values: Vec<f64>,
+        duals: Vec<f64>,
+        iterations: usize,
+    ) -> Self {
+        Solution::new(objective, values, duals, iterations)
     }
 
     /// Termination status (always [`Status::Optimal`] for a returned value).

@@ -26,7 +26,10 @@ impl CscMatrix {
         // Bucket by column, then sort each bucket by row and merge dups.
         let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
         for (r, c, v) in triplets {
-            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of {nrows}x{ncols}");
+            assert!(
+                r < nrows && c < ncols,
+                "triplet ({r},{c}) out of {nrows}x{ncols}"
+            );
             cols[c].push((r, v));
         }
         let mut col_ptr = Vec::with_capacity(ncols + 1);
@@ -50,7 +53,13 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        CscMatrix { nrows, ncols, col_ptr, row_idx, values }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     pub fn nrows(&self) -> usize {
@@ -69,7 +78,10 @@ impl CscMatrix {
     /// Nonzeros of column `j` as `(row, value)` pairs.
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.col_ptr[j]..self.col_ptr[j + 1];
-        self.row_idx[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+        self.row_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
     }
 
     /// Dense dot product `row_vec · column j`.
@@ -132,7 +144,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed_zeros_dropped() {
-        let m = CscMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0)]);
+        let m =
+            CscMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0)]);
         assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 3.0)]);
         assert_eq!(m.col(1).count(), 0);
         assert_eq!(m.nnz(), 1);

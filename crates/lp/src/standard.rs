@@ -61,7 +61,15 @@ impl StandardForm {
             b.push(con.rhs);
         }
         let a = CscMatrix::from_triplets(m, n + m, triplets);
-        StandardForm { a, b, c, lb, ub, n_structural: n, negated }
+        StandardForm {
+            a,
+            b,
+            c,
+            lb,
+            ub,
+            n_structural: n,
+            negated,
+        }
     }
 
     /// Total number of columns (structural + slack).

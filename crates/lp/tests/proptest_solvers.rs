@@ -30,11 +30,20 @@ fn lp_strategy() -> impl Strategy<Value = RandomLp> {
                 Just(maximize),
             )
         })
-        .prop_map(|(nvars, vars, cons, maximize)| RandomLp { nvars, vars, cons, maximize })
+        .prop_map(|(nvars, vars, cons, maximize)| RandomLp {
+            nvars,
+            vars,
+            cons,
+            maximize,
+        })
 }
 
 fn build(lp: &RandomLp) -> Model {
-    let sense = if lp.maximize { Sense::Maximize } else { Sense::Minimize };
+    let sense = if lp.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
     let mut m = Model::new(sense);
     let vars: Vec<_> = lp
         .vars
@@ -49,7 +58,11 @@ fn build(lp: &RandomLp) -> Model {
             _ => Cmp::Eq,
         };
         m.add_constraint(
-            coefs.iter().enumerate().map(|(i, &c)| (vars[i], c)).take(lp.nvars),
+            coefs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], c))
+                .take(lp.nvars),
             cmp,
             *rhs,
         );
@@ -137,7 +150,11 @@ fn seeded_agreement_sweep() {
         let nvars = rng.gen_range(2..10);
         let ncons = rng.gen_range(1..10);
         let maximize = rng.gen_bool(0.5);
-        let mut m = Model::new(if maximize { Sense::Maximize } else { Sense::Minimize });
+        let mut m = Model::new(if maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        });
         let vars: Vec<_> = (0..nvars)
             .map(|i| {
                 let lb = rng.gen_range(-2.0..2.0);
@@ -151,8 +168,10 @@ fn seeded_agreement_sweep() {
                 1 => Cmp::Ge,
                 _ => Cmp::Eq,
             };
-            let terms: Vec<_> =
-                vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect();
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+                .collect();
             m.add_constraint(terms, cmp, rng.gen_range(-5.0..5.0));
         }
         let a = m.solve();
@@ -160,8 +179,14 @@ fn seeded_agreement_sweep() {
         match (a, b) {
             (Ok(x), Ok(y)) => {
                 optimal += 1;
-                assert!(m.is_feasible(x.values(), 1e-5), "case {case}: revised infeasible");
-                assert!(m.is_feasible(y.values(), 1e-5), "case {case}: dense infeasible");
+                assert!(
+                    m.is_feasible(x.values(), 1e-5),
+                    "case {case}: revised infeasible"
+                );
+                assert!(
+                    m.is_feasible(y.values(), 1e-5),
+                    "case {case}: dense infeasible"
+                );
                 let scale = 1.0 + x.objective().abs().max(y.objective().abs());
                 assert!(
                     (x.objective() - y.objective()).abs() / scale < 1e-5,
@@ -176,5 +201,8 @@ fn seeded_agreement_sweep() {
     }
     // Bounded boxes mean unbounded cannot occur, and a healthy share of the
     // random cases must actually be feasible for the sweep to mean anything.
-    assert!(optimal > 50, "only {optimal} optimal cases — generator too tight");
+    assert!(
+        optimal > 50,
+        "only {optimal} optimal cases — generator too tight"
+    );
 }

@@ -14,7 +14,14 @@ use lips_lp::{Cmp, Model, Sense};
 fn klee_minty(n: usize) -> Model {
     let mut m = Model::new(Sense::Maximize);
     let xs: Vec<_> = (0..n)
-        .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY, if i == n - 1 { 1.0 } else { 0.0 }))
+        .map(|i| {
+            m.add_var(
+                format!("x{i}"),
+                0.0,
+                f64::INFINITY,
+                if i == n - 1 { 1.0 } else { 0.0 },
+            )
+        })
         .collect();
     // Constraints: x_1 <= 5; 4x_1 + x_2 <= 25; 8x_1 + 4x_2 + x_3 <= 125; ...
     for i in 0..n {
@@ -71,7 +78,11 @@ fn badly_scaled_coefficients_survive() {
     m.add_constraint([(x, 1e6), (y, 1e-6)], Cmp::Ge, 2e6);
     m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
     let sol = m.solve().unwrap();
-    assert!(m.is_feasible(sol.values(), 1e-3), "viol {}", m.max_violation(sol.values()));
+    assert!(
+        m.is_feasible(sol.values(), 1e-3),
+        "viol {}",
+        m.max_violation(sol.values())
+    );
     // Optimal: push everything onto cheap x. x = 2, y = 1 satisfies both.
     let brute = {
         // crude grid check that no much-cheaper feasible point exists
@@ -94,8 +105,16 @@ fn cycling_prone_beale_example() {
     let x5 = m.add_var("x5", 0.0, f64::INFINITY, 150.0);
     let x6 = m.add_var("x6", 0.0, f64::INFINITY, -0.02);
     let x7 = m.add_var("x7", 0.0, f64::INFINITY, 6.0);
-    m.add_constraint([(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)], Cmp::Le, 0.0);
-    m.add_constraint([(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)], Cmp::Le, 0.0);
+    m.add_constraint(
+        [(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constraint(
+        [(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
     m.add_constraint([(x6, 1.0)], Cmp::Le, 1.0);
     let sol = m.solve().unwrap();
     assert!((sol.objective() + 0.05).abs() < 1e-6, "{}", sol.objective());
@@ -126,10 +145,18 @@ fn larger_transportation_problem_matches_oracle() {
         *d *= total / dsum * 0.9; // demand < supply: feasible
     }
     for i in 0..ns {
-        m.add_constraint((0..nd).map(|j| (x[i][j].unwrap(), 1.0)), Cmp::Le, supplies[i]);
+        m.add_constraint(
+            (0..nd).map(|j| (x[i][j].unwrap(), 1.0)),
+            Cmp::Le,
+            supplies[i],
+        );
     }
     for j in 0..nd {
-        m.add_constraint((0..ns).map(|i| (x[i][j].unwrap(), 1.0)), Cmp::Ge, demands[j]);
+        m.add_constraint(
+            (0..ns).map(|i| (x[i][j].unwrap(), 1.0)),
+            Cmp::Ge,
+            demands[j],
+        );
     }
     let fast = m.solve().unwrap();
     let oracle = m.solve_dense().unwrap();

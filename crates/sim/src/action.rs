@@ -13,7 +13,12 @@ use crate::Time;
 pub enum Action {
     /// Copy `mb` of `data` from `from` to `to` (billed at the `SS` price;
     /// readable at the destination once the copy completes).
-    MoveData { data: DataId, from: StoreId, to: StoreId, mb: f64 },
+    MoveData {
+        data: DataId,
+        from: StoreId,
+        to: StoreId,
+        mb: f64,
+    },
     /// Run a chunk of `job` on `machine`: read `mb` of its input from
     /// `source` (None for input-less work) and burn
     /// `mb·TCP + fixed_ecu` ECU-seconds.
@@ -45,7 +50,10 @@ impl SchedulerContext<'_> {
 
     /// Total unassigned ECU-seconds across the queue.
     pub fn backlog_ecu(&self) -> f64 {
-        self.queue.iter().map(|j| j.unassigned_ecu()).sum()
+        self.queue
+            .iter()
+            .map(super::job_state::PendingJob::unassigned_ecu)
+            .sum()
     }
 }
 
@@ -78,13 +86,18 @@ mod tests {
     fn context_helpers() {
         let cluster = lips_cluster::ec2_20_node(0.0, 3600.0);
         let placement = Placement::from_cluster(&cluster);
-        let machines: Vec<MachineState> =
-            cluster.machines.iter().map(MachineState::new).collect();
+        let machines: Vec<MachineState> = cluster.machines.iter().map(MachineState::new).collect();
         let mut j0 = PendingJob::from_spec(&JobSpec::new(0, "a", JobKind::Grep, 640.0, 10));
         let j1 = PendingJob::from_spec(&JobSpec::new(1, "b", JobKind::Pi, 0.0, 4));
         j0.remaining_mb = 0.0; // j0 fully assigned
         let queue = vec![j0, j1];
-        let ctx = SchedulerContext { now: 0.0, cluster: &cluster, placement: &placement, queue: &queue, machines: &machines };
+        let ctx = SchedulerContext {
+            now: 0.0,
+            cluster: &cluster,
+            placement: &placement,
+            queue: &queue,
+            machines: &machines,
+        };
         let with_work: Vec<JobId> = ctx.jobs_with_work().map(|j| j.id).collect();
         assert_eq!(with_work, vec![JobId(1)]);
         assert!((ctx.backlog_ecu() - 1600.0).abs() < 1e-9);

@@ -23,9 +23,18 @@ pub enum SimError {
     /// Chunk consumed more work than the job has left.
     OverAssignment(JobId),
     /// Chunk read data from a store that does not hold (enough of) it.
-    MissingData { data: DataId, store: StoreId, wanted_mb: f64, present_mb: f64 },
+    MissingData {
+        data: DataId,
+        store: StoreId,
+        wanted_mb: f64,
+        present_mb: f64,
+    },
     /// Move would overflow the destination store's capacity.
-    StoreOverflow { store: StoreId, capacity_mb: f64, would_use_mb: f64 },
+    StoreOverflow {
+        store: StoreId,
+        capacity_mb: f64,
+        would_use_mb: f64,
+    },
     /// A data-reading chunk did not name a source store.
     SourceRequired(JobId),
     /// All events drained but unfinished jobs remain — the scheduler
@@ -40,12 +49,24 @@ impl fmt::Display for SimError {
         match self {
             SimError::UnknownJob(j) => write!(f, "action references unknown job {j:?}"),
             SimError::OverAssignment(j) => write!(f, "job {j:?} over-assigned"),
-            SimError::MissingData { data, store, wanted_mb, present_mb } => write!(
+            SimError::MissingData {
+                data,
+                store,
+                wanted_mb,
+                present_mb,
+            } => write!(
                 f,
                 "chunk wants {wanted_mb} MB of {data:?} at {store:?}, only {present_mb} present"
             ),
-            SimError::StoreOverflow { store, capacity_mb, would_use_mb } => {
-                write!(f, "store {store:?} capacity {capacity_mb} MB exceeded ({would_use_mb})")
+            SimError::StoreOverflow {
+                store,
+                capacity_mb,
+                would_use_mb,
+            } => {
+                write!(
+                    f,
+                    "store {store:?} capacity {capacity_mb} MB exceeded ({would_use_mb})"
+                )
             }
             SimError::SourceRequired(j) => {
                 write!(f, "data-reading chunk for {j:?} lacks a source store")
@@ -129,7 +150,11 @@ impl<'a> Simulation<'a> {
     /// with probability `prob` (seeded, deterministic).
     pub fn with_stragglers(mut self, prob: f64, slowdown: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&prob) && slowdown >= 1.0);
-        self.stragglers = Some(StragglerModel { prob, slowdown, seed });
+        self.stragglers = Some(StragglerModel {
+            prob,
+            slowdown,
+            seed,
+        });
         self
     }
 
@@ -230,12 +255,11 @@ impl<'a> Simulation<'a> {
                                     .sum();
                                 let mut placed = 0.0;
                                 if total > WORK_EPS {
-                                    let mut shares: Vec<(lips_cluster::MachineId, f64)> =
-                                        map_ecu
-                                            .iter()
-                                            .filter(|((j, _), _)| *j == job)
-                                            .map(|((_, m), e)| (*m, *e))
-                                            .collect();
+                                    let mut shares: Vec<(lips_cluster::MachineId, f64)> = map_ecu
+                                        .iter()
+                                        .filter(|((j, _), _)| *j == job)
+                                        .map(|((_, m), e)| (*m, *e))
+                                        .collect();
                                     shares.sort_by_key(|(m, _)| *m);
                                     for (machine, ecu) in shares {
                                         if let Some(store) = cluster.store_of_machine(machine) {
@@ -341,7 +365,9 @@ impl<'a> Simulation<'a> {
         }
 
         if !queue.is_empty() {
-            return Err(SimError::Stalled { unfinished: queue.len() });
+            return Err(SimError::Stalled {
+                unfinished: queue.len(),
+            });
         }
         Ok(SimReport {
             scheduler: scheduler.name().to_string(),
@@ -399,7 +425,13 @@ impl<'a> Simulation<'a> {
                 events.push(ready, EventKind::MoveDone { data, to });
                 Ok(())
             }
-            Action::RunChunk { job, machine, source, mb, fixed_ecu } => {
+            Action::RunChunk {
+                job,
+                machine,
+                source,
+                mb,
+                fixed_ecu,
+            } => {
                 if mb <= WORK_EPS && fixed_ecu <= WORK_EPS {
                     return Ok(());
                 }
@@ -407,8 +439,7 @@ impl<'a> Simulation<'a> {
                     .iter_mut()
                     .find(|j| j.id == job)
                     .ok_or(SimError::UnknownJob(job))?;
-                if mb > pj.remaining_mb + WORK_EPS
-                    || fixed_ecu > pj.remaining_fixed_ecu + WORK_EPS
+                if mb > pj.remaining_mb + WORK_EPS || fixed_ecu > pj.remaining_fixed_ecu + WORK_EPS
                 {
                     return Err(SimError::OverAssignment(job));
                 }
@@ -464,11 +495,15 @@ impl<'a> Simulation<'a> {
                 // globally earliest-free slot; the first finisher wins and
                 // the loser is killed (its burned cycles are still billed).
                 if self.speculation && straggled {
-                    let backup = (0..machines.len())
-                        .filter(|&i| i != machine.0)
-                        .min_by(|&a, &b| {
-                            machines[a].earliest_slot().1.total_cmp(&machines[b].earliest_slot().1)
-                        });
+                    let backup =
+                        (0..machines.len())
+                            .filter(|&i| i != machine.0)
+                            .min_by(|&a, &b| {
+                                machines[a]
+                                    .earliest_slot()
+                                    .1
+                                    .total_cmp(&machines[b].earliest_slot().1)
+                            });
                     if let Some(bi) = backup {
                         let bm = cluster.machine(lips_cluster::MachineId(bi));
                         let (bslot, bfree) = machines[bi].earliest_slot();
@@ -489,8 +524,11 @@ impl<'a> Simulation<'a> {
                             // `bend` and billed for the work it completed.
                             if bend > start {
                                 let ran = (bend - start).clamp(0.0, end - start);
-                                let frac =
-                                    if end > start { ran / (end - start) } else { 1.0 };
+                                let frac = if end > start {
+                                    ran / (end - start)
+                                } else {
+                                    1.0
+                                };
                                 machines[machine.0].occupy(slot, bend);
                                 metrics.record_chunk(
                                     machine,
@@ -528,15 +566,22 @@ impl<'a> Simulation<'a> {
                             );
                             events.push(
                                 bend,
-                                EventKind::ChunkDone { job, machine: bm.id, slot: bslot },
+                                EventKind::ChunkDone {
+                                    job,
+                                    machine: bm.id,
+                                    slot: bslot,
+                                },
                             );
                             return Ok(());
                         } else {
                             // Original wins: the backup burns until `end`
                             // then is killed; bill its partial work.
                             let ran = (end - bstart).clamp(0.0, bend - bstart);
-                            let frac =
-                                if bend > bstart { ran / (bend - bstart) } else { 0.0 };
+                            let frac = if bend > bstart {
+                                ran / (bend - bstart)
+                            } else {
+                                0.0
+                            };
                             machines[bi].occupy(bslot, end.max(bfree));
                             let bread = if mb > WORK_EPS {
                                 mb * cluster.ms_cost(bm.id, source.unwrap())
@@ -597,11 +642,7 @@ mod tests {
                 if let Some(data) = j.data {
                     // Read from wherever the data is.
                     let (store, _) = ctx.placement.stores_of(data)[0];
-                    let machine = ctx
-                        .cluster
-                        .store(store)
-                        .colocated
-                        .unwrap_or(MachineId(0));
+                    let machine = ctx.cluster.store(store).colocated.unwrap_or(MachineId(0));
                     if ctx.machines[machine.0].free_slots(ctx.now) == 0 {
                         continue;
                     }
@@ -640,7 +681,9 @@ mod tests {
     fn run_simple(jobs: Vec<JobSpec>) -> SimReport {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap()
+        Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap()
     }
 
     #[test]
@@ -669,7 +712,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let r = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let r = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         let total_ecu: f64 = r.metrics.ecu_sec_by_machine.values().sum();
         assert!((total_ecu - 200.0).abs() < 1e-6);
         // All chunks ran on one machine at its price.
@@ -704,7 +749,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let err = Simulation::new(&cluster, &workload).run(&mut Lazy).unwrap_err();
+        let err = Simulation::new(&cluster, &workload)
+            .run(&mut Lazy)
+            .unwrap_err();
         assert_eq!(err, SimError::Stalled { unfinished: 1 });
     }
 
@@ -729,9 +776,15 @@ mod tests {
         }
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
-        let err = Simulation::new(&cluster, &workload).run(&mut Greedy).unwrap_err();
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
+        let err = Simulation::new(&cluster, &workload)
+            .run(&mut Greedy)
+            .unwrap_err();
         assert_eq!(err, SimError::OverAssignment(JobId(0)));
     }
 
@@ -757,9 +810,15 @@ mod tests {
         }
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
-        let err = Simulation::new(&cluster, &workload).run(&mut WrongSource).unwrap_err();
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
+        let err = Simulation::new(&cluster, &workload)
+            .run(&mut WrongSource)
+            .unwrap_err();
         assert!(matches!(err, SimError::MissingData { .. }));
     }
 
@@ -772,7 +831,9 @@ mod tests {
         }
         impl Scheduler for MoveThenRun {
             fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
-                let Some(j) = ctx.jobs_with_work().next() else { return vec![] };
+                let Some(j) = ctx.jobs_with_work().next() else {
+                    return vec![];
+                };
                 let data = j.data.unwrap();
                 if !self.moved {
                     self.moved = true;
@@ -800,8 +861,12 @@ mod tests {
         }
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
         let r = Simulation::new(&cluster, &workload)
             .run(&mut MoveThenRun { moved: false })
             .unwrap();
@@ -822,7 +887,9 @@ mod tests {
         struct BigMove;
         impl Scheduler for BigMove {
             fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
-                let Some(j) = ctx.jobs_with_work().next() else { return vec![] };
+                let Some(j) = ctx.jobs_with_work().next() else {
+                    return vec![];
+                };
                 vec![Action::MoveData {
                     data: j.data.unwrap(),
                     from: StoreId(0),
@@ -837,9 +904,15 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         cluster.stores[1].capacity_mb = 10.0; // too small
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
-        let err = Simulation::new(&cluster, &workload).run(&mut BigMove).unwrap_err();
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
+        let err = Simulation::new(&cluster, &workload)
+            .run(&mut BigMove)
+            .unwrap_err();
         assert!(matches!(err, SimError::StoreOverflow { .. }));
     }
 
@@ -849,7 +922,11 @@ mod tests {
             JobSpec::new(0, "a", JobKind::Grep, 640.0, 10),
             JobSpec::new(1, "b", JobKind::Stress2, 640.0, 10),
         ]);
-        let last = r.outcomes.iter().map(|o| o.completed).fold(0.0f64, f64::max);
+        let last = r
+            .outcomes
+            .iter()
+            .map(|o| o.completed)
+            .fold(0.0f64, f64::max);
         assert!((r.makespan - last).abs() < 1e-9);
     }
 
@@ -865,7 +942,12 @@ mod tests {
             .with_stragglers(1.0, 4.0, 9)
             .run(&mut LocalGreedy)
             .unwrap();
-        assert!(slow.makespan > base.makespan * 2.0, "{} vs {}", slow.makespan, base.makespan);
+        assert!(
+            slow.makespan > base.makespan * 2.0,
+            "{} vs {}",
+            slow.makespan,
+            base.makespan
+        );
         // Work-based billing is unchanged.
         assert!((slow.metrics.total_dollars() - base.metrics.total_dollars()).abs() < 1e-12);
     }
@@ -898,7 +980,9 @@ mod tests {
         }
         impl Scheduler for MoveOnly {
             fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
-                let Some(j) = ctx.jobs_with_work().next() else { return vec![] };
+                let Some(j) = ctx.jobs_with_work().next() else {
+                    return vec![];
+                };
                 let data = j.data.unwrap();
                 if !self.done {
                     self.done = true;
@@ -923,8 +1007,12 @@ mod tests {
         }
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 64.0, 1)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
         let r = Simulation::new(&cluster, &workload)
             .run(&mut MoveOnly { done: false })
             .unwrap();
@@ -939,14 +1027,25 @@ mod tests {
         // interference each read contends with the sibling.
         let mut cluster = lips_cluster::ec2_mixed_cluster(1, 1.0, 3600.0, 1);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 128.0, 2)];
-        let workload =
-            bind_workload(&mut cluster, jobs, PlacementPolicy::SingleStore(StoreId(0)), 1);
-        let clean = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let workload = bind_workload(
+            &mut cluster,
+            jobs,
+            PlacementPolicy::SingleStore(StoreId(0)),
+            1,
+        );
+        let clean = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         let noisy = Simulation::new(&cluster, &workload)
             .with_interference(1.0)
             .run(&mut LocalGreedy)
             .unwrap();
-        assert!(noisy.makespan > clean.makespan, "{} vs {}", noisy.makespan, clean.makespan);
+        assert!(
+            noisy.makespan > clean.makespan,
+            "{} vs {}",
+            noisy.makespan,
+            clean.makespan
+        );
         // Billing is untouched by contention.
         assert_eq!(noisy.metrics.total_dollars(), clean.metrics.total_dollars());
     }
@@ -956,7 +1055,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let a = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let a = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         let b = Simulation::new(&cluster, &workload)
             .with_interference(0.0)
             .run(&mut LocalGreedy)
@@ -969,13 +1070,14 @@ mod tests {
         // WordCount with a reduce: 640 MB maps (200 ECU-s at grep tcp...
         // actually WordCount 90/64), shuffle 128 MB at 0.5 ECU-s/MB.
         let mut cluster = ec2_20_node(0.0, 3600.0);
-        let jobs = vec![
-            JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10).with_reduce(4, 128.0, 0.5)
-        ];
+        let jobs =
+            vec![JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10).with_reduce(4, 128.0, 0.5)];
         let map_ecu = 640.0 * 90.0 / 64.0;
         let reduce_ecu = 128.0 * 0.5;
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let r = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let r = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         assert_eq!(r.outcomes.len(), 1);
         let executed: f64 = r.metrics.ecu_sec_by_machine.values().sum();
         assert!(
@@ -991,7 +1093,10 @@ mod tests {
             .iter()
             .map(|&(_, mb)| mb)
             .sum();
-        assert!((total_shuffle - 128.0).abs() < 1e-6, "shuffle {total_shuffle}");
+        assert!(
+            (total_shuffle - 128.0).abs() < 1e-6,
+            "shuffle {total_shuffle}"
+        );
     }
 
     #[test]
@@ -999,7 +1104,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let r = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let r = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         let executed: f64 = r.metrics.ecu_sec_by_machine.values().sum();
         assert!((executed - 200.0).abs() < 1e-6);
     }
@@ -1007,9 +1114,8 @@ mod tests {
     #[test]
     fn reduce_completion_time_is_after_map_completion() {
         let _cluster = ec2_20_node(0.0, 3600.0);
-        let with_reduce = vec![
-            JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10).with_reduce(2, 640.0, 1.0)
-        ];
+        let with_reduce =
+            vec![JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10).with_reduce(2, 640.0, 1.0)];
         let map_only = vec![JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10)];
         let mut c1 = ec2_20_node(0.0, 3600.0);
         let w1 = bind_workload(&mut c1, with_reduce, PlacementPolicy::RoundRobin, 1);
@@ -1056,7 +1162,9 @@ mod tests {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let a = Simulation::new(&cluster, &workload).run(&mut LocalGreedy).unwrap();
+        let a = Simulation::new(&cluster, &workload)
+            .run(&mut LocalGreedy)
+            .unwrap();
         let b = Simulation::new(&cluster, &workload)
             .with_speculation(true)
             .run(&mut LocalGreedy)
@@ -1065,4 +1173,3 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
     }
 }
-

@@ -14,7 +14,11 @@ pub enum EventKind {
     /// A job entered the queue.
     JobArrival(JobId),
     /// A scheduled chunk finished on a machine slot.
-    ChunkDone { job: JobId, machine: MachineId, slot: u32 },
+    ChunkDone {
+        job: JobId,
+        machine: MachineId,
+        slot: u32,
+    },
     /// A data movement completed.
     MoveDone { data: DataId, to: StoreId },
     /// Periodic scheduler invocation (epoch-based schedulers).
@@ -67,7 +71,10 @@ impl EventQueue {
 
     /// Schedule `kind` at absolute time `time`.
     pub fn push(&mut self, time: Time, kind: EventKind) {
-        assert!(time.is_finite() && time >= 0.0, "event time must be finite: {time}");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite: {time}"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, seq, kind });

@@ -53,7 +53,7 @@ impl PendingJob {
             data: spec.data,
             tcp: spec.tcp_ecu_sec_per_mb,
             remaining_mb: spec.effective_input_mb(),
-            remaining_fixed_ecu: spec.ecu_sec_per_task * spec.tasks as f64,
+            remaining_fixed_ecu: spec.ecu_sec_per_task * f64::from(spec.tasks),
             task_mb: spec.mb_per_task(),
             task_fixed_ecu: spec.ecu_sec_per_task,
             running_chunks: 0,
@@ -74,7 +74,7 @@ impl PendingJob {
         self.tcp = spec.tcp_ecu_sec_per_mb;
         self.remaining_mb = spec.shuffle_mb;
         self.remaining_fixed_ecu = 0.0;
-        self.task_mb = spec.shuffle_mb / spec.tasks as f64;
+        self.task_mb = spec.shuffle_mb / f64::from(spec.tasks);
         self.task_fixed_ecu = 0.0;
     }
 
@@ -195,8 +195,7 @@ mod tests {
 
     #[test]
     fn reduce_transition_resets_work() {
-        let spec = JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10)
-            .with_reduce(5, 100.0, 0.5);
+        let spec = JobSpec::new(0, "wc", JobKind::WordCount, 640.0, 10).with_reduce(5, 100.0, 0.5);
         let mut p = PendingJob::from_spec(&spec);
         assert_eq!(p.phase, JobPhase::Map);
         assert!(p.has_pending_reduce());
@@ -212,4 +211,3 @@ mod tests {
         assert!(!p.is_complete());
     }
 }
-

@@ -68,7 +68,7 @@ pub use job_state::{JobOutcome, JobPhase, PendingJob};
 pub use machine_state::MachineState;
 pub use metrics::{Metrics, SimReport};
 pub use placement::Placement;
-pub use validate::{assert_valid, validate_report, Violation};
+pub use validate::{assert_valid, validate_certificate, validate_report, Violation};
 
 /// Simulation clock time, in seconds.
 pub type Time = f64;

@@ -13,7 +13,9 @@ pub struct MachineState {
 
 impl MachineState {
     pub fn new(machine: &Machine) -> Self {
-        MachineState { slot_free_at: vec![0.0; machine.slots as usize] }
+        MachineState {
+            slot_free_at: vec![0.0; machine.slots as usize],
+        }
     }
 
     pub fn slots(&self) -> usize {
@@ -61,8 +63,7 @@ mod tests {
     use lips_cluster::{InstanceType, Machine, ZoneId};
 
     fn c1_state() -> MachineState {
-        let m =
-            Machine::from_instance(0, "m", ZoneId(0), InstanceType::C1_MEDIUM, 0.5, 3600.0);
+        let m = Machine::from_instance(0, "m", ZoneId(0), InstanceType::C1_MEDIUM, 0.5, 3600.0);
         MachineState::new(&m)
     }
 

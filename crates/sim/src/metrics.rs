@@ -103,7 +103,10 @@ impl SimReport {
     /// Sum of per-job durations ("total job execution time" as the paper
     /// plots it in Figures 7/8/10).
     pub fn total_job_duration(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.duration()).sum()
+        self.outcomes
+            .iter()
+            .map(super::job_state::JobOutcome::duration)
+            .sum()
     }
 
     /// Mean job duration.

@@ -55,8 +55,12 @@ impl Placement {
     pub fn spread_blocks(cluster: &Cluster, seed: u64) -> Self {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let datanodes: Vec<StoreId> =
-            cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+        let datanodes: Vec<StoreId> = cluster
+            .stores
+            .iter()
+            .filter(|s| s.colocated.is_some())
+            .map(|s| s.id)
+            .collect();
         assert!(!datanodes.is_empty(), "cluster has no DataNode stores");
         let mut p = Placement::default();
         for d in &cluster.data {
@@ -79,8 +83,12 @@ impl Placement {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let datanodes: Vec<StoreId> =
-            cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+        let datanodes: Vec<StoreId> = cluster
+            .stores
+            .iter()
+            .filter(|s| s.colocated.is_some())
+            .map(|s| s.id)
+            .collect();
         assert!(!datanodes.is_empty(), "cluster has no DataNode stores");
         let r = replicas.clamp(1, datanodes.len());
         let mut p = Placement::default();
@@ -127,7 +135,12 @@ impl Placement {
     /// `ready` onwards.
     pub fn add_copy(&mut self, data: DataId, store: StoreId, mb: f64, ready: Time) {
         assert!(mb >= 0.0);
-        let h = self.by_data.entry(data).or_default().entry(store).or_default();
+        let h = self
+            .by_data
+            .entry(data)
+            .or_default()
+            .entry(store)
+            .or_default();
         h.mb += mb;
         h.ready_at = h.ready_at.max(ready);
         *self.store_used_mb.entry(store).or_default() += mb;
@@ -206,7 +219,8 @@ mod tests {
     #[test]
     fn spread_blocks_covers_size_across_datanodes() {
         let mut c = ec2_20_node(0.0, 3600.0);
-        c.data.push(DataObject::new(0, "d0", 10.0 * 1024.0, StoreId(0)));
+        c.data
+            .push(DataObject::new(0, "d0", 10.0 * 1024.0, StoreId(0)));
         let p = Placement::spread_blocks(&c, 3);
         let total: f64 = p.stores_of(DataId(0)).iter().map(|(_, mb)| mb).sum();
         assert!((total - 10.0 * 1024.0).abs() < 1e-6);
@@ -267,4 +281,3 @@ mod tests {
         assert_eq!(p.stores_of(DataId(0)).len(), 20);
     }
 }
-

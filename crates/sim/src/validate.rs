@@ -37,25 +37,39 @@ pub fn validate_report(
     if report.outcomes.len() != workload.jobs.len() {
         v.push(Violation {
             what: "completion count",
-            detail: format!("{} outcomes for {} jobs", report.outcomes.len(), workload.jobs.len()),
+            detail: format!(
+                "{} outcomes for {} jobs",
+                report.outcomes.len(),
+                workload.jobs.len()
+            ),
         });
     }
     let mut seen = std::collections::HashSet::new();
     for o in &report.outcomes {
         if !seen.insert(o.id) {
-            v.push(Violation { what: "duplicate outcome", detail: format!("{:?}", o.id) });
+            v.push(Violation {
+                what: "duplicate outcome",
+                detail: format!("{:?}", o.id),
+            });
         }
         if o.completed < o.arrival {
             v.push(Violation {
                 what: "time travel",
-                detail: format!("{:?} completed {} before arrival {}", o.id, o.completed, o.arrival),
+                detail: format!(
+                    "{:?} completed {} before arrival {}",
+                    o.id, o.completed, o.arrival
+                ),
             });
         }
     }
 
     // 2. Work conservation: executed ECU-seconds = workload demand
     //    (map + reduce), to within float noise.
-    let demand: f64 = workload.jobs.iter().map(|j| j.total_ecu_sec_with_reduce()).sum();
+    let demand: f64 = workload
+        .jobs
+        .iter()
+        .map(lips_workload::JobSpec::total_ecu_sec_with_reduce)
+        .sum();
     let executed: f64 = report.metrics.ecu_sec_by_machine.values().sum();
     // Speculative duplicates legitimately execute extra work, so only
     // under-execution is a violation.
@@ -89,12 +103,19 @@ pub fn validate_report(
         ("makespan", report.makespan),
     ] {
         if val < 0.0 || !val.is_finite() {
-            v.push(Violation { what: "bad meter", detail: format!("{name} = {val}") });
+            v.push(Violation {
+                what: "bad meter",
+                detail: format!("{name} = {val}"),
+            });
         }
     }
 
     // 5. Makespan covers every completion.
-    let last = report.outcomes.iter().map(|o| o.completed).fold(0.0f64, f64::max);
+    let last = report
+        .outcomes
+        .iter()
+        .map(|o| o.completed)
+        .fold(0.0f64, f64::max);
     if report.makespan + 1e-9 < last {
         v.push(Violation {
             what: "makespan too small",
@@ -105,6 +126,37 @@ pub fn validate_report(
     v
 }
 
+/// Check an LP solution against its model with the `lips-audit`
+/// certificate verifier and report any failure in the same [`Violation`]
+/// vocabulary as [`validate_report`].
+///
+/// Use this when a scheduler's decisions came from an LP solve: the
+/// report-level checks above say the *simulation* was coherent, while the
+/// certificate says the *plan it executed* was actually optimal (primal
+/// and dual feasible, complementary, and gap-free). A solution whose duals
+/// were dropped or tampered with fails here even if the simulated run
+/// balances its books.
+pub fn validate_certificate(
+    model: &lips_lp::Model,
+    solution: &lips_lp::Solution,
+) -> Vec<Violation> {
+    match lips_audit::certify(model, solution) {
+        Ok(cert) if cert.is_optimal() => Vec::new(),
+        Ok(cert) => cert
+            .failures()
+            .into_iter()
+            .map(|detail| Violation {
+                what: "lp certificate",
+                detail,
+            })
+            .collect(),
+        Err(e) => vec![Violation {
+            what: "lp certificate",
+            detail: e.to_string(),
+        }],
+    }
+}
+
 /// Panic with a readable message if the report is incoherent (test/demo
 /// helper).
 pub fn assert_valid(report: &SimReport, cluster: &Cluster, workload: &BoundWorkload) {
@@ -113,7 +165,11 @@ pub fn assert_valid(report: &SimReport, cluster: &Cluster, workload: &BoundWorkl
         violations.is_empty(),
         "simulation report violates {} invariant(s):\n{}",
         violations.len(),
-        violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -131,8 +187,11 @@ mod tests {
             if let Some(j) = ctx.jobs_with_work().next() {
                 if let Some(data) = j.data {
                     let (store, _) = ctx.placement.stores_of(data)[0];
-                    let machine =
-                        ctx.cluster.store(store).colocated.unwrap_or(lips_cluster::MachineId(0));
+                    let machine = ctx
+                        .cluster
+                        .store(store)
+                        .colocated
+                        .unwrap_or(lips_cluster::MachineId(0));
                     let mb = j.task_mb.min(j.remaining_mb);
                     return vec![crate::Action::RunChunk {
                         job: j.id,
@@ -167,7 +226,9 @@ mod tests {
             JobSpec::new(2, "wc", JobKind::WordCount, 320.0, 5).with_reduce(2, 64.0, 0.5),
         ];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let report = Simulation::new(&cluster, &workload).run(&mut Greedy).unwrap();
+        let report = Simulation::new(&cluster, &workload)
+            .run(&mut Greedy)
+            .unwrap();
         assert_valid(&report, &cluster, &workload);
         assert!(validate_report(&report, &cluster, &workload).is_empty());
     }
@@ -186,11 +247,50 @@ mod tests {
     }
 
     #[test]
+    fn tampered_solution_is_caught() {
+        // The LP analogue of `tampered_report_is_caught`: cook the books on
+        // a solver-optimal solution and the certificate must call it out.
+        use lips_lp::{Cmp, Model, Sense};
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let y = m.add_var("y", 0.0, 10.0, 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let sol = m.solve().unwrap();
+        assert!(
+            validate_certificate(&m, &sol).is_empty(),
+            "honest solve must certify"
+        );
+
+        // Claim a better objective than the solve achieved.
+        let cooked = lips_lp::Solution::from_parts(
+            sol.objective() - 1.0,
+            sol.values().to_vec(),
+            sol.duals().to_vec(),
+            sol.iterations(),
+        );
+        let v = validate_certificate(&m, &cooked);
+        assert!(!v.is_empty(), "cooked objective must fail certification");
+        assert!(v.iter().all(|x| x.what == "lp certificate"), "{v:?}");
+
+        // Drop the duals entirely: an error, not a silent pass.
+        let undocumented = lips_lp::Solution::from_parts(
+            sol.objective(),
+            sol.values().to_vec(),
+            vec![],
+            sol.iterations(),
+        );
+        let v = validate_certificate(&m, &undocumented);
+        assert!(!v.is_empty(), "missing duals must fail certification");
+    }
+
+    #[test]
     fn tampered_report_is_caught() {
         let mut cluster = ec2_20_node(0.0, 3600.0);
         let jobs = vec![JobSpec::new(0, "g", JobKind::Grep, 640.0, 10)];
         let workload = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
-        let mut report = Simulation::new(&cluster, &workload).run(&mut Greedy).unwrap();
+        let mut report = Simulation::new(&cluster, &workload)
+            .run(&mut Greedy)
+            .unwrap();
         report.metrics.cpu_dollars *= 2.0; // cook the books
         let v = validate_report(&report, &cluster, &workload);
         assert!(v.iter().any(|x| x.what == "billing mismatch"), "{v:?}");

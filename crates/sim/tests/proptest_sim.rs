@@ -18,7 +18,10 @@ struct Erratic {
 
 impl Erratic {
     fn new(seed: u64) -> Self {
-        Erratic { state: seed.max(1), issued: Default::default() }
+        Erratic {
+            state: seed.max(1),
+            issued: Default::default(),
+        }
     }
     fn next(&mut self, bound: u64) -> u64 {
         // xorshift: deterministic, no external RNG state.
@@ -46,13 +49,10 @@ impl Scheduler for Erratic {
                 .placement
                 .stores_of(data)
                 .into_iter()
-                .map(|(s, mb)| {
-                    (s, mb - self.issued.get(&(data, s)).copied().unwrap_or(0.0))
-                })
+                .map(|(s, mb)| (s, mb - self.issued.get(&(data, s)).copied().unwrap_or(0.0)))
                 .filter(|&(_, un)| un > 1e-6)
                 .collect();
-            let Some(&(store, unread)) = holders
-                .get(self.next(holders.len() as u64) as usize)
+            let Some(&(store, unread)) = holders.get(self.next(holders.len() as u64) as usize)
             else {
                 return vec![];
             };
@@ -60,12 +60,23 @@ impl Scheduler for Erratic {
             let frac = (self.next(10) + 1) as f64 / 10.0;
             let mb = (job.task_mb * frac).min(job.remaining_mb).min(unread);
             *self.issued.entry((data, store)).or_default() += mb;
-            vec![Action::RunChunk { job: job.id, machine, source: Some(store), mb, fixed_ecu: 0.0 }]
+            vec![Action::RunChunk {
+                job: job.id,
+                machine,
+                source: Some(store),
+                mb,
+                fixed_ecu: 0.0,
+            }]
         } else {
-            let ecu =
-                (job.task_fixed_ecu * ((self.next(10) + 1) as f64 / 10.0))
-                    .min(job.remaining_fixed_ecu);
-            vec![Action::RunChunk { job: job.id, machine, source: None, mb: 0.0, fixed_ecu: ecu }]
+            let ecu = (job.task_fixed_ecu * ((self.next(10) + 1) as f64 / 10.0))
+                .min(job.remaining_fixed_ecu);
+            vec![Action::RunChunk {
+                job: job.id,
+                machine,
+                source: None,
+                mb: 0.0,
+                fixed_ecu: ecu,
+            }]
         }
     }
     fn name(&self) -> &str {
@@ -94,7 +105,7 @@ proptest! {
                 JobSpec::new(i, format!("j{i}"), kind, mb, 4 * (i as u32 + 1))
             })
             .collect();
-        let demand: f64 = jobs.iter().map(|j| j.total_ecu_sec()).sum();
+        let demand: f64 = jobs.iter().map(lips_workload::JobSpec::total_ecu_sec).sum();
         let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, seed);
         let placement = Placement::spread_blocks(&cluster, seed);
         let report = Simulation::new(&cluster, &bound)

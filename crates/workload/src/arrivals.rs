@@ -28,12 +28,7 @@ pub enum ArrivalProcess {
 /// Assign arrival times to `jobs` in place (jobs are then sorted by
 /// arrival and re-named ids are *not* changed — callers relying on
 /// id-equals-arrival-rank should re-bind).
-pub fn assign_arrivals(
-    jobs: &mut [JobSpec],
-    process: ArrivalProcess,
-    horizon_s: f64,
-    seed: u64,
-) {
+pub fn assign_arrivals(jobs: &mut [JobSpec], process: ArrivalProcess, horizon_s: f64, seed: u64) {
     assert!(horizon_s >= 0.0);
     let n = jobs.len();
     if n == 0 {
@@ -92,7 +87,9 @@ mod tests {
     use crate::kind::JobKind;
 
     fn jobs(n: usize) -> Vec<JobSpec> {
-        (0..n).map(|i| JobSpec::new(i, format!("j{i}"), JobKind::Grep, 64.0, 1)).collect()
+        (0..n)
+            .map(|i| JobSpec::new(i, format!("j{i}"), JobKind::Grep, 64.0, 1))
+            .collect()
     }
 
     #[test]
@@ -117,7 +114,10 @@ mod tests {
         }
         assert!(a.iter().all(|j| (0.0..=3600.0).contains(&j.arrival_s)));
         // Gaps actually vary (not degenerate).
-        let gaps: Vec<f64> = a.windows(2).map(|w| w[1].arrival_s - w[0].arrival_s).collect();
+        let gaps: Vec<f64> = a
+            .windows(2)
+            .map(|w| w[1].arrival_s - w[0].arrival_s)
+            .collect();
         let distinct = gaps.iter().filter(|&&g| g > 1e-9).count();
         assert!(distinct > 10);
     }

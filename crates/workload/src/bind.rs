@@ -30,7 +30,10 @@ pub struct BoundWorkload {
 impl BoundWorkload {
     /// Total ECU-seconds across all jobs.
     pub fn total_ecu_sec(&self) -> f64 {
-        self.jobs.iter().map(|j| j.total_ecu_sec()).sum()
+        self.jobs
+            .iter()
+            .map(super::job::JobSpec::total_ecu_sec)
+            .sum()
     }
 
     /// Total input MB across all jobs.
@@ -57,8 +60,12 @@ pub fn bind_workload(
         PlacementPolicy::SingleStore(s) => vec![s],
         _ => {
             // Co-located stores only: HDFS DataNodes live on workers.
-            let v: Vec<StoreId> =
-                cluster.stores.iter().filter(|s| s.colocated.is_some()).map(|s| s.id).collect();
+            let v: Vec<StoreId> = cluster
+                .stores
+                .iter()
+                .filter(|s| s.colocated.is_some())
+                .map(|s| s.id)
+                .collect();
             assert!(!v.is_empty(), "cluster has no DataNode stores");
             v
         }

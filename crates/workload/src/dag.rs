@@ -74,8 +74,7 @@ impl JobDag {
             out[ia].push(ib);
             indegree[ib] += 1;
         }
-        let mut current: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut current: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut levels: Vec<Vec<JobId>> = Vec::new();
         let mut placed = 0usize;
         while !current.is_empty() {
@@ -95,7 +94,9 @@ impl JobDag {
         }
         if placed != n {
             // Some job never reached indegree 0: it is on a cycle.
-            let stuck = (0..n).find(|&i| indegree[i] > 0).expect("cycle member exists");
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle member exists");
             return Err(DagError::Cycle(self.jobs[stuck].id));
         }
         Ok(levels)
@@ -103,9 +104,16 @@ impl JobDag {
 
     /// Jobs of one level, cloned in level order.
     pub fn level_jobs(&self, level: &[JobId]) -> Vec<JobSpec> {
-        let index: HashMap<JobId, usize> =
-            self.jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
-        level.iter().map(|id| self.jobs[index[id]].clone()).collect()
+        let index: HashMap<JobId, usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.id, i))
+            .collect();
+        level
+            .iter()
+            .map(|id| self.jobs[index[id]].clone())
+            .collect()
     }
 
     /// The critical-path length in levels.
@@ -141,7 +149,10 @@ mod tests {
         )
         .unwrap();
         let levels = dag.levels().unwrap();
-        assert_eq!(levels, vec![vec![JobId(0)], vec![JobId(1), JobId(2)], vec![JobId(3)]]);
+        assert_eq!(
+            levels,
+            vec![vec![JobId(0)], vec![JobId(1), JobId(2)], vec![JobId(3)]]
+        );
         assert_eq!(dag.depth().unwrap(), 3);
     }
 
@@ -163,7 +174,11 @@ mod tests {
     fn cycle_detected() {
         let err = JobDag::new(
             (0..3).map(job).collect(),
-            vec![(JobId(0), JobId(1)), (JobId(1), JobId(2)), (JobId(2), JobId(0))],
+            vec![
+                (JobId(0), JobId(1)),
+                (JobId(1), JobId(2)),
+                (JobId(2), JobId(0)),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, DagError::Cycle(_)));
@@ -171,8 +186,7 @@ mod tests {
 
     #[test]
     fn self_loop_detected() {
-        let err =
-            JobDag::new(vec![job(0)], vec![(JobId(0), JobId(0))]).unwrap_err();
+        let err = JobDag::new(vec![job(0)], vec![(JobId(0), JobId(0))]).unwrap_err();
         assert!(matches!(err, DagError::Cycle(JobId(0))));
     }
 
@@ -190,11 +204,7 @@ mod tests {
 
     #[test]
     fn level_jobs_returns_specs_in_level_order() {
-        let dag = JobDag::new(
-            (0..3).map(job).collect(),
-            vec![(JobId(2), JobId(0))],
-        )
-        .unwrap();
+        let dag = JobDag::new((0..3).map(job).collect(), vec![(JobId(2), JobId(0))]).unwrap();
         let levels = dag.levels().unwrap();
         assert_eq!(levels[0], vec![JobId(1), JobId(2)]);
         let specs = dag.level_jobs(&levels[0]);

@@ -24,8 +24,9 @@ pub struct JobId(pub usize);
 
 /// Hadoop's five FIFO priorities (the default scheduler drains higher
 /// priorities first).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum JobPriority {
     VeryLow,
     Low,
@@ -34,7 +35,6 @@ pub enum JobPriority {
     High,
     VeryHigh,
 }
-
 
 /// A MapReduce job: a bag of virtually identical, independent map tasks
 /// over (a share of) one input data object.
@@ -73,7 +73,13 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Build a job of `kind` with the kind's Table I intensity.
-    pub fn new(id: usize, name: impl Into<String>, kind: JobKind, input_mb: f64, tasks: u32) -> Self {
+    pub fn new(
+        id: usize,
+        name: impl Into<String>,
+        kind: JobKind,
+        input_mb: f64,
+        tasks: u32,
+    ) -> Self {
         assert!(tasks > 0, "a job needs at least one task");
         assert!(input_mb >= 0.0);
         JobSpec {
@@ -116,14 +122,20 @@ impl JobSpec {
     /// intermediate data at `tcp` ECU-seconds per MB.
     pub fn with_reduce(mut self, tasks: u32, shuffle_mb: f64, tcp: f64) -> Self {
         assert!(tasks > 0 && shuffle_mb > 0.0 && tcp >= 0.0);
-        self.reduce = Some(ReduceSpec { tasks, shuffle_mb, tcp_ecu_sec_per_mb: tcp });
+        self.reduce = Some(ReduceSpec {
+            tasks,
+            shuffle_mb,
+            tcp_ecu_sec_per_mb: tcp,
+        });
         self
     }
 
     /// Total ECU-seconds including the reduce phase.
     pub fn total_ecu_sec_with_reduce(&self) -> f64 {
         self.total_ecu_sec()
-            + self.reduce.map_or(0.0, |r| r.shuffle_mb * r.tcp_ecu_sec_per_mb)
+            + self
+                .reduce
+                .map_or(0.0, |r| r.shuffle_mb * r.tcp_ecu_sec_per_mb)
     }
 
     /// Builder-style priority.
@@ -142,17 +154,17 @@ impl JobSpec {
     /// bytes actually read).
     pub fn total_ecu_sec(&self) -> f64 {
         self.tcp_ecu_sec_per_mb * self.effective_input_mb()
-            + self.ecu_sec_per_task * self.tasks as f64
+            + self.ecu_sec_per_task * f64::from(self.tasks)
     }
 
     /// Input MB consumed by one natural task.
     pub fn mb_per_task(&self) -> f64 {
-        self.effective_input_mb() / self.tasks as f64
+        self.effective_input_mb() / f64::from(self.tasks)
     }
 
     /// ECU-seconds one natural task needs.
     pub fn ecu_sec_per_natural_task(&self) -> f64 {
-        self.total_ecu_sec() / self.tasks as f64
+        self.total_ecu_sec() / f64::from(self.tasks)
     }
 
     /// Whether this job reads any input at all (Pi does not).
@@ -231,8 +243,7 @@ mod tests {
 
     #[test]
     fn reduce_spec_builder_and_totals() {
-        let j = JobSpec::new(0, "wc", JobKind::WordCount, 1024.0, 16)
-            .with_reduce(4, 256.0, 0.5);
+        let j = JobSpec::new(0, "wc", JobKind::WordCount, 1024.0, 16).with_reduce(4, 256.0, 0.5);
         let r = j.reduce.unwrap();
         assert_eq!(r.tasks, 4);
         assert_eq!(r.shuffle_mb, 256.0);
@@ -246,4 +257,3 @@ mod tests {
         JobSpec::new(0, "wc", JobKind::WordCount, 1024.0, 16).with_reduce(4, 0.0, 0.5);
     }
 }
-

@@ -27,8 +27,13 @@ pub enum JobKind {
 
 impl JobKind {
     /// All kinds, in Table I column order.
-    pub const ALL: [JobKind; 5] =
-        [JobKind::Grep, JobKind::Stress1, JobKind::Stress2, JobKind::WordCount, JobKind::Pi];
+    pub const ALL: [JobKind; 5] = [
+        JobKind::Grep,
+        JobKind::Stress1,
+        JobKind::Stress2,
+        JobKind::WordCount,
+        JobKind::Pi,
+    ];
 
     /// Table I: ECU-seconds consumed per 64 MB input block, or `None` for
     /// Pi (which consumes no input; the paper writes `∞`).
@@ -102,10 +107,15 @@ mod tests {
     #[test]
     fn intensity_ordering_matches_paper() {
         // Grep < Stress1 < Stress2 < WordCount in CPU-per-byte.
-        let t: Vec<f64> = [JobKind::Grep, JobKind::Stress1, JobKind::Stress2, JobKind::WordCount]
-            .iter()
-            .map(|k| k.tcp_ecu_sec_per_mb())
-            .collect();
+        let t: Vec<f64> = [
+            JobKind::Grep,
+            JobKind::Stress1,
+            JobKind::Stress2,
+            JobKind::WordCount,
+        ]
+        .iter()
+        .map(|k| k.tcp_ecu_sec_per_mb())
+        .collect();
         assert!(t.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn job_count_honored() {
-        let cfg = RandomWorkloadCfg { jobs: 37, ..Default::default() };
+        let cfg = RandomWorkloadCfg {
+            jobs: 37,
+            ..Default::default()
+        };
         assert_eq!(random_workload(&cfg, 0).len(), 37);
     }
 }

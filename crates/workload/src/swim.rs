@@ -89,8 +89,12 @@ pub fn classify(tasks: u32) -> SizeClass {
 /// Generate a seeded SWIM-like trace, sorted by arrival time.
 pub fn swim_trace(cfg: &SwimCfg, seed: u64) -> Vec<JobSpec> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let data_kinds =
-        [JobKind::Grep, JobKind::WordCount, JobKind::Stress2, JobKind::Stress1];
+    let data_kinds = [
+        JobKind::Grep,
+        JobKind::WordCount,
+        JobKind::Stress2,
+        JobKind::Stress1,
+    ];
     let mut jobs: Vec<JobSpec> = (0..cfg.jobs)
         .map(|i| {
             let class_roll: f64 = rng.gen();
@@ -103,8 +107,8 @@ pub fn swim_trace(cfg: &SwimCfg, seed: u64) -> Vec<JobSpec> {
             };
             let (lo, hi) = class.block_range();
             // Log-uniform block count inside the class.
-            let blocks = ((lo as f64).ln()
-                + rng.gen::<f64>() * ((hi as f64).ln() - (lo as f64).ln()))
+            let blocks = (f64::from(lo).ln()
+                + rng.gen::<f64>() * (f64::from(hi).ln() - f64::from(lo).ln()))
             .exp()
             .round()
             .max(1.0) as u32;
@@ -115,7 +119,7 @@ pub fn swim_trace(cfg: &SwimCfg, seed: u64) -> Vec<JobSpec> {
                 (JobKind::Pi, 0.0, blocks.min(16))
             } else {
                 let kind = data_kinds[rng.gen_range(0..data_kinds.len())];
-                (kind, blocks as f64 * BLOCK_MB, blocks)
+                (kind, f64::from(blocks) * BLOCK_MB, blocks)
             };
             let priority = match class {
                 SizeClass::Interactive => JobPriority::High,
@@ -145,7 +149,9 @@ mod tests {
         let cfg = SwimCfg::default();
         let jobs = swim_trace(&cfg, 1);
         assert_eq!(jobs.len(), 400);
-        assert!(jobs.iter().all(|j| j.arrival_s >= 0.0 && j.arrival_s < 24.0 * 3600.0));
+        assert!(jobs
+            .iter()
+            .all(|j| j.arrival_s >= 0.0 && j.arrival_s < 24.0 * 3600.0));
     }
 
     #[test]
@@ -161,10 +167,19 @@ mod tests {
 
     #[test]
     fn class_mix_roughly_matches_config() {
-        let cfg = SwimCfg { jobs: 2000, ..Default::default() };
+        let cfg = SwimCfg {
+            jobs: 2000,
+            ..Default::default()
+        };
         let jobs = swim_trace(&cfg, 3);
-        let inter = jobs.iter().filter(|j| classify(j.tasks) == SizeClass::Interactive).count();
-        let long = jobs.iter().filter(|j| classify(j.tasks) == SizeClass::Long).count();
+        let inter = jobs
+            .iter()
+            .filter(|j| classify(j.tasks) == SizeClass::Interactive)
+            .count();
+        let long = jobs
+            .iter()
+            .filter(|j| classify(j.tasks) == SizeClass::Long)
+            .count();
         let inter_frac = inter as f64 / jobs.len() as f64;
         let long_frac = long as f64 / jobs.len() as f64;
         assert!((inter_frac - 0.70).abs() < 0.06, "interactive {inter_frac}");
@@ -175,14 +190,24 @@ mod tests {
     fn heavy_tail_dominates_bytes() {
         // Interactive jobs dominate the count; long jobs dominate the data —
         // SWIM's signature shape.
-        let jobs = swim_trace(&SwimCfg { jobs: 1000, ..Default::default() }, 4);
+        let jobs = swim_trace(
+            &SwimCfg {
+                jobs: 1000,
+                ..Default::default()
+            },
+            4,
+        );
         let total_mb: f64 = jobs.iter().map(|j| j.input_mb).sum();
         let long_mb: f64 = jobs
             .iter()
             .filter(|j| classify(j.tasks) == SizeClass::Long)
             .map(|j| j.input_mb)
             .sum();
-        assert!(long_mb / total_mb > 0.5, "long jobs carry {}", long_mb / total_mb);
+        assert!(
+            long_mb / total_mb > 0.5,
+            "long jobs carry {}",
+            long_mb / total_mb
+        );
     }
 
     #[test]
@@ -191,13 +216,25 @@ mod tests {
         let b = swim_trace(&SwimCfg::default(), 7);
         let c = swim_trace(&SwimCfg::default(), 8);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.arrival_s == y.arrival_s && x.tasks == y.tasks));
-        assert!(a.iter().zip(&c).any(|(x, y)| x.arrival_s != y.arrival_s || x.tasks != y.tasks));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.arrival_s == y.arrival_s && x.tasks == y.tasks));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.arrival_s != y.arrival_s || x.tasks != y.tasks));
     }
 
     #[test]
     fn pi_jobs_present_but_rare() {
-        let jobs = swim_trace(&SwimCfg { jobs: 1000, ..Default::default() }, 5);
+        let jobs = swim_trace(
+            &SwimCfg {
+                jobs: 1000,
+                ..Default::default()
+            },
+            5,
+        );
         let pi = jobs.iter().filter(|j| j.kind == JobKind::Pi).count();
         assert!(pi > 0 && pi < 150, "pi count {pi}");
     }

@@ -44,7 +44,11 @@ pub struct SwimParseError {
 
 impl fmt::Display for SwimParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SWIM TSV parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "SWIM TSV parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -55,7 +59,10 @@ pub fn parse_swim_tsv(reader: impl BufRead) -> Result<Vec<SwimRecord>, SwimParse
     let mut out = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let lineno = i + 1;
-        let line = line.map_err(|e| SwimParseError { line: lineno, message: e.to_string() })?;
+        let line = line.map_err(|e| SwimParseError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -128,7 +135,11 @@ pub struct SwimConvertCfg {
 
 impl Default for SwimConvertCfg {
     fn default() -> Self {
-        SwimConvertCfg { kind: JobKind::WordCount, reduce_tcp: 0.5, with_reduce: false }
+        SwimConvertCfg {
+            kind: JobKind::WordCount,
+            reduce_tcp: 0.5,
+            with_reduce: false,
+        }
     }
 }
 
@@ -150,7 +161,8 @@ pub fn records_to_jobs(records: &[SwimRecord], cfg: &SwimConvertCfg) -> Vec<JobS
             job = job.arriving_at(r.submit_time_s.max(0.0));
             let shuffle_mb = r.shuffle_bytes as f64 / (1024.0 * 1024.0);
             if cfg.with_reduce && shuffle_mb >= 1.0 {
-                let reduce_tasks = ((shuffle_mb / BLOCK_MB).ceil() as u32).clamp(1, job.tasks.max(1));
+                let reduce_tasks =
+                    ((shuffle_mb / BLOCK_MB).ceil() as u32).clamp(1, job.tasks.max(1));
                 job = job.with_reduce(reduce_tasks, shuffle_mb, cfg.reduce_tcp);
             }
             job
@@ -248,7 +260,10 @@ job3\t30\t17.5\t1073741824\t536870912\t4194304
     #[test]
     fn conversion_with_reduce_uses_shuffle_column() {
         let recs = parse_swim_tsv(Cursor::new(SAMPLE)).unwrap();
-        let cfg = SwimConvertCfg { with_reduce: true, ..Default::default() };
+        let cfg = SwimConvertCfg {
+            with_reduce: true,
+            ..Default::default()
+        };
         let jobs = records_to_jobs(&recs, &cfg);
         let j1 = jobs.iter().find(|j| j.name.contains("job1")).unwrap();
         let r = j1.reduce.unwrap();

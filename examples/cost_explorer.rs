@@ -16,8 +16,10 @@ use lips::core::analysis::{break_even_ratio, move_pays_off, savings_per_mb};
 use lips::workload::JobKind;
 
 fn main() {
-    let args: Vec<f64> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
 
     if args.len() == 4 {
         let (c, a_mc, b_mc, d_mc) = (args[0], args[1], args[2], args[3]);

@@ -59,9 +59,7 @@ fn main() {
         ),
         (
             "hadoop-default",
-            Box::new(|_: usize| {
-                Box::new(HadoopDefaultScheduler::new()) as Box<dyn Scheduler>
-            }),
+            Box::new(|_: usize| Box::new(HadoopDefaultScheduler::new()) as Box<dyn Scheduler>),
         ),
     ] {
         let mut cluster = ec2_20_node(0.5, 1e9);

@@ -40,7 +40,11 @@ fn main() {
             .with_placement(placement)
             .run(&mut sched)
             .expect("completes");
-        println!("{epoch:>8.0}   {:<9.4} {:>9.0}", r.metrics.total_dollars(), r.makespan);
+        println!(
+            "{epoch:>8.0}   {:<9.4} {:>9.0}",
+            r.metrics.total_dollars(),
+            r.makespan
+        );
         points.push((epoch, r.metrics.total_dollars(), r.makespan));
     }
 
@@ -52,9 +56,7 @@ fn main() {
         .min_by(|a, b| a.1.total_cmp(&b.1));
     match knee {
         Some((e, cost, mk)) => {
-            println!(
-                "\nRecommendation: epoch = {e:.0} s — ${cost:.4} at {mk:.0} s makespan"
-            );
+            println!("\nRecommendation: epoch = {e:.0} s — ${cost:.4} at {mk:.0} s makespan");
             println!(
                 "(cheapest point within {max_slowdown:.1}x of the fastest makespan {fastest:.0} s)"
             );

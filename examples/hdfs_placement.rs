@@ -12,7 +12,9 @@
 
 use lips::cluster::{ec2_20_node, MachineId};
 use lips::core::DelayScheduler;
-use lips::hdfs::{CostAwareTargetChooser, DefaultTargetChooser, NameNode, ReplicationTargetChooser};
+use lips::hdfs::{
+    CostAwareTargetChooser, DefaultTargetChooser, NameNode, ReplicationTargetChooser,
+};
 use lips::sim::Simulation;
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -20,15 +22,24 @@ fn main() {
     println!("Same cluster, same jobs, same (delay) task scheduler —");
     println!("only the NameNode's replication target chooser differs.\n");
 
-    println!("{:<18} {:>9} {:>10} {:>10}", "namenode policy", "total $", "cpu $", "locality");
+    println!(
+        "{:<18} {:>9} {:>10} {:>10}",
+        "namenode policy", "total $", "cpu $", "locality"
+    );
     println!("{}", "-".repeat(52));
 
     type ChooserFactory = Box<dyn Fn() -> Box<dyn ReplicationTargetChooser>>;
     let mut results = Vec::new();
     let choosers: Vec<(&str, ChooserFactory)> = vec![
-        ("hadoop-default", Box::new(|| Box::new(DefaultTargetChooser::new(7)))),
+        (
+            "hadoop-default",
+            Box::new(|| Box::new(DefaultTargetChooser::new(7))),
+        ),
         // WordCount-class intensity hint: data will be CPU-hungry.
-        ("lips-cost-aware", Box::new(|| Box::new(CostAwareTargetChooser::new(1.4)))),
+        (
+            "lips-cost-aware",
+            Box::new(|| Box::new(CostAwareTargetChooser::new(1.4))),
+        ),
     ];
     for (name, make_chooser) in choosers {
         let mut cluster = ec2_20_node(0.5, 1e9);

@@ -34,8 +34,10 @@ fn main() {
     for (name, mut sched) in [
         // A 1600 s epoch sits at the cost-optimal end of the dial for
         // this workload (see the fig8 binary for the full tradeoff).
-        ("lips", Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0)))
-            as Box<dyn Scheduler>),
+        (
+            "lips",
+            Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0))) as Box<dyn Scheduler>,
+        ),
         ("hadoop-default", Box::new(HadoopDefaultScheduler::new())),
         ("delay", Box::new(DelayScheduler::default())),
     ] {

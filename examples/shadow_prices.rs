@@ -16,8 +16,10 @@ use lips::workload::{JobKind, JobSpec};
 
 fn main() {
     let cluster = ec2_20_node(0.5, 1.0);
-    let jobs = [JobSpec::new(0, "wc", JobKind::WordCount, 4096.0, 64),
-        JobSpec::new(1, "stress", JobKind::Stress2, 4096.0, 64)];
+    let jobs = [
+        JobSpec::new(0, "wc", JobKind::WordCount, 4096.0, 64),
+        JobSpec::new(1, "stress", JobKind::Stress2, 4096.0, 64),
+    ];
 
     // A compact Fig-2-style LP built by hand through the public API:
     // x[k][l] = fraction of job k on machine l, reading from store l
@@ -40,8 +42,9 @@ fn main() {
     // Capacity rows, one per machine, in machine order.
     let cap_row_base = m.num_constraints();
     for (l, mach) in cluster.machines.iter().enumerate() {
-        let terms: Vec<_> =
-            (0..jobs.len()).map(|k| (x[k][l], jobs[k].total_ecu_sec())).collect();
+        let terms: Vec<_> = (0..jobs.len())
+            .map(|k| (x[k][l], jobs[k].total_ecu_sec()))
+            .collect();
         m.add_constraint(terms, Cmp::Le, mach.capacity_ecu_seconds(epoch));
     }
 
@@ -49,19 +52,26 @@ fn main() {
     let sens = analyze(&m, &sol);
 
     println!("Epoch LP optimum: ${:.4}\n", sol.objective());
-    println!("{:<16} {:>12} {:>22}", "node", "$/ECU-s", "shadow $ per ECU-s cap");
+    println!(
+        "{:<16} {:>12} {:>22}",
+        "node", "$/ECU-s", "shadow $ per ECU-s cap"
+    );
     println!("{}", "-".repeat(54));
     let mut rows: Vec<(String, f64, f64)> = cluster
         .machines
         .iter()
         .enumerate()
         .map(|(l, mach)| {
-            (mach.name.clone(), mach.cpu_cost, sens.shadow_prices[cap_row_base + l])
+            (
+                mach.name.clone(),
+                mach.cpu_cost,
+                sens.shadow_prices[cap_row_base + l],
+            )
         })
         .collect();
     rows.sort_by(|a, b| a.2.total_cmp(&b.2));
     for (name, price, shadow) in rows.iter().take(6) {
-        println!("{:<16} {:>12.2e} {:>22.3e}", name, price, shadow);
+        println!("{name:<16} {price:>12.2e} {shadow:>22.3e}");
     }
     println!("...");
     let binding = rows.iter().filter(|r| r.2.abs() > 1e-12).count();

@@ -11,22 +11,31 @@ use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::{bind_workload, swim_trace, PlacementPolicy, SwimCfg};
 
 fn main() {
-    let jobs: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let epoch: f64 =
-        std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(600.0);
-    let cfg = SwimCfg { jobs, ..Default::default() };
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let epoch: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(600.0);
+    let cfg = SwimCfg {
+        jobs,
+        ..Default::default()
+    };
 
     println!("Replaying a {jobs}-job SWIM-like day on 100 EC2 nodes (3 zones,");
     println!("m1.small / m1.medium / c1.medium thirds); LiPS epoch {epoch} s.\n");
 
-    println!("{:<16} {:>9} {:>9} {:>10} {:>12}", "scheduler", "total $", "cpu $", "transfer $", "locality");
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>12}",
+        "scheduler", "total $", "cpu $", "transfer $", "locality"
+    );
     println!("{}", "-".repeat(60));
     for (name, mut sched) in [
         (
             "lips",
-            Box::new(LipsScheduler::new(LipsConfig::large_cluster(epoch)))
-                as Box<dyn Scheduler>,
+            Box::new(LipsScheduler::new(LipsConfig::large_cluster(epoch))) as Box<dyn Scheduler>,
         ),
         ("hadoop-default", Box::new(HadoopDefaultScheduler::new())),
         ("delay", Box::new(DelayScheduler::default())),

@@ -51,7 +51,10 @@ impl SchedulerChoice {
             SchedulerChoice::LipsConfigured(cfg) => Box::new(LipsScheduler::new(cfg.clone())),
             SchedulerChoice::LipsAdaptive { cost_preference } => Box::new(AdaptiveLips::new(
                 LipsConfig::small_cluster(400.0),
-                AdaptiveConfig { cost_preference: *cost_preference, ..Default::default() },
+                AdaptiveConfig {
+                    cost_preference: *cost_preference,
+                    ..Default::default()
+                },
             )),
             SchedulerChoice::HadoopDefault => Box::new(HadoopDefaultScheduler::new()),
             SchedulerChoice::Delay => Box::new(DelayScheduler::default()),
@@ -170,7 +173,12 @@ impl Experiment {
             .cluster
             .unwrap_or_else(|| ec2_mixed_cluster(20, 0.5, 1e9, self.seed));
         assert!(!self.jobs.is_empty(), "experiment needs at least one job");
-        let bound = bind_workload(&mut cluster, self.jobs, PlacementPolicy::RoundRobin, self.seed);
+        let bound = bind_workload(
+            &mut cluster,
+            self.jobs,
+            PlacementPolicy::RoundRobin,
+            self.seed,
+        );
         let placement = if self.replication > 1 {
             Placement::spread_blocks_replicated(&cluster, self.seed, self.replication)
         } else {
@@ -215,7 +223,9 @@ mod tests {
         for choice in [
             SchedulerChoice::Lips { epoch_s: 400.0 },
             SchedulerChoice::LipsConfigured(LipsConfig::large_cluster(400.0)),
-            SchedulerChoice::LipsAdaptive { cost_preference: 0.5 },
+            SchedulerChoice::LipsAdaptive {
+                cost_preference: 0.5,
+            },
             SchedulerChoice::HadoopDefault,
             SchedulerChoice::Delay,
             SchedulerChoice::Fair,

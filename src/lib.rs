@@ -16,6 +16,8 @@
 //!   dollar-cost billing.
 //! * [`core`] — the LiPS scheduler itself (offline Fig 2/3, online Fig 4
 //!   epoch model) plus the Hadoop-default, delay, and fair baselines.
+//! * [`audit`] — static analysis for LP models (lint rules, paper-invariant
+//!   checks) and an independent optimality-certificate verifier.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and the `lips-bench`
 //! crate for binaries regenerating every table and figure of the paper.
@@ -23,9 +25,10 @@
 pub mod experiment;
 
 pub use experiment::{Experiment, SchedulerChoice};
+pub use lips_audit as audit;
 pub use lips_cluster as cluster;
-pub use lips_hdfs as hdfs;
 pub use lips_core as core;
+pub use lips_hdfs as hdfs;
 pub use lips_lp as lp;
 pub use lips_sim as sim;
 pub use lips_workload as workload;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2277f64783b65766.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2277f64783b65766: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

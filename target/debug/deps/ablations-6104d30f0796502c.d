@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6104d30f0796502c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6104d30f0796502c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9c1ba5616a8d677d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9c1ba5616a8d677d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

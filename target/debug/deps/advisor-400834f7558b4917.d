@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-400834f7558b4917.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/advisor-400834f7558b4917: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-92301af6ad0de2d6.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/advisor-92301af6ad0de2d6: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/advisor-b50119b88339f193.d: crates/bench/src/bin/advisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadvisor-b50119b88339f193.rmeta: crates/bench/src/bin/advisor.rs Cargo.toml
+
+crates/bench/src/bin/advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/advisor-e0b29f6213b219e5.d: crates/bench/src/bin/advisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadvisor-e0b29f6213b219e5.rmeta: crates/bench/src/bin/advisor.rs Cargo.toml
+
+crates/bench/src/bin/advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

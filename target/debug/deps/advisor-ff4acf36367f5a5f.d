@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-ff4acf36367f5a5f.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/advisor-ff4acf36367f5a5f: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_certificates-6eec735011ea21f3.d: tests/audit_certificates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_certificates-6eec735011ea21f3.rmeta: tests/audit_certificates.rs Cargo.toml
+
+tests/audit_certificates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_certificates-f41f6e1bd7bf79ad.d: tests/audit_certificates.rs
+
+/root/repo/target/debug/deps/audit_certificates-f41f6e1bd7bf79ad: tests/audit_certificates.rs
+
+tests/audit_certificates.rs:

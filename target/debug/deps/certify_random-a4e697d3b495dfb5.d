@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/certify_random-a4e697d3b495dfb5.d: crates/audit/tests/certify_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcertify_random-a4e697d3b495dfb5.rmeta: crates/audit/tests/certify_random.rs Cargo.toml
+
+crates/audit/tests/certify_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/certify_random-e578e4bfad100c84.d: crates/audit/tests/certify_random.rs
+
+/root/repo/target/debug/deps/certify_random-e578e4bfad100c84: crates/audit/tests/certify_random.rs
+
+crates/audit/tests/certify_random.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-511e075fd422e0ba.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-511e075fd422e0ba.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b686995e529e47a3.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b686995e529e47a3: tests/determinism.rs
+
+tests/determinism.rs:

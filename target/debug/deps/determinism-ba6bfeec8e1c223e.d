@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ba6bfeec8e1c223e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ba6bfeec8e1c223e: tests/determinism.rs
+
+tests/determinism.rs:

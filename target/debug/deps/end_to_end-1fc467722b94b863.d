@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1fc467722b94b863.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1fc467722b94b863: tests/end_to_end.rs
+
+tests/end_to_end.rs:

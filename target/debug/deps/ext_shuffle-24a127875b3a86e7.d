@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shuffle-24a127875b3a86e7.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/debug/deps/ext_shuffle-24a127875b3a86e7: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_shuffle-2719698aaef7837e.d: crates/bench/src/bin/ext_shuffle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_shuffle-2719698aaef7837e.rmeta: crates/bench/src/bin/ext_shuffle.rs Cargo.toml
+
+crates/bench/src/bin/ext_shuffle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shuffle-9643feed222f48c8.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/debug/deps/ext_shuffle-9643feed222f48c8: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shuffle-9bc5bc8d501500b6.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/debug/deps/ext_shuffle-9bc5bc8d501500b6: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_shuffle-cc0b6bccd6b127a8.d: crates/bench/src/bin/ext_shuffle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_shuffle-cc0b6bccd6b127a8.rmeta: crates/bench/src/bin/ext_shuffle.rs Cargo.toml
+
+crates/bench/src/bin/ext_shuffle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-3cf6b5aac2ff6edc.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-3cf6b5aac2ff6edc.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-6e01cc46329740e3.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-6e01cc46329740e3: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

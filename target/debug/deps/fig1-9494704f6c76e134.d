@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-9494704f6c76e134.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-9494704f6c76e134: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

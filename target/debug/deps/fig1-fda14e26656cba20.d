@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-fda14e26656cba20.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-fda14e26656cba20: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

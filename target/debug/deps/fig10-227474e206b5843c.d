@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-227474e206b5843c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-227474e206b5843c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

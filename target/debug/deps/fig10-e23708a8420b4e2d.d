@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-e23708a8420b4e2d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-e23708a8420b4e2d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

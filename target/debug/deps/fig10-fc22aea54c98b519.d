@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-fc22aea54c98b519.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-fc22aea54c98b519: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-16175feb95e49804.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-16175feb95e49804: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-676dcaf1965fe1ce.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-676dcaf1965fe1ce: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

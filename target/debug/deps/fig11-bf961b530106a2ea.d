@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-bf961b530106a2ea.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-bf961b530106a2ea: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

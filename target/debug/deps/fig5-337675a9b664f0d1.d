@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-337675a9b664f0d1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-337675a9b664f0d1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4c4fa28703fc7d7d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4c4fa28703fc7d7d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

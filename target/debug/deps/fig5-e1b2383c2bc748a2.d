@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e1b2383c2bc748a2.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e1b2383c2bc748a2: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-212183e9eca67536.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-212183e9eca67536: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

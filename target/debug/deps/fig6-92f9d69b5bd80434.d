@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-92f9d69b5bd80434.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-92f9d69b5bd80434: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

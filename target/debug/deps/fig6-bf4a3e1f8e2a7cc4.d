@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bf4a3e1f8e2a7cc4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bf4a3e1f8e2a7cc4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-536bda6810db7528.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-536bda6810db7528: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6ef6bd87c5029841.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6ef6bd87c5029841: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

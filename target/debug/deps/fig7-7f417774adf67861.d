@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7f417774adf67861.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-7f417774adf67861: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

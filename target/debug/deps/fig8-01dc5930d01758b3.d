@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-01dc5930d01758b3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-01dc5930d01758b3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

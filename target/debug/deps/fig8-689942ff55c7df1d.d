@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-689942ff55c7df1d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-689942ff55c7df1d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-83c6600381f2dca7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-83c6600381f2dca7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

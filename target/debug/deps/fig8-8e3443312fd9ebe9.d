@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-8e3443312fd9ebe9.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-8e3443312fd9ebe9.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-43757fd96865a1e7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-43757fd96865a1e7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

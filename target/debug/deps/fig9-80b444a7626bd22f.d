@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-80b444a7626bd22f.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-80b444a7626bd22f.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

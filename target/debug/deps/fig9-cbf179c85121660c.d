@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-cbf179c85121660c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-cbf179c85121660c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

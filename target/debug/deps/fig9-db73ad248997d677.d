@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-db73ad248997d677.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-db73ad248997d677: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

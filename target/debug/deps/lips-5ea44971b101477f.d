@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips-5ea44971b101477f.d: src/lib.rs src/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips-5ea44971b101477f.rmeta: src/lib.rs src/experiment.rs Cargo.toml
+
+src/lib.rs:
+src/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

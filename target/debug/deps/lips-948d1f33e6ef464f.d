@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lips-948d1f33e6ef464f.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/lips-948d1f33e6ef464f: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

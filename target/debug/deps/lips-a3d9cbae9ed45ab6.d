@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips-a3d9cbae9ed45ab6.d: src/lib.rs src/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips-a3d9cbae9ed45ab6.rmeta: src/lib.rs src/experiment.rs Cargo.toml
+
+src/lib.rs:
+src/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

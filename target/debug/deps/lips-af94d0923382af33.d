@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lips-af94d0923382af33.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-af94d0923382af33.rlib: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-af94d0923382af33.rmeta: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lips-c51e05bc9a59f1f3.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-c51e05bc9a59f1f3.rlib: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-c51e05bc9a59f1f3.rmeta: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

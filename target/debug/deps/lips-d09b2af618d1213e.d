@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lips-d09b2af618d1213e.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/lips-d09b2af618d1213e: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lips_audit-6630bf45fa64da9a.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_audit-6630bf45fa64da9a.rmeta: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lips_audit-8ac9e6e393c99e8c.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/debug/deps/lips_audit-8ac9e6e393c99e8c: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips_audit-ae8e49c4114592ae.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/debug/deps/liblips_audit-ae8e49c4114592ae.rlib: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/debug/deps/liblips_audit-ae8e49c4114592ae.rmeta: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:

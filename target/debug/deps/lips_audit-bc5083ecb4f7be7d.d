@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lips_audit-bc5083ecb4f7be7d.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_audit-bc5083ecb4f7be7d.rmeta: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

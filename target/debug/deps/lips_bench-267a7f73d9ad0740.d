@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips_bench-267a7f73d9ad0740.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/lips_bench-267a7f73d9ad0740: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/matchup.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table.rs:

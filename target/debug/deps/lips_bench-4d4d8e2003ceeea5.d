@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lips_bench-4d4d8e2003ceeea5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liblips_bench-4d4d8e2003ceeea5.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liblips_bench-4d4d8e2003ceeea5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/matchup.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table.rs:

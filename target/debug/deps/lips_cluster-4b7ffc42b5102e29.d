@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lips_cluster-4b7ffc42b5102e29.d: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_cluster-4b7ffc42b5102e29.rmeta: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/data.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/matrices.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lips_cluster-a61e3ebe4349bc61.d: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+/root/repo/target/debug/deps/lips_cluster-a61e3ebe4349bc61: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/data.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/matrices.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/zone.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/lips_core-6264e6ca0a1139b5.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_core-6264e6ca0a1139b5.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/delay.rs:
+crates/core/src/baselines/fair.rs:
+crates/core/src/baselines/hadoop_default.rs:
+crates/core/src/dag.rs:
+crates/core/src/lips.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lips_core-d7b9aebd812e85a1.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+/root/repo/target/debug/deps/lips_core-d7b9aebd812e85a1: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/delay.rs:
+crates/core/src/baselines/fair.rs:
+crates/core/src/baselines/hadoop_default.rs:
+crates/core/src/dag.rs:
+crates/core/src/lips.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/offline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lips_hdfs-2a582c01f54750fc.d: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_hdfs-2a582c01f54750fc.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs Cargo.toml
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/block.rs:
+crates/hdfs/src/chooser.rs:
+crates/hdfs/src/namenode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

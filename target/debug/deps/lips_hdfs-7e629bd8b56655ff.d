@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lips_hdfs-7e629bd8b56655ff.d: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/debug/deps/lips_hdfs-7e629bd8b56655ff: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/block.rs:
+crates/hdfs/src/chooser.rs:
+crates/hdfs/src/namenode.rs:

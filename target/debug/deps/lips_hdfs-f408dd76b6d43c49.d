@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips_hdfs-f408dd76b6d43c49.d: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/debug/deps/liblips_hdfs-f408dd76b6d43c49.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/debug/deps/liblips_hdfs-f408dd76b6d43c49.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/block.rs:
+crates/hdfs/src/chooser.rs:
+crates/hdfs/src/namenode.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lips_sim-efc60b356776808b.d: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_sim-efc60b356776808b.rmeta: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/action.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/job_state.rs:
+crates/sim/src/machine_state.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/placement.rs:
+crates/sim/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lips_workload-0716f462d14be0ce.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+/root/repo/target/debug/deps/lips_workload-0716f462d14be0ce: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/bind.rs:
+crates/workload/src/dag.rs:
+crates/workload/src/job.rs:
+crates/workload/src/kind.rs:
+crates/workload/src/rand_gen.rs:
+crates/workload/src/suite.rs:
+crates/workload/src/swim.rs:
+crates/workload/src/swim_tsv.rs:

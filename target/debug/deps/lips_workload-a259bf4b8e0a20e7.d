@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lips_workload-a259bf4b8e0a20e7.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblips_workload-a259bf4b8e0a20e7.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/bind.rs:
+crates/workload/src/dag.rs:
+crates/workload/src/job.rs:
+crates/workload/src/kind.rs:
+crates/workload/src/rand_gen.rs:
+crates/workload/src/suite.rs:
+crates/workload/src/swim.rs:
+crates/workload/src/swim_tsv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

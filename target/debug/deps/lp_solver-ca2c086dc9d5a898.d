@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_solver-ca2c086dc9d5a898.d: crates/bench/benches/lp_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_solver-ca2c086dc9d5a898.rmeta: crates/bench/benches/lp_solver.rs Cargo.toml
+
+crates/bench/benches/lp_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d92ea8f2ddaa6260.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d92ea8f2ddaa6260: tests/paper_claims.rs
+
+tests/paper_claims.rs:

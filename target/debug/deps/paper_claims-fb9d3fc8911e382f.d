@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-fb9d3fc8911e382f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-fb9d3fc8911e382f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

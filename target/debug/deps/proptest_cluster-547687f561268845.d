@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cluster-547687f561268845.d: crates/cluster/tests/proptest_cluster.rs
+
+/root/repo/target/debug/deps/proptest_cluster-547687f561268845: crates/cluster/tests/proptest_cluster.rs
+
+crates/cluster/tests/proptest_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cluster-c2a9eb122fb41283.d: crates/cluster/tests/proptest_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cluster-c2a9eb122fb41283.rmeta: crates/cluster/tests/proptest_cluster.rs Cargo.toml
+
+crates/cluster/tests/proptest_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_hdfs-247d90f73d3cb0ba.d: crates/hdfs/tests/proptest_hdfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_hdfs-247d90f73d3cb0ba.rmeta: crates/hdfs/tests/proptest_hdfs.rs Cargo.toml
+
+crates/hdfs/tests/proptest_hdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

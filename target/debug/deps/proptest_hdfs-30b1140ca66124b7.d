@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_hdfs-30b1140ca66124b7.d: crates/hdfs/tests/proptest_hdfs.rs
+
+/root/repo/target/debug/deps/proptest_hdfs-30b1140ca66124b7: crates/hdfs/tests/proptest_hdfs.rs
+
+crates/hdfs/tests/proptest_hdfs.rs:

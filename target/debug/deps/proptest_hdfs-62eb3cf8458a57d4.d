@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_hdfs-62eb3cf8458a57d4.d: crates/hdfs/tests/proptest_hdfs.rs
+
+/root/repo/target/debug/deps/proptest_hdfs-62eb3cf8458a57d4: crates/hdfs/tests/proptest_hdfs.rs
+
+crates/hdfs/tests/proptest_hdfs.rs:

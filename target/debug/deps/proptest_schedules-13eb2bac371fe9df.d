@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_schedules-13eb2bac371fe9df.d: crates/core/tests/proptest_schedules.rs
+
+/root/repo/target/debug/deps/proptest_schedules-13eb2bac371fe9df: crates/core/tests/proptest_schedules.rs
+
+crates/core/tests/proptest_schedules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_schedules-763bd48fc8ab204a.d: crates/core/tests/proptest_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_schedules-763bd48fc8ab204a.rmeta: crates/core/tests/proptest_schedules.rs Cargo.toml
+
+crates/core/tests/proptest_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

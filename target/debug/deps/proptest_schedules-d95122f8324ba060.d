@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_schedules-d95122f8324ba060.d: crates/core/tests/proptest_schedules.rs
+
+/root/repo/target/debug/deps/proptest_schedules-d95122f8324ba060: crates/core/tests/proptest_schedules.rs
+
+crates/core/tests/proptest_schedules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-6b395bd3a790936c.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-6b395bd3a790936c: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

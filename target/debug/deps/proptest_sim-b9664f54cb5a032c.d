@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-b9664f54cb5a032c.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-b9664f54cb5a032c: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solvers-00f6dd749175c68d.d: crates/lp/tests/proptest_solvers.rs
+
+/root/repo/target/debug/deps/proptest_solvers-00f6dd749175c68d: crates/lp/tests/proptest_solvers.rs
+
+crates/lp/tests/proptest_solvers.rs:

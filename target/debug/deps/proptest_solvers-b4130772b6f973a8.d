@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solvers-b4130772b6f973a8.d: crates/lp/tests/proptest_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solvers-b4130772b6f973a8.rmeta: crates/lp/tests/proptest_solvers.rs Cargo.toml
+
+crates/lp/tests/proptest_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

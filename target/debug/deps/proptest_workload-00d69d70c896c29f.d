@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workload-00d69d70c896c29f.d: crates/workload/tests/proptest_workload.rs
+
+/root/repo/target/debug/deps/proptest_workload-00d69d70c896c29f: crates/workload/tests/proptest_workload.rs
+
+crates/workload/tests/proptest_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_workload-248913d53b425505.d: crates/workload/tests/proptest_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_workload-248913d53b425505.rmeta: crates/workload/tests/proptest_workload.rs Cargo.toml
+
+crates/workload/tests/proptest_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-32d22b14e65041ce.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-32d22b14e65041ce: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

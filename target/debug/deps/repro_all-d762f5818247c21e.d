@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-d762f5818247c21e.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-d762f5818247c21e.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-e68fc905261e042d.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-e68fc905261e042d: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-fa54c4ec06fd30ed.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-fa54c4ec06fd30ed: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_overhead-0cfaf450bb4de07e.d: crates/bench/benches/scheduler_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_overhead-0cfaf450bb4de07e.rmeta: crates/bench/benches/scheduler_overhead.rs Cargo.toml
+
+crates/bench/benches/scheduler_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

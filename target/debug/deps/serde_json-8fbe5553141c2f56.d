@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8fbe5553141c2f56.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-8fbe5553141c2f56: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

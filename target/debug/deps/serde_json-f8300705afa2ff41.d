@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f8300705afa2ff41.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f8300705afa2ff41.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f8300705afa2ff41.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

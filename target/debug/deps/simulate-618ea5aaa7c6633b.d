@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-618ea5aaa7c6633b.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-618ea5aaa7c6633b: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

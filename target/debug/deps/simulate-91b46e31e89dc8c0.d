@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-91b46e31e89dc8c0.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-91b46e31e89dc8c0: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

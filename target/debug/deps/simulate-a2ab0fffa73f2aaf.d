@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-a2ab0fffa73f2aaf.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-a2ab0fffa73f2aaf: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-c9ad042766b8d2d0.d: crates/bench/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-c9ad042766b8d2d0.rmeta: crates/bench/src/bin/simulate.rs Cargo.toml
+
+crates/bench/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-e99764c06e6fe83d.d: crates/bench/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-e99764c06e6fe83d.rmeta: crates/bench/src/bin/simulate.rs Cargo.toml
+
+crates/bench/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

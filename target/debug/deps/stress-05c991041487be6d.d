@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-05c991041487be6d.d: crates/lp/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-05c991041487be6d: crates/lp/tests/stress.rs
+
+crates/lp/tests/stress.rs:

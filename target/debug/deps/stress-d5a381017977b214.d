@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-d5a381017977b214.d: crates/lp/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-d5a381017977b214.rmeta: crates/lp/tests/stress.rs Cargo.toml
+
+crates/lp/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

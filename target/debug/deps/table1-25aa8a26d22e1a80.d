@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-25aa8a26d22e1a80.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-25aa8a26d22e1a80: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6bc7efc495d2b5bd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6bc7efc495d2b5bd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e7bbf534fabe344d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e7bbf534fabe344d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-54a216ccbe0ac110.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-54a216ccbe0ac110: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

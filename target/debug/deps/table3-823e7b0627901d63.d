@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-823e7b0627901d63.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-823e7b0627901d63: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

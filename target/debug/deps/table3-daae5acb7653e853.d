@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-daae5acb7653e853.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-daae5acb7653e853: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

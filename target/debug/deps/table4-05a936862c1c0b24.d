@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-05a936862c1c0b24.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-05a936862c1c0b24: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-09bbe18f727af90c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-09bbe18f727af90c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-de911e70bdf34d1e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-de911e70bdf34d1e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_replay-900c33f58a9e1824.d: tests/trace_replay.rs
+
+/root/repo/target/debug/deps/trace_replay-900c33f58a9e1824: tests/trace_replay.rs
+
+tests/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_replay-9708a6c770d39be4.d: tests/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_replay-9708a6c770d39be4.rmeta: tests/trace_replay.rs Cargo.toml
+
+tests/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

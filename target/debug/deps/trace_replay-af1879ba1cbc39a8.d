@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_replay-af1879ba1cbc39a8.d: tests/trace_replay.rs
+
+/root/repo/target/debug/deps/trace_replay-af1879ba1cbc39a8: tests/trace_replay.rs
+
+tests/trace_replay.rs:

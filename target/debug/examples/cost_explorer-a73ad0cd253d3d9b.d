@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cost_explorer-a73ad0cd253d3d9b.d: examples/cost_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcost_explorer-a73ad0cd253d3d9b.rmeta: examples/cost_explorer.rs Cargo.toml
+
+examples/cost_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

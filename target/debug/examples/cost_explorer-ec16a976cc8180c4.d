@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-ec16a976cc8180c4.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-ec16a976cc8180c4: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-f19153f2c14923c0.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-f19153f2c14923c0: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

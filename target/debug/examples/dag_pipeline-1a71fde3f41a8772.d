@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dag_pipeline-1a71fde3f41a8772.d: examples/dag_pipeline.rs
+
+/root/repo/target/debug/examples/dag_pipeline-1a71fde3f41a8772: examples/dag_pipeline.rs
+
+examples/dag_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dag_pipeline-2daf6dadd7fd2a81.d: examples/dag_pipeline.rs
+
+/root/repo/target/debug/examples/dag_pipeline-2daf6dadd7fd2a81: examples/dag_pipeline.rs
+
+examples/dag_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dag_pipeline-3b79292a6d1f2e72.d: examples/dag_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdag_pipeline-3b79292a6d1f2e72.rmeta: examples/dag_pipeline.rs Cargo.toml
+
+examples/dag_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

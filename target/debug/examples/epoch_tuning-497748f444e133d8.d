@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epoch_tuning-497748f444e133d8.d: examples/epoch_tuning.rs
+
+/root/repo/target/debug/examples/epoch_tuning-497748f444e133d8: examples/epoch_tuning.rs
+
+examples/epoch_tuning.rs:

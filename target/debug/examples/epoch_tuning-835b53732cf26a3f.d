@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epoch_tuning-835b53732cf26a3f.d: examples/epoch_tuning.rs
+
+/root/repo/target/debug/examples/epoch_tuning-835b53732cf26a3f: examples/epoch_tuning.rs
+
+examples/epoch_tuning.rs:

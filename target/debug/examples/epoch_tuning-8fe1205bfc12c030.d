@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/epoch_tuning-8fe1205bfc12c030.d: examples/epoch_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libepoch_tuning-8fe1205bfc12c030.rmeta: examples/epoch_tuning.rs Cargo.toml
+
+examples/epoch_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

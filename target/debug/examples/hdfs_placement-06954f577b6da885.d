@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hdfs_placement-06954f577b6da885.d: examples/hdfs_placement.rs
+
+/root/repo/target/debug/examples/hdfs_placement-06954f577b6da885: examples/hdfs_placement.rs
+
+examples/hdfs_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hdfs_placement-0d7854e751811d4c.d: examples/hdfs_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhdfs_placement-0d7854e751811d4c.rmeta: examples/hdfs_placement.rs Cargo.toml
+
+examples/hdfs_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hdfs_placement-2f000143f9478b3f.d: examples/hdfs_placement.rs
+
+/root/repo/target/debug/examples/hdfs_placement-2f000143f9478b3f: examples/hdfs_placement.rs
+
+examples/hdfs_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c0502f2afc14f24.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1c0502f2afc14f24: examples/quickstart.rs
+
+examples/quickstart.rs:

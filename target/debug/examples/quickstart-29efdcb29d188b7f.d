@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-29efdcb29d188b7f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-29efdcb29d188b7f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-554b6200d65ab13e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-554b6200d65ab13e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

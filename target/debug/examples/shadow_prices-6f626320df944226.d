@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shadow_prices-6f626320df944226.d: examples/shadow_prices.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshadow_prices-6f626320df944226.rmeta: examples/shadow_prices.rs Cargo.toml
+
+examples/shadow_prices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shadow_prices-79fc6d255e84b1b0.d: examples/shadow_prices.rs
+
+/root/repo/target/debug/examples/shadow_prices-79fc6d255e84b1b0: examples/shadow_prices.rs
+
+examples/shadow_prices.rs:

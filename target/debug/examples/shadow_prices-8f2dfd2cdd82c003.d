@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shadow_prices-8f2dfd2cdd82c003.d: examples/shadow_prices.rs
+
+/root/repo/target/debug/examples/shadow_prices-8f2dfd2cdd82c003: examples/shadow_prices.rs
+
+examples/shadow_prices.rs:

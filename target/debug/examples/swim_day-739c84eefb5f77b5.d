@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swim_day-739c84eefb5f77b5.d: examples/swim_day.rs
+
+/root/repo/target/debug/examples/swim_day-739c84eefb5f77b5: examples/swim_day.rs
+
+examples/swim_day.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/swim_day-91b4f83434d0d05d.d: examples/swim_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libswim_day-91b4f83434d0d05d.rmeta: examples/swim_day.rs Cargo.toml
+
+examples/swim_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swim_day-cc2e4b0223812151.d: examples/swim_day.rs
+
+/root/repo/target/debug/examples/swim_day-cc2e4b0223812151: examples/swim_day.rs
+
+examples/swim_day.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-9308d65f969311b3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-9308d65f969311b3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

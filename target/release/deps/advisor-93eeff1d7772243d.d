@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/advisor-93eeff1d7772243d.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/release/deps/advisor-93eeff1d7772243d: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

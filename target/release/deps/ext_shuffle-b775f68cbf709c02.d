@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shuffle-b775f68cbf709c02.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/release/deps/ext_shuffle-b775f68cbf709c02: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-720331643829ccd9.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-720331643829ccd9: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

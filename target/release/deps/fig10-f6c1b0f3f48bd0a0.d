@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-f6c1b0f3f48bd0a0.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-f6c1b0f3f48bd0a0: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-abd832259c1262ae.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-abd832259c1262ae: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

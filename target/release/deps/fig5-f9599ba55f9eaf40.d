@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f9599ba55f9eaf40.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f9599ba55f9eaf40: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

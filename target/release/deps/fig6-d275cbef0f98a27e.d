@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-d275cbef0f98a27e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-d275cbef0f98a27e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-863f559deb723f72.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-863f559deb723f72: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

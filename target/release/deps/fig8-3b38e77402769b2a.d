@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-3b38e77402769b2a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-3b38e77402769b2a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

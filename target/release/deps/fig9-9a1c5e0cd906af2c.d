@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-9a1c5e0cd906af2c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-9a1c5e0cd906af2c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lips-d787b0aa63b49d00.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/release/deps/liblips-d787b0aa63b49d00.rlib: src/lib.rs src/experiment.rs
+
+/root/repo/target/release/deps/liblips-d787b0aa63b49d00.rmeta: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

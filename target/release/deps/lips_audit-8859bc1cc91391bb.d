@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lips_audit-8859bc1cc91391bb.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/release/deps/liblips_audit-8859bc1cc91391bb.rlib: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/release/deps/liblips_audit-8859bc1cc91391bb.rmeta: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:

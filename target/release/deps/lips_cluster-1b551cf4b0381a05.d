@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lips_cluster-1b551cf4b0381a05.d: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+/root/repo/target/release/deps/liblips_cluster-1b551cf4b0381a05.rlib: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+/root/repo/target/release/deps/liblips_cluster-1b551cf4b0381a05.rmeta: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/data.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/matrices.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/zone.rs:

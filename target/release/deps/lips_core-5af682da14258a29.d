@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/lips_core-5af682da14258a29.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+/root/repo/target/release/deps/liblips_core-5af682da14258a29.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+/root/repo/target/release/deps/liblips_core-5af682da14258a29.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/delay.rs:
+crates/core/src/baselines/fair.rs:
+crates/core/src/baselines/hadoop_default.rs:
+crates/core/src/dag.rs:
+crates/core/src/lips.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/offline.rs:

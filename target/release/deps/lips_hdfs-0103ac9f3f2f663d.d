@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lips_hdfs-0103ac9f3f2f663d.d: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/release/deps/liblips_hdfs-0103ac9f3f2f663d.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/release/deps/liblips_hdfs-0103ac9f3f2f663d.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/block.rs:
+crates/hdfs/src/chooser.rs:
+crates/hdfs/src/namenode.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lips_sim-1eafc381ae56ce43.d: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+/root/repo/target/release/deps/liblips_sim-1eafc381ae56ce43.rlib: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+/root/repo/target/release/deps/liblips_sim-1eafc381ae56ce43.rmeta: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/action.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/job_state.rs:
+crates/sim/src/machine_state.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/placement.rs:
+crates/sim/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lips_workload-1b03401bcf909eec.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+/root/repo/target/release/deps/liblips_workload-1b03401bcf909eec.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+/root/repo/target/release/deps/liblips_workload-1b03401bcf909eec.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/bind.rs:
+crates/workload/src/dag.rs:
+crates/workload/src/job.rs:
+crates/workload/src/kind.rs:
+crates/workload/src/rand_gen.rs:
+crates/workload/src/suite.rs:
+crates/workload/src/swim.rs:
+crates/workload/src/swim_tsv.rs:

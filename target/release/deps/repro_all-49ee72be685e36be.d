@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-49ee72be685e36be.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-49ee72be685e36be: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

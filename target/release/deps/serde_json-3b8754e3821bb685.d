@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3b8754e3821bb685.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b8754e3821bb685.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b8754e3821bb685.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-fd7b4cf592b85d17.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-fd7b4cf592b85d17: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

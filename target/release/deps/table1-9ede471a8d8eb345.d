@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9ede471a8d8eb345.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9ede471a8d8eb345: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-18c53914a475b96d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-18c53914a475b96d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-b6466c8b12b72660.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-b6466c8b12b72660: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f5a83535957f9bbc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f5a83535957f9bbc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shadow_prices-5494824b91bf5e9d.d: examples/shadow_prices.rs
+
+/root/repo/target/release/examples/shadow_prices-5494824b91bf5e9d: examples/shadow_prices.rs
+
+examples/shadow_prices.rs:

@@ -8,8 +8,12 @@ use lips::workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy,
 
 fn run_cost(sched: &mut dyn Scheduler, seed: u64) -> (f64, f64) {
     let mut cluster = ec2_20_node(0.25, 1e9);
-    let workload =
-        bind_workload(&mut cluster, table_iv_suite(), PlacementPolicy::RoundRobin, seed);
+    let workload = bind_workload(
+        &mut cluster,
+        table_iv_suite(),
+        PlacementPolicy::RoundRobin,
+        seed,
+    );
     let placement = Placement::spread_blocks(&cluster, seed);
     let r = Simulation::new(&cluster, &workload)
         .with_placement(placement)

@@ -2,7 +2,9 @@
 //! under every scheduler, with conservation checks.
 
 use lips::cluster::{ec2_20_node, ec2_mixed_cluster};
-use lips::core::{DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{
+    DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler,
+};
 use lips::sim::{Placement, Scheduler, SimReport, Simulation};
 use lips::workload::{bind_workload, table_iv_suite, JobKind, JobSpec, PlacementPolicy};
 
@@ -46,7 +48,10 @@ fn every_scheduler_completes_the_mixed_workload() {
 fn executed_ecu_seconds_match_workload_demand() {
     // Conservation: the simulator must execute exactly the ECU-seconds the
     // workload demands — no lost or duplicated work — for every scheduler.
-    let demand: f64 = mixed_jobs().iter().map(|j| j.total_ecu_sec()).sum();
+    let demand: f64 = mixed_jobs()
+        .iter()
+        .map(lips::workload::JobSpec::total_ecu_sec)
+        .sum();
     let scheds: Vec<Box<dyn Scheduler>> = vec![
         Box::new(LipsScheduler::new(LipsConfig::small_cluster(400.0))),
         Box::new(HadoopDefaultScheduler::new()),
@@ -142,8 +147,7 @@ fn lips_saving_grows_with_heterogeneity() {
 fn online_arrivals_complete_under_all_schedulers() {
     let jobs: Vec<JobSpec> = (0..8)
         .map(|i| {
-            JobSpec::new(i, format!("j{i}"), JobKind::Grep, 640.0, 10)
-                .arriving_at(i as f64 * 300.0)
+            JobSpec::new(i, format!("j{i}"), JobKind::Grep, 640.0, 10).arriving_at(i as f64 * 300.0)
         })
         .collect();
     let scheds: Vec<Box<dyn Scheduler>> = vec![

@@ -5,9 +5,9 @@ use lips::cluster::{ec2_20_node, StoreId};
 use lips::core::lp_build::LpJob;
 use lips::core::offline::{co_schedule, greedy_schedule, lp_jobs_from_specs, simple_task_schedule};
 use lips::core::{DelayScheduler, LipsConfig, LipsScheduler};
+use lips::lp::{Cmp, Model, Sense};
 use lips::sim::{Placement, Simulation};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
-use lips::lp::{Cmp, Model, Sense};
 
 use proptest::prelude::*;
 
@@ -81,8 +81,14 @@ fn epoch_dial_moves_cost_and_time_in_opposite_directions() {
     };
     let (cost_short, time_short) = run(200.0);
     let (cost_long, time_long) = run(3200.0);
-    assert!(cost_long <= cost_short * 1.02, "cost: {cost_long} vs {cost_short}");
-    assert!(time_long >= time_short * 0.98, "time: {time_long} vs {time_short}");
+    assert!(
+        cost_long <= cost_short * 1.02,
+        "cost: {cost_long} vs {cost_short}"
+    );
+    assert!(
+        time_long >= time_short * 0.98,
+        "time: {time_long} vs {time_short}"
+    );
 }
 
 /// The LP relaxation bound from §IV: the fractional optimum is a valid

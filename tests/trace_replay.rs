@@ -8,8 +8,8 @@ use lips::core::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
 use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::swim_tsv::{jobs_to_records, SwimConvertCfg};
 use lips::workload::{
-    bind_workload, parse_swim_tsv, records_to_jobs, swim_trace, write_swim_tsv,
-    PlacementPolicy, SwimCfg,
+    bind_workload, parse_swim_tsv, records_to_jobs, swim_trace, write_swim_tsv, PlacementPolicy,
+    SwimCfg,
 };
 
 const TRACE: &str = "\
@@ -22,15 +22,17 @@ j-big\t120\t60\t2147483648\t1073741824\t10485760
 #[test]
 fn tsv_trace_runs_under_every_scheduler() {
     let records = parse_swim_tsv(Cursor::new(TRACE)).unwrap();
-    let cfg = SwimConvertCfg { with_reduce: true, ..Default::default() };
+    let cfg = SwimConvertCfg {
+        with_reduce: true,
+        ..Default::default()
+    };
     let jobs = records_to_jobs(&records, &cfg);
     assert_eq!(jobs.len(), 3);
 
     for (name, mut sched) in [
         (
             "lips",
-            Box::new(LipsScheduler::new(LipsConfig::small_cluster(300.0)))
-                as Box<dyn Scheduler>,
+            Box::new(LipsScheduler::new(LipsConfig::small_cluster(300.0))) as Box<dyn Scheduler>,
         ),
         ("default", Box::new(HadoopDefaultScheduler::new())),
     ] {
@@ -43,7 +45,11 @@ fn tsv_trace_runs_under_every_scheduler() {
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(r.outcomes.len(), 3, "{name}");
         // Arrivals honored: the big job cannot finish before it arrives.
-        let big = r.outcomes.iter().find(|o| o.name.contains("j-big")).unwrap();
+        let big = r
+            .outcomes
+            .iter()
+            .find(|o| o.name.contains("j-big"))
+            .unwrap();
         assert!(big.completed > 120.0, "{name}: {}", big.completed);
         assert!(r.metrics.total_dollars() > 0.0, "{name}");
     }
@@ -52,7 +58,14 @@ fn tsv_trace_runs_under_every_scheduler() {
 #[test]
 fn synthetic_trace_roundtrips_through_tsv_and_replays_identically() {
     // Generate → export TSV → reparse → both versions must bill the same.
-    let trace = swim_trace(&SwimCfg { jobs: 30, hours: 2, ..Default::default() }, 9);
+    let trace = swim_trace(
+        &SwimCfg {
+            jobs: 30,
+            hours: 2,
+            ..Default::default()
+        },
+        9,
+    );
     let mut buf = Vec::new();
     write_swim_tsv(&jobs_to_records(&trace), &mut buf).unwrap();
     let reparsed = records_to_jobs(
