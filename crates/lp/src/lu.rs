@@ -67,6 +67,12 @@ impl DenseLu {
         self.n
     }
 
+    /// Consume the factorization, handing back its `n × n` backing buffer so
+    /// the caller can refill and refactorize without a fresh allocation.
+    pub fn into_buffer(self) -> Vec<f64> {
+        self.lu
+    }
+
     /// Solve `A x = rhs` in place (`rhs` becomes `x`).
     pub fn solve_in_place(&self, rhs: &mut [f64]) {
         let n = self.n;

@@ -327,9 +327,21 @@ impl<'a> Worker<'a> {
 
     /// Rebuild the LU factorization from the current basis and recompute the
     /// basic values from scratch (limits numerical drift).
+    ///
+    /// The `m × m` working matrix is recycled from the previous
+    /// factorization: refactorization happens every few dozen pivots, and on
+    /// large bases the repeated allocation (and its page faults) used to
+    /// dominate the factorization itself.
     fn refactor(&mut self) -> Result<(), LpError> {
         let m = self.m();
-        let mut dense = vec![0.0; m * m];
+        let mut dense = match self.lu.take() {
+            Some(old) if old.dim() == m => {
+                let mut buf = old.into_buffer();
+                buf.fill(0.0);
+                buf
+            }
+            _ => vec![0.0; m * m],
+        };
         for (i, &j) in self.basis.iter().enumerate() {
             self.for_col(j, |r, v| dense[r * m + i] = v);
         }
