@@ -10,9 +10,13 @@
 //! Two solvers are provided:
 //!
 //! * [`revised::RevisedSimplex`] — the production solver: a two-phase,
-//!   bounded-variable revised primal simplex with a dense-LU factorization of
-//!   the basis, product-form (eta-file) updates between refactorizations,
-//!   Dantzig pricing and a Bland anti-cycling fallback.
+//!   bounded-variable revised primal simplex with a Markowitz-ordered
+//!   sparse-LU factorization of the basis ([`slu::SparseLu`]; a dense
+//!   backend remains available), sparse product-form (eta-file) updates
+//!   between refactorizations, devex pricing over a partial-pricing window
+//!   (Dantzig available), a Bland anti-cycling fallback, and warm starting
+//!   from a prior basis ([`basis::WarmStart`]) for the epoch-loop
+//!   resolve-the-same-LP-again workload.
 //! * [`dense::DenseSimplex`] — a textbook two-phase tableau simplex used as a
 //!   cross-checking oracle in tests and for very small models.
 //!
@@ -32,6 +36,7 @@
 //! assert!((sol.objective() - 9.0).abs() < 1e-6); // x=3, y=1
 //! ```
 
+pub mod basis;
 pub mod dense;
 pub mod error;
 pub mod lu;
@@ -40,13 +45,15 @@ pub mod presolve;
 pub mod revised;
 pub mod scaling;
 pub mod sensitivity;
+pub mod slu;
 pub mod solution;
 pub mod sparse;
 pub mod standard;
 
+pub use basis::{BasisStatus, WarmOutcome, WarmStart};
 pub use error::LpError;
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
-pub use solution::{Solution, Status};
+pub use solution::{Solution, SolveStats, Status};
 
 /// Default feasibility / optimality tolerance used across the crate.
 pub const TOL: f64 = 1e-7;

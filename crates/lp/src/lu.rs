@@ -73,6 +73,13 @@ impl DenseLu {
         self.lu
     }
 
+    /// The original row that provided the pivot for column `pos` (used by
+    /// warm-start basis repair to know which row a replacement unit column
+    /// must cover).
+    pub fn pivot_row(&self, pos: usize) -> usize {
+        self.perm[pos]
+    }
+
     /// Solve `A x = rhs` in place (`rhs` becomes `x`).
     pub fn solve_in_place(&self, rhs: &mut [f64]) {
         let n = self.n;

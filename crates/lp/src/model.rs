@@ -67,6 +67,9 @@ pub(crate) struct Variable {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Constraint {
+    /// Optional row name (empty = unnamed). Names key warm-start bases
+    /// across model rebuilds; see [`crate::basis::WarmStart`].
+    pub name: String,
     /// (variable index, coefficient) pairs; duplicates are summed when the
     /// model is lowered to matrix form.
     pub terms: Vec<(usize, f64)>,
@@ -128,8 +131,25 @@ impl Model {
         rhs: f64,
     ) -> ConstraintId {
         let terms: Vec<(usize, f64)> = terms.into_iter().map(|(v, c)| (v.0, c)).collect();
-        self.cons.push(Constraint { terms, cmp, rhs });
+        self.cons.push(Constraint {
+            name: String::new(),
+            terms,
+            cmp,
+            rhs,
+        });
         ConstraintId(self.cons.len() - 1)
+    }
+
+    /// Name a constraint so its slack's basis status can be matched by name
+    /// in a [`crate::basis::WarmStart`] even when the row order changes
+    /// between model rebuilds. Unnamed rows fall back to positional keys.
+    pub fn name_constraint(&mut self, c: ConstraintId, name: impl Into<String>) {
+        self.cons[c.0].name = name.into();
+    }
+
+    /// Name of a constraint (empty if never named).
+    pub fn constraint_name(&self, c: ConstraintId) -> &str {
+        &self.cons[c.0].name
     }
 
     /// Number of variables.
@@ -273,6 +293,15 @@ impl Model {
         crate::revised::RevisedSimplex::default().solve(self)
     }
 
+    /// Solve with the production solver, seeding the simplex from a prior
+    /// basis. `None` (or an empty / unusable warm start) behaves exactly
+    /// like [`Model::solve`]; the warm start can only change the pivot
+    /// path, never the optimum. The returned solution carries its own
+    /// basis via [`Solution::warm_start`] for chaining.
+    pub fn solve_warm(&self, warm: Option<&crate::basis::WarmStart>) -> Result<Solution, LpError> {
+        crate::revised::RevisedSimplex::default().solve_with_warm_start(self, warm)
+    }
+
     /// Solve with the dense tableau oracle (small models only).
     pub fn solve_dense(&self) -> Result<Solution, LpError> {
         crate::dense::DenseSimplex::default().solve(self)
@@ -414,6 +443,18 @@ mod tests {
             m.constraint_terms(c).collect::<Vec<_>>(),
             vec![(x, 2.0), (y, -1.0)]
         );
+    }
+
+    #[test]
+    fn constraint_names_roundtrip() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let c0 = m.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
+        let c1 = m.add_constraint([(x, 1.0)], Cmp::Ge, 0.0);
+        assert_eq!(m.constraint_name(c0), "");
+        m.name_constraint(c0, "cap_row");
+        assert_eq!(m.constraint_name(c0), "cap_row");
+        assert_eq!(m.constraint_name(c1), "");
     }
 
     #[test]

@@ -7,27 +7,66 @@
 //!   nonbasic-at-upper, bound flips in the ratio test) keeps the basis a
 //!   fraction of the size that a split `x = x⁺ − x⁻` reformulation would
 //!   need.
-//! * **Product-form updates.** The basis inverse is represented as a dense
-//!   LU factorization plus a file of eta vectors, refactorized periodically.
-//!   FTRAN/BTRAN are `O(m² + m·#etas)` which is fast at the few-thousand-row
-//!   scale the scheduler produces.
+//! * **Sparse product-form updates.** The basis inverse is represented as a
+//!   Markowitz-ordered sparse LU factorization ([`crate::slu::SparseLu`];
+//!   the dense backend survives as an option) plus a file of sparse eta
+//!   vectors, refactorized periodically. FTRAN/BTRAN cost is proportional
+//!   to the stored nonzeros rather than `m²`, which matters because the
+//!   scheduler's bases are mostly slack (unit) columns.
 //! * **Phase 1 with per-row artificials.** Rows whose slack cannot absorb
 //!   the initial residual get a signed artificial column; phase 1 minimizes
 //!   the artificial mass, phase 2 pins artificials to `[0,0]` and restores
 //!   the true costs without rebuilding the basis.
-//! * **Dantzig pricing + Bland fallback.** Dantzig (most-negative reduced
-//!   cost) is fast in practice; after a run of degenerate pivots the solver
-//!   switches to Bland's rule, which guarantees termination, and switches
-//!   back once the objective moves again.
+//! * **Devex pricing + Bland fallback.** Devex reference weights approximate
+//!   steepest-edge at a fraction of the cost and cut pivot counts on the
+//!   long thin scheduling LPs; a partial-pricing window bounds the scan per
+//!   iteration. After a run of degenerate pivots the solver switches to
+//!   Bland's rule, which guarantees termination, and switches back once the
+//!   objective moves again.
+//! * **Warm starts.** [`RevisedSimplex::solve_with_warm_start`] seeds the
+//!   basis from a named [`WarmStart`] snapshot (produced by every solve).
+//!   A basis that is still primal feasible skips phase 1 entirely; a basis
+//!   broken by model edits is repaired with per-row artificials and a short
+//!   phase 1; anything unusable falls back to a cold solve. The warm start
+//!   can change the pivot path but never the optimum.
 
 #![allow(clippy::needless_range_loop)] // simplex kernels read clearer with indices
 
+use crate::basis::{BasisStatus, WarmOutcome, WarmStart};
 use crate::error::LpError;
 use crate::lu::DenseLu;
-use crate::model::Model;
-use crate::solution::Solution;
+use crate::model::{ConstraintId, Model, VarId};
+use crate::slu::SparseLu;
+use crate::solution::{Solution, SolveStats};
+use crate::sparse::CsrMatrix;
 use crate::standard::StandardForm;
 use crate::{PIVOT_TOL, TOL};
+
+/// Basis factorization backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LuBackend {
+    /// Markowitz-ordered sparse LU (the default; cost tracks fill-in).
+    #[default]
+    Sparse,
+    /// Dense LU with partial pivoting (`O(m³)` refactorization); kept for
+    /// cross-checking and for tiny dense models.
+    Dense,
+}
+
+/// Entering-variable pricing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Devex reference weights (approximate steepest edge): pick the
+    /// nonbasic column maximizing `d_j² / w_j`. The default.
+    #[default]
+    Devex,
+    /// Most-negative reduced cost.
+    Dantzig,
+}
+
+/// Devex weights above this trigger a reference-framework reset (all
+/// weights back to 1); unbounded weight growth makes the scores meaningless.
+const DEVEX_RESET: f64 = 1e8;
 
 /// Tuning knobs for [`RevisedSimplex`].
 #[derive(Debug, Clone)]
@@ -44,11 +83,15 @@ pub struct RevisedOptions {
     pub bland_trigger: usize,
     /// Partial pricing window: scan at most this many *eligible* columns
     /// per pricing pass, resuming where the previous pass stopped
-    /// (`None` = full Dantzig pricing). Cuts per-iteration cost from
+    /// (`None` = full pricing). Cuts per-iteration cost from
     /// `O(n)` to `O(window)` on wide models at the price of slightly less
     /// greedy pivots; the optimum is unaffected (a pass that finds no
     /// eligible column in the window continues scanning the rest).
     pub partial_pricing: Option<usize>,
+    /// Basis factorization backend.
+    pub backend: LuBackend,
+    /// Entering-variable pricing rule.
+    pub pricing: Pricing,
 }
 
 impl Default for RevisedOptions {
@@ -59,7 +102,9 @@ impl Default for RevisedOptions {
             tol: TOL,
             pivot_tol: PIVOT_TOL,
             bland_trigger: 200,
-            partial_pricing: None,
+            partial_pricing: Some(64),
+            backend: LuBackend::Sparse,
+            pricing: Pricing::Devex,
         }
     }
 }
@@ -79,16 +124,82 @@ impl RevisedSimplex {
 
     /// Solve `model` to proven optimality (or a definitive error).
     pub fn solve(&self, model: &Model) -> Result<Solution, LpError> {
-        model.validate()?;
-        let sf = StandardForm::from_model(model);
-        let mut w = Worker::new(&sf, &self.options);
-        w.init_basis();
-        w.refactor()?;
+        self.solve_with_warm_start(model, None)
+    }
 
-        // Phase 1: minimize total artificial mass.
+    /// Solve `model`, optionally seeding the simplex from a prior basis.
+    ///
+    /// The warm start is matched to the model by variable name and row name
+    /// (see [`WarmStart`]); unmatched columns get their cold-start
+    /// placement. Three things can happen, reported in
+    /// [`SolveStats::warm`]:
+    ///
+    /// * the seeded basis is primal feasible → phase 1 is skipped,
+    /// * it violates some bounds (model edits) → violating basics are
+    ///   swapped for per-row artificials and a short phase 1 repairs them,
+    /// * it is unusable (singular, wrong shape) → full cold solve.
+    ///
+    /// The optimum is identical in all three cases; only the pivot path
+    /// changes.
+    pub fn solve_with_warm_start(
+        &self,
+        model: &Model,
+        warm: Option<&WarmStart>,
+    ) -> Result<Solution, LpError> {
+        model.validate()?;
+        let t0 = std::time::Instant::now();
+        let sf = StandardForm::from_model(model);
+        let warm_states = warm
+            .filter(|ws| !ws.is_empty())
+            .and_then(|ws| resolve_warm_states(model, &sf, ws));
+
+        let mut w = Worker::new(&sf, &self.options);
+        let mut outcome = WarmOutcome::Cold;
+        if let Some(states) = &warm_states {
+            match w.init_warm_basis(states) {
+                WarmInit::Feasible => outcome = WarmOutcome::Warm,
+                WarmInit::Repaired => outcome = WarmOutcome::WarmRepaired,
+                WarmInit::Failed => {
+                    // Anything left over from the attempt (partial basis,
+                    // repair artificials) is untrustworthy: start fresh.
+                    w = Worker::new(&sf, &self.options);
+                }
+            }
+        }
+        if outcome == WarmOutcome::Cold {
+            w.init_basis();
+            w.refactor()?;
+        } else if outcome == WarmOutcome::WarmRepaired {
+            // A repaired basis is usually a handful of pivots from
+            // feasibility, but a bad repair can strand phase 1 on a
+            // degenerate plateau the cold crash basis would never visit.
+            // Budget the probe; if it runs out, restart cold below so the
+            // worst case is a bounded prefix of phase 1 plus one cold solve.
+            w.iteration_budget = Some((sf.nrows() / 2).max(256));
+        }
+
+        // Phase 1: minimize total artificial mass. A feasible warm basis
+        // has no artificials and skips this entirely; a repaired one only
+        // carries artificials for the rows broken by model edits.
         if w.has_artificials() {
             w.set_phase1_costs();
-            w.run()?;
+            match w.run() {
+                Err(LpError::IterationLimit { .. }) if w.iteration_budget.is_some() => {
+                    // Repaired warm start blew its budget: abandon it, but
+                    // keep the wasted pivots on the books so the stats stay
+                    // honest about what the warm attempt really cost.
+                    let wasted = w.iterations;
+                    outcome = WarmOutcome::Cold;
+                    w = Worker::new(&sf, &self.options);
+                    w.iterations = wasted;
+                    w.init_basis();
+                    w.refactor()?;
+                    w.set_phase1_costs();
+                    w.run()?;
+                }
+                r => r?,
+            }
+            w.iteration_budget = None;
             // Per-row relative residual check: an artificial's value is the
             // residual of *its own* row, so compare it against that row's
             // scale — a global max-|b| scale would let large capacity rows
@@ -98,6 +209,7 @@ impl RevisedSimplex {
             }
             w.pin_artificials();
         }
+        w.phase1_iterations = w.iterations;
 
         // Phase 2: the real objective.
         w.set_phase2_costs();
@@ -106,12 +218,78 @@ impl RevisedSimplex {
         let values = w.x[..sf.n_structural].to_vec();
         let internal: f64 = w.costs.iter().zip(&w.x).map(|(c, x)| c * x).sum();
         let duals = w.current_duals();
-        Ok(Solution::new(
-            sf.external_objective(internal),
-            values,
-            duals,
-            w.iterations,
-        ))
+        let stats = SolveStats {
+            iterations: w.iterations,
+            phase1_iterations: w.phase1_iterations,
+            refactors: w.refactors,
+            ftran_nnz: w.ftran_nnz,
+            warm: outcome,
+            solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        let next_warm = extract_warm_start(model, &sf, &w);
+        Ok(
+            Solution::new(sf.external_objective(internal), values, duals, w.iterations)
+                .with_stats(stats)
+                .with_warm_start(next_warm),
+        )
+    }
+}
+
+/// Map a warm start's named statuses onto this model's standard-form
+/// columns. Returns `None` when not a single status matched (treat as
+/// cold — the warm start is for a different model).
+fn resolve_warm_states(
+    model: &Model,
+    sf: &StandardForm,
+    ws: &WarmStart,
+) -> Option<Vec<Option<BasisStatus>>> {
+    let mut states: Vec<Option<BasisStatus>> = vec![None; sf.ncols()];
+    let mut matched = 0usize;
+    for j in 0..sf.n_structural {
+        if let Some(st) = ws.var(model.var_name(VarId(j))) {
+            states[j] = Some(st);
+            matched += 1;
+        }
+    }
+    for i in 0..sf.nrows() {
+        let name = model.constraint_name(ConstraintId(i));
+        let st = if name.is_empty() {
+            ws.row(&format!("#{i}"))
+        } else {
+            ws.row(name)
+        };
+        if let Some(st) = st {
+            states[sf.n_structural + i] = Some(st);
+            matched += 1;
+        }
+    }
+    (matched > 0).then_some(states)
+}
+
+/// Snapshot the final basis as a name-keyed warm start for the next solve.
+fn extract_warm_start(model: &Model, sf: &StandardForm, w: &Worker) -> WarmStart {
+    let mut ws = WarmStart::new();
+    for j in 0..sf.n_structural {
+        ws.set_var(model.var_name(VarId(j)), to_basis_status(w.state[j]));
+    }
+    for i in 0..sf.nrows() {
+        let name = model.constraint_name(ConstraintId(i));
+        let key = if name.is_empty() {
+            format!("#{i}")
+        } else {
+            name.to_string()
+        };
+        ws.set_row(key, to_basis_status(w.state[sf.n_structural + i]));
+    }
+    ws
+}
+
+fn to_basis_status(s: VarState) -> BasisStatus {
+    match s {
+        VarState::Basic => BasisStatus::Basic,
+        VarState::AtLower => BasisStatus::AtLower,
+        VarState::AtUpper => BasisStatus::AtUpper,
+        VarState::Free => BasisStatus::Free,
     }
 }
 
@@ -124,11 +302,55 @@ enum VarState {
     Free,
 }
 
+/// Outcome of seeding the worker from a warm basis.
+enum WarmInit {
+    /// Basis factorized and primal feasible: go straight to phase 2.
+    Feasible,
+    /// Basis factorized after swapping violating basics for artificials:
+    /// needs a (short) phase 1.
+    Repaired,
+    /// Unusable; caller must rebuild the worker and cold-start.
+    Failed,
+}
+
 /// One product-form update: `B_new = B_old · E` where `E` is the identity
-/// with column `row` replaced by `col` (the FTRAN'd entering column).
+/// with column `row` replaced by the FTRAN'd entering column. Only the
+/// nonzeros are stored: `diag` is the pivot entry, `nnz` the off-pivot
+/// entries — the columns are typically very sparse and the dense scan was
+/// measurable on large bases.
 struct Eta {
     row: usize,
-    col: Vec<f64>,
+    diag: f64,
+    nnz: Vec<(usize, f64)>,
+}
+
+/// Basis factorization, either backend.
+enum Factor {
+    Dense(DenseLu),
+    Sparse(SparseLu),
+}
+
+impl Factor {
+    fn solve_in_place(&self, v: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            Factor::Dense(lu) => lu.solve_in_place(v),
+            Factor::Sparse(lu) => lu.solve_in_place(v, scratch),
+        }
+    }
+
+    fn solve_transpose_in_place(&self, v: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            Factor::Dense(lu) => lu.solve_transpose_in_place(v),
+            Factor::Sparse(lu) => lu.solve_transpose_in_place(v, scratch),
+        }
+    }
+
+    fn pivot_row(&self, pos: usize) -> usize {
+        match self {
+            Factor::Dense(lu) => lu.pivot_row(pos),
+            Factor::Sparse(lu) => lu.pivot_row(pos),
+        }
+    }
 }
 
 struct Worker<'a> {
@@ -150,20 +372,44 @@ struct Worker<'a> {
     basis: Vec<usize>,
     /// Current value of every column.
     x: Vec<f64>,
-    lu: Option<DenseLu>,
+    factor: Option<Factor>,
     etas: Vec<Eta>,
+    /// Length-`m` scratch for the sparse backend's solves.
+    scratch: Vec<f64>,
+    /// Reused per-refactorization workspace: the basis columns handed to
+    /// the sparse factorization (drained by it, refilled next time).
+    spcols: Vec<Vec<(usize, f64)>>,
+    /// Row-major mirror of `sf.a` for devex pivot-row computation
+    /// (`None` under Dantzig pricing).
+    csr: Option<CsrMatrix>,
+    /// Devex reference weights, one per column (artificials included).
+    devex_w: Vec<f64>,
     iterations: usize,
+    phase1_iterations: usize,
+    refactors: usize,
+    /// Nonzeros produced by entering-column FTRANs (see
+    /// [`SolveStats::ftran_nnz`]).
+    ftran_nnz: u64,
     degenerate_run: usize,
     bland: bool,
     in_phase1: bool,
     /// Rotating start offset for partial pricing.
     price_cursor: usize,
+    /// Extra pivot cap for the current phase (on top of
+    /// `opts.max_iterations`). Set while probing a repaired warm basis so a
+    /// pathological repair can never cost more than a bounded prefix of
+    /// phase 1 before the caller falls back to a cold start.
+    iteration_budget: Option<usize>,
 }
 
 impl<'a> Worker<'a> {
     fn new(sf: &'a StandardForm, opts: &'a RevisedOptions) -> Self {
         let n_real = sf.ncols();
         let m = sf.nrows();
+        let csr = match opts.pricing {
+            Pricing::Devex => Some(CsrMatrix::from_csc(&sf.a)),
+            Pricing::Dantzig => None,
+        };
         Worker {
             sf,
             opts,
@@ -177,13 +423,21 @@ impl<'a> Worker<'a> {
             state: vec![VarState::AtLower; n_real],
             basis: Vec::with_capacity(m),
             x: vec![0.0; n_real],
-            lu: None,
+            factor: None,
             etas: Vec::new(),
+            scratch: vec![0.0; m],
+            spcols: Vec::new(),
+            csr,
+            devex_w: vec![1.0; n_real],
             iterations: 0,
+            phase1_iterations: 0,
+            refactors: 0,
+            ftran_nnz: 0,
             degenerate_run: 0,
             bland: false,
             in_phase1: false,
             price_cursor: 0,
+            iteration_budget: None,
         }
     }
 
@@ -197,6 +451,16 @@ impl<'a> Worker<'a> {
 
     fn has_artificials(&self) -> bool {
         !self.art_cols.is_empty()
+    }
+
+    /// How much of the basis a warm-start repair may touch before the
+    /// attempt is abandoned. Every repaired slot demotes a basic to an
+    /// arbitrary bound and spends a phase-1 artificial on its row, so past
+    /// a modest share of the rows the repaired point is *worse* than the
+    /// cold crash basis; measured on the epoch workload the crossover sits
+    /// near an eighth of the rows.
+    fn repair_limit(&self) -> usize {
+        (self.m() / 8).max(8)
     }
 
     /// Visit the nonzero entries of a column (handles artificial columns,
@@ -213,6 +477,37 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// Cold-start nonbasic placement: rest at the finite bound nearest
+    /// zero.
+    fn default_nonbasic(lo: f64, hi: f64) -> (VarState, f64) {
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                if lo.abs() <= hi.abs() {
+                    (VarState::AtLower, lo)
+                } else {
+                    (VarState::AtUpper, hi)
+                }
+            }
+            (true, false) => (VarState::AtLower, lo),
+            (false, true) => (VarState::AtUpper, hi),
+            (false, false) => (VarState::Free, 0.0),
+        }
+    }
+
+    /// Place column `j` nonbasic, honoring a requested status when it is
+    /// consistent with the bounds, falling back to the cold placement.
+    fn place_nonbasic(&mut self, j: usize, requested: Option<BasisStatus>) {
+        let (lo, hi) = (self.lb[j], self.ub[j]);
+        let (st, v) = match requested {
+            Some(BasisStatus::AtLower) if lo.is_finite() => (VarState::AtLower, lo),
+            Some(BasisStatus::AtUpper) if hi.is_finite() => (VarState::AtUpper, hi),
+            Some(BasisStatus::Free) if !lo.is_finite() && !hi.is_finite() => (VarState::Free, 0.0),
+            _ => Self::default_nonbasic(lo, hi),
+        };
+        self.state[j] = st;
+        self.x[j] = v;
+    }
+
     /// Place structural and slack variables at their initial nonbasic
     /// positions, choose the starting basis (slack where it can absorb the
     /// row residual, artificial otherwise).
@@ -222,19 +517,7 @@ impl<'a> Worker<'a> {
 
         // Structural variables: rest at the finite bound nearest zero.
         for j in 0..n_struct {
-            let (lo, hi) = (self.lb[j], self.ub[j]);
-            let (st, v) = match (lo.is_finite(), hi.is_finite()) {
-                (true, true) => {
-                    if lo.abs() <= hi.abs() {
-                        (VarState::AtLower, lo)
-                    } else {
-                        (VarState::AtUpper, hi)
-                    }
-                }
-                (true, false) => (VarState::AtLower, lo),
-                (false, true) => (VarState::AtUpper, hi),
-                (false, false) => (VarState::Free, 0.0),
-            };
+            let (st, v) = Self::default_nonbasic(self.lb[j], self.ub[j]);
             self.state[j] = st;
             self.x[j] = v;
         }
@@ -270,18 +553,267 @@ impl<'a> Worker<'a> {
                 self.x[s] = v;
                 let excess = r - v;
                 let sign = if excess >= 0.0 { 1.0 } else { -1.0 };
-                self.art_sign[i] = sign;
-                let col = self.n_real + self.art_cols.len();
-                self.art_cols.push(col);
-                self.art_row.push(i);
-                self.lb.push(0.0);
-                self.ub.push(f64::INFINITY);
-                self.costs.push(0.0);
-                self.state.push(VarState::Basic);
-                self.x.push(excess.abs());
+                let col = self.push_artificial(i, sign);
+                self.x[col] = excess.abs();
                 self.basis.push(col);
             }
         }
+    }
+
+    /// Append a basic artificial column for `row` with the given sign and
+    /// return its column id. The caller sets its value and basis slot.
+    fn push_artificial(&mut self, row: usize, sign: f64) -> usize {
+        debug_assert_eq!(self.art_sign[row], 0.0, "row already has an artificial");
+        self.art_sign[row] = sign;
+        let col = self.n_real + self.art_cols.len();
+        self.art_cols.push(col);
+        self.art_row.push(row);
+        self.lb.push(0.0);
+        self.ub.push(f64::INFINITY);
+        self.costs.push(0.0);
+        self.state.push(VarState::Basic);
+        self.x.push(0.0);
+        self.devex_w.push(1.0);
+        col
+    }
+
+    /// Seed the basis from name-resolved warm statuses. Never fails the
+    /// solve: any inconsistency degrades to [`WarmInit::Failed`] and the
+    /// caller cold-starts.
+    fn init_warm_basis(&mut self, states: &[Option<BasisStatus>]) -> WarmInit {
+        let m = self.m();
+        let n_struct = self.sf.n_structural;
+
+        // Nonbasic placement + basic candidates.
+        let mut basics: Vec<usize> = Vec::new();
+        for j in 0..self.n_real {
+            if states[j] == Some(BasisStatus::Basic) {
+                basics.push(j);
+            } else {
+                self.place_nonbasic(j, states[j]);
+            }
+        }
+        // Over-full basis (name collisions, model edits): demote the
+        // highest-index extras — those are slacks / late-added columns,
+        // the cheapest to re-derive.
+        while basics.len() > m {
+            let j = basics.pop().expect("non-empty");
+            self.place_nonbasic(j, None);
+        }
+        // Fail fast when model edits wiped out a sizeable share of the
+        // basis: missing slots get completed with guessed slacks that
+        // mostly come straight back as repairs, so far past the repair
+        // limit the attempt is already doomed — bail before spending a
+        // factorization (and possibly a rank sweep) on it. The factor of
+        // two is headroom for the completions that do land feasible.
+        if m - basics.len() > 2 * self.repair_limit() {
+            return WarmInit::Failed;
+        }
+        // Under-full: complete with slacks of uncovered rows (every row has
+        // one, so this always reaches m).
+        if basics.len() < m {
+            let mut in_basis = vec![false; self.n_real];
+            for &j in &basics {
+                in_basis[j] = true;
+            }
+            for i in 0..m {
+                if basics.len() == m {
+                    break;
+                }
+                let s = n_struct + i;
+                if !in_basis[s] {
+                    in_basis[s] = true;
+                    basics.push(s);
+                }
+            }
+        }
+        if basics.len() != m {
+            return WarmInit::Failed;
+        }
+        basics.sort_unstable();
+        for &j in &basics {
+            self.state[j] = VarState::Basic;
+        }
+        self.basis = basics;
+        let mut repaired = false;
+        if self.refactor().is_err() {
+            // Model edits can leave the name-matched columns rank-deficient
+            // (a job's avail set changed, a column vanished). Swap the
+            // dependent ones for slacks of the rows they fail to cover and
+            // retry once before giving up.
+            if !self.prune_dependent_basics(self.repair_limit()) || self.refactor().is_err() {
+                return WarmInit::Failed;
+            }
+            repaired = true;
+        }
+
+        // Repair loop: basics pushed out of their bounds by model edits are
+        // demoted to the violated bound and replaced by an artificial unit
+        // column on their pivot row (which keeps the basis nonsingular).
+        // Artificials that come out negative get their sign flipped — that
+        // negates exactly their own basic value and nothing else. A few
+        // rounds suffice in practice; anything that still violates after
+        // that is handed back as Failed.
+        for round in 0..4 {
+            let mut flipped = false;
+            for k in 0..self.art_cols.len() {
+                let j = self.art_cols[k];
+                if self.x[j] < -self.opts.tol {
+                    let row = self.art_row[k];
+                    self.art_sign[row] = -self.art_sign[row];
+                    flipped = true;
+                }
+            }
+            if flipped && !self.refactor_or_prune() {
+                return WarmInit::Failed;
+            }
+
+            let mut violators: Vec<usize> = Vec::new();
+            for p in 0..m {
+                let j = self.basis[p];
+                let v = self.x[j];
+                let below = self.lb[j].is_finite()
+                    && v < self.lb[j] - self.opts.tol * (1.0 + self.lb[j].abs());
+                let above = self.ub[j].is_finite()
+                    && v > self.ub[j] + self.opts.tol * (1.0 + self.ub[j].abs());
+                if below || above {
+                    violators.push(p);
+                }
+            }
+            if violators.is_empty() {
+                return if repaired {
+                    WarmInit::Repaired
+                } else {
+                    WarmInit::Feasible
+                };
+            }
+            if round == 3 {
+                break;
+            }
+            // Cold-fallback condition: a repair that would touch more than
+            // the limit's share of the basis starts phase 1 from a *worse*
+            // point than the cold crash basis — hand back Failed and let
+            // the caller cold-start.
+            if self.art_cols.len() + violators.len() > self.repair_limit() {
+                return WarmInit::Failed;
+            }
+            for &p in &violators {
+                let out = self.basis[p];
+                if out >= self.n_real {
+                    // An artificial out of bounds even after sign flips:
+                    // numerics are off, don't fight them.
+                    return WarmInit::Failed;
+                }
+                let row = self.factor.as_ref().expect("factorized").pivot_row(p);
+                if self.art_sign[row] != 0.0 {
+                    return WarmInit::Failed;
+                }
+                let (st, v) = if self.x[out] < self.lb[out] {
+                    (VarState::AtLower, self.lb[out])
+                } else {
+                    (VarState::AtUpper, self.ub[out])
+                };
+                self.state[out] = st;
+                self.x[out] = v;
+                let col = self.push_artificial(row, 1.0);
+                self.basis[p] = col;
+                repaired = true;
+            }
+            // A unit swap on the factorization's pivot row is almost always
+            // nonsingular, but later columns' elimination ran through the
+            // replaced one, so it isn't guaranteed — degrade through the
+            // rank repair before abandoning the warm start.
+            if !self.refactor_or_prune() {
+                return WarmInit::Failed;
+            }
+        }
+        WarmInit::Failed
+    }
+
+    /// Refactorize, and on singularity retry once after swapping the
+    /// dependent columns for slacks (see [`Self::prune_dependent_basics`]).
+    fn refactor_or_prune(&mut self) -> bool {
+        self.refactor().is_ok()
+            || (self.prune_dependent_basics(self.repair_limit()) && self.refactor().is_ok())
+    }
+
+    /// The seeded warm basis failed to factorize: some name-matched columns
+    /// no longer span the row space. Identify a maximal independent subset
+    /// with a dense rank-revealing elimination and replace each dependent
+    /// column with the slack of a row the independent set leaves uncovered
+    /// (slacks are unit columns, so the result is structurally nonsingular).
+    /// Runs only on the factorization-failure path, so the O(m³) dense sweep
+    /// never touches a healthy solve. Returns `false` when no full basis can
+    /// be assembled (caller cold-starts).
+    fn prune_dependent_basics(&mut self, limit: usize) -> bool {
+        let m = self.m();
+        let n_struct = self.sf.n_structural;
+        // Dense copy of the seeded basis columns, a[r * m + p].
+        let mut a = vec![0.0; m * m];
+        for (p, &j) in self.basis.iter().enumerate() {
+            self.for_col(j, |r, v| a[r * m + p] = v);
+        }
+        let mut row_used = vec![false; m];
+        let mut dependent: Vec<usize> = Vec::new();
+        for p in 0..m {
+            let mut best = self.opts.pivot_tol;
+            let mut best_row = usize::MAX;
+            for (r, used) in row_used.iter().enumerate() {
+                if !used && a[r * m + p].abs() > best {
+                    best = a[r * m + p].abs();
+                    best_row = r;
+                }
+            }
+            if best_row == usize::MAX {
+                dependent.push(p);
+                if dependent.len() > limit {
+                    // More dependent columns than the repair loop would
+                    // ever accept as violators: the attempt is doomed, so
+                    // stop the O(m³) sweep here.
+                    return false;
+                }
+                continue;
+            }
+            row_used[best_row] = true;
+            // Eliminate the pivot row from later columns. Earlier pivot rows
+            // are already zero in column p, so skipping used rows is exact.
+            let piv = a[best_row * m + p];
+            for q in (p + 1)..m {
+                let f = a[best_row * m + q] / piv;
+                if f == 0.0 {
+                    continue;
+                }
+                for (r, used) in row_used.iter().enumerate() {
+                    if !used {
+                        a[r * m + q] -= f * a[r * m + p];
+                    }
+                }
+            }
+        }
+        if dependent.is_empty() {
+            // Full rank by this sweep yet LU refused: numerical trouble the
+            // warm path should not fight.
+            return false;
+        }
+        let mut is_basic = vec![false; self.ncols()];
+        for &j in &self.basis {
+            is_basic[j] = true;
+        }
+        let mut unused: Vec<usize> = (0..m).filter(|&r| !row_used[r]).collect();
+        for &p in &dependent {
+            let Some(pos) = unused.iter().position(|&r| !is_basic[n_struct + r]) else {
+                return false;
+            };
+            let r = unused.swap_remove(pos);
+            let out = self.basis[p];
+            is_basic[out] = false;
+            self.place_nonbasic(out, None);
+            let s = n_struct + r;
+            is_basic[s] = true;
+            self.state[s] = VarState::Basic;
+            self.basis[p] = s;
+        }
+        true
     }
 
     fn set_phase1_costs(&mut self) {
@@ -292,6 +824,8 @@ impl<'a> Worker<'a> {
         for &j in &self.art_cols {
             self.costs[j] = 1.0;
         }
+        // New phase, new devex reference framework.
+        self.devex_w.fill(1.0);
     }
 
     fn set_phase2_costs(&mut self) {
@@ -299,6 +833,7 @@ impl<'a> Worker<'a> {
         for (j, c) in self.costs.iter_mut().enumerate() {
             *c = if j < self.n_real { self.sf.c[j] } else { 0.0 };
         }
+        self.devex_w.fill(1.0);
     }
 
     /// Largest artificial value relative to its own row's magnitude.
@@ -325,27 +860,49 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Rebuild the LU factorization from the current basis and recompute the
-    /// basic values from scratch (limits numerical drift).
+    /// Rebuild the basis factorization and recompute the basic values from
+    /// scratch (limits numerical drift).
     ///
-    /// The `m × m` working matrix is recycled from the previous
-    /// factorization: refactorization happens every few dozen pivots, and on
-    /// large bases the repeated allocation (and its page faults) used to
-    /// dominate the factorization itself.
+    /// Both backends recycle their working storage across calls: the sparse
+    /// path refills the per-column workspace the previous factorization
+    /// drained, the dense path refills the previous factor's `m × m`
+    /// buffer. Refactorization happens every few dozen pivots, and on large
+    /// bases the repeated allocation (and its page faults) used to dominate
+    /// the factorization itself.
     fn refactor(&mut self) -> Result<(), LpError> {
         let m = self.m();
-        let mut dense = match self.lu.take() {
-            Some(old) if old.dim() == m => {
-                let mut buf = old.into_buffer();
-                buf.fill(0.0);
-                buf
+        self.refactors += 1;
+        match self.opts.backend {
+            LuBackend::Sparse => {
+                let mut cols = std::mem::take(&mut self.spcols);
+                cols.resize_with(m, Vec::new);
+                for (i, &j) in self.basis.iter().enumerate() {
+                    cols[i].clear();
+                    self.for_col(j, |r, v| cols[i].push((r, v)));
+                }
+                let res = SparseLu::factorize(m, &mut cols, self.opts.pivot_tol);
+                self.spcols = cols;
+                self.factor = Some(Factor::Sparse(res?));
             }
-            _ => vec![0.0; m * m],
-        };
-        for (i, &j) in self.basis.iter().enumerate() {
-            self.for_col(j, |r, v| dense[r * m + i] = v);
+            LuBackend::Dense => {
+                let mut dense = match self.factor.take() {
+                    Some(Factor::Dense(old)) if old.dim() == m => {
+                        let mut buf = old.into_buffer();
+                        buf.fill(0.0);
+                        buf
+                    }
+                    _ => vec![0.0; m * m],
+                };
+                for (i, &j) in self.basis.iter().enumerate() {
+                    self.for_col(j, |r, v| dense[r * m + i] = v);
+                }
+                self.factor = Some(Factor::Dense(DenseLu::factorize(
+                    m,
+                    dense,
+                    self.opts.pivot_tol,
+                )?));
+            }
         }
-        self.lu = Some(DenseLu::factorize(m, dense, self.opts.pivot_tol)?);
         self.etas.clear();
         self.recompute_basic_values();
         Ok(())
@@ -368,18 +925,22 @@ impl<'a> Worker<'a> {
     }
 
     /// Solve `B t = v` in place.
-    fn ftran(&self, v: &mut [f64]) {
-        self.lu
+    fn ftran(&mut self, v: &mut [f64]) {
+        let Worker {
+            factor,
+            scratch,
+            etas,
+            ..
+        } = self;
+        factor
             .as_ref()
             .expect("basis factorized")
-            .solve_in_place(v);
-        for eta in &self.etas {
-            let tr = v[eta.row] / eta.col[eta.row];
+            .solve_in_place(v, scratch);
+        for eta in etas.iter() {
+            let tr = v[eta.row] / eta.diag;
             if tr != 0.0 {
-                for (i, &w) in eta.col.iter().enumerate() {
-                    if i != eta.row && w != 0.0 {
-                        v[i] -= w * tr;
-                    }
+                for &(i, w) in &eta.nnz {
+                    v[i] -= w * tr;
                 }
             }
             v[eta.row] = tr;
@@ -387,26 +948,39 @@ impl<'a> Worker<'a> {
     }
 
     /// Solve `Bᵀ y = v` in place.
-    fn btran(&self, v: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
+    fn btran(&mut self, v: &mut [f64]) {
+        let Worker {
+            factor,
+            scratch,
+            etas,
+            ..
+        } = self;
+        for eta in etas.iter().rev() {
             let mut s = v[eta.row];
-            for (i, &w) in eta.col.iter().enumerate() {
-                if i != eta.row {
-                    s -= w * v[i];
-                }
+            for &(i, w) in &eta.nnz {
+                s -= w * v[i];
             }
-            v[eta.row] = s / eta.col[eta.row];
+            v[eta.row] = s / eta.diag;
         }
-        self.lu
+        factor
             .as_ref()
             .expect("basis factorized")
-            .solve_transpose_in_place(v);
+            .solve_transpose_in_place(v, scratch);
     }
 
-    /// Simplex multipliers for the *current* cost vector.
-    fn current_duals(&self) -> Vec<f64> {
-        let mut y: Vec<f64> = self.basis.iter().map(|&j| self.costs[j]).collect();
-        self.btran(&mut y);
+    /// Simplex multipliers for the *current* cost vector, into a reused
+    /// buffer.
+    fn current_duals_into(&mut self, y: &mut Vec<f64>) {
+        y.clear();
+        y.extend(self.basis.iter().map(|&j| self.costs[j]));
+        self.btran(y);
+    }
+
+    /// Simplex multipliers for the *current* cost vector (allocating; used
+    /// once per solve for the returned duals).
+    fn current_duals(&mut self) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.current_duals_into(&mut y);
         y
     }
 
@@ -420,9 +994,9 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Pick the entering column, honoring Dantzig or Bland mode. Returns
-    /// `(column, direction)` with direction `+1` (increase from lower/free)
-    /// or `-1` (decrease from upper).
+    /// Pick the entering column, honoring the pricing rule or Bland mode.
+    /// Returns `(column, direction)` with direction `+1` (increase from
+    /// lower/free) or `-1` (decrease from upper).
     fn price(&mut self, y: &[f64]) -> Option<(usize, f64)> {
         let tol = self.opts.tol;
         let n = self.ncols();
@@ -431,16 +1005,24 @@ impl<'a> Worker<'a> {
         } else {
             self.opts.partial_pricing
         };
+        let devex = self.opts.pricing == Pricing::Devex && !self.bland;
         let start = self.price_cursor % n.max(1);
-        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, violation)
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
         let mut eligible_seen = 0usize;
         for step in 0..n {
             // Bland mode must scan in plain index order for its
             // termination guarantee; otherwise rotate from the cursor so
             // partial pricing covers all columns fairly across passes.
             let j = if self.bland { step } else { (start + step) % n };
+            if self.state[j] == VarState::Basic {
+                continue;
+            }
+            // Fixed columns (including pinned artificials) can never move.
+            if self.lb[j] == self.ub[j] {
+                continue;
+            }
             let (dir, viol) = match self.state[j] {
-                VarState::Basic => continue,
+                VarState::Basic => unreachable!(),
                 VarState::AtLower | VarState::Free => {
                     let d = self.reduced_cost(y, j);
                     if d < -tol {
@@ -464,9 +1046,14 @@ impl<'a> Worker<'a> {
                 // Bland: first eligible index wins.
                 return Some((j, dir));
             }
+            let score = if devex {
+                viol * viol / self.devex_w[j]
+            } else {
+                viol
+            };
             match best {
-                Some((_, _, bv)) if bv >= viol => {}
-                _ => best = Some((j, dir, viol)),
+                Some((_, _, bs)) if bs >= score => {}
+                _ => best = Some((j, dir, score)),
             }
             eligible_seen += 1;
             if let Some(w) = window {
@@ -480,22 +1067,112 @@ impl<'a> Worker<'a> {
         best.map(|(j, d, _)| (j, d))
     }
 
+    /// Devex reference-weight update after choosing pivot row `r` for
+    /// entering column `q` with FTRAN'd column `w` (so `w[r]` is the pivot
+    /// element α_rq). Computes the pivot row `α_r = (B⁻ᵀe_r)ᵀ A` sparsely
+    /// through the CSR mirror and applies the classical update
+    /// `w_j = max(w_j, (α_rj/α_rq)² w_q)`.
+    fn devex_update(
+        &mut self,
+        q: usize,
+        r: usize,
+        w: &[f64],
+        rho: &mut [f64],
+        acc: &mut [f64],
+        touched: &mut Vec<usize>,
+    ) {
+        let m = self.m();
+        let wr = w[r];
+        if wr == 0.0 {
+            return;
+        }
+        rho.fill(0.0);
+        rho[r] = 1.0;
+        self.btran(rho);
+        {
+            let csr = self
+                .csr
+                .as_ref()
+                .expect("devex pricing needs the CSR mirror");
+            for i in 0..m {
+                let ri = rho[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for (j, a) in csr.row(i) {
+                    if acc[j] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j] += ri * a;
+                }
+            }
+        }
+        let gq = self.devex_w[q];
+        let mut needs_reset = false;
+        let mut bump = |wj: &mut f64, alpha: f64| {
+            let ratio = alpha / wr;
+            let cand = ratio * ratio * gq;
+            if cand > *wj {
+                *wj = cand;
+                if cand > DEVEX_RESET {
+                    needs_reset = true;
+                }
+            }
+        };
+        for &j in touched.iter() {
+            if j != q && self.state[j] != VarState::Basic && self.lb[j] != self.ub[j] {
+                bump(&mut self.devex_w[j], acc[j]);
+            }
+        }
+        // Artificial columns are signed unit vectors: α_rj = ρ[row]·sign.
+        for k in 0..self.art_cols.len() {
+            let j = self.art_cols[k];
+            if self.state[j] == VarState::Basic || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let row = self.art_row[k];
+            bump(&mut self.devex_w[j], rho[row] * self.art_sign[row]);
+        }
+        // The leaving variable re-enters the nonbasic pool with the weight
+        // the devex recurrence assigns it.
+        let out = self.basis[r];
+        self.devex_w[out] = (gq / (wr * wr)).max(1.0);
+        for &j in touched.iter() {
+            acc[j] = 0.0;
+        }
+        touched.clear();
+        if needs_reset {
+            self.devex_w.fill(1.0);
+        }
+    }
+
     /// One full simplex phase with the current cost vector.
     fn run(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        let n = self.ncols();
+        // Per-phase scratch, reused across every iteration of the loop —
+        // the per-iteration allocations here used to dominate small pivots.
+        let mut y = Vec::with_capacity(m);
+        let mut w = vec![0.0; m];
+        let mut rho = vec![0.0; m];
+        let mut acc = vec![0.0; n];
+        let mut touched: Vec<usize> = Vec::new();
         loop {
-            if self.iterations >= self.opts.max_iterations {
+            let cap = self.iteration_budget.map_or(self.opts.max_iterations, |b| {
+                b.min(self.opts.max_iterations)
+            });
+            if self.iterations >= cap {
                 return Err(LpError::IterationLimit {
                     iterations: self.iterations,
                 });
             }
-            let y = self.current_duals();
+            self.current_duals_into(&mut y);
             let Some((q, dir)) = self.price(&y) else {
                 return Ok(()); // phase optimal
             };
 
             // FTRAN the entering column.
-            let m = self.m();
-            let mut w = vec![0.0; m];
+            w.fill(0.0);
             self.for_col(q, |r, v| w[r] += v);
             self.ftran(&mut w);
 
@@ -507,8 +1184,12 @@ impl<'a> Worker<'a> {
             };
             let mut t = bound_gap;
             let mut leaving: Option<(usize, VarState)> = None;
+            let mut wnnz = 0u64;
             for i in 0..m {
                 let wi = w[i];
+                if wi != 0.0 {
+                    wnnz += 1;
+                }
                 if wi.abs() <= self.opts.pivot_tol {
                     continue;
                 }
@@ -550,6 +1231,7 @@ impl<'a> Worker<'a> {
                     leaving = Some((i, hits));
                 }
             }
+            self.ftran_nnz += wnnz;
 
             if t.is_infinite() {
                 return if self.in_phase1 {
@@ -583,6 +1265,11 @@ impl<'a> Worker<'a> {
                         self.refactor()?;
                         continue;
                     }
+                    // Devex weights must be updated against the basis
+                    // *before* this pivot is applied.
+                    if self.opts.pricing == Pricing::Devex && !self.bland {
+                        self.devex_update(q, r, &w, &mut rho, &mut acc, &mut touched);
+                    }
                     for i in 0..m {
                         if w[i] != 0.0 {
                             self.x[self.basis[i]] -= dir * t * w[i];
@@ -599,7 +1286,14 @@ impl<'a> Worker<'a> {
                     };
                     self.basis[r] = q;
                     self.state[q] = VarState::Basic;
-                    self.etas.push(Eta { row: r, col: w });
+                    let diag = w[r];
+                    let nnz: Vec<(usize, f64)> = w
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &v)| i != r && v != 0.0)
+                        .map(|(i, &v)| (i, v))
+                        .collect();
+                    self.etas.push(Eta { row: r, diag, nnz });
                     if self.etas.len() >= self.opts.refactor_interval {
                         self.refactor()?;
                     }
@@ -925,5 +1619,260 @@ mod tests {
         let y = unb.add_var("y", 0.0, f64::INFINITY, -1.0);
         unb.add_constraint([(y, 1.0)], Cmp::Ge, 1.0);
         assert_eq!(solver.solve(&unb).unwrap_err(), LpError::Unbounded);
+    }
+
+    /// Build a mid-size random LP for backend/pricing agreement tests.
+    fn random_model(seed: u64, n: usize, rows: usize) -> Model {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, 1.0, rng.gen_range(-2.0..2.0)))
+            .collect();
+        for r in 0..rows {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &v in &vars {
+                if rng.gen_bool(0.3) {
+                    terms.push((v, rng.gen_range(0.1..2.0)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let cmp = if r % 3 == 0 { Cmp::Ge } else { Cmp::Le };
+            let rhs = match cmp {
+                Cmp::Ge => rng.gen_range(0.0..0.5) * terms.len() as f64 * 0.3,
+                _ => rng.gen_range(0.3..1.0) * terms.len() as f64 * 0.6,
+            };
+            m.add_constraint(terms, cmp, rhs);
+        }
+        m
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_agree() {
+        for seed in 0..10u64 {
+            let m = random_model(seed, 40, 25);
+            let sparse = RevisedSimplex::with_options(RevisedOptions {
+                backend: LuBackend::Sparse,
+                ..Default::default()
+            })
+            .solve(&m);
+            let dense = RevisedSimplex::with_options(RevisedOptions {
+                backend: LuBackend::Dense,
+                ..Default::default()
+            })
+            .solve(&m);
+            match (sparse, dense) {
+                (Ok(a), Ok(b)) => {
+                    let scale = 1.0 + a.objective().abs().max(b.objective().abs());
+                    assert!(
+                        (a.objective() - b.objective()).abs() / scale < 1e-7,
+                        "seed {seed}: {} vs {}",
+                        a.objective(),
+                        b.objective()
+                    );
+                    assert!(m.is_feasible(a.values(), 1e-6), "seed {seed}");
+                }
+                (a, b) => panic!("seed {seed}: backend disagreement {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn devex_and_dantzig_agree() {
+        for seed in 20..28u64 {
+            let m = random_model(seed, 35, 20);
+            let devex = RevisedSimplex::with_options(RevisedOptions {
+                pricing: Pricing::Devex,
+                ..Default::default()
+            })
+            .solve(&m)
+            .unwrap();
+            let dantzig = RevisedSimplex::with_options(RevisedOptions {
+                pricing: Pricing::Dantzig,
+                partial_pricing: None,
+                ..Default::default()
+            })
+            .solve(&m)
+            .unwrap();
+            let scale = 1.0 + devex.objective().abs().max(dantzig.objective().abs());
+            assert!(
+                (devex.objective() - dantzig.objective()).abs() / scale < 1e-7,
+                "seed {seed}: {} vs {}",
+                devex.objective(),
+                dantzig.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_restart_of_same_model_skips_phase1() {
+        // An equality-constrained model needs phase 1 when cold; re-solving
+        // from its own optimal basis must not.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let cold = m.solve().unwrap();
+        assert!(cold.stats().phase1_iterations > 0);
+        assert_eq!(cold.stats().warm, WarmOutcome::Cold);
+
+        let warm = m.solve_warm(cold.warm_start()).unwrap();
+        assert_eq!(warm.stats().warm, WarmOutcome::Warm);
+        assert_eq!(warm.stats().phase1_iterations, 0);
+        assert_close(warm.objective(), cold.objective());
+        // Optimal basis stays optimal: zero pivots needed.
+        assert_eq!(warm.iterations(), 0);
+    }
+
+    #[test]
+    fn warm_start_with_jittered_costs_matches_cold() {
+        let base = random_model(77, 30, 18);
+        let first = base.solve().unwrap();
+        // Cost-only perturbations keep the basis primal feasible, so the
+        // warm path must engage (feasibility doesn't depend on costs).
+        let mut jittered = Model::minimize();
+        for v in base.var_ids() {
+            let (lb, ub) = base.var_bounds(v);
+            jittered.add_var(
+                base.var_name(v).to_string(),
+                lb,
+                ub,
+                base.var_obj(v) + 0.013 * ((v.index() as f64) * 1.7).sin(),
+            );
+        }
+        for c in base.constraint_ids() {
+            let terms: Vec<_> = base.constraint_terms(c).collect();
+            jittered.add_constraint(terms, base.constraint_cmp(c), base.constraint_rhs(c));
+        }
+        let cold = jittered.solve().unwrap();
+        let warm = jittered.solve_warm(first.warm_start()).unwrap();
+        assert_eq!(warm.stats().warm, WarmOutcome::Warm);
+        let scale = 1.0 + cold.objective().abs();
+        assert!(
+            (warm.objective() - cold.objective()).abs() / scale < 1e-7,
+            "{} vs {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(warm.iterations() <= cold.iterations());
+    }
+
+    #[test]
+    fn warm_start_survives_added_and_removed_rows() {
+        // Named rows let the warm start follow the surviving constraints
+        // even when the row order shifts.
+        let mut base = Model::minimize();
+        let x = base.add_var("x", 0.0, 10.0, 1.0);
+        let y = base.add_var("y", 0.0, 10.0, 2.0);
+        let c0 = base.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let c1 = base.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Ge, 6.0);
+        base.name_constraint(c0, "sum");
+        base.name_constraint(c1, "weighted");
+        let first = base.solve().unwrap();
+
+        // Drop "weighted", add a fresh row, keep "sum" — in a new order.
+        let mut edited = Model::minimize();
+        let x = edited.add_var("x", 0.0, 10.0, 1.0);
+        let y = edited.add_var("y", 0.0, 10.0, 2.0);
+        let z = edited.add_var("z", 0.0, 5.0, 0.5);
+        let cnew = edited.add_constraint([(y, 1.0), (z, 1.0)], Cmp::Ge, 1.0);
+        let csum = edited.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        edited.name_constraint(cnew, "fresh");
+        edited.name_constraint(csum, "sum");
+
+        let cold = edited.solve().unwrap();
+        let warm = edited.solve_warm(first.warm_start()).unwrap();
+        let scale = 1.0 + cold.objective().abs();
+        assert!(
+            (warm.objective() - cold.objective()).abs() / scale < 1e-7,
+            "{} vs {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(edited.is_feasible(warm.values(), 1e-6));
+    }
+
+    #[test]
+    fn warm_start_garbage_falls_back_to_cold() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+
+        // Statuses for a completely different model: nothing matches.
+        let mut alien = WarmStart::new();
+        alien.set_var("a", BasisStatus::Basic);
+        alien.set_var("b", BasisStatus::AtUpper);
+        let sol = m.solve_warm(Some(&alien)).unwrap();
+        assert_eq!(sol.stats().warm, WarmOutcome::Cold);
+        assert_close(sol.objective(), 8.0);
+
+        // Everything claims to be basic: must trim and still solve right.
+        let mut all_basic = WarmStart::new();
+        all_basic.set_var("x", BasisStatus::Basic);
+        all_basic.set_var("y", BasisStatus::Basic);
+        all_basic.set_row("#0", BasisStatus::Basic);
+        let sol = m.solve_warm(Some(&all_basic)).unwrap();
+        assert_close(sol.objective(), 8.0);
+    }
+
+    #[test]
+    fn warm_start_repairs_bound_violations() {
+        // Optimal basis for rhs=4 puts x basic at 4; tightening x's upper
+        // bound to 3 breaks that basis and must trigger the repair path
+        // (or at minimum still reach the new optimum).
+        let mut base = Model::minimize();
+        let x = base.add_var("x", 0.0, 10.0, 1.0);
+        let y = base.add_var("y", 0.0, 10.0, 2.0);
+        base.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let first = base.solve().unwrap();
+        assert_close(first.objective(), 4.0); // x=4, y=0
+
+        let mut tight = Model::minimize();
+        let x = tight.add_var("x", 0.0, 3.0, 1.0);
+        let y = tight.add_var("y", 0.0, 10.0, 2.0);
+        tight.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let warm = tight.solve_warm(first.warm_start()).unwrap();
+        assert_close(warm.objective(), 5.0); // x=3, y=1
+        assert!(tight.is_feasible(warm.values(), 1e-7));
+        assert_ne!(warm.stats().warm, WarmOutcome::Cold);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_after_edit() {
+        let mut base = Model::minimize();
+        let x = base.add_var("x", 0.0, 10.0, 1.0);
+        base.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        let first = base.solve().unwrap();
+
+        let mut broken = Model::minimize();
+        let x = broken.add_var("x", 0.0, 2.0, 1.0);
+        broken.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        assert_eq!(
+            broken.solve_warm(first.warm_start()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn solve_stats_are_populated() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Ge, 6.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.stats().iterations, sol.iterations());
+        assert!(sol.stats().refactors >= 1);
+        assert!(sol.stats().ftran_nnz > 0);
+        assert!(sol.stats().phase1_iterations <= sol.stats().iterations);
+        assert!(sol.warm_start().is_some());
+        let ws = sol.warm_start().unwrap();
+        // Two structural vars + two row slacks recorded.
+        assert_eq!(ws.len(), 4);
     }
 }

@@ -1,6 +1,7 @@
 //! Solver output: status, primal values, objective, and (when available)
-//! dual values.
+//! dual values, solve statistics, and a reusable warm-start basis.
 
+use crate::basis::{WarmOutcome, WarmStart};
 use crate::model::VarId;
 
 /// Termination status of a solve.
@@ -8,6 +9,27 @@ use crate::model::VarId;
 pub enum Status {
     /// An optimal basic feasible solution was found.
     Optimal,
+}
+
+/// Work counters for one solve, for benchmarking and tuning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Total simplex pivots (both phases).
+    pub iterations: usize,
+    /// Pivots spent in phase 1 (zero when a warm basis was already
+    /// feasible).
+    pub phase1_iterations: usize,
+    /// Basis refactorizations performed.
+    pub refactors: usize,
+    /// Nonzeros produced by the entering-column FTRANs, summed over all
+    /// pivots — the honest measure of how much linear algebra the solve
+    /// did, independent of wall clock.
+    pub ftran_nnz: u64,
+    /// How the solve started (cold / warm / warm-after-repair).
+    pub warm: WarmOutcome,
+    /// Wall-clock time of the simplex itself (basis seeding through final
+    /// pivot), excluding model construction and any later certification.
+    pub solve_ms: f64,
 }
 
 /// Result of a successful solve.
@@ -22,6 +44,8 @@ pub struct Solution {
     values: Vec<f64>,
     duals: Vec<f64>,
     iterations: usize,
+    stats: SolveStats,
+    warm_start: Option<WarmStart>,
 }
 
 impl Solution {
@@ -37,7 +61,22 @@ impl Solution {
             values,
             duals,
             iterations,
+            stats: SolveStats {
+                iterations,
+                ..SolveStats::default()
+            },
+            warm_start: None,
         }
+    }
+
+    pub(crate) fn with_stats(mut self, stats: SolveStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    pub(crate) fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
+        self
     }
 
     /// Assemble a solution from raw parts.
@@ -85,11 +124,24 @@ impl Solution {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// Work counters for this solve.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The optimal basis, keyed by names, for seeding the next solve of the
+    /// same or a perturbed model. `None` for solutions not produced by the
+    /// revised simplex (the dense oracle, hand-built solutions).
+    pub fn warm_start(&self) -> Option<&WarmStart> {
+        self.warm_start.as_ref()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::basis::BasisStatus;
 
     #[test]
     fn accessors_roundtrip() {
@@ -100,5 +152,28 @@ mod tests {
         assert_eq!(s.value_of(VarId(1)), 1.0);
         assert_eq!(s.duals(), &[2.0]);
         assert_eq!(s.iterations(), 7);
+        assert_eq!(s.stats().iterations, 7);
+        assert_eq!(s.stats().warm, WarmOutcome::Cold);
+        assert!(s.warm_start().is_none());
+    }
+
+    #[test]
+    fn stats_and_warm_start_attach() {
+        let mut ws = WarmStart::new();
+        ws.set_var("x", BasisStatus::Basic);
+        let s = Solution::new(0.0, vec![], vec![], 3)
+            .with_stats(SolveStats {
+                iterations: 3,
+                phase1_iterations: 1,
+                refactors: 2,
+                ftran_nnz: 42,
+                warm: WarmOutcome::Warm,
+                solve_ms: 0.0,
+            })
+            .with_warm_start(ws);
+        assert_eq!(s.stats().phase1_iterations, 1);
+        assert_eq!(s.stats().ftran_nnz, 42);
+        assert_eq!(s.stats().warm, WarmOutcome::Warm);
+        assert_eq!(s.warm_start().unwrap().var("x"), Some(BasisStatus::Basic));
     }
 }

@@ -118,6 +118,72 @@ impl CscMatrix {
     }
 }
 
+/// Compressed-sparse-row mirror of a [`CscMatrix`].
+///
+/// Devex pricing needs the row-oriented access pattern "iterate the nonzeros
+/// of row i" to turn a BTRAN'd pivot row `ρ = B⁻ᵀe_r` into the dense pivot
+/// row `α_r = ρᵀA` in time proportional to the touched nonzeros. Built once
+/// per solve; the matrix itself never changes during a solve.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Transpose-copy a CSC matrix into row-major form.
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        let (nrows, ncols, nnz) = (a.nrows(), a.ncols(), a.nnz());
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &r in &a.row_idx {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        // Cursor per row while scattering column-by-column (keeps each row's
+        // entries sorted by column, since CSC columns are visited in order).
+        let mut cursor = row_ptr.clone();
+        for j in 0..ncols {
+            for (r, v) in a.col(j) {
+                let at = cursor[r];
+                col_idx[at] = j;
+                values[at] = v;
+                cursor[r] = at + 1;
+            }
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Nonzeros of row `i` as `(col, value)` pairs, sorted by column.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +243,14 @@ mod tests {
     #[should_panic]
     fn out_of_range_triplet_panics() {
         CscMatrix::from_triplets(1, 1, [(1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn csr_mirror_matches_csc() {
+        let m = sample();
+        let csr = CsrMatrix::from_csc(&m);
+        assert_eq!((csr.nrows(), csr.ncols()), (2, 3));
+        assert_eq!(csr.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(csr.row(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
     }
 }
