@@ -18,9 +18,10 @@
 use std::collections::HashMap;
 
 use lips_cluster::{DataId, StoreId};
+use lips_lp::{WarmOutcome, WarmStart};
 use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
 
-use crate::lp_build::{solve, LpInstance, LpJob, PruneConfig};
+use crate::lp_build::{solve_warm, LpInstance, LpJob, PruneConfig};
 
 /// Tuning for [`LipsScheduler`].
 #[derive(Debug, Clone)]
@@ -55,6 +56,15 @@ pub struct LipsConfig {
     /// if the fairness floors make an epoch LP infeasible the scheduler
     /// retries without them.
     pub fairness: f64,
+    /// Seed each epoch's LP from the previous epoch's optimal basis.
+    /// Successive epoch LPs are structurally near-identical (same machine
+    /// and store rows, a few job columns added/removed, costs drifting as
+    /// work completes), so the previous basis is usually a few pivots from
+    /// the new optimum. The solver falls back to a cold solve on its own
+    /// whenever the saved basis cannot be salvaged; disabling this only
+    /// forces every solve cold (an ablation/debugging knob — the optimum
+    /// never depends on it).
+    pub warm_start: bool,
 }
 
 impl Default for LipsConfig {
@@ -69,6 +79,7 @@ impl Default for LipsConfig {
             min_task_fraction: 0.05,
             enforce_transfer_time: true,
             fairness: 0.0,
+            warm_start: true,
         }
     }
 }
@@ -108,6 +119,14 @@ pub struct LipsScheduler {
     /// tracks nothing extra — retained for the read ledger only.
     solves: usize,
     lp_failures: usize,
+    /// Optimal basis of the previous epoch's LP, reused to warm-start the
+    /// next one (`None` before the first solve or with warm starts off).
+    basis: Option<WarmStart>,
+    /// Epoch solves that actually started from the previous basis
+    /// (feasible as-is or after repair).
+    warm_solves: usize,
+    /// Total simplex pivots across all epoch solves.
+    lp_iterations: usize,
 }
 
 impl LipsScheduler {
@@ -117,6 +136,9 @@ impl LipsScheduler {
             issued: HashMap::new(),
             solves: 0,
             lp_failures: 0,
+            basis: None,
+            warm_solves: 0,
+            lp_iterations: 0,
         }
     }
 
@@ -136,6 +158,17 @@ impl LipsScheduler {
     /// Number of LP failures absorbed by the greedy fallback.
     pub fn lp_failures(&self) -> usize {
         self.lp_failures
+    }
+
+    /// Number of epoch solves that started from the previous epoch's basis
+    /// (skipping or shortening phase 1).
+    pub fn warm_solves(&self) -> usize {
+        self.warm_solves
+    }
+
+    /// Total simplex pivots across all epoch solves so far.
+    pub fn lp_iterations(&self) -> usize {
+        self.lp_iterations
     }
 
     fn unread(&self, ctx: &SchedulerContext<'_>, data: DataId, store: StoreId) -> f64 {
@@ -303,15 +336,28 @@ impl Scheduler for LipsScheduler {
             },
         };
         self.solves += 1;
-        let sched = match solve(&inst) {
-            Ok(s) => s,
+        // Epoch e+1 starts from epoch e's optimal basis. `take` so a failed
+        // solve drops the stale basis instead of retrying it forever.
+        let warm = if self.config.warm_start {
+            self.basis.take()
+        } else {
+            None
+        };
+        let sched = match solve_warm(&inst, warm.as_ref()) {
+            Ok((s, next)) => {
+                self.basis = Some(next);
+                s
+            }
             Err(_) if !inst.pool_floors.is_empty() => {
                 // Fairness floors can conflict with data/capacity
                 // constraints; cost-only scheduling is the sane fallback.
                 let mut relaxed = inst.clone();
                 relaxed.pool_floors.clear();
-                match solve(&relaxed) {
-                    Ok(s) => s,
+                match solve_warm(&relaxed, warm.as_ref()) {
+                    Ok((s, next)) => {
+                        self.basis = Some(next);
+                        s
+                    }
                     Err(_) => {
                         self.lp_failures += 1;
                         return self.greedy_fallback(ctx);
@@ -323,6 +369,10 @@ impl Scheduler for LipsScheduler {
                 return self.greedy_fallback(ctx);
             }
         };
+        self.lp_iterations += sched.stats.iterations;
+        if sched.stats.warm != WarmOutcome::Cold {
+            self.warm_solves += 1;
+        }
 
         let mut actions: Vec<Action> = Vec::new();
         // Track how much will be present at each (data, store) after the
@@ -546,6 +596,68 @@ mod tests {
         assert_eq!(report.outcomes.len(), 3);
         assert!(sched.solves() > 0);
         assert_eq!(sched.lp_failures(), 0);
+    }
+
+    #[test]
+    fn epochs_warm_start_from_previous_basis() {
+        // Across a multi-epoch run, most solves after the first should find
+        // the previous basis usable (same machine rows, drifting jobs).
+        // Not necessarily all: an epoch whose block transfers restructure
+        // a large share of the LP's rows deliberately falls back cold —
+        // repairing that much of the basis is worse than the crash basis.
+        // The workload must overflow one epoch's capacity so the fake node
+        // defers work and the loop actually re-solves.
+        let jobs = vec![
+            JobSpec::new(0, "big-g", JobKind::Stress2, 16384.0, 256),
+            JobSpec::new(1, "big-w", JobKind::WordCount, 16384.0, 256),
+        ];
+        let mut cluster = ec2_20_node(0.5, 1e9);
+        let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
+        let placement = Placement::spread_blocks(&cluster, 1);
+        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(200.0));
+        Simulation::new(&cluster, &bound)
+            .with_placement(placement)
+            .run(&mut sched)
+            .unwrap();
+        assert!(sched.solves() > 1, "need a multi-epoch run");
+        assert!(
+            sched.warm_solves() >= sched.solves() / 2,
+            "only {}/{} solves warm-started",
+            sched.warm_solves(),
+            sched.solves()
+        );
+        assert_eq!(sched.lp_failures(), 0);
+    }
+
+    #[test]
+    fn warm_and_cold_epoch_loops_agree_on_cost() {
+        // The warm start must never change scheduling outcomes, only the
+        // pivot path: identical runs with it on and off land on the same
+        // total dollars (the LPs here have unique optima per epoch).
+        let run = |warm: bool| {
+            let mut cluster = ec2_20_node(0.5, 1e9);
+            let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
+            let placement = Placement::spread_blocks(&cluster, 9);
+            let mut cfg = LipsConfig::small_cluster(400.0);
+            cfg.warm_start = warm;
+            let mut sched = LipsScheduler::new(cfg);
+            let report = Simulation::new(&cluster, &bound)
+                .with_placement(placement)
+                .run(&mut sched)
+                .unwrap();
+            (report.metrics.total_dollars(), sched.lp_iterations())
+        };
+        let (warm_cost, warm_iters) = run(true);
+        let (cold_cost, cold_iters) = run(false);
+        let scale = 1.0 + cold_cost.abs();
+        assert!(
+            (warm_cost - cold_cost).abs() / scale < 1e-6,
+            "warm ${warm_cost} vs cold ${cold_cost}"
+        );
+        assert!(
+            warm_iters <= cold_iters,
+            "warm start cost extra pivots: {warm_iters} vs {cold_iters}"
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::collections::HashMap;
 
 use lips_audit::{Certificate, ModelAnnotations, PaperExpectations, RowKind, VarKind};
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
-use lips_lp::{Cmp, LpError, Model, VarId};
+use lips_lp::{Cmp, LpError, Model, SolveStats, VarId, WarmStart};
 use lips_workload::JobId;
 
 /// One job as the LP sees it: remaining divisible work plus current data
@@ -123,6 +123,9 @@ pub struct FractionalSchedule {
     pub lp_objective: f64,
     /// Simplex pivots used.
     pub iterations: usize,
+    /// Full solver work counters (pivots, phase-1 split, FTRAN nonzeros,
+    /// warm-start outcome) for benchmarking the epoch loop.
+    pub stats: SolveStats,
 }
 
 /// One planned-copy variable: fraction of job `job`'s data copied to
@@ -213,8 +216,12 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
     }
 
     // --- variables ------------------------------------------------------
+    // Variable names are keyed by *job id* (not LP index): ids are stable
+    // across epochs while indices shift as jobs complete and arrive, and
+    // the warm-start basis is matched by name (see `solve_warm`).
     for (k, job) in inst.jobs.iter().enumerate() {
         let work = job.work_ecu();
+        let id = job.id.0;
         if job.size_mb > 0.0 {
             for &l in &job_machines[k] {
                 let cpu_price = cluster.machine(l).cpu_cost;
@@ -222,7 +229,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                     // Eq (7)+(8): CPU dollars + read dollars per unit
                     // fraction.
                     let cost = work * cpu_price + job.size_mb * cluster.ms_cost(l, m);
-                    let v = model.add_var(format!("xt_{k}_{}_{}", l.0, m.0), 0.0, 1.0, cost);
+                    let v = model.add_var(format!("xt_{id}_{}_{}", l.0, m.0), 0.0, 1.0, cost);
                     maps.xt.insert((k, l, Some(m)), v);
                     maps.ann.annotate_var(
                         v,
@@ -258,6 +265,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                             .then(a.0.cmp(&b.0))
                     });
                     let mut i = 0;
+                    let mut cls = 0;
                     while i < holders.len() {
                         let price = cluster.ss_cost(holders[i].0, m);
                         let mut sources = Vec::new();
@@ -267,14 +275,18 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
                             stock += holders[i].1;
                             i += 1;
                         }
-                        // Eq (6): move dollars per unit fraction.
+                        // Eq (6): move dollars per unit fraction. The name's
+                        // class index counts price classes within this
+                        // (job, dest) pair, cheapest first — stable across
+                        // epochs as long as the holder set is.
                         let cost = job.size_mb * price;
                         let v = model.add_var(
-                            format!("nd_{k}_{}_{}", m.0, maps.nd.len()),
+                            format!("nd_{id}_{}_{cls}", m.0),
                             0.0,
                             stock.min(1.0),
                             cost,
                         );
+                        cls += 1;
                         maps.ann
                             .annotate_var(v, VarKind::NewCopy { job: k, dest: m });
                         maps.nd.push(NdVar {
@@ -290,7 +302,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             // Input-less job: one variable per machine.
             for &l in &job_machines[k] {
                 let cost = work * cluster.machine(l).cpu_cost;
-                let v = model.add_var(format!("xt_{k}_{}", l.0), 0.0, 1.0, cost);
+                let v = model.add_var(format!("xt_{id}_{}", l.0), 0.0, 1.0, cost);
                 maps.xt.insert((k, l, None), v);
                 maps.ann.annotate_var(
                     v,
@@ -303,7 +315,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             }
         }
         if let Some(fc) = inst.fake_cost {
-            let v = model.add_var(format!("fake_{k}"), 0.0, 1.0, work.max(1e-9) * fc);
+            let v = model.add_var(format!("fake_{id}"), 0.0, 1.0, work.max(1e-9) * fc);
             maps.fake.insert(k, v);
             maps.ann.annotate_var(v, VarKind::Fake { job: k });
         }
@@ -326,6 +338,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             terms.push((f, 1.0));
         }
         let row = model.add_constraint(terms, Cmp::Ge, 1.0);
+        model.name_constraint(row, format!("cov_{}", job.id.0));
         maps.ann.annotate_row(row, RowKind::Coverage { job: k });
     }
 
@@ -345,6 +358,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             }
             let a = avail.get(&m).copied().unwrap_or(0.0).min(1.0);
             let row = model.add_constraint(terms, Cmp::Le, a);
+            model.name_constraint(row, format!("lnk_{}_{}", job.id.0, m.0));
             maps.ann
                 .annotate_row(row, RowKind::Linking { job: k, store: m });
         }
@@ -369,6 +383,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         if !terms.is_empty() {
             let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
             let row = model.add_constraint(terms, Cmp::Le, cap);
+            model.name_constraint(row, format!("cpu_{}", mid.0));
             maps.ann.annotate_row(row, RowKind::CpuCap { machine: mid });
             maps.capacity_rows.push((mid, row));
         }
@@ -390,6 +405,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             if !terms.is_empty() {
                 let budget = inst.duration * f64::from(cluster.machine(mid).slots);
                 let row = model.add_constraint(terms, Cmp::Le, budget);
+                model.name_constraint(row, format!("xfer_{}", mid.0));
                 maps.ann
                     .annotate_row(row, RowKind::TransferTime { machine: mid });
             }
@@ -417,6 +433,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         }
         if !terms.is_empty() {
             let row = model.add_constraint(terms, Cmp::Ge, *min_ecu);
+            model.name_constraint(row, format!("pool_{pool}"));
             maps.ann.annotate_row(row, RowKind::PoolFloor { pool });
         }
     }
@@ -440,6 +457,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         stores.sort_by_key(|(s, _)| *s);
         for (s, terms) in stores {
             let row = model.add_constraint(terms, Cmp::Le, free(s).max(0.0));
+            model.name_constraint(row, format!("store_{}", s.0));
             maps.ann.annotate_row(row, RowKind::StoreCap { store: s });
         }
     }
@@ -525,20 +543,45 @@ pub fn audit_instance(inst: &LpInstance<'_>) -> Vec<lips_audit::Lint> {
 pub fn solve_certified(
     inst: &LpInstance<'_>,
 ) -> Result<(FractionalSchedule, Certificate), LpError> {
+    let (schedule, cert, _) = solve_certified_warm(inst, None)?;
+    Ok((schedule, cert))
+}
+
+/// Like [`solve_certified`], seeding the simplex from a prior epoch's basis
+/// and returning this solve's basis for chaining. Certification is
+/// unconditional: a warm start must never be able to smuggle a wrong
+/// "optimal" schedule past the verifier.
+pub fn solve_certified_warm(
+    inst: &LpInstance<'_>,
+    warm: Option<&WarmStart>,
+) -> Result<(FractionalSchedule, Certificate, WarmStart), LpError> {
     let (model, maps) = build(inst);
-    let sol = model.solve()?;
+    let sol = model.solve_warm(warm)?;
     let cert = lips_audit::certify(&model, &sol).expect("revised simplex always reports duals");
     assert!(
         cert.is_optimal(),
         "LP solution failed independent certification: {cert}"
     );
+    let next = sol.warm_start().cloned().unwrap_or_default();
     let schedule = decode(inst, &maps, &sol);
-    Ok((schedule, cert))
+    Ok((schedule, cert, next))
 }
 
 /// Build and solve; decode into a [`FractionalSchedule`].
 pub fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, LpError> {
     Ok(solve_with_shadow_prices(inst)?.0)
+}
+
+/// Like [`solve`], seeding the simplex from a prior epoch's optimal basis
+/// (see [`lips_lp::WarmStart`]) and returning this solve's basis for the
+/// next epoch. `None` or an unusable basis degrades to a cold solve — the
+/// optimum is identical either way, only the pivot count changes.
+pub fn solve_warm(
+    inst: &LpInstance<'_>,
+    warm: Option<&WarmStart>,
+) -> Result<(FractionalSchedule, WarmStart), LpError> {
+    let (sched, _, next) = solve_warm_with_shadow_prices(inst, warm)?;
+    Ok((sched, next))
 }
 
 /// Like [`solve`], additionally returning the shadow price of each
@@ -548,8 +591,22 @@ pub fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, LpError> {
 pub fn solve_with_shadow_prices(
     inst: &LpInstance<'_>,
 ) -> Result<(FractionalSchedule, Vec<(MachineId, f64)>), LpError> {
+    let (sched, shadows, _) = solve_warm_with_shadow_prices(inst, None)?;
+    Ok((sched, shadows))
+}
+
+/// What a warm-started epoch solve hands back: the schedule, per-machine
+/// shadow prices, and the optimal basis for chaining into the next epoch.
+pub type WarmSolveParts = (FractionalSchedule, Vec<(MachineId, f64)>, WarmStart);
+
+/// The full epoch-loop entry point: warm-started solve returning the
+/// schedule, machine shadow prices, and the optimal basis for chaining.
+pub fn solve_warm_with_shadow_prices(
+    inst: &LpInstance<'_>,
+    warm: Option<&WarmStart>,
+) -> Result<WarmSolveParts, LpError> {
     let (model, maps) = build(inst);
-    let sol = model.solve()?;
+    let sol = model.solve_warm(warm)?;
     // Every solved epoch is certified: a wrong "optimal" schedule corrupts
     // every dollar figure downstream. The check is O(nnz), noise next to
     // the solve itself.
@@ -570,7 +627,8 @@ pub fn solve_with_shadow_prices(
             )
         })
         .collect();
-    Ok((decode(inst, &maps, &sol), shadows))
+    let next = sol.warm_start().cloned().unwrap_or_default();
+    Ok((decode(inst, &maps, &sol), shadows, next))
 }
 
 /// Decode a solved LP back into schedule entities.
@@ -625,6 +683,7 @@ fn decode(inst: &LpInstance<'_>, maps: &VarMaps, sol: &lips_lp::Solution) -> Fra
         predicted_dollars: sol.objective() - fake_dollars,
         lp_objective: sol.objective(),
         iterations: sol.iterations(),
+        stats: *sol.stats(),
     }
 }
 
