@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use lips_bench::lp_epoch::run_epochs;
 use lips_cluster::{ec2_mixed_cluster, DataId, StoreId};
 use lips_core::lp_build::{solve, LpInstance, LpJob, PruneConfig};
 use lips_lp::revised::{RevisedOptions, RevisedSimplex};
@@ -53,6 +54,25 @@ fn bench_epoch_lp(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("J{jobs}_M{machines}")),
             &inst,
             |b, inst| b.iter(|| black_box(solve(inst).unwrap().predicted_dollars)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_epoch_sequence(c: &mut Criterion) {
+    // The warm-start story end to end: a whole chained epoch sequence per
+    // iteration, cold vs warm, on a mid-size cluster (the full 100-node,
+    // 20-epoch acceptance numbers come from the `lp_bench` binary).
+    let cluster = ec2_mixed_cluster(50, 0.4, 1e9, 1);
+    let mut g = c.benchmark_group("epoch_sequence");
+    g.sample_size(10);
+    for warm in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if warm { "warm" } else { "cold" }),
+            &warm,
+            |b, &warm| {
+                b.iter(|| black_box(run_epochs(&cluster, 16, 2, 3, 8, warm).total_iterations));
+            },
         );
     }
     g.finish();
@@ -116,6 +136,7 @@ fn bench_refactor_interval(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_epoch_lp,
+    bench_epoch_sequence,
     bench_raw_simplex,
     bench_refactor_interval
 );

@@ -1,0 +1,113 @@
+//! Epoch-loop LP solver benchmark: 20 consecutive Fig-4 epochs on the
+//! large-cluster configuration, cold starts vs warm-start chaining.
+//!
+//! Prints a per-epoch table and the cold/warm totals; with `--json`,
+//! additionally writes `BENCH_lp_epoch.json` in the current directory so
+//! the README perf table and CI gates can consume the numbers.
+//!
+//! Flags: `--json`, `--jobs N` (default 32), `--epochs N` (default 20),
+//! `--churn N` (default 2), `--churn-every N` (default 5 — a LiPS epoch
+//! is ~2000 s, so a Table-IV-sized job spans several epochs before a
+//! departure/arrival pair perturbs the LP's structure).
+
+use lips_bench::lp_epoch::{large_cluster, run_epochs, EpochRun, EPOCHS};
+use lips_bench::Table;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchReport {
+    config: String,
+    cold: EpochRun,
+    warm: EpochRun,
+    /// cold ÷ warm total simplex iterations (higher = warm wins).
+    iteration_ratio: f64,
+    /// cold ÷ warm total solve wall-time.
+    walltime_ratio: f64,
+    /// cold ÷ warm total FTRAN nonzeros.
+    ftran_nnz_ratio: f64,
+}
+
+fn flag_value(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = flag_value(&args, "--jobs", 32);
+    let epochs = flag_value(&args, "--epochs", EPOCHS);
+    let churn = flag_value(&args, "--churn", 2);
+    let churn_every = flag_value(&args, "--churn-every", 5);
+
+    let cluster = large_cluster();
+    let config = format!(
+        "{} nodes, {jobs} jobs/epoch, churn {churn} every {churn_every} epochs, {epochs} epochs",
+        cluster.machines.len()
+    );
+    println!("LP epoch-sequence benchmark — {config}\n");
+
+    let cold = run_epochs(&cluster, jobs, churn, churn_every, epochs, false);
+    let warm = run_epochs(&cluster, jobs, churn, churn_every, epochs, true);
+
+    let mut t = Table::new([
+        "epoch",
+        "cold iters",
+        "cold ms",
+        "warm iters",
+        "warm ms",
+        "start",
+    ]);
+    for (c, w) in cold.epochs.iter().zip(&warm.epochs) {
+        t.row([
+            c.epoch.to_string(),
+            c.iterations.to_string(),
+            format!("{:.2}", c.solve_ms),
+            w.iterations.to_string(),
+            format!("{:.2}", w.solve_ms),
+            w.warm.clone(),
+        ]);
+    }
+    t.print();
+
+    let ratio = |c: f64, w: f64| if w > 0.0 { c / w } else { f64::INFINITY };
+    let report = BenchReport {
+        iteration_ratio: ratio(cold.total_iterations as f64, warm.total_iterations as f64),
+        walltime_ratio: ratio(cold.total_solve_ms, warm.total_solve_ms),
+        ftran_nnz_ratio: ratio(cold.total_ftran_nnz as f64, warm.total_ftran_nnz as f64),
+        config,
+        cold,
+        warm,
+    };
+    println!(
+        "\ntotals: cold {} iters / {:.1} ms / {} FTRAN nnz",
+        report.cold.total_iterations, report.cold.total_solve_ms, report.cold.total_ftran_nnz
+    );
+    println!(
+        "        warm {} iters / {:.1} ms / {} FTRAN nnz ({}/{} epochs warm-started)",
+        report.warm.total_iterations,
+        report.warm.total_solve_ms,
+        report.warm.total_ftran_nnz,
+        report.warm.warm_solves,
+        epochs.saturating_sub(1).max(1)
+    );
+    println!(
+        "speedup: {:.2}x iterations, {:.2}x wall-time, {:.2}x FTRAN nnz; all certified: {}",
+        report.iteration_ratio,
+        report.walltime_ratio,
+        report.ftran_nnz_ratio,
+        report.cold.all_certified && report.warm.all_certified
+    );
+
+    if args.iter().any(|a| a == "--json") {
+        let path = "BENCH_lp_epoch.json";
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )
+        .expect("write BENCH_lp_epoch.json");
+        println!("wrote {path}");
+    }
+}

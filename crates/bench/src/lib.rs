@@ -16,6 +16,7 @@
 pub mod audit_gate;
 pub mod experiments;
 pub mod fig5;
+pub mod lp_epoch;
 pub mod matchup;
 pub mod report;
 pub mod table;

@@ -1,0 +1,195 @@
+//! The 20-epoch cold-vs-warm LP workload behind `BENCH_lp_epoch.json`.
+//!
+//! Models the scheduler's steady state. A LiPS epoch is ~2000 s and the
+//! Table-IV jobs run for hours, so consecutive epochs almost always see
+//! the *same* job set with shrinking remaining data (transfers and maps
+//! completed last epoch), and only occasionally a departure + arrival.
+//! The sequence here mirrors that: sizes decay a few percent per epoch of
+//! a job's age, and every `churn_every` epochs `churn` jobs complete and
+//! are replaced by fresh ones. Cold mode solves each epoch from scratch;
+//! warm mode chains each epoch's optimal basis into the next via
+//! [`lips_core::lp_build::solve_certified_warm`]. Every epoch is
+//! KKT-certified in both modes, so the comparison can never trade
+//! correctness for speed.
+
+use lips_cluster::{ec2_mixed_cluster, Cluster, DataId, StoreId};
+use lips_core::lp_build::{solve_certified_warm, LpInstance, LpJob, PruneConfig};
+use lips_lp::{WarmOutcome, WarmStart};
+use lips_workload::JobId;
+use serde::Serialize;
+
+/// Epoch count used by the benchmark and the acceptance gate.
+pub const EPOCHS: usize = 20;
+
+/// The large-cluster configuration of the acceptance criterion: 100 nodes,
+/// 40 % c1.medium, Fig-6 three-zone layout.
+pub fn large_cluster() -> Cluster {
+    ec2_mixed_cluster(100, 0.4, 1e9, 1)
+}
+
+/// One epoch's solver telemetry.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub jobs: usize,
+    pub iterations: usize,
+    pub phase1_iterations: usize,
+    pub refactors: usize,
+    pub ftran_nnz: u64,
+    /// `"Cold"`, `"Warm"`, or `"WarmRepaired"`.
+    pub warm: String,
+    /// Simplex wall-time as reported by the solver (excludes model
+    /// construction and certification, which are identical in both modes).
+    pub solve_ms: f64,
+    pub objective: f64,
+    pub certified: bool,
+}
+
+/// A full epoch sequence under one starting policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRun {
+    pub mode: String,
+    pub epochs: Vec<EpochRecord>,
+    pub total_iterations: usize,
+    pub total_solve_ms: f64,
+    pub total_ftran_nnz: u64,
+    /// Epochs that actually started from the previous basis (warm mode
+    /// only; the first epoch is always cold).
+    pub warm_solves: usize,
+    pub all_certified: bool,
+}
+
+/// Job set of epoch `e`: a sliding window over job ids that advances by
+/// `churn` every `churn_every` epochs, with each surviving job's remaining
+/// data shrinking ~3 % per epoch of age (work completed since arrival).
+fn epoch_jobs(
+    cluster: &Cluster,
+    epoch: usize,
+    base_jobs: usize,
+    churn: usize,
+    churn_every: usize,
+) -> Vec<LpJob> {
+    let first = (epoch / churn_every.max(1)) * churn;
+    (first..first + base_jobs)
+        .map(|k| {
+            // Epoch the sliding window first reached job k.
+            let arrived = if k < base_jobs {
+                0
+            } else {
+                ((k - base_jobs) / churn.max(1) + 1) * churn_every.max(1)
+            };
+            let age = epoch.saturating_sub(arrived);
+            let remaining = 0.97f64.powi(age as i32).max(0.25);
+            LpJob {
+                id: JobId(k),
+                data: Some(DataId(k)),
+                size_mb: 2048.0 * remaining,
+                tcp: 1.0,
+                fixed_ecu: 0.0,
+                avail: vec![(StoreId(k % cluster.num_stores()), 1.0)],
+            }
+        })
+        .collect()
+}
+
+/// Run `epochs` consecutive Fig-4 solves on `cluster`, either chaining
+/// warm-start bases (`warm = true`) or cold-starting every epoch.
+pub fn run_epochs(
+    cluster: &Cluster,
+    base_jobs: usize,
+    churn: usize,
+    churn_every: usize,
+    epochs: usize,
+    warm: bool,
+) -> EpochRun {
+    let mut basis: Option<WarmStart> = None;
+    let mut out = EpochRun {
+        mode: if warm { "warm" } else { "cold" }.to_string(),
+        epochs: Vec::with_capacity(epochs),
+        total_iterations: 0,
+        total_solve_ms: 0.0,
+        total_ftran_nnz: 0,
+        warm_solves: 0,
+        all_certified: true,
+    };
+    for e in 0..epochs {
+        let jobs = epoch_jobs(cluster, e, base_jobs, churn, churn_every);
+        let n_jobs = jobs.len();
+        let inst = LpInstance {
+            cluster,
+            jobs,
+            duration: 600.0,
+            fake_cost: Some(1.0),
+            allow_moves: true,
+            enforce_transfer_time: true,
+            store_free_mb: vec![],
+            pool_floors: vec![],
+            prune: PruneConfig {
+                max_machines_per_job: Some(16),
+                max_new_stores_per_job: Some(6),
+            },
+        };
+        let seed = if warm { basis.as_ref() } else { None };
+        let (sched, cert, next) = solve_certified_warm(&inst, seed).expect("epoch LP solves");
+        basis = Some(next);
+
+        let stats = sched.stats;
+        if stats.warm != WarmOutcome::Cold {
+            out.warm_solves += 1;
+        }
+        out.total_iterations += stats.iterations;
+        out.total_solve_ms += stats.solve_ms;
+        out.total_ftran_nnz += stats.ftran_nnz;
+        out.all_certified &= cert.is_optimal();
+        out.epochs.push(EpochRecord {
+            epoch: e,
+            jobs: n_jobs,
+            iterations: stats.iterations,
+            phase1_iterations: stats.phase1_iterations,
+            refactors: stats.refactors,
+            ftran_nnz: stats.ftran_nnz,
+            warm: format!("{:?}", stats.warm),
+            solve_ms: stats.solve_ms,
+            objective: sched.predicted_dollars,
+            certified: cert.is_optimal(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_sequence_chains_bases_and_certifies() {
+        // Small config so the test stays fast; the full large-cluster
+        // numbers are produced by the `lp_bench` binary.
+        let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, false);
+        let warm = run_epochs(&cluster, 8, 1, 3, 6, true);
+        assert!(cold.all_certified && warm.all_certified);
+        assert_eq!(cold.warm_solves, 0);
+        assert!(
+            warm.warm_solves >= 3,
+            "only {}/4 possible epochs warm-started",
+            warm.warm_solves
+        );
+        assert!(
+            warm.total_iterations < cold.total_iterations,
+            "warm {} vs cold {} iterations",
+            warm.total_iterations,
+            cold.total_iterations
+        );
+        // Same models, same optima regardless of starting basis.
+        for (a, b) in cold.epochs.iter().zip(&warm.epochs) {
+            assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "epoch {}: cold {} vs warm {}",
+                a.epoch,
+                a.objective,
+                b.objective
+            );
+        }
+    }
+}
