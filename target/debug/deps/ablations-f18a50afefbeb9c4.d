@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f18a50afefbeb9c4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f18a50afefbeb9c4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-8f932933ff36cfba.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/advisor-8f932933ff36cfba: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

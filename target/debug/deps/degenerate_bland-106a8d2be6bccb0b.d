@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate_bland-106a8d2be6bccb0b.d: crates/audit/tests/degenerate_bland.rs
+
+/root/repo/target/debug/deps/degenerate_bland-106a8d2be6bccb0b: crates/audit/tests/degenerate_bland.rs
+
+crates/audit/tests/degenerate_bland.rs:

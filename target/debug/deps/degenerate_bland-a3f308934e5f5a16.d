@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degenerate_bland-a3f308934e5f5a16.d: crates/audit/tests/degenerate_bland.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegenerate_bland-a3f308934e5f5a16.rmeta: crates/audit/tests/degenerate_bland.rs Cargo.toml
+
+crates/audit/tests/degenerate_bland.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

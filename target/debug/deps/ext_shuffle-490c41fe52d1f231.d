@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shuffle-490c41fe52d1f231.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/debug/deps/ext_shuffle-490c41fe52d1f231: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-e71c4fed1ec6f97c.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-e71c4fed1ec6f97c: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

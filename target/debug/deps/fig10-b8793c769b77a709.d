@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b8793c769b77a709.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b8793c769b77a709: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

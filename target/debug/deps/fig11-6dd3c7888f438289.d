@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-6dd3c7888f438289.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-6dd3c7888f438289: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

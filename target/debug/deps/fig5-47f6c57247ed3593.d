@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-47f6c57247ed3593.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-47f6c57247ed3593: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a937659b70078fed.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a937659b70078fed: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-15a34530bc565089.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-15a34530bc565089: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

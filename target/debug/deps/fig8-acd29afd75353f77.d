@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-acd29afd75353f77.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-acd29afd75353f77: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

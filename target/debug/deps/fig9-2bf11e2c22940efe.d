@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2bf11e2c22940efe.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2bf11e2c22940efe: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lips-31117e7a98235eae.d: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-31117e7a98235eae.rlib: src/lib.rs src/experiment.rs
+
+/root/repo/target/debug/deps/liblips-31117e7a98235eae.rmeta: src/lib.rs src/experiment.rs
+
+src/lib.rs:
+src/experiment.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips_audit-e33dedb6496e0350.d: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/debug/deps/liblips_audit-e33dedb6496e0350.rlib: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+/root/repo/target/debug/deps/liblips_audit-e33dedb6496e0350.rmeta: crates/audit/src/lib.rs crates/audit/src/certificate.rs crates/audit/src/invariants.rs crates/audit/src/lint.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/certificate.rs:
+crates/audit/src/invariants.rs:
+crates/audit/src/lint.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/lips_bench-a04e00514e258fad.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/lips_bench-a04e00514e258fad.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/liblips_bench-a04e00514e258fad.rlib: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/liblips_bench-a04e00514e258fad.rlib: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/liblips_bench-a04e00514e258fad.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/liblips_bench-a04e00514e258fad.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/audit_gate.rs:
 crates/bench/src/experiments.rs:
 crates/bench/src/fig5.rs:
+crates/bench/src/lp_epoch.rs:
 crates/bench/src/matchup.rs:
 crates/bench/src/report.rs:
 crates/bench/src/table.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/lips_bench-a7a4defd057a7e00.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/lips_bench-a7a4defd057a7e00.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblips_bench-a7a4defd057a7e00.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/liblips_bench-a7a4defd057a7e00.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/audit_gate.rs:
 crates/bench/src/experiments.rs:
 crates/bench/src/fig5.rs:
+crates/bench/src/lp_epoch.rs:
 crates/bench/src/matchup.rs:
 crates/bench/src/report.rs:
 crates/bench/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lips_bench-d37aabb3bfe8dfc8.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liblips_bench-d37aabb3bfe8dfc8.rlib: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liblips_bench-d37aabb3bfe8dfc8.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/audit_gate.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/matchup.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table.rs:

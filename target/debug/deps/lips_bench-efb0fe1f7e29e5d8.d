@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/lips_bench-efb0fe1f7e29e5d8.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/lips_bench-efb0fe1f7e29e5d8.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/lips_bench-efb0fe1f7e29e5d8: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/lips_bench-efb0fe1f7e29e5d8: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/audit_gate.rs:
 crates/bench/src/experiments.rs:
 crates/bench/src/fig5.rs:
+crates/bench/src/lp_epoch.rs:
 crates/bench/src/matchup.rs:
 crates/bench/src/report.rs:
 crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lips_cluster-b61405c352e0e4e0.d: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+/root/repo/target/debug/deps/liblips_cluster-b61405c352e0e4e0.rlib: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+/root/repo/target/debug/deps/liblips_cluster-b61405c352e0e4e0.rmeta: crates/cluster/src/lib.rs crates/cluster/src/builder.rs crates/cluster/src/cluster.rs crates/cluster/src/data.rs crates/cluster/src/instance.rs crates/cluster/src/machine.rs crates/cluster/src/matrices.rs crates/cluster/src/store.rs crates/cluster/src/zone.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/builder.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/data.rs:
+crates/cluster/src/instance.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/matrices.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/zone.rs:

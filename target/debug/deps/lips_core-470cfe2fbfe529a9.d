@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lips_core-470cfe2fbfe529a9.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+/root/repo/target/debug/deps/liblips_core-470cfe2fbfe529a9.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+/root/repo/target/debug/deps/liblips_core-470cfe2fbfe529a9.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/advisor.rs crates/core/src/analysis.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/delay.rs crates/core/src/baselines/fair.rs crates/core/src/baselines/hadoop_default.rs crates/core/src/dag.rs crates/core/src/lips.rs crates/core/src/lp_build.rs crates/core/src/offline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/delay.rs:
+crates/core/src/baselines/fair.rs:
+crates/core/src/baselines/hadoop_default.rs:
+crates/core/src/dag.rs:
+crates/core/src/lips.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/offline.rs:

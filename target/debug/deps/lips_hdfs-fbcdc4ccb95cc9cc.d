@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lips_hdfs-fbcdc4ccb95cc9cc.d: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/debug/deps/liblips_hdfs-fbcdc4ccb95cc9cc.rlib: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+/root/repo/target/debug/deps/liblips_hdfs-fbcdc4ccb95cc9cc.rmeta: crates/hdfs/src/lib.rs crates/hdfs/src/block.rs crates/hdfs/src/chooser.rs crates/hdfs/src/namenode.rs
+
+crates/hdfs/src/lib.rs:
+crates/hdfs/src/block.rs:
+crates/hdfs/src/chooser.rs:
+crates/hdfs/src/namenode.rs:

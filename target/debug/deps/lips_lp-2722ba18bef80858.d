@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/lips_lp-2722ba18bef80858.d: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs Cargo.toml
+/root/repo/target/debug/deps/lips_lp-2722ba18bef80858.d: crates/lp/src/lib.rs crates/lp/src/basis.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/slu.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblips_lp-2722ba18bef80858.rmeta: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs Cargo.toml
+/root/repo/target/debug/deps/liblips_lp-2722ba18bef80858.rmeta: crates/lp/src/lib.rs crates/lp/src/basis.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/slu.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs Cargo.toml
 
 crates/lp/src/lib.rs:
+crates/lp/src/basis.rs:
 crates/lp/src/dense.rs:
 crates/lp/src/error.rs:
 crates/lp/src/lu.rs:
@@ -11,6 +12,7 @@ crates/lp/src/presolve.rs:
 crates/lp/src/revised.rs:
 crates/lp/src/scaling.rs:
 crates/lp/src/sensitivity.rs:
+crates/lp/src/slu.rs:
 crates/lp/src/solution.rs:
 crates/lp/src/sparse.rs:
 crates/lp/src/standard.rs:

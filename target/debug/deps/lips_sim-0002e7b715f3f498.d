@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lips_sim-0002e7b715f3f498.d: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+/root/repo/target/debug/deps/liblips_sim-0002e7b715f3f498.rlib: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+/root/repo/target/debug/deps/liblips_sim-0002e7b715f3f498.rmeta: crates/sim/src/lib.rs crates/sim/src/action.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/job_state.rs crates/sim/src/machine_state.rs crates/sim/src/metrics.rs crates/sim/src/placement.rs crates/sim/src/validate.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/action.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/job_state.rs:
+crates/sim/src/machine_state.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/placement.rs:
+crates/sim/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lips_workload-a04ed3f8bb7a594b.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+/root/repo/target/debug/deps/liblips_workload-a04ed3f8bb7a594b.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+/root/repo/target/debug/deps/liblips_workload-a04ed3f8bb7a594b.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/bind.rs crates/workload/src/dag.rs crates/workload/src/job.rs crates/workload/src/kind.rs crates/workload/src/rand_gen.rs crates/workload/src/suite.rs crates/workload/src/swim.rs crates/workload/src/swim_tsv.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/bind.rs:
+crates/workload/src/dag.rs:
+crates/workload/src/job.rs:
+crates/workload/src/kind.rs:
+crates/workload/src/rand_gen.rs:
+crates/workload/src/suite.rs:
+crates/workload/src/swim.rs:
+crates/workload/src/swim_tsv.rs:

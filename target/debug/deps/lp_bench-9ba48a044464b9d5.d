@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_bench-9ba48a044464b9d5.d: crates/bench/src/bin/lp_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_bench-9ba48a044464b9d5.rmeta: crates/bench/src/bin/lp_bench.rs Cargo.toml
+
+crates/bench/src/bin/lp_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_bench-dff527d94d54cf49.d: crates/bench/src/bin/lp_bench.rs
+
+/root/repo/target/debug/deps/lp_bench-dff527d94d54cf49: crates/bench/src/bin/lp_bench.rs
+
+crates/bench/src/bin/lp_bench.rs:

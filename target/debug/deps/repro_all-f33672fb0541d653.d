@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-f33672fb0541d653.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-f33672fb0541d653: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0c99b1649166918b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0c99b1649166918b.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0c99b1649166918b.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-c12791affb4ed2e5.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-c12791affb4ed2e5: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

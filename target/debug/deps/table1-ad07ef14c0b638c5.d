@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ad07ef14c0b638c5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ad07ef14c0b638c5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

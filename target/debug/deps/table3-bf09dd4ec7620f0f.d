@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-bf09dd4ec7620f0f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-bf09dd4ec7620f0f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

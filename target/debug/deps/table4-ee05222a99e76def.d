@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ee05222a99e76def.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ee05222a99e76def: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

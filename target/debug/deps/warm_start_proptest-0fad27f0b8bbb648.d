@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_start_proptest-0fad27f0b8bbb648.d: crates/audit/tests/warm_start_proptest.rs
+
+/root/repo/target/debug/deps/warm_start_proptest-0fad27f0b8bbb648: crates/audit/tests/warm_start_proptest.rs
+
+crates/audit/tests/warm_start_proptest.rs:

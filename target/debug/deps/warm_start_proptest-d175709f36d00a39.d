@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warm_start_proptest-d175709f36d00a39.d: crates/audit/tests/warm_start_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarm_start_proptest-d175709f36d00a39.rmeta: crates/audit/tests/warm_start_proptest.rs Cargo.toml
+
+crates/audit/tests/warm_start_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

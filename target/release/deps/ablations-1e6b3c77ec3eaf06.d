@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1e6b3c77ec3eaf06.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1e6b3c77ec3eaf06: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

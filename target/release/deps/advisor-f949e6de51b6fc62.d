@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/advisor-f949e6de51b6fc62.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/release/deps/advisor-f949e6de51b6fc62: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

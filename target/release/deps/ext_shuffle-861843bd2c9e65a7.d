@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shuffle-861843bd2c9e65a7.d: crates/bench/src/bin/ext_shuffle.rs
+
+/root/repo/target/release/deps/ext_shuffle-861843bd2c9e65a7: crates/bench/src/bin/ext_shuffle.rs
+
+crates/bench/src/bin/ext_shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-4db13926300bf761.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-4db13926300bf761: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

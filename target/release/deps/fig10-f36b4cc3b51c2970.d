@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-f36b4cc3b51c2970.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-f36b4cc3b51c2970: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-b856be6773e32215.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-b856be6773e32215: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

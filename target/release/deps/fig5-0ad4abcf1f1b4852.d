@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-0ad4abcf1f1b4852.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-0ad4abcf1f1b4852: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-658288e6f518b76a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-658288e6f518b76a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9dffe7a5c1037098.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9dffe7a5c1037098: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-d83d62780989e327.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-d83d62780989e327: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

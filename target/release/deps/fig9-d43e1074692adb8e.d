@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-d43e1074692adb8e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-d43e1074692adb8e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/lips_bench-378914b46ded37b7.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/lips_bench-378914b46ded37b7.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/liblips_bench-378914b46ded37b7.rlib: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/liblips_bench-378914b46ded37b7.rlib: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/liblips_bench-378914b46ded37b7.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/liblips_bench-378914b46ded37b7.rmeta: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/audit_gate.rs:
 crates/bench/src/experiments.rs:
 crates/bench/src/fig5.rs:
+crates/bench/src/lp_epoch.rs:
 crates/bench/src/matchup.rs:
 crates/bench/src/report.rs:
 crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lips_bench-ae05300ec7c28e6d.d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/lips_bench-ae05300ec7c28e6d: crates/bench/src/lib.rs crates/bench/src/audit_gate.rs crates/bench/src/experiments.rs crates/bench/src/fig5.rs crates/bench/src/lp_epoch.rs crates/bench/src/matchup.rs crates/bench/src/report.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/audit_gate.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/lp_epoch.rs:
+crates/bench/src/matchup.rs:
+crates/bench/src/report.rs:
+crates/bench/src/table.rs:

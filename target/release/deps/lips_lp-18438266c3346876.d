@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/lips_lp-18438266c3346876.d: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
+/root/repo/target/release/deps/lips_lp-18438266c3346876.d: crates/lp/src/lib.rs crates/lp/src/basis.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/slu.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
 
-/root/repo/target/release/deps/liblips_lp-18438266c3346876.rlib: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
+/root/repo/target/release/deps/liblips_lp-18438266c3346876.rlib: crates/lp/src/lib.rs crates/lp/src/basis.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/slu.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
 
-/root/repo/target/release/deps/liblips_lp-18438266c3346876.rmeta: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
+/root/repo/target/release/deps/liblips_lp-18438266c3346876.rmeta: crates/lp/src/lib.rs crates/lp/src/basis.rs crates/lp/src/dense.rs crates/lp/src/error.rs crates/lp/src/lu.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/scaling.rs crates/lp/src/sensitivity.rs crates/lp/src/slu.rs crates/lp/src/solution.rs crates/lp/src/sparse.rs crates/lp/src/standard.rs
 
 crates/lp/src/lib.rs:
+crates/lp/src/basis.rs:
 crates/lp/src/dense.rs:
 crates/lp/src/error.rs:
 crates/lp/src/lu.rs:
@@ -13,6 +14,7 @@ crates/lp/src/presolve.rs:
 crates/lp/src/revised.rs:
 crates/lp/src/scaling.rs:
 crates/lp/src/sensitivity.rs:
+crates/lp/src/slu.rs:
 crates/lp/src/solution.rs:
 crates/lp/src/sparse.rs:
 crates/lp/src/standard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lp_bench-7df2accc19501ed1.d: crates/bench/src/bin/lp_bench.rs
+
+/root/repo/target/release/deps/lp_bench-7df2accc19501ed1: crates/bench/src/bin/lp_bench.rs
+
+crates/bench/src/bin/lp_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lp_bench-7f3af9f54e059b88.d: crates/bench/src/bin/lp_bench.rs
+
+/root/repo/target/release/deps/lp_bench-7f3af9f54e059b88: crates/bench/src/bin/lp_bench.rs
+
+crates/bench/src/bin/lp_bench.rs:

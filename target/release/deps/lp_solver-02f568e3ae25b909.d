@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lp_solver-02f568e3ae25b909.d: crates/bench/benches/lp_solver.rs
+
+/root/repo/target/release/deps/lp_solver-02f568e3ae25b909: crates/bench/benches/lp_solver.rs
+
+crates/bench/benches/lp_solver.rs:

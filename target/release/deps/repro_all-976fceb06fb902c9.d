@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-976fceb06fb902c9.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-976fceb06fb902c9: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler_overhead-5be4a6f882d7df4c.d: crates/bench/benches/scheduler_overhead.rs
+
+/root/repo/target/release/deps/scheduler_overhead-5be4a6f882d7df4c: crates/bench/benches/scheduler_overhead.rs
+
+crates/bench/benches/scheduler_overhead.rs:

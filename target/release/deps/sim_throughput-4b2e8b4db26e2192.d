@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-4b2e8b4db26e2192.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-4b2e8b4db26e2192: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-e0298fed328fb3f4.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-e0298fed328fb3f4: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-47051d8a1174f40d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-47051d8a1174f40d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-a6afdb6c94f9ed00.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-a6afdb6c94f9ed00: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-9851ec5be90d0b9d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-9851ec5be90d0b9d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:
