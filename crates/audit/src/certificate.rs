@@ -272,6 +272,143 @@ pub fn certify(model: &Model, sol: &Solution) -> Result<Certificate, CertifyErro
     })
 }
 
+/// One column of the full model that a restricted master excluded.
+///
+/// An excluded column is a variable held at value 0 (its lower bound): the
+/// master simply never materialized it. `terms` are its coefficients in
+/// the master's rows, by [`lips_lp::ConstraintId`]; rows it does not touch
+/// contribute zero. `obj` is its objective coefficient in the model's own
+/// sense.
+#[derive(Debug, Clone)]
+pub struct ExcludedColumn {
+    /// Name of the would-be variable, for failure reporting only.
+    pub name: String,
+    pub obj: f64,
+    pub terms: Vec<(lips_lp::ConstraintId, f64)>,
+}
+
+/// KKT certificate for a restricted master claimed optimal for its *full*
+/// model: the master's own [`Certificate`] plus a pricing pass over every
+/// excluded column.
+///
+/// Soundness: extend the master's optimal solution with zeros for the
+/// excluded columns. Primal feasibility and complementary slackness carry
+/// over unchanged (a zero column contributes nothing to any row and sits
+/// on its lower bound), and the dual objective is unchanged (no `[d]⁺·lb`
+/// term for `lb = 0`). The only new KKT condition is dual feasibility of
+/// the excluded columns — reduced cost ≥ 0 within tolerance — which is
+/// exactly what [`RestrictedCertificate::max_excluded_violation`] measures.
+/// A master whose excluded columns were never priced to nonnegativity
+/// therefore *cannot* pass [`RestrictedCertificate::is_optimal`].
+#[derive(Debug, Clone)]
+pub struct RestrictedCertificate {
+    /// The master's own KKT report.
+    pub master: Certificate,
+    /// Worst negative reduced cost among excluded columns, normalized by
+    /// `1 + max |cost|` over master and excluded columns (the same scale
+    /// as the master's dual-feasibility test). 0 when nothing prices out.
+    pub max_excluded_violation: f64,
+    /// Name of the worst offending column (None when nothing prices out).
+    pub worst_excluded: Option<String>,
+    /// Number of excluded columns priced.
+    pub excluded_priced: usize,
+}
+
+impl RestrictedCertificate {
+    /// True when the master certifies *and* no excluded column prices out:
+    /// the master's solution, zero-extended, is optimal for the full model.
+    pub fn is_optimal(&self) -> bool {
+        self.master.is_optimal() && self.max_excluded_violation <= FEAS_RTOL
+    }
+
+    /// Human-readable list of every failed condition.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = self.master.failures();
+        if self.max_excluded_violation > FEAS_RTOL {
+            out.push(format!(
+                "excluded column {} prices out: normalized reduced cost -{:.3e} < -{FEAS_RTOL:.3e}",
+                self.worst_excluded.as_deref().unwrap_or("?"),
+                self.max_excluded_violation
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for RestrictedCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_optimal() {
+            write!(
+                f,
+                "OPTIMAL (full model): {} excluded columns priced, worst reduced-cost \
+                 violation {:.3e}; master {}",
+                self.excluded_priced, self.max_excluded_violation, self.master
+            )
+        } else {
+            write!(f, "NOT CERTIFIED: {}", self.failures().join("; "))
+        }
+    }
+}
+
+/// Verify a restricted master against its full model without ever building
+/// the full model: certify the master's solution as usual, then price every
+/// excluded column against the master's duals.
+///
+/// A *wrong* claim (master not optimal, or an excluded column with negative
+/// reduced cost) yields an `Ok` certificate whose
+/// [`RestrictedCertificate::is_optimal`] is false; `Err` is reserved for
+/// structurally unusable inputs, as with [`certify`].
+pub fn certify_restricted(
+    master: &Model,
+    sol: &Solution,
+    excluded: &[ExcludedColumn],
+) -> Result<RestrictedCertificate, CertifyError> {
+    let cert = certify(master, sol)?;
+    let y = sol.duals();
+    let sign = match master.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    // Same normalization as the master's dual-feasibility test, but the
+    // scale must cover the excluded costs too (an excluded column can be
+    // the dearest in the full model).
+    let mut max_cost = 0.0f64;
+    for v in master.var_ids() {
+        max_cost = max_cost.max(master.var_obj(v).abs());
+    }
+    for col in excluded {
+        max_cost = max_cost.max(col.obj.abs());
+    }
+    let cost_scale = 1.0 + max_cost;
+
+    let mut worst = 0.0f64;
+    let mut worst_name = None;
+    for col in excluded {
+        let mut d = sign * col.obj;
+        for &(c, coef) in &col.terms {
+            let i = c.index();
+            if i >= y.len() {
+                return Err(CertifyError::DimensionMismatch {
+                    expected: master.num_constraints(),
+                    got: i + 1,
+                });
+            }
+            d -= y[i] * coef;
+        }
+        let viol = (-d).max(0.0) / cost_scale;
+        if viol > worst {
+            worst = viol;
+            worst_name = Some(col.name.clone());
+        }
+    }
+    Ok(RestrictedCertificate {
+        master: cert,
+        max_excluded_violation: worst,
+        worst_excluded: worst_name,
+        excluded_priced: excluded.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +527,82 @@ mod tests {
             }) => {}
             other => panic!("expected MissingDuals, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn restricted_master_with_unpriced_improving_column_is_rejected() {
+        // Master: min 2x s.t. x ≥ 4 → x=4, obj 8, y_demand = 2.
+        // Excluded column z (cost 1, coefficient 1 in the demand row) has
+        // reduced cost 1 − 2 = −1: the master is NOT optimal for the full
+        // model and the certificate must say so, even though the master's
+        // own KKT report is clean.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let demand = m.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        let sol = m.solve().unwrap();
+        let excluded = vec![ExcludedColumn {
+            name: "z".into(),
+            obj: 1.0,
+            terms: vec![(demand, 1.0)],
+        }];
+        let cert = certify_restricted(&m, &sol, &excluded).unwrap();
+        assert!(cert.master.is_optimal(), "master alone certifies");
+        assert!(!cert.is_optimal(), "{cert}");
+        assert_eq!(cert.worst_excluded.as_deref(), Some("z"));
+        assert_eq!(cert.excluded_priced, 1);
+        assert!(
+            cert.failures().iter().any(|s| s.contains("prices out")),
+            "{cert}"
+        );
+    }
+
+    #[test]
+    fn restricted_master_with_dear_excluded_columns_certifies() {
+        // Same master, but the excluded column costs more than the row's
+        // marginal value (3 > 2): zero-extension is full-model optimal.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let demand = m.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        let sol = m.solve().unwrap();
+        let excluded = vec![ExcludedColumn {
+            name: "z".into(),
+            obj: 3.0,
+            terms: vec![(demand, 1.0)],
+        }];
+        let cert = certify_restricted(&m, &sol, &excluded).unwrap();
+        assert!(cert.is_optimal(), "{cert}");
+        assert_eq!(cert.max_excluded_violation, 0.0);
+        assert!(cert.worst_excluded.is_none());
+        // And the full model agrees: appending z does not move the optimum.
+        let mut full = m.clone();
+        full.add_column("z", 0.0, 10.0, 3.0, [(demand, 1.0)]);
+        assert!((full.solve().unwrap().objective() - sol.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_rejects_out_of_range_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        let sol = m.solve().unwrap();
+        let excluded = vec![ExcludedColumn {
+            name: "bad".into(),
+            obj: 1.0,
+            terms: vec![(lips_lp::ConstraintId::from_index(7), 1.0)],
+        }];
+        assert!(matches!(
+            certify_restricted(&m, &sol, &excluded),
+            Err(CertifyError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_excluded_set_degrades_to_plain_certify() {
+        let m = sample();
+        let sol = m.solve().unwrap();
+        let cert = certify_restricted(&m, &sol, &[]).unwrap();
+        assert!(cert.is_optimal());
+        assert_eq!(cert.excluded_priced, 0);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod certificate;
 pub mod invariants;
 pub mod lint;
 
-pub use certificate::{certify, Certificate, CertifyError};
+pub use certificate::{
+    certify, certify_restricted, Certificate, CertifyError, ExcludedColumn, RestrictedCertificate,
+};
 pub use invariants::{
     audit_paper_invariants, ModelAnnotations, PaperExpectations, RowKind, VarKind,
 };

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lips_bench::lp_epoch::run_epochs;
+use lips_bench::lp_epoch::{run_epochs, EpochMode};
 use lips_cluster::{ec2_mixed_cluster, DataId, StoreId};
 use lips_core::lp_build::{solve, LpInstance, LpJob, PruneConfig};
 use lips_lp::revised::{RevisedOptions, RevisedSimplex};
@@ -60,18 +60,19 @@ fn bench_epoch_lp(c: &mut Criterion) {
 }
 
 fn bench_epoch_sequence(c: &mut Criterion) {
-    // The warm-start story end to end: a whole chained epoch sequence per
-    // iteration, cold vs warm, on a mid-size cluster (the full 100-node,
-    // 20-epoch acceptance numbers come from the `lp_bench` binary).
+    // The solve-path story end to end: a whole chained epoch sequence per
+    // iteration — cold vs warm vs column-generated — on a mid-size cluster
+    // (the full 100-node, 20-epoch acceptance numbers come from the
+    // `lp_bench` binary).
     let cluster = ec2_mixed_cluster(50, 0.4, 1e9, 1);
     let mut g = c.benchmark_group("epoch_sequence");
     g.sample_size(10);
-    for warm in [false, true] {
+    for mode in [EpochMode::Cold, EpochMode::Warm, EpochMode::ColGen] {
         g.bench_with_input(
-            BenchmarkId::from_parameter(if warm { "warm" } else { "cold" }),
-            &warm,
-            |b, &warm| {
-                b.iter(|| black_box(run_epochs(&cluster, 16, 2, 3, 8, warm).total_iterations));
+            BenchmarkId::from_parameter(format!("{mode:?}").to_lowercase()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| black_box(run_epochs(&cluster, 16, 2, 3, 8, mode).total_iterations));
             },
         );
     }

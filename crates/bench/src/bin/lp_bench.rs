@@ -1,16 +1,20 @@
 //! Epoch-loop LP solver benchmark: 20 consecutive Fig-4 epochs on the
-//! large-cluster configuration, cold starts vs warm-start chaining.
+//! large-cluster configuration, cold starts vs warm-start chaining vs
+//! delayed column generation.
 //!
-//! Prints a per-epoch table and the cold/warm totals; with `--json`,
+//! Prints a per-epoch table and the per-mode totals; with `--json`,
 //! additionally writes `BENCH_lp_epoch.json` in the current directory so
 //! the README perf table and CI gates can consume the numbers.
 //!
-//! Flags: `--json`, `--jobs N` (default 32), `--epochs N` (default 20),
-//! `--churn N` (default 2), `--churn-every N` (default 5 — a LiPS epoch
-//! is ~2000 s, so a Table-IV-sized job spans several epochs before a
+//! Flags: `--json`, `--colgen` (also run the column-generated restricted
+//! master and record active-column counts + pricing rounds per epoch),
+//! `--audit` (exit non-zero unless every epoch of every mode certified),
+//! `--jobs N` (default 32), `--epochs N` (default 20), `--churn N`
+//! (default 2), `--churn-every N` (default 5 — a LiPS epoch is ~2000 s,
+//! so a Table-IV-sized job spans several epochs before a
 //! departure/arrival pair perturbs the LP's structure).
 
-use lips_bench::lp_epoch::{large_cluster, run_epochs, EpochRun, EPOCHS};
+use lips_bench::lp_epoch::{large_cluster, run_epochs, EpochMode, EpochRun, EPOCHS};
 use lips_bench::Table;
 use serde::Serialize;
 
@@ -19,12 +23,20 @@ struct BenchReport {
     config: String,
     cold: EpochRun,
     warm: EpochRun,
+    /// Present only with `--colgen`.
+    colgen: Option<EpochRun>,
     /// cold ÷ warm total simplex iterations (higher = warm wins).
     iteration_ratio: f64,
     /// cold ÷ warm total solve wall-time.
     walltime_ratio: f64,
     /// cold ÷ warm total FTRAN nonzeros.
     ftran_nnz_ratio: f64,
+    /// warm ÷ colgen total epoch wall-time (build + solve + certify;
+    /// higher = colgen wins). `None` without `--colgen`.
+    colgen_epoch_ms_ratio: Option<f64>,
+    /// Mean active/total column share of the colgen master (the
+    /// acceptance gate wants ≤ 0.5). `None` without `--colgen`.
+    colgen_active_share: Option<f64>,
 }
 
 fn flag_value(args: &[String], name: &str, default: usize) -> usize {
@@ -41,6 +53,7 @@ fn main() {
     let epochs = flag_value(&args, "--epochs", EPOCHS);
     let churn = flag_value(&args, "--churn", 2);
     let churn_every = flag_value(&args, "--churn-every", 5);
+    let with_colgen = args.iter().any(|a| a == "--colgen");
 
     let cluster = large_cluster();
     let config = format!(
@@ -49,26 +62,49 @@ fn main() {
     );
     println!("LP epoch-sequence benchmark — {config}\n");
 
-    let cold = run_epochs(&cluster, jobs, churn, churn_every, epochs, false);
-    let warm = run_epochs(&cluster, jobs, churn, churn_every, epochs, true);
+    let cold = run_epochs(&cluster, jobs, churn, churn_every, epochs, EpochMode::Cold);
+    let warm = run_epochs(&cluster, jobs, churn, churn_every, epochs, EpochMode::Warm);
+    let colgen = with_colgen.then(|| {
+        run_epochs(
+            &cluster,
+            jobs,
+            churn,
+            churn_every,
+            epochs,
+            EpochMode::ColGen,
+        )
+    });
 
-    let mut t = Table::new([
+    let mut header = vec![
         "epoch",
         "cold iters",
         "cold ms",
         "warm iters",
         "warm ms",
         "start",
-    ]);
-    for (c, w) in cold.epochs.iter().zip(&warm.epochs) {
-        t.row([
+    ];
+    if with_colgen {
+        header.extend(["cg iters", "cg ms", "cg cols", "cg rounds"]);
+    }
+    let mut t = Table::new(header);
+    for (i, (c, w)) in cold.epochs.iter().zip(&warm.epochs).enumerate() {
+        let mut row = vec![
             c.epoch.to_string(),
             c.iterations.to_string(),
-            format!("{:.2}", c.solve_ms),
+            format!("{:.2}", c.epoch_ms),
             w.iterations.to_string(),
-            format!("{:.2}", w.solve_ms),
+            format!("{:.2}", w.epoch_ms),
             w.warm.clone(),
-        ]);
+        ];
+        if let Some(cg) = colgen.as_ref().and_then(|r| r.epochs.get(i)) {
+            row.extend([
+                cg.iterations.to_string(),
+                format!("{:.2}", cg.epoch_ms),
+                format!("{}/{}", cg.active_columns, cg.total_columns),
+                cg.pricing_rounds.to_string(),
+            ]);
+        }
+        t.row(row);
     }
     t.print();
 
@@ -77,29 +113,56 @@ fn main() {
         iteration_ratio: ratio(cold.total_iterations as f64, warm.total_iterations as f64),
         walltime_ratio: ratio(cold.total_solve_ms, warm.total_solve_ms),
         ftran_nnz_ratio: ratio(cold.total_ftran_nnz as f64, warm.total_ftran_nnz as f64),
+        colgen_epoch_ms_ratio: colgen
+            .as_ref()
+            .map(|cg| ratio(warm.total_epoch_ms, cg.total_epoch_ms)),
+        colgen_active_share: colgen.as_ref().map(|cg| cg.active_column_share),
         config,
         cold,
         warm,
+        colgen,
     };
     println!(
-        "\ntotals: cold {} iters / {:.1} ms / {} FTRAN nnz",
-        report.cold.total_iterations, report.cold.total_solve_ms, report.cold.total_ftran_nnz
+        "\ntotals: cold {} iters / {:.1} ms solve / {:.1} ms epoch / {} FTRAN nnz",
+        report.cold.total_iterations,
+        report.cold.total_solve_ms,
+        report.cold.total_epoch_ms,
+        report.cold.total_ftran_nnz
     );
     println!(
-        "        warm {} iters / {:.1} ms / {} FTRAN nnz ({}/{} epochs warm-started)",
+        "        warm {} iters / {:.1} ms solve / {:.1} ms epoch / {} FTRAN nnz ({}/{} epochs warm-started)",
         report.warm.total_iterations,
         report.warm.total_solve_ms,
+        report.warm.total_epoch_ms,
         report.warm.total_ftran_nnz,
         report.warm.warm_solves,
         epochs.saturating_sub(1).max(1)
     );
+    if let Some(cg) = &report.colgen {
+        println!(
+            "        colgen {} iters / {:.1} ms solve / {:.1} ms epoch / {} pricing rounds / {:.0}% columns active",
+            cg.total_iterations,
+            cg.total_solve_ms,
+            cg.total_epoch_ms,
+            cg.total_pricing_rounds,
+            cg.active_column_share * 100.0
+        );
+    }
     println!(
-        "speedup: {:.2}x iterations, {:.2}x wall-time, {:.2}x FTRAN nnz; all certified: {}",
-        report.iteration_ratio,
-        report.walltime_ratio,
-        report.ftran_nnz_ratio,
-        report.cold.all_certified && report.warm.all_certified
+        "speedup: {:.2}x iterations, {:.2}x wall-time, {:.2}x FTRAN nnz (cold/warm)",
+        report.iteration_ratio, report.walltime_ratio, report.ftran_nnz_ratio,
     );
+    if let (Some(r), Some(s)) = (report.colgen_epoch_ms_ratio, report.colgen_active_share) {
+        println!(
+            "colgen:  {:.2}x epoch wall-time vs warm, {:.0}% of full columns active",
+            r,
+            s * 100.0
+        );
+    }
+    let all_certified = report.cold.all_certified
+        && report.warm.all_certified
+        && report.colgen.as_ref().is_none_or(|cg| cg.all_certified);
+    println!("all certified: {all_certified}");
 
     if args.iter().any(|a| a == "--json") {
         let path = "BENCH_lp_epoch.json";
@@ -109,5 +172,10 @@ fn main() {
         )
         .expect("write BENCH_lp_epoch.json");
         println!("wrote {path}");
+    }
+
+    if args.iter().any(|a| a == "--audit") && !all_certified {
+        eprintln!("--audit: at least one epoch failed certification");
+        std::process::exit(1);
     }
 }

@@ -1,4 +1,4 @@
-//! The 20-epoch cold-vs-warm LP workload behind `BENCH_lp_epoch.json`.
+//! The 20-epoch cold/warm/colgen LP workload behind `BENCH_lp_epoch.json`.
 //!
 //! Models the scheduler's steady state. A LiPS epoch is ~2000 s and the
 //! Table-IV jobs run for hours, so consecutive epochs almost always see
@@ -6,14 +6,25 @@
 //! completed last epoch), and only occasionally a departure + arrival.
 //! The sequence here mirrors that: sizes decay a few percent per epoch of
 //! a job's age, and every `churn_every` epochs `churn` jobs complete and
-//! are replaced by fresh ones. Cold mode solves each epoch from scratch;
-//! warm mode chains each epoch's optimal basis into the next via
-//! [`lips_core::lp_build::solve_certified_warm`]. Every epoch is
-//! KKT-certified in both modes, so the comparison can never trade
+//! are replaced by fresh ones. Three solve policies are compared:
+//!
+//! * [`EpochMode::Cold`] — each epoch's full model from scratch;
+//! * [`EpochMode::Warm`] — full model, chaining each epoch's optimal basis
+//!   into the next via [`lips_core::lp_build::solve_certified_warm`];
+//! * [`EpochMode::ColGen`] — a column-generated restricted master
+//!   ([`lips_core::lp_build::solve_colgen`]) carrying the surviving active
+//!   columns *and* the basis across epochs.
+//!
+//! Every epoch is KKT-certified in all modes (colgen against the **full**
+//! model, excluded columns priced), so the comparison can never trade
 //! correctness for speed.
 
+use std::time::Instant;
+
 use lips_cluster::{ec2_mixed_cluster, Cluster, DataId, StoreId};
-use lips_core::lp_build::{solve_certified_warm, LpInstance, LpJob, PruneConfig};
+use lips_core::lp_build::{
+    solve_certified_warm, solve_colgen, ColGenOptions, ColGenState, LpInstance, LpJob, PruneConfig,
+};
 use lips_lp::{WarmOutcome, WarmStart};
 use lips_workload::JobId;
 use serde::Serialize;
@@ -27,6 +38,28 @@ pub fn large_cluster() -> Cluster {
     ec2_mixed_cluster(100, 0.4, 1e9, 1)
 }
 
+/// How consecutive epoch LPs are solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Full model, cold start every epoch.
+    Cold,
+    /// Full model, warm-started from the previous epoch's basis.
+    Warm,
+    /// Column-generated restricted master with cross-epoch column + basis
+    /// reuse.
+    ColGen,
+}
+
+impl EpochMode {
+    fn label(self) -> &'static str {
+        match self {
+            EpochMode::Cold => "cold",
+            EpochMode::Warm => "warm",
+            EpochMode::ColGen => "colgen",
+        }
+    }
+}
+
 /// One epoch's solver telemetry.
 #[derive(Debug, Clone, Serialize)]
 pub struct EpochRecord {
@@ -38,9 +71,20 @@ pub struct EpochRecord {
     pub ftran_nnz: u64,
     /// `"Cold"`, `"Warm"`, or `"WarmRepaired"`.
     pub warm: String,
-    /// Simplex wall-time as reported by the solver (excludes model
-    /// construction and certification, which are identical in both modes).
+    /// Simplex wall-time as reported by the solver (summed across pricing
+    /// rounds in colgen mode).
     pub solve_ms: f64,
+    /// Wall-time of the whole epoch call: model build, solve, pricing,
+    /// certification. The honest cross-mode comparison — colgen must win
+    /// here, not just on simplex time.
+    pub epoch_ms: f64,
+    /// Task columns the simplex actually saw (colgen: final master;
+    /// cold/warm: the full model, so equal to `total_columns`).
+    pub active_columns: usize,
+    /// Task columns of the full model.
+    pub total_columns: usize,
+    /// Restricted-master solve/price rounds (1 in cold/warm modes).
+    pub pricing_rounds: usize,
     pub objective: f64,
     pub certified: bool,
 }
@@ -52,10 +96,16 @@ pub struct EpochRun {
     pub epochs: Vec<EpochRecord>,
     pub total_iterations: usize,
     pub total_solve_ms: f64,
+    /// Build + solve + certify wall-time summed over epochs.
+    pub total_epoch_ms: f64,
     pub total_ftran_nnz: u64,
-    /// Epochs that actually started from the previous basis (warm mode
-    /// only; the first epoch is always cold).
+    pub total_pricing_rounds: usize,
+    /// Epochs that actually started from the previous basis (warm/colgen
+    /// modes; the first epoch is always cold).
     pub warm_solves: usize,
+    /// Mean `active_columns / total_columns` across epochs (1.0 for the
+    /// full-model modes). The acceptance gate wants ≤ 0.5 for colgen.
+    pub active_column_share: f64,
     pub all_certified: bool,
 }
 
@@ -92,24 +142,28 @@ fn epoch_jobs(
         .collect()
 }
 
-/// Run `epochs` consecutive Fig-4 solves on `cluster`, either chaining
-/// warm-start bases (`warm = true`) or cold-starting every epoch.
+/// Run `epochs` consecutive Fig-4 solves on `cluster` under `mode`.
 pub fn run_epochs(
     cluster: &Cluster,
     base_jobs: usize,
     churn: usize,
     churn_every: usize,
     epochs: usize,
-    warm: bool,
+    mode: EpochMode,
 ) -> EpochRun {
     let mut basis: Option<WarmStart> = None;
+    let mut colgen_state: Option<ColGenState> = None;
+    let mut share_sum = 0.0;
     let mut out = EpochRun {
-        mode: if warm { "warm" } else { "cold" }.to_string(),
+        mode: mode.label().to_string(),
         epochs: Vec::with_capacity(epochs),
         total_iterations: 0,
         total_solve_ms: 0.0,
+        total_epoch_ms: 0.0,
         total_ftran_nnz: 0,
+        total_pricing_rounds: 0,
         warm_solves: 0,
+        active_column_share: 1.0,
         all_certified: true,
     };
     for e in 0..epochs {
@@ -129,9 +183,47 @@ pub fn run_epochs(
                 max_new_stores_per_job: Some(6),
             },
         };
-        let seed = if warm { basis.as_ref() } else { None };
-        let (sched, cert, next) = solve_certified_warm(&inst, seed).expect("epoch LP solves");
-        basis = Some(next);
+        let t = Instant::now();
+        let (sched, certified, active, total, rounds) = match mode {
+            EpochMode::Cold | EpochMode::Warm => {
+                let seed = if mode == EpochMode::Warm {
+                    basis.as_ref()
+                } else {
+                    None
+                };
+                let (sched, cert, next) =
+                    solve_certified_warm(&inst, seed).expect("epoch LP solves");
+                basis = Some(next);
+                (sched, cert.is_optimal(), 0, 0, 1)
+            }
+            EpochMode::ColGen => {
+                let outp = solve_colgen(&inst, &ColGenOptions::default(), colgen_state.as_ref())
+                    .expect("epoch LP solves");
+                colgen_state = Some(outp.state);
+                (
+                    outp.schedule,
+                    outp.certificate.is_optimal(),
+                    outp.stats.active_columns,
+                    outp.stats.total_columns,
+                    outp.stats.rounds,
+                )
+            }
+        };
+        let epoch_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Cold/warm solve the full model: active = total by definition.
+        // `solve_colgen` reports its own counts.
+        let (active, total) = if mode == EpochMode::ColGen {
+            (active, total)
+        } else {
+            let full = lp_build_columns(&inst);
+            (full, full)
+        };
+        share_sum += if total > 0 {
+            active as f64 / total as f64
+        } else {
+            1.0
+        };
 
         let stats = sched.stats;
         if stats.warm != WarmOutcome::Cold {
@@ -139,8 +231,10 @@ pub fn run_epochs(
         }
         out.total_iterations += stats.iterations;
         out.total_solve_ms += stats.solve_ms;
+        out.total_epoch_ms += epoch_ms;
         out.total_ftran_nnz += stats.ftran_nnz;
-        out.all_certified &= cert.is_optimal();
+        out.total_pricing_rounds += rounds;
+        out.all_certified &= certified;
         out.epochs.push(EpochRecord {
             epoch: e,
             jobs: n_jobs,
@@ -150,11 +244,24 @@ pub fn run_epochs(
             ftran_nnz: stats.ftran_nnz,
             warm: format!("{:?}", stats.warm),
             solve_ms: stats.solve_ms,
+            epoch_ms,
+            active_columns: active,
+            total_columns: total,
+            pricing_rounds: rounds,
             objective: sched.predicted_dollars,
-            certified: cert.is_optimal(),
+            certified,
         });
     }
+    if epochs > 0 {
+        out.active_column_share = share_sum / epochs as f64;
+    }
     out
+}
+
+/// Task-column count of the full (pruned) model for an instance — the
+/// denominator of the colgen active-share metric.
+fn lp_build_columns(inst: &LpInstance<'_>) -> usize {
+    lips_core::lp_build::count_task_columns(inst)
 }
 
 #[cfg(test)]
@@ -166,8 +273,8 @@ mod tests {
         // Small config so the test stays fast; the full large-cluster
         // numbers are produced by the `lp_bench` binary.
         let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
-        let cold = run_epochs(&cluster, 8, 1, 3, 6, false);
-        let warm = run_epochs(&cluster, 8, 1, 3, 6, true);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold);
+        let warm = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Warm);
         assert!(cold.all_certified && warm.all_certified);
         assert_eq!(cold.warm_solves, 0);
         assert!(
@@ -190,6 +297,26 @@ mod tests {
                 a.objective,
                 b.objective
             );
+        }
+    }
+
+    #[test]
+    fn colgen_sequence_matches_full_model_optima() {
+        let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold);
+        let cg = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::ColGen);
+        assert!(cg.all_certified);
+        assert!(cg.active_column_share < 1.0, "master never shrank");
+        assert!(cg.total_pricing_rounds >= cg.epochs.len());
+        for (a, b) in cold.epochs.iter().zip(&cg.epochs) {
+            assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "epoch {}: cold {} vs colgen {}",
+                a.epoch,
+                a.objective,
+                b.objective
+            );
+            assert!(b.active_columns <= b.total_columns);
         }
     }
 }

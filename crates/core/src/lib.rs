@@ -56,4 +56,7 @@ pub use analysis::{break_even_ratio, move_pays_off, savings_per_mb};
 pub use baselines::{DelayScheduler, FairScheduler, HadoopDefaultScheduler};
 pub use dag::{run_dag, DagReport, DagRunError};
 pub use lips::{LipsConfig, LipsScheduler};
-pub use offline::{co_schedule, greedy_schedule, simple_task_schedule, OfflineSchedule};
+pub use lp_build::{ColGenOptions, ColGenOutcome, ColGenState, ColGenStats};
+pub use offline::{
+    co_schedule, co_schedule_colgen, greedy_schedule, simple_task_schedule, OfflineSchedule,
+};

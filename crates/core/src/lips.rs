@@ -21,7 +21,10 @@ use lips_cluster::{DataId, StoreId};
 use lips_lp::{WarmOutcome, WarmStart};
 use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
 
-use crate::lp_build::{solve_warm, LpInstance, LpJob, PruneConfig};
+use crate::lp_build::{
+    solve_colgen, solve_warm, ColGenOptions, ColGenState, FractionalSchedule, LpInstance, LpJob,
+    PruneConfig,
+};
 
 /// Tuning for [`LipsScheduler`].
 #[derive(Debug, Clone)]
@@ -65,6 +68,15 @@ pub struct LipsConfig {
     /// forces every solve cold (an ablation/debugging knob — the optimum
     /// never depends on it).
     pub warm_start: bool,
+    /// Solve each epoch LP by delayed column generation
+    /// ([`crate::lp_build::solve_colgen`]): a restricted master seeded with
+    /// the cheapest arcs per job (plus the previous epoch's surviving
+    /// columns), grown by pricing until it provably matches the full
+    /// model's optimum. Strictly a solve-path knob, like `warm_start`:
+    /// every epoch is still KKT-certified against the full model, so the
+    /// optimum never depends on it. Pays off once the full model is large
+    /// (≳ 50 machines); on small clusters the full LP is already cheap.
+    pub colgen: bool,
 }
 
 impl Default for LipsConfig {
@@ -80,6 +92,7 @@ impl Default for LipsConfig {
             enforce_transfer_time: true,
             fairness: 0.0,
             warm_start: true,
+            colgen: false,
         }
     }
 }
@@ -102,6 +115,7 @@ impl LipsConfig {
             max_machines_per_job: Some(16),
             max_new_stores_per_job: Some(6),
             max_holder_stores_per_job: Some(20),
+            colgen: true,
             ..Default::default()
         }
     }
@@ -127,6 +141,12 @@ pub struct LipsScheduler {
     warm_solves: usize,
     /// Total simplex pivots across all epoch solves.
     lp_iterations: usize,
+    /// Surviving active-column set + basis of the previous epoch's
+    /// restricted master (`None` before the first solve or with colgen
+    /// off). The colgen analogue of `basis`.
+    colgen_state: Option<ColGenState>,
+    /// Total pricing rounds across all column-generated epoch solves.
+    pricing_rounds: usize,
 }
 
 impl LipsScheduler {
@@ -139,6 +159,8 @@ impl LipsScheduler {
             basis: None,
             warm_solves: 0,
             lp_iterations: 0,
+            colgen_state: None,
+            pricing_rounds: 0,
         }
     }
 
@@ -169,6 +191,39 @@ impl LipsScheduler {
     /// Total simplex pivots across all epoch solves so far.
     pub fn lp_iterations(&self) -> usize {
         self.lp_iterations
+    }
+
+    /// Total restricted-master pricing rounds across all epoch solves
+    /// (0 unless [`LipsConfig::colgen`] is on).
+    pub fn pricing_rounds(&self) -> usize {
+        self.pricing_rounds
+    }
+
+    /// Solve one epoch LP along the configured path: column generation,
+    /// warm-started full model, or cold full model. All three land on the
+    /// same optimum; they differ only in how much model the simplex sees.
+    /// Cross-epoch carry-over (`basis` / `colgen_state`) is `take`n so a
+    /// failed solve drops stale state instead of retrying it forever.
+    fn epoch_solve(
+        &mut self,
+        inst: &LpInstance<'_>,
+    ) -> Result<FractionalSchedule, lips_lp::LpError> {
+        if self.config.colgen {
+            let prior = self.colgen_state.take();
+            let out = solve_colgen(inst, &ColGenOptions::default(), prior.as_ref())?;
+            self.colgen_state = Some(out.state);
+            self.pricing_rounds += out.stats.rounds;
+            Ok(out.schedule)
+        } else {
+            let warm = if self.config.warm_start {
+                self.basis.take()
+            } else {
+                None
+            };
+            let (s, next) = solve_warm(inst, warm.as_ref())?;
+            self.basis = Some(next);
+            Ok(s)
+        }
     }
 
     fn unread(&self, ctx: &SchedulerContext<'_>, data: DataId, store: StoreId) -> f64 {
@@ -336,28 +391,15 @@ impl Scheduler for LipsScheduler {
             },
         };
         self.solves += 1;
-        // Epoch e+1 starts from epoch e's optimal basis. `take` so a failed
-        // solve drops the stale basis instead of retrying it forever.
-        let warm = if self.config.warm_start {
-            self.basis.take()
-        } else {
-            None
-        };
-        let sched = match solve_warm(&inst, warm.as_ref()) {
-            Ok((s, next)) => {
-                self.basis = Some(next);
-                s
-            }
+        let sched = match self.epoch_solve(&inst) {
+            Ok(s) => s,
             Err(_) if !inst.pool_floors.is_empty() => {
                 // Fairness floors can conflict with data/capacity
                 // constraints; cost-only scheduling is the sane fallback.
                 let mut relaxed = inst.clone();
                 relaxed.pool_floors.clear();
-                match solve_warm(&relaxed, warm.as_ref()) {
-                    Ok((s, next)) => {
-                        self.basis = Some(next);
-                        s
-                    }
+                match self.epoch_solve(&relaxed) {
+                    Ok(s) => s,
                     Err(_) => {
                         self.lp_failures += 1;
                         return self.greedy_fallback(ctx);
@@ -658,6 +700,39 @@ mod tests {
             warm_iters <= cold_iters,
             "warm start cost extra pivots: {warm_iters} vs {cold_iters}"
         );
+    }
+
+    #[test]
+    fn colgen_and_exact_epoch_loops_agree_on_cost() {
+        // Column generation is a solve-path knob like warm_start: every
+        // epoch is certified against the full model, so an identical run
+        // with it on and off must land on the same total dollars.
+        let run = |colgen: bool| {
+            let mut cluster = ec2_20_node(0.5, 1e9);
+            let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
+            let placement = Placement::spread_blocks(&cluster, 9);
+            let mut cfg = LipsConfig::small_cluster(400.0);
+            cfg.colgen = colgen;
+            let mut sched = LipsScheduler::new(cfg);
+            let report = Simulation::new(&cluster, &bound)
+                .with_placement(placement)
+                .run(&mut sched)
+                .unwrap();
+            (
+                report.metrics.total_dollars(),
+                sched.pricing_rounds(),
+                sched.solves(),
+            )
+        };
+        let (cg_cost, rounds, solves) = run(true);
+        let (exact_cost, no_rounds, _) = run(false);
+        let scale = 1.0 + exact_cost.abs();
+        assert!(
+            (cg_cost - exact_cost).abs() / scale < 1e-6,
+            "colgen ${cg_cost} vs exact ${exact_cost}"
+        );
+        assert!(rounds >= solves, "every colgen solve prices at least once");
+        assert_eq!(no_rounds, 0);
     }
 
     #[test]

@@ -152,20 +152,11 @@ struct VarMaps {
     ann: ModelAnnotations,
 }
 
-/// Build the LP [`Model`] for an instance. Returns the model plus the maps
-/// needed to decode a solution.
-fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
+/// Candidate machine/store sets per job: the full Fig 3/4 column space
+/// after [`PruneConfig`]. Shared by the one-shot builder and the
+/// column-generation loop so both price exactly the same arcs.
+fn candidates(inst: &LpInstance<'_>) -> (Vec<Vec<MachineId>>, Vec<Vec<StoreId>>) {
     let cluster = inst.cluster;
-    let mut model = Model::minimize();
-    let mut maps = VarMaps {
-        xt: HashMap::new(),
-        nd: Vec::new(),
-        fake: HashMap::new(),
-        capacity_rows: Vec::new(),
-        ann: ModelAnnotations::default(),
-    };
-
-    // --- candidate selection -------------------------------------------
     // Machines sorted by CPU price once (cheap-cycle preference).
     let mut machines_by_price: Vec<MachineId> = cluster.machines.iter().map(|m| m.id).collect();
     machines_by_price.sort_by(|a, b| {
@@ -214,22 +205,146 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         job_machines.push(machines);
         job_stores.push(stores);
     }
+    (job_machines, job_stores)
+}
+
+/// Name of a task-arc variable. Keyed by *job id* (not LP index): ids are
+/// stable across epochs while indices shift as jobs complete and arrive,
+/// and both the warm-start basis and the cross-epoch colgen active set are
+/// matched by name.
+fn arc_name(job: &LpJob, l: MachineId, m: Option<StoreId>) -> String {
+    let id = job.id.0;
+    match m {
+        Some(m) => format!("xt_{id}_{}_{}", l.0, m.0),
+        None => format!("xt_{id}_{}", l.0),
+    }
+}
+
+/// LP cost of one task arc — Eq (7)+(8): CPU dollars + read dollars per
+/// unit fraction.
+fn arc_cost(inst: &LpInstance<'_>, k: usize, l: MachineId, m: Option<StoreId>) -> f64 {
+    let job = &inst.jobs[k];
+    let cpu = job.work_ecu() * inst.cluster.machine(l).cpu_cost;
+    match m {
+        Some(m) => cpu + job.size_mb * inst.cluster.ms_cost(l, m),
+        None => cpu,
+    }
+}
+
+/// One candidate task column `(job, machine, source store)`.
+#[derive(Debug, Clone)]
+struct ArcCand {
+    k: usize,
+    l: MachineId,
+    m: Option<StoreId>,
+    name: String,
+    cost: f64,
+}
+
+/// Every candidate arc of the full model, in builder emission order.
+fn enumerate_arcs(
+    inst: &LpInstance<'_>,
+    job_machines: &[Vec<MachineId>],
+    job_stores: &[Vec<StoreId>],
+) -> Vec<ArcCand> {
+    let mut arcs = Vec::new();
+    for (k, job) in inst.jobs.iter().enumerate() {
+        for &l in &job_machines[k] {
+            if job.size_mb > 0.0 {
+                for &m in &job_stores[k] {
+                    arcs.push(ArcCand {
+                        k,
+                        l,
+                        m: Some(m),
+                        name: arc_name(job, l, Some(m)),
+                        cost: arc_cost(inst, k, l, Some(m)),
+                    });
+                }
+            } else {
+                arcs.push(ArcCand {
+                    k,
+                    l,
+                    m: None,
+                    name: arc_name(job, l, None),
+                    cost: arc_cost(inst, k, l, None),
+                });
+            }
+        }
+    }
+    arcs
+}
+
+/// Row handles the column-generation loop needs to assemble the column of
+/// an arc that is *not* in the restricted master (for pricing and for the
+/// excluded-column certificate).
+#[derive(Debug, Default)]
+struct RowIds {
+    /// Coverage row (20) per job index.
+    cov: Vec<lips_lp::ConstraintId>,
+    /// Linking row (24) per (job index, store).
+    lnk: HashMap<(usize, StoreId), lips_lp::ConstraintId>,
+    /// CPU-capacity row (23) per machine.
+    cpu: HashMap<MachineId, lips_lp::ConstraintId>,
+    /// Transfer-time row (21) per machine.
+    xfer: HashMap<MachineId, lips_lp::ConstraintId>,
+    /// Pool-floor rows each job participates in.
+    job_pools: Vec<Vec<lips_lp::ConstraintId>>,
+}
+
+/// Build the LP [`Model`] for an instance. Returns the model plus the maps
+/// needed to decode a solution.
+fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
+    let (job_machines, job_stores) = candidates(inst);
+    let (model, maps, _) = build_filtered(inst, &job_machines, &job_stores, None);
+    (model, maps)
+}
+
+/// Build the (possibly restricted) LP: when `active` is given, only task
+/// arcs whose name it contains become columns; `nd`/fake columns and —
+/// crucially — the *row set* are always exactly those of the full model,
+/// so a restricted master's duals price excluded columns correctly and
+/// [`lips_audit::certify_restricted`] can verify the zero-extension
+/// argument row-for-row. (Rows whose full-model terms would all be
+/// excluded are still emitted, merely empty for now; their slack stays
+/// basic at zero cost.)
+fn build_filtered(
+    inst: &LpInstance<'_>,
+    job_machines: &[Vec<MachineId>],
+    job_stores: &[Vec<StoreId>],
+    active: Option<&std::collections::HashSet<String>>,
+) -> (Model, VarMaps, RowIds) {
+    let cluster = inst.cluster;
+    let mut model = Model::minimize();
+    let mut maps = VarMaps {
+        xt: HashMap::new(),
+        nd: Vec::new(),
+        fake: HashMap::new(),
+        capacity_rows: Vec::new(),
+        ann: ModelAnnotations::default(),
+    };
+    let mut rows = RowIds {
+        job_pools: vec![Vec::new(); inst.jobs.len()],
+        ..RowIds::default()
+    };
+    let is_active = |name: &str| active.is_none_or(|set| set.contains(name));
+    // Whether job k contributes any *candidate* arc on machine l (active or
+    // not) — the row-emission predicate, which must not depend on `active`.
+    let job_uses_machine = |k: usize, l: MachineId| -> bool {
+        job_machines[k].contains(&l) && (inst.jobs[k].size_mb <= 0.0 || !job_stores[k].is_empty())
+    };
 
     // --- variables ------------------------------------------------------
-    // Variable names are keyed by *job id* (not LP index): ids are stable
-    // across epochs while indices shift as jobs complete and arrive, and
-    // the warm-start basis is matched by name (see `solve_warm`).
     for (k, job) in inst.jobs.iter().enumerate() {
         let work = job.work_ecu();
         let id = job.id.0;
         if job.size_mb > 0.0 {
             for &l in &job_machines[k] {
-                let cpu_price = cluster.machine(l).cpu_cost;
                 for &m in &job_stores[k] {
-                    // Eq (7)+(8): CPU dollars + read dollars per unit
-                    // fraction.
-                    let cost = work * cpu_price + job.size_mb * cluster.ms_cost(l, m);
-                    let v = model.add_var(format!("xt_{id}_{}_{}", l.0, m.0), 0.0, 1.0, cost);
+                    let name = arc_name(job, l, Some(m));
+                    if !is_active(&name) {
+                        continue;
+                    }
+                    let v = model.add_var(name, 0.0, 1.0, arc_cost(inst, k, l, Some(m)));
                     maps.xt.insert((k, l, Some(m)), v);
                     maps.ann.annotate_var(
                         v,
@@ -301,8 +416,11 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         } else {
             // Input-less job: one variable per machine.
             for &l in &job_machines[k] {
-                let cost = work * cluster.machine(l).cpu_cost;
-                let v = model.add_var(format!("xt_{id}_{}", l.0), 0.0, 1.0, cost);
+                let name = arc_name(job, l, None);
+                if !is_active(&name) {
+                    continue;
+                }
+                let v = model.add_var(name, 0.0, 1.0, arc_cost(inst, k, l, None));
                 maps.xt.insert((k, l, None), v);
                 maps.ann.annotate_var(
                     v,
@@ -322,16 +440,20 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
     }
 
     // --- constraints ----------------------------------------------------
+    // Active-arc lookups go through `maps.xt.get` from here on: a
+    // restricted master simply has fewer terms per row, never fewer rows.
     // (20): every job fully assigned (fake node included).
     for (k, job) in inst.jobs.iter().enumerate() {
         let mut terms: Vec<(VarId, f64)> = Vec::new();
         for &l in &job_machines[k] {
             if job.size_mb > 0.0 {
                 for &m in &job_stores[k] {
-                    terms.push((maps.xt[&(k, l, Some(m))], 1.0));
+                    if let Some(&v) = maps.xt.get(&(k, l, Some(m))) {
+                        terms.push((v, 1.0));
+                    }
                 }
-            } else {
-                terms.push((maps.xt[&(k, l, None)], 1.0));
+            } else if let Some(&v) = maps.xt.get(&(k, l, None)) {
+                terms.push((v, 1.0));
             }
         }
         if let Some(&f) = maps.fake.get(&k) {
@@ -340,6 +462,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         let row = model.add_constraint(terms, Cmp::Ge, 1.0);
         model.name_constraint(row, format!("cov_{}", job.id.0));
         maps.ann.annotate_row(row, RowKind::Coverage { job: k });
+        rows.cov.push(row);
     }
 
     // (24)/(13): task reads bounded by availability + new copies.
@@ -351,7 +474,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         for &m in &job_stores[k] {
             let mut terms: Vec<(VarId, f64)> = job_machines[k]
                 .iter()
-                .map(|&l| (maps.xt[&(k, l, Some(m))], 1.0))
+                .filter_map(|&l| maps.xt.get(&(k, l, Some(m))).map(|&v| (v, 1.0)))
                 .collect();
             for nd in maps.nd.iter().filter(|n| n.job == k && n.dest == m) {
                 terms.push((nd.var, -1.0));
@@ -361,31 +484,37 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             model.name_constraint(row, format!("lnk_{}_{}", job.id.0, m.0));
             maps.ann
                 .annotate_row(row, RowKind::Linking { job: k, store: m });
+            rows.lnk.insert((k, m), row);
         }
     }
 
     // (23)/(12): machine CPU capacity.
     for mid in cluster.machines.iter().map(|m| m.id) {
         let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut any_candidate = false;
         for (k, job) in inst.jobs.iter().enumerate() {
             let work = job.work_ecu();
-            if !job_machines[k].contains(&mid) {
+            if !job_uses_machine(k, mid) {
                 continue;
             }
+            any_candidate = true;
             if job.size_mb > 0.0 {
                 for &m in &job_stores[k] {
-                    terms.push((maps.xt[&(k, mid, Some(m))], work));
+                    if let Some(&v) = maps.xt.get(&(k, mid, Some(m))) {
+                        terms.push((v, work));
+                    }
                 }
-            } else {
-                terms.push((maps.xt[&(k, mid, None)], work));
+            } else if let Some(&v) = maps.xt.get(&(k, mid, None)) {
+                terms.push((v, work));
             }
         }
-        if !terms.is_empty() {
+        if any_candidate {
             let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
             let row = model.add_constraint(terms, Cmp::Le, cap);
             model.name_constraint(row, format!("cpu_{}", mid.0));
             maps.ann.annotate_row(row, RowKind::CpuCap { machine: mid });
             maps.capacity_rows.push((mid, row));
+            rows.cpu.insert(mid, row);
         }
     }
 
@@ -393,21 +522,26 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
     if inst.enforce_transfer_time {
         for mid in cluster.machines.iter().map(|m| m.id) {
             let mut terms: Vec<(VarId, f64)> = Vec::new();
+            let mut any_candidate = false;
             for (k, job) in inst.jobs.iter().enumerate() {
-                if job.size_mb <= 0.0 || !job_machines[k].contains(&mid) {
+                if job.size_mb <= 0.0 || !job_uses_machine(k, mid) {
                     continue;
                 }
+                any_candidate = true;
                 for &m in &job_stores[k] {
-                    let bw = cluster.bandwidth_machine_store(mid, m);
-                    terms.push((maps.xt[&(k, mid, Some(m))], job.size_mb / bw));
+                    if let Some(&v) = maps.xt.get(&(k, mid, Some(m))) {
+                        let bw = cluster.bandwidth_machine_store(mid, m);
+                        terms.push((v, job.size_mb / bw));
+                    }
                 }
             }
-            if !terms.is_empty() {
+            if any_candidate {
                 let budget = inst.duration * f64::from(cluster.machine(mid).slots);
                 let row = model.add_constraint(terms, Cmp::Le, budget);
                 model.name_constraint(row, format!("xfer_{}", mid.0));
                 maps.ann
                     .annotate_row(row, RowKind::TransferTime { machine: mid });
+                rows.xfer.insert(mid, row);
             }
         }
     }
@@ -418,23 +552,32 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
             continue;
         }
         let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut any_candidate = false;
         for &k in members {
             let job = &inst.jobs[k];
             let work = job.work_ecu();
             for &l in &job_machines[k] {
+                if job_uses_machine(k, l) {
+                    any_candidate = true;
+                }
                 if job.size_mb > 0.0 {
                     for &m in &job_stores[k] {
-                        terms.push((maps.xt[&(k, l, Some(m))], work));
+                        if let Some(&v) = maps.xt.get(&(k, l, Some(m))) {
+                            terms.push((v, work));
+                        }
                     }
-                } else {
-                    terms.push((maps.xt[&(k, l, None)], work));
+                } else if let Some(&v) = maps.xt.get(&(k, l, None)) {
+                    terms.push((v, work));
                 }
             }
         }
-        if !terms.is_empty() {
+        if any_candidate {
             let row = model.add_constraint(terms, Cmp::Ge, *min_ecu);
             model.name_constraint(row, format!("pool_{pool}"));
             maps.ann.annotate_row(row, RowKind::PoolFloor { pool });
+            for &k in members {
+                rows.job_pools[k].push(row);
+            }
         }
     }
 
@@ -462,7 +605,7 @@ fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
         }
     }
 
-    (model, maps)
+    (model, maps, rows)
 }
 
 /// Ground-truth expectations for `lips-audit`'s paper-invariant pass,
@@ -629,6 +772,316 @@ pub fn solve_warm_with_shadow_prices(
         .collect();
     let next = sol.warm_start().cloned().unwrap_or_default();
     Ok((decode(inst, &maps, &sol), shadows, next))
+}
+
+/// Number of task-assignment (`x^t`) columns the full model would carry
+/// under the instance's pruning — the denominator of [`solve_colgen`]'s
+/// active-column share.
+pub fn count_task_columns(inst: &LpInstance<'_>) -> usize {
+    let (job_machines, job_stores) = candidates(inst);
+    enumerate_arcs(inst, &job_machines, &job_stores).len()
+}
+
+/// Tuning for the delayed-column-generation solve ([`solve_colgen`]).
+#[derive(Debug, Clone)]
+pub struct ColGenOptions {
+    /// Arcs seeding the restricted master per job, cheapest LP cost first.
+    /// This is Figure 1's dominance rule (`c·a > c·b + d`) used as a
+    /// *seeding* heuristic: the arc cost already folds the move/read price
+    /// `d` into the cycle price comparison, so the top-N cheapest arcs are
+    /// exactly the undominated ones. Dominance must never *prune* — a
+    /// capacity- or transfer-bound optimum can need dominated arcs, which
+    /// is why every excluded arc is still priced each round.
+    pub seed_arcs_per_job: usize,
+    /// Safety valve: past this many pricing rounds the whole remaining
+    /// column set is appended at once and the model solved exactly. The
+    /// loop terminates without it (every round appends ≥ 1 column), but a
+    /// bound keeps worst-case degenerate instances from crawling.
+    pub max_rounds: usize,
+}
+
+impl Default for ColGenOptions {
+    fn default() -> Self {
+        ColGenOptions {
+            seed_arcs_per_job: 8,
+            max_rounds: 50,
+        }
+    }
+}
+
+/// Cross-epoch column-generation state: the task arcs that mattered at the
+/// previous epoch's optimum plus its basis. Seeding the next epoch's
+/// restricted master with both means a churned job only *perturbs* the
+/// master (its arcs enter via pricing) instead of rebuilding the column
+/// set from scratch — arc names are keyed by job id, so surviving names
+/// keep denoting the same `(job, machine, store)` arc across epochs.
+#[derive(Debug, Clone, Default)]
+pub struct ColGenState {
+    active: std::collections::HashSet<String>,
+    basis: WarmStart,
+}
+
+impl ColGenState {
+    /// Number of task columns carried into the next epoch.
+    pub fn carried_columns(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// Telemetry from one column-generated solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColGenStats {
+    /// Master solves performed (1 = the seed already priced out nothing).
+    pub rounds: usize,
+    /// Columns appended by pricing across all rounds.
+    pub appended: usize,
+    /// Task columns in the final master.
+    pub active_columns: usize,
+    /// Task columns of the full model (`active_columns / total_columns`
+    /// is the acceptance criterion's "active share").
+    pub total_columns: usize,
+    /// Wall-clock spent building the master and appending columns
+    /// (everything except the simplex itself and certification).
+    pub build_ms: f64,
+}
+
+/// Everything a column-generated epoch solve hands back.
+#[derive(Debug, Clone)]
+pub struct ColGenOutcome {
+    pub schedule: FractionalSchedule,
+    /// Shadow price of each machine's CPU-capacity row (see
+    /// [`solve_with_shadow_prices`]).
+    pub shadow_prices: Vec<(MachineId, f64)>,
+    /// Full-model KKT certificate: the master's own certificate plus a
+    /// pricing pass over every excluded column.
+    pub certificate: lips_audit::RestrictedCertificate,
+    /// Carry into the next epoch's [`solve_colgen`] call.
+    pub state: ColGenState,
+    pub stats: ColGenStats,
+}
+
+fn ms_since(t: std::time::Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Solve `inst` by delayed column generation over a restricted master.
+///
+/// The master starts with every `nd`/fake column, the full row set, and
+/// only the seed task arcs (top-N cheapest per job, plus whatever `prior`
+/// carried over). Each round solves the master warm from the incumbent
+/// basis, prices every excluded arc against the master's duals
+/// ([`lips_lp::ColumnPricer`]), appends everything that prices out through
+/// [`Model::add_column`], and repeats until nothing does — at which point
+/// the master's optimum *is* the full model's optimum, and the returned
+/// certificate proves it by re-pricing every excluded column
+/// independently ([`lips_audit::certify_restricted`]).
+///
+/// A restriction can be infeasible where the full model is not (a pool
+/// floor unreachable on the seeded machines); the loop then appends the
+/// whole remainder and retries once, so feasibility semantics match
+/// [`solve`] exactly.
+///
+/// # Panics
+///
+/// Like [`solve_certified`], panics if the final solution fails
+/// certification — a wrong "optimal" schedule must not be silently used.
+pub fn solve_colgen(
+    inst: &LpInstance<'_>,
+    opts: &ColGenOptions,
+    prior: Option<&ColGenState>,
+) -> Result<ColGenOutcome, LpError> {
+    use std::collections::HashSet;
+
+    let t_build = std::time::Instant::now();
+    let (job_machines, job_stores) = candidates(inst);
+    let arcs = enumerate_arcs(inst, &job_machines, &job_stores);
+
+    // --- seed the active set -------------------------------------------
+    let mut active: HashSet<String> = HashSet::new();
+    {
+        let mut by_job: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, a) in arcs.iter().enumerate() {
+            by_job.entry(a.k).or_default().push(i);
+        }
+        for idxs in by_job.values_mut() {
+            idxs.sort_by(|&a, &b| {
+                arcs[a]
+                    .cost
+                    .total_cmp(&arcs[b].cost)
+                    .then_with(|| arcs[a].name.cmp(&arcs[b].name))
+            });
+            for &i in idxs.iter().take(opts.seed_arcs_per_job.max(1)) {
+                active.insert(arcs[i].name.clone());
+            }
+        }
+    }
+    if let Some(p) = prior {
+        let known: HashSet<&str> = arcs.iter().map(|a| a.name.as_str()).collect();
+        for name in &p.active {
+            if known.contains(name.as_str()) {
+                active.insert(name.clone());
+            }
+        }
+    }
+
+    let (mut model, mut maps, rows) =
+        build_filtered(inst, &job_machines, &job_stores, Some(&active));
+    let mut build_ms = ms_since(t_build);
+
+    // Column of one arc in the master's rows — must mirror the builder's
+    // coefficients exactly (same work/size/bandwidth formulas).
+    let arc_terms = |a: &ArcCand| -> Vec<(lips_lp::ConstraintId, f64)> {
+        let job = &inst.jobs[a.k];
+        let work = job.work_ecu();
+        let mut t = vec![(rows.cov[a.k], 1.0)];
+        if let Some(m) = a.m {
+            t.push((rows.lnk[&(a.k, m)], 1.0));
+            if let Some(&x) = rows.xfer.get(&a.l) {
+                let bw = inst.cluster.bandwidth_machine_store(a.l, m);
+                t.push((x, job.size_mb / bw));
+            }
+        }
+        if let Some(&c) = rows.cpu.get(&a.l) {
+            t.push((c, work));
+        }
+        for &p in &rows.job_pools[a.k] {
+            t.push((p, work));
+        }
+        t
+    };
+    let append_arc = |model: &mut Model, maps: &mut VarMaps, a: &ArcCand| {
+        let v = model.add_column(a.name.clone(), 0.0, 1.0, a.cost, arc_terms(a));
+        maps.xt.insert((a.k, a.l, a.m), v);
+        maps.ann.annotate_var(
+            v,
+            VarKind::Assign {
+                job: a.k,
+                machine: a.l,
+                store: a.m,
+            },
+        );
+    };
+
+    // --- restricted-master / pricing loop ------------------------------
+    let mut warm: Option<WarmStart> = prior.map(|p| p.basis.clone());
+    let mut stats = ColGenStats {
+        total_columns: arcs.len(),
+        ..ColGenStats::default()
+    };
+    let mut agg = SolveStats::default();
+    let mut first_warm: Option<lips_lp::WarmOutcome> = None;
+    let sol = loop {
+        stats.rounds += 1;
+        let sol = match model.solve_warm(warm.as_ref()) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) if active.len() < arcs.len() => {
+                // The *restriction* may be infeasible even when the
+                // instance is not: append everything and match `solve`'s
+                // feasibility semantics exactly.
+                let t = std::time::Instant::now();
+                for a in arcs.iter().filter(|a| !active.contains(&a.name)) {
+                    append_arc(&mut model, &mut maps, a);
+                    stats.appended += 1;
+                }
+                active.extend(arcs.iter().map(|a| a.name.clone()));
+                build_ms += ms_since(t);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let s = sol.stats();
+        agg.iterations += s.iterations;
+        agg.phase1_iterations += s.phase1_iterations;
+        agg.refactors += s.refactors;
+        agg.ftran_nnz += s.ftran_nnz;
+        agg.solve_ms += s.solve_ms;
+        first_warm.get_or_insert(s.warm);
+
+        let pricer =
+            lips_lp::ColumnPricer::new(&model, &sol).expect("revised simplex always reports duals");
+        let t = std::time::Instant::now();
+        let mut entering: Vec<&ArcCand> = arcs
+            .iter()
+            .filter(|a| !active.contains(&a.name))
+            .filter(|a| pricer.prices_out(a.cost, &arc_terms(a)))
+            .collect();
+        if entering.is_empty() {
+            build_ms += ms_since(t);
+            break sol;
+        }
+        if stats.rounds >= opts.max_rounds {
+            // Round budget exhausted: go exact in one step.
+            entering = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
+        }
+        for a in entering {
+            append_arc(&mut model, &mut maps, a);
+            active.insert(a.name.clone());
+            stats.appended += 1;
+        }
+        build_ms += ms_since(t);
+        warm = sol.warm_start().cloned();
+    };
+
+    // --- certify against the full model --------------------------------
+    let excluded: Vec<lips_audit::ExcludedColumn> = arcs
+        .iter()
+        .filter(|a| !active.contains(&a.name))
+        .map(|a| lips_audit::ExcludedColumn {
+            name: a.name.clone(),
+            obj: a.cost,
+            terms: arc_terms(a),
+        })
+        .collect();
+    let certificate = lips_audit::certify_restricted(&model, &sol, &excluded)
+        .expect("revised simplex always reports duals");
+    assert!(
+        certificate.is_optimal(),
+        "colgen master failed full-model certification: {certificate}"
+    );
+
+    // --- decode + next-epoch state --------------------------------------
+    let sens = lips_lp::sensitivity::analyze(&model, &sol);
+    let shadow_prices: Vec<(MachineId, f64)> = maps
+        .capacity_rows
+        .iter()
+        .map(|&(m, row)| {
+            (
+                m,
+                sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    let basis = sol.warm_start().cloned().unwrap_or_default();
+    // Carry only the columns that mattered at the optimum (basic or at a
+    // nonzero value): the master stays lean across epochs instead of
+    // monotonically accreting every column that ever priced in.
+    let surviving: HashSet<String> = maps
+        .xt
+        .values()
+        .filter_map(|&v| {
+            let name = model.var_name(v);
+            let keep =
+                sol.value_of(v) > 1e-9 || basis.var(name) == Some(lips_lp::BasisStatus::Basic);
+            keep.then(|| name.to_string())
+        })
+        .collect();
+    stats.active_columns = maps.xt.len();
+    stats.build_ms = build_ms;
+
+    let mut schedule = decode(inst, &maps, &sol);
+    schedule.iterations = agg.iterations;
+    agg.warm = first_warm.unwrap_or_default();
+    schedule.stats = agg;
+    Ok(ColGenOutcome {
+        schedule,
+        shadow_prices,
+        certificate,
+        state: ColGenState {
+            active: surviving,
+            basis,
+        },
+        stats,
+    })
 }
 
 /// Decode a solved LP back into schedule entities.
@@ -969,5 +1422,119 @@ mod tests {
         // Pruned model must not cost less than the exact one.
         let exact = solve(&base_inst(&cluster, inst.jobs.clone())).unwrap();
         assert!(sched.predicted_dollars >= exact.predicted_dollars - 1e-9);
+    }
+
+    fn spread_jobs(n: usize) -> Vec<LpJob> {
+        (0..n)
+            .map(|i| LpJob {
+                id: JobId(i),
+                data: Some(DataId(i)),
+                size_mb: 512.0 + 64.0 * i as f64,
+                tcp: 0.2 + 0.3 * (i % 5) as f64,
+                fixed_ecu: 0.0,
+                avail: vec![(StoreId(i % 20), 1.0)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn colgen_matches_full_solve_objective() {
+        // A tiny seed forces real pricing rounds; the column-generated
+        // optimum must still coincide with the full model's to LP tolerance,
+        // certified against every excluded column.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let inst = base_inst(&cluster, spread_jobs(8));
+        let full = solve(&inst).unwrap();
+        let opts = ColGenOptions {
+            seed_arcs_per_job: 2,
+            ..ColGenOptions::default()
+        };
+        let out = solve_colgen(&inst, &opts, None).unwrap();
+        assert!(out.certificate.is_optimal(), "{}", out.certificate);
+        assert!(
+            (out.schedule.lp_objective - full.lp_objective).abs() < 1e-6,
+            "colgen {} vs full {}",
+            out.schedule.lp_objective,
+            full.lp_objective
+        );
+        assert!(out.stats.active_columns <= out.stats.total_columns);
+        assert!(out.stats.rounds >= 1);
+        // The whole point: the master never grew to the full column set.
+        assert!(
+            out.stats.active_columns < out.stats.total_columns,
+            "master ended with all {} columns active",
+            out.stats.total_columns
+        );
+    }
+
+    #[test]
+    fn colgen_state_reuse_matches_cold_colgen() {
+        // Epoch 2 perturbs epoch 1 (one job's work drifts); reusing the
+        // surviving column set + basis must land on the same optimum the
+        // full model finds.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let opts = ColGenOptions::default();
+        let inst1 = base_inst(&cluster, spread_jobs(6));
+        let e1 = solve_colgen(&inst1, &opts, None).unwrap();
+        assert!(e1.state.carried_columns() > 0);
+
+        let mut jobs2 = spread_jobs(6);
+        jobs2[3].tcp *= 1.5;
+        let inst2 = base_inst(&cluster, jobs2);
+        let full2 = solve(&inst2).unwrap();
+        let e2 = solve_colgen(&inst2, &opts, Some(&e1.state)).unwrap();
+        assert!(e2.certificate.is_optimal(), "{}", e2.certificate);
+        assert!(
+            (e2.schedule.lp_objective - full2.lp_objective).abs() < 1e-6,
+            "warm colgen {} vs full {}",
+            e2.schedule.lp_objective,
+            full2.lp_objective
+        );
+    }
+
+    #[test]
+    fn colgen_survives_infeasible_seed_restriction() {
+        // A fair-share floor demanding every machine's cycles: the cheap
+        // seed arcs alone cannot meet it, so the restricted master is
+        // infeasible while the full model is not. The fallback must append
+        // the remainder and still solve.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let jobs = spread_jobs(4);
+        let total_cap: f64 = cluster
+            .machines
+            .iter()
+            .map(|m| m.capacity_ecu_seconds(2_000.0))
+            .sum();
+        let mut inst = base_inst(&cluster, jobs);
+        inst.duration = 2_000.0;
+        // Scale job work up so the floor is only reachable using most
+        // machines, then demand 80% of cluster capacity from the pool.
+        for j in &mut inst.jobs {
+            j.tcp = total_cap * 0.22 / j.size_mb;
+        }
+        inst.pool_floors = vec![((0..4).collect(), total_cap * 0.8)];
+        let full = solve(&inst).unwrap();
+        let opts = ColGenOptions {
+            seed_arcs_per_job: 1,
+            ..ColGenOptions::default()
+        };
+        let out = solve_colgen(&inst, &opts, None).unwrap();
+        assert!(out.certificate.is_optimal(), "{}", out.certificate);
+        assert!((out.schedule.lp_objective - full.lp_objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn colgen_shadow_prices_match_direct_solve() {
+        let cluster = two_node();
+        let work_ecu = 10_000.0;
+        let size = 1024.0;
+        let mut inst = base_inst(&cluster, vec![one_job(size, work_ecu / size, StoreId(0))]);
+        inst.duration = work_ecu / 7.0 * 1.0001; // both CPU rows bind
+        let (_, direct) = solve_with_shadow_prices(&inst).unwrap();
+        let out = solve_colgen(&inst, &ColGenOptions::default(), None).unwrap();
+        for ((m1, p1), (m2, p2)) in direct.iter().zip(out.shadow_prices.iter()) {
+            assert_eq!(m1, m2);
+            assert!((p1 - p2).abs() < 1e-6, "machine {m1:?}: {p1} vs {p2}");
+        }
     }
 }

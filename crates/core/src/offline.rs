@@ -11,7 +11,10 @@ use lips_lp::LpError;
 use lips_sim::Placement;
 use lips_workload::JobSpec;
 
-use crate::lp_build::{solve, FractionalSchedule, LpInstance, LpJob, PruneConfig};
+use crate::lp_build::{
+    solve, solve_colgen, ColGenOptions, ColGenOutcome, FractionalSchedule, LpInstance, LpJob,
+    PruneConfig,
+};
 
 /// Result of an offline solve (alias; all schedule queries live on
 /// [`FractionalSchedule`]).
@@ -82,6 +85,33 @@ pub fn co_schedule(
         pool_floors: vec![],
         prune: PruneConfig::default(),
     })
+}
+
+/// **Fig 3 via column generation** — same optimum as [`co_schedule`]
+/// (certified against the full model), reached through a restricted
+/// master that typically activates a fraction of the full column set.
+/// Prefer this for one-shot solves on large clusters; the returned
+/// [`ColGenOutcome`] also carries the certificate and column statistics.
+pub fn co_schedule_colgen(
+    cluster: &Cluster,
+    jobs: Vec<LpJob>,
+    uptime: f64,
+) -> Result<ColGenOutcome, LpError> {
+    solve_colgen(
+        &LpInstance {
+            cluster,
+            jobs,
+            duration: uptime,
+            fake_cost: None,
+            allow_moves: true,
+            enforce_transfer_time: false,
+            store_free_mb: vec![],
+            pool_floors: vec![],
+            prune: PruneConfig::default(),
+        },
+        &ColGenOptions::default(),
+        None,
+    )
 }
 
 /// **§IV greedy** — for each job pick the `(machine, holder-store)` pair
@@ -191,6 +221,20 @@ mod tests {
             "lp {} vs greedy {}",
             lp.predicted_dollars,
             greedy_cost
+        );
+    }
+
+    #[test]
+    fn co_schedule_colgen_matches_co_schedule() {
+        let (cluster, jobs) = setup();
+        let full = co_schedule(&cluster, jobs.clone(), 1e6).unwrap();
+        let cg = co_schedule_colgen(&cluster, jobs, 1e6).unwrap();
+        assert!(cg.certificate.is_optimal(), "{}", cg.certificate);
+        assert!(
+            (cg.schedule.predicted_dollars - full.predicted_dollars).abs() < 1e-6,
+            "colgen {} vs full {}",
+            cg.schedule.predicted_dollars,
+            full.predicted_dollars
         );
     }
 

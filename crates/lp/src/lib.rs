@@ -42,6 +42,7 @@ pub mod error;
 pub mod lu;
 pub mod model;
 pub mod presolve;
+pub mod pricing;
 pub mod revised;
 pub mod scaling;
 pub mod sensitivity;
@@ -53,6 +54,7 @@ pub mod standard;
 pub use basis::{BasisStatus, WarmOutcome, WarmStart};
 pub use error::LpError;
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
+pub use pricing::ColumnPricer;
 pub use solution::{Solution, SolveStats, Status};
 
 /// Default feasibility / optimality tolerance used across the crate.

@@ -123,6 +123,43 @@ impl Model {
         VarId(self.vars.len() - 1)
     }
 
+    /// Append a full column to a live model: a new variable together with
+    /// its coefficients in *existing* rows. This is the incremental entry
+    /// point for delayed column generation — after a restricted master has
+    /// been built and solved, columns that price out (see
+    /// [`crate::pricing`]) are appended here and the model re-solved from
+    /// the incumbent basis via [`Model::solve_warm`]; the new column is
+    /// unknown to the saved basis and therefore starts nonbasic at a bound,
+    /// exactly the state a freshly priced-in column should have.
+    ///
+    /// Rows not mentioned get a zero coefficient. Mentioning the same row
+    /// twice sums the coefficients (the same convention as duplicate terms
+    /// in [`Model::add_constraint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a constraint that does not exist yet;
+    /// columns can only be appended into rows that are already present.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        lb: f64,
+        ub: f64,
+        obj: f64,
+        terms: impl IntoIterator<Item = (ConstraintId, f64)>,
+    ) -> VarId {
+        let v = self.add_var(name, lb, ub, obj);
+        for (c, coef) in terms {
+            assert!(
+                c.0 < self.cons.len(),
+                "add_column term references unknown constraint {}",
+                c.0
+            );
+            self.cons[c.0].terms.push((v.0, coef));
+        }
+        v
+    }
+
     /// Add a constraint `Σ coef·var  cmp  rhs`.
     pub fn add_constraint(
         &mut self,
@@ -483,6 +520,50 @@ mod tests {
         m.add_var("x", 0.0, 1.0, 3.0);
         m.add_var("y", 0.0, 1.0, -2.0);
         assert!((m.objective_of(&[1.0, 0.5]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_column_appends_into_existing_rows() {
+        // min 3x s.t. x ≥ 2 → 6; appending y (cost 1, same row) → y=2, obj 2.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 3.0);
+        let c = m.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        assert!((m.solve().unwrap().objective() - 6.0).abs() < 1e-6);
+        let y = m.add_column("y", 0.0, 10.0, 1.0, [(c, 1.0)]);
+        m.validate().unwrap();
+        let sol = m.solve().unwrap();
+        assert!((sol.objective() - 2.0).abs() < 1e-6);
+        assert!((sol.value_of(y) - 2.0).abs() < 1e-6);
+        assert!(sol.value_of(x).abs() < 1e-6);
+        assert_eq!(m.num_vars(), 2);
+    }
+
+    #[test]
+    fn add_column_then_warm_resolve_matches_cold() {
+        // The appended column must survive a warm re-solve from the
+        // incumbent basis (it starts nonbasic at its lower bound).
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let r0 = m.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        let r1 = m.add_constraint([(x, 1.0)], Cmp::Le, 8.0);
+        m.name_constraint(r0, "demand");
+        m.name_constraint(r1, "cap");
+        let sol = m.solve().unwrap();
+        let basis = sol.warm_start().cloned().unwrap();
+        m.add_column("y", 0.0, 10.0, 1.0, [(r0, 1.0), (r1, 1.0)]);
+        let warm = m.solve_warm(Some(&basis)).unwrap();
+        let cold = m.solve().unwrap();
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+        assert!((warm.objective() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown constraint")]
+    fn add_column_rejects_unknown_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Le, 1.0);
+        m.add_column("y", 0.0, 1.0, 0.0, [(ConstraintId(3), 1.0)]);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Column pricing for delayed column generation.
+//!
+//! A restricted master problem (RMP) carries only a subset of a full
+//! model's columns. After the RMP solves to optimality, every *excluded*
+//! column must be priced against the master's duals: a column whose
+//! reduced cost is negative (in the internal minimization sense) would
+//! improve the master and has to be appended ([`crate::Model::add_column`])
+//! before the incumbent can be called optimal for the full model. When no
+//! excluded column prices out, the master's optimal basis is optimal for
+//! the full model — the excluded columns are nonbasic at their (zero)
+//! lower bound with nonnegative reduced cost, which is precisely the dual
+//! feasibility condition the KKT certificate checks.
+//!
+//! All reduced costs here are in the solver's internal minimization sense
+//! (the convention of [`Solution::duals`]): `d_j = c_j − yᵀa_j` with `c`
+//! negated for `Maximize` models. Under that convention the entering rule
+//! is uniform regardless of the model's sense: a column at its lower bound
+//! *prices out* (improves the objective) iff `d_j < −tol`.
+
+use crate::model::{ConstraintId, Model, Sense};
+use crate::solution::Solution;
+use crate::TOL;
+
+/// Prices candidate columns against a solved master's duals.
+///
+/// Borrowing the duals once up front amortizes the sense bookkeeping over
+/// the typically thousands of candidate columns priced per round.
+#[derive(Debug)]
+pub struct ColumnPricer<'a> {
+    duals: &'a [f64],
+    /// +1 for `Minimize`, −1 for `Maximize` (internal costs are negated).
+    sign: f64,
+}
+
+/// Why a [`ColumnPricer`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingDuals {
+    pub expected: usize,
+    pub got: usize,
+}
+
+impl std::fmt::Display for MissingDuals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solution has {} dual values but the master has {} rows; cannot price columns",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for MissingDuals {}
+
+impl<'a> ColumnPricer<'a> {
+    /// Build a pricer from a solved master. Fails if the solution carries
+    /// no (or wrong-arity) duals — e.g. the dense oracle's solutions.
+    pub fn new(master: &Model, sol: &'a Solution) -> Result<Self, MissingDuals> {
+        let duals = sol.duals();
+        if duals.len() != master.num_constraints() {
+            return Err(MissingDuals {
+                expected: master.num_constraints(),
+                got: duals.len(),
+            });
+        }
+        Ok(ColumnPricer {
+            duals,
+            sign: match master.sense() {
+                Sense::Minimize => 1.0,
+                Sense::Maximize => -1.0,
+            },
+        })
+    }
+
+    /// Reduced cost `c_j − yᵀa_j` of a candidate column, in the internal
+    /// minimization sense. `obj` is the column's objective coefficient in
+    /// the *model's own* sense; `terms` are its coefficients in the
+    /// master's rows (rows not mentioned contribute zero).
+    pub fn reduced_cost(&self, obj: f64, terms: &[(ConstraintId, f64)]) -> f64 {
+        let mut d = self.sign * obj;
+        for &(c, coef) in terms {
+            d -= self.duals[c.index()] * coef;
+        }
+        d
+    }
+
+    /// True iff a column held at its lower bound would improve the master:
+    /// `reduced_cost < −tol` with the crate default tolerance [`TOL`].
+    pub fn prices_out(&self, obj: f64, terms: &[(ConstraintId, f64)]) -> bool {
+        self.reduced_cost(obj, terms) < -TOL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cmp;
+
+    /// min 2x + 3y s.t. x + y ≥ 4, x ≤ 3 → x=3, y=1, obj 9.
+    /// The excluded column z (cost 1, coefficient 1 in the demand row)
+    /// would drop the optimum to 4, so it must price out.
+    #[test]
+    fn excluded_improving_column_prices_out() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let y = m.add_var("y", 0.0, 10.0, 3.0);
+        let demand = m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let cap = m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        let pricer = ColumnPricer::new(&m, &sol).unwrap();
+        // y is basic at optimality → its reduced cost is ~0; x leans on its
+        // upper bound → negative reduced cost, but it is *in* the master.
+        assert!(pricer.reduced_cost(3.0, &[(demand, 1.0)]).abs() < 1e-9);
+        // The improving excluded column: d = 1 − y_demand = 1 − 3 = −2.
+        let d = pricer.reduced_cost(1.0, &[(demand, 1.0)]);
+        assert!((d + 2.0).abs() < 1e-9, "d = {d}");
+        assert!(pricer.prices_out(1.0, &[(demand, 1.0)]));
+        // A dear excluded column must not: d = 5 − 3 = 2.
+        assert!(!pricer.prices_out(5.0, &[(demand, 1.0)]));
+        // Rows not mentioned contribute nothing.
+        let with_cap = pricer.reduced_cost(1.0, &[(demand, 1.0), (cap, 0.0)]);
+        assert!((with_cap - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn appending_priced_out_column_reaches_full_optimum() {
+        // The full colgen contract in miniature: solve restricted, price,
+        // append, re-solve warm, price again → nothing left, objective
+        // matches the from-scratch full model.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let demand = m.add_constraint([(x, 1.0)], Cmp::Ge, 4.0);
+        m.name_constraint(demand, "demand");
+        let sol = m.solve().unwrap();
+        let pricer = ColumnPricer::new(&m, &sol).unwrap();
+        let cand = [(demand, 1.0)];
+        assert!(pricer.prices_out(1.0, &cand));
+        let basis = sol.warm_start().cloned().unwrap();
+        m.add_column("z", 0.0, 10.0, 1.0, cand);
+        let sol2 = m.solve_warm(Some(&basis)).unwrap();
+        assert!((sol2.objective() - 4.0).abs() < 1e-6);
+        let pricer2 = ColumnPricer::new(&m, &sol2).unwrap();
+        assert!(!pricer2.prices_out(1.0, &cand), "column already in master");
+    }
+
+    #[test]
+    fn maximize_sense_is_handled_internally() {
+        // max x s.t. x + y ≤ 5 (y excluded, profit 3): internally costs are
+        // negated, so the excluded column's d = −3 − (−1)·1 = −2 < 0.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let cap = m.add_constraint([(x, 1.0)], Cmp::Le, 5.0);
+        let sol = m.solve().unwrap();
+        let pricer = ColumnPricer::new(&m, &sol).unwrap();
+        assert!(pricer.prices_out(3.0, &[(cap, 1.0)]));
+        // An excluded column with profit below the row's marginal value
+        // must not enter: d = −0.5 + 1 = 0.5 ≥ 0.
+        assert!(!pricer.prices_out(0.5, &[(cap, 1.0)]));
+    }
+
+    #[test]
+    fn dense_solutions_cannot_price() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 0.5);
+        let sol = m.solve_dense().unwrap();
+        match ColumnPricer::new(&m, &sol) {
+            Err(e) => assert_eq!(
+                e,
+                MissingDuals {
+                    expected: 1,
+                    got: 0
+                }
+            ),
+            Ok(_) => panic!("dense solutions carry no duals"),
+        }
+    }
+}
