@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 use lips_bench::lp_epoch::{run_epochs, EpochMode};
 use lips_cluster::{ec2_mixed_cluster, DataId, StoreId};
-use lips_core::lp_build::{solve, LpInstance, LpJob, PruneConfig};
+use lips_core::lp_build::{EpochSolver, LpInstance, LpJob, PruneConfig};
 use lips_lp::revised::{RevisedOptions, RevisedSimplex};
 use lips_lp::{Cmp, Model, Sense};
 use lips_workload::JobId;
@@ -53,7 +53,12 @@ fn bench_epoch_lp(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("J{jobs}_M{machines}")),
             &inst,
-            |b, inst| b.iter(|| black_box(solve(inst).unwrap().predicted_dollars)),
+            |b, inst| {
+                b.iter(|| {
+                    let report = EpochSolver::new(inst).certify().run().unwrap();
+                    black_box(report.schedule.predicted_dollars)
+                });
+            },
         );
     }
     g.finish();

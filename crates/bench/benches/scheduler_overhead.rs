@@ -59,6 +59,7 @@ fn bench_decide(c: &mut Criterion) {
                     placement: &fx.placement,
                     queue: &fx.queue,
                     machines: &fx.machines,
+                    reads_used: None,
                 };
                 black_box(s.decide(&ctx).len())
             });
@@ -72,6 +73,7 @@ fn bench_decide(c: &mut Criterion) {
                     placement: &fx.placement,
                     queue: &fx.queue,
                     machines: &fx.machines,
+                    reads_used: None,
                 };
                 black_box(s.decide(&ctx).len())
             });
@@ -85,6 +87,7 @@ fn bench_decide(c: &mut Criterion) {
                     placement: &fx.placement,
                     queue: &fx.queue,
                     machines: &fx.machines,
+                    reads_used: None,
                 };
                 black_box(s.decide(&ctx).len())
             });

@@ -14,7 +14,10 @@
 //! so a Table-IV-sized job spans several epochs before a
 //! departure/arrival pair perturbs the LP's structure).
 
-use lips_bench::lp_epoch::{large_cluster, run_epochs, EpochMode, EpochRun, EPOCHS};
+use lips_bench::lp_epoch::{
+    large_cluster, run_epochs, run_epochs_faulted, EpochMode, EpochRun, FaultEpochRun, FaultScript,
+    EPOCHS,
+};
 use lips_bench::Table;
 use serde::Serialize;
 
@@ -25,6 +28,9 @@ struct BenchReport {
     warm: EpochRun,
     /// Present only with `--colgen`.
     colgen: Option<EpochRun>,
+    /// Present only with `--faults`: the same epoch sequence with scripted
+    /// machine revocations, a store loss, a repricing, and a rejoin.
+    faults: Option<FaultEpochRun>,
     /// cold ÷ warm total simplex iterations (higher = warm wins).
     iteration_ratio: f64,
     /// cold ÷ warm total solve wall-time.
@@ -54,6 +60,7 @@ fn main() {
     let churn = flag_value(&args, "--churn", 2);
     let churn_every = flag_value(&args, "--churn-every", 5);
     let with_colgen = args.iter().any(|a| a == "--colgen");
+    let with_faults = args.iter().any(|a| a == "--faults");
 
     let cluster = large_cluster();
     let config = format!(
@@ -73,6 +80,10 @@ fn main() {
             epochs,
             EpochMode::ColGen,
         )
+    });
+    let faults = with_faults.then(|| {
+        let script = FaultScript::acceptance(&cluster);
+        run_epochs_faulted(&cluster, jobs, churn, churn_every, epochs, &script)
     });
 
     let mut header = vec![
@@ -121,6 +132,7 @@ fn main() {
         cold,
         warm,
         colgen,
+        faults,
     };
     println!(
         "\ntotals: cold {} iters / {:.1} ms solve / {:.1} ms epoch / {} FTRAN nnz",
@@ -159,9 +171,49 @@ fn main() {
             s * 100.0
         );
     }
+    if let Some(f) = &report.faults {
+        let mut t = Table::new(vec![
+            "epoch", "faults", "repaired", "iters", "ms", "start", "state",
+        ]);
+        for r in &f.epochs {
+            t.row(vec![
+                r.epoch.to_string(),
+                if r.events.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.events.join(", ")
+                },
+                r.repaired.to_string(),
+                r.iterations.to_string(),
+                format!("{:.2}", r.epoch_ms),
+                r.warm.clone(),
+                if r.certified {
+                    "certified".to_string()
+                } else {
+                    "DEGRADED".to_string()
+                },
+            ]);
+        }
+        println!(
+            "
+fault-mode series ({} revocations, {} store loss(es), {} repricing(s), {} rejoin(s)):",
+            f.revocations, f.store_losses, f.repricings, f.rejoins
+        );
+        t.print();
+        println!(
+            "faults:  {} iters / {:.1} ms epoch / {} warm / {} certified / {} degraded",
+            f.total_iterations,
+            f.total_epoch_ms,
+            f.warm_solves,
+            f.certified_epochs,
+            f.degraded_epochs
+        );
+    }
+
     let all_certified = report.cold.all_certified
         && report.warm.all_certified
-        && report.colgen.as_ref().is_none_or(|cg| cg.all_certified);
+        && report.colgen.as_ref().is_none_or(|cg| cg.all_certified)
+        && report.faults.as_ref().is_none_or(|f| f.all_accounted);
     println!("all certified: {all_certified}");
 
     if args.iter().any(|a| a == "--json") {

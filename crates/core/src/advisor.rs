@@ -8,9 +8,8 @@
 //! bottleneck").
 
 use lips_cluster::{Cluster, MachineId};
-use lips_lp::LpError;
 
-use crate::lp_build::{solve_with_shadow_prices, LpInstance, LpJob, PruneConfig};
+use crate::lp_build::{EpochSolveError, EpochSolver, LpInstance, LpJob, PruneConfig};
 
 /// One row of advice.
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ pub fn capacity_advice(
     cluster: &Cluster,
     jobs: Vec<LpJob>,
     horizon_s: f64,
-) -> Result<Vec<CapacityAdvice>, LpError> {
+) -> Result<Vec<CapacityAdvice>, EpochSolveError> {
     // No fake node: its astronomic price would dominate every dual. If
     // the workload cannot fit the horizon at all, the LP is infeasible
     // and the honest answer is "any capacity helps" — surfaced as the
@@ -47,7 +46,10 @@ pub fn capacity_advice(
         pool_floors: vec![],
         prune: PruneConfig::default(),
     };
-    let (_, shadows) = solve_with_shadow_prices(&inst)?;
+    let report = EpochSolver::new(&inst).certify().shadow_prices().run()?;
+    let shadows = report
+        .shadow_prices
+        .expect("shadow prices were requested from the builder");
     let mut advice: Vec<CapacityAdvice> = shadows
         .into_iter()
         .filter(|&(_, s)| s < -1e-15)

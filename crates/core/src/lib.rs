@@ -55,8 +55,11 @@ pub use advisor::{capacity_advice, CapacityAdvice};
 pub use analysis::{break_even_ratio, move_pays_off, savings_per_mb};
 pub use baselines::{DelayScheduler, FairScheduler, HadoopDefaultScheduler};
 pub use dag::{run_dag, DagReport, DagRunError};
-pub use lips::{LipsConfig, LipsScheduler};
-pub use lp_build::{ColGenOptions, ColGenOutcome, ColGenState, ColGenStats};
+pub use lips::{EpochOutcome, LipsConfig, LipsScheduler};
+pub use lp_build::{
+    sanitize_warm_start, ColGenOptions, ColGenOutcome, ColGenState, ColGenStats, EpochCertificate,
+    EpochSolveError, EpochSolver, SolveReport,
+};
 pub use offline::{
     co_schedule, co_schedule_colgen, greedy_schedule, simple_task_schedule, OfflineSchedule,
 };

@@ -22,8 +22,8 @@ use lips_lp::{WarmOutcome, WarmStart};
 use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
 
 use crate::lp_build::{
-    solve_colgen, solve_warm, ColGenOptions, ColGenState, FractionalSchedule, LpInstance, LpJob,
-    PruneConfig,
+    sanitize_warm_start, ColGenOptions, ColGenState, EpochSolveError, EpochSolver,
+    FractionalSchedule, LpInstance, LpJob, PruneConfig,
 };
 
 /// Tuning for [`LipsScheduler`].
@@ -69,7 +69,7 @@ pub struct LipsConfig {
     /// never depends on it).
     pub warm_start: bool,
     /// Solve each epoch LP by delayed column generation
-    /// ([`crate::lp_build::solve_colgen`]): a restricted master seeded with
+    /// ([`EpochSolver::colgen`]): a restricted master seeded with
     /// the cheapest arcs per job (plus the previous epoch's surviving
     /// columns), grown by pricing until it provably matches the full
     /// model's optimum. Strictly a solve-path knob, like `warm_start`:
@@ -77,6 +77,11 @@ pub struct LipsConfig {
     /// optimum never depends on it. Pays off once the full model is large
     /// (≳ 50 machines); on small clusters the full LP is already cheap.
     pub colgen: bool,
+    /// Simplex pivot budget per epoch solve (`None` = unlimited). An
+    /// epoch whose LP exceeds it walks the degradation ladder (cold
+    /// retry, then greedy placement) instead of stalling the cluster —
+    /// the fault-tolerance analogue of a wall-clock solve budget.
+    pub max_pivots_per_epoch: Option<usize>,
 }
 
 impl Default for LipsConfig {
@@ -93,6 +98,7 @@ impl Default for LipsConfig {
             fairness: 0.0,
             warm_start: true,
             colgen: false,
+            max_pivots_per_epoch: None,
         }
     }
 }
@@ -121,16 +127,30 @@ impl LipsConfig {
     }
 }
 
+/// How one epoch's scheduling decision was ultimately produced — the
+/// rungs of the degradation ladder a fault-mode run reports per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// The epoch LP solved and was independently certified optimal
+    /// (whether it started warm, repaired-warm, or cold).
+    Certified,
+    /// The configured solve path failed but a cold full-model retry
+    /// solved and certified.
+    CertifiedCold,
+    /// Every LP rung failed; the epoch was served by cheapest-feasible
+    /// greedy placement and the LP will be retried next epoch.
+    Degraded,
+}
+
 /// The LiPS epoch scheduler.
 #[derive(Debug)]
 pub struct LipsScheduler {
     pub config: LipsConfig,
-    /// MB of each (data, store) already handed to chunks.
+    /// MB of each (data, store) already handed to chunks. Re-synced from
+    /// the engine's read ledger at every decision point when the context
+    /// provides one, so chunk kills (fault revocations) refund reads here
+    /// too and the restored work can actually re-read its data.
     issued: HashMap<(DataId, StoreId), f64>,
-    /// MB arriving at (data, store) from moves issued in past epochs (the
-    /// placement reflects them immediately, but we must not re-plan them).
-    /// Kept implicitly: placement already includes planned copies, so this
-    /// tracks nothing extra — retained for the read ledger only.
     solves: usize,
     lp_failures: usize,
     /// Optimal basis of the previous epoch's LP, reused to warm-start the
@@ -147,6 +167,11 @@ pub struct LipsScheduler {
     colgen_state: Option<ColGenState>,
     /// Total pricing rounds across all column-generated epoch solves.
     pricing_rounds: usize,
+    /// Carried basis/column entries dropped because their machine was
+    /// revoked (topology-delta repair work).
+    stale_basis_entries_dropped: usize,
+    /// Per-epoch record of how each LP decision epoch was produced.
+    epoch_outcomes: Vec<EpochOutcome>,
 }
 
 impl LipsScheduler {
@@ -161,6 +186,8 @@ impl LipsScheduler {
             lp_iterations: 0,
             colgen_state: None,
             pricing_rounds: 0,
+            stale_basis_entries_dropped: 0,
+            epoch_outcomes: Vec::new(),
         }
     }
 
@@ -199,30 +226,106 @@ impl LipsScheduler {
         self.pricing_rounds
     }
 
+    /// Carried warm-start/colgen entries dropped because their machine
+    /// vanished from the live cluster (revocations between epochs).
+    pub fn stale_basis_entries_dropped(&self) -> usize {
+        self.stale_basis_entries_dropped
+    }
+
+    /// How each LP decision epoch was produced, in order.
+    pub fn epoch_outcomes(&self) -> &[EpochOutcome] {
+        &self.epoch_outcomes
+    }
+
     /// Solve one epoch LP along the configured path: column generation,
     /// warm-started full model, or cold full model. All three land on the
-    /// same optimum; they differ only in how much model the simplex sees.
-    /// Cross-epoch carry-over (`basis` / `colgen_state`) is `take`n so a
-    /// failed solve drops stale state instead of retrying it forever.
+    /// same (certified) optimum; they differ only in how much model the
+    /// simplex sees. Carried state (`basis` / `colgen_state`) is first
+    /// *sanitized* against the live cluster — entries naming revoked
+    /// machines are dropped so a topology delta perturbs the next solve
+    /// instead of feeding the repair loop garbage — and is `take`n so a
+    /// failed solve drops it instead of retrying it forever.
     fn epoch_solve(
         &mut self,
         inst: &LpInstance<'_>,
-    ) -> Result<FractionalSchedule, lips_lp::LpError> {
+    ) -> Result<FractionalSchedule, EpochSolveError> {
+        let budget = self.config.max_pivots_per_epoch;
         if self.config.colgen {
-            let prior = self.colgen_state.take();
-            let out = solve_colgen(inst, &ColGenOptions::default(), prior.as_ref())?;
-            self.colgen_state = Some(out.state);
-            self.pricing_rounds += out.stats.rounds;
-            Ok(out.schedule)
+            let mut prior = self.colgen_state.take();
+            if let Some(p) = prior.as_mut() {
+                self.stale_basis_entries_dropped += p.sanitize_for_cluster(inst.cluster);
+            }
+            let mut solver =
+                EpochSolver::new(inst).colgen(ColGenOptions::default(), prior.as_ref());
+            if let Some(b) = budget {
+                solver = solver.pivot_budget(b);
+            }
+            let report = solver.run()?;
+            let (state, stats) = report.colgen.expect("colgen mode reports its state");
+            self.colgen_state = Some(state);
+            self.pricing_rounds += stats.rounds;
+            Ok(report.schedule)
         } else {
-            let warm = if self.config.warm_start {
+            let mut warm = if self.config.warm_start {
                 self.basis.take()
             } else {
                 None
             };
-            let (s, next) = solve_warm(inst, warm.as_ref())?;
-            self.basis = Some(next);
-            Ok(s)
+            if let Some(ws) = warm.as_mut() {
+                self.stale_basis_entries_dropped += sanitize_warm_start(ws, inst.cluster);
+            }
+            let mut solver = EpochSolver::new(inst).warm(warm.as_ref()).certify();
+            if let Some(b) = budget {
+                solver = solver.pivot_budget(b);
+            }
+            let report = solver.run()?;
+            self.basis = Some(report.basis);
+            Ok(report.schedule)
+        }
+    }
+
+    /// The degradation ladder: configured path (warm / colgen, possibly
+    /// repaired) → fairness floors relaxed → cold full model → `None`
+    /// (the caller degrades to greedy placement and retries the LP next
+    /// epoch). Every rung that returns a schedule returned a *certified*
+    /// one.
+    fn solve_with_ladder(&mut self, inst: &LpInstance<'_>) -> Option<FractionalSchedule> {
+        if let Ok(s) = self.epoch_solve(inst) {
+            self.epoch_outcomes.push(EpochOutcome::Certified);
+            return Some(s);
+        }
+        // Fairness floors can conflict with data/capacity constraints
+        // (and with a shrunken post-fault cluster); cost-only scheduling
+        // is the sane fallback. Carried state was dropped by the failed
+        // attempt, so this retry is already cold along the basis axis.
+        if !inst.pool_floors.is_empty() {
+            let mut relaxed = inst.clone();
+            relaxed.pool_floors.clear();
+            if let Ok(s) = self.epoch_solve(&relaxed) {
+                self.epoch_outcomes.push(EpochOutcome::Certified);
+                return Some(s);
+            }
+        }
+        // Last LP rung: one cold, exact (non-colgen) solve with no carried
+        // state at all, floors relaxed, still pivot-budgeted.
+        let mut cold = inst.clone();
+        cold.pool_floors.clear();
+        let mut solver = EpochSolver::new(&cold).certify();
+        if let Some(b) = self.config.max_pivots_per_epoch {
+            solver = solver.pivot_budget(b);
+        }
+        match solver.run() {
+            Ok(report) => {
+                if self.config.warm_start && !self.config.colgen {
+                    self.basis = Some(report.basis);
+                }
+                self.epoch_outcomes.push(EpochOutcome::CertifiedCold);
+                Some(report.schedule)
+            }
+            Err(_) => {
+                self.epoch_outcomes.push(EpochOutcome::Degraded);
+                None
+            }
         }
     }
 
@@ -311,9 +414,20 @@ impl LipsScheduler {
     }
 
     /// Emergency progress: one natural-task chunk of the oldest job on the
-    /// cheapest feasible machine. Only used if the LP solver fails, so a
-    /// numerical hiccup can never stall the cluster.
+    /// cheapest feasible *live* machine. Used when the LP solver fails
+    /// (the Degraded rung of the ladder), so a numerical hiccup or a
+    /// hostile fault schedule can never stall the cluster.
     fn greedy_fallback(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        let cheapest_live = ctx
+            .cluster
+            .machines
+            .iter()
+            .filter(|m| m.tp_ecu > 0.0)
+            .min_by(|a, b| a.cpu_cost.total_cmp(&b.cpu_cost))
+            .map(|m| m.id);
+        let Some(cheapest_live) = cheapest_live else {
+            return vec![]; // every machine revoked: nothing can run
+        };
         let Some(job) = ctx.jobs_with_work().next() else {
             return vec![];
         };
@@ -330,11 +444,14 @@ impl LipsScheduler {
                 .task_mb
                 .min(job.remaining_mb)
                 .min(self.unread(ctx, d, s));
+            // Data-local if the co-located machine is alive, else the
+            // cheapest survivor reads remotely.
             let machine = ctx
                 .cluster
                 .store(s)
                 .colocated
-                .unwrap_or(ctx.cluster.machines[0].id);
+                .filter(|&m| ctx.cluster.machine(m).tp_ecu > 0.0)
+                .unwrap_or(cheapest_live);
             *self.issued.entry((d, s)).or_default() += mb;
             vec![Action::RunChunk {
                 job: job.id,
@@ -344,17 +461,10 @@ impl LipsScheduler {
                 fixed_ecu: 0.0,
             }]
         } else {
-            let cheapest = ctx
-                .cluster
-                .machines
-                .iter()
-                .min_by(|a, b| a.cpu_cost.total_cmp(&b.cpu_cost))
-                .unwrap()
-                .id;
             let ecu = job.task_fixed_ecu.min(job.remaining_fixed_ecu);
             vec![Action::RunChunk {
                 job: job.id,
-                machine: cheapest,
+                machine: cheapest_live,
                 source: None,
                 mb: 0.0,
                 fixed_ecu: ecu,
@@ -365,6 +475,12 @@ impl LipsScheduler {
 
 impl Scheduler for LipsScheduler {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
+        // Ground truth wins over our private ledger: a fault-killed chunk
+        // refunds its reads in the engine's ledger, and only a re-synced
+        // ledger lets the restored work re-read that data.
+        if let Some(used) = ctx.reads_used {
+            self.issued = used.clone();
+        }
         let jobs = self.lp_jobs(ctx);
         if jobs.is_empty() {
             return vec![];
@@ -391,25 +507,11 @@ impl Scheduler for LipsScheduler {
             },
         };
         self.solves += 1;
-        let sched = match self.epoch_solve(&inst) {
-            Ok(s) => s,
-            Err(_) if !inst.pool_floors.is_empty() => {
-                // Fairness floors can conflict with data/capacity
-                // constraints; cost-only scheduling is the sane fallback.
-                let mut relaxed = inst.clone();
-                relaxed.pool_floors.clear();
-                match self.epoch_solve(&relaxed) {
-                    Ok(s) => s,
-                    Err(_) => {
-                        self.lp_failures += 1;
-                        return self.greedy_fallback(ctx);
-                    }
-                }
-            }
-            Err(_) => {
-                self.lp_failures += 1;
-                return self.greedy_fallback(ctx);
-            }
+        let Some(sched) = self.solve_with_ladder(&inst) else {
+            // Bottom rung: cheapest-feasible greedy placement for this
+            // epoch; the LP is retried from scratch next epoch.
+            self.lp_failures += 1;
+            return self.greedy_fallback(ctx);
         };
         self.lp_iterations += sched.stats.iterations;
         if sched.stats.warm != WarmOutcome::Cold {
@@ -512,6 +614,13 @@ impl Scheduler for LipsScheduler {
 
     fn epoch(&self) -> Option<f64> {
         Some(self.config.epoch_s)
+    }
+
+    fn degraded_epochs(&self) -> usize {
+        self.epoch_outcomes
+            .iter()
+            .filter(|&&o| o == EpochOutcome::Degraded)
+            .count()
     }
 
     fn name(&self) -> &str {

@@ -157,8 +157,16 @@ struct VarMaps {
 /// column-generation loop so both price exactly the same arcs.
 fn candidates(inst: &LpInstance<'_>) -> (Vec<Vec<MachineId>>, Vec<Vec<StoreId>>) {
     let cluster = inst.cluster;
-    // Machines sorted by CPU price once (cheap-cycle preference).
-    let mut machines_by_price: Vec<MachineId> = cluster.machines.iter().map(|m| m.id).collect();
+    // Machines sorted by CPU price once (cheap-cycle preference). Revoked
+    // machines (tp_ecu ≤ 0 — no cycles to sell) are not candidates at all:
+    // they get no task columns and, downstream, no capacity rows, so the
+    // epoch LP is built against the *surviving* cluster.
+    let mut machines_by_price: Vec<MachineId> = cluster
+        .machines
+        .iter()
+        .filter(|m| m.tp_ecu > 0.0)
+        .map(|m| m.id)
+        .collect();
     machines_by_price.sort_by(|a, b| {
         cluster
             .machine(*a)
@@ -176,7 +184,7 @@ fn candidates(inst: &LpInstance<'_>) -> (Vec<Vec<MachineId>>, Vec<Vec<StoreId>>)
         };
         for &(s, _) in &job.avail {
             if let Some(mid) = cluster.store(s).colocated {
-                if !machines.contains(&mid) {
+                if cluster.machine(mid).tp_ecu > 0.0 && !machines.contains(&mid) {
                     machines.push(mid);
                 }
             }
@@ -675,103 +683,353 @@ pub fn audit_instance(inst: &LpInstance<'_>) -> Vec<lips_audit::Lint> {
     findings
 }
 
-/// Like [`solve`], additionally verifying the solver's answer with an
-/// independent primal/dual certificate ([`lips_audit::certify`]).
+/// Why a unified epoch solve did not produce a usable schedule.
 ///
-/// Returns the schedule together with the certificate so callers can log
-/// or assert on the duality gap. Fails with [`LpError::NonFiniteInput`]…
-/// never — certification failure panics, because a wrong "optimal"
-/// schedule corrupts every dollar figure downstream and must not be
-/// silently used.
+/// Splitting certification failure from solver failure is what lets the
+/// epoch scheduler degrade gracefully (retry cold, then greedy) instead of
+/// panicking mid-simulation when a cluster fault perturbs the model.
+#[derive(Debug)]
+pub enum EpochSolveError {
+    /// The simplex itself failed (infeasible, unbounded, iteration
+    /// budget exhausted, …).
+    Lp(LpError),
+    /// The solver returned a "solution" the independent KKT verifier
+    /// rejected. The string carries the certificate's own report.
+    Certification(String),
+}
+
+impl From<LpError> for EpochSolveError {
+    fn from(e: LpError) -> Self {
+        EpochSolveError::Lp(e)
+    }
+}
+
+impl std::fmt::Display for EpochSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochSolveError::Lp(e) => write!(f, "LP solve failed: {e}"),
+            EpochSolveError::Certification(why) => {
+                write!(f, "LP solution failed independent certification: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpochSolveError {}
+
+/// Proof of optimality attached to a [`SolveReport`] when certification
+/// was requested: full-model KKT for direct solves, the restricted-master
+/// certificate (master KKT + excluded-column pricing) for colgen solves.
+#[derive(Debug, Clone)]
+pub enum EpochCertificate {
+    Full(Certificate),
+    Restricted(lips_audit::RestrictedCertificate),
+}
+
+impl EpochCertificate {
+    pub fn is_optimal(&self) -> bool {
+        match self {
+            EpochCertificate::Full(c) => c.is_optimal(),
+            EpochCertificate::Restricted(c) => c.is_optimal(),
+        }
+    }
+
+    /// The full certificate, if this was a direct (non-colgen) solve.
+    pub fn as_full(&self) -> Option<&Certificate> {
+        match self {
+            EpochCertificate::Full(c) => Some(c),
+            EpochCertificate::Restricted(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EpochCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochCertificate::Full(c) => c.fmt(f),
+            EpochCertificate::Restricted(c) => c.fmt(f),
+        }
+    }
+}
+
+/// Everything one epoch solve hands back, fields populated according to
+/// what the [`EpochSolver`] builder requested.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    pub schedule: FractionalSchedule,
+    /// Shadow price of each machine's CPU-capacity row: the dollars the
+    /// optimal schedule would save per extra ECU-second of capacity on
+    /// that node (≤ 0; more negative = more valuable). `Some` iff
+    /// [`EpochSolver::shadow_prices`] was requested (always present in
+    /// colgen mode, which computes them as a by-product).
+    pub shadow_prices: Option<Vec<(MachineId, f64)>>,
+    /// `Some` iff [`EpochSolver::certify`] was requested (always present
+    /// in colgen mode — the restricted certificate is how colgen proves
+    /// full-model optimality at all).
+    pub certificate: Option<EpochCertificate>,
+    /// This solve's optimal basis, for chaining into the next epoch.
+    pub basis: WarmStart,
+    /// Cross-epoch column state + telemetry; `Some` iff colgen mode.
+    pub colgen: Option<(ColGenState, ColGenStats)>,
+}
+
+/// The unified builder-style solve entry point, replacing the former
+/// seven `solve*` free functions.
+///
+/// ```ignore
+/// let report = EpochSolver::new(&inst)
+///     .warm(Some(&basis))
+///     .certify()
+///     .shadow_prices()
+///     .run()?;
+/// ```
+///
+/// Every option is orthogonal: warm starting never changes the optimum,
+/// certification never mutates the solve, colgen mode certifies against
+/// the full model by construction. Unlike the deprecated free functions,
+/// `run` never panics on certification failure — it returns
+/// [`EpochSolveError::Certification`], which the epoch scheduler treats
+/// as one more rung on its degradation ladder.
+#[derive(Debug)]
+pub struct EpochSolver<'i, 'c> {
+    inst: &'i LpInstance<'c>,
+    warm: Option<&'i WarmStart>,
+    certify: bool,
+    shadow_prices: bool,
+    colgen: Option<(ColGenOptions, Option<&'i ColGenState>)>,
+    pivot_budget: Option<usize>,
+}
+
+impl<'i, 'c> EpochSolver<'i, 'c> {
+    pub fn new(inst: &'i LpInstance<'c>) -> Self {
+        EpochSolver {
+            inst,
+            warm: None,
+            certify: false,
+            shadow_prices: false,
+            colgen: None,
+            pivot_budget: None,
+        }
+    }
+
+    /// Seed the simplex from a prior epoch's optimal basis. `None` or an
+    /// unusable basis degrades to a cold solve — the optimum is identical
+    /// either way, only the pivot count changes.
+    #[must_use]
+    pub fn warm(mut self, warm: Option<&'i WarmStart>) -> Self {
+        self.warm = warm;
+        self
+    }
+
+    /// Verify the answer with an independent primal/dual certificate
+    /// ([`lips_audit::certify`]); a rejected solution becomes
+    /// [`EpochSolveError::Certification`].
+    #[must_use]
+    pub fn certify(mut self) -> Self {
+        self.certify = true;
+        self
+    }
+
+    /// Also report the shadow price of each machine's CPU-capacity row.
+    #[must_use]
+    pub fn shadow_prices(mut self) -> Self {
+        self.shadow_prices = true;
+        self
+    }
+
+    /// Solve by delayed column generation over a restricted master
+    /// instead of the full model, optionally reusing a prior epoch's
+    /// surviving columns + basis. Implies certification (against the
+    /// *full* model, excluded columns priced). The basis passed to
+    /// [`EpochSolver::warm`] is ignored in this mode — the colgen state
+    /// carries its own.
+    #[must_use]
+    pub fn colgen(mut self, opts: ColGenOptions, prior: Option<&'i ColGenState>) -> Self {
+        self.colgen = Some((opts, prior));
+        self
+    }
+
+    /// Cap simplex pivots for this solve; past the cap the solve fails
+    /// with [`LpError::IterationLimit`] instead of running to optimality.
+    /// This is the epoch scheduler's time-budget rung: a faulted epoch
+    /// that cannot be solved cheaply degrades to greedy placement rather
+    /// than stalling the simulation.
+    #[must_use]
+    pub fn pivot_budget(mut self, max_pivots: usize) -> Self {
+        self.pivot_budget = Some(max_pivots);
+        self
+    }
+
+    /// Execute the configured solve.
+    pub fn run(self) -> Result<SolveReport, EpochSolveError> {
+        if let Some((opts, prior)) = &self.colgen {
+            let out = colgen_run(self.inst, opts, *prior, self.pivot_budget)?;
+            return Ok(SolveReport {
+                schedule: out.schedule,
+                shadow_prices: Some(out.shadow_prices),
+                certificate: Some(EpochCertificate::Restricted(out.certificate)),
+                basis: out.state.basis.clone(),
+                colgen: Some((out.state, out.stats)),
+            });
+        }
+
+        let (model, maps) = build(self.inst);
+        let sol = solve_model(&model, self.warm, self.pivot_budget)?;
+        let certificate = if self.certify {
+            match lips_audit::certify(&model, &sol) {
+                Ok(cert) if cert.is_optimal() => Some(EpochCertificate::Full(cert)),
+                Ok(cert) => return Err(EpochSolveError::Certification(cert.to_string())),
+                Err(e) => return Err(EpochSolveError::Certification(e.to_string())),
+            }
+        } else {
+            None
+        };
+        let shadow_prices = self.shadow_prices.then(|| {
+            let sens = lips_lp::sensitivity::analyze(&model, &sol);
+            maps.capacity_rows
+                .iter()
+                .map(|&(m, row)| {
+                    (
+                        m,
+                        sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0),
+                    )
+                })
+                .collect()
+        });
+        let basis = sol.warm_start().cloned().unwrap_or_default();
+        Ok(SolveReport {
+            schedule: decode(self.inst, &maps, &sol),
+            shadow_prices,
+            certificate,
+            basis,
+            colgen: None,
+        })
+    }
+}
+
+/// One simplex run, optionally warm-started and pivot-capped.
+fn solve_model(
+    model: &Model,
+    warm: Option<&WarmStart>,
+    pivot_budget: Option<usize>,
+) -> Result<lips_lp::Solution, LpError> {
+    match pivot_budget {
+        None => model.solve_warm(warm),
+        Some(max_iterations) => {
+            lips_lp::revised::RevisedSimplex::with_options(lips_lp::revised::RevisedOptions {
+                max_iterations,
+                ..Default::default()
+            })
+            .solve_with_warm_start(model, warm)
+        }
+    }
+}
+
+/// Like [`EpochSolver`] with `.certify()`, as a one-shot free function.
+#[deprecated(note = "use EpochSolver::new(inst).certify().run()")]
 pub fn solve_certified(
     inst: &LpInstance<'_>,
 ) -> Result<(FractionalSchedule, Certificate), LpError> {
+    #[allow(deprecated)]
     let (schedule, cert, _) = solve_certified_warm(inst, None)?;
     Ok((schedule, cert))
 }
 
 /// Like [`solve_certified`], seeding the simplex from a prior epoch's basis
-/// and returning this solve's basis for chaining. Certification is
-/// unconditional: a warm start must never be able to smuggle a wrong
-/// "optimal" schedule past the verifier.
+/// and returning this solve's basis for chaining.
+///
+/// # Panics
+///
+/// Panics if the solution fails certification; prefer
+/// [`EpochSolver::run`], which reports it as an error instead.
+#[deprecated(note = "use EpochSolver::new(inst).warm(warm).certify().run()")]
 pub fn solve_certified_warm(
     inst: &LpInstance<'_>,
     warm: Option<&WarmStart>,
 ) -> Result<(FractionalSchedule, Certificate, WarmStart), LpError> {
-    let (model, maps) = build(inst);
-    let sol = model.solve_warm(warm)?;
-    let cert = lips_audit::certify(&model, &sol).expect("revised simplex always reports duals");
-    assert!(
-        cert.is_optimal(),
-        "LP solution failed independent certification: {cert}"
-    );
-    let next = sol.warm_start().cloned().unwrap_or_default();
-    let schedule = decode(inst, &maps, &sol);
-    Ok((schedule, cert, next))
+    let report = EpochSolver::new(inst)
+        .warm(warm)
+        .certify()
+        .run()
+        .map_err(unwrap_certification)?;
+    let cert = match report.certificate {
+        Some(EpochCertificate::Full(c)) => c,
+        _ => unreachable!("certify() was requested"),
+    };
+    Ok((report.schedule, cert, report.basis))
 }
 
 /// Build and solve; decode into a [`FractionalSchedule`].
+#[deprecated(note = "use EpochSolver::new(inst).run()")]
 pub fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, LpError> {
-    Ok(solve_with_shadow_prices(inst)?.0)
+    Ok(EpochSolver::new(inst)
+        .certify()
+        .run()
+        .map_err(unwrap_certification)?
+        .schedule)
 }
 
 /// Like [`solve`], seeding the simplex from a prior epoch's optimal basis
-/// (see [`lips_lp::WarmStart`]) and returning this solve's basis for the
-/// next epoch. `None` or an unusable basis degrades to a cold solve — the
-/// optimum is identical either way, only the pivot count changes.
+/// and returning this solve's basis for the next epoch.
+#[deprecated(note = "use EpochSolver::new(inst).warm(warm).run()")]
 pub fn solve_warm(
     inst: &LpInstance<'_>,
     warm: Option<&WarmStart>,
 ) -> Result<(FractionalSchedule, WarmStart), LpError> {
-    let (sched, _, next) = solve_warm_with_shadow_prices(inst, warm)?;
-    Ok((sched, next))
+    let report = EpochSolver::new(inst)
+        .warm(warm)
+        .certify()
+        .run()
+        .map_err(unwrap_certification)?;
+    Ok((report.schedule, report.basis))
 }
 
-/// Like [`solve`], additionally returning the shadow price of each
-/// machine's CPU-capacity row: the dollars the optimal schedule would save
-/// per extra ECU-second of capacity on that node (≤ 0; more negative =
-/// more valuable). Machines whose capacity row was slack report 0.
+/// Like [`solve`], additionally returning per-machine CPU shadow prices.
+#[deprecated(note = "use EpochSolver::new(inst).shadow_prices().run()")]
 pub fn solve_with_shadow_prices(
     inst: &LpInstance<'_>,
 ) -> Result<(FractionalSchedule, Vec<(MachineId, f64)>), LpError> {
-    let (sched, shadows, _) = solve_warm_with_shadow_prices(inst, None)?;
-    Ok((sched, shadows))
+    let report = EpochSolver::new(inst)
+        .certify()
+        .shadow_prices()
+        .run()
+        .map_err(unwrap_certification)?;
+    let shadows = report.shadow_prices.expect("shadow_prices() was requested");
+    Ok((report.schedule, shadows))
 }
 
 /// What a warm-started epoch solve hands back: the schedule, per-machine
 /// shadow prices, and the optimal basis for chaining into the next epoch.
 pub type WarmSolveParts = (FractionalSchedule, Vec<(MachineId, f64)>, WarmStart);
 
-/// The full epoch-loop entry point: warm-started solve returning the
+/// The former epoch-loop entry point: warm-started solve returning the
 /// schedule, machine shadow prices, and the optimal basis for chaining.
+#[deprecated(note = "use EpochSolver::new(inst).warm(warm).certify().shadow_prices().run()")]
 pub fn solve_warm_with_shadow_prices(
     inst: &LpInstance<'_>,
     warm: Option<&WarmStart>,
 ) -> Result<WarmSolveParts, LpError> {
-    let (model, maps) = build(inst);
-    let sol = model.solve_warm(warm)?;
-    // Every solved epoch is certified: a wrong "optimal" schedule corrupts
-    // every dollar figure downstream. The check is O(nnz), noise next to
-    // the solve itself.
-    if let Ok(cert) = lips_audit::certify(&model, &sol) {
-        assert!(
-            cert.is_optimal(),
-            "LP solution failed independent certification: {cert}"
-        );
+    let report = EpochSolver::new(inst)
+        .warm(warm)
+        .certify()
+        .shadow_prices()
+        .run()
+        .map_err(unwrap_certification)?;
+    let shadows = report.shadow_prices.expect("shadow_prices() was requested");
+    Ok((report.schedule, shadows, report.basis))
+}
+
+/// The deprecated shims' contract predates [`EpochSolveError`]: they
+/// return only [`LpError`] and *panic* on certification failure, because
+/// a wrong "optimal" schedule corrupts every dollar figure downstream and
+/// must not be silently used by callers that never look at a certificate.
+fn unwrap_certification(e: EpochSolveError) -> LpError {
+    match e {
+        EpochSolveError::Lp(e) => e,
+        EpochSolveError::Certification(why) => {
+            panic!("LP solution failed independent certification: {why}")
+        }
     }
-    let sens = lips_lp::sensitivity::analyze(&model, &sol);
-    let shadows: Vec<(MachineId, f64)> = maps
-        .capacity_rows
-        .iter()
-        .map(|&(m, row)| {
-            (
-                m,
-                sens.shadow_prices.get(row.index()).copied().unwrap_or(0.0),
-            )
-        })
-        .collect();
-    let next = sol.warm_start().cloned().unwrap_or_default();
-    Ok((decode(inst, &maps, &sol), shadows, next))
 }
 
 /// Number of task-assignment (`x^t`) columns the full model would carry
@@ -826,6 +1084,74 @@ impl ColGenState {
     pub fn carried_columns(&self) -> usize {
         self.active.len()
     }
+
+    /// Drop carried columns and basis entries that reference machines no
+    /// longer alive in `cluster`, so a topology change (revocation)
+    /// merely *perturbs* the next master instead of poisoning it with
+    /// arcs the builder will never emit again. Returns how many entries
+    /// were dropped.
+    pub fn sanitize_for_cluster(&mut self, cluster: &Cluster) -> usize {
+        let dead = dead_machines(cluster);
+        if dead.is_empty() {
+            return 0;
+        }
+        let before = self.active.len() + self.basis.len();
+        self.active
+            .retain(|name| !name_references_machine(name, &dead));
+        self.basis
+            .retain_vars(|name| !name_references_machine(name, &dead));
+        self.basis
+            .retain_rows(|name| !name_references_machine(name, &dead));
+        before - self.active.len() - self.basis.len()
+    }
+}
+
+/// Machines currently revoked (zero throughput) in `cluster`, by index.
+fn dead_machines(cluster: &Cluster) -> std::collections::HashSet<usize> {
+    cluster
+        .machines
+        .iter()
+        .filter(|m| m.tp_ecu <= 0.0)
+        .map(|m| m.id.0)
+        .collect()
+}
+
+/// True if a column/row name references one of the `dead` machines: task
+/// arcs are `xt_{job}_{machine}` / `xt_{job}_{machine}_{store}`, the
+/// per-machine rows are `cpu_{machine}` and `xfer_{machine}`. Every other
+/// name family (`nd_*`, `fake_*`, `cov_*`, `lnk_*`, `pool_*`, `store_*`)
+/// is machine-free and survives a revocation untouched.
+fn name_references_machine(name: &str, dead: &std::collections::HashSet<usize>) -> bool {
+    let mut parts = name.split('_');
+    match parts.next() {
+        // Skip the job id; the next segment is the machine.
+        Some("xt") => parts
+            .nth(1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .is_some_and(|m| dead.contains(&m)),
+        Some("cpu") | Some("xfer") => parts
+            .next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .is_some_and(|m| dead.contains(&m)),
+        _ => false,
+    }
+}
+
+/// Drop every warm-start entry that references a machine no longer alive
+/// in `cluster`. A name-keyed [`WarmStart`] survives model edits by
+/// design, but a status for a column or row the builder will never emit
+/// again would seed the repair loop with garbage; pruning up front leaves
+/// a smaller, honest basis the solver completes with slacks. Returns how
+/// many entries were dropped.
+pub fn sanitize_warm_start(ws: &mut WarmStart, cluster: &Cluster) -> usize {
+    let dead = dead_machines(cluster);
+    if dead.is_empty() {
+        return 0;
+    }
+    let before = ws.len();
+    ws.retain_vars(|name| !name_references_machine(name, &dead));
+    ws.retain_rows(|name| !name_references_machine(name, &dead));
+    before - ws.len()
 }
 
 /// Telemetry from one column-generated solve.
@@ -879,17 +1205,30 @@ fn ms_since(t: std::time::Instant) -> f64 {
 /// A restriction can be infeasible where the full model is not (a pool
 /// floor unreachable on the seeded machines); the loop then appends the
 /// whole remainder and retries once, so feasibility semantics match
-/// [`solve`] exactly.
+/// the direct solve exactly.
 ///
 /// # Panics
 ///
 /// Like [`solve_certified`], panics if the final solution fails
-/// certification — a wrong "optimal" schedule must not be silently used.
+/// certification — prefer [`EpochSolver::colgen`], which reports it as an
+/// error instead.
+#[deprecated(note = "use EpochSolver::new(inst).colgen(opts, prior).run()")]
 pub fn solve_colgen(
     inst: &LpInstance<'_>,
     opts: &ColGenOptions,
     prior: Option<&ColGenState>,
 ) -> Result<ColGenOutcome, LpError> {
+    colgen_run(inst, opts, prior, None).map_err(unwrap_certification)
+}
+
+/// The column-generation engine behind [`EpochSolver::colgen`] and the
+/// deprecated [`solve_colgen`] shim.
+fn colgen_run(
+    inst: &LpInstance<'_>,
+    opts: &ColGenOptions,
+    prior: Option<&ColGenState>,
+    pivot_budget: Option<usize>,
+) -> Result<ColGenOutcome, EpochSolveError> {
     use std::collections::HashSet;
 
     let t_build = std::time::Instant::now();
@@ -972,7 +1311,7 @@ pub fn solve_colgen(
     let mut first_warm: Option<lips_lp::WarmOutcome> = None;
     let sol = loop {
         stats.rounds += 1;
-        let sol = match model.solve_warm(warm.as_ref()) {
+        let sol = match solve_model(&model, warm.as_ref(), pivot_budget) {
             Ok(s) => s,
             Err(LpError::Infeasible) if active.len() < arcs.len() => {
                 // The *restriction* may be infeasible even when the
@@ -987,7 +1326,7 @@ pub fn solve_colgen(
                 build_ms += ms_since(t);
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         };
         let s = sol.stats();
         agg.iterations += s.iterations;
@@ -1032,12 +1371,15 @@ pub fn solve_colgen(
             terms: arc_terms(a),
         })
         .collect();
-    let certificate = lips_audit::certify_restricted(&model, &sol, &excluded)
-        .expect("revised simplex always reports duals");
-    assert!(
-        certificate.is_optimal(),
-        "colgen master failed full-model certification: {certificate}"
-    );
+    let certificate = match lips_audit::certify_restricted(&model, &sol, &excluded) {
+        Ok(cert) if cert.is_optimal() => cert,
+        Ok(cert) => {
+            return Err(EpochSolveError::Certification(format!(
+                "colgen master failed full-model certification: {cert}"
+            )))
+        }
+        Err(e) => return Err(EpochSolveError::Certification(e.to_string())),
+    };
 
     // --- decode + next-epoch state --------------------------------------
     let sens = lips_lp::sensitivity::analyze(&model, &sol);
@@ -1145,6 +1487,12 @@ mod tests {
     use super::*;
     use lips_cluster::{ec2_20_node, InstanceType};
     use lips_workload::JobKind;
+
+    /// Test shim over the unified API: every solve below goes through
+    /// [`EpochSolver`] (this shadows the deprecated free function).
+    fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, EpochSolveError> {
+        EpochSolver::new(inst).certify().run().map(|r| r.schedule)
+    }
 
     /// Two-machine cluster: expensive m1.medium in zone a holding the
     /// data, cheap c1.medium in zone b.
@@ -1449,21 +1797,23 @@ mod tests {
             seed_arcs_per_job: 2,
             ..ColGenOptions::default()
         };
-        let out = solve_colgen(&inst, &opts, None).unwrap();
-        assert!(out.certificate.is_optimal(), "{}", out.certificate);
+        let out = EpochSolver::new(&inst).colgen(opts, None).run().unwrap();
+        let cert = out.certificate.expect("colgen always certifies");
+        assert!(cert.is_optimal(), "{cert}");
         assert!(
             (out.schedule.lp_objective - full.lp_objective).abs() < 1e-6,
             "colgen {} vs full {}",
             out.schedule.lp_objective,
             full.lp_objective
         );
-        assert!(out.stats.active_columns <= out.stats.total_columns);
-        assert!(out.stats.rounds >= 1);
+        let (_, stats) = out.colgen.expect("colgen mode reports its state");
+        assert!(stats.active_columns <= stats.total_columns);
+        assert!(stats.rounds >= 1);
         // The whole point: the master never grew to the full column set.
         assert!(
-            out.stats.active_columns < out.stats.total_columns,
+            stats.active_columns < stats.total_columns,
             "master ended with all {} columns active",
-            out.stats.total_columns
+            stats.total_columns
         );
     }
 
@@ -1475,15 +1825,23 @@ mod tests {
         let cluster = ec2_20_node(0.5, 100_000.0);
         let opts = ColGenOptions::default();
         let inst1 = base_inst(&cluster, spread_jobs(6));
-        let e1 = solve_colgen(&inst1, &opts, None).unwrap();
-        assert!(e1.state.carried_columns() > 0);
+        let e1 = EpochSolver::new(&inst1)
+            .colgen(opts.clone(), None)
+            .run()
+            .unwrap();
+        let (state1, _) = e1.colgen.expect("colgen mode reports its state");
+        assert!(state1.carried_columns() > 0);
 
         let mut jobs2 = spread_jobs(6);
         jobs2[3].tcp *= 1.5;
         let inst2 = base_inst(&cluster, jobs2);
         let full2 = solve(&inst2).unwrap();
-        let e2 = solve_colgen(&inst2, &opts, Some(&e1.state)).unwrap();
-        assert!(e2.certificate.is_optimal(), "{}", e2.certificate);
+        let e2 = EpochSolver::new(&inst2)
+            .colgen(opts, Some(&state1))
+            .run()
+            .unwrap();
+        let cert = e2.certificate.expect("colgen always certifies");
+        assert!(cert.is_optimal(), "{cert}");
         assert!(
             (e2.schedule.lp_objective - full2.lp_objective).abs() < 1e-6,
             "warm colgen {} vs full {}",
@@ -1518,8 +1876,9 @@ mod tests {
             seed_arcs_per_job: 1,
             ..ColGenOptions::default()
         };
-        let out = solve_colgen(&inst, &opts, None).unwrap();
-        assert!(out.certificate.is_optimal(), "{}", out.certificate);
+        let out = EpochSolver::new(&inst).colgen(opts, None).run().unwrap();
+        let cert = out.certificate.expect("colgen always certifies");
+        assert!(cert.is_optimal(), "{cert}");
         assert!((out.schedule.lp_objective - full.lp_objective).abs() < 1e-6);
     }
 
@@ -1530,11 +1889,123 @@ mod tests {
         let size = 1024.0;
         let mut inst = base_inst(&cluster, vec![one_job(size, work_ecu / size, StoreId(0))]);
         inst.duration = work_ecu / 7.0 * 1.0001; // both CPU rows bind
-        let (_, direct) = solve_with_shadow_prices(&inst).unwrap();
-        let out = solve_colgen(&inst, &ColGenOptions::default(), None).unwrap();
-        for ((m1, p1), (m2, p2)) in direct.iter().zip(out.shadow_prices.iter()) {
+        let direct = EpochSolver::new(&inst)
+            .shadow_prices()
+            .run()
+            .unwrap()
+            .shadow_prices
+            .expect("shadow prices requested");
+        let out = EpochSolver::new(&inst)
+            .colgen(ColGenOptions::default(), None)
+            .run()
+            .unwrap();
+        let cg = out.shadow_prices.expect("colgen computes shadow prices");
+        for ((m1, p1), (m2, p2)) in direct.iter().zip(cg.iter()) {
             assert_eq!(m1, m2);
             assert!((p1 - p2).abs() < 1e-6, "machine {m1:?}: {p1} vs {p2}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_agree_with_epoch_solver() {
+        // One release of backward compatibility: the seven old entry
+        // points must keep compiling and land on the same optimum.
+        let cluster = two_node();
+        let inst = base_inst(&cluster, vec![one_job(1024.0, 2.0, StoreId(0))]);
+        let unified = EpochSolver::new(&inst).certify().run().unwrap();
+        let plain = super::solve(&inst).unwrap();
+        let (certified, cert) = solve_certified(&inst).unwrap();
+        assert!(cert.is_optimal());
+        let (warm_sched, _basis) = solve_warm(&inst, None).unwrap();
+        let (shadow_sched, shadows) = solve_with_shadow_prices(&inst).unwrap();
+        let (wsp_sched, wsp_shadows, _) = solve_warm_with_shadow_prices(&inst, None).unwrap();
+        let cg = solve_colgen(&inst, &ColGenOptions::default(), None).unwrap();
+        for obj in [
+            plain.lp_objective,
+            certified.lp_objective,
+            warm_sched.lp_objective,
+            shadow_sched.lp_objective,
+            wsp_sched.lp_objective,
+            cg.schedule.lp_objective,
+        ] {
+            assert!(
+                (obj - unified.schedule.lp_objective).abs() < 1e-9,
+                "shim objective {obj} vs unified {}",
+                unified.schedule.lp_objective
+            );
+        }
+        assert_eq!(shadows.len(), wsp_shadows.len());
+    }
+
+    #[test]
+    fn revoked_machine_gets_no_columns_or_capacity() {
+        // Kill the cheap node: everything must land on the survivor even
+        // though it is more expensive, and a chained basis naming the dead
+        // machine must not resurrect it.
+        let mut cluster = two_node();
+        cluster.machines[1].tp_ecu = 0.0;
+        let inst = base_inst(&cluster, vec![one_job(1024.0, 5.0, StoreId(0))]);
+        let report = EpochSolver::new(&inst).certify().run().unwrap();
+        assert!(report
+            .schedule
+            .assignments
+            .iter()
+            .all(|&(_, l, _, _)| l == MachineId(0)));
+        // The surviving model has no basis entries touching machine 1.
+        assert_eq!(report.basis.var("xt_0_1_0"), None);
+        assert_eq!(report.basis.row("cpu_1"), None);
+    }
+
+    #[test]
+    fn sanitize_warm_start_drops_dead_machine_entries() {
+        use lips_lp::BasisStatus;
+        let mut cluster = two_node();
+        let mut ws = WarmStart::new();
+        ws.set_var("xt_3_0_0", BasisStatus::Basic);
+        ws.set_var("xt_3_1_0", BasisStatus::Basic);
+        ws.set_var("xt_7_1", BasisStatus::AtLower); // input-less arc
+        ws.set_var("nd_3_1_0", BasisStatus::AtLower); // store-keyed: survives
+        ws.set_row("cpu_1", BasisStatus::Basic);
+        ws.set_row("xfer_1", BasisStatus::AtLower);
+        ws.set_row("cov_3", BasisStatus::AtLower);
+        // Nothing dead yet: a no-op.
+        assert_eq!(sanitize_warm_start(&mut ws, &cluster), 0);
+        assert_eq!(ws.len(), 7);
+        cluster.machines[1].tp_ecu = 0.0;
+        assert_eq!(sanitize_warm_start(&mut ws, &cluster), 4);
+        assert_eq!(ws.var("xt_3_0_0"), Some(BasisStatus::Basic));
+        assert_eq!(ws.var("xt_3_1_0"), None);
+        assert_eq!(ws.var("xt_7_1"), None);
+        assert_eq!(ws.var("nd_3_1_0"), Some(BasisStatus::AtLower));
+        assert_eq!(ws.row("cpu_1"), None);
+        assert_eq!(ws.row("xfer_1"), None);
+        assert_eq!(ws.row("cov_3"), Some(BasisStatus::AtLower));
+    }
+
+    #[test]
+    fn zero_replica_job_defers_to_fake_node() {
+        // A job whose every data holder was lost (empty avail): no task
+        // arc can read, no copy has a source, so the fake node takes all
+        // of it — the job never vanishes from the model.
+        let cluster = two_node();
+        let mut job = one_job(1024.0, 2.0, StoreId(0));
+        job.avail = vec![];
+        let mut inst = base_inst(&cluster, vec![job]);
+        inst.fake_cost = Some(1.0);
+        let report = EpochSolver::new(&inst).certify().run().unwrap();
+        let deferred = report.schedule.deferred.get(&JobId(0)).copied().unwrap();
+        assert!(deferred > 1.0 - 1e-6, "deferred {deferred}");
+        assert!(report.schedule.moves.is_empty());
+    }
+
+    #[test]
+    fn pivot_budget_exhaustion_reports_iteration_limit() {
+        let cluster = two_node();
+        let inst = base_inst(&cluster, vec![one_job(1024.0, 2.0, StoreId(0))]);
+        match EpochSolver::new(&inst).pivot_budget(0).run() {
+            Err(EpochSolveError::Lp(LpError::IterationLimit { .. })) => {}
+            other => panic!("expected iteration-limit error, got {other:?}"),
         }
     }
 }

@@ -7,13 +7,12 @@
 //! "ideal delay" cost computed by the bench harness.
 
 use lips_cluster::Cluster;
-use lips_lp::LpError;
 use lips_sim::Placement;
 use lips_workload::JobSpec;
 
 use crate::lp_build::{
-    solve, solve_colgen, ColGenOptions, ColGenOutcome, FractionalSchedule, LpInstance, LpJob,
-    PruneConfig,
+    ColGenOptions, ColGenOutcome, EpochCertificate, EpochSolveError, EpochSolver,
+    FractionalSchedule, LpInstance, LpJob, PruneConfig,
 };
 
 /// Result of an offline solve (alias; all schedule queries live on
@@ -53,8 +52,8 @@ pub fn simple_task_schedule(
     cluster: &Cluster,
     jobs: Vec<LpJob>,
     uptime: f64,
-) -> Result<OfflineSchedule, LpError> {
-    solve(&LpInstance {
+) -> Result<OfflineSchedule, EpochSolveError> {
+    let inst = LpInstance {
         cluster,
         jobs,
         duration: uptime,
@@ -64,7 +63,8 @@ pub fn simple_task_schedule(
         store_free_mb: vec![],
         pool_floors: vec![],
         prune: PruneConfig::default(),
-    })
+    };
+    EpochSolver::new(&inst).certify().run().map(|r| r.schedule)
 }
 
 /// **Fig 3** — offline cost-efficient co-scheduling: data placement and
@@ -73,8 +73,8 @@ pub fn co_schedule(
     cluster: &Cluster,
     jobs: Vec<LpJob>,
     uptime: f64,
-) -> Result<OfflineSchedule, LpError> {
-    solve(&LpInstance {
+) -> Result<OfflineSchedule, EpochSolveError> {
+    let inst = LpInstance {
         cluster,
         jobs,
         duration: uptime,
@@ -84,7 +84,8 @@ pub fn co_schedule(
         store_free_mb: vec![],
         pool_floors: vec![],
         prune: PruneConfig::default(),
-    })
+    };
+    EpochSolver::new(&inst).certify().run().map(|r| r.schedule)
 }
 
 /// **Fig 3 via column generation** — same optimum as [`co_schedule`]
@@ -96,22 +97,35 @@ pub fn co_schedule_colgen(
     cluster: &Cluster,
     jobs: Vec<LpJob>,
     uptime: f64,
-) -> Result<ColGenOutcome, LpError> {
-    solve_colgen(
-        &LpInstance {
-            cluster,
-            jobs,
-            duration: uptime,
-            fake_cost: None,
-            allow_moves: true,
-            enforce_transfer_time: false,
-            store_free_mb: vec![],
-            pool_floors: vec![],
-            prune: PruneConfig::default(),
-        },
-        &ColGenOptions::default(),
-        None,
-    )
+) -> Result<ColGenOutcome, EpochSolveError> {
+    let inst = LpInstance {
+        cluster,
+        jobs,
+        duration: uptime,
+        fake_cost: None,
+        allow_moves: true,
+        enforce_transfer_time: false,
+        store_free_mb: vec![],
+        pool_floors: vec![],
+        prune: PruneConfig::default(),
+    };
+    let report = EpochSolver::new(&inst)
+        .colgen(ColGenOptions::default(), None)
+        .run()?;
+    let certificate = match report.certificate.expect("colgen mode always certifies") {
+        EpochCertificate::Restricted(c) => c,
+        EpochCertificate::Full(_) => unreachable!("colgen certifies via the restricted path"),
+    };
+    let (state, stats) = report.colgen.expect("colgen mode carries state");
+    Ok(ColGenOutcome {
+        schedule: report.schedule,
+        shadow_prices: report
+            .shadow_prices
+            .expect("colgen mode computes shadow prices"),
+        certificate,
+        state,
+        stats,
+    })
 }
 
 /// **§IV greedy** — for each job pick the `(machine, holder-store)` pair

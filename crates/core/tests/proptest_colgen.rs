@@ -7,7 +7,7 @@
 
 use lips_audit::{certify_restricted, ExcludedColumn};
 use lips_cluster::{ec2_mixed_cluster, DataId, StoreId};
-use lips_core::lp_build::{solve, solve_colgen, ColGenOptions, LpInstance, LpJob, PruneConfig};
+use lips_core::lp_build::{ColGenOptions, EpochSolver, LpInstance, LpJob, PruneConfig};
 use lips_lp::{Cmp, Model};
 use lips_workload::JobId;
 use proptest::prelude::*;
@@ -88,11 +88,18 @@ proptest! {
                 pool_floors: vec![],
                 prune: PruneConfig::default(),
             };
-            let full = solve(&inst)
-                .map_err(|e| TestCaseError::fail(format!("full LP failed: {e}")))?;
-            let out = solve_colgen(&inst, &opts, state.as_ref())
+            let full = EpochSolver::new(&inst)
+                .certify()
+                .run()
+                .map_err(|e| TestCaseError::fail(format!("full LP failed: {e}")))?
+                .schedule;
+            let out = EpochSolver::new(&inst)
+                .colgen(opts.clone(), state.as_ref())
+                .run()
                 .map_err(|e| TestCaseError::fail(format!("colgen failed: {e}")))?;
-            prop_assert!(out.certificate.is_optimal(), "epoch {e}: {}", out.certificate);
+            let cert = out.certificate.expect("colgen mode always certifies");
+            prop_assert!(cert.is_optimal(), "epoch {e}: {cert}");
+            let (cg_state, cg_stats) = out.colgen.expect("colgen mode carries state");
             let scale = 1.0 + full.lp_objective.abs();
             prop_assert!(
                 (out.schedule.lp_objective - full.lp_objective).abs() / scale < 1e-6,
@@ -100,8 +107,8 @@ proptest! {
                 out.schedule.lp_objective,
                 full.lp_objective
             );
-            prop_assert!(out.stats.active_columns <= out.stats.total_columns);
-            state = Some(out.state);
+            prop_assert!(cg_stats.active_columns <= cg_stats.total_columns);
+            state = Some(cg_state);
         }
     }
 

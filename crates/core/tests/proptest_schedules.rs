@@ -6,9 +6,16 @@
 use std::collections::HashMap;
 
 use lips_cluster::{ec2_mixed_cluster, DataId, MachineId, StoreId};
-use lips_core::lp_build::{solve, LpInstance, LpJob, PruneConfig};
+use lips_core::lp_build::{
+    EpochSolveError, EpochSolver, FractionalSchedule, LpInstance, LpJob, PruneConfig,
+};
 use lips_workload::JobId;
 use proptest::prelude::*;
+
+/// The old one-shot entrypoint, expressed on the unified builder.
+fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, EpochSolveError> {
+    EpochSolver::new(inst).certify().run().map(|r| r.schedule)
+}
 
 #[derive(Debug, Clone)]
 struct RandomInstance {

@@ -44,6 +44,9 @@ pub struct NameNode {
     replicas: HashMap<BlockId, Vec<StoreId>>,
     /// MB used per store.
     used_mb: HashMap<StoreId, f64>,
+    /// Stores declared dead by [`NameNode::lose_store`]; never chosen as
+    /// re-replication targets until they rejoin.
+    dead: Vec<StoreId>,
     next_block: u64,
     /// Target replication factor for new files.
     pub replication: usize,
@@ -119,6 +122,7 @@ impl NameNode {
             .stores
             .iter()
             .filter(|s| s.colocated.is_some())
+            .filter(|s| !self.dead.contains(&s.id))
             .filter(|s| !existing.contains(&s.id))
             .filter(|s| {
                 self.used_mb.get(&s.id).copied().unwrap_or(0.0) + meta.size_mb <= s.capacity_mb
@@ -148,6 +152,35 @@ impl NameNode {
             *self.used_mb.get_mut(&store).unwrap() -= meta.size_mb;
         }
         Ok(())
+    }
+
+    /// Drop **every** replica held on `store` (whole-DataNode loss, the
+    /// fault-injection event). Returns the affected blocks, sorted; each
+    /// becomes under-replicated — or unreadable, if `store` held its last
+    /// copy — until [`NameNode::re_replicate`] runs.
+    pub fn lose_store(&mut self, store: StoreId) -> Vec<BlockId> {
+        let mut affected: Vec<BlockId> = self
+            .replicas
+            .iter()
+            .filter(|(_, reps)| reps.contains(&store))
+            .map(|(&b, _)| b)
+            .collect();
+        affected.sort();
+        for &block in &affected {
+            let reps = self.replicas.get_mut(&block).unwrap();
+            reps.retain(|&s| s != store);
+        }
+        self.used_mb.remove(&store);
+        if !self.dead.contains(&store) {
+            self.dead.push(store);
+        }
+        affected
+    }
+
+    /// A dead store returns empty (its contents are gone; blocks re-enter
+    /// via the chooser like any other store's).
+    pub fn rejoin_store(&mut self, store: StoreId) {
+        self.dead.retain(|&s| s != store);
     }
 
     /// Blocks with fewer than the target number of replicas.
@@ -283,6 +316,37 @@ mod tests {
         assert_eq!(added, 1);
         assert!(nn.under_replicated().is_empty());
         assert_eq!(nn.replicas_of(blocks[0]).len(), 3);
+    }
+
+    #[test]
+    fn store_loss_and_rereplication_restore_the_factor() {
+        let c = ec2_20_node(0.0, 3600.0);
+        let mut nn = NameNode::new(3);
+        let mut ch = DefaultTargetChooser::new(2);
+        let blocks = nn.create_file(&c, DataId(0), 192.0, None, &mut ch).unwrap();
+        // Kill the store holding block 0's first replica — every block it
+        // held becomes under-replicated at once.
+        let victim = nn.replicas_of(blocks[0])[0];
+        let affected = nn.lose_store(victim);
+        assert!(affected.contains(&blocks[0]));
+        assert_eq!(nn.under_replicated(), affected);
+        assert!((nn.used_mb(victim) - 0.0).abs() < 1e-12);
+        // Repair: back to factor 3 everywhere, never using the dead store.
+        let added = nn.re_replicate(&c, &mut ch).unwrap();
+        assert_eq!(added, affected.len());
+        assert!(nn.under_replicated().is_empty());
+        for &b in &blocks {
+            assert_eq!(nn.replicas_of(b).len(), 3);
+            assert!(!nn.replicas_of(b).contains(&victim), "dead store reused");
+        }
+        // Losing an already-dead store is a no-op.
+        assert!(nn.lose_store(victim).is_empty());
+        // After a rejoin the store is choosable again (it starts empty).
+        nn.rejoin_store(victim);
+        let b0 = blocks[0];
+        nn.lose_replica(b0, nn.replicas_of(b0)[0]).unwrap();
+        nn.re_replicate(&c, &mut ch).unwrap();
+        assert!(nn.under_replicated().is_empty());
     }
 
     #[test]

@@ -98,6 +98,22 @@ impl WarmStart {
         self.rows.get(name).copied()
     }
 
+    /// Keep only the variable statuses whose name satisfies `keep`.
+    ///
+    /// Used when the model the basis was taken from loses structure — e.g.
+    /// a machine is revoked and every column touching it vanishes. Feeding
+    /// the stale names to the repair loop would seed garbage; dropping them
+    /// up front leaves a smaller but honest basis the solver completes with
+    /// slacks.
+    pub fn retain_vars(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.vars.retain(|name, _| keep(name));
+    }
+
+    /// Keep only the row statuses whose name satisfies `keep`.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.rows.retain(|name, _| keep(name));
+    }
+
     /// Number of variables and rows recorded as [`BasisStatus::Basic`].
     pub fn num_basic(&self) -> usize {
         self.vars
@@ -129,5 +145,21 @@ mod tests {
         ws.set_var("x", BasisStatus::Free);
         assert_eq!(ws.var("x"), Some(BasisStatus::Free));
         assert_eq!(ws.len(), 4);
+    }
+
+    #[test]
+    fn retain_drops_only_rejected_names() {
+        let mut ws = WarmStart::new();
+        ws.set_var("xt_0_1", BasisStatus::Basic);
+        ws.set_var("xt_0_2", BasisStatus::AtLower);
+        ws.set_row("cpu_1", BasisStatus::Basic);
+        ws.set_row("cpu_2", BasisStatus::AtLower);
+        ws.retain_vars(|name| !name.ends_with("_1"));
+        ws.retain_rows(|name| !name.ends_with("_1"));
+        assert_eq!(ws.var("xt_0_1"), None);
+        assert_eq!(ws.var("xt_0_2"), Some(BasisStatus::AtLower));
+        assert_eq!(ws.row("cpu_1"), None);
+        assert_eq!(ws.row("cpu_2"), Some(BasisStatus::AtLower));
+        assert_eq!(ws.len(), 2);
     }
 }

@@ -1,5 +1,7 @@
 //! The scheduler interface: what a policy sees and what it may do.
 
+use std::collections::HashMap;
+
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
 use lips_workload::JobId;
 
@@ -34,12 +36,20 @@ pub enum Action {
 /// Read-only view handed to a scheduler at each decision point.
 pub struct SchedulerContext<'a> {
     pub now: Time,
+    /// The *live* cluster: under fault injection, revoked machines show
+    /// `tp_ecu == 0` and repriced machines their current `cpu_cost`.
     pub cluster: &'a Cluster,
     pub placement: &'a Placement,
     /// Arrived, unfinished jobs in arrival order.
     pub queue: &'a [PendingJob],
     /// Slot occupancy, indexed by machine id.
     pub machines: &'a [MachineState],
+    /// The engine's ground-truth read ledger: MB already read per
+    /// `(data, store)`, net of fault refunds. Schedulers that track their
+    /// own issued reads should re-sync from this (a killed chunk returns
+    /// its read budget, which a scheduler-local ledger cannot see).
+    /// `None` when the context does not come from a live engine run.
+    pub reads_used: Option<&'a HashMap<(DataId, StoreId), f64>>,
 }
 
 impl SchedulerContext<'_> {
@@ -73,6 +83,14 @@ pub trait Scheduler {
         None
     }
 
+    /// Number of epochs this scheduler gave up on its optimizer and fell
+    /// back to a degraded (greedy) plan. Copied into
+    /// [`crate::Metrics::faults`] at the end of a run. Policies without a
+    /// degradation ladder report zero.
+    fn degraded_epochs(&self) -> usize {
+        0
+    }
+
     /// Human-readable policy name (report labels).
     fn name(&self) -> &str;
 }
@@ -97,6 +115,7 @@ mod tests {
             placement: &placement,
             queue: &queue,
             machines: &machines,
+            reads_used: None,
         };
         let with_work: Vec<JobId> = ctx.jobs_with_work().map(|j| j.id).collect();
         assert_eq!(with_work, vec![JobId(1)]);

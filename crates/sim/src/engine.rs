@@ -1,13 +1,14 @@
 //! The discrete-event simulation driver.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use lips_cluster::{Cluster, DataId, StoreId};
+use lips_cluster::{Cluster, DataId, MachineId, StoreId};
 use lips_workload::{BoundWorkload, JobId};
 
 use crate::action::{Action, Scheduler, SchedulerContext};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::job_state::{JobOutcome, PendingJob};
 use crate::machine_state::MachineState;
 use crate::metrics::{Metrics, SimReport};
@@ -37,6 +38,9 @@ pub enum SimError {
     },
     /// A data-reading chunk did not name a source store.
     SourceRequired(JobId),
+    /// Chunk targeted a machine that is currently revoked (a fault-aware
+    /// scheduler must respect the live cluster's `tp_ecu == 0` marker).
+    MachineRevoked(MachineId),
     /// All events drained but unfinished jobs remain — the scheduler
     /// stopped scheduling.
     Stalled { unfinished: usize },
@@ -70,6 +74,9 @@ impl fmt::Display for SimError {
             }
             SimError::SourceRequired(j) => {
                 write!(f, "data-reading chunk for {j:?} lacks a source store")
+            }
+            SimError::MachineRevoked(m) => {
+                write!(f, "chunk scheduled on revoked machine {m:?}")
             }
             SimError::Stalled { unfinished } => {
                 write!(f, "simulation stalled with {unfinished} unfinished jobs")
@@ -110,8 +117,52 @@ pub struct Simulation<'a> {
     /// killed and billed for the cycles it burned. Only meaningful with
     /// stragglers enabled.
     speculation: bool,
+    /// Scripted cluster faults, replayed through the event loop.
+    faults: Option<FaultPlan>,
     /// Hard event cap (runaway guard); default scales with workload size.
     pub max_events: usize,
+}
+
+/// One dispatched, not-yet-finished chunk — everything needed to unwind it
+/// if its machine is revoked.
+struct RunningChunk {
+    job: JobId,
+    machine: MachineId,
+    start: Time,
+    end: Time,
+    /// Input MB and fixed ECU-seconds consumed from the job at dispatch.
+    mb: f64,
+    fixed_ecu: f64,
+    /// Total ECU-seconds of the chunk.
+    ecu: f64,
+    /// CPU dollars billed at dispatch (at the dispatch-time price).
+    cpu_dollars: f64,
+    /// `(data, source)` the read budget was charged against, if any.
+    read: Option<(DataId, StoreId)>,
+    /// Whether the chunk's ECU went into the map-output ledger.
+    tracked_map: bool,
+}
+
+/// Mutable fault-related bookkeeping threaded through the run.
+#[derive(Default)]
+struct FaultState {
+    next_chunk: u64,
+    /// In-flight chunks by id; a `ChunkDone` whose id is absent was killed.
+    running: HashMap<u64, RunningChunk>,
+    /// Objects that lost a replica to a store loss (moves of these count
+    /// as re-replication traffic).
+    lost_data: HashSet<DataId>,
+    /// Original `tp_ecu` of currently revoked machines.
+    revoked_ecu: HashMap<MachineId, f64>,
+}
+
+impl FaultState {
+    fn register(&mut self, chunk: RunningChunk) -> u64 {
+        let id = self.next_chunk;
+        self.next_chunk += 1;
+        self.running.insert(id, chunk);
+        id
+    }
 }
 
 impl<'a> Simulation<'a> {
@@ -124,8 +175,19 @@ impl<'a> Simulation<'a> {
             stragglers: None,
             interference: 0.0,
             speculation: false,
+            faults: None,
             max_events,
         }
+    }
+
+    /// Replay a [`FaultPlan`] during the run: machines get revoked (their
+    /// in-flight chunks killed, the work returned to the queue) and may
+    /// rejoin, stores lose their replicas, prices move. Incompatible with
+    /// speculation (the paper disables speculation for LiPS; combining the
+    /// two would need kill-ordering rules this engine does not define).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Enable speculative execution (see the field docs). The paper
@@ -167,7 +229,16 @@ impl<'a> Simulation<'a> {
 
     /// Execute the workload under `scheduler` and return the report.
     pub fn run(&self, scheduler: &mut dyn Scheduler) -> Result<SimReport, SimError> {
+        assert!(
+            !(self.speculation && self.faults.is_some()),
+            "speculation and fault injection are mutually exclusive"
+        );
         let cluster = self.cluster;
+        // The cluster the run actually sees: faults mutate this copy
+        // (revocation zeroes `tp_ecu`, repricing moves `cpu_cost`), so every
+        // scheduler decision and every bill reflects the surviving topology.
+        let mut live: Cluster = cluster.clone();
+        let mut fstate = FaultState::default();
         let mut events = EventQueue::new();
         let mut placement = self
             .initial_placement
@@ -193,6 +264,11 @@ impl<'a> Simulation<'a> {
         for job in &self.workload.jobs {
             events.push(job.arrival_s, EventKind::JobArrival(job.id));
             arrivals_pending += 1;
+        }
+        if let Some(plan) = &self.faults {
+            for &(time, fe) in plan.events() {
+                events.push(time, EventKind::Fault(fe));
+            }
         }
         let epoch = scheduler.epoch();
         if let Some(e) = epoch {
@@ -235,7 +311,13 @@ impl<'a> Simulation<'a> {
                         queue.push(pj);
                     }
                 }
-                EventKind::ChunkDone { job, .. } => {
+                EventKind::ChunkDone { job, chunk, .. } => {
+                    if fstate.running.remove(&chunk).is_none() {
+                        // The chunk was killed by a revocation before it
+                        // finished: its work is already back in the queue
+                        // and no state changed — skip the stale completion.
+                        continue;
+                    }
                     running_total -= 1;
                     makespan = makespan.max(now);
                     if let Some(pos) = queue.iter().position(|j| j.id == job) {
@@ -305,6 +387,84 @@ impl<'a> Simulation<'a> {
                     makespan = makespan.max(now);
                 }
                 EventKind::EpochTick => {}
+                EventKind::Fault(fe) => match fe {
+                    FaultEvent::RevokeMachine { machine } => {
+                        if live.machines[machine.0].tp_ecu > 0.0 {
+                            fstate
+                                .revoked_ecu
+                                .insert(machine, live.machines[machine.0].tp_ecu);
+                            live.machines[machine.0].tp_ecu = 0.0;
+                            metrics.faults.revocations += 1;
+                            // Kill every in-flight chunk on the machine: the
+                            // burned fraction stays billed (the provider
+                            // charged for it) but the partial output is
+                            // lost, so the whole chunk's work goes back to
+                            // the queue and its read budget is refunded.
+                            let mut victims: Vec<u64> = fstate
+                                .running
+                                .iter()
+                                .filter(|(_, c)| c.machine == machine)
+                                .map(|(&id, _)| id)
+                                .collect();
+                            victims.sort_unstable();
+                            for id in victims {
+                                let c = fstate.running.remove(&id).expect("victim registered");
+                                let dur = c.end - c.start;
+                                let frac = if dur > 0.0 {
+                                    ((now - c.start) / dur).clamp(0.0, 1.0)
+                                } else {
+                                    1.0
+                                };
+                                metrics.refund_chunk(
+                                    machine,
+                                    c.ecu * (1.0 - frac),
+                                    (c.end - now).max(0.0),
+                                    c.cpu_dollars * (1.0 - frac),
+                                );
+                                metrics.faults.killed_chunks += 1;
+                                metrics.faults.lost_ecu_sec += c.ecu * frac;
+                                if let Some((data, src)) = c.read {
+                                    if let Some(used) = reads_used.get_mut(&(data, src)) {
+                                        *used = (*used - c.mb).max(0.0);
+                                    }
+                                }
+                                if c.tracked_map {
+                                    if let Some(e) = map_ecu.get_mut(&(c.job, machine)) {
+                                        *e = (*e - c.ecu).max(0.0);
+                                    }
+                                }
+                                let pj = queue
+                                    .iter_mut()
+                                    .find(|j| j.id == c.job)
+                                    .expect("job with a running chunk is queued");
+                                pj.restore(c.mb, c.fixed_ecu);
+                                running_total -= 1;
+                            }
+                            machines[machine.0].release_all(now);
+                        }
+                    }
+                    FaultEvent::RejoinMachine { machine } => {
+                        if let Some(tp) = fstate.revoked_ecu.remove(&machine) {
+                            live.machines[machine.0].tp_ecu = tp;
+                            metrics.faults.rejoins += 1;
+                        }
+                    }
+                    FaultEvent::LoseStore { store } => {
+                        let dropped = placement.drop_store(store);
+                        metrics.faults.store_losses += 1;
+                        for &(data, mb) in &dropped {
+                            metrics.faults.lost_store_mb += mb;
+                            fstate.lost_data.insert(data);
+                        }
+                        // The store's read ledger dies with its contents:
+                        // replicas copied there later are readable afresh.
+                        reads_used.retain(|&(_, s), _| s != store);
+                    }
+                    FaultEvent::Reprice { machine, cpu_cost } => {
+                        live.machines[machine.0].cpu_cost = cpu_cost;
+                        metrics.faults.repricings += 1;
+                    }
+                },
             }
 
             // Decision point. Event-driven schedulers react to everything;
@@ -320,10 +480,11 @@ impl<'a> Simulation<'a> {
                     let actions = {
                         let ctx = SchedulerContext {
                             now,
-                            cluster,
+                            cluster: &live,
                             placement: &placement,
                             queue: &queue,
                             machines: &machines,
+                            reads_used: Some(&reads_used),
                         };
                         scheduler.decide(&ctx)
                     };
@@ -334,7 +495,7 @@ impl<'a> Simulation<'a> {
                         self.apply(
                             action,
                             now,
-                            cluster,
+                            &live,
                             &mut placement,
                             &mut machines,
                             &mut queue,
@@ -344,6 +505,7 @@ impl<'a> Simulation<'a> {
                             &mut running_total,
                             &mut straggler_rng,
                             &mut map_ecu,
+                            &mut fstate,
                         )?;
                     }
                     if epoch.is_some() {
@@ -369,6 +531,7 @@ impl<'a> Simulation<'a> {
                 unfinished: queue.len(),
             });
         }
+        metrics.faults.degraded_epochs = scheduler.degraded_epochs();
         Ok(SimReport {
             scheduler: scheduler.name().to_string(),
             metrics,
@@ -394,11 +557,17 @@ impl<'a> Simulation<'a> {
         running_total: &mut usize,
         straggler_rng: &mut Option<(rand_chacha::ChaCha8Rng, StragglerModel)>,
         map_ecu: &mut HashMap<(JobId, lips_cluster::MachineId), f64>,
+        fstate: &mut FaultState,
     ) -> Result<(), SimError> {
         match action {
             Action::MoveData { data, from, to, mb } => {
                 if mb <= WORK_EPS {
                     return Ok(());
+                }
+                if fstate.lost_data.contains(&data) {
+                    // Re-replication traffic: this object lost a replica to
+                    // a store failure and is being copied again.
+                    metrics.faults.recopied_mb += mb;
                 }
                 if !placement.has(data, from, mb) {
                     return Err(SimError::MissingData {
@@ -435,6 +604,9 @@ impl<'a> Simulation<'a> {
                 if mb <= WORK_EPS && fixed_ecu <= WORK_EPS {
                     return Ok(());
                 }
+                if cluster.machine(machine).tp_ecu <= 0.0 {
+                    return Err(SimError::MachineRevoked(machine));
+                }
                 let pj = queue
                     .iter_mut()
                     .find(|j| j.id == job)
@@ -447,9 +619,11 @@ impl<'a> Simulation<'a> {
                 let mut read_dollars = 0.0;
                 let mut transfer_time = 0.0;
                 let mut locality = None;
+                let mut read_pair = None;
                 if mb > WORK_EPS {
                     let src = source.ok_or(SimError::SourceRequired(job))?;
                     let data = pj.data.expect("job with input MB has a data object");
+                    read_pair = Some((data, src));
                     let used = reads_used.entry((data, src)).or_default();
                     let present = placement.amount(data, src);
                     if *used + mb > present + WORK_EPS {
@@ -564,12 +738,25 @@ impl<'a> Simulation<'a> {
                                 0.0,
                                 locality,
                             );
+                            let chunk = fstate.register(RunningChunk {
+                                job,
+                                machine: bm.id,
+                                start: bstart,
+                                end: bend,
+                                mb,
+                                fixed_ecu,
+                                ecu,
+                                cpu_dollars: bm.cpu_dollars(ecu),
+                                read: read_pair,
+                                tracked_map: track_map,
+                            });
                             events.push(
                                 bend,
                                 EventKind::ChunkDone {
                                     job,
                                     machine: bm.id,
                                     slot: bslot,
+                                    chunk,
                                 },
                             );
                             return Ok(());
@@ -617,7 +804,27 @@ impl<'a> Simulation<'a> {
                     0.0, // remote MB already tallied above
                     locality,
                 );
-                events.push(end, EventKind::ChunkDone { job, machine, slot });
+                let chunk = fstate.register(RunningChunk {
+                    job,
+                    machine,
+                    start,
+                    end,
+                    mb,
+                    fixed_ecu,
+                    ecu,
+                    cpu_dollars: m.cpu_dollars(ecu),
+                    read: read_pair,
+                    tracked_map: track_map,
+                });
+                events.push(
+                    end,
+                    EventKind::ChunkDone {
+                        job,
+                        machine,
+                        slot,
+                        chunk,
+                    },
+                );
                 Ok(())
             }
         }

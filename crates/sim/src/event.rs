@@ -13,16 +13,21 @@ use crate::Time;
 pub enum EventKind {
     /// A job entered the queue.
     JobArrival(JobId),
-    /// A scheduled chunk finished on a machine slot.
+    /// A scheduled chunk finished on a machine slot. `chunk` is the
+    /// engine-assigned id of the dispatch; a completion whose id is no
+    /// longer registered was killed by a fault and is ignored.
     ChunkDone {
         job: JobId,
         machine: MachineId,
         slot: u32,
+        chunk: u64,
     },
     /// A data movement completed.
     MoveDone { data: DataId, to: StoreId },
     /// Periodic scheduler invocation (epoch-based schedulers).
     EpochTick,
+    /// A scripted cluster fault fires (see [`crate::fault::FaultPlan`]).
+    Fault(crate::fault::FaultEvent),
 }
 
 /// A timestamped event. Sequence numbers make ordering total and

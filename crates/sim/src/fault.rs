@@ -1,0 +1,158 @@
+//! Fault injection: scripted cluster failures delivered through the event
+//! loop.
+//!
+//! The paper's premise is spot-style volatile capacity — machines get
+//! revoked mid-run, storage dies, prices move. A [`FaultPlan`] is a
+//! deterministic script of such events; the engine replays it against a
+//! *live* copy of the cluster so schedulers see the surviving topology at
+//! every decision point ([`crate::SchedulerContext::cluster`]), while the
+//! original cluster the run was configured with stays untouched.
+//!
+//! Semantics, matching how Hadoop-on-spot deployments actually behave:
+//!
+//! * **Revocation** kills every in-flight chunk on the machine. The burned
+//!   cycles are billed (the provider charged for them) but the partial
+//!   output is lost, so the *whole* chunk's work returns to the job queue
+//!   and its read budget is refunded. The machine advertises zero capacity
+//!   (`tp_ecu = 0`) until a matching rejoin.
+//! * **Store loss** drops every block replica the store held. Data with
+//!   surviving replicas can be re-read or re-replicated from them; the
+//!   engine counts re-copies of lost objects as `recopied_mb`.
+//! * **Repricing** changes a machine's `$/ECU-second` from that instant on;
+//!   already-dispatched chunks keep their dispatch-time price (billing is
+//!   settled at dispatch).
+
+use lips_cluster::{MachineId, StoreId};
+
+use crate::Time;
+
+/// One scripted failure (or recovery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The machine disappears: in-flight chunks are killed, capacity drops
+    /// to zero. Idempotent (revoking a dead machine is a no-op).
+    RevokeMachine { machine: MachineId },
+    /// A previously revoked machine returns at its original capacity.
+    /// No-op if the machine was never revoked.
+    RejoinMachine { machine: MachineId },
+    /// Every replica on the store vanishes.
+    LoseStore { store: StoreId },
+    /// The machine's CPU price changes to `cpu_cost` ($/ECU-second).
+    Reprice { machine: MachineId, cpu_cost: f64 },
+}
+
+/// A deterministic schedule of [`FaultEvent`]s, injected via
+/// [`crate::Simulation::with_faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(Time, FaultEvent)>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Revoke `machine` at `time`.
+    #[must_use]
+    pub fn revoke_at(mut self, time: Time, machine: MachineId) -> Self {
+        self.push(time, FaultEvent::RevokeMachine { machine });
+        self
+    }
+
+    /// Rejoin `machine` at `time` (restores its pre-revocation capacity).
+    #[must_use]
+    pub fn rejoin_at(mut self, time: Time, machine: MachineId) -> Self {
+        self.push(time, FaultEvent::RejoinMachine { machine });
+        self
+    }
+
+    /// Lose every replica on `store` at `time`.
+    #[must_use]
+    pub fn lose_store_at(mut self, time: Time, store: StoreId) -> Self {
+        self.push(time, FaultEvent::LoseStore { store });
+        self
+    }
+
+    /// Change `machine`'s CPU price to `cpu_cost` at `time`.
+    #[must_use]
+    pub fn reprice_at(mut self, time: Time, machine: MachineId, cpu_cost: f64) -> Self {
+        self.push(time, FaultEvent::Reprice { machine, cpu_cost });
+        self
+    }
+
+    fn push(&mut self, time: Time, event: FaultEvent) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "fault time must be finite and nonnegative: {time}"
+        );
+        if let FaultEvent::Reprice { cpu_cost, .. } = event {
+            assert!(
+                cpu_cost.is_finite() && cpu_cost >= 0.0,
+                "reprice must be finite and nonnegative: {cpu_cost}"
+            );
+        }
+        self.events.push((time, event));
+    }
+
+    /// The scripted events, in insertion order (the event queue orders by
+    /// time; insertion order breaks ties).
+    pub fn events(&self) -> &[(Time, FaultEvent)] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .revoke_at(10.0, MachineId(3))
+            .rejoin_at(20.0, MachineId(3))
+            .lose_store_at(5.0, StoreId(1))
+            .reprice_at(15.0, MachineId(0), 0.25);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.events()[0],
+            (
+                10.0,
+                FaultEvent::RevokeMachine {
+                    machine: MachineId(3)
+                }
+            )
+        );
+        assert_eq!(
+            plan.events()[3],
+            (
+                15.0,
+                FaultEvent::Reprice {
+                    machine: MachineId(0),
+                    cpu_cost: 0.25
+                }
+            )
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_time() {
+        let _ = FaultPlan::new().revoke_at(-1.0, MachineId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_price() {
+        let _ = FaultPlan::new().reprice_at(0.0, MachineId(0), -0.5);
+    }
+}

@@ -113,6 +113,21 @@ impl PendingJob {
         self.running_chunks += 1;
         self.chunks_started += 1;
     }
+
+    /// Inverse of [`PendingJob::consume`]: a dispatched chunk was killed
+    /// (machine revoked) and its partial output lost, so the whole chunk's
+    /// work returns to the unassigned pool. `chunks_started` is history and
+    /// stays.
+    pub fn restore(&mut self, mb: f64, fixed_ecu: f64) {
+        assert!(
+            self.running_chunks > 0,
+            "restoring a chunk to job {:?} with none running",
+            self.id
+        );
+        self.remaining_mb += mb;
+        self.remaining_fixed_ecu += fixed_ecu;
+        self.running_chunks -= 1;
+    }
 }
 
 /// Completion record for a finished job.
@@ -178,6 +193,24 @@ mod tests {
     #[should_panic]
     fn over_consume_panics() {
         grep_job().consume(1000.0, 0.0);
+    }
+
+    #[test]
+    fn restore_undoes_consume() {
+        let mut p = grep_job();
+        p.consume(64.0, 0.0);
+        assert!((p.remaining_mb - 576.0).abs() < 1e-9);
+        p.restore(64.0, 0.0);
+        assert!((p.remaining_mb - 640.0).abs() < 1e-9);
+        assert_eq!(p.running_chunks, 0);
+        assert_eq!(p.chunks_started, 1); // history survives
+        assert!(p.has_unassigned_work());
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_without_running_chunk_panics() {
+        grep_job().restore(64.0, 0.0);
     }
 
     #[test]

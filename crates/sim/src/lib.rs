@@ -55,6 +55,7 @@
 pub mod action;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod job_state;
 pub mod machine_state;
 pub mod metrics;
@@ -64,9 +65,10 @@ pub mod validate;
 pub use action::{Action, Scheduler, SchedulerContext};
 pub use engine::{SimError, Simulation, StragglerModel};
 pub use event::{Event, EventKind};
+pub use fault::{FaultEvent, FaultPlan};
 pub use job_state::{JobOutcome, JobPhase, PendingJob};
 pub use machine_state::MachineState;
-pub use metrics::{Metrics, SimReport};
+pub use metrics::{FaultMetrics, Metrics, SimReport};
 pub use placement::Placement;
 pub use validate::{assert_valid, validate_certificate, validate_report, Violation};
 

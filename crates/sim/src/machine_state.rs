@@ -51,6 +51,15 @@ impl MachineState {
         self.slot_free_at.iter().filter(|&&f| f > t).count()
     }
 
+    /// Free every slot no later than `now` (machine revocation: the
+    /// chunks that had the slots booked were killed). Slots already free
+    /// earlier keep their earlier time.
+    pub fn release_all(&mut self, now: Time) {
+        for t in &mut self.slot_free_at {
+            *t = t.min(now);
+        }
+    }
+
     /// When the machine is completely idle.
     pub fn idle_at(&self) -> Time {
         self.slot_free_at.iter().fold(0.0f64, |a, &b| a.max(b))
@@ -84,6 +93,17 @@ mod tests {
         s.occupy(1, 50.0);
         assert_eq!(s.earliest_slot(), (1, 50.0));
         assert_eq!(s.idle_at(), 100.0);
+    }
+
+    #[test]
+    fn release_all_frees_booked_slots() {
+        let mut s = c1_state();
+        s.occupy(0, 100.0);
+        s.occupy(1, 30.0);
+        s.release_all(40.0);
+        // Slot 0's booking is cut to `now`; slot 1 keeps its earlier time.
+        assert_eq!(s.free_slots(40.0), 2);
+        assert_eq!(s.earliest_slot(), (1, 30.0));
     }
 
     #[test]

@@ -29,6 +29,37 @@ pub struct Metrics {
     pub chunks_by_locality: [usize; 3],
     /// Chunks with no input at all (Pi).
     pub inputless_chunks: usize,
+    /// Fault-injection counters (all zero on fault-free runs).
+    pub faults: FaultMetrics,
+}
+
+/// What the cluster's failures cost the run (see [`crate::fault`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultMetrics {
+    /// Machines revoked / rejoined / repriced, stores lost.
+    pub revocations: usize,
+    pub rejoins: usize,
+    pub store_losses: usize,
+    pub repricings: usize,
+    /// In-flight chunks killed by revocations.
+    pub killed_chunks: usize,
+    /// ECU-seconds burned by killed chunks whose output was lost (billed
+    /// but re-executed elsewhere).
+    pub lost_ecu_sec: f64,
+    /// MB of replicas dropped by store losses.
+    pub lost_store_mb: f64,
+    /// MB of lost objects copied again after their store died.
+    pub recopied_mb: f64,
+    /// Epochs the scheduler explicitly degraded to its greedy fallback
+    /// (reported via [`crate::Scheduler::degraded_epochs`]).
+    pub degraded_epochs: usize,
+}
+
+impl FaultMetrics {
+    /// Any fault fired at all?
+    pub fn any(&self) -> bool {
+        self.revocations + self.rejoins + self.store_losses + self.repricings > 0
+    }
 }
 
 impl Metrics {
@@ -78,6 +109,20 @@ impl Metrics {
     pub fn record_move(&mut self, mb: f64, dollars: f64) {
         self.moved_mb += mb;
         self.move_dollars += dollars;
+    }
+
+    /// Refund the *unexecuted* share of a killed chunk: the dispatch-time
+    /// bill covered the whole chunk, but a revocation at time `t` means
+    /// only the fraction run by `t` was actually burned (and charged —
+    /// matching how the speculation path bills a killed loser).
+    pub fn refund_chunk(&mut self, machine: MachineId, ecu_sec: f64, busy_sec: f64, dollars: f64) {
+        self.cpu_dollars -= dollars;
+        if let Some(e) = self.ecu_sec_by_machine.get_mut(&machine) {
+            *e = (*e - ecu_sec).max(0.0);
+        }
+        if let Some(b) = self.busy_sec_by_machine.get_mut(&machine) {
+            *b = (*b - busy_sec).max(0.0);
+        }
     }
 }
 
@@ -159,6 +204,20 @@ mod tests {
         assert_eq!(m.busy_sec_by_machine[&MachineId(0)], 10.0);
         assert_eq!(m.chunks_by_locality, [1, 0, 1]);
         assert_eq!(m.moved_mb, 128.0);
+    }
+
+    #[test]
+    fn refund_reverses_part_of_a_chunk() {
+        let mut m = Metrics::default();
+        m.record_chunk(MachineId(2), 100.0, 50.0, 4.0, 0.5, 0.0, Some(1));
+        // Half the chunk ran before the kill: refund the other half.
+        m.refund_chunk(MachineId(2), 50.0, 25.0, 2.0);
+        assert!((m.cpu_dollars - 2.0).abs() < 1e-12);
+        assert!((m.ecu_sec_by_machine[&MachineId(2)] - 50.0).abs() < 1e-12);
+        assert!((m.busy_sec_by_machine[&MachineId(2)] - 25.0).abs() < 1e-12);
+        // Read dollars are sunk and stay billed.
+        assert!((m.read_dollars - 0.5).abs() < 1e-12);
+        assert!(!m.faults.any());
     }
 
     #[test]

@@ -159,6 +159,24 @@ impl Placement {
             .unwrap_or_default()
     }
 
+    /// Drop every holding at `store` (store loss): all replicas it held
+    /// vanish and its capacity accounting resets. Returns the dropped
+    /// `(data, mb)` pairs in data-id order so the caller can meter the
+    /// loss and track which objects need re-replication.
+    pub fn drop_store(&mut self, store: StoreId) -> Vec<(DataId, f64)> {
+        let mut dropped = Vec::new();
+        for (&data, holdings) in &mut self.by_data {
+            if let Some(h) = holdings.remove(&store) {
+                if h.mb > WORK_EPS {
+                    dropped.push((data, h.mb));
+                }
+            }
+        }
+        self.store_used_mb.remove(&store);
+        dropped.sort_by_key(|&(d, _)| d);
+        dropped
+    }
+
     /// Visit holders of `data` without allocating.
     pub fn for_stores_of(&self, data: DataId, mut f: impl FnMut(StoreId, f64)) {
         if let Some(m) = self.by_data.get(&data) {
@@ -248,6 +266,22 @@ mod tests {
         p.add_copy(DataId(0), StoreId(1), 10.0, 0.0);
         let stores: Vec<StoreId> = p.stores_of(DataId(0)).into_iter().map(|(s, _)| s).collect();
         assert_eq!(stores, vec![StoreId(1), StoreId(3), StoreId(9)]);
+    }
+
+    #[test]
+    fn drop_store_erases_holdings_and_accounting() {
+        let c = cluster_with_data();
+        let mut p = Placement::from_cluster(&c);
+        p.add_copy(DataId(0), StoreId(7), 400.0, 0.0);
+        p.add_copy(DataId(1), StoreId(7), 50.0, 0.0);
+        let dropped = p.drop_store(StoreId(7));
+        assert_eq!(dropped, vec![(DataId(0), 400.0), (DataId(1), 50.0)]);
+        assert_eq!(p.amount(DataId(0), StoreId(7)), 0.0);
+        assert_eq!(p.used_mb(StoreId(7)), 0.0);
+        // The origin replica survives.
+        assert_eq!(p.amount(DataId(0), StoreId(3)), 1000.0);
+        // Losing an empty store is a quiet no-op.
+        assert!(p.drop_store(StoreId(7)).is_empty());
     }
 
     #[test]

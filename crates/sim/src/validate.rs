@@ -80,18 +80,22 @@ pub fn validate_report(
         });
     }
 
-    // 3. Exact CPU billing: dollars = Σ per-machine work × price.
-    let expected: f64 = report
-        .metrics
-        .ecu_sec_by_machine
-        .iter()
-        .map(|(m, e)| cluster.machine(*m).cpu_dollars(*e))
-        .sum();
-    if (report.metrics.cpu_dollars - expected).abs() > 1e-9 * (1.0 + expected) {
-        v.push(Violation {
-            what: "billing mismatch",
-            detail: format!("cpu ${} vs priced ${expected}", report.metrics.cpu_dollars),
-        });
+    // 3. Exact CPU billing: dollars = Σ per-machine work × price. Mid-run
+    //    repricing bills different chunks at different prices, so the
+    //    single-price identity only holds on runs without repricings.
+    if report.metrics.faults.repricings == 0 {
+        let expected: f64 = report
+            .metrics
+            .ecu_sec_by_machine
+            .iter()
+            .map(|(m, e)| cluster.machine(*m).cpu_dollars(*e))
+            .sum();
+        if (report.metrics.cpu_dollars - expected).abs() > 1e-9 * (1.0 + expected) {
+            v.push(Violation {
+                what: "billing mismatch",
+                detail: format!("cpu ${} vs priced ${expected}", report.metrics.cpu_dollars),
+            });
+        }
     }
 
     // 4. Nonnegative meters.
@@ -101,6 +105,9 @@ pub fn validate_report(
         ("moved_mb", report.metrics.moved_mb),
         ("remote_read_mb", report.metrics.remote_read_mb),
         ("makespan", report.makespan),
+        ("lost_ecu_sec", report.metrics.faults.lost_ecu_sec),
+        ("lost_store_mb", report.metrics.faults.lost_store_mb),
+        ("recopied_mb", report.metrics.faults.recopied_mb),
     ] {
         if val < 0.0 || !val.is_finite() {
             v.push(Violation {

@@ -5,9 +5,7 @@
 
 use lips::audit::Severity;
 use lips::cluster::ec2_20_node;
-use lips::core::lp_build::{
-    audit_instance, build_audited, solve_certified, LpInstance, PruneConfig,
-};
+use lips::core::lp_build::{audit_instance, build_audited, EpochSolver, LpInstance, PruneConfig};
 use lips::core::offline::lp_jobs_from_specs;
 use lips::sim::{validate_certificate, Placement};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
@@ -79,7 +77,14 @@ fn check_instance(name: &str, inst: &LpInstance<'_>) {
     assert!(errors.is_empty(), "{name}: audit errors: {errors:?}");
 
     // Dynamic pass: solve and certify through the independent verifier.
-    let (schedule, cert) = solve_certified(inst).expect("solvable");
+    let report = EpochSolver::new(inst).certify().run().expect("solvable");
+    let schedule = report.schedule;
+    let cert = report
+        .certificate
+        .expect("certification was requested")
+        .as_full()
+        .expect("direct solves carry a full KKT certificate")
+        .clone();
     assert!(cert.is_optimal(), "{name}: {cert}");
     assert!(
         cert.duality_gap <= 1e-6 * (1.0 + cert.primal_objective.abs()),
