@@ -20,7 +20,17 @@
 //! the optimum, so a feasible `x` whose gap to `bᵀy + …` is ~0 is optimal
 //! regardless of how the solver found it.
 
-use lips_lp::{Cmp, Model, Sense, Solution};
+use lips_lp::{Cmp, ConstraintId, Model, Sense, Solution, VarId};
+use lips_par::Pool;
+
+/// Rows per partial in the chunked KKT row pass. Chunk boundaries depend
+/// only on this constant — never on the worker count — so every residual
+/// and every floating-point sum below is bitwise identical at any pool
+/// width (see [`Pool::par_chunk_fold`]).
+const ROW_CHUNK: usize = 64;
+
+/// Variables (or excluded columns) per partial in the column-side passes.
+const COL_CHUNK: usize = 512;
 
 /// Relative tolerance for the duality gap and slackness tests
 /// (acceptance: gap ≤ `GAP_RTOL · (1 + |objective|)`).
@@ -156,13 +166,51 @@ impl std::fmt::Display for Certificate {
     }
 }
 
+/// Per-chunk partial of the KKT row pass. `contrib` carries the
+/// `y_i·a_ij` products to subtract from the reduced costs, pushed in row
+/// order within the chunk; merging chunks in order therefore subtracts
+/// each variable's contributions in global row order — the exact
+/// floating-point sequence of the serial loop this pass replaces.
+struct RowPartial {
+    contrib: Vec<(usize, f64)>,
+    max_primal: f64,
+    max_sign: f64,
+    max_slack: f64,
+    dual_obj: f64,
+}
+
+/// Per-chunk partial of the column-side pass (bound feasibility, column
+/// slackness, bound terms of the dual objective).
+struct ColPartial {
+    max_primal: f64,
+    max_sign: f64,
+    max_slack: f64,
+    dual_obj: f64,
+}
+
 /// Verify `sol` against `model`, recomputing everything from scratch.
 ///
 /// Fails with [`CertifyError`] only when the inputs are structurally
 /// unusable (no duals, wrong arity); a *wrong* solution yields an `Ok`
 /// certificate whose [`Certificate::is_optimal`] is false and whose
 /// [`Certificate::failures`] explain why.
+///
+/// Equivalent to [`certify_with`] on a single-worker pool.
 pub fn certify(model: &Model, sol: &Solution) -> Result<Certificate, CertifyError> {
+    certify_with(Pool::serial(), model, sol)
+}
+
+/// [`certify`] with the KKT residual passes split across `pool`'s workers.
+///
+/// Determinism contract: the row and column passes are chunked by the
+/// fixed [`ROW_CHUNK`]/[`COL_CHUNK`] sizes and their partials folded in
+/// chunk order, so the certificate — every residual, every sum — is
+/// bitwise identical at any pool width, including [`Pool::serial`].
+pub fn certify_with(
+    pool: Pool,
+    model: &Model,
+    sol: &Solution,
+) -> Result<Certificate, CertifyError> {
     let n = model.num_vars();
     let m = model.num_constraints();
     let x = sol.values();
@@ -186,8 +234,7 @@ pub fn certify(model: &Model, sol: &Solution) -> Result<Certificate, CertifyErro
         Sense::Maximize => -1.0,
     };
 
-    // --- primal side ----------------------------------------------------
-    let max_primal_violation = model.max_violation(x);
+    // --- scales (serial: two cheap O(m+n) scans) ------------------------
     let primal_objective = model.objective_of(x);
     let p_int = sign * primal_objective;
     let objective_mismatch = (sol.objective() - primal_objective).abs();
@@ -204,68 +251,121 @@ pub fn certify(model: &Model, sol: &Solution) -> Result<Certificate, CertifyErro
     let gap_scale = 1.0 + p_int.abs();
     let cost_scale = 1.0 + max_cost;
 
-    // --- dual side ------------------------------------------------------
-    // Reduced costs d = c_int − yᵀA, plus row slacks for the CS products.
+    let rows: Vec<ConstraintId> = model.constraint_ids().collect();
+    let vars: Vec<VarId> = model.var_ids().collect();
+
+    // --- row pass -------------------------------------------------------
+    // Per chunk: primal residuals, dual sign violations, row slackness
+    // products, the `bᵀy` share of the dual objective, and the reduced-cost
+    // contributions to merge afterwards. Violation maxima are kept raw and
+    // normalized once at the end (same value: division by a positive scale
+    // commutes with max).
     let mut reduced: Vec<f64> = model.var_ids().map(|v| sign * model.var_obj(v)).collect();
-    let mut max_dual_violation = 0.0f64;
-    let mut max_slackness_violation = 0.0f64;
-    let mut dual_objective_int = 0.0f64;
-
-    for (i, c) in model.constraint_ids().enumerate() {
-        let yi = y[i];
-        let mut lhs = 0.0;
-        for (v, coef) in model.constraint_terms(c) {
-            reduced[v.index()] -= yi * coef;
-            lhs += coef * x[v.index()];
-        }
-        let rhs = model.constraint_rhs(c);
-        // Sign condition per row type (internal minimize: Ge rows carry
-        // y ≥ 0, Le rows y ≤ 0, Eq free).
-        let sign_violation = match model.constraint_cmp(c) {
-            Cmp::Ge => (-yi).max(0.0),
-            Cmp::Le => yi.max(0.0),
-            Cmp::Eq => 0.0,
+    let row_pass = |_chunk: usize, _off: usize, ids: &[ConstraintId]| -> RowPartial {
+        let mut part = RowPartial {
+            contrib: Vec::new(),
+            max_primal: 0.0,
+            max_sign: 0.0,
+            max_slack: 0.0,
+            dual_obj: 0.0,
         };
-        max_dual_violation = max_dual_violation.max(sign_violation / cost_scale);
-        // Row complementary slackness: y_i · (a_iᵀx − b_i) ≈ 0.
-        max_slackness_violation = max_slackness_violation.max((yi * (lhs - rhs)).abs() / gap_scale);
-        dual_objective_int += yi * rhs;
-    }
+        for &c in ids {
+            let yi = y[c.index()];
+            let mut lhs = 0.0;
+            for (v, coef) in model.constraint_terms(c) {
+                part.contrib.push((v.index(), yi * coef));
+                lhs += coef * x[v.index()];
+            }
+            let rhs = model.constraint_rhs(c);
+            // Sign condition per row type (internal minimize: Ge rows carry
+            // y ≥ 0, Le rows y ≤ 0, Eq free), and the primal residual of
+            // the same row (the row half of `Model::max_violation`).
+            let (sign_violation, primal_violation) = match model.constraint_cmp(c) {
+                Cmp::Ge => ((-yi).max(0.0), rhs - lhs),
+                Cmp::Le => (yi.max(0.0), lhs - rhs),
+                Cmp::Eq => (0.0, (lhs - rhs).abs()),
+            };
+            part.max_primal = part.max_primal.max(primal_violation);
+            part.max_sign = part.max_sign.max(sign_violation);
+            // Row complementary slackness: y_i · (a_iᵀx − b_i) ≈ 0.
+            part.max_slack = part.max_slack.max((yi * (lhs - rhs)).abs());
+            part.dual_obj += yi * rhs;
+        }
+        part
+    };
+    let mut max_primal_violation = 0.0f64;
+    let mut max_dual_raw = 0.0f64;
+    let mut max_slack_raw = 0.0f64;
+    let mut dual_objective_int = 0.0f64;
+    pool.par_chunk_fold(&rows, ROW_CHUNK, row_pass, (), |(), part| {
+        for (j, yc) in part.contrib {
+            reduced[j] -= yc;
+        }
+        max_primal_violation = max_primal_violation.max(part.max_primal);
+        max_dual_raw = max_dual_raw.max(part.max_sign);
+        max_slack_raw = max_slack_raw.max(part.max_slack);
+        dual_objective_int += part.dual_obj;
+    });
 
-    for v in model.var_ids() {
-        let d = reduced[v.index()];
-        let (lb, ub) = model.var_bounds(v);
-        // Bound-side dual feasibility: a positive reduced cost needs a
-        // finite lower bound to lean on, a negative one a finite upper.
-        if lb == f64::NEG_INFINITY {
-            max_dual_violation = max_dual_violation.max(d.max(0.0) / cost_scale);
+    // --- column pass ----------------------------------------------------
+    // Needs the fully merged reduced costs, so it runs strictly after the
+    // row fold. `reduced` is read-only from here on.
+    let reduced = &reduced;
+    let col_pass = |_chunk: usize, _off: usize, ids: &[VarId]| -> ColPartial {
+        let mut part = ColPartial {
+            max_primal: 0.0,
+            max_sign: 0.0,
+            max_slack: 0.0,
+            dual_obj: 0.0,
+        };
+        for &v in ids {
+            let d = reduced[v.index()];
+            let (lb, ub) = model.var_bounds(v);
+            let xv = x[v.index()];
+            // Bound half of `Model::max_violation`.
+            if lb.is_finite() {
+                part.max_primal = part.max_primal.max(lb - xv);
+            }
+            if ub.is_finite() {
+                part.max_primal = part.max_primal.max(xv - ub);
+            }
+            // Bound-side dual feasibility: a positive reduced cost needs a
+            // finite lower bound to lean on, a negative one a finite upper.
+            if lb == f64::NEG_INFINITY {
+                part.max_sign = part.max_sign.max(d.max(0.0));
+            }
+            if ub == f64::INFINITY {
+                part.max_sign = part.max_sign.max((-d).max(0.0));
+            }
+            // Column complementary slackness and the bound terms of the
+            // dual objective. Products with an infinite bound are skipped:
+            // their reduced-cost side is already charged as a dual
+            // violation above.
+            if d > 0.0 && lb.is_finite() {
+                part.max_slack = part.max_slack.max((d * (xv - lb)).abs());
+                part.dual_obj += d * lb;
+            }
+            if d < 0.0 && ub.is_finite() {
+                part.max_slack = part.max_slack.max((d * (ub - xv)).abs());
+                part.dual_obj += d * ub;
+            }
         }
-        if ub == f64::INFINITY {
-            max_dual_violation = max_dual_violation.max((-d).max(0.0) / cost_scale);
-        }
-        // Column complementary slackness and the bound terms of the dual
-        // objective. Products with an infinite bound are skipped: their
-        // reduced-cost side is already charged as a dual violation above.
-        let xv = x[v.index()];
-        if d > 0.0 && lb.is_finite() {
-            max_slackness_violation =
-                max_slackness_violation.max((d * (xv - lb)).abs() / gap_scale);
-            dual_objective_int += d * lb;
-        }
-        if d < 0.0 && ub.is_finite() {
-            max_slackness_violation =
-                max_slackness_violation.max((d * (ub - xv)).abs() / gap_scale);
-            dual_objective_int += d * ub;
-        }
-    }
+        part
+    };
+    pool.par_chunk_fold(&vars, COL_CHUNK, col_pass, (), |(), part| {
+        max_primal_violation = max_primal_violation.max(part.max_primal);
+        max_dual_raw = max_dual_raw.max(part.max_sign);
+        max_slack_raw = max_slack_raw.max(part.max_slack);
+        dual_objective_int += part.dual_obj;
+    });
 
     Ok(Certificate {
         primal_objective,
         dual_objective: sign * dual_objective_int,
         duality_gap: (p_int - dual_objective_int).abs(),
         max_primal_violation,
-        max_dual_violation,
-        max_slackness_violation,
+        max_dual_violation: max_dual_raw / cost_scale,
+        max_slackness_violation: max_slack_raw / gap_scale,
         objective_mismatch,
         primal_scale,
         gap_scale,
@@ -363,7 +463,24 @@ pub fn certify_restricted(
     sol: &Solution,
     excluded: &[ExcludedColumn],
 ) -> Result<RestrictedCertificate, CertifyError> {
-    let cert = certify(master, sol)?;
+    certify_restricted_with(Pool::serial(), master, sol, excluded)
+}
+
+/// [`certify_restricted`] with the master's KKT passes *and* the
+/// excluded-column re-pricing split across `pool`'s workers.
+///
+/// The pricing pass is chunked by [`COL_CHUNK`] and its per-chunk worst
+/// offenders folded in chunk order with a strictly-greater comparison, so
+/// ties resolve to the earliest column — exactly the serial loop's
+/// first-of-ties behavior — and the certificate is bitwise identical at
+/// any pool width.
+pub fn certify_restricted_with(
+    pool: Pool,
+    master: &Model,
+    sol: &Solution,
+    excluded: &[ExcludedColumn],
+) -> Result<RestrictedCertificate, CertifyError> {
+    let cert = certify_with(pool, master, sol)?;
     let y = sol.duals();
     let sign = match master.sense() {
         Sense::Minimize => 1.0,
@@ -381,30 +498,55 @@ pub fn certify_restricted(
     }
     let cost_scale = 1.0 + max_cost;
 
-    let mut worst = 0.0f64;
-    let mut worst_name = None;
-    for col in excluded {
-        let mut d = sign * col.obj;
-        for &(c, coef) in &col.terms {
-            let i = c.index();
-            if i >= y.len() {
-                return Err(CertifyError::DimensionMismatch {
-                    expected: master.num_constraints(),
-                    got: i + 1,
-                });
+    // Per chunk: the worst normalized reduced-cost violation and the global
+    // index of the column attaining it (first of ties), or the dimension
+    // error for an out-of-range row reference.
+    type PriceResult = Result<(f64, Option<usize>), CertifyError>;
+    let price_chunk = |_chunk: usize, off: usize, cols: &[ExcludedColumn]| -> PriceResult {
+        let mut worst = 0.0f64;
+        let mut worst_idx = None;
+        for (k, col) in cols.iter().enumerate() {
+            let mut d = sign * col.obj;
+            for &(c, coef) in &col.terms {
+                let i = c.index();
+                if i >= y.len() {
+                    return Err(CertifyError::DimensionMismatch {
+                        expected: master.num_constraints(),
+                        got: i + 1,
+                    });
+                }
+                d -= y[i] * coef;
             }
-            d -= y[i] * coef;
+            let viol = (-d).max(0.0) / cost_scale;
+            if viol > worst {
+                worst = viol;
+                worst_idx = Some(off + k);
+            }
         }
-        let viol = (-d).max(0.0) / cost_scale;
-        if viol > worst {
-            worst = viol;
-            worst_name = Some(col.name.clone());
-        }
-    }
+        Ok((worst, worst_idx))
+    };
+    let folded = pool.par_chunk_fold(
+        excluded,
+        COL_CHUNK,
+        price_chunk,
+        Ok((0.0f64, None)),
+        |acc: PriceResult, part| {
+            // The first error in chunk order wins, matching the serial
+            // loop's stop-at-first-bad-column behavior.
+            let (worst, worst_idx) = acc?;
+            let (p_worst, p_idx) = part?;
+            if p_worst > worst {
+                Ok((p_worst, p_idx))
+            } else {
+                Ok((worst, worst_idx))
+            }
+        },
+    );
+    let (worst, worst_idx) = folded?;
     Ok(RestrictedCertificate {
         master: cert,
         max_excluded_violation: worst,
-        worst_excluded: worst_name,
+        worst_excluded: worst_idx.map(|i| excluded[i].name.clone()),
         excluded_priced: excluded.len(),
     })
 }
@@ -603,6 +745,80 @@ mod tests {
         let cert = certify_restricted(&m, &sol, &[]).unwrap();
         assert!(cert.is_optimal());
         assert_eq!(cert.excluded_priced, 0);
+    }
+
+    /// A master big enough to span several row/column chunks: `k` coupled
+    /// covering rows over `3k` variables, solved to optimality.
+    fn chunky_master(k: usize) -> (Model, Vec<ConstraintId>) {
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..3 * k)
+            .map(|j| {
+                #[allow(clippy::cast_precision_loss)]
+                let cost = 1.0 + (j % 17) as f64 * 0.25;
+                m.add_var(format!("v{j}"), 0.0, 8.0, cost)
+            })
+            .collect();
+        let rows: Vec<_> = (0..k)
+            .map(|i| {
+                let terms = [
+                    (vars[3 * i], 1.0),
+                    (vars[3 * i + 1], 1.0),
+                    (vars[(3 * i + 5) % (3 * k)], 0.5),
+                ];
+                m.add_constraint(terms, Cmp::Ge, 2.0 + (i % 5) as f64)
+            })
+            .collect();
+        (m, rows)
+    }
+
+    #[test]
+    fn certificates_are_bitwise_identical_at_any_width() {
+        // Enough rows/vars to split into several ROW_CHUNK/COL_CHUNK chunks,
+        // so the parallel fold paths genuinely engage.
+        let (m, rows) = chunky_master(200);
+        let sol = m.solve().unwrap();
+        let base = certify_with(Pool::serial(), &m, &sol).unwrap();
+        assert!(base.is_optimal(), "{base}");
+        // Excluded columns spanning several chunks, with a deliberate tie:
+        // columns 100 and 700 have identical violations, so first-of-ties
+        // selection is exercised across a chunk boundary.
+        let excluded: Vec<ExcludedColumn> = (0..1200)
+            .map(|i| ExcludedColumn {
+                name: format!("x{i}"),
+                obj: if i == 100 || i == 700 { 0.01 } else { 2.5 },
+                terms: vec![(rows[i % rows.len()], 1.0)],
+            })
+            .collect();
+        let rbase = certify_restricted_with(Pool::serial(), &m, &sol, &excluded).unwrap();
+        for threads in [2, 3, 8] {
+            let pool = Pool::new(threads);
+            let cert = certify_with(pool, &m, &sol).unwrap();
+            for (a, b) in [
+                (base.primal_objective, cert.primal_objective),
+                (base.dual_objective, cert.dual_objective),
+                (base.duality_gap, cert.duality_gap),
+                (base.max_primal_violation, cert.max_primal_violation),
+                (base.max_dual_violation, cert.max_dual_violation),
+                (base.max_slackness_violation, cert.max_slackness_violation),
+                (base.objective_mismatch, cert.objective_mismatch),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            let rcert = certify_restricted_with(pool, &m, &sol, &excluded).unwrap();
+            assert_eq!(
+                rbase.max_excluded_violation.to_bits(),
+                rcert.max_excluded_violation.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                rbase.worst_excluded, rcert.worst_excluded,
+                "threads={threads}"
+            );
+        }
+        // The tie resolved to the earlier column at every width.
+        if rbase.max_excluded_violation > 0.0 {
+            assert_eq!(rbase.worst_excluded.as_deref(), Some("x100"));
+        }
     }
 
     #[test]

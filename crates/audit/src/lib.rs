@@ -30,7 +30,8 @@ pub mod invariants;
 pub mod lint;
 
 pub use certificate::{
-    certify, certify_restricted, Certificate, CertifyError, ExcludedColumn, RestrictedCertificate,
+    certify, certify_restricted, certify_restricted_with, certify_with, Certificate, CertifyError,
+    ExcludedColumn, RestrictedCertificate,
 };
 pub use invariants::{
     audit_paper_invariants, ModelAnnotations, PaperExpectations, RowKind, VarKind,

@@ -77,7 +77,7 @@ fn bench_epoch_sequence(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{mode:?}").to_lowercase()),
             &mode,
             |b, &mode| {
-                b.iter(|| black_box(run_epochs(&cluster, 16, 2, 3, 8, mode).total_iterations));
+                b.iter(|| black_box(run_epochs(&cluster, 16, 2, 3, 8, mode, 1).total_iterations));
             },
         );
     }

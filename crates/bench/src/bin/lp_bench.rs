@@ -9,14 +9,18 @@
 //! Flags: `--json`, `--colgen` (also run the column-generated restricted
 //! master and record active-column counts + pricing rounds per epoch),
 //! `--audit` (exit non-zero unless every epoch of every mode certified),
+//! `--threads N` (worker count for model build, pricing, and
+//! certification; default 0 = `LIPS_THREADS` or the host parallelism),
+//! `--scaling` (re-run the colgen sequence at 1/2/4/8 workers and record
+//! per-width wall-time plus a bitwise determinism check),
 //! `--jobs N` (default 32), `--epochs N` (default 20), `--churn N`
 //! (default 2), `--churn-every N` (default 5 — a LiPS epoch is ~2000 s,
 //! so a Table-IV-sized job spans several epochs before a
 //! departure/arrival pair perturbs the LP's structure).
 
 use lips_bench::lp_epoch::{
-    large_cluster, run_epochs, run_epochs_faulted, EpochMode, EpochRun, FaultEpochRun, FaultScript,
-    EPOCHS,
+    large_cluster, run_epochs, run_epochs_faulted, thread_scaling, EpochMode, EpochRun,
+    FaultEpochRun, FaultScript, ThreadScalingPoint, EPOCHS,
 };
 use lips_bench::Table;
 use serde::Serialize;
@@ -31,6 +35,16 @@ struct BenchReport {
     /// Present only with `--faults`: the same epoch sequence with scripted
     /// machine revocations, a store loss, a repricing, and a rejoin.
     faults: Option<FaultEpochRun>,
+    /// Worker count used for the cold/warm/colgen/fault runs (0 = solver
+    /// default: `LIPS_THREADS` or the host parallelism).
+    threads: usize,
+    /// `std::thread::available_parallelism()` of the machine that produced
+    /// these numbers — read the scaling series against this. On a 1-core
+    /// host every width shares the core and the speedups sit near 1.0.
+    host_parallelism: usize,
+    /// Present only with `--scaling`: the colgen sequence re-run at
+    /// 1/2/4/8 workers, each width checked bitwise against the serial run.
+    thread_scaling: Option<Vec<ThreadScalingPoint>>,
     /// cold ÷ warm total simplex iterations (higher = warm wins).
     iteration_ratio: f64,
     /// cold ÷ warm total solve wall-time.
@@ -59,18 +73,38 @@ fn main() {
     let epochs = flag_value(&args, "--epochs", EPOCHS);
     let churn = flag_value(&args, "--churn", 2);
     let churn_every = flag_value(&args, "--churn-every", 5);
+    let threads = flag_value(&args, "--threads", 0);
     let with_colgen = args.iter().any(|a| a == "--colgen");
     let with_faults = args.iter().any(|a| a == "--faults");
+    let with_scaling = args.iter().any(|a| a == "--scaling");
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
 
     let cluster = large_cluster();
     let config = format!(
         "{} nodes, {jobs} jobs/epoch, churn {churn} every {churn_every} epochs, {epochs} epochs",
         cluster.machines.len()
     );
-    println!("LP epoch-sequence benchmark — {config}\n");
+    println!("LP epoch-sequence benchmark — {config}");
+    println!("threads: {threads} (0 = solver default), host parallelism: {host_parallelism}\n");
 
-    let cold = run_epochs(&cluster, jobs, churn, churn_every, epochs, EpochMode::Cold);
-    let warm = run_epochs(&cluster, jobs, churn, churn_every, epochs, EpochMode::Warm);
+    let cold = run_epochs(
+        &cluster,
+        jobs,
+        churn,
+        churn_every,
+        epochs,
+        EpochMode::Cold,
+        threads,
+    );
+    let warm = run_epochs(
+        &cluster,
+        jobs,
+        churn,
+        churn_every,
+        epochs,
+        EpochMode::Warm,
+        threads,
+    );
     let colgen = with_colgen.then(|| {
         run_epochs(
             &cluster,
@@ -79,12 +113,15 @@ fn main() {
             churn_every,
             epochs,
             EpochMode::ColGen,
+            threads,
         )
     });
     let faults = with_faults.then(|| {
         let script = FaultScript::acceptance(&cluster);
-        run_epochs_faulted(&cluster, jobs, churn, churn_every, epochs, &script)
+        run_epochs_faulted(&cluster, jobs, churn, churn_every, epochs, &script, threads)
     });
+    let scaling = with_scaling
+        .then(|| thread_scaling(&cluster, jobs, churn, churn_every, epochs, &[1, 2, 4, 8]));
 
     let mut header = vec![
         "epoch",
@@ -133,6 +170,9 @@ fn main() {
         warm,
         colgen,
         faults,
+        threads,
+        host_parallelism,
+        thread_scaling: scaling,
     };
     println!(
         "\ntotals: cold {} iters / {:.1} ms solve / {:.1} ms epoch / {} FTRAN nnz",
@@ -210,10 +250,36 @@ fault-mode series ({} revocations, {} store loss(es), {} repricing(s), {} rejoin
         );
     }
 
+    if let Some(series) = &report.thread_scaling {
+        let mut t = Table::new(vec![
+            "threads", "epoch ms", "solve ms", "speedup", "bitwise",
+        ]);
+        for p in series {
+            t.row(vec![
+                p.threads.to_string(),
+                format!("{:.1}", p.total_epoch_ms),
+                format!("{:.1}", p.total_solve_ms),
+                format!("{:.2}x", p.speedup_vs_serial),
+                if p.identical_to_serial {
+                    "identical".to_string()
+                } else {
+                    "DIVERGED".to_string()
+                },
+            ]);
+        }
+        println!("\nthread-scaling series (colgen mode, whole-epoch wall-time):");
+        t.print();
+    }
+
+    let deterministic = report
+        .thread_scaling
+        .as_ref()
+        .is_none_or(|s| s.iter().all(|p| p.identical_to_serial));
     let all_certified = report.cold.all_certified
         && report.warm.all_certified
         && report.colgen.as_ref().is_none_or(|cg| cg.all_certified)
-        && report.faults.as_ref().is_none_or(|f| f.all_accounted);
+        && report.faults.as_ref().is_none_or(|f| f.all_accounted)
+        && deterministic;
     println!("all certified: {all_certified}");
 
     if args.iter().any(|a| a == "--json") {

@@ -150,7 +150,20 @@ fn epoch_jobs(
         .collect()
 }
 
+/// Apply an explicit worker count to a solver (`0` keeps the default).
+fn with_width<'a, 'b>(s: EpochSolver<'a, 'b>, threads: usize) -> EpochSolver<'a, 'b> {
+    if threads > 0 {
+        s.threads(threads)
+    } else {
+        s
+    }
+}
+
 /// Run `epochs` consecutive Fig-4 solves on `cluster` under `mode`.
+///
+/// `threads` sets the worker count for model build, pricing, and
+/// certification (`0` keeps [`EpochSolver`]'s default: `LIPS_THREADS` or
+/// the host parallelism). The solve is bitwise identical at any width.
 pub fn run_epochs(
     cluster: &Cluster,
     base_jobs: usize,
@@ -158,6 +171,7 @@ pub fn run_epochs(
     churn_every: usize,
     epochs: usize,
     mode: EpochMode,
+    threads: usize,
 ) -> EpochRun {
     let mut basis: Option<WarmStart> = None;
     let mut colgen_state: Option<ColGenState> = None;
@@ -199,7 +213,7 @@ pub fn run_epochs(
                 } else {
                     None
                 };
-                let report = EpochSolver::new(&inst)
+                let report = with_width(EpochSolver::new(&inst), threads)
                     .warm(seed)
                     .certify()
                     .run()
@@ -213,7 +227,7 @@ pub fn run_epochs(
                 (report.schedule, certified, 0, 0, 1)
             }
             EpochMode::ColGen => {
-                let report = EpochSolver::new(&inst)
+                let report = with_width(EpochSolver::new(&inst), threads)
                     .colgen(ColGenOptions::default(), colgen_state.as_ref())
                     .run()
                     .expect("epoch LP solves");
@@ -236,7 +250,7 @@ pub fn run_epochs(
         let epoch_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // Cold/warm solve the full model: active = total by definition.
-        // `solve_colgen` reports its own counts.
+        // Colgen mode reports its own counts.
         let (active, total) = if mode == EpochMode::ColGen {
             (active, total)
         } else {
@@ -412,6 +426,7 @@ pub fn run_epochs_faulted(
     churn_every: usize,
     epochs: usize,
     script: &FaultScript,
+    threads: usize,
 ) -> FaultEpochRun {
     let mut live = cluster.clone();
     let mut revoked_tp: HashMap<usize, f64> = HashMap::new();
@@ -489,11 +504,11 @@ pub fn run_epochs_faulted(
             None => 0,
         };
         let t = Instant::now();
-        let solved = EpochSolver::new(&inst)
+        let solved = with_width(EpochSolver::new(&inst), threads)
             .warm(basis.as_ref())
             .certify()
             .run()
-            .or_else(|_| EpochSolver::new(&inst).certify().run());
+            .or_else(|_| with_width(EpochSolver::new(&inst), threads).certify().run());
         let epoch_ms = t.elapsed().as_secs_f64() * 1e3;
         out.total_epoch_ms += epoch_ms;
         match solved {
@@ -550,6 +565,75 @@ pub fn run_epochs_faulted(
     out
 }
 
+/// One width of the thread-scaling series: the colgen epoch sequence
+/// (build + pricing + certification — every parallelised stage) re-run at
+/// a fixed worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadScalingPoint {
+    pub threads: usize,
+    /// Build + solve + price + certify wall-time summed over epochs.
+    pub total_epoch_ms: f64,
+    /// Simplex-only wall-time (serial in every width; a sanity baseline —
+    /// the scaling headroom is `total_epoch_ms − total_solve_ms`).
+    pub total_solve_ms: f64,
+    /// `1-thread total_epoch_ms ÷ this width's` (higher = faster).
+    pub speedup_vs_serial: f64,
+    /// Every epoch's objective is **bitwise** equal to the 1-thread run's
+    /// and the certificate verdicts match — the determinism contract,
+    /// checked on the real workload rather than assumed.
+    pub identical_to_serial: bool,
+}
+
+/// Run the colgen epoch sequence once per width in `widths` and compare
+/// every run against the first (serial) one bit-for-bit.
+///
+/// The first entry of `widths` should be `1`; its `speedup_vs_serial` is
+/// 1.0 by construction. On a single-core host the speedups will hover
+/// around 1.0 — the point of the series is then the `identical_to_serial`
+/// column, which must hold on any host.
+pub fn thread_scaling(
+    cluster: &Cluster,
+    base_jobs: usize,
+    churn: usize,
+    churn_every: usize,
+    epochs: usize,
+    widths: &[usize],
+) -> Vec<ThreadScalingPoint> {
+    let mut serial: Option<EpochRun> = None;
+    let mut out = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let run = run_epochs(
+            cluster,
+            base_jobs,
+            churn,
+            churn_every,
+            epochs,
+            EpochMode::ColGen,
+            w.max(1),
+        );
+        let baseline = serial.get_or_insert_with(|| run.clone());
+        let identical = baseline.epochs.len() == run.epochs.len()
+            && baseline.epochs.iter().zip(&run.epochs).all(|(a, b)| {
+                a.objective.to_bits() == b.objective.to_bits()
+                    && a.certified == b.certified
+                    && a.active_columns == b.active_columns
+                    && a.pricing_rounds == b.pricing_rounds
+            });
+        out.push(ThreadScalingPoint {
+            threads: w.max(1),
+            total_epoch_ms: run.total_epoch_ms,
+            total_solve_ms: run.total_solve_ms,
+            speedup_vs_serial: if run.total_epoch_ms > 0.0 {
+                baseline.total_epoch_ms / run.total_epoch_ms
+            } else {
+                1.0
+            },
+            identical_to_serial: identical,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,8 +643,8 @@ mod tests {
         // Small config so the test stays fast; the full large-cluster
         // numbers are produced by the `lp_bench` binary.
         let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
-        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold);
-        let warm = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Warm);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold, 1);
+        let warm = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Warm, 1);
         assert!(cold.all_certified && warm.all_certified);
         assert_eq!(cold.warm_solves, 0);
         assert!(
@@ -601,7 +685,7 @@ mod tests {
                 (5, EpochFault::Rejoin(4)),
             ],
         };
-        let run = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script);
+        let run = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script, 1);
         assert_eq!(run.revocations, 2);
         assert_eq!(run.rejoins, 1);
         assert_eq!(run.repricings, 1);
@@ -629,8 +713,8 @@ mod tests {
     #[test]
     fn colgen_sequence_matches_full_model_optima() {
         let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
-        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold);
-        let cg = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::ColGen);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold, 1);
+        let cg = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::ColGen, 1);
         assert!(cg.all_certified);
         assert!(cg.active_column_share < 1.0, "master never shrank");
         assert!(cg.total_pricing_rounds >= cg.epochs.len());

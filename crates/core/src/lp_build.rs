@@ -41,6 +41,7 @@ use std::collections::HashMap;
 use lips_audit::{Certificate, ModelAnnotations, PaperExpectations, RowKind, VarKind};
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
 use lips_lp::{Cmp, LpError, Model, SolveStats, VarId, WarmStart};
+use lips_par::Pool;
 use lips_workload::JobId;
 
 /// One job as the LP sees it: remaining divisible work plus current data
@@ -301,10 +302,46 @@ struct RowIds {
 
 /// Build the LP [`Model`] for an instance. Returns the model plus the maps
 /// needed to decode a solution.
-fn build(inst: &LpInstance<'_>) -> (Model, VarMaps) {
+fn build(inst: &LpInstance<'_>, pool: Pool) -> (Model, VarMaps) {
     let (job_machines, job_stores) = candidates(inst);
-    let (model, maps, _) = build_filtered(inst, &job_machines, &job_stores, None);
+    let (model, maps, _) = build_filtered(inst, &job_machines, &job_stores, None, pool);
     (model, maps)
+}
+
+/// Everything one job contributes to the variable space, computed in
+/// parallel ([`Pool::par_map`]) and stitched into the [`Model`] serially in
+/// job order — the expensive work (name formatting, arc costing, holder
+/// grouping by `SS` price) parallelizes, while variable ids are assigned in
+/// exactly the serial builder's emission order, so the model is identical
+/// at any pool width.
+struct JobVarPlan {
+    /// Task arcs `(name, cost, machine, store)`, in emission order.
+    arcs: Vec<(String, f64, MachineId, Option<StoreId>)>,
+    /// Planned-copy variables, in `(dest, price class)` emission order.
+    nds: Vec<NdPlan>,
+    /// Fake-node variable cost, when the fake node is enabled.
+    fake: Option<f64>,
+}
+
+/// One planned `nd` variable before it has a [`VarId`].
+struct NdPlan {
+    name: String,
+    ub: f64,
+    cost: f64,
+    dest: StoreId,
+    sources: Vec<(StoreId, f64)>,
+}
+
+/// One planned linking row (24): `(store, rhs, terms)`.
+type LnkPlan = (StoreId, f64, Vec<(VarId, f64)>);
+
+/// Everything one job contributes to the coverage/linking row space,
+/// assembled in parallel once the variable maps exist.
+struct JobRowPlan {
+    /// Terms of the job's coverage row (20).
+    cov: Vec<(VarId, f64)>,
+    /// Linking rows (24), in store order.
+    lnk: Vec<LnkPlan>,
 }
 
 /// Build the (possibly restricted) LP: when `active` is given, only task
@@ -320,6 +357,7 @@ fn build_filtered(
     job_machines: &[Vec<MachineId>],
     job_stores: &[Vec<StoreId>],
     active: Option<&std::collections::HashSet<String>>,
+    pool: Pool,
 ) -> (Model, VarMaps, RowIds) {
     let cluster = inst.cluster;
     let mut model = Model::minimize();
@@ -340,28 +378,27 @@ fn build_filtered(
     let job_uses_machine = |k: usize, l: MachineId| -> bool {
         job_machines[k].contains(&l) && (inst.jobs[k].size_mb <= 0.0 || !job_stores[k].is_empty())
     };
+    let job_indices: Vec<usize> = (0..inst.jobs.len()).collect();
 
     // --- variables ------------------------------------------------------
-    for (k, job) in inst.jobs.iter().enumerate() {
-        let work = job.work_ecu();
+    // Plan per job in parallel, then stitch serially in job order: ids and
+    // emission order match the serial builder exactly.
+    let var_plans: Vec<JobVarPlan> = pool.par_map(&job_indices, |_, &k| {
+        let job = &inst.jobs[k];
+        let mut plan = JobVarPlan {
+            arcs: Vec::new(),
+            nds: Vec::new(),
+            fake: None,
+        };
         let id = job.id.0;
         if job.size_mb > 0.0 {
             for &l in &job_machines[k] {
                 for &m in &job_stores[k] {
                     let name = arc_name(job, l, Some(m));
-                    if !is_active(&name) {
-                        continue;
+                    if is_active(&name) {
+                        plan.arcs
+                            .push((name, arc_cost(inst, k, l, Some(m)), l, Some(m)));
                     }
-                    let v = model.add_var(name, 0.0, 1.0, arc_cost(inst, k, l, Some(m)));
-                    maps.xt.insert((k, l, Some(m)), v);
-                    maps.ann.annotate_var(
-                        v,
-                        VarKind::Assign {
-                            job: k,
-                            machine: l,
-                            store: Some(m),
-                        },
-                    );
                 }
             }
             if inst.allow_moves {
@@ -402,22 +439,14 @@ fn build_filtered(
                         // class index counts price classes within this
                         // (job, dest) pair, cheapest first — stable across
                         // epochs as long as the holder set is.
-                        let cost = job.size_mb * price;
-                        let v = model.add_var(
-                            format!("nd_{id}_{}_{cls}", m.0),
-                            0.0,
-                            stock.min(1.0),
-                            cost,
-                        );
-                        cls += 1;
-                        maps.ann
-                            .annotate_var(v, VarKind::NewCopy { job: k, dest: m });
-                        maps.nd.push(NdVar {
-                            job: k,
+                        plan.nds.push(NdPlan {
+                            name: format!("nd_{id}_{}_{cls}", m.0),
+                            ub: stock.min(1.0),
+                            cost: job.size_mb * price,
                             dest: m,
-                            var: v,
                             sources,
                         });
+                        cls += 1;
                     }
                 }
             }
@@ -425,23 +454,47 @@ fn build_filtered(
             // Input-less job: one variable per machine.
             for &l in &job_machines[k] {
                 let name = arc_name(job, l, None);
-                if !is_active(&name) {
-                    continue;
+                if is_active(&name) {
+                    plan.arcs.push((name, arc_cost(inst, k, l, None), l, None));
                 }
-                let v = model.add_var(name, 0.0, 1.0, arc_cost(inst, k, l, None));
-                maps.xt.insert((k, l, None), v);
-                maps.ann.annotate_var(
-                    v,
-                    VarKind::Assign {
-                        job: k,
-                        machine: l,
-                        store: None,
-                    },
-                );
             }
         }
         if let Some(fc) = inst.fake_cost {
-            let v = model.add_var(format!("fake_{id}"), 0.0, 1.0, work.max(1e-9) * fc);
+            plan.fake = Some(job.work_ecu().max(1e-9) * fc);
+        }
+        plan
+    });
+    for (k, plan) in var_plans.into_iter().enumerate() {
+        for (name, cost, l, m) in plan.arcs {
+            let v = model.add_var(name, 0.0, 1.0, cost);
+            maps.xt.insert((k, l, m), v);
+            maps.ann.annotate_var(
+                v,
+                VarKind::Assign {
+                    job: k,
+                    machine: l,
+                    store: m,
+                },
+            );
+        }
+        for nd in plan.nds {
+            let v = model.add_var(nd.name, 0.0, nd.ub, nd.cost);
+            maps.ann.annotate_var(
+                v,
+                VarKind::NewCopy {
+                    job: k,
+                    dest: nd.dest,
+                },
+            );
+            maps.nd.push(NdVar {
+                job: k,
+                dest: nd.dest,
+                var: v,
+                sources: nd.sources,
+            });
+        }
+        if let Some(cost) = plan.fake {
+            let v = model.add_var(format!("fake_{}", inst.jobs[k].id.0), 0.0, 1.0, cost);
             maps.fake.insert(k, v);
             maps.ann.annotate_var(v, VarKind::Fake { job: k });
         }
@@ -450,46 +503,57 @@ fn build_filtered(
     // --- constraints ----------------------------------------------------
     // Active-arc lookups go through `maps.xt.get` from here on: a
     // restricted master simply has fewer terms per row, never fewer rows.
+    // Term assembly reads the now-frozen variable maps, so the per-job and
+    // per-machine row plans parallelize; rows are added serially in the
+    // serial builder's order (all cov, all lnk, all cpu, all xfer).
     // (20): every job fully assigned (fake node included).
-    for (k, job) in inst.jobs.iter().enumerate() {
-        let mut terms: Vec<(VarId, f64)> = Vec::new();
+    // (24)/(13): task reads bounded by availability + new copies.
+    let row_plans: Vec<JobRowPlan> = pool.par_map(&job_indices, |_, &k| {
+        let job = &inst.jobs[k];
+        let mut cov: Vec<(VarId, f64)> = Vec::new();
         for &l in &job_machines[k] {
             if job.size_mb > 0.0 {
                 for &m in &job_stores[k] {
                     if let Some(&v) = maps.xt.get(&(k, l, Some(m))) {
-                        terms.push((v, 1.0));
+                        cov.push((v, 1.0));
                     }
                 }
             } else if let Some(&v) = maps.xt.get(&(k, l, None)) {
-                terms.push((v, 1.0));
+                cov.push((v, 1.0));
             }
         }
         if let Some(&f) = maps.fake.get(&k) {
-            terms.push((f, 1.0));
+            cov.push((f, 1.0));
         }
-        let row = model.add_constraint(terms, Cmp::Ge, 1.0);
-        model.name_constraint(row, format!("cov_{}", job.id.0));
+        let mut lnk = Vec::new();
+        if job.size_mb > 0.0 {
+            let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
+            for &m in &job_stores[k] {
+                let mut terms: Vec<(VarId, f64)> = job_machines[k]
+                    .iter()
+                    .filter_map(|&l| maps.xt.get(&(k, l, Some(m))).map(|&v| (v, 1.0)))
+                    .collect();
+                for nd in maps.nd.iter().filter(|n| n.job == k && n.dest == m) {
+                    terms.push((nd.var, -1.0));
+                }
+                let a = avail.get(&m).copied().unwrap_or(0.0).min(1.0);
+                lnk.push((m, a, terms));
+            }
+        }
+        JobRowPlan { cov, lnk }
+    });
+    let mut lnk_plans: Vec<Vec<LnkPlan>> = Vec::with_capacity(row_plans.len());
+    for (k, plan) in row_plans.into_iter().enumerate() {
+        let row = model.add_constraint(plan.cov, Cmp::Ge, 1.0);
+        model.name_constraint(row, format!("cov_{}", inst.jobs[k].id.0));
         maps.ann.annotate_row(row, RowKind::Coverage { job: k });
         rows.cov.push(row);
+        lnk_plans.push(plan.lnk);
     }
-
-    // (24)/(13): task reads bounded by availability + new copies.
-    for (k, job) in inst.jobs.iter().enumerate() {
-        if job.size_mb <= 0.0 {
-            continue;
-        }
-        let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
-        for &m in &job_stores[k] {
-            let mut terms: Vec<(VarId, f64)> = job_machines[k]
-                .iter()
-                .filter_map(|&l| maps.xt.get(&(k, l, Some(m))).map(|&v| (v, 1.0)))
-                .collect();
-            for nd in maps.nd.iter().filter(|n| n.job == k && n.dest == m) {
-                terms.push((nd.var, -1.0));
-            }
-            let a = avail.get(&m).copied().unwrap_or(0.0).min(1.0);
+    for (k, lnk) in lnk_plans.into_iter().enumerate() {
+        for (m, a, terms) in lnk {
             let row = model.add_constraint(terms, Cmp::Le, a);
-            model.name_constraint(row, format!("lnk_{}_{}", job.id.0, m.0));
+            model.name_constraint(row, format!("lnk_{}_{}", inst.jobs[k].id.0, m.0));
             maps.ann
                 .annotate_row(row, RowKind::Linking { job: k, store: m });
             rows.lnk.insert((k, m), row);
@@ -497,8 +561,11 @@ fn build_filtered(
     }
 
     // (23)/(12): machine CPU capacity.
-    for mid in cluster.machines.iter().map(|m| m.id) {
-        let mut terms: Vec<(VarId, f64)> = Vec::new();
+    // (21): per-machine read-time budget (aggregated across jobs/slots).
+    type MachineRowPlan = (Option<Vec<(VarId, f64)>>, Option<Vec<(VarId, f64)>>);
+    let machine_ids: Vec<MachineId> = cluster.machines.iter().map(|m| m.id).collect();
+    let machine_plans: Vec<MachineRowPlan> = pool.par_map(&machine_ids, |_, &mid| {
+        let mut cpu_terms: Vec<(VarId, f64)> = Vec::new();
         let mut any_candidate = false;
         for (k, job) in inst.jobs.iter().enumerate() {
             let work = job.work_ecu();
@@ -509,33 +576,22 @@ fn build_filtered(
             if job.size_mb > 0.0 {
                 for &m in &job_stores[k] {
                     if let Some(&v) = maps.xt.get(&(k, mid, Some(m))) {
-                        terms.push((v, work));
+                        cpu_terms.push((v, work));
                     }
                 }
             } else if let Some(&v) = maps.xt.get(&(k, mid, None)) {
-                terms.push((v, work));
+                cpu_terms.push((v, work));
             }
         }
-        if any_candidate {
-            let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
-            let row = model.add_constraint(terms, Cmp::Le, cap);
-            model.name_constraint(row, format!("cpu_{}", mid.0));
-            maps.ann.annotate_row(row, RowKind::CpuCap { machine: mid });
-            maps.capacity_rows.push((mid, row));
-            rows.cpu.insert(mid, row);
-        }
-    }
-
-    // (21): per-machine read-time budget (aggregated across jobs/slots).
-    if inst.enforce_transfer_time {
-        for mid in cluster.machines.iter().map(|m| m.id) {
+        let cpu = any_candidate.then_some(cpu_terms);
+        let xfer = if inst.enforce_transfer_time {
             let mut terms: Vec<(VarId, f64)> = Vec::new();
-            let mut any_candidate = false;
+            let mut any = false;
             for (k, job) in inst.jobs.iter().enumerate() {
                 if job.size_mb <= 0.0 || !job_uses_machine(k, mid) {
                     continue;
                 }
-                any_candidate = true;
+                any = true;
                 for &m in &job_stores[k] {
                     if let Some(&v) = maps.xt.get(&(k, mid, Some(m))) {
                         let bw = cluster.bandwidth_machine_store(mid, m);
@@ -543,15 +599,33 @@ fn build_filtered(
                     }
                 }
             }
-            if any_candidate {
-                let budget = inst.duration * f64::from(cluster.machine(mid).slots);
-                let row = model.add_constraint(terms, Cmp::Le, budget);
-                model.name_constraint(row, format!("xfer_{}", mid.0));
-                maps.ann
-                    .annotate_row(row, RowKind::TransferTime { machine: mid });
-                rows.xfer.insert(mid, row);
-            }
+            any.then_some(terms)
+        } else {
+            None
+        };
+        (cpu, xfer)
+    });
+    let mut xfer_plans: Vec<(MachineId, Vec<(VarId, f64)>)> = Vec::new();
+    for (&mid, (cpu, xfer)) in machine_ids.iter().zip(machine_plans) {
+        if let Some(terms) = cpu {
+            let cap = cluster.machine(mid).capacity_ecu_seconds(inst.duration);
+            let row = model.add_constraint(terms, Cmp::Le, cap);
+            model.name_constraint(row, format!("cpu_{}", mid.0));
+            maps.ann.annotate_row(row, RowKind::CpuCap { machine: mid });
+            maps.capacity_rows.push((mid, row));
+            rows.cpu.insert(mid, row);
         }
+        if let Some(terms) = xfer {
+            xfer_plans.push((mid, terms));
+        }
+    }
+    for (mid, terms) in xfer_plans {
+        let budget = inst.duration * f64::from(cluster.machine(mid).slots);
+        let row = model.add_constraint(terms, Cmp::Le, budget);
+        model.name_constraint(row, format!("xfer_{}", mid.0));
+        maps.ann
+            .annotate_row(row, RowKind::TransferTime { machine: mid });
+        rows.xfer.insert(mid, row);
     }
 
     // Fair-share floors: Σ_{k∈pool} work_k · Σ x^t_k ≥ min_ecu.
@@ -668,7 +742,7 @@ fn expectations(inst: &LpInstance<'_>) -> PaperExpectations {
 /// recomputed [`PaperExpectations`]. This is the entry point for static
 /// analysis; [`solve`] is the entry point for scheduling.
 pub fn build_audited(inst: &LpInstance<'_>) -> (Model, ModelAnnotations, PaperExpectations) {
-    let (model, maps) = build(inst);
+    let (model, maps) = build(inst, Pool::serial());
     let expect = expectations(inst);
     (model, maps.ann, expect)
 }
@@ -773,8 +847,8 @@ pub struct SolveReport {
     pub colgen: Option<(ColGenState, ColGenStats)>,
 }
 
-/// The unified builder-style solve entry point, replacing the former
-/// seven `solve*` free functions.
+/// The unified builder-style solve entry point (the former seven `solve*`
+/// free functions completed their deprecation cycle and are gone).
 ///
 /// ```ignore
 /// let report = EpochSolver::new(&inst)
@@ -786,8 +860,9 @@ pub struct SolveReport {
 ///
 /// Every option is orthogonal: warm starting never changes the optimum,
 /// certification never mutates the solve, colgen mode certifies against
-/// the full model by construction. Unlike the deprecated free functions,
-/// `run` never panics on certification failure — it returns
+/// the full model by construction, and [`EpochSolver::threads`] never
+/// changes anything observable except wall-clock time. `run` never panics
+/// on certification failure — it returns
 /// [`EpochSolveError::Certification`], which the epoch scheduler treats
 /// as one more rung on its degradation ladder.
 #[derive(Debug)]
@@ -798,6 +873,7 @@ pub struct EpochSolver<'i, 'c> {
     shadow_prices: bool,
     colgen: Option<(ColGenOptions, Option<&'i ColGenState>)>,
     pivot_budget: Option<usize>,
+    pool: Pool,
 }
 
 impl<'i, 'c> EpochSolver<'i, 'c> {
@@ -809,7 +885,22 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
             shadow_prices: false,
             colgen: None,
             pivot_budget: None,
+            pool: Pool::from_env(),
         }
+    }
+
+    /// Worker threads for model build, column pricing, and certification.
+    /// Defaults to [`lips_par::default_threads`] (the `LIPS_THREADS`
+    /// environment variable, else the machine's available parallelism).
+    ///
+    /// The thread count is pure throughput tuning: the deterministic merge
+    /// discipline of [`lips_par::Pool`] makes every solve — objective,
+    /// chosen columns, certificate, basis — bitwise identical at any
+    /// value, including 1.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
     }
 
     /// Seed the simplex from a prior epoch's optimal basis. `None` or an
@@ -863,7 +954,7 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
     /// Execute the configured solve.
     pub fn run(self) -> Result<SolveReport, EpochSolveError> {
         if let Some((opts, prior)) = &self.colgen {
-            let out = colgen_run(self.inst, opts, *prior, self.pivot_budget)?;
+            let out = colgen_run(self.inst, opts, *prior, self.pivot_budget, self.pool)?;
             return Ok(SolveReport {
                 schedule: out.schedule,
                 shadow_prices: Some(out.shadow_prices),
@@ -873,10 +964,10 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
             });
         }
 
-        let (model, maps) = build(self.inst);
+        let (model, maps) = build(self.inst, self.pool);
         let sol = solve_model(&model, self.warm, self.pivot_budget)?;
         let certificate = if self.certify {
-            match lips_audit::certify(&model, &sol) {
+            match lips_audit::certify_with(self.pool, &model, &sol) {
                 Ok(cert) if cert.is_optimal() => Some(EpochCertificate::Full(cert)),
                 Ok(cert) => return Err(EpochSolveError::Certification(cert.to_string())),
                 Err(e) => return Err(EpochSolveError::Certification(e.to_string())),
@@ -925,122 +1016,16 @@ fn solve_model(
     }
 }
 
-/// Like [`EpochSolver`] with `.certify()`, as a one-shot free function.
-#[deprecated(note = "use EpochSolver::new(inst).certify().run()")]
-pub fn solve_certified(
-    inst: &LpInstance<'_>,
-) -> Result<(FractionalSchedule, Certificate), LpError> {
-    #[allow(deprecated)]
-    let (schedule, cert, _) = solve_certified_warm(inst, None)?;
-    Ok((schedule, cert))
-}
-
-/// Like [`solve_certified`], seeding the simplex from a prior epoch's basis
-/// and returning this solve's basis for chaining.
-///
-/// # Panics
-///
-/// Panics if the solution fails certification; prefer
-/// [`EpochSolver::run`], which reports it as an error instead.
-#[deprecated(note = "use EpochSolver::new(inst).warm(warm).certify().run()")]
-pub fn solve_certified_warm(
-    inst: &LpInstance<'_>,
-    warm: Option<&WarmStart>,
-) -> Result<(FractionalSchedule, Certificate, WarmStart), LpError> {
-    let report = EpochSolver::new(inst)
-        .warm(warm)
-        .certify()
-        .run()
-        .map_err(unwrap_certification)?;
-    let cert = match report.certificate {
-        Some(EpochCertificate::Full(c)) => c,
-        _ => unreachable!("certify() was requested"),
-    };
-    Ok((report.schedule, cert, report.basis))
-}
-
-/// Build and solve; decode into a [`FractionalSchedule`].
-#[deprecated(note = "use EpochSolver::new(inst).run()")]
-pub fn solve(inst: &LpInstance<'_>) -> Result<FractionalSchedule, LpError> {
-    Ok(EpochSolver::new(inst)
-        .certify()
-        .run()
-        .map_err(unwrap_certification)?
-        .schedule)
-}
-
-/// Like [`solve`], seeding the simplex from a prior epoch's optimal basis
-/// and returning this solve's basis for the next epoch.
-#[deprecated(note = "use EpochSolver::new(inst).warm(warm).run()")]
-pub fn solve_warm(
-    inst: &LpInstance<'_>,
-    warm: Option<&WarmStart>,
-) -> Result<(FractionalSchedule, WarmStart), LpError> {
-    let report = EpochSolver::new(inst)
-        .warm(warm)
-        .certify()
-        .run()
-        .map_err(unwrap_certification)?;
-    Ok((report.schedule, report.basis))
-}
-
-/// Like [`solve`], additionally returning per-machine CPU shadow prices.
-#[deprecated(note = "use EpochSolver::new(inst).shadow_prices().run()")]
-pub fn solve_with_shadow_prices(
-    inst: &LpInstance<'_>,
-) -> Result<(FractionalSchedule, Vec<(MachineId, f64)>), LpError> {
-    let report = EpochSolver::new(inst)
-        .certify()
-        .shadow_prices()
-        .run()
-        .map_err(unwrap_certification)?;
-    let shadows = report.shadow_prices.expect("shadow_prices() was requested");
-    Ok((report.schedule, shadows))
-}
-
-/// What a warm-started epoch solve hands back: the schedule, per-machine
-/// shadow prices, and the optimal basis for chaining into the next epoch.
-pub type WarmSolveParts = (FractionalSchedule, Vec<(MachineId, f64)>, WarmStart);
-
-/// The former epoch-loop entry point: warm-started solve returning the
-/// schedule, machine shadow prices, and the optimal basis for chaining.
-#[deprecated(note = "use EpochSolver::new(inst).warm(warm).certify().shadow_prices().run()")]
-pub fn solve_warm_with_shadow_prices(
-    inst: &LpInstance<'_>,
-    warm: Option<&WarmStart>,
-) -> Result<WarmSolveParts, LpError> {
-    let report = EpochSolver::new(inst)
-        .warm(warm)
-        .certify()
-        .shadow_prices()
-        .run()
-        .map_err(unwrap_certification)?;
-    let shadows = report.shadow_prices.expect("shadow_prices() was requested");
-    Ok((report.schedule, shadows, report.basis))
-}
-
-/// The deprecated shims' contract predates [`EpochSolveError`]: they
-/// return only [`LpError`] and *panic* on certification failure, because
-/// a wrong "optimal" schedule corrupts every dollar figure downstream and
-/// must not be silently used by callers that never look at a certificate.
-fn unwrap_certification(e: EpochSolveError) -> LpError {
-    match e {
-        EpochSolveError::Lp(e) => e,
-        EpochSolveError::Certification(why) => {
-            panic!("LP solution failed independent certification: {why}")
-        }
-    }
-}
-
 /// Number of task-assignment (`x^t`) columns the full model would carry
-/// under the instance's pruning — the denominator of [`solve_colgen`]'s
-/// active-column share.
+/// under the instance's pruning — the denominator of
+/// [`EpochSolver::colgen`]'s active-column share.
 pub fn count_task_columns(inst: &LpInstance<'_>) -> usize {
     let (job_machines, job_stores) = candidates(inst);
     enumerate_arcs(inst, &job_machines, &job_stores).len()
 }
 
-/// Tuning for the delayed-column-generation solve ([`solve_colgen`]).
+/// Tuning for the delayed-column-generation solve
+/// ([`EpochSolver::colgen`]).
 #[derive(Debug, Clone)]
 pub struct ColGenOptions {
     /// Arcs seeding the restricted master per job, cheapest LP cost first.
@@ -1067,11 +1052,11 @@ impl Default for ColGenOptions {
     }
 }
 
-/// Cross-epoch column-generation state: the task arcs that mattered at the
-/// previous epoch's optimum plus its basis. Seeding the next epoch's
-/// restricted master with both means a churned job only *perturbs* the
-/// master (its arcs enter via pricing) instead of rebuilding the column
-/// set from scratch — arc names are keyed by job id, so surviving names
+/// Cross-epoch column-generation state: the task arcs that mattered at
+/// the previous epoch's optimum plus its basis. Seeding the next epoch's
+/// restricted master ([`EpochSolver::colgen`]) with both means a churned
+/// job only *perturbs* the master (its arcs enter via pricing) instead of
+/// rebuilding the column set from scratch — arc names are keyed by job id, so surviving names
 /// keep denoting the same `(job, machine, store)` arc across epochs.
 #[derive(Debug, Clone, Default)]
 pub struct ColGenState {
@@ -1176,12 +1161,12 @@ pub struct ColGenStats {
 pub struct ColGenOutcome {
     pub schedule: FractionalSchedule,
     /// Shadow price of each machine's CPU-capacity row (see
-    /// [`solve_with_shadow_prices`]).
+    /// [`EpochSolver::shadow_prices`]).
     pub shadow_prices: Vec<(MachineId, f64)>,
     /// Full-model KKT certificate: the master's own certificate plus a
     /// pricing pass over every excluded column.
     pub certificate: lips_audit::RestrictedCertificate,
-    /// Carry into the next epoch's [`solve_colgen`] call.
+    /// Carry into the next epoch's [`EpochSolver::colgen`] call.
     pub state: ColGenState,
     pub stats: ColGenStats,
 }
@@ -1190,44 +1175,30 @@ fn ms_since(t: std::time::Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
 }
 
-/// Solve `inst` by delayed column generation over a restricted master.
+/// The column-generation engine behind [`EpochSolver::colgen`]: solve
+/// `inst` by delayed column generation over a restricted master.
 ///
 /// The master starts with every `nd`/fake column, the full row set, and
 /// only the seed task arcs (top-N cheapest per job, plus whatever `prior`
 /// carried over). Each round solves the master warm from the incumbent
-/// basis, prices every excluded arc against the master's duals
-/// ([`lips_lp::ColumnPricer`]), appends everything that prices out through
-/// [`Model::add_column`], and repeats until nothing does — at which point
-/// the master's optimum *is* the full model's optimum, and the returned
-/// certificate proves it by re-pricing every excluded column
-/// independently ([`lips_audit::certify_restricted`]).
+/// basis, prices every excluded arc against the master's duals across
+/// `pool`'s workers ([`lips_lp::ColumnPricer::price_out_batch`]), appends
+/// everything that prices out through [`Model::add_column`], and repeats
+/// until nothing does — at which point the master's optimum *is* the full
+/// model's optimum, and the returned certificate proves it by re-pricing
+/// every excluded column independently
+/// ([`lips_audit::certify_restricted_with`]).
 ///
 /// A restriction can be infeasible where the full model is not (a pool
 /// floor unreachable on the seeded machines); the loop then appends the
 /// whole remainder and retries once, so feasibility semantics match
 /// the direct solve exactly.
-///
-/// # Panics
-///
-/// Like [`solve_certified`], panics if the final solution fails
-/// certification — prefer [`EpochSolver::colgen`], which reports it as an
-/// error instead.
-#[deprecated(note = "use EpochSolver::new(inst).colgen(opts, prior).run()")]
-pub fn solve_colgen(
-    inst: &LpInstance<'_>,
-    opts: &ColGenOptions,
-    prior: Option<&ColGenState>,
-) -> Result<ColGenOutcome, LpError> {
-    colgen_run(inst, opts, prior, None).map_err(unwrap_certification)
-}
-
-/// The column-generation engine behind [`EpochSolver::colgen`] and the
-/// deprecated [`solve_colgen`] shim.
 fn colgen_run(
     inst: &LpInstance<'_>,
     opts: &ColGenOptions,
     prior: Option<&ColGenState>,
     pivot_budget: Option<usize>,
+    pool: Pool,
 ) -> Result<ColGenOutcome, EpochSolveError> {
     use std::collections::HashSet;
 
@@ -1264,15 +1235,18 @@ fn colgen_run(
     }
 
     let (mut model, mut maps, rows) =
-        build_filtered(inst, &job_machines, &job_stores, Some(&active));
+        build_filtered(inst, &job_machines, &job_stores, Some(&active), pool);
     let mut build_ms = ms_since(t_build);
 
-    // Column of one arc in the master's rows — must mirror the builder's
-    // coefficients exactly (same work/size/bandwidth formulas).
-    let arc_terms = |a: &ArcCand| -> Vec<(lips_lp::ConstraintId, f64)> {
+    // Column of one arc in the master's rows, written into a reusable
+    // buffer — must mirror the builder's coefficients exactly (same
+    // work/size/bandwidth formulas). Buffer discipline keeps the pricing
+    // loop free of per-arc heap allocation: each pricing worker reuses one
+    // scratch vector across every arc it prices.
+    let arc_terms_into = |a: &ArcCand, t: &mut Vec<(lips_lp::ConstraintId, f64)>| {
         let job = &inst.jobs[a.k];
         let work = job.work_ecu();
-        let mut t = vec![(rows.cov[a.k], 1.0)];
+        t.push((rows.cov[a.k], 1.0));
         if let Some(m) = a.m {
             t.push((rows.lnk[&(a.k, m)], 1.0));
             if let Some(&x) = rows.xfer.get(&a.l) {
@@ -1286,10 +1260,12 @@ fn colgen_run(
         for &p in &rows.job_pools[a.k] {
             t.push((p, work));
         }
-        t
     };
-    let append_arc = |model: &mut Model, maps: &mut VarMaps, a: &ArcCand| {
-        let v = model.add_column(a.name.clone(), 0.0, 1.0, a.cost, arc_terms(a));
+    let mut scratch: Vec<(lips_lp::ConstraintId, f64)> = Vec::new();
+    let mut append_arc = |model: &mut Model, maps: &mut VarMaps, a: &ArcCand| {
+        scratch.clear();
+        arc_terms_into(a, &mut scratch);
+        let v = model.add_column(a.name.clone(), 0.0, 1.0, a.cost, scratch.iter().copied());
         maps.xt.insert((a.k, a.l, a.m), v);
         maps.ann.annotate_var(
             v,
@@ -1339,10 +1315,17 @@ fn colgen_run(
         let pricer =
             lips_lp::ColumnPricer::new(&model, &sol).expect("revised simplex always reports duals");
         let t = std::time::Instant::now();
-        let mut entering: Vec<&ArcCand> = arcs
-            .iter()
-            .filter(|a| !active.contains(&a.name))
-            .filter(|a| pricer.prices_out(a.cost, &arc_terms(a)))
+        // Price every excluded arc across the pool's workers; the batch
+        // returns ascending candidate indices, so `entering` is in arc
+        // enumeration order at any thread count.
+        let candidates: Vec<&ArcCand> = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
+        let mut entering: Vec<&ArcCand> = pricer
+            .price_out_batch(pool, candidates.len(), |i, buf| {
+                arc_terms_into(candidates[i], buf);
+                candidates[i].cost
+            })
+            .into_iter()
+            .map(|i| candidates[i])
             .collect();
         if entering.is_empty() {
             build_ms += ms_since(t);
@@ -1362,16 +1345,20 @@ fn colgen_run(
     };
 
     // --- certify against the full model --------------------------------
-    let excluded: Vec<lips_audit::ExcludedColumn> = arcs
-        .iter()
-        .filter(|a| !active.contains(&a.name))
-        .map(|a| lips_audit::ExcludedColumn {
+    // Column assembly for the certificate parallelizes per arc; the
+    // certificate itself splits its KKT and re-pricing passes across the
+    // same pool.
+    let excluded_arcs: Vec<&ArcCand> = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
+    let excluded: Vec<lips_audit::ExcludedColumn> = pool.par_map(&excluded_arcs, |_, a| {
+        let mut terms = Vec::new();
+        arc_terms_into(a, &mut terms);
+        lips_audit::ExcludedColumn {
             name: a.name.clone(),
             obj: a.cost,
-            terms: arc_terms(a),
-        })
-        .collect();
-    let certificate = match lips_audit::certify_restricted(&model, &sol, &excluded) {
+            terms,
+        }
+    });
+    let certificate = match lips_audit::certify_restricted_with(pool, &model, &sol, &excluded) {
         Ok(cert) if cert.is_optimal() => cert,
         Ok(cert) => {
             return Err(EpochSolveError::Certification(format!(
@@ -1907,35 +1894,66 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_agree_with_epoch_solver() {
-        // One release of backward compatibility: the seven old entry
-        // points must keep compiling and land on the same optimum.
-        let cluster = two_node();
-        let inst = base_inst(&cluster, vec![one_job(1024.0, 2.0, StoreId(0))]);
-        let unified = EpochSolver::new(&inst).certify().run().unwrap();
-        let plain = super::solve(&inst).unwrap();
-        let (certified, cert) = solve_certified(&inst).unwrap();
-        assert!(cert.is_optimal());
-        let (warm_sched, _basis) = solve_warm(&inst, None).unwrap();
-        let (shadow_sched, shadows) = solve_with_shadow_prices(&inst).unwrap();
-        let (wsp_sched, wsp_shadows, _) = solve_warm_with_shadow_prices(&inst, None).unwrap();
-        let cg = solve_colgen(&inst, &ColGenOptions::default(), None).unwrap();
-        for obj in [
-            plain.lp_objective,
-            certified.lp_objective,
-            warm_sched.lp_objective,
-            shadow_sched.lp_objective,
-            wsp_sched.lp_objective,
-            cg.schedule.lp_objective,
-        ] {
-            assert!(
-                (obj - unified.schedule.lp_objective).abs() < 1e-9,
-                "shim objective {obj} vs unified {}",
-                unified.schedule.lp_objective
+    fn thread_count_never_changes_the_solve() {
+        // The tentpole determinism contract, end to end: build, colgen
+        // pricing, and certification at 1/2/8 threads must produce
+        // bitwise-identical reports — objective, schedule, chosen columns,
+        // certificate residuals, everything.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let mut inst = base_inst(&cluster, spread_jobs(8));
+        inst.fake_cost = Some(1.0);
+        let opts = ColGenOptions {
+            seed_arcs_per_job: 2,
+            ..ColGenOptions::default()
+        };
+        let run = |threads: usize| {
+            EpochSolver::new(&inst)
+                .threads(threads)
+                .colgen(opts.clone(), None)
+                .run()
+                .unwrap()
+        };
+        let base = run(1);
+        let base_cert = match base.certificate.as_ref().unwrap() {
+            EpochCertificate::Restricted(c) => c.clone(),
+            EpochCertificate::Full(_) => unreachable!("colgen certifies restricted"),
+        };
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_eq!(
+                base.schedule.lp_objective.to_bits(),
+                other.schedule.lp_objective.to_bits(),
+                "threads={threads}"
             );
+            assert_eq!(
+                base.schedule.assignments, other.schedule.assignments,
+                "threads={threads}"
+            );
+            assert_eq!(
+                base.schedule.moves, other.schedule.moves,
+                "threads={threads}"
+            );
+            let cert = match other.certificate.as_ref().unwrap() {
+                EpochCertificate::Restricted(c) => c,
+                EpochCertificate::Full(_) => unreachable!(),
+            };
+            assert_eq!(
+                base_cert.master.duality_gap.to_bits(),
+                cert.master.duality_gap.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                base_cert.max_excluded_violation.to_bits(),
+                cert.max_excluded_violation.to_bits(),
+                "threads={threads}"
+            );
+            let (state_a, stats_a) = base.colgen.as_ref().unwrap();
+            let (state_b, stats_b) = other.colgen.as_ref().unwrap();
+            assert_eq!(state_a.carried_columns(), state_b.carried_columns());
+            assert_eq!(stats_a.active_columns, stats_b.active_columns);
+            assert_eq!(stats_a.appended, stats_b.appended);
+            assert_eq!(stats_a.rounds, stats_b.rounds);
         }
-        assert_eq!(shadows.len(), wsp_shadows.len());
     }
 
     #[test]

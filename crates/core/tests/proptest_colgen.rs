@@ -1,7 +1,7 @@
 //! Property tests for the column-generated restricted master: across
-//! random clusters and epoch sequences, `solve_colgen` must land on the
-//! full model's optimum (it certifies that itself — these tests
-//! re-assert it externally against an independent `solve`), and the
+//! random clusters and epoch sequences, `EpochSolver::colgen` must land
+//! on the full model's optimum (it certifies that itself — these tests
+//! re-assert it externally against an independent full solve), and the
 //! restricted certificate must reject masters whose excluded columns
 //! were never priced in.
 

@@ -1,0 +1,257 @@
+//! Property tests for the determinism contract of the parallel epoch
+//! pipeline: across random clusters and chained epoch sequences —
+//! including mid-chain machine revocations — the multi-threaded model
+//! build, column pricing, and certification must produce **bitwise**
+//! identical reports to the serial (`threads = 1`) run. Not "close":
+//! identical, down to the last mantissa bit of every objective and
+//! certificate residual.
+
+use lips_cluster::{ec2_mixed_cluster, Cluster, DataId, StoreId};
+use lips_core::lp_build::{
+    sanitize_warm_start, ColGenOptions, ColGenState, EpochCertificate, EpochSolver, LpInstance,
+    LpJob, PruneConfig, SolveReport,
+};
+use lips_lp::WarmStart;
+use lips_workload::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomChain {
+    nodes: usize,
+    c1: f64,
+    seed: u64,
+    jobs: Vec<(f64, f64, usize)>, // (size_mb, tcp, holder index)
+    duration: f64,
+    seed_arcs: usize,
+    epochs: usize,
+    /// Machine index to revoke (tp_ecu = 0) at epoch 1, if any — the
+    /// chained state must be repaired identically at every width.
+    revoke: Option<usize>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = RandomChain> {
+    (
+        6usize..20,
+        0.0f64..0.8,
+        0u64..5000,
+        prop::collection::vec((64.0f64..2048.0, 0.05f64..3.0, 0usize..100), 2..6),
+        2_000.0f64..50_000.0,
+        // Last element encodes `Option<usize>`: ≥ 100 means no revocation.
+        (1usize..5, 2usize..4, 0usize..200),
+    )
+        .prop_map(
+            |(nodes, c1, seed, jobs, duration, (seed_arcs, epochs, revoke))| RandomChain {
+                nodes,
+                c1,
+                seed,
+                jobs,
+                duration,
+                seed_arcs,
+                epochs,
+                revoke: (revoke < 100).then_some(revoke),
+            },
+        )
+}
+
+fn lp_jobs(rc: &RandomChain, epoch: usize) -> Vec<LpJob> {
+    rc.jobs
+        .iter()
+        .enumerate()
+        .map(|(k, &(size, tcp, h))| LpJob {
+            id: JobId(k),
+            data: Some(DataId(k)),
+            size_mb: size * 0.9f64.powi(epoch as i32),
+            tcp,
+            fixed_ecu: 0.0,
+            // Two replica holders so a revocation never strands a job.
+            avail: vec![
+                (StoreId(h % rc.nodes), 1.0),
+                (StoreId((h + rc.nodes / 2 + 1) % rc.nodes), 1.0),
+            ],
+        })
+        .collect()
+}
+
+fn instance<'c>(rc: &RandomChain, cluster: &'c Cluster, epoch: usize) -> LpInstance<'c> {
+    LpInstance {
+        cluster,
+        jobs: lp_jobs(rc, epoch),
+        duration: rc.duration,
+        fake_cost: Some(1.0),
+        allow_moves: true,
+        enforce_transfer_time: false,
+        store_free_mb: vec![],
+        pool_floors: vec![],
+        prune: PruneConfig::default(),
+    }
+}
+
+/// Assert every observable of two same-epoch reports is bit-identical.
+fn assert_bitwise(a: &SolveReport, b: &SolveReport, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        a.schedule.lp_objective.to_bits(),
+        b.schedule.lp_objective.to_bits(),
+        "{}: lp_objective {} vs {}",
+        ctx,
+        a.schedule.lp_objective,
+        b.schedule.lp_objective
+    );
+    prop_assert_eq!(
+        a.schedule.predicted_dollars.to_bits(),
+        b.schedule.predicted_dollars.to_bits(),
+        "{}: predicted_dollars",
+        ctx
+    );
+    prop_assert_eq!(
+        &a.schedule.assignments,
+        &b.schedule.assignments,
+        "{}: assignments",
+        ctx
+    );
+    prop_assert_eq!(&a.schedule.moves, &b.schedule.moves, "{}: moves", ctx);
+    prop_assert_eq!(
+        a.schedule.stats.iterations,
+        b.schedule.stats.iterations,
+        "{}: iterations",
+        ctx
+    );
+    match (a.certificate.as_ref(), b.certificate.as_ref()) {
+        (Some(EpochCertificate::Full(ca)), Some(EpochCertificate::Full(cb))) => {
+            prop_assert_eq!(
+                ca.duality_gap.to_bits(),
+                cb.duality_gap.to_bits(),
+                "{}: duality_gap",
+                ctx
+            );
+            prop_assert_eq!(
+                ca.max_dual_violation.to_bits(),
+                cb.max_dual_violation.to_bits(),
+                "{}: max_dual_violation",
+                ctx
+            );
+            prop_assert_eq!(ca.is_optimal(), cb.is_optimal(), "{}: verdict", ctx);
+        }
+        (Some(EpochCertificate::Restricted(ca)), Some(EpochCertificate::Restricted(cb))) => {
+            prop_assert_eq!(
+                ca.master.duality_gap.to_bits(),
+                cb.master.duality_gap.to_bits(),
+                "{}: master duality_gap",
+                ctx
+            );
+            prop_assert_eq!(
+                ca.max_excluded_violation.to_bits(),
+                cb.max_excluded_violation.to_bits(),
+                "{}: max_excluded_violation",
+                ctx
+            );
+            prop_assert_eq!(
+                &ca.worst_excluded,
+                &cb.worst_excluded,
+                "{}: worst_excluded",
+                ctx
+            );
+            prop_assert_eq!(ca.is_optimal(), cb.is_optimal(), "{}: verdict", ctx);
+        }
+        (x, y) => prop_assert!(
+            false,
+            "{ctx}: certificate kinds differ: {} vs {}",
+            x.is_some(),
+            y.is_some()
+        ),
+    }
+    Ok(())
+}
+
+/// Apply the chain's scripted revocation to the live cluster at epoch 1.
+fn maybe_revoke(rc: &RandomChain, cluster: &mut Cluster, epoch: usize) {
+    if epoch == 1 {
+        if let Some(m) = rc.revoke {
+            let m = m % cluster.machines.len();
+            // Leave at least one machine up so the epoch stays solvable.
+            if cluster.machines.iter().filter(|x| x.tp_ecu > 0.0).count() > 1 {
+                cluster.machines[m].tp_ecu = 0.0;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Colgen chains (parallel build + batch pricing + restricted
+    /// certification, cross-epoch column/basis reuse, mid-chain
+    /// revocation) are bitwise identical at 1 vs 4 threads.
+    #[test]
+    fn colgen_chain_is_bitwise_identical_across_widths(rc in chain_strategy()) {
+        let mut cluster = ec2_mixed_cluster(rc.nodes, rc.c1, 1e9, rc.seed);
+        let opts = ColGenOptions {
+            seed_arcs_per_job: rc.seed_arcs,
+            ..ColGenOptions::default()
+        };
+        let mut serial: Option<ColGenState> = None;
+        let mut wide: Option<ColGenState> = None;
+        for e in 0..rc.epochs {
+            maybe_revoke(&rc, &mut cluster, e);
+            if let Some(s) = serial.as_mut() {
+                s.sanitize_for_cluster(&cluster);
+            }
+            if let Some(s) = wide.as_mut() {
+                s.sanitize_for_cluster(&cluster);
+            }
+            let inst = instance(&rc, &cluster, e);
+            let run = |threads: usize, state: Option<&ColGenState>| {
+                EpochSolver::new(&inst)
+                    .threads(threads)
+                    .colgen(opts.clone(), state)
+                    .run()
+            };
+            let a = run(1, serial.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("serial colgen failed: {e}")))?;
+            let b = run(4, wide.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("parallel colgen failed: {e}")))?;
+            assert_bitwise(&a, &b, &format!("epoch {e}"))?;
+            let (sa, stats_a) = a.colgen.expect("colgen mode carries state");
+            let (sb, stats_b) = b.colgen.expect("colgen mode carries state");
+            prop_assert_eq!(sa.carried_columns(), sb.carried_columns(), "epoch {}", e);
+            prop_assert_eq!(stats_a.active_columns, stats_b.active_columns);
+            prop_assert_eq!(stats_a.appended, stats_b.appended);
+            prop_assert_eq!(stats_a.rounds, stats_b.rounds);
+            serial = Some(sa);
+            wide = Some(sb);
+        }
+    }
+
+    /// Warm-started full-model chains (parallel build + full KKT
+    /// certification, basis repair after revocation) are bitwise
+    /// identical at 1 vs 4 threads.
+    #[test]
+    fn warm_chain_is_bitwise_identical_across_widths(rc in chain_strategy()) {
+        let mut cluster = ec2_mixed_cluster(rc.nodes, rc.c1, 1e9, rc.seed);
+        let mut serial: Option<WarmStart> = None;
+        let mut wide: Option<WarmStart> = None;
+        for e in 0..rc.epochs {
+            maybe_revoke(&rc, &mut cluster, e);
+            if let Some(ws) = serial.as_mut() {
+                sanitize_warm_start(ws, &cluster);
+            }
+            if let Some(ws) = wide.as_mut() {
+                sanitize_warm_start(ws, &cluster);
+            }
+            let inst = instance(&rc, &cluster, e);
+            let run = |threads: usize, ws: Option<&WarmStart>| {
+                EpochSolver::new(&inst)
+                    .threads(threads)
+                    .warm(ws)
+                    .certify()
+                    .run()
+            };
+            let a = run(1, serial.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("serial warm failed: {e}")))?;
+            let b = run(4, wide.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("parallel warm failed: {e}")))?;
+            assert_bitwise(&a, &b, &format!("epoch {e}"))?;
+            serial = Some(a.basis);
+            wide = Some(b.basis);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 use crate::model::{ConstraintId, Model, Sense};
 use crate::solution::Solution;
 use crate::TOL;
+use lips_par::Pool;
 
 /// Prices candidate columns against a solved master's duals.
 ///
@@ -88,6 +89,28 @@ impl<'a> ColumnPricer<'a> {
     pub fn prices_out(&self, obj: f64, terms: &[(ConstraintId, f64)]) -> bool {
         self.reduced_cost(obj, terms) < -TOL
     }
+
+    /// Price `n` candidate columns across `pool`'s workers and return the
+    /// indices of those that price out, **ascending** — the merge is in
+    /// candidate order, so the result is bitwise identical at any thread
+    /// count.
+    ///
+    /// `fill` describes candidate `i`: it writes the column's terms into
+    /// the supplied buffer (already cleared) and returns the objective
+    /// coefficient. The buffer is per-worker scratch reused across every
+    /// candidate that worker prices, so a batch pass performs no per-arc
+    /// heap allocation — with [`Pool::serial`] this is also the allocation
+    /// discipline of the serial pricing loop.
+    pub fn price_out_batch<F>(&self, pool: Pool, n: usize, fill: F) -> Vec<usize>
+    where
+        F: Fn(usize, &mut Vec<(ConstraintId, f64)>) -> f64 + Sync,
+    {
+        pool.par_filter_indices_with(n, Vec::new, |buf, i| {
+            buf.clear();
+            let obj = fill(i, buf);
+            self.prices_out(obj, buf)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +178,42 @@ mod tests {
         // An excluded column with profit below the row's marginal value
         // must not enter: d = −0.5 + 1 = 0.5 ≥ 0.
         assert!(!pricer.prices_out(0.5, &[(cap, 1.0)]));
+    }
+
+    #[test]
+    fn batch_pricing_matches_per_column_calls_at_any_width() {
+        // A master with several rows and a spread of candidate columns:
+        // the batch API must select exactly the candidates the one-by-one
+        // API selects, in ascending candidate order, at every pool width.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, 10.0, 2.0);
+        let y = m.add_var("y", 0.0, 10.0, 3.0);
+        let demand = m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let cap = m.add_constraint([(x, 1.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        let pricer = ColumnPricer::new(&m, &sol).unwrap();
+        // Candidate i: cost i/4 dollars, one unit in the demand row, plus a
+        // capacity coefficient on every third candidate.
+        let describe = |i: usize, buf: &mut Vec<(ConstraintId, f64)>| -> f64 {
+            buf.push((demand, 1.0));
+            if i.is_multiple_of(3) {
+                buf.push((cap, 0.5));
+            }
+            i as f64 / 4.0
+        };
+        let n = 500;
+        let serial: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let mut buf = Vec::new();
+                let obj = describe(i, &mut buf);
+                pricer.prices_out(obj, &buf)
+            })
+            .collect();
+        assert!(!serial.is_empty() && serial.len() < n, "degenerate test");
+        for threads in [1, 2, 8] {
+            let batch = pricer.price_out_batch(Pool::new(threads), n, |i, buf| describe(i, buf));
+            assert_eq!(serial, batch, "threads={threads}");
+        }
     }
 
     #[test]
