@@ -1,0 +1,352 @@
+//! The ratchet: a committed per-file finding-count baseline.
+//!
+//! `analyze-baseline.json` records, for every lint, how many unsuppressed
+//! findings each file carried when the baseline was last written. The
+//! ratchet check (`lips-analyze check --ratchet`) fails only when some
+//! `(lint, file)` pair *exceeds* its recorded count — existing debt
+//! stands, new debt is rejected, and shrinking debt is reported so the
+//! baseline can be re-tightened with `lips-analyze baseline`.
+//!
+//! The format is a two-level JSON object with sorted keys, written and
+//! parsed by the tiny subset codec below (the analyzer takes no
+//! dependencies, vendored or otherwise).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::scan::Finding;
+
+/// `lint name → (file → count)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// One way the current tree is worse than the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    pub lint: String,
+    pub file: String,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+/// One way the current tree is better (candidate for re-tightening).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Improvement {
+    pub lint: String,
+    pub file: String,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+impl Baseline {
+    /// Build a baseline from a finding set.
+    pub fn from_findings<'a>(findings: impl IntoIterator<Item = &'a Finding>) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.lint.to_string())
+                .or_default()
+                .entry(f.file.clone())
+                .or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total recorded findings for one lint.
+    pub fn total(&self, lint: &str) -> usize {
+        self.counts
+            .get(lint)
+            .map_or(0, |files| files.values().sum())
+    }
+
+    /// Compare current findings against this baseline.
+    pub fn compare<'a>(
+        &self,
+        findings: impl IntoIterator<Item = &'a Finding>,
+    ) -> (Vec<Regression>, Vec<Improvement>) {
+        let current = Baseline::from_findings(findings);
+        let mut regressions = Vec::new();
+        let mut improvements = Vec::new();
+        // Every (lint, file) present now or then.
+        let mut keys: Vec<(&String, &String)> = Vec::new();
+        for (l, files) in current.counts.iter().chain(self.counts.iter()) {
+            for f in files.keys() {
+                keys.push((l, f));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        for (lint, file) in keys {
+            let base = self
+                .counts
+                .get(lint)
+                .and_then(|m| m.get(file))
+                .copied()
+                .unwrap_or(0);
+            let cur = current
+                .counts
+                .get(lint)
+                .and_then(|m| m.get(file))
+                .copied()
+                .unwrap_or(0);
+            if cur > base {
+                regressions.push(Regression {
+                    lint: lint.clone(),
+                    file: file.clone(),
+                    baseline: base,
+                    current: cur,
+                });
+            } else if cur < base {
+                improvements.push(Improvement {
+                    lint: lint.clone(),
+                    file: file.clone(),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+        (regressions, improvements)
+    }
+
+    /// Serialize with stable ordering and 2-space indentation.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"lints\": {");
+        let mut first_lint = true;
+        for (lint, files) in &self.counts {
+            if !first_lint {
+                s.push(',');
+            }
+            first_lint = false;
+            let _ = write!(s, "\n    {}: {{", quote(lint));
+            let mut first_file = true;
+            for (file, count) in files {
+                if !first_file {
+                    s.push(',');
+                }
+                first_file = false;
+                let _ = write!(s, "\n      {}: {count}", quote(file));
+            }
+            s.push_str("\n    }");
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Parse the baseline format. Tolerant of whitespace, strict about
+    /// structure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let root = p.value()?;
+        let JsonValue::Object(root) = root else {
+            return Err("baseline root must be an object".to_string());
+        };
+        let lints = root
+            .iter()
+            .find(|(k, _)| k == "lints")
+            .map(|(_, v)| v)
+            .ok_or("baseline missing \"lints\" key")?;
+        let JsonValue::Object(lints) = lints else {
+            return Err("\"lints\" must be an object".to_string());
+        };
+        let mut counts = BTreeMap::new();
+        for (lint, files) in lints {
+            let JsonValue::Object(files) = files else {
+                return Err(format!("lint {lint:?} must map files to counts"));
+            };
+            let mut by_file = BTreeMap::new();
+            for (file, n) in files {
+                let JsonValue::Number(n) = n else {
+                    return Err(format!("count for {file:?} must be a number"));
+                };
+                by_file.insert(file.clone(), *n);
+            }
+            counts.insert(lint.clone(), by_file);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Just enough JSON: objects, strings, and non-negative integers.
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Number(usize),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.pos,
+                self.chars.get(self.pos)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some('{') => self.object(),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.consume('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    if let Some(&e) = self.chars.get(self.pos) {
+                        self.pos += 1;
+                        out.push(e);
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let mut n = 0usize;
+        let mut any = false;
+        while let Some(c) = self.chars.get(self.pos).and_then(|c| c.to_digit(10)) {
+            n = n.saturating_mul(10).saturating_add(c as usize);
+            self.pos += 1;
+            any = true;
+        }
+        if any {
+            Ok(JsonValue::Number(n))
+        } else {
+            Err(format!("expected number at offset {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = vec![
+            finding("panic-surface", "a.rs", 1),
+            finding("panic-surface", "a.rs", 2),
+            finding("unordered-iteration", "b.rs", 3),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.to_json()).expect("roundtrip parse");
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.total("panic-surface"), 2);
+        assert_eq!(parsed.total("unordered-iteration"), 1);
+        assert_eq!(parsed.total("missing"), 0);
+    }
+
+    #[test]
+    fn ratchet_accepts_old_rejects_new() {
+        let old = vec![
+            finding("panic-surface", "a.rs", 1),
+            finding("panic-surface", "a.rs", 2),
+        ];
+        let base = Baseline::from_findings(&old);
+        // Same debt: clean.
+        let (reg, imp) = base.compare(&old);
+        assert!(reg.is_empty() && imp.is_empty());
+        // One fewer: improvement, not a failure.
+        let (reg, imp) = base.compare(&old[..1]);
+        assert!(reg.is_empty());
+        assert_eq!(imp.len(), 1);
+        assert_eq!(imp[0].current, 1);
+        // One more in the same file: regression.
+        let mut more = old.clone();
+        more.push(finding("panic-surface", "a.rs", 9));
+        let (reg, _) = base.compare(&more);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].current, 3);
+        // A new file regresses even if another file improved.
+        let shifted = vec![finding("panic-surface", "b.rs", 1)];
+        let (reg, imp) = base.compare(&shifted);
+        assert_eq!(reg.len(), 1, "debt must not migrate between files");
+        assert_eq!(reg[0].file, "b.rs");
+        assert_eq!(imp.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+        assert!(Baseline::parse("{\"lints\": {\"x\": 3}}").is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! A minimal Rust lexer — just enough fidelity to run syntactic lints.
+//!
+//! The goal is *not* to parse Rust. It is to turn source text into a token
+//! stream where string/char/comment contents can never be mistaken for
+//! code, with accurate line numbers for every token. That is the entire
+//! foundation the matchers in [`crate::scan`] need: everything else
+//! (test-span detection, type heuristics) is pattern matching over this
+//! stream.
+//!
+//! Handled faithfully: line and (nested) block comments, string literals
+//! with escapes, raw strings with any hash depth, byte/raw-byte strings,
+//! char literals vs. lifetimes, numeric literals including exponents, raw
+//! identifiers. Multi-character operators are joined only where a lint
+//! needs them as one token (`::`, `+=`, `->`, `=>`, `..`, comparison and
+//! boolean operators); shift operators are deliberately left split so
+//! generic argument lists like `Vec<Vec<u8>>` keep their closing angles.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the matchers don't distinguish).
+    Ident,
+    /// Punctuation / operator, possibly multi-character (`::`, `+=`).
+    Punct,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavor (escaped, raw, byte).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (doc comments included). Text keeps the `//` prefix.
+    LineComment,
+    /// `/* … */` comment (nested comments folded into one token).
+    BlockComment,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the exact identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this token the exact punctuation `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Operators joined into a single token (longest match first).
+const JOINED: &[&str] = &[
+    "..=", "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||", "..",
+];
+
+/// Lex `src` into tokens. Never fails: unterminated literals are closed at
+/// end of input, and any byte the lexer does not recognize becomes a
+/// single-character `Punct`. Lints prefer a slightly lossy stream over
+/// refusing to analyze a file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.is_raw_string_start() => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    /// `r` followed by hashes must reach a quote to be a raw string;
+    /// otherwise it's a raw identifier like `r#try` or a plain ident.
+    fn is_raw_string_start(&self) -> bool {
+        let mut off = 1;
+        while self.peek(off) == Some('#') {
+            off += 1;
+        }
+        self.peek(off) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Skip the escaped char so `\"` can't close the string.
+                    self.bump();
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string, cursor on the first `#` or the quote: `r` (and `b`)
+    /// already consumed.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // Escaped char literal: `'\n'`, `'\\'`, `'\u{1f}'`.
+            Some('\\') => {
+                let mut text = String::from("\\");
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            // Plain char literal: exactly one char then a closing quote.
+            Some(c) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            // Lifetime: `'a`, `'static`, `'_`.
+            _ => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // `1e-3` / `1E+9`: a sign directly after the exponent
+                // marker belongs to the literal.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0b")
+                {
+                    if let Some(s) = self.bump() {
+                        text.push(s);
+                    }
+                }
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // Fractional part — but never eat `..` ranges or methods.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in JOINED {
+            if self
+                .chars
+                .get(self.pos..self.pos + op.len())
+                .is_some_and(|w| w.iter().collect::<String>() == **op)
+            {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "x.unwrap()"; y.unwrap()"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        let unwraps = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "unwrap")
+            .count();
+        assert_eq!(unwraps, 1, "only the real unwrap outside the string");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"a "quoted" b"#; x"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "a \"quoted\" b"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "code"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds(r"let c = 'x'; let e = '\n'; fn f<'a>(v: &'a str) {}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = kinds("1.5e-3 + 2..10 + 0x1f");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "2", "10", "0x1f"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn joined_operators() {
+        let toks = kinds("a += b; c::d(); e -> f");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "+="));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "::"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "->"));
+    }
+
+    #[test]
+    fn generics_keep_single_angles() {
+        let toks = kinds("Vec<Vec<u8>>");
+        let closes = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+            .count();
+        assert_eq!(closes, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,211 @@
+//! `lips-analyze` — the workspace determinism & panic-safety lint engine.
+//!
+//! PR 5 made the epoch pipeline bitwise deterministic at any thread count,
+//! but only *dynamic* checks (1-vs-4-thread proptests) enforced it. This
+//! crate enforces the same contracts *statically*: a hand-rolled lexer
+//! ([`lexer`]) feeds lightweight syntactic matchers ([`scan`]) that walk
+//! every workspace source file and report violations of the lint catalog
+//! ([`lints`]). Existing debt is pinned by a committed ratchet baseline
+//! ([`baseline`]); CI fails on any *new* finding.
+//!
+//! Findings are suppressible only by an in-source reviewed comment:
+//!
+//! ```text
+//! // lips-allow(wall-clock-in-solver): report field, never feeds results
+//! ```
+//!
+//! See `DESIGN.md` §3.12 for the catalog rationale and the ratchet
+//! workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use scan::{FieldTable, Finding};
+
+/// Engine-level failure (I/O, bad baseline, bad layout).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    Io(PathBuf, std::io::Error),
+    BadBaseline(PathBuf, String),
+    NoWorkspace(PathBuf),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            AnalyzeError::BadBaseline(p, e) => write!(f, "{}: {e}", p.display()),
+            AnalyzeError::NoWorkspace(p) => write!(
+                f,
+                "{}: not a workspace root (no Cargo.toml with crates/)",
+                p.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Everything one workspace sweep produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by valid `lips-allow` comments.
+    pub suppressed: Vec<Finding>,
+    /// Broken `lips-allow` comments: `(file, line, problem)`. These fail
+    /// even a ratchet check — a suppression must parse to count.
+    pub malformed_allows: Vec<(String, u32, String)>,
+    /// Valid allows that matched nothing: `(file, line, lint)`.
+    pub unused_allows: Vec<(String, u32, String)>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Unsuppressed finding count per lint, in catalog order.
+    pub fn counts_by_lint(&self) -> BTreeMap<&'static str, usize> {
+        let mut m: BTreeMap<&'static str, usize> =
+            lints::LINTS.iter().map(|l| (l.name, 0)).collect();
+        for f in &self.findings {
+            *m.entry(f.lint).or_default() += 1;
+        }
+        m
+    }
+}
+
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "analyze-baseline.json";
+
+/// The source roots a sweep covers, relative to the workspace root:
+/// `src/` of every crate under `crates/`, plus the root crate's `src/`.
+/// Integration tests, benches, examples, and the vendored shims are out
+/// of scope — the lints govern library code.
+fn source_files(root: &Path) -> Result<Vec<(String, PathBuf)>, AnalyzeError> {
+    let mut out: Vec<(String, PathBuf)> = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() || !root.join("Cargo.toml").is_file() {
+        return Err(AnalyzeError::NoWorkspace(root.to_path_buf()));
+    }
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in read_dir(&crates_dir)? {
+        if entry.is_dir() && entry.join("src").is_dir() {
+            crate_dirs.push(entry);
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        collect_rs(&dir.join("src"), &name, &mut out)?;
+    }
+    // The root `lips` crate.
+    if root.join("src").is_dir() {
+        collect_rs(&root.join("src"), "lips", &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read_dir(dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), AnalyzeError> {
+    for path in read_dir(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full two-pass sweep over the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    let files = source_files(root)?;
+
+    // Pass 1: workspace-wide field table, so cross-file field accesses
+    // resolve their declared types.
+    let mut table = FieldTable::default();
+    let mut sources: Vec<(String, String, String)> = Vec::new(); // (crate, rel, text)
+    for (crate_name, path) in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| AnalyzeError::Io(path.clone(), e))?;
+        scan::collect_fields(&text, &mut table);
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((crate_name.clone(), rel, text));
+    }
+    table.resolve_conflicts();
+
+    // Pass 2: lint every file against the combined tables.
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for (crate_name, rel, text) in &sources {
+        let fa = scan::analyze_source(crate_name, rel, text, &table);
+        report.findings.extend(fa.findings);
+        report.suppressed.extend(fa.suppressed);
+        report.malformed_allows.extend(
+            fa.malformed_allows
+                .into_iter()
+                .map(|(l, m)| (rel.clone(), l, m)),
+        );
+        report.unused_allows.extend(
+            fa.unused_allows
+                .into_iter()
+                .map(|(l, n)| (rel.clone(), l, n)),
+        );
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(report)
+}
+
+/// Load the committed baseline from `root`.
+pub fn load_baseline(root: &Path) -> Result<Baseline, AnalyzeError> {
+    let path = root.join(BASELINE_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| AnalyzeError::Io(path.clone(), e))?;
+    Baseline::parse(&text).map_err(|e| AnalyzeError::BadBaseline(path, e))
+}
+
+/// Locate the workspace root: `$LIPS_WORKSPACE_ROOT`, else walk up from
+/// `start` to the first directory holding both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Result<PathBuf, AnalyzeError> {
+    if let Ok(env_root) = std::env::var("LIPS_WORKSPACE_ROOT") {
+        return Ok(PathBuf::from(env_root));
+    }
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(AnalyzeError::NoWorkspace(start.to_path_buf()));
+        }
+    }
+}

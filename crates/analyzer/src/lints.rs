@@ -1,0 +1,137 @@
+//! The lint catalog: every rule `lips-analyze` enforces, with its scope.
+//!
+//! Each lint guards a repo invariant that the dynamic test suite can only
+//! sample. The determinism proptests compare 1-vs-4-thread runs on a
+//! handful of generated instances; these lints close the gap by rejecting
+//! the *syntactic shapes* that reintroduce nondeterminism or a panic
+//! surface, across every path in the workspace.
+
+/// Crate-kind classification used by lint scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// A library crate whose results must be reproducible and panic-free
+    /// (`lips-lp`, `lips-core`, `lips-sim`, …, and the root `lips` crate).
+    Library,
+    /// The benchmark/reporting harness (`lips-bench`): binaries that time
+    /// things and may panic on bad CLI input.
+    Bench,
+    /// The worker-pool crate (`lips-par`): the one place allowed to ask
+    /// for thread width and to define ordered folds.
+    Par,
+}
+
+/// Classify a workspace crate by name (the directory under `crates/`, or
+/// `lips` for the root `src/`).
+pub fn crate_kind(name: &str) -> CrateKind {
+    match name {
+        "bench" => CrateKind::Bench,
+        "par" => CrateKind::Par,
+        _ => CrateKind::Library,
+    }
+}
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct LintDef {
+    /// Stable name used in findings, baselines, and `lips-allow` comments.
+    pub name: &'static str,
+    /// One-line description for `lips-analyze lints`.
+    pub summary: &'static str,
+    /// Why the rule exists (printed by `lips-analyze lints`).
+    pub rationale: &'static str,
+    /// Whether the lint applies to files of this crate kind at all
+    /// (test code inside an in-scope crate is always exempt).
+    pub in_scope: fn(CrateKind) -> bool,
+}
+
+/// Iterating a `HashMap`/`HashSet` where the visit order can reach floats,
+/// emitted output, or scheduling tie-breaks.
+pub const UNORDERED_ITERATION: &str = "unordered-iteration";
+/// `Instant::now()` / `SystemTime::now()` on a solver path.
+pub const WALL_CLOCK_IN_SOLVER: &str = "wall-clock-in-solver";
+/// `+=` on a float accumulator inside a loop.
+pub const FLOAT_ACCUM_IN_LOOP: &str = "float-accum-in-loop";
+/// `available_parallelism` outside `lips-par`.
+pub const THREAD_WIDTH_DEPENDENCE: &str = "thread-width-dependence";
+/// `unwrap` / `expect` / `panic!` in library code.
+pub const PANIC_SURFACE: &str = "panic-surface";
+
+/// The full catalog, in reporting order.
+pub const LINTS: &[LintDef] = &[
+    LintDef {
+        name: UNORDERED_ITERATION,
+        summary: "iteration over a hash-ordered collection in library code",
+        rationale: "HashMap/HashSet visit order varies per process (SipHash keying), so any \
+                    float accumulation, emitted sequence, or tie-break it feeds differs run to \
+                    run. Use BTreeMap/BTreeSet or sort before iterating; point lookups are fine.",
+        in_scope: |k| k == CrateKind::Library || k == CrateKind::Par,
+    },
+    LintDef {
+        name: WALL_CLOCK_IN_SOLVER,
+        summary: "wall-clock read (Instant::now / SystemTime::now) on a solver path",
+        rationale: "Solver results must be a pure function of their inputs so epochs replay \
+                    bitwise. Timing belongs behind lips_lp::clock::Stopwatch, which deterministic \
+                    callers can zero out, or in the lips-bench harness.",
+        in_scope: |k| k == CrateKind::Library || k == CrateKind::Par,
+    },
+    LintDef {
+        name: FLOAT_ACCUM_IN_LOOP,
+        summary: "`+=` on a float accumulator inside a loop",
+        rationale: "Float addition is non-associative: the same terms in a different order give \
+                    different bits. Accumulation is only reproducible when the iteration order \
+                    is fixed — over sorted keys or through lips-par's ordered chunk folds. \
+                    Existing serial accumulations are tracked as ratcheted debt.",
+        in_scope: |k| k == CrateKind::Library,
+    },
+    LintDef {
+        name: THREAD_WIDTH_DEPENDENCE,
+        summary: "thread-width query (available_parallelism) outside lips-par",
+        rationale: "Results must not depend on how many cores the host has. lips-par owns the \
+                    width decision and keeps results bitwise identical at any width; everyone \
+                    else must stay width-blind.",
+        in_scope: |k| k != CrateKind::Par,
+    },
+    LintDef {
+        name: PANIC_SURFACE,
+        summary: "unwrap / expect / panic! in library code",
+        rationale: "Library crates feed a long-running scheduler; a panic tears down the whole \
+                    epoch loop. Fallible paths should return typed errors. Existing debt is \
+                    ratcheted downward release by release.",
+        in_scope: |k| k == CrateKind::Library || k == CrateKind::Par,
+    },
+];
+
+/// Look up a lint by name.
+pub fn lint_by_name(name: &str) -> Option<&'static LintDef> {
+    LINTS.iter().find(|l| l.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        for (i, l) in LINTS.iter().enumerate() {
+            assert!(lint_by_name(l.name).is_some());
+            assert!(!LINTS[i + 1..].iter().any(|o| o.name == l.name));
+        }
+    }
+
+    #[test]
+    fn scopes_match_the_contract() {
+        let find = |n| lint_by_name(n).expect("known lint");
+        // Bench may time and panic, but must stay width-blind.
+        assert!(!(find(WALL_CLOCK_IN_SOLVER).in_scope)(CrateKind::Bench));
+        assert!(!(find(PANIC_SURFACE).in_scope)(CrateKind::Bench));
+        assert!((find(THREAD_WIDTH_DEPENDENCE).in_scope)(CrateKind::Bench));
+        // lips-par owns width and ordered folds.
+        assert!(!(find(THREAD_WIDTH_DEPENDENCE).in_scope)(CrateKind::Par));
+        assert!(!(find(FLOAT_ACCUM_IN_LOOP).in_scope)(CrateKind::Par));
+        assert!((find(UNORDERED_ITERATION).in_scope)(CrateKind::Par));
+        // Libraries get everything.
+        for l in LINTS {
+            assert!((l.in_scope)(CrateKind::Library), "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! lips-analyze check                # strict: any unsuppressed finding fails
+//! lips-analyze check --ratchet      # fail only on findings beyond the baseline
+//! lips-analyze baseline             # rewrite analyze-baseline.json from HEAD
+//! lips-analyze lints                # print the lint catalog
+//! ```
+//!
+//! Exit codes: 0 clean / ratchet holds, 1 findings / ratchet broken,
+//! 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lips_analyze::{analyze_workspace, find_root, lints, load_baseline, Baseline, BASELINE_FILE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut ratchet = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "baseline" | "lints" if cmd.is_none() => cmd = Some(a.as_str()),
+            "--ratchet" => ratchet = true,
+            "--quiet" => quiet = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unrecognized argument `{other}`")),
+        }
+    }
+
+    let Some(cmd) = cmd else {
+        return usage("expected a command: check | baseline | lints");
+    };
+
+    if cmd == "lints" {
+        print_catalog();
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match locate_root(root_arg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lips-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lips-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd {
+        "baseline" => {
+            let base = Baseline::from_findings(&report.findings);
+            let path = root.join(BASELINE_FILE);
+            if let Err(e) = std::fs::write(&path, base.to_json()) {
+                eprintln!("lips-analyze: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} ({} findings across {} files scanned)",
+                path.display(),
+                report.findings.len(),
+                report.files_scanned
+            );
+            summarize(&report, quiet);
+            ExitCode::SUCCESS
+        }
+        "check" => run_check(&root, &report, ratchet, quiet),
+        _ => usage("unreachable command"),
+    }
+}
+
+fn run_check(root: &Path, report: &lips_analyze::Report, ratchet: bool, quiet: bool) -> ExitCode {
+    let mut failed = false;
+
+    // Malformed allows always fail: a suppression must parse to count.
+    for (file, line, msg) in &report.malformed_allows {
+        eprintln!("{file}:{line}: [malformed-allow] {msg}");
+        failed = true;
+    }
+
+    if ratchet {
+        let base = match load_baseline(root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lips-analyze: {e} (run `lips-analyze baseline` to create it)");
+                return ExitCode::from(2);
+            }
+        };
+        let (regressions, improvements) = base.compare(&report.findings);
+        for r in &regressions {
+            failed = true;
+            eprintln!(
+                "ratchet broken: [{}] {} has {} findings (baseline {})",
+                r.lint, r.file, r.current, r.baseline
+            );
+            // Show the offending lines to make the failure actionable.
+            for f in report
+                .findings
+                .iter()
+                .filter(|f| f.lint == r.lint && f.file == r.file)
+            {
+                eprintln!("  {f}");
+            }
+        }
+        if !quiet && !improvements.is_empty() {
+            let saved: usize = improvements.iter().map(|i| i.baseline - i.current).sum();
+            println!(
+                "{saved} finding(s) below baseline across {} file(s) — `lips-analyze baseline` to re-tighten",
+                improvements.len()
+            );
+        }
+    } else {
+        for f in &report.findings {
+            eprintln!("{f}");
+            failed = true;
+        }
+    }
+
+    summarize(report, quiet);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn summarize(report: &lips_analyze::Report, quiet: bool) {
+    if quiet {
+        return;
+    }
+    println!(
+        "scanned {} files: {} finding(s), {} suppressed by lips-allow",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    for (lint, count) in report.counts_by_lint() {
+        let suppressed = report.suppressed.iter().filter(|f| f.lint == lint).count();
+        println!("  {lint:<24} {count:>4} open  {suppressed:>4} allowed");
+    }
+    for (file, line, lint) in &report.unused_allows {
+        println!("note: {file}:{line}: unused lips-allow({lint}) — remove it");
+    }
+}
+
+fn print_catalog() {
+    println!("lint catalog ({} rules):\n", lints::LINTS.len());
+    for l in lints::LINTS {
+        println!("{}\n  {}\n  why: {}\n", l.name, l.summary, l.rationale);
+    }
+    println!("suppress with: // lips-allow(<lint>): <reason>");
+}
+
+fn locate_root(arg: Option<PathBuf>) -> Result<PathBuf, lips_analyze::AnalyzeError> {
+    if let Some(r) = arg {
+        return Ok(r);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    find_root(&cwd).or_else(|e| {
+        // Under `cargo run -p lips-analyze` the manifest dir is
+        // crates/analyzer; its workspace root is two levels up.
+        match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(m) => find_root(Path::new(&m)),
+            Err(_) => Err(e),
+        }
+    })
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "lips-analyze: {problem}\n\n\
+         usage: lips-analyze <check [--ratchet] | baseline | lints> [--root <dir>] [--quiet]"
+    );
+    ExitCode::from(2)
+}

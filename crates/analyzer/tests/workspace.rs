@@ -1,0 +1,94 @@
+//! Self-check: the committed workspace passes its own lint gate.
+//!
+//! These tests are the teeth of the ratchet — they run in plain
+//! `cargo test`, so a change that introduces new hash-iteration, raw
+//! solver timing, or extra panic surface fails the ordinary test suite,
+//! not just the dedicated CI job.
+
+use std::path::{Path, PathBuf};
+
+use lips_analyze::{analyze_workspace, lints, load_baseline};
+
+fn workspace_root() -> PathBuf {
+    // crates/analyzer -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_tree_passes_ratchet() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace sweep");
+    assert!(report.files_scanned > 50, "sweep saw the whole workspace");
+
+    assert!(
+        report.malformed_allows.is_empty(),
+        "malformed lips-allow comments: {:?}",
+        report.malformed_allows
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale lips-allow comments: {:?}",
+        report.unused_allows
+    );
+
+    let baseline = load_baseline(&root).expect("analyze-baseline.json parses");
+    let (regressions, _improvements) = baseline.compare(&report.findings);
+    assert!(
+        regressions.is_empty(),
+        "ratchet broken — new findings beyond the committed baseline:\n{}",
+        regressions
+            .iter()
+            .map(|r| format!(
+                "  [{}] {}: {} (baseline {})",
+                r.lint, r.file, r.current, r.baseline
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn hard_lints_are_clean() {
+    // Two lints are held at zero, not merely ratcheted: every iteration
+    // over a hash-ordered collection and every raw solver clock read has
+    // been fixed or carries a reviewed lips-allow.
+    let report = analyze_workspace(&workspace_root()).expect("workspace sweep");
+    let counts = report.counts_by_lint();
+    assert_eq!(
+        counts[lints::UNORDERED_ITERATION],
+        0,
+        "unordered iteration crept back in: {:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.lint == lints::UNORDERED_ITERATION)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        counts[lints::WALL_CLOCK_IN_SOLVER],
+        0,
+        "raw wall-clock read on a solver path: {:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.lint == lints::WALL_CLOCK_IN_SOLVER)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn baseline_totals_match_catalog() {
+    // The committed baseline only names lints that exist in the catalog
+    // (a typo in a hand-edited baseline would silently ratchet nothing).
+    let baseline = load_baseline(&workspace_root()).expect("baseline parses");
+    for lint in baseline.counts.keys() {
+        assert!(
+            lints::lint_by_name(lint).is_some(),
+            "baseline names unknown lint {lint:?}"
+        );
+    }
+}

@@ -466,6 +466,11 @@ pub fn certify_restricted(
     certify_restricted_with(Pool::serial(), master, sol, excluded)
 }
 
+/// Per chunk: the worst normalized reduced-cost violation and the global
+/// index of the column attaining it (first of ties), or the dimension
+/// error for an out-of-range row reference.
+type PriceResult = Result<(f64, Option<usize>), CertifyError>;
+
 /// [`certify_restricted`] with the master's KKT passes *and* the
 /// excluded-column re-pricing split across `pool`'s workers.
 ///
@@ -498,10 +503,6 @@ pub fn certify_restricted_with(
     }
     let cost_scale = 1.0 + max_cost;
 
-    // Per chunk: the worst normalized reduced-cost violation and the global
-    // index of the column attaining it (first of ties), or the dimension
-    // error for an out-of-range row reference.
-    type PriceResult = Result<(f64, Option<usize>), CertifyError>;
     let price_chunk = |_chunk: usize, off: usize, cols: &[ExcludedColumn]| -> PriceResult {
         let mut worst = 0.0f64;
         let mut worst_idx = None;

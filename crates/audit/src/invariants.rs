@@ -19,7 +19,7 @@
 //!
 //! Violations are reported as [`Lint`]s with [`Rule::PaperInvariant`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_cluster::{MachineId, StoreId};
 use lips_lp::{Cmp, ConstraintId, Model, VarId};
@@ -146,14 +146,14 @@ pub fn audit_paper_invariants(
 ) -> Vec<Lint> {
     let mut out = Vec::new();
 
-    let var_kinds: HashMap<usize, VarKind> =
+    let var_kinds: BTreeMap<usize, VarKind> =
         ann.vars.iter().map(|&(v, k)| (v.index(), k)).collect();
 
     // Partition annotated variables by job.
-    let mut assigns_of_job: HashMap<usize, Vec<VarId>> = HashMap::new();
-    let mut copies_to: HashMap<(usize, StoreId), Vec<VarId>> = HashMap::new();
-    let mut fake_of_job: HashMap<usize, VarId> = HashMap::new();
-    let mut stores_of_job: HashMap<usize, Vec<StoreId>> = HashMap::new();
+    let mut assigns_of_job: BTreeMap<usize, Vec<VarId>> = BTreeMap::new();
+    let mut copies_to: BTreeMap<(usize, StoreId), Vec<VarId>> = BTreeMap::new();
+    let mut fake_of_job: BTreeMap<usize, VarId> = BTreeMap::new();
+    let mut stores_of_job: BTreeMap<usize, Vec<StoreId>> = BTreeMap::new();
     for &(v, kind) in &ann.vars {
         match kind {
             VarKind::Assign { job, store, .. } => {
@@ -175,7 +175,7 @@ pub fn audit_paper_invariants(
     }
 
     // --- eq. 20: coverage ----------------------------------------------
-    let mut coverage_of_job: HashMap<usize, ConstraintId> = HashMap::new();
+    let mut coverage_of_job: BTreeMap<usize, ConstraintId> = BTreeMap::new();
     for &(c, kind) in &ann.rows {
         if let RowKind::Coverage { job } = kind {
             if coverage_of_job.insert(job, c).is_some() {
@@ -239,7 +239,7 @@ pub fn audit_paper_invariants(
     }
 
     // --- eq. 24: linking -----------------------------------------------
-    let mut linking_of: HashMap<(usize, StoreId), ConstraintId> = HashMap::new();
+    let mut linking_of: BTreeMap<(usize, StoreId), ConstraintId> = BTreeMap::new();
     for &(c, kind) in &ann.rows {
         if let RowKind::Linking { job, store } = kind {
             linking_of.insert((job, store), c);
@@ -298,10 +298,10 @@ pub fn audit_paper_invariants(
     }
 
     // --- eqs. 23/21/22: capacity rows match the cluster matrices ---------
-    let cpu_rhs: HashMap<MachineId, f64> = expect.cpu_capacity.iter().copied().collect();
-    let transfer_rhs: HashMap<MachineId, f64> = expect.transfer_budget.iter().copied().collect();
-    let bw: HashMap<(MachineId, StoreId), f64> = expect.bandwidth.iter().copied().collect();
-    let store_rhs: HashMap<StoreId, f64> = expect.store_free_mb.iter().copied().collect();
+    let cpu_rhs: BTreeMap<MachineId, f64> = expect.cpu_capacity.iter().copied().collect();
+    let transfer_rhs: BTreeMap<MachineId, f64> = expect.transfer_budget.iter().copied().collect();
+    let bw: BTreeMap<(MachineId, StoreId), f64> = expect.bandwidth.iter().copied().collect();
+    let store_rhs: BTreeMap<StoreId, f64> = expect.store_free_mb.iter().copied().collect();
 
     for &(c, kind) in &ann.rows {
         match kind {
@@ -429,7 +429,7 @@ pub fn audit_paper_invariants(
     // --- fake node -------------------------------------------------------
     if expect.fake_enabled {
         // Column membership: which rows touch each fake var.
-        let mut rows_touching: HashMap<usize, Vec<ConstraintId>> = HashMap::new();
+        let mut rows_touching: BTreeMap<usize, Vec<ConstraintId>> = BTreeMap::new();
         for c in model.constraint_ids() {
             for (v, coef) in model.constraint_terms(c) {
                 if coef != 0.0 {
@@ -462,7 +462,7 @@ pub fn audit_paper_invariants(
             // Price domination: deferring must never be cheaper than any
             // real assignment.
             let fake_price = model.var_obj(f);
-            for &v in assigns_of_job.get(&job).map(Vec::as_slice).unwrap_or(&[]) {
+            for &v in assigns_of_job.get(&job).map_or(&[][..], Vec::as_slice) {
                 if fake_price <= model.var_obj(v) {
                     out.push(err(
                         format!("var {}", model.var_name(f)),

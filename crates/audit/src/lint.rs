@@ -3,7 +3,7 @@
 //! bad scaling) or only discover the expensive way (bound-infeasible rows,
 //! unbounded cost directions).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_lp::{Cmp, Model, Sense};
 
@@ -155,7 +155,7 @@ fn unused_variables(model: &Model, out: &mut Vec<Lint>) {
 
 fn duplicate_terms(model: &Model, out: &mut Vec<Lint>) {
     for c in model.constraint_ids() {
-        let mut seen: HashMap<usize, usize> = HashMap::new();
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
         for (v, _) in model.constraint_terms(c) {
             *seen.entry(v.index()).or_insert(0) += 1;
         }
@@ -179,7 +179,7 @@ fn duplicate_terms(model: &Model, out: &mut Vec<Lint>) {
 /// Canonical form of a row's lhs: duplicates summed, zeros dropped, sorted
 /// by variable index.
 fn canonical_terms(model: &Model, c: lips_lp::ConstraintId) -> Vec<(usize, f64)> {
-    let mut sums: HashMap<usize, f64> = HashMap::new();
+    let mut sums: BTreeMap<usize, f64> = BTreeMap::new();
     for (v, coef) in model.constraint_terms(c) {
         *sums.entry(v.index()).or_insert(0.0) += coef;
     }
@@ -191,7 +191,7 @@ fn canonical_terms(model: &Model, c: lips_lp::ConstraintId) -> Vec<(usize, f64)>
 fn conflicting_eq_rows(model: &Model, out: &mut Vec<Lint>) {
     // Group Eq rows by their canonical lhs (bit-exact coefficient match;
     // near-parallel rows are a scaling question, not this rule's).
-    let mut groups: HashMap<Vec<(usize, u64)>, Vec<lips_lp::ConstraintId>> = HashMap::new();
+    let mut groups: BTreeMap<Vec<(usize, u64)>, Vec<lips_lp::ConstraintId>> = BTreeMap::new();
     for c in model.constraint_ids() {
         if model.constraint_cmp(c) != Cmp::Eq {
             continue;

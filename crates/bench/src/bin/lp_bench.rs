@@ -77,6 +77,7 @@ fn main() {
     let with_colgen = args.iter().any(|a| a == "--colgen");
     let with_faults = args.iter().any(|a| a == "--faults");
     let with_scaling = args.iter().any(|a| a == "--scaling");
+    // lips-allow(thread-width-dependence): reported in the bench header only; never feeds results
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
 
     let cluster = large_cluster();

@@ -80,9 +80,8 @@ impl Scheduler for DelayScheduler {
                     }];
                 }
                 let data = job.data.unwrap();
-                let local_unread = own_store
-                    .map(|s| self.ledger.unread(ctx.placement, data, s))
-                    .unwrap_or(0.0);
+                let local_unread =
+                    own_store.map_or(0.0, |s| self.ledger.unread(ctx.placement, data, s));
                 if local_unread > lips_sim::WORK_EPS {
                     let store = own_store.unwrap();
                     let mb = chunk_mb(job, local_unread);

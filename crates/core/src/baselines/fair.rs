@@ -27,7 +27,7 @@ impl Scheduler for FairScheduler {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> Vec<Action> {
         // Running chunks per pool = the pool's current share.
         let mut running_per_pool: HashMap<&str, usize> = HashMap::new();
-        for j in ctx.queue.iter() {
+        for j in ctx.queue {
             *running_per_pool.entry(j.pool.as_str()).or_default() += j.running_chunks;
         }
         // Candidate jobs ordered by (pool share asc, arrival, id): the most

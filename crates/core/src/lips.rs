@@ -15,7 +15,7 @@
 //! let the LP concentrate work on the cheapest nodes; shorter epochs force
 //! parallelism.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_cluster::{DataId, StoreId};
 use lips_lp::{WarmOutcome, WarmStart};
@@ -150,7 +150,7 @@ pub struct LipsScheduler {
     /// the engine's read ledger at every decision point when the context
     /// provides one, so chunk kills (fault revocations) refund reads here
     /// too and the restored work can actually re-read its data.
-    issued: HashMap<(DataId, StoreId), f64>,
+    issued: BTreeMap<(DataId, StoreId), f64>,
     solves: usize,
     lp_failures: usize,
     /// Optimal basis of the previous epoch's LP, reused to warm-start the
@@ -178,7 +178,7 @@ impl LipsScheduler {
     pub fn new(config: LipsConfig) -> Self {
         LipsScheduler {
             config,
-            issued: HashMap::new(),
+            issued: BTreeMap::new(),
             solves: 0,
             lp_failures: 0,
             basis: None,
@@ -385,7 +385,7 @@ impl LipsScheduler {
         if self.config.fairness <= 0.0 {
             return Vec::new();
         }
-        let mut pools: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut pools: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (k, job) in jobs.iter().enumerate() {
             if let Some(pj) = ctx.queue.iter().find(|j| j.id == job.id) {
                 pools.entry(pj.pool.as_str()).or_default().push(k);
@@ -432,7 +432,9 @@ impl LipsScheduler {
             return vec![];
         };
         if job.remaining_mb > WORK_EPS {
-            let d = job.data.unwrap();
+            // Jobs with remaining MB always carry a data id; degrade to
+            // "no action this epoch" instead of panicking if not.
+            let Some(d) = job.data else { return vec![] };
             let source = ctx
                 .placement
                 .stores_of(d)
@@ -522,7 +524,7 @@ impl Scheduler for LipsScheduler {
         // Track how much will be present at each (data, store) after the
         // planned moves, so chunk emission can honour constraint (13)
         // (each entry starts from the *unread* amount).
-        let mut budget: HashMap<(DataId, StoreId), f64> = HashMap::new();
+        let mut budget: BTreeMap<(DataId, StoreId), f64> = BTreeMap::new();
         let budget_of =
             |this: &Self, data: DataId, store: StoreId| -> f64 { this.unread(ctx, data, store) };
 
@@ -554,7 +556,9 @@ impl Scheduler for LipsScheduler {
             };
             match source {
                 Some(store) => {
-                    let data = pj.data.expect("data job");
+                    // A sourced assignment for a dataless job cannot be
+                    // emitted by the builder; skip rather than panic.
+                    let Some(data) = pj.data else { continue };
                     let want = frac * pj.remaining_mb;
                     let cap = *budget
                         .entry((data, store))
@@ -566,7 +570,9 @@ impl Scheduler for LipsScheduler {
                     if total < min_mb && total < pj.remaining_mb - WORK_EPS {
                         continue;
                     }
-                    *budget.get_mut(&(data, store)).unwrap() -= total;
+                    if let Some(b) = budget.get_mut(&(data, store)) {
+                        *b -= total;
+                    }
                     *self.issued.entry((data, store)).or_default() += total;
                     while total > WORK_EPS {
                         let mb = total.min(pj.task_mb);

@@ -36,7 +36,7 @@
 //!   defers its placement too (strictly cheaper, same deployment
 //!   behaviour).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_audit::{Certificate, ModelAnnotations, PaperExpectations, RowKind, VarKind};
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
@@ -116,7 +116,7 @@ pub struct FractionalSchedule {
     /// Planned copies: `(data, source store, dest store, MB)`.
     pub moves: Vec<(DataId, StoreId, StoreId, f64)>,
     /// Fraction of each job deferred to the fake node.
-    pub deferred: HashMap<JobId, f64>,
+    pub deferred: BTreeMap<JobId, f64>,
     /// LP objective: predicted dollars for the scheduled (non-deferred)
     /// work, *excluding* the fake node's fictitious charge.
     pub predicted_dollars: f64,
@@ -144,9 +144,9 @@ struct NdVar {
 /// Internal handle map from LP variables back to schedule entities.
 struct VarMaps {
     // (job idx, machine, store) -> var
-    xt: HashMap<(usize, MachineId, Option<StoreId>), VarId>,
+    xt: BTreeMap<(usize, MachineId, Option<StoreId>), VarId>,
     nd: Vec<NdVar>,
-    fake: HashMap<usize, VarId>,
+    fake: BTreeMap<usize, VarId>,
     /// CPU-capacity constraint per machine (constraint (23)/(12)).
     capacity_rows: Vec<(MachineId, lips_lp::ConstraintId)>,
     /// Row/column annotations for `lips-audit`'s paper-invariant pass.
@@ -291,11 +291,11 @@ struct RowIds {
     /// Coverage row (20) per job index.
     cov: Vec<lips_lp::ConstraintId>,
     /// Linking row (24) per (job index, store).
-    lnk: HashMap<(usize, StoreId), lips_lp::ConstraintId>,
+    lnk: BTreeMap<(usize, StoreId), lips_lp::ConstraintId>,
     /// CPU-capacity row (23) per machine.
-    cpu: HashMap<MachineId, lips_lp::ConstraintId>,
+    cpu: BTreeMap<MachineId, lips_lp::ConstraintId>,
     /// Transfer-time row (21) per machine.
-    xfer: HashMap<MachineId, lips_lp::ConstraintId>,
+    xfer: BTreeMap<MachineId, lips_lp::ConstraintId>,
     /// Pool-floor rows each job participates in.
     job_pools: Vec<Vec<lips_lp::ConstraintId>>,
 }
@@ -352,19 +352,23 @@ struct JobRowPlan {
 /// argument row-for-row. (Rows whose full-model terms would all be
 /// excluded are still emitted, merely empty for now; their slack stays
 /// basic at zero cost.)
+/// Per machine: optional CPU-capacity row terms and optional read-budget
+/// row terms, built in parallel and attached to the model in machine order.
+type MachineRowPlan = (Option<Vec<(VarId, f64)>>, Option<Vec<(VarId, f64)>>);
+
 fn build_filtered(
     inst: &LpInstance<'_>,
     job_machines: &[Vec<MachineId>],
     job_stores: &[Vec<StoreId>],
-    active: Option<&std::collections::HashSet<String>>,
+    active: Option<&std::collections::BTreeSet<String>>,
     pool: Pool,
 ) -> (Model, VarMaps, RowIds) {
     let cluster = inst.cluster;
     let mut model = Model::minimize();
     let mut maps = VarMaps {
-        xt: HashMap::new(),
+        xt: BTreeMap::new(),
         nd: Vec::new(),
-        fake: HashMap::new(),
+        fake: BTreeMap::new(),
         capacity_rows: Vec::new(),
         ann: ModelAnnotations::default(),
     };
@@ -402,7 +406,7 @@ fn build_filtered(
                 }
             }
             if inst.allow_moves {
-                let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
+                let avail: BTreeMap<StoreId, f64> = job.avail.iter().copied().collect();
                 for &m in &job_stores[k] {
                     // A store already holding everything needs no copies.
                     if avail.get(&m).copied().unwrap_or(0.0) >= 1.0 {
@@ -527,7 +531,7 @@ fn build_filtered(
         }
         let mut lnk = Vec::new();
         if job.size_mb > 0.0 {
-            let avail: HashMap<StoreId, f64> = job.avail.iter().copied().collect();
+            let avail: BTreeMap<StoreId, f64> = job.avail.iter().copied().collect();
             for &m in &job_stores[k] {
                 let mut terms: Vec<(VarId, f64)> = job_machines[k]
                     .iter()
@@ -562,7 +566,6 @@ fn build_filtered(
 
     // (23)/(12): machine CPU capacity.
     // (21): per-machine read-time budget (aggregated across jobs/slots).
-    type MachineRowPlan = (Option<Vec<(VarId, f64)>>, Option<Vec<(VarId, f64)>>);
     let machine_ids: Vec<MachineId> = cluster.machines.iter().map(|m| m.id).collect();
     let machine_plans: Vec<MachineRowPlan> = pool.par_map(&machine_ids, |_, &mid| {
         let mut cpu_terms: Vec<(VarId, f64)> = Vec::new();
@@ -671,16 +674,14 @@ fn build_filtered(
                 .copied()
                 .unwrap_or_else(|| cluster.store(s).capacity_mb)
         };
-        let mut per_store: HashMap<StoreId, Vec<(VarId, f64)>> = HashMap::new();
+        let mut per_store: BTreeMap<StoreId, Vec<(VarId, f64)>> = BTreeMap::new();
         for nd in &maps.nd {
             per_store
                 .entry(nd.dest)
                 .or_default()
                 .push((nd.var, inst.jobs[nd.job].size_mb));
         }
-        let mut stores: Vec<_> = per_store.into_iter().collect();
-        stores.sort_by_key(|(s, _)| *s);
-        for (s, terms) in stores {
+        for (s, terms) in per_store {
             let row = model.add_constraint(terms, Cmp::Le, free(s).max(0.0));
             model.name_constraint(row, format!("store_{}", s.0));
             maps.ann.annotate_row(row, RowKind::StoreCap { store: s });
@@ -1060,7 +1061,7 @@ impl Default for ColGenOptions {
 /// keep denoting the same `(job, machine, store)` arc across epochs.
 #[derive(Debug, Clone, Default)]
 pub struct ColGenState {
-    active: std::collections::HashSet<String>,
+    active: std::collections::BTreeSet<String>,
     basis: WarmStart,
 }
 
@@ -1092,7 +1093,7 @@ impl ColGenState {
 }
 
 /// Machines currently revoked (zero throughput) in `cluster`, by index.
-fn dead_machines(cluster: &Cluster) -> std::collections::HashSet<usize> {
+fn dead_machines(cluster: &Cluster) -> std::collections::BTreeSet<usize> {
     cluster
         .machines
         .iter()
@@ -1106,7 +1107,7 @@ fn dead_machines(cluster: &Cluster) -> std::collections::HashSet<usize> {
 /// per-machine rows are `cpu_{machine}` and `xfer_{machine}`. Every other
 /// name family (`nd_*`, `fake_*`, `cov_*`, `lnk_*`, `pool_*`, `store_*`)
 /// is machine-free and survives a revocation untouched.
-fn name_references_machine(name: &str, dead: &std::collections::HashSet<usize>) -> bool {
+fn name_references_machine(name: &str, dead: &std::collections::BTreeSet<usize>) -> bool {
     let mut parts = name.split('_');
     match parts.next() {
         // Skip the job id; the next segment is the machine.
@@ -1171,10 +1172,6 @@ pub struct ColGenOutcome {
     pub stats: ColGenStats,
 }
 
-fn ms_since(t: std::time::Instant) -> f64 {
-    t.elapsed().as_secs_f64() * 1e3
-}
-
 /// The column-generation engine behind [`EpochSolver::colgen`]: solve
 /// `inst` by delayed column generation over a restricted master.
 ///
@@ -1200,16 +1197,16 @@ fn colgen_run(
     pivot_budget: Option<usize>,
     pool: Pool,
 ) -> Result<ColGenOutcome, EpochSolveError> {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
-    let t_build = std::time::Instant::now();
+    let t_build = lips_lp::clock::Stopwatch::start();
     let (job_machines, job_stores) = candidates(inst);
     let arcs = enumerate_arcs(inst, &job_machines, &job_stores);
 
     // --- seed the active set -------------------------------------------
-    let mut active: HashSet<String> = HashSet::new();
+    let mut active: BTreeSet<String> = BTreeSet::new();
     {
-        let mut by_job: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut by_job: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, a) in arcs.iter().enumerate() {
             by_job.entry(a.k).or_default().push(i);
         }
@@ -1226,7 +1223,7 @@ fn colgen_run(
         }
     }
     if let Some(p) = prior {
-        let known: HashSet<&str> = arcs.iter().map(|a| a.name.as_str()).collect();
+        let known: BTreeSet<&str> = arcs.iter().map(|a| a.name.as_str()).collect();
         for name in &p.active {
             if known.contains(name.as_str()) {
                 active.insert(name.clone());
@@ -1236,7 +1233,7 @@ fn colgen_run(
 
     let (mut model, mut maps, rows) =
         build_filtered(inst, &job_machines, &job_stores, Some(&active), pool);
-    let mut build_ms = ms_since(t_build);
+    let mut build_ms = t_build.elapsed_ms();
 
     // Column of one arc in the master's rows, written into a reusable
     // buffer — must mirror the builder's coefficients exactly (same
@@ -1293,13 +1290,13 @@ fn colgen_run(
                 // The *restriction* may be infeasible even when the
                 // instance is not: append everything and match `solve`'s
                 // feasibility semantics exactly.
-                let t = std::time::Instant::now();
+                let t = lips_lp::clock::Stopwatch::start();
                 for a in arcs.iter().filter(|a| !active.contains(&a.name)) {
                     append_arc(&mut model, &mut maps, a);
                     stats.appended += 1;
                 }
                 active.extend(arcs.iter().map(|a| a.name.clone()));
-                build_ms += ms_since(t);
+                build_ms += t.elapsed_ms();
                 continue;
             }
             Err(e) => return Err(e.into()),
@@ -1312,9 +1309,10 @@ fn colgen_run(
         agg.solve_ms += s.solve_ms;
         first_warm.get_or_insert(s.warm);
 
-        let pricer =
-            lips_lp::ColumnPricer::new(&model, &sol).expect("revised simplex always reports duals");
-        let t = std::time::Instant::now();
+        let pricer = lips_lp::ColumnPricer::new(&model, &sol).map_err(|e| {
+            EpochSolveError::Certification(format!("master solution unusable for pricing: {e}"))
+        })?;
+        let t = lips_lp::clock::Stopwatch::start();
         // Price every excluded arc across the pool's workers; the batch
         // returns ascending candidate indices, so `entering` is in arc
         // enumeration order at any thread count.
@@ -1328,7 +1326,7 @@ fn colgen_run(
             .map(|i| candidates[i])
             .collect();
         if entering.is_empty() {
-            build_ms += ms_since(t);
+            build_ms += t.elapsed_ms();
             break sol;
         }
         if stats.rounds >= opts.max_rounds {
@@ -1340,7 +1338,7 @@ fn colgen_run(
             active.insert(a.name.clone());
             stats.appended += 1;
         }
-        build_ms += ms_since(t);
+        build_ms += t.elapsed_ms();
         warm = sol.warm_start().cloned();
     };
 
@@ -1384,7 +1382,7 @@ fn colgen_run(
     // Carry only the columns that mattered at the optimum (basic or at a
     // nonzero value): the master stays lean across epochs instead of
     // monotonically accreting every column that ever priced in.
-    let surviving: HashSet<String> = maps
+    let surviving: BTreeSet<String> = maps
         .xt
         .values()
         .filter_map(|&v| {
@@ -1424,7 +1422,8 @@ fn decode(inst: &LpInstance<'_>, maps: &VarMaps, sol: &lips_lp::Solution) -> Fra
             assignments.push((inst.jobs[k].id, l, m, frac));
         }
     }
-    // Deterministic ordering (HashMap iteration is not).
+    // Map order is (job index, machine, store); re-sort by JobId, which
+    // need not be monotone in the index.
     assignments.sort_by(|a, b| (a.0, a.1, a.2.map(|s| s.0)).cmp(&(b.0, b.1, b.2.map(|s| s.0))));
 
     let mut moves = Vec::new();
@@ -1448,13 +1447,15 @@ fn decode(inst: &LpInstance<'_>, maps: &VarMaps, sol: &lips_lp::Solution) -> Fra
     }
     moves.sort_by_key(|a| (a.0, a.1, a.2));
 
-    let mut deferred = HashMap::new();
+    let mut deferred = BTreeMap::new();
     let mut fake_dollars = 0.0;
     for (&k, &v) in &maps.fake {
         let frac = sol.value_of(v);
         if frac > eps {
             deferred.insert(inst.jobs[k].id, frac);
-            fake_dollars += frac * inst.jobs[k].work_ecu().max(1e-9) * inst.fake_cost.unwrap();
+            // Fake vars exist only when the instance set a fake cost.
+            fake_dollars +=
+                frac * inst.jobs[k].work_ecu().max(1e-9) * inst.fake_cost.unwrap_or(0.0);
         }
     }
 

@@ -131,12 +131,10 @@ impl CostAwareTargetChooser {
         let cpu = cluster
             .store(s)
             .colocated
-            .map(|m| cluster.machine(m).cpu_cost)
-            .unwrap_or_else(|| cluster.max_cpu_cost());
+            .map_or_else(|| cluster.max_cpu_cost(), |m| cluster.machine(m).cpu_cost);
         let transfer = writer
             .and_then(|w| cluster.store_of_machine(w))
-            .map(|from| cluster.ss_cost(from, s))
-            .unwrap_or(0.0);
+            .map_or(0.0, |from| cluster.ss_cost(from, s));
         self.tcp_hint * cpu + transfer
     }
 }

@@ -1,7 +1,7 @@
 //! The NameNode: block map, replica locations, capacity accounting, and
 //! re-replication.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_cluster::{Cluster, DataId, MachineId, StoreId, BLOCK_MB};
 use lips_sim::Placement;
@@ -37,13 +37,13 @@ impl std::error::Error for HdfsError {}
 /// The directory-namespace manager and "inode table" (§II's description).
 #[derive(Debug, Default)]
 pub struct NameNode {
-    blocks: HashMap<BlockId, Block>,
+    blocks: BTreeMap<BlockId, Block>,
     /// Blocks per file, in index order.
-    files: HashMap<DataId, Vec<BlockId>>,
+    files: BTreeMap<DataId, Vec<BlockId>>,
     /// Replica locations per block (insertion order = replica index).
-    replicas: HashMap<BlockId, Vec<StoreId>>,
+    replicas: BTreeMap<BlockId, Vec<StoreId>>,
     /// MB used per store.
-    used_mb: HashMap<StoreId, f64>,
+    used_mb: BTreeMap<StoreId, f64>,
     /// Stores declared dead by [`NameNode::lose_store`]; never chosen as
     /// re-replication targets until they rejoin.
     dead: Vec<StoreId>,
@@ -134,7 +134,7 @@ impl NameNode {
         }
         let target = chooser.choose(cluster, writer, &existing, replica_idx, &usable);
         assert!(usable.contains(&target), "chooser returned unusable store");
-        self.replicas.get_mut(&block).unwrap().push(target);
+        self.replicas.entry(block).or_default().push(target);
         *self.used_mb.entry(target).or_default() += meta.size_mb;
         Ok(target)
     }
@@ -146,10 +146,15 @@ impl NameNode {
             .blocks
             .get(&block)
             .ok_or(HdfsError::NoSuchBlock(block))?;
-        let reps = self.replicas.get_mut(&block).unwrap();
+        let reps = self
+            .replicas
+            .get_mut(&block)
+            .ok_or(HdfsError::NoSuchBlock(block))?;
         if let Some(pos) = reps.iter().position(|&s| s == store) {
             reps.remove(pos);
-            *self.used_mb.get_mut(&store).unwrap() -= meta.size_mb;
+            if let Some(used) = self.used_mb.get_mut(&store) {
+                *used -= meta.size_mb;
+            }
         }
         Ok(())
     }
@@ -167,8 +172,9 @@ impl NameNode {
             .collect();
         affected.sort();
         for &block in &affected {
-            let reps = self.replicas.get_mut(&block).unwrap();
-            reps.retain(|&s| s != store);
+            if let Some(reps) = self.replicas.get_mut(&block) {
+                reps.retain(|&s| s != store);
+            }
         }
         self.used_mb.remove(&store);
         if !self.dead.contains(&store) {
@@ -217,16 +223,12 @@ impl NameNode {
     pub fn replicas_of(&self, block: BlockId) -> &[StoreId] {
         self.replicas
             .get(&block)
-            .map(std::vec::Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], std::vec::Vec::as_slice)
     }
 
     /// Blocks of one file, in order.
     pub fn blocks_of(&self, data: DataId) -> &[BlockId] {
-        self.files
-            .get(&data)
-            .map(std::vec::Vec::as_slice)
-            .unwrap_or(&[])
+        self.files.get(&data).map_or(&[], std::vec::Vec::as_slice)
     }
 
     /// Block metadata.

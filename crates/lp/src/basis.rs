@@ -8,7 +8,7 @@
 //! name*, not by position, so the next model can reuse whatever part of the
 //! basis still exists and the solver repairs or cold-starts the rest.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Simplex status of one variable (or of a row's slack) in a basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +58,8 @@ pub enum WarmOutcome {
 /// only the path to it.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStart {
-    vars: HashMap<String, BasisStatus>,
-    rows: HashMap<String, BasisStatus>,
+    vars: BTreeMap<String, BasisStatus>,
+    rows: BTreeMap<String, BasisStatus>,
 }
 
 impl WarmStart {

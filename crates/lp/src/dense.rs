@@ -48,6 +48,13 @@ enum VarMap {
     Split { pos: usize, neg: usize },
 }
 
+/// A lowered constraint row, dense over z-columns.
+struct Row {
+    coefs: Vec<f64>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
 impl DenseSimplex {
     /// Solve `model` to optimality.
     pub fn solve(&self, model: &Model) -> Result<Solution, LpError> {
@@ -103,11 +110,6 @@ impl DenseSimplex {
         }
 
         // Rows: original constraints then bound rows.
-        struct Row {
-            coefs: Vec<f64>, // dense over z-columns
-            cmp: Cmp,
-            rhs: f64,
-        }
         let mut rows: Vec<Row> = Vec::new();
         for con in &model.cons {
             let mut coefs = vec![0.0; ncols];
@@ -360,7 +362,7 @@ impl DenseSimplex {
 
             // Pivot on (r, q).
             let piv = t[r][q];
-            for v in t[r].iter_mut() {
+            for v in &mut t[r] {
                 *v /= piv;
             }
             let pivot_row: Vec<f64> = t[r].clone();

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod basis;
+pub mod clock;
 pub mod dense;
 pub mod error;
 pub mod lu;

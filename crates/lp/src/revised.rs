@@ -147,7 +147,7 @@ impl RevisedSimplex {
         warm: Option<&WarmStart>,
     ) -> Result<Solution, LpError> {
         model.validate()?;
-        let t0 = std::time::Instant::now();
+        let t0 = crate::clock::Stopwatch::start();
         let sf = StandardForm::from_model(model);
         let warm_states = warm
             .filter(|ws| !ws.is_empty())
@@ -224,7 +224,7 @@ impl RevisedSimplex {
             refactors: w.refactors,
             ftran_nnz: w.ftran_nnz,
             warm: outcome,
-            solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+            solve_ms: t0.elapsed_ms(),
         };
         let next_warm = extract_warm_start(model, &sf, &w);
         Ok(
@@ -818,7 +818,7 @@ impl<'a> Worker<'a> {
 
     fn set_phase1_costs(&mut self) {
         self.in_phase1 = true;
-        for c in self.costs.iter_mut() {
+        for c in &mut self.costs {
             *c = 0.0;
         }
         for &j in &self.art_cols {

@@ -144,7 +144,7 @@ impl SparseLu {
 
             // --- build L multipliers from the pivot column ---------------
             lmults.clear();
-            for &(r, v) in cols[pc].iter() {
+            for &(r, v) in &cols[pc] {
                 if r != pr {
                     lmults.push((r, v / pv));
                     // Pivot column leaves the active set: its rows lose one.
@@ -176,7 +176,7 @@ impl SparseLu {
                     continue;
                 }
                 // Scatter, update, gather.
-                for &(r, v) in cols[j].iter() {
+                for &(r, v) in &cols[j] {
                     acc[r] = v;
                 }
                 for &(r, l) in &lmults {

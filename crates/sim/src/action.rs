@@ -1,6 +1,6 @@
 //! The scheduler interface: what a policy sees and what it may do.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
 use lips_workload::JobId;
@@ -49,7 +49,7 @@ pub struct SchedulerContext<'a> {
     /// own issued reads should re-sync from this (a killed chunk returns
     /// its read budget, which a scheduler-local ledger cannot see).
     /// `None` when the context does not come from a live engine run.
-    pub reads_used: Option<&'a HashMap<(DataId, StoreId), f64>>,
+    pub reads_used: Option<&'a BTreeMap<(DataId, StoreId), f64>>,
 }
 
 impl SchedulerContext<'_> {

@@ -1,6 +1,6 @@
 //! The discrete-event simulation driver.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use lips_cluster::{Cluster, DataId, MachineId, StoreId};
@@ -148,12 +148,13 @@ struct RunningChunk {
 struct FaultState {
     next_chunk: u64,
     /// In-flight chunks by id; a `ChunkDone` whose id is absent was killed.
-    running: HashMap<u64, RunningChunk>,
+    /// Ordered so revocation kills victims in chunk-id order.
+    running: BTreeMap<u64, RunningChunk>,
     /// Objects that lost a replica to a store loss (moves of these count
     /// as re-replication traffic).
-    lost_data: HashSet<DataId>,
+    lost_data: BTreeSet<DataId>,
     /// Original `tp_ecu` of currently revoked machines.
-    revoked_ecu: HashMap<MachineId, f64>,
+    revoked_ecu: BTreeMap<MachineId, f64>,
 }
 
 impl FaultState {
@@ -251,14 +252,15 @@ impl<'a> Simulation<'a> {
         let mut outcomes: Vec<JobOutcome> = Vec::new();
         // Read budget per (data, store): total MB chunks may read from a
         // store is capped by the MB actually placed there (constraint (13)).
-        let mut reads_used: HashMap<(DataId, StoreId), f64> = HashMap::new();
+        let mut reads_used: BTreeMap<(DataId, StoreId), f64> = BTreeMap::new();
         // ECU-seconds of map work executed per (job, machine): determines
         // where a job's shuffle output materializes for its reduce phase.
-        let mut map_ecu: HashMap<(JobId, lips_cluster::MachineId), f64> = HashMap::new();
+        // Ordered so shuffle placement visits machines deterministically.
+        let mut map_ecu: BTreeMap<(JobId, lips_cluster::MachineId), f64> = BTreeMap::new();
         // Synthetic data ids for shuffle outputs start above the catalog.
         let shuffle_data_base = cluster.num_data();
 
-        let specs: HashMap<JobId, &lips_workload::JobSpec> =
+        let specs: BTreeMap<JobId, &lips_workload::JobSpec> =
             self.workload.jobs.iter().map(|j| (j.id, j)).collect();
         let mut arrivals_pending = 0usize;
         for job in &self.workload.jobs {
@@ -337,12 +339,13 @@ impl<'a> Simulation<'a> {
                                     .sum();
                                 let mut placed = 0.0;
                                 if total > WORK_EPS {
-                                    let mut shares: Vec<(lips_cluster::MachineId, f64)> = map_ecu
+                                    // map_ecu is ordered by (job, machine),
+                                    // so this walk is already machine-sorted.
+                                    let shares: Vec<(lips_cluster::MachineId, f64)> = map_ecu
                                         .iter()
                                         .filter(|((j, _), _)| *j == job)
                                         .map(|((_, m), e)| (*m, *e))
                                         .collect();
-                                    shares.sort_by_key(|(m, _)| *m);
                                     for (machine, ecu) in shares {
                                         if let Some(store) = cluster.store_of_machine(machine) {
                                             let mb = spec.shuffle_mb * ecu / total;
@@ -359,8 +362,7 @@ impl<'a> Simulation<'a> {
                                         .stores
                                         .iter()
                                         .find(|s| s.colocated.is_some())
-                                        .map(|s| s.id)
-                                        .unwrap_or(StoreId(0));
+                                        .map_or(StoreId(0), |s| s.id);
                                     placement.add_copy(
                                         data,
                                         fallback,
@@ -400,13 +402,12 @@ impl<'a> Simulation<'a> {
                             // charged for it) but the partial output is
                             // lost, so the whole chunk's work goes back to
                             // the queue and its read budget is refunded.
-                            let mut victims: Vec<u64> = fstate
+                            let victims: Vec<u64> = fstate
                                 .running
                                 .iter()
                                 .filter(|(_, c)| c.machine == machine)
                                 .map(|(&id, _)| id)
                                 .collect();
-                            victims.sort_unstable();
                             for id in victims {
                                 let c = fstate.running.remove(&id).expect("victim registered");
                                 let dur = c.end - c.start;
@@ -552,11 +553,11 @@ impl<'a> Simulation<'a> {
         machines: &mut [MachineState],
         queue: &mut [PendingJob],
         metrics: &mut Metrics,
-        reads_used: &mut HashMap<(DataId, StoreId), f64>,
+        reads_used: &mut BTreeMap<(DataId, StoreId), f64>,
         events: &mut EventQueue,
         running_total: &mut usize,
         straggler_rng: &mut Option<(rand_chacha::ChaCha8Rng, StragglerModel)>,
-        map_ecu: &mut HashMap<(JobId, lips_cluster::MachineId), f64>,
+        map_ecu: &mut BTreeMap<(JobId, lips_cluster::MachineId), f64>,
         fstate: &mut FaultState,
     ) -> Result<(), SimError> {
         match action {

@@ -1,6 +1,6 @@
 //! Cost and performance metering — the quantities the paper's figures plot.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lips_cluster::MachineId;
 
@@ -16,11 +16,12 @@ pub struct Metrics {
     pub read_dollars: f64,
     /// Dollars spent on placement moves (store → store).
     pub move_dollars: f64,
-    /// ECU-seconds executed per machine.
-    pub ecu_sec_by_machine: HashMap<MachineId, f64>,
+    /// ECU-seconds executed per machine. Ordered so every consumer
+    /// (validators, reports) visits machines deterministically.
+    pub ecu_sec_by_machine: BTreeMap<MachineId, f64>,
     /// Busy wall-clock seconds per machine (accumulated CPU time of
     /// Figure 11).
-    pub busy_sec_by_machine: HashMap<MachineId, f64>,
+    pub busy_sec_by_machine: BTreeMap<MachineId, f64>,
     /// MB moved by placement actions.
     pub moved_mb: f64,
     /// MB read remotely (non-node-local) during execution.
@@ -165,7 +166,7 @@ impl SimReport {
     /// Jain fairness index over per-pool aggregate received ECU-seconds…
     /// approximated by per-pool completed work share: 1 = perfectly fair.
     pub fn pool_fairness_jain(&self) -> f64 {
-        let mut per_pool: HashMap<&str, f64> = HashMap::new();
+        let mut per_pool: BTreeMap<&str, f64> = BTreeMap::new();
         for o in &self.outcomes {
             *per_pool.entry(o.pool.as_str()).or_default() += o.chunks as f64;
         }

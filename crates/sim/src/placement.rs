@@ -2,7 +2,6 @@
 //! and when in-flight copies become readable.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use lips_cluster::{Cluster, DataId, StoreId};
 
@@ -25,11 +24,11 @@ struct Holding {
 /// object live?", which must not scan other objects' entries.
 #[derive(Debug, Clone, Default)]
 pub struct Placement {
-    /// Holdings per data object, keyed by store (BTreeMap for
-    /// deterministic iteration order).
-    by_data: HashMap<DataId, BTreeMap<StoreId, Holding>>,
+    /// Holdings per data object, keyed by store. Both levels are ordered
+    /// maps so any walk over the placement is deterministic.
+    by_data: BTreeMap<DataId, BTreeMap<StoreId, Holding>>,
     /// MB consumed per store (for capacity accounting).
-    store_used_mb: HashMap<StoreId, f64>,
+    store_used_mb: BTreeMap<StoreId, f64>,
 }
 
 impl Placement {
@@ -173,7 +172,6 @@ impl Placement {
             }
         }
         self.store_used_mb.remove(&store);
-        dropped.sort_by_key(|&(d, _)| d);
         dropped
     }
 

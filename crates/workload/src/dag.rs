@@ -93,10 +93,10 @@ impl JobDag {
             current = next;
         }
         if placed != n {
-            // Some job never reached indegree 0: it is on a cycle.
-            let stuck = (0..n)
-                .find(|&i| indegree[i] > 0)
-                .expect("cycle member exists");
+            // Some job never reached indegree 0: it is on a cycle. When
+            // `placed != n` at least one positive indegree remains, so the
+            // fallback to job 0 is unreachable in practice.
+            let stuck = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
             return Err(DagError::Cycle(self.jobs[stuck].id));
         }
         Ok(levels)

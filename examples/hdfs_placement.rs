@@ -18,6 +18,8 @@ use lips::hdfs::{
 use lips::sim::Simulation;
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
+type ChooserFactory = Box<dyn Fn() -> Box<dyn ReplicationTargetChooser>>;
+
 fn main() {
     println!("Same cluster, same jobs, same (delay) task scheduler —");
     println!("only the NameNode's replication target chooser differs.\n");
@@ -28,7 +30,6 @@ fn main() {
     );
     println!("{}", "-".repeat(52));
 
-    type ChooserFactory = Box<dyn Fn() -> Box<dyn ReplicationTargetChooser>>;
     let mut results = Vec::new();
     let choosers: Vec<(&str, ChooserFactory)> = vec![
         (
