@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lips_bench::lp_epoch::{run_epochs, EpochMode};
+use lips_bench::lp_epoch::{run_epochs, run_epochs_faulted, EpochMode, FaultScript};
 use lips_cluster::{ec2_mixed_cluster, DataId, StoreId};
 use lips_core::lp_build::{EpochSolver, LpInstance, LpJob, PruneConfig};
 use lips_lp::revised::{RevisedOptions, RevisedSimplex};
@@ -139,11 +139,34 @@ fn bench_refactor_interval(c: &mut Criterion) {
     g.finish();
 }
 
+/// The churn fast path head to head: the dual-first ladder
+/// (presolve + dual re-solve from the carried basis) vs the primal
+/// warm-repair ladder on the scripted fault sequence — revocations, a
+/// store loss, a repricing, and a rejoin mid-run. This is the
+/// microbenchmark behind `lp_bench --faults --mode dual`.
+fn bench_churn_resolve(c: &mut Criterion) {
+    let cluster = ec2_mixed_cluster(50, 0.4, 1e9, 1);
+    let script = FaultScript::acceptance(&cluster);
+    let mut g = c.benchmark_group("churn_resolve");
+    g.sample_size(10);
+    for (name, dual) in [("warm_resolve", false), ("dual_resolve", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &dual, |b, &dual| {
+            b.iter(|| {
+                black_box(
+                    run_epochs_faulted(&cluster, 16, 2, 3, 8, &script, 1, dual).total_iterations,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_epoch_lp,
     bench_epoch_sequence,
     bench_raw_simplex,
-    bench_refactor_interval
+    bench_refactor_interval,
+    bench_churn_resolve
 );
 criterion_main!(benches);

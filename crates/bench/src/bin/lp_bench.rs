@@ -8,6 +8,11 @@
 //!
 //! Flags: `--json`, `--colgen` (also run the column-generated restricted
 //! master and record active-column counts + pricing rounds per epoch),
+//! `--mode dual` (also run the churn fast path — certification-safe
+//! presolve + dual-simplex re-solve from the carried basis — and, with
+//! `--faults`, a second fault series whose ladder tries the dual rung
+//! first; records `dual_pivots`/`bound_flips`/`presolve_removed` per epoch
+//! and the fault-epoch iteration ratio vs the primal repair ladder),
 //! `--audit` (exit non-zero unless every epoch of every mode certified),
 //! `--threads N` (worker count for model build, pricing, and
 //! certification; default 0 = `LIPS_THREADS` or the host parallelism),
@@ -19,8 +24,8 @@
 //! departure/arrival pair perturbs the LP's structure).
 
 use lips_bench::lp_epoch::{
-    large_cluster, run_epochs, run_epochs_faulted, thread_scaling, EpochMode, EpochRun,
-    FaultEpochRun, FaultScript, ThreadScalingPoint, EPOCHS,
+    dual_fault_head_to_head, fault_epoch_iterations, large_cluster, run_epochs, run_epochs_faulted,
+    thread_scaling, EpochMode, EpochRun, FaultEpochRun, FaultScript, ThreadScalingPoint, EPOCHS,
 };
 use lips_bench::Table;
 use serde::Serialize;
@@ -32,9 +37,16 @@ struct BenchReport {
     warm: EpochRun,
     /// Present only with `--colgen`.
     colgen: Option<EpochRun>,
+    /// Present only with `--mode dual`: the churn fast path
+    /// (certification-safe presolve + dual-simplex re-solve from the
+    /// carried basis, primal fallback when no basis is dual-startable).
+    dual: Option<EpochRun>,
     /// Present only with `--faults`: the same epoch sequence with scripted
     /// machine revocations, a store loss, a repricing, and a rejoin.
     faults: Option<FaultEpochRun>,
+    /// Present only with `--faults --mode dual`: the fault series re-run
+    /// with the dual rung first in the ladder.
+    faults_dual: Option<FaultEpochRun>,
     /// Worker count used for the cold/warm/colgen/fault runs (0 = solver
     /// default: `LIPS_THREADS` or the host parallelism).
     threads: usize,
@@ -57,6 +69,18 @@ struct BenchReport {
     /// Mean active/total column share of the colgen master (the
     /// acceptance gate wants ≤ 0.5). `None` without `--colgen`.
     colgen_active_share: Option<f64>,
+    /// cold ÷ dual total simplex iterations over the churn sequence
+    /// (higher = the dual fast path wins). `None` without `--mode dual`.
+    dual_iteration_ratio: Option<f64>,
+    /// Head-to-head fault re-solve ratio: on each dual-served fault
+    /// epoch both methods solve the same model from the same repaired
+    /// basis, and this is primal ÷ dual summed iterations (higher = the
+    /// dual path wins; the acceptance target is ≥ 5). `None` without
+    /// `--faults --mode dual`.
+    dual_fault_iteration_ratio: Option<f64>,
+    /// Chain-level context: fault-epoch iterations spent by the primal
+    /// repair ladder ÷ by the dual-first ladder, each on its own chain.
+    dual_fault_chain_ratio: Option<f64>,
 }
 
 fn flag_value(args: &[String], name: &str, default: usize) -> usize {
@@ -75,6 +99,7 @@ fn main() {
     let churn_every = flag_value(&args, "--churn-every", 5);
     let threads = flag_value(&args, "--threads", 0);
     let with_colgen = args.iter().any(|a| a == "--colgen");
+    let with_dual = args.windows(2).any(|w| w[0] == "--mode" && w[1] == "dual");
     let with_faults = args.iter().any(|a| a == "--faults");
     let with_scaling = args.iter().any(|a| a == "--scaling");
     // lips-allow(thread-width-dependence): reported in the bench header only; never feeds results
@@ -117,9 +142,42 @@ fn main() {
             threads,
         )
     });
+    let dual = with_dual.then(|| {
+        run_epochs(
+            &cluster,
+            jobs,
+            churn,
+            churn_every,
+            epochs,
+            EpochMode::Dual,
+            threads,
+        )
+    });
     let faults = with_faults.then(|| {
         let script = FaultScript::acceptance(&cluster);
-        run_epochs_faulted(&cluster, jobs, churn, churn_every, epochs, &script, threads)
+        run_epochs_faulted(
+            &cluster,
+            jobs,
+            churn,
+            churn_every,
+            epochs,
+            &script,
+            threads,
+            false,
+        )
+    });
+    let faults_dual = (with_faults && with_dual).then(|| {
+        let script = FaultScript::acceptance(&cluster);
+        run_epochs_faulted(
+            &cluster,
+            jobs,
+            churn,
+            churn_every,
+            epochs,
+            &script,
+            threads,
+            true,
+        )
     });
     let scaling = with_scaling
         .then(|| thread_scaling(&cluster, jobs, churn, churn_every, epochs, &[1, 2, 4, 8]));
@@ -134,6 +192,9 @@ fn main() {
     ];
     if with_colgen {
         header.extend(["cg iters", "cg ms", "cg cols", "cg rounds"]);
+    }
+    if with_dual {
+        header.extend(["dual iters", "dual ms", "pivots/flips", "presolved"]);
     }
     let mut t = Table::new(header);
     for (i, (c, w)) in cold.epochs.iter().zip(&warm.epochs).enumerate() {
@@ -153,6 +214,14 @@ fn main() {
                 cg.pricing_rounds.to_string(),
             ]);
         }
+        if let Some(d) = dual.as_ref().and_then(|r| r.epochs.get(i)) {
+            row.extend([
+                d.iterations.to_string(),
+                format!("{:.2}", d.epoch_ms),
+                format!("{}/{}", d.dual_pivots, d.bound_flips),
+                d.presolve_removed.to_string(),
+            ]);
+        }
         t.row(row);
     }
     t.print();
@@ -166,11 +235,27 @@ fn main() {
             .as_ref()
             .map(|cg| ratio(warm.total_epoch_ms, cg.total_epoch_ms)),
         colgen_active_share: colgen.as_ref().map(|cg| cg.active_column_share),
+        dual_iteration_ratio: dual
+            .as_ref()
+            .map(|d| ratio(cold.total_iterations as f64, d.total_iterations as f64)),
+        dual_fault_iteration_ratio: faults_dual
+            .as_ref()
+            .and_then(dual_fault_head_to_head)
+            .map(|(p, d)| ratio(p as f64, d as f64)),
+        dual_fault_chain_ratio: match (&faults, &faults_dual) {
+            (Some(base), Some(d)) => Some(ratio(
+                fault_epoch_iterations(base) as f64,
+                fault_epoch_iterations(d) as f64,
+            )),
+            _ => None,
+        },
         config,
         cold,
         warm,
         colgen,
+        dual,
         faults,
+        faults_dual,
         threads,
         host_parallelism,
         thread_scaling: scaling,
@@ -205,6 +290,15 @@ fn main() {
         "speedup: {:.2}x iterations, {:.2}x wall-time, {:.2}x FTRAN nnz (cold/warm)",
         report.iteration_ratio, report.walltime_ratio, report.ftran_nnz_ratio,
     );
+    if let Some(d) = &report.dual {
+        let pivots: usize = d.epochs.iter().map(|e| e.dual_pivots).sum();
+        let flips: usize = d.epochs.iter().map(|e| e.bound_flips).sum();
+        let removed: usize = d.epochs.iter().map(|e| e.presolve_removed).sum();
+        println!(
+            "        dual {} iters / {:.1} ms solve / {:.1} ms epoch / {} dual pivots / {} bound flips / {} presolved away",
+            d.total_iterations, d.total_solve_ms, d.total_epoch_ms, pivots, flips, removed
+        );
+    }
     if let (Some(r), Some(s)) = (report.colgen_epoch_ms_ratio, report.colgen_active_share) {
         println!(
             "colgen:  {:.2}x epoch wall-time vs warm, {:.0}% of full columns active",
@@ -212,9 +306,19 @@ fn main() {
             s * 100.0
         );
     }
-    if let Some(f) = &report.faults {
+    if let Some(r) = report.dual_iteration_ratio {
+        println!("dual:    {r:.2}x iterations vs cold over the churn sequence");
+    }
+    let print_fault_series = |label: &str, f: &FaultEpochRun| {
         let mut t = Table::new(vec![
-            "epoch", "faults", "repaired", "iters", "ms", "start", "state",
+            "epoch",
+            "faults",
+            "repaired",
+            "iters",
+            "pivots/flips",
+            "ms",
+            "start",
+            "state",
         ]);
         for r in &f.epochs {
             t.row(vec![
@@ -226,6 +330,7 @@ fn main() {
                 },
                 r.repaired.to_string(),
                 r.iterations.to_string(),
+                format!("{}/{}", r.dual_pivots, r.bound_flips),
                 format!("{:.2}", r.epoch_ms),
                 r.warm.clone(),
                 if r.certified {
@@ -237,18 +342,34 @@ fn main() {
         }
         println!(
             "
-fault-mode series ({} revocations, {} store loss(es), {} repricing(s), {} rejoin(s)):",
+{label} ({} revocations, {} store loss(es), {} repricing(s), {} rejoin(s)):",
             f.revocations, f.store_losses, f.repricings, f.rejoins
         );
         t.print();
         println!(
-            "faults:  {} iters / {:.1} ms epoch / {} warm / {} certified / {} degraded",
+            "faults:  {} iters / {:.1} ms epoch / {} warm / {} dual / {} certified / {} degraded",
             f.total_iterations,
             f.total_epoch_ms,
             f.warm_solves,
+            f.dual_solves,
             f.certified_epochs,
             f.degraded_epochs
         );
+    };
+    if let Some(f) = &report.faults {
+        print_fault_series("fault-mode series", f);
+    }
+    if let Some(f) = &report.faults_dual {
+        print_fault_series("fault-mode series, dual-first ladder", f);
+    }
+    if let Some(r) = report.dual_fault_iteration_ratio {
+        println!(
+            "dual faults: {r:.2}x fewer simplex iterations than repaired-warm primal \
+             on the same fault epochs and bases (head-to-head)"
+        );
+    }
+    if let Some(r) = report.dual_fault_chain_ratio {
+        println!("dual ladder: {r:.2}x fewer fault-epoch iterations than the primal repair chain");
     }
 
     if let Some(series) = &report.thread_scaling {
@@ -279,7 +400,9 @@ fault-mode series ({} revocations, {} store loss(es), {} repricing(s), {} rejoin
     let all_certified = report.cold.all_certified
         && report.warm.all_certified
         && report.colgen.as_ref().is_none_or(|cg| cg.all_certified)
+        && report.dual.as_ref().is_none_or(|d| d.all_certified)
         && report.faults.as_ref().is_none_or(|f| f.all_accounted)
+        && report.faults_dual.as_ref().is_none_or(|f| f.all_accounted)
         && deterministic;
     println!("all certified: {all_certified}");
 

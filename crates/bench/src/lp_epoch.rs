@@ -56,6 +56,12 @@ pub enum EpochMode {
     /// Column-generated restricted master with cross-epoch column + basis
     /// reuse.
     ColGen,
+    /// The churn fast path: certification-safe presolve + bounded
+    /// dual-simplex re-solve from the previous epoch's basis
+    /// ([`EpochSolver::dual`] + [`EpochSolver::presolve`]), falling back
+    /// to the presolved warm primal when the carried basis is not dual
+    /// feasible (always on the first epoch, which has no basis).
+    Dual,
 }
 
 impl EpochMode {
@@ -64,6 +70,7 @@ impl EpochMode {
             EpochMode::Cold => "cold",
             EpochMode::Warm => "warm",
             EpochMode::ColGen => "colgen",
+            EpochMode::Dual => "dual",
         }
     }
 }
@@ -93,6 +100,15 @@ pub struct EpochRecord {
     pub total_columns: usize,
     /// Restricted-master solve/price rounds (1 in cold/warm modes).
     pub pricing_rounds: usize,
+    /// Dual-simplex pivots (0 outside [`EpochMode::Dual`]; also counted
+    /// in `iterations`).
+    pub dual_pivots: usize,
+    /// Nonbasic bound flips by the dual solver (not pivots, not counted
+    /// in `iterations`).
+    pub bound_flips: usize,
+    /// Variables fixed + rows dropped by epoch presolve before the
+    /// simplex ran (0 in modes that solve the unreduced model).
+    pub presolve_removed: usize,
     pub objective: f64,
     pub certified: bool,
 }
@@ -206,7 +222,7 @@ pub fn run_epochs(
             },
         };
         let t = Instant::now();
-        let (sched, certified, active, total, rounds) = match mode {
+        let (sched, certified, active, total, rounds, presolve_removed) = match mode {
             EpochMode::Cold | EpochMode::Warm => {
                 let seed = if mode == EpochMode::Warm {
                     basis.as_ref()
@@ -224,7 +240,35 @@ pub fn run_epochs(
                     .expect("certification was requested")
                     .is_optimal();
                 basis = Some(report.basis);
-                (report.schedule, certified, 0, 0, 1)
+                (report.schedule, certified, 0, 0, 1, 0)
+            }
+            EpochMode::Dual => {
+                // Presolve + dual re-solve from the carried basis; when
+                // the basis is not dual feasible (first epoch, heavy
+                // churn) the rung fails fast and the presolved warm
+                // primal takes over — exactly the scheduler's ladder.
+                let report = with_width(EpochSolver::new(&inst), threads)
+                    .warm(basis.as_ref())
+                    .dual()
+                    .presolve()
+                    .certify()
+                    .run()
+                    .or_else(|_| {
+                        with_width(EpochSolver::new(&inst), threads)
+                            .warm(basis.as_ref())
+                            .presolve()
+                            .certify()
+                            .run()
+                    })
+                    .expect("epoch LP solves");
+                let certified = report
+                    .certificate
+                    .as_ref()
+                    .expect("certification was requested")
+                    .is_optimal();
+                let removed = report.presolve_removed;
+                basis = Some(report.basis);
+                (report.schedule, certified, 0, 0, 1, removed)
             }
             EpochMode::ColGen => {
                 let report = with_width(EpochSolver::new(&inst), threads)
@@ -244,13 +288,14 @@ pub fn run_epochs(
                     stats.active_columns,
                     stats.total_columns,
                     stats.rounds,
+                    0,
                 )
             }
         };
         let epoch_ms = t.elapsed().as_secs_f64() * 1e3;
 
-        // Cold/warm solve the full model: active = total by definition.
-        // Colgen mode reports its own counts.
+        // Cold/warm/dual solve the full model: active = total by
+        // definition. Colgen mode reports its own counts.
         let (active, total) = if mode == EpochMode::ColGen {
             (active, total)
         } else {
@@ -286,6 +331,9 @@ pub fn run_epochs(
             active_columns: active,
             total_columns: total,
             pricing_rounds: rounds,
+            dual_pivots: stats.dual_pivots,
+            bound_flips: stats.bound_flips,
+            presolve_removed,
             objective: sched.predicted_dollars,
             certified,
         });
@@ -326,6 +374,11 @@ pub struct FaultScript {
 impl FaultScript {
     /// The acceptance-criterion script: three machine revocations, one
     /// store loss, one repricing, and one rejoin spread over the run.
+    /// Events deliberately avoid the churn epochs (every `churn_every`-th
+    /// epoch swaps jobs and advances the window): an epoch that takes both
+    /// a fault and a job swap is dominated by churn damage that every
+    /// solver pays identically, which would confound the fault-re-solve
+    /// measurement the script exists to make.
     pub fn acceptance(cluster: &Cluster) -> Self {
         let n = cluster.machines.len();
         FaultScript {
@@ -334,11 +387,11 @@ impl FaultScript {
                 (6, EpochFault::LoseStore(0)),
                 (8, EpochFault::Revoke(n / 2)),
                 (
-                    10,
+                    9,
                     EpochFault::Reprice(n - 1, cluster.machines[n - 1].cpu_cost * 1.5),
                 ),
                 (12, EpochFault::Revoke(3 * n / 4)),
-                (15, EpochFault::Rejoin(n / 4)),
+                (17, EpochFault::Rejoin(n / 4)),
             ],
         }
     }
@@ -355,14 +408,23 @@ pub struct FaultEpochRecord {
     /// against the surviving cluster.
     pub repaired: usize,
     pub iterations: usize,
-    /// `"Cold"`, `"Warm"`, or `"WarmRepaired"`.
+    /// `"Cold"`, `"Warm"`, `"WarmRepaired"`, or `"Dual"`.
     pub warm: String,
+    /// Dual-simplex pivots (0 unless the dual rung served this epoch).
+    pub dual_pivots: usize,
+    /// Nonbasic bound flips by the dual solver.
+    pub bound_flips: usize,
+    /// Head-to-head control (dual ladder, fault epochs only): iterations
+    /// the repaired-warm *primal* rung spends on this exact model from
+    /// this exact incoming basis. `None` on non-fault epochs, on the
+    /// baseline ladder, or when the probe solve failed.
+    pub primal_iterations: Option<usize>,
     pub solve_ms: f64,
     pub epoch_ms: f64,
     pub objective: f64,
     /// KKT-certified optimal against the surviving cluster.
     pub certified: bool,
-    /// Warm *and* cold exact solves failed; the epoch fell off the ladder.
+    /// Every LP rung failed; the epoch fell off the ladder.
     pub degraded: bool,
 }
 
@@ -379,6 +441,8 @@ pub struct FaultEpochRun {
     pub total_epoch_ms: f64,
     /// Epochs that started from the (possibly repaired) previous basis.
     pub warm_solves: usize,
+    /// Epochs served by the dual-simplex rung (only with the dual ladder).
+    pub dual_solves: usize,
     pub certified_epochs: usize,
     pub degraded_epochs: usize,
     /// Every epoch either certified or explicitly degraded — the
@@ -417,8 +481,13 @@ fn fault_epoch_jobs(
 /// Run `epochs` consecutive Fig-4 solves with `script`'s faults injected,
 /// chaining (and repairing) the warm basis across topology changes.
 ///
-/// Degradation ladder per epoch: repaired-warm exact → cold exact →
-/// recorded as degraded. Never panics on a solvable-cluster script.
+/// Degradation ladder per epoch: dual re-solve from the repaired basis
+/// (only with `dual`) → repaired-warm exact → cold exact → recorded as
+/// degraded. Never panics on a solvable-cluster script. `dual = false` is
+/// the PR-4 baseline ladder, kept so `lp_bench` can measure how many
+/// simplex iterations the dual rung saves on exactly the same fault
+/// script.
+#[allow(clippy::too_many_arguments)] // a benchmark entry point, not an API
 pub fn run_epochs_faulted(
     cluster: &Cluster,
     base_jobs: usize,
@@ -427,6 +496,7 @@ pub fn run_epochs_faulted(
     epochs: usize,
     script: &FaultScript,
     threads: usize,
+    dual: bool,
 ) -> FaultEpochRun {
     let mut live = cluster.clone();
     let mut revoked_tp: HashMap<usize, f64> = HashMap::new();
@@ -441,6 +511,7 @@ pub fn run_epochs_faulted(
         total_iterations: 0,
         total_epoch_ms: 0.0,
         warm_solves: 0,
+        dual_solves: 0,
         certified_epochs: 0,
         degraded_epochs: 0,
         all_accounted: true,
@@ -503,12 +574,48 @@ pub fn run_epochs_faulted(
             Some(ws) => sanitize_warm_start(ws, &live),
             None => 0,
         };
+        // Head-to-head probe: on fault epochs the dual ladder also solves
+        // the same model from the same repaired basis with the primal
+        // rung, so the recorded ratio compares the two methods on
+        // identical inputs instead of across divergent chains. Runs
+        // outside the timed section and never touches the chained basis.
+        let primal_iterations = if dual && !events.is_empty() {
+            with_width(EpochSolver::new(&inst), threads)
+                .warm(basis.as_ref())
+                .certify()
+                .run()
+                .ok()
+                .map(|r| r.schedule.stats.iterations)
+        } else {
+            None
+        };
         let t = Instant::now();
-        let solved = with_width(EpochSolver::new(&inst), threads)
-            .warm(basis.as_ref())
-            .certify()
-            .run()
-            .or_else(|_| with_width(EpochSolver::new(&inst), threads).certify().run());
+        let solved = if dual {
+            // The dual rung runs unpresolved: on fault epochs the model
+            // reduction costs more wall time than it saves, and projecting
+            // an already-repaired basis into the reduced space starves the
+            // dual seed (measured: the mass-revocation epoch declines that
+            // the unreduced dual serves). Presolve earns its keep in the
+            // steady churn series (`EpochMode::Dual`), not here.
+            with_width(EpochSolver::new(&inst), threads)
+                .warm(basis.as_ref())
+                .dual()
+                .certify()
+                .run()
+                .or_else(|_| {
+                    with_width(EpochSolver::new(&inst), threads)
+                        .warm(basis.as_ref())
+                        .certify()
+                        .run()
+                })
+                .or_else(|_| with_width(EpochSolver::new(&inst), threads).certify().run())
+        } else {
+            with_width(EpochSolver::new(&inst), threads)
+                .warm(basis.as_ref())
+                .certify()
+                .run()
+                .or_else(|_| with_width(EpochSolver::new(&inst), threads).certify().run())
+        };
         let epoch_ms = t.elapsed().as_secs_f64() * 1e3;
         out.total_epoch_ms += epoch_ms;
         match solved {
@@ -522,6 +629,9 @@ pub fn run_epochs_faulted(
                 if stats.warm != WarmOutcome::Cold {
                     out.warm_solves += 1;
                 }
+                if stats.warm == WarmOutcome::Dual {
+                    out.dual_solves += 1;
+                }
                 out.total_iterations += stats.iterations;
                 out.certified_epochs += usize::from(certified);
                 out.degraded_epochs += usize::from(!certified);
@@ -532,6 +642,9 @@ pub fn run_epochs_faulted(
                     repaired,
                     iterations: stats.iterations,
                     warm: format!("{:?}", stats.warm),
+                    dual_pivots: stats.dual_pivots,
+                    bound_flips: stats.bound_flips,
+                    primal_iterations,
                     solve_ms: stats.solve_ms,
                     epoch_ms,
                     objective: report.schedule.predicted_dollars,
@@ -552,6 +665,9 @@ pub fn run_epochs_faulted(
                     repaired,
                     iterations: 0,
                     warm: "Cold".to_string(),
+                    dual_pivots: 0,
+                    bound_flips: 0,
+                    primal_iterations,
                     solve_ms: 0.0,
                     epoch_ms,
                     objective: 0.0,
@@ -563,6 +679,37 @@ pub fn run_epochs_faulted(
         }
     }
     out
+}
+
+/// Total simplex iterations spent on the epochs where fault events
+/// actually struck — a chain-level summary of how much each ladder paid
+/// for the script's damage (the two ladders' chains diverge, so this is
+/// context, not a controlled comparison; see [`dual_fault_head_to_head`]).
+pub fn fault_epoch_iterations(run: &FaultEpochRun) -> usize {
+    run.epochs
+        .iter()
+        .filter(|r| !r.events.is_empty())
+        .map(|r| r.iterations)
+        .sum()
+}
+
+/// The controlled fault-re-solve comparison from a dual-ladder run:
+/// `(primal_iterations, dual_iterations)` summed over the fault epochs the
+/// dual rung served, where both methods solved the *same* model from the
+/// *same* repaired incoming basis (the head-to-head probe). This is the
+/// numerator/denominator of `lp_bench`'s `dual_fault_iteration_ratio`.
+/// `None` when the run has no dual-served fault epoch with a probe.
+pub fn dual_fault_head_to_head(run: &FaultEpochRun) -> Option<(usize, usize)> {
+    let pairs: Vec<(usize, usize)> = run
+        .epochs
+        .iter()
+        .filter(|r| !r.events.is_empty() && r.warm == "Dual")
+        .filter_map(|r| r.primal_iterations.map(|p| (p, r.iterations)))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(pairs.iter().fold((0, 0), |(a, b), &(p, d)| (a + p, b + d)))
 }
 
 /// One width of the thread-scaling series: the colgen epoch sequence
@@ -685,7 +832,7 @@ mod tests {
                 (5, EpochFault::Rejoin(4)),
             ],
         };
-        let run = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script, 1);
+        let run = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script, 1, false);
         assert_eq!(run.revocations, 2);
         assert_eq!(run.rejoins, 1);
         assert_eq!(run.repricings, 1);
@@ -708,6 +855,123 @@ mod tests {
         // structural break may legitimately fall back to cold, but the
         // majority of post-fault epochs must still reuse their basis).
         assert!(run.warm_solves >= 3, "only {} warm epochs", run.warm_solves);
+    }
+
+    #[test]
+    fn dual_mode_is_bitwise_identical_across_thread_widths() {
+        // The dual pivot loop is serial by design; threads parallelize the
+        // model build, pricing, and certification around it. Every epoch
+        // record — objective bits included — must be identical at any
+        // width.
+        let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
+        let serial = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Dual, 1);
+        for threads in [2usize, 4] {
+            let wide = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Dual, threads);
+            assert_eq!(serial.epochs.len(), wide.epochs.len());
+            for (a, b) in serial.epochs.iter().zip(&wide.epochs) {
+                assert_eq!(
+                    a.objective.to_bits(),
+                    b.objective.to_bits(),
+                    "epoch {}: {} threads diverged bitwise ({} vs {})",
+                    a.epoch,
+                    threads,
+                    a.objective,
+                    b.objective
+                );
+                assert_eq!(a.iterations, b.iterations, "epoch {}", a.epoch);
+                assert_eq!(a.dual_pivots, b.dual_pivots, "epoch {}", a.epoch);
+                assert_eq!(a.bound_flips, b.bound_flips, "epoch {}", a.epoch);
+                assert_eq!(a.presolve_removed, b.presolve_removed, "epoch {}", a.epoch);
+                assert_eq!(a.warm, b.warm, "epoch {}", a.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_sequence_matches_optima_with_fewer_iterations() {
+        let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
+        let cold = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Cold, 1);
+        let dual = run_epochs(&cluster, 8, 1, 3, 6, EpochMode::Dual, 1);
+        assert!(dual.all_certified);
+        // The steady-state epochs (no churn) must actually take the dual
+        // rung, and dual pivots only ever appear on dual-served epochs.
+        let dual_served = dual.epochs.iter().filter(|r| r.warm == "Dual").count();
+        assert!(dual_served >= 2, "only {dual_served} epochs dual-resolved");
+        for r in &dual.epochs {
+            if r.warm != "Dual" {
+                assert_eq!(r.dual_pivots, 0, "epoch {}", r.epoch);
+            }
+        }
+        // Presolve actually removed something on this instance family.
+        assert!(
+            dual.epochs.iter().any(|r| r.presolve_removed > 0),
+            "epoch presolve never reduced the model"
+        );
+        // Same models, same optima — the fast path is a path, not a model
+        // change.
+        assert!(dual.total_iterations < cold.total_iterations);
+        for (a, b) in cold.epochs.iter().zip(&dual.epochs) {
+            assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "epoch {}: cold {} vs dual {}",
+                a.epoch,
+                a.objective,
+                b.objective
+            );
+        }
+    }
+
+    #[test]
+    fn dual_fault_ladder_matches_baseline_and_saves_iterations() {
+        let cluster = ec2_mixed_cluster(20, 0.4, 1e9, 1);
+        // Faults land off the churn epochs (0 and 3 here) for the same
+        // reason as `FaultScript::acceptance`: a churn+fault compound
+        // epoch measures churn damage, not fault recovery.
+        let script = FaultScript {
+            events: vec![
+                (1, EpochFault::Revoke(4)),
+                (
+                    2,
+                    EpochFault::Reprice(1, cluster.machines[1].cpu_cost * 2.0),
+                ),
+                (5, EpochFault::Rejoin(4)),
+            ],
+        };
+        let base = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script, 1, false);
+        let dual = run_epochs_faulted(&cluster, 8, 1, 3, 6, &script, 1, true);
+        assert_eq!(base.epochs.len(), dual.epochs.len());
+        assert!(dual.dual_solves > 0, "the dual rung never served an epoch");
+        assert_eq!(base.dual_solves, 0);
+        for (a, b) in base.epochs.iter().zip(&dual.epochs) {
+            assert!(a.certified && b.certified);
+            assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "epoch {}: baseline {} vs dual-ladder {}",
+                a.epoch,
+                a.objective,
+                b.objective
+            );
+        }
+        assert!(
+            dual.total_iterations <= base.total_iterations,
+            "dual ladder cost extra pivots: {} vs {}",
+            dual.total_iterations,
+            base.total_iterations
+        );
+        // The headline savings are on the *fault* epochs themselves,
+        // measured head-to-head: both methods solve the same model from
+        // the same repaired basis, and the dual path must not lose.
+        let (bf, df) = (fault_epoch_iterations(&base), fault_epoch_iterations(&dual));
+        assert!(
+            df <= bf,
+            "fault-epoch dual re-solves cost extra: {df} vs {bf} chain iterations"
+        );
+        let (p, d) = dual_fault_head_to_head(&dual)
+            .expect("no dual-served fault epoch carried a head-to-head probe");
+        assert!(
+            d * 2 <= p,
+            "head-to-head: dual path spent {d} iterations vs primal's {p} on the same bases"
+        );
     }
 
     #[test]

@@ -82,6 +82,23 @@ pub struct LipsConfig {
     /// retry, then greedy placement) instead of stalling the cluster —
     /// the fault-tolerance analogue of a wall-clock solve budget.
     pub max_pivots_per_epoch: Option<usize>,
+    /// Try a bounded dual-simplex re-solve from the carried basis
+    /// *before* the primal path each epoch ([`EpochSolver::dual`]). After
+    /// churn that only drifts bounds and costs the carried basis is
+    /// usually still dual feasible, and the dual method re-optimizes in a
+    /// handful of pivots with no phase 1; when it is not (topology
+    /// deltas, one-sided rows gone dual-infeasible) the rung fails fast
+    /// and the ladder continues with warm primal. Requires `warm_start`;
+    /// a no-op under `colgen` (the master carries columns, not a
+    /// full-model basis). Strictly a solve-path knob: every successful
+    /// rung is still independently KKT-certified.
+    pub dual_resolve: bool,
+    /// Shrink each epoch LP with certification-safe presolve before the
+    /// simplex ([`EpochSolver::presolve`]): redundant-row dropping plus
+    /// Fig-1 dominated-column fixing, with the warm basis mapped through
+    /// the reduction and the solution restored to (and certified against)
+    /// the full model.
+    pub presolve: bool,
 }
 
 impl Default for LipsConfig {
@@ -99,6 +116,8 @@ impl Default for LipsConfig {
             warm_start: true,
             colgen: false,
             max_pivots_per_epoch: None,
+            dual_resolve: true,
+            presolve: false,
         }
     }
 }
@@ -131,8 +150,15 @@ impl LipsConfig {
 /// rungs of the degradation ladder a fault-mode run reports per epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EpochOutcome {
-    /// The epoch LP solved and was independently certified optimal
-    /// (whether it started warm, repaired-warm, or cold).
+    /// The first rung: the carried basis was still dual feasible and the
+    /// bounded dual simplex re-optimized it directly — no phase 1, no
+    /// repair artificials — and the result certified. Distinguished from
+    /// [`EpochOutcome::Certified`] so fault-mode telemetry can report how
+    /// often churn was absorbed by the cheap path.
+    CertifiedDual,
+    /// The epoch LP solved along the configured primal path and was
+    /// independently certified optimal (whether it started warm,
+    /// repaired-warm, or cold).
     Certified,
     /// The configured solve path failed but a cold full-model retry
     /// solved and certified.
@@ -159,6 +185,9 @@ pub struct LipsScheduler {
     /// Epoch solves that actually started from the previous basis
     /// (feasible as-is or after repair).
     warm_solves: usize,
+    /// Epoch solves absorbed by the dual-simplex rung (the carried basis
+    /// was dual feasible and re-optimized without phase 1).
+    dual_solves: usize,
     /// Total simplex pivots across all epoch solves.
     lp_iterations: usize,
     /// Surviving active-column set + basis of the previous epoch's
@@ -183,6 +212,7 @@ impl LipsScheduler {
             lp_failures: 0,
             basis: None,
             warm_solves: 0,
+            dual_solves: 0,
             lp_iterations: 0,
             colgen_state: None,
             pricing_rounds: 0,
@@ -213,6 +243,12 @@ impl LipsScheduler {
     /// (skipping or shortening phase 1).
     pub fn warm_solves(&self) -> usize {
         self.warm_solves
+    }
+
+    /// Number of epoch solves absorbed by the dual-simplex rung (see
+    /// [`LipsConfig::dual_resolve`]).
+    pub fn dual_solves(&self) -> usize {
+        self.dual_solves
     }
 
     /// Total simplex pivots across all epoch solves so far.
@@ -275,6 +311,9 @@ impl LipsScheduler {
                 self.stale_basis_entries_dropped += sanitize_warm_start(ws, inst.cluster);
             }
             let mut solver = EpochSolver::new(inst).warm(warm.as_ref()).certify();
+            if self.config.presolve {
+                solver = solver.presolve();
+            }
             if let Some(b) = budget {
                 solver = solver.pivot_budget(b);
             }
@@ -284,12 +323,54 @@ impl LipsScheduler {
         }
     }
 
-    /// The degradation ladder: configured path (warm / colgen, possibly
-    /// repaired) → fairness floors relaxed → cold full model → `None`
-    /// (the caller degrades to greedy placement and retries the LP next
-    /// epoch). Every rung that returns a schedule returned a *certified*
-    /// one.
+    /// The ladder's first rung: a bounded dual-simplex re-solve from the
+    /// carried basis ([`LipsConfig::dual_resolve`]). Only attempted when a
+    /// basis exists on the non-colgen warm path. The basis is *taken* and
+    /// sanitized here; on failure the sanitized basis is put back so the
+    /// primal rung still warm-starts from it (and does not re-count the
+    /// stale entries), on success the re-optimized basis replaces it.
+    fn try_dual_rung(&mut self, inst: &LpInstance<'_>) -> Option<FractionalSchedule> {
+        if !self.config.dual_resolve
+            || !self.config.warm_start
+            || self.config.colgen
+            || self.basis.is_none()
+        {
+            return None;
+        }
+        let mut ws = self.basis.take()?;
+        self.stale_basis_entries_dropped += sanitize_warm_start(&mut ws, inst.cluster);
+        let mut solver = EpochSolver::new(inst).warm(Some(&ws)).dual().certify();
+        if self.config.presolve {
+            solver = solver.presolve();
+        }
+        if let Some(b) = self.config.max_pivots_per_epoch {
+            solver = solver.pivot_budget(b);
+        }
+        match solver.run() {
+            Ok(report) => {
+                self.basis = Some(report.basis);
+                self.dual_solves += 1;
+                Some(report.schedule)
+            }
+            Err(_) => {
+                // Not dual feasible (or budget blown): hand the sanitized
+                // basis to the primal rung untouched.
+                self.basis = Some(ws);
+                None
+            }
+        }
+    }
+
+    /// The degradation ladder: dual re-solve from the carried basis →
+    /// configured primal path (warm / colgen, possibly repaired) →
+    /// fairness floors relaxed → cold full model → `None` (the caller
+    /// degrades to greedy placement and retries the LP next epoch). Every
+    /// rung that returns a schedule returned a *certified* one.
     fn solve_with_ladder(&mut self, inst: &LpInstance<'_>) -> Option<FractionalSchedule> {
+        if let Some(s) = self.try_dual_rung(inst) {
+            self.epoch_outcomes.push(EpochOutcome::CertifiedDual);
+            return Some(s);
+        }
         if let Ok(s) = self.epoch_solve(inst) {
             self.epoch_outcomes.push(EpochOutcome::Certified);
             return Some(s);
@@ -662,6 +743,66 @@ mod tests {
             JobSpec::new(1, "w", JobKind::WordCount, 4096.0, 64),
             JobSpec::new(2, "p", JobKind::Pi, 0.0, 4),
         ]
+    }
+
+    #[test]
+    fn ladder_falls_through_dual_and_primal_to_degraded_on_infeasible_epoch() {
+        // Two machines totalling 7 ECU; no fake node, so slashing the
+        // epoch duration below the work's space leaves *every* rung — dual
+        // re-solve, warm primal, relaxed floors, cold — infeasible.
+        let mut b = lips_cluster::ClusterBuilder::new();
+        let za = b.add_zone("a");
+        let zb = b.add_zone("b");
+        b.add_machine(za, lips_cluster::InstanceType::M1_MEDIUM, 1.0, 100_000.0);
+        b.add_machine(zb, lips_cluster::InstanceType::C1_MEDIUM, 0.0, 100_000.0);
+        let cluster = b.build();
+        let job = LpJob {
+            id: lips_workload::JobId(0),
+            data: Some(DataId(0)),
+            size_mb: 1024.0,
+            tcp: 10.0,
+            fixed_ecu: 0.0,
+            avail: vec![(StoreId(0), 1.0)],
+        };
+        let feasible = LpInstance {
+            cluster: &cluster,
+            jobs: vec![job],
+            duration: 100_000.0,
+            fake_cost: None,
+            allow_moves: true,
+            enforce_transfer_time: false,
+            store_free_mb: vec![],
+            pool_floors: vec![],
+            prune: PruneConfig::default(),
+        };
+        let mut infeasible = feasible.clone();
+        infeasible.duration = 1024.0 * 10.0 / 7.0 * 0.9; // 10% short of capacity
+
+        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(600.0));
+        // Epoch 0: no carried basis — the primal rung serves it.
+        assert!(sched.solve_with_ladder(&feasible).is_some());
+        // Epoch 1: unchanged model, carried basis — the dual rung's.
+        assert!(sched.solve_with_ladder(&feasible).is_some());
+        // Epoch 2: infeasible. The dual rung must fail fast (the shrunken
+        // model admits no feasible point), every primal rung after it must
+        // fail too, and the ladder must land on Degraded — not panic, not
+        // return an uncertified schedule.
+        assert!(sched.solve_with_ladder(&infeasible).is_none());
+        assert_eq!(
+            sched.epoch_outcomes(),
+            &[
+                EpochOutcome::Certified,
+                EpochOutcome::CertifiedDual,
+                EpochOutcome::Degraded
+            ]
+        );
+        assert_eq!(sched.dual_solves(), 1);
+        // Epoch 3: capacity restored — the scheduler recovers on its own.
+        assert!(sched.solve_with_ladder(&feasible).is_some());
+        assert_ne!(
+            *sched.epoch_outcomes().last().unwrap(),
+            EpochOutcome::Degraded
+        );
     }
 
     #[test]

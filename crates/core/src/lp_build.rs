@@ -846,6 +846,9 @@ pub struct SolveReport {
     pub basis: WarmStart,
     /// Cross-epoch column state + telemetry; `Some` iff colgen mode.
     pub colgen: Option<(ColGenState, ColGenStats)>,
+    /// Variables fixed plus rows dropped by epoch presolve (0 unless
+    /// [`EpochSolver::presolve`] was requested).
+    pub presolve_removed: usize,
 }
 
 /// The unified builder-style solve entry point (the former seven `solve*`
@@ -874,6 +877,8 @@ pub struct EpochSolver<'i, 'c> {
     shadow_prices: bool,
     colgen: Option<(ColGenOptions, Option<&'i ColGenState>)>,
     pivot_budget: Option<usize>,
+    dual: bool,
+    presolve: bool,
     pool: Pool,
 }
 
@@ -886,6 +891,8 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
             shadow_prices: false,
             colgen: None,
             pivot_budget: None,
+            dual: false,
+            presolve: false,
             pool: Pool::from_env(),
         }
     }
@@ -941,6 +948,39 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
         self
     }
 
+    /// Re-optimize with the *bounded dual simplex*
+    /// ([`lips_lp::solve_dual_with_options`]) starting from the basis
+    /// passed to [`EpochSolver::warm`], instead of the primal simplex.
+    /// This is the churn rung: after an epoch edit that only perturbs
+    /// bounds and costs (work completing, rhs drifting), the carried
+    /// basis is typically still dual feasible and the dual method
+    /// re-optimizes in a handful of pivots with no phase 1 and no
+    /// artificials. The solve *fails* (rather than silently falling back)
+    /// when no usable warm basis was given or the basis is not dual
+    /// feasible even after bound flips — callers degrade to the primal
+    /// path, which is exactly how [`crate::lips::LipsScheduler`]'s ladder
+    /// uses it. Ignored in colgen mode.
+    #[must_use]
+    pub fn dual(mut self) -> Self {
+        self.dual = true;
+        self
+    }
+
+    /// Reduce the model with certification-safe presolve
+    /// ([`lips_lp::presolve::certified_options`]: redundant-row dropping
+    /// and Fig-1 dominated-column fixing) before the simplex, mapping
+    /// the warm basis into the reduced space and restoring the solution
+    /// (values, duals, objective, and basis) to the full model afterward.
+    /// Certification still runs against the *full* model, so the knob can
+    /// never change an optimum, only shrink the simplex's working set.
+    /// Ignored in colgen mode (the restricted master is its own
+    /// reduction).
+    #[must_use]
+    pub fn presolve(mut self) -> Self {
+        self.presolve = true;
+        self
+    }
+
     /// Cap simplex pivots for this solve; past the cap the solve fails
     /// with [`LpError::IterationLimit`] instead of running to optimality.
     /// This is the epoch scheduler's time-budget rung: a faulted epoch
@@ -962,11 +1002,31 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
                 certificate: Some(EpochCertificate::Restricted(out.certificate)),
                 basis: out.state.basis.clone(),
                 colgen: Some((out.state, out.stats)),
+                presolve_removed: 0,
             });
         }
 
         let (model, maps) = build(self.inst, self.pool);
-        let sol = solve_model(&model, self.warm, self.pivot_budget)?;
+        let (sol, presolve_removed) = if self.presolve {
+            let (reduced, restore) =
+                lips_lp::presolve::presolve_with(&model, lips_lp::presolve::certified_options())?;
+            // The carried basis is keyed to the full model; project it
+            // into the reduced space so the warm/dual path still applies.
+            let mapped = self.warm.map(|w| restore.map_warm_start(&model, w));
+            let sol = if self.dual {
+                solve_model_dual(&reduced, mapped.as_ref(), self.pivot_budget)?
+            } else {
+                solve_model(&reduced, mapped.as_ref(), self.pivot_budget)?
+            };
+            // Values, duals, objective, and basis all in full-model space
+            // again — certification below runs against the *unreduced*
+            // model, so presolve can never launder a wrong answer.
+            (restore.restore_solution(&model, &sol), restore.removed())
+        } else if self.dual {
+            (solve_model_dual(&model, self.warm, self.pivot_budget)?, 0)
+        } else {
+            (solve_model(&model, self.warm, self.pivot_budget)?, 0)
+        };
         let certificate = if self.certify {
             match lips_audit::certify_with(self.pool, &model, &sol) {
                 Ok(cert) if cert.is_optimal() => Some(EpochCertificate::Full(cert)),
@@ -995,8 +1055,27 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
             certificate,
             basis,
             colgen: None,
+            presolve_removed,
         })
     }
+}
+
+/// One bounded dual-simplex run from a warm basis, optionally
+/// pivot-capped. No warm basis at all means there is nothing to
+/// re-optimize from: that is [`LpError::NotDualFeasible`], the same error
+/// the dual solver reports for an unusable basis, so callers have exactly
+/// one fallback signal.
+fn solve_model_dual(
+    model: &Model,
+    warm: Option<&WarmStart>,
+    pivot_budget: Option<usize>,
+) -> Result<lips_lp::Solution, LpError> {
+    let warm = warm.ok_or(LpError::NotDualFeasible)?;
+    let mut opts = lips_lp::revised::RevisedOptions::default();
+    if let Some(max_iterations) = pivot_budget {
+        opts.max_iterations = max_iterations;
+    }
+    lips_lp::solve_dual_with_options(model, warm, &opts)
 }
 
 /// One simplex run, optionally warm-started and pivot-capped.

@@ -38,6 +38,10 @@ pub enum WarmOutcome {
     /// after model edits); a short phase 1 over the repair artificials ran
     /// before phase 2.
     WarmRepaired,
+    /// The warm basis was dual feasible (possibly after bound flips) and
+    /// the bounded dual simplex re-optimized it directly — no phase 1, no
+    /// artificials (see [`crate::dual::solve_dual_from_basis`]).
+    Dual,
 }
 
 /// A basis snapshot keyed by names, suitable for seeding a later solve of

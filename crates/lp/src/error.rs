@@ -24,6 +24,11 @@ pub enum LpError {
     /// The basis matrix became numerically singular and refactorization did
     /// not recover it.
     SingularBasis,
+    /// A warm basis handed to the dual simplex could not be made dual
+    /// feasible (wrong-signed reduced costs on columns that cannot bound
+    /// flip). Not a property of the model — the caller should fall back to
+    /// the primal solver.
+    NotDualFeasible,
 }
 
 impl fmt::Display for LpError {
@@ -47,6 +52,9 @@ impl fmt::Display for LpError {
                 write!(f, "constraint references unknown variable id {var}")
             }
             LpError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+            LpError::NotDualFeasible => {
+                write!(f, "warm basis is not dual feasible even after bound flips")
+            }
         }
     }
 }
@@ -71,6 +79,7 @@ mod tests {
             LpError::NonFiniteInput { what: "rhs" },
             LpError::UnknownVariable { var: 3 },
             LpError::SingularBasis,
+            LpError::NotDualFeasible,
         ];
         let msgs: Vec<String> = errs.iter().map(std::string::ToString::to_string).collect();
         for (i, a) in msgs.iter().enumerate() {

@@ -39,6 +39,7 @@
 pub mod basis;
 pub mod clock;
 pub mod dense;
+pub mod dual;
 pub mod error;
 pub mod lu;
 pub mod model;
@@ -53,6 +54,7 @@ pub mod sparse;
 pub mod standard;
 
 pub use basis::{BasisStatus, WarmOutcome, WarmStart};
+pub use dual::{solve_dual_from_basis, solve_dual_with_options};
 pub use error::LpError;
 pub use model::{Cmp, ConstraintId, Model, Sense, VarId};
 pub use pricing::ColumnPricer;

@@ -225,6 +225,7 @@ impl RevisedSimplex {
             ftran_nnz: w.ftran_nnz,
             warm: outcome,
             solve_ms: t0.elapsed_ms(),
+            ..SolveStats::default()
         };
         let next_warm = extract_warm_start(model, &sf, &w);
         Ok(
@@ -238,7 +239,7 @@ impl RevisedSimplex {
 /// Map a warm start's named statuses onto this model's standard-form
 /// columns. Returns `None` when not a single status matched (treat as
 /// cold — the warm start is for a different model).
-fn resolve_warm_states(
+pub(crate) fn resolve_warm_states(
     model: &Model,
     sf: &StandardForm,
     ws: &WarmStart,
@@ -267,7 +268,7 @@ fn resolve_warm_states(
 }
 
 /// Snapshot the final basis as a name-keyed warm start for the next solve.
-fn extract_warm_start(model: &Model, sf: &StandardForm, w: &Worker) -> WarmStart {
+pub(crate) fn extract_warm_start(model: &Model, sf: &StandardForm, w: &Worker) -> WarmStart {
     let mut ws = WarmStart::new();
     for j in 0..sf.n_structural {
         ws.set_var(model.var_name(VarId(j)), to_basis_status(w.state[j]));
@@ -284,7 +285,7 @@ fn extract_warm_start(model: &Model, sf: &StandardForm, w: &Worker) -> WarmStart
     ws
 }
 
-fn to_basis_status(s: VarState) -> BasisStatus {
+pub(crate) fn to_basis_status(s: VarState) -> BasisStatus {
     match s {
         VarState::Basic => BasisStatus::Basic,
         VarState::AtLower => BasisStatus::AtLower,
@@ -294,7 +295,7 @@ fn to_basis_status(s: VarState) -> BasisStatus {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic,
     AtLower,
     AtUpper,
@@ -318,14 +319,14 @@ enum WarmInit {
 /// nonzeros are stored: `diag` is the pivot entry, `nnz` the off-pivot
 /// entries — the columns are typically very sparse and the dense scan was
 /// measurable on large bases.
-struct Eta {
-    row: usize,
-    diag: f64,
-    nnz: Vec<(usize, f64)>,
+pub(crate) struct Eta {
+    pub(crate) row: usize,
+    pub(crate) diag: f64,
+    pub(crate) nnz: Vec<(usize, f64)>,
 }
 
 /// Basis factorization, either backend.
-enum Factor {
+pub(crate) enum Factor {
     Dense(DenseLu),
     Sparse(SparseLu),
 }
@@ -353,27 +354,27 @@ impl Factor {
     }
 }
 
-struct Worker<'a> {
-    sf: &'a StandardForm,
-    opts: &'a RevisedOptions,
+pub(crate) struct Worker<'a> {
+    pub(crate) sf: &'a StandardForm,
+    pub(crate) opts: &'a RevisedOptions,
     /// Number of non-artificial columns (structural + slack).
-    n_real: usize,
+    pub(crate) n_real: usize,
     /// Artificial column sign per row (`0.0` = row has no artificial).
     art_sign: Vec<f64>,
     /// Column ids of created artificials (each ≥ `n_real`).
     art_cols: Vec<usize>,
     /// Maps artificial column id → row.
     art_row: Vec<usize>,
-    lb: Vec<f64>,
-    ub: Vec<f64>,
-    costs: Vec<f64>,
-    state: Vec<VarState>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) costs: Vec<f64>,
+    pub(crate) state: Vec<VarState>,
     /// Basic variable per row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Current value of every column.
-    x: Vec<f64>,
+    pub(crate) x: Vec<f64>,
     factor: Option<Factor>,
-    etas: Vec<Eta>,
+    pub(crate) etas: Vec<Eta>,
     /// Length-`m` scratch for the sparse backend's solves.
     scratch: Vec<f64>,
     /// Reused per-refactorization workspace: the basis columns handed to
@@ -381,17 +382,17 @@ struct Worker<'a> {
     spcols: Vec<Vec<(usize, f64)>>,
     /// Row-major mirror of `sf.a` for devex pivot-row computation
     /// (`None` under Dantzig pricing).
-    csr: Option<CsrMatrix>,
+    pub(crate) csr: Option<CsrMatrix>,
     /// Devex reference weights, one per column (artificials included).
     devex_w: Vec<f64>,
-    iterations: usize,
-    phase1_iterations: usize,
-    refactors: usize,
+    pub(crate) iterations: usize,
+    pub(crate) phase1_iterations: usize,
+    pub(crate) refactors: usize,
     /// Nonzeros produced by entering-column FTRANs (see
     /// [`SolveStats::ftran_nnz`]).
-    ftran_nnz: u64,
-    degenerate_run: usize,
-    bland: bool,
+    pub(crate) ftran_nnz: u64,
+    pub(crate) degenerate_run: usize,
+    pub(crate) bland: bool,
     in_phase1: bool,
     /// Rotating start offset for partial pricing.
     price_cursor: usize,
@@ -399,11 +400,11 @@ struct Worker<'a> {
     /// `opts.max_iterations`). Set while probing a repaired warm basis so a
     /// pathological repair can never cost more than a bounded prefix of
     /// phase 1 before the caller falls back to a cold start.
-    iteration_budget: Option<usize>,
+    pub(crate) iteration_budget: Option<usize>,
 }
 
 impl<'a> Worker<'a> {
-    fn new(sf: &'a StandardForm, opts: &'a RevisedOptions) -> Self {
+    pub(crate) fn new(sf: &'a StandardForm, opts: &'a RevisedOptions) -> Self {
         let n_real = sf.ncols();
         let m = sf.nrows();
         let csr = match opts.pricing {
@@ -441,11 +442,20 @@ impl<'a> Worker<'a> {
         }
     }
 
-    fn m(&self) -> usize {
+    /// Guarantee the CSR mirror exists. Devex pricing builds it eagerly;
+    /// the dual ratio test needs it regardless of the pricing rule because
+    /// pivot rows are accumulated over the rows of `rho`'s support.
+    pub(crate) fn ensure_csr(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrMatrix::from_csc(&self.sf.a));
+        }
+    }
+
+    pub(crate) fn m(&self) -> usize {
         self.sf.nrows()
     }
 
-    fn ncols(&self) -> usize {
+    pub(crate) fn ncols(&self) -> usize {
         self.n_real + self.art_cols.len()
     }
 
@@ -459,14 +469,14 @@ impl<'a> Worker<'a> {
     /// a modest share of the rows the repaired point is *worse* than the
     /// cold crash basis; measured on the epoch workload the crossover sits
     /// near an eighth of the rows.
-    fn repair_limit(&self) -> usize {
+    pub(crate) fn repair_limit(&self) -> usize {
         (self.m() / 8).max(8)
     }
 
     /// Visit the nonzero entries of a column (handles artificial columns,
     /// which are signed unit vectors). Closure-based to stay allocation-free
     /// on the pricing hot path.
-    fn for_col(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+    pub(crate) fn for_col(&self, j: usize, mut f: impl FnMut(usize, f64)) {
         if j < self.n_real {
             for (r, v) in self.sf.a.col(j) {
                 f(r, v);
@@ -496,7 +506,7 @@ impl<'a> Worker<'a> {
 
     /// Place column `j` nonbasic, honoring a requested status when it is
     /// consistent with the bounds, falling back to the cold placement.
-    fn place_nonbasic(&mut self, j: usize, requested: Option<BasisStatus>) {
+    pub(crate) fn place_nonbasic(&mut self, j: usize, requested: Option<BasisStatus>) {
         let (lo, hi) = (self.lb[j], self.ub[j]);
         let (st, v) = match requested {
             Some(BasisStatus::AtLower) if lo.is_finite() => (VarState::AtLower, lo),
@@ -732,7 +742,7 @@ impl<'a> Worker<'a> {
 
     /// Refactorize, and on singularity retry once after swapping the
     /// dependent columns for slacks (see [`Self::prune_dependent_basics`]).
-    fn refactor_or_prune(&mut self) -> bool {
+    pub(crate) fn refactor_or_prune(&mut self) -> bool {
         self.refactor().is_ok()
             || (self.prune_dependent_basics(self.repair_limit()) && self.refactor().is_ok())
     }
@@ -828,7 +838,7 @@ impl<'a> Worker<'a> {
         self.devex_w.fill(1.0);
     }
 
-    fn set_phase2_costs(&mut self) {
+    pub(crate) fn set_phase2_costs(&mut self) {
         self.in_phase1 = false;
         for (j, c) in self.costs.iter_mut().enumerate() {
             *c = if j < self.n_real { self.sf.c[j] } else { 0.0 };
@@ -869,7 +879,7 @@ impl<'a> Worker<'a> {
     /// buffer. Refactorization happens every few dozen pivots, and on large
     /// bases the repeated allocation (and its page faults) used to dominate
     /// the factorization itself.
-    fn refactor(&mut self) -> Result<(), LpError> {
+    pub(crate) fn refactor(&mut self) -> Result<(), LpError> {
         let m = self.m();
         self.refactors += 1;
         match self.opts.backend {
@@ -909,7 +919,7 @@ impl<'a> Worker<'a> {
     }
 
     /// xB = B⁻¹ (b − N x_N).
-    fn recompute_basic_values(&mut self) {
+    pub(crate) fn recompute_basic_values(&mut self) {
         let m = self.m();
         let mut rhs = self.sf.b.clone();
         for j in 0..self.ncols() {
@@ -925,7 +935,7 @@ impl<'a> Worker<'a> {
     }
 
     /// Solve `B t = v` in place.
-    fn ftran(&mut self, v: &mut [f64]) {
+    pub(crate) fn ftran(&mut self, v: &mut [f64]) {
         let Worker {
             factor,
             scratch,
@@ -948,7 +958,7 @@ impl<'a> Worker<'a> {
     }
 
     /// Solve `Bᵀ y = v` in place.
-    fn btran(&mut self, v: &mut [f64]) {
+    pub(crate) fn btran(&mut self, v: &mut [f64]) {
         let Worker {
             factor,
             scratch,
@@ -970,7 +980,7 @@ impl<'a> Worker<'a> {
 
     /// Simplex multipliers for the *current* cost vector, into a reused
     /// buffer.
-    fn current_duals_into(&mut self, y: &mut Vec<f64>) {
+    pub(crate) fn current_duals_into(&mut self, y: &mut Vec<f64>) {
         y.clear();
         y.extend(self.basis.iter().map(|&j| self.costs[j]));
         self.btran(y);
@@ -978,14 +988,14 @@ impl<'a> Worker<'a> {
 
     /// Simplex multipliers for the *current* cost vector (allocating; used
     /// once per solve for the returned duals).
-    fn current_duals(&mut self) -> Vec<f64> {
+    pub(crate) fn current_duals(&mut self) -> Vec<f64> {
         let mut y = Vec::new();
         self.current_duals_into(&mut y);
         y
     }
 
     /// Reduced cost of nonbasic column `j` given multipliers `y`.
-    fn reduced_cost(&self, y: &[f64], j: usize) -> f64 {
+    pub(crate) fn reduced_cost(&self, y: &[f64], j: usize) -> f64 {
         if j < self.n_real {
             self.costs[j] - self.sf.a.dot_col(y, j)
         } else {
@@ -1147,7 +1157,7 @@ impl<'a> Worker<'a> {
     }
 
     /// One full simplex phase with the current cost vector.
-    fn run(&mut self) -> Result<(), LpError> {
+    pub(crate) fn run(&mut self) -> Result<(), LpError> {
         let m = self.m();
         let n = self.ncols();
         // Per-phase scratch, reused across every iteration of the loop —

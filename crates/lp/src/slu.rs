@@ -27,17 +27,15 @@ use crate::error::LpError;
 /// be at least this fraction of the largest magnitude in its column.
 const MARKOWITZ_THRESHOLD: f64 = 0.1;
 
-/// One elimination step of `L`: the multipliers that eliminated the pivot
-/// row from the still-active rows.
-#[derive(Debug, Clone)]
-struct LStep {
-    /// `(original row, multiplier)`; applying the step does
-    /// `v[row] -= mult * v[pivot_row]`.
-    mults: Vec<(usize, f64)>,
-}
-
 /// Sparse `B = L·U` factorization (row and column permutations implicit in
 /// the pivot order).
+///
+/// Both factors are stored *flat-packed* (CSR-style pointer/index/value
+/// triples) rather than as per-step `Vec<Vec<_>>`: FTRAN and BTRAN walk
+/// every stored nonzero once per solve, and with one contiguous allocation
+/// per factor that walk is a linear scan instead of a pointer chase
+/// through `m` separate heap blocks. Dual-simplex pivots are BTRAN-heavy,
+/// which makes the packing measurable.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     m: usize,
@@ -47,10 +45,17 @@ pub struct SparseLu {
     pcol: Vec<usize>,
     /// `row_of_pos[p]` = pivot row assigned to basis position `p`.
     row_of_pos: Vec<usize>,
-    lsteps: Vec<LStep>,
-    /// Upper entries per step `k`: `(earlier step k', value)` meaning
-    /// `U[k'][k] = value`; the diagonal lives in `udiag`.
-    ucols: Vec<Vec<(usize, f64)>>,
+    /// Step `k`'s L multipliers live at `lptr[k]..lptr[k+1]` in
+    /// `lrow`/`lval`; applying the step does `v[lrow[e]] -= lval[e] * t`.
+    lptr: Vec<usize>,
+    lrow: Vec<usize>,
+    lval: Vec<f64>,
+    /// Step `k`'s upper entries live at `uptr[k]..uptr[k+1]` in
+    /// `ustep`/`uval`: `ustep[e]` is an earlier step `k'` with
+    /// `U[k'][k] = uval[e]`; the diagonal lives in `udiag`.
+    uptr: Vec<usize>,
+    ustep: Vec<usize>,
+    uval: Vec<f64>,
     udiag: Vec<f64>,
     nnz: usize,
 }
@@ -71,8 +76,12 @@ impl SparseLu {
             prow: Vec::with_capacity(m),
             pcol: Vec::with_capacity(m),
             row_of_pos: vec![usize::MAX; m],
-            lsteps: Vec::with_capacity(m),
-            ucols: vec![Vec::new(); m],
+            lptr: vec![0],
+            lrow: Vec::new(),
+            lval: Vec::new(),
+            uptr: vec![0],
+            ustep: Vec::new(),
+            uval: Vec::new(),
             udiag: Vec::with_capacity(m),
             nnz: 0,
         };
@@ -210,14 +219,22 @@ impl SparseLu {
             }
 
             lu.nnz += 1 + lmults.len() + upper[pc].len();
-            lu.lsteps.push(LStep {
-                mults: std::mem::take(&mut lmults),
-            });
+            for &(r, l) in &lmults {
+                lu.lrow.push(r);
+                lu.lval.push(l);
+            }
+            lu.lptr.push(lu.lrow.len());
+            lmults.clear();
         }
 
-        // Remap upper entries from column positions to elimination steps.
+        // Pack upper entries, remapped from column positions to
+        // elimination steps.
         for k in 0..m {
-            lu.ucols[k] = std::mem::take(&mut upper[lu.pcol[k]]);
+            for &(k2, u) in &upper[lu.pcol[k]] {
+                lu.ustep.push(k2);
+                lu.uval.push(u);
+            }
+            lu.uptr.push(lu.ustep.len());
         }
         Ok(lu)
     }
@@ -242,26 +259,47 @@ impl SparseLu {
     /// Solve `B x = v` in place. On entry `v` is indexed by *row*; on exit
     /// it is indexed by *basis position* (matching the dense backend's
     /// convention). `scratch` must have length `m`.
+    ///
+    /// The forward pass runs guarded (skipping steps whose pivot value is
+    /// exactly zero) while the solve vector stays sparse, and switches to
+    /// an unguarded scan once the tracked nonzero count passes a quarter
+    /// of the rows: on a densified vector the zero check is pure
+    /// branch-miss cost. The switch cannot change the result — a skipped
+    /// step subtracts exact zeros.
     pub fn solve_in_place(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
         debug_assert_eq!(scratch.len(), m);
         // Forward: L z = v, in original row space.
-        for k in 0..m {
+        let window = m / 4;
+        let mut live = v.iter().filter(|&&x| x != 0.0).count();
+        let mut k = 0usize;
+        while k < m && live <= window {
             let t = v[self.prow[k]];
             if t != 0.0 {
-                for &(r, l) in &self.lsteps[k].mults {
-                    v[r] -= l * t;
+                for e in self.lptr[k]..self.lptr[k + 1] {
+                    v[self.lrow[e]] -= self.lval[e] * t;
                 }
+                // Upper bound on the fill the step produced; an
+                // overestimate only flips to the dense scan early.
+                live += self.lptr[k + 1] - self.lptr[k];
             }
+            k += 1;
+        }
+        while k < m {
+            let t = v[self.prow[k]];
+            for e in self.lptr[k]..self.lptr[k + 1] {
+                v[self.lrow[e]] -= self.lval[e] * t;
+            }
+            k += 1;
         }
         // Backward: U x = z, in step space (z_k lives at v[prow[k]]).
         for k in (0..m).rev() {
             let xk = v[self.prow[k]] / self.udiag[k];
             v[self.prow[k]] = xk;
             if xk != 0.0 {
-                for &(k2, u) in &self.ucols[k] {
-                    v[self.prow[k2]] -= u * xk;
+                for e in self.uptr[k]..self.uptr[k + 1] {
+                    v[self.prow[self.ustep[e]]] -= self.uval[e] * xk;
                 }
             }
         }
@@ -275,23 +313,38 @@ impl SparseLu {
     /// Solve `Bᵀ y = v` in place. On entry `v` is indexed by *basis
     /// position*; on exit by *row* (again matching the dense backend).
     /// `scratch` must have length `m`.
+    ///
+    /// BTRAN is the dual simplex's hot path (`ρ = B⁻ᵀe_r` every pivot),
+    /// and a unit right-hand side leaves every step before the pivot's
+    /// own trivially zero: the forward pass skips whole steps until the
+    /// first nonzero input appears, which is exact because all earlier
+    /// intermediate values are zero too.
     pub fn solve_transpose_in_place(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
         debug_assert_eq!(scratch.len(), m);
         // Forward: Uᵀ w = v, in step order (scratch holds w).
+        let mut seen_nonzero = false;
         for k in 0..m {
-            let mut s = v[self.pcol[k]];
-            for &(k2, u) in &self.ucols[k] {
-                s -= u * scratch[k2];
+            let x = v[self.pcol[k]];
+            if !seen_nonzero {
+                if x == 0.0 {
+                    scratch[k] = 0.0;
+                    continue;
+                }
+                seen_nonzero = true;
+            }
+            let mut s = x;
+            for e in self.uptr[k]..self.uptr[k + 1] {
+                s -= self.uval[e] * scratch[self.ustep[e]];
             }
             scratch[k] = s / self.udiag[k];
         }
         // Backward: Lᵀ y = w, writing y into v by original row.
         for k in (0..m).rev() {
             let mut s = scratch[k];
-            for &(r, l) in &self.lsteps[k].mults {
-                s -= l * v[r];
+            for e in self.lptr[k]..self.lptr[k + 1] {
+                s -= self.lval[e] * v[self.lrow[e]];
             }
             v[self.prow[k]] = s;
         }
@@ -402,6 +455,47 @@ mod tests {
             let got_t = btran(&sparse, &rhs);
             for (g, w) in got_t.iter().zip(&want_t) {
                 assert!((g - w).abs() < 1e-8, "n={n}: btran {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_vectors_roundtrip_through_sparse_guards() {
+        // Unit right-hand sides keep both solves inside the guarded sparse
+        // phase (BTRAN skips every step before the pivot's own; FTRAN skips
+        // steps with a zero pivot value) — the exact shape every dual pivot
+        // produces. Results must still match the dense backend.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let n = 33;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || rng.gen_bool(0.12) {
+                    a[i * n + j] = rng.gen_range(-1.0..1.0);
+                }
+            }
+            a[i * n + i] += 3.0;
+        }
+        let dense = DenseLu::factorize(n, a.clone(), 1e-12).unwrap();
+        let mut cols = to_sparse_cols(n, &a);
+        let sparse = SparseLu::factorize(n, &mut cols, 1e-12).unwrap();
+        for r in 0..n {
+            let mut e = vec![0.0; n];
+            e[r] = 1.0;
+
+            let mut want = e.clone();
+            dense.solve_in_place(&mut want);
+            let got = ftran(&sparse, &e);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-8, "r={r}: ftran {g} vs {w}");
+            }
+
+            let mut want_t = e.clone();
+            dense.solve_transpose_in_place(&mut want_t);
+            let got_t = btran(&sparse, &e);
+            for (g, w) in got_t.iter().zip(&want_t) {
+                assert!((g - w).abs() < 1e-8, "r={r}: btran {g} vs {w}");
             }
         }
     }

@@ -25,11 +25,19 @@ pub struct SolveStats {
     /// pivots — the honest measure of how much linear algebra the solve
     /// did, independent of wall clock.
     pub ftran_nnz: u64,
-    /// How the solve started (cold / warm / warm-after-repair).
+    /// How the solve started (cold / warm / warm-after-repair / dual).
     pub warm: WarmOutcome,
     /// Wall-clock time of the simplex itself (basis seeding through final
     /// pivot), excluding model construction and any later certification.
     pub solve_ms: f64,
+    /// Dual-simplex pivots performed (0 for primal solves). Dual pivots
+    /// are also counted in `iterations`.
+    pub dual_pivots: usize,
+    /// Nonbasic bound flips performed by the dual solver — both the
+    /// dual-feasibility-restoring flips at initialization and the
+    /// long-step flips inside the dual ratio test. Flips are not pivots
+    /// and are not counted in `iterations`.
+    pub bound_flips: usize,
 }
 
 /// Result of a successful solve.
@@ -168,7 +176,7 @@ mod tests {
                 refactors: 2,
                 ftran_nnz: 42,
                 warm: WarmOutcome::Warm,
-                solve_ms: 0.0,
+                ..SolveStats::default()
             })
             .with_warm_start(ws);
         assert_eq!(s.stats().phase1_iterations, 1);

@@ -75,8 +75,8 @@ fn twenty_epoch_fault_run_certifies_or_degrades_every_epoch() {
         report.metrics.faults.lost_ecu_sec
     );
 
-    // The headline: >= 20 epochs, each one certified (warm or cold) or
-    // explicitly degraded — never silently unaccounted.
+    // The headline: >= 20 epochs, each one certified (dual, warm, or
+    // cold) or explicitly degraded — never silently unaccounted.
     let outcomes = sched.epoch_outcomes();
     assert!(outcomes.len() >= 20, "only {} epochs ran", outcomes.len());
     let degraded = outcomes
@@ -89,9 +89,33 @@ fn twenty_epoch_fault_run_certifies_or_degrades_every_epoch() {
     );
     let certified = outcomes
         .iter()
-        .filter(|&&o| matches!(o, EpochOutcome::Certified | EpochOutcome::CertifiedCold))
+        .filter(|&&o| {
+            matches!(
+                o,
+                EpochOutcome::CertifiedDual | EpochOutcome::Certified | EpochOutcome::CertifiedCold
+            )
+        })
         .count();
     assert_eq!(certified + degraded, outcomes.len());
+
+    // Rung ordering: the dual rung runs *first*, so with warm starts on it
+    // absorbs the steady-state epochs — only the first epoch (no carried
+    // basis) and fault-perturbed epochs may fall to the primal rungs. The
+    // scheduler's counter must agree with the per-epoch record.
+    let dual = outcomes
+        .iter()
+        .filter(|&&o| o == EpochOutcome::CertifiedDual)
+        .count();
+    assert_eq!(dual, sched.dual_solves());
+    assert!(
+        dual > 0,
+        "a 20-epoch warm run never took the dual rung: {outcomes:?}"
+    );
+    assert_ne!(
+        outcomes[0],
+        EpochOutcome::CertifiedDual,
+        "the first epoch has no carried basis to dual-resolve from"
+    );
 }
 
 #[test]
