@@ -13,21 +13,31 @@
 //! `--faults`, a second fault series whose ladder tries the dual rung
 //! first; records `dual_pivots`/`bound_flips`/`presolve_removed` per epoch
 //! and the fault-epoch iteration ratio vs the primal repair ladder),
+//! `--mode sharded` (also run the block-angular decomposition — per-zone
+//! subproblems fanned out in parallel, stitched and re-priced by a
+//! restricted master, certified against the full model — with shard +
+//! master bases chained across epochs),
 //! `--audit` (exit non-zero unless every epoch of every mode certified),
 //! `--threads N` (worker count for model build, pricing, and
 //! certification; default 0 = `LIPS_THREADS` or the host parallelism),
 //! `--scaling` (re-run the colgen sequence at 1/2/4/8 workers and record
 //! per-width wall-time plus a bitwise determinism check),
+//! `--nodes N` (cluster size, default 100),
+//! `--scale` (run *only* the 100/1k/10k-node scale trajectory on
+//! Google-trace-shaped workloads and write `BENCH_scale.json` with
+//! per-phase build/solve/certify wall-times),
 //! `--jobs N` (default 32), `--epochs N` (default 20), `--churn N`
 //! (default 2), `--churn-every N` (default 5 — a LiPS epoch is ~2000 s,
 //! so a Table-IV-sized job spans several epochs before a
 //! departure/arrival pair perturbs the LP's structure).
 
 use lips_bench::lp_epoch::{
-    dual_fault_head_to_head, fault_epoch_iterations, large_cluster, run_epochs, run_epochs_faulted,
+    dual_fault_head_to_head, fault_epoch_iterations, run_epochs, run_epochs_faulted,
     thread_scaling, EpochMode, EpochRun, FaultEpochRun, FaultScript, ThreadScalingPoint, EPOCHS,
 };
+use lips_bench::scale::{default_series, run_scale_point, ScaleReport};
 use lips_bench::Table;
+use lips_cluster::ec2_mixed_cluster;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,6 +51,10 @@ struct BenchReport {
     /// (certification-safe presolve + dual-simplex re-solve from the
     /// carried basis, primal fallback when no basis is dual-startable).
     dual: Option<EpochRun>,
+    /// Present only with `--mode sharded`: the block-angular
+    /// decomposition, shard + master bases chained across epochs, every
+    /// epoch certified against the full model.
+    sharded: Option<EpochRun>,
     /// Present only with `--faults`: the same epoch sequence with scripted
     /// machine revocations, a store loss, a repricing, and a rejoin.
     faults: Option<FaultEpochRun>,
@@ -72,6 +86,9 @@ struct BenchReport {
     /// cold ÷ dual total simplex iterations over the churn sequence
     /// (higher = the dual fast path wins). `None` without `--mode dual`.
     dual_iteration_ratio: Option<f64>,
+    /// warm ÷ sharded total epoch wall-time (build + solve + certify;
+    /// higher = the decomposition wins). `None` without `--mode sharded`.
+    sharded_epoch_ms_ratio: Option<f64>,
     /// Head-to-head fault re-solve ratio: on each dual-served fault
     /// epoch both methods solve the same model from the same repaired
     /// basis, and this is primal ÷ dual summed iterations (higher = the
@@ -98,14 +115,23 @@ fn main() {
     let churn = flag_value(&args, "--churn", 2);
     let churn_every = flag_value(&args, "--churn-every", 5);
     let threads = flag_value(&args, "--threads", 0);
+    let nodes = flag_value(&args, "--nodes", 100);
     let with_colgen = args.iter().any(|a| a == "--colgen");
     let with_dual = args.windows(2).any(|w| w[0] == "--mode" && w[1] == "dual");
+    let with_sharded = args
+        .windows(2)
+        .any(|w| w[0] == "--mode" && w[1] == "sharded");
     let with_faults = args.iter().any(|a| a == "--faults");
     let with_scaling = args.iter().any(|a| a == "--scaling");
     // lips-allow(thread-width-dependence): reported in the bench header only; never feeds results
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
 
-    let cluster = large_cluster();
+    if args.iter().any(|a| a == "--scale") {
+        run_scale_series(threads, host_parallelism, &args);
+        return;
+    }
+
+    let cluster = ec2_mixed_cluster(nodes, 0.4, 1e9, 1);
     let config = format!(
         "{} nodes, {jobs} jobs/epoch, churn {churn} every {churn_every} epochs, {epochs} epochs",
         cluster.machines.len()
@@ -153,6 +179,17 @@ fn main() {
             threads,
         )
     });
+    let sharded = with_sharded.then(|| {
+        run_epochs(
+            &cluster,
+            jobs,
+            churn,
+            churn_every,
+            epochs,
+            EpochMode::Sharded,
+            threads,
+        )
+    });
     let faults = with_faults.then(|| {
         let script = FaultScript::acceptance(&cluster);
         run_epochs_faulted(
@@ -196,6 +233,9 @@ fn main() {
     if with_dual {
         header.extend(["dual iters", "dual ms", "pivots/flips", "presolved"]);
     }
+    if with_sharded {
+        header.extend(["sh iters", "sh ms", "sh cols", "sh rounds"]);
+    }
     let mut t = Table::new(header);
     for (i, (c, w)) in cold.epochs.iter().zip(&warm.epochs).enumerate() {
         let mut row = vec![
@@ -222,6 +262,14 @@ fn main() {
                 d.presolve_removed.to_string(),
             ]);
         }
+        if let Some(s) = sharded.as_ref().and_then(|r| r.epochs.get(i)) {
+            row.extend([
+                s.iterations.to_string(),
+                format!("{:.2}", s.epoch_ms),
+                format!("{}/{}", s.active_columns, s.total_columns),
+                s.pricing_rounds.to_string(),
+            ]);
+        }
         t.row(row);
     }
     t.print();
@@ -238,6 +286,9 @@ fn main() {
         dual_iteration_ratio: dual
             .as_ref()
             .map(|d| ratio(cold.total_iterations as f64, d.total_iterations as f64)),
+        sharded_epoch_ms_ratio: sharded
+            .as_ref()
+            .map(|s| ratio(warm.total_epoch_ms, s.total_epoch_ms)),
         dual_fault_iteration_ratio: faults_dual
             .as_ref()
             .and_then(dual_fault_head_to_head)
@@ -254,6 +305,7 @@ fn main() {
         warm,
         colgen,
         dual,
+        sharded,
         faults,
         faults_dual,
         threads,
@@ -308,6 +360,20 @@ fn main() {
     }
     if let Some(r) = report.dual_iteration_ratio {
         println!("dual:    {r:.2}x iterations vs cold over the churn sequence");
+    }
+    if let Some(s) = &report.sharded {
+        println!(
+            "        sharded {} iters / {:.1} ms build / {:.1} ms solve / {:.1} ms certify / {:.1} ms epoch / {:.0}% columns active",
+            s.total_iterations,
+            s.total_build_ms,
+            s.total_solve_ms,
+            s.total_certify_ms,
+            s.total_epoch_ms,
+            s.active_column_share * 100.0
+        );
+        if let Some(r) = report.sharded_epoch_ms_ratio {
+            println!("sharded: {r:.2}x epoch wall-time vs warm");
+        }
     }
     let print_fault_series = |label: &str, f: &FaultEpochRun| {
         let mut t = Table::new(vec![
@@ -401,6 +467,7 @@ fn main() {
         && report.warm.all_certified
         && report.colgen.as_ref().is_none_or(|cg| cg.all_certified)
         && report.dual.as_ref().is_none_or(|d| d.all_certified)
+        && report.sharded.as_ref().is_none_or(|s| s.all_certified)
         && report.faults.as_ref().is_none_or(|f| f.all_accounted)
         && report.faults_dual.as_ref().is_none_or(|f| f.all_accounted)
         && deterministic;
@@ -418,6 +485,117 @@ fn main() {
 
     if args.iter().any(|a| a == "--audit") && !all_certified {
         eprintln!("--audit: at least one epoch failed certification");
+        std::process::exit(1);
+    }
+}
+
+/// The `--scale` series: the 100 / 1k / 10k-node trajectory on
+/// Google-trace-shaped workloads, written to `BENCH_scale.json`. Runs
+/// *instead of* the epoch-sequence battery (a 10k-node model has no
+/// monolithic baseline to compare against — that is the point).
+fn run_scale_series(threads: usize, host_parallelism: usize, args: &[String]) {
+    let series = default_series();
+    let config = series
+        .iter()
+        .map(|s| format!("{}x{}", s.nodes, s.jobs))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("LP scale trajectory — nodes x jobs: {config}");
+    println!("threads: {threads} (0 = solver default), host parallelism: {host_parallelism}\n");
+    let mut points = Vec::with_capacity(series.len());
+    for spec in &series {
+        println!(
+            "running {} nodes x {} jobs x {} epochs ({}) ...",
+            spec.nodes,
+            spec.jobs,
+            spec.epochs,
+            if spec.certified {
+                "sharded, certified"
+            } else {
+                "greedy, uncertified"
+            }
+        );
+        points.push(run_scale_point(spec, threads));
+    }
+
+    let mut t = Table::new(vec![
+        "nodes",
+        "jobs",
+        "mode",
+        "epoch",
+        "build ms",
+        "solve ms",
+        "certify ms",
+        "epoch ms",
+        "shards",
+        "rounds",
+        "state",
+    ]);
+    for p in &points {
+        for r in &p.epochs {
+            t.row(vec![
+                p.nodes.to_string(),
+                p.jobs.to_string(),
+                p.mode.clone(),
+                r.epoch.to_string(),
+                format!("{:.1}", r.build_ms),
+                format!("{:.1}", r.solve_ms),
+                format!("{:.1}", r.certify_ms),
+                format!("{:.1}", r.epoch_ms),
+                r.shards.to_string(),
+                r.rounds.to_string(),
+                if r.certified {
+                    "certified".to_string()
+                } else {
+                    "greedy".to_string()
+                },
+            ]);
+        }
+        if let Some(probe) = &p.certified_probe {
+            t.row(vec![
+                p.nodes.to_string(),
+                p.probe_jobs.unwrap_or(0).to_string(),
+                "probe".to_string(),
+                probe.epoch.to_string(),
+                format!("{:.1}", probe.build_ms),
+                format!("{:.1}", probe.solve_ms),
+                format!("{:.1}", probe.certify_ms),
+                format!("{:.1}", probe.epoch_ms),
+                probe.shards.to_string(),
+                probe.rounds.to_string(),
+                if probe.certified {
+                    "certified".to_string()
+                } else {
+                    "FAILED".to_string()
+                },
+            ]);
+        }
+    }
+    t.print();
+
+    let ok = points.iter().all(|p| {
+        (p.mode != "sharded" || p.all_certified)
+            && p.certified_probe.as_ref().is_none_or(|r| r.certified)
+    });
+    println!("certified points + probes optimal: {ok}");
+
+    let report = ScaleReport {
+        config,
+        threads,
+        host_parallelism,
+        points,
+    };
+    if args.iter().any(|a| a == "--json") {
+        let path = "BENCH_scale.json";
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )
+        .expect("write BENCH_scale.json");
+        println!("wrote {path}");
+    }
+    if args.iter().any(|a| a == "--audit") && !ok {
+        eprintln!("--audit: a certified scale point or probe failed certification");
         std::process::exit(1);
     }
 }

@@ -23,7 +23,7 @@ use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
 
 use crate::lp_build::{
     sanitize_warm_start, ColGenOptions, ColGenState, EpochSolveError, EpochSolver,
-    FractionalSchedule, LpInstance, LpJob, PruneConfig,
+    FractionalSchedule, LpInstance, LpJob, PruneConfig, ShardOptions, ShardState,
 };
 
 /// Tuning for [`LipsScheduler`].
@@ -77,6 +77,19 @@ pub struct LipsConfig {
     /// optimum never depends on it. Pays off once the full model is large
     /// (≳ 50 machines); on small clusters the full LP is already cheap.
     pub colgen: bool,
+    /// Solve each epoch LP by block-angular shard decomposition
+    /// ([`EpochSolver::sharded`]): partition the live machines into this
+    /// many zone-aligned shards (`Some(0)` = one shard per cluster zone),
+    /// fan the restricted per-shard subproblems across the worker pool —
+    /// each warm-started from its prior-epoch basis, dual-simplex-first
+    /// under churn — and stitch their column proposals into a restricted
+    /// master that prices cross-zone transfers until the KKT certifier
+    /// accepts the result against the full model. Takes precedence over
+    /// `colgen` (it subsumes the same master/pricing machinery); like
+    /// `colgen` and `warm_start`, strictly a solve-path knob that can
+    /// never change an optimum. This is the ladder rung that makes
+    /// multi-thousand-node epochs tractable.
+    pub shard_zones: Option<usize>,
     /// Simplex pivot budget per epoch solve (`None` = unlimited). An
     /// epoch whose LP exceeds it walks the degradation ladder (cold
     /// retry, then greedy placement) instead of stalling the cluster —
@@ -115,6 +128,7 @@ impl Default for LipsConfig {
             fairness: 0.0,
             warm_start: true,
             colgen: false,
+            shard_zones: None,
             max_pivots_per_epoch: None,
             dual_resolve: true,
             presolve: false,
@@ -142,6 +156,16 @@ impl LipsConfig {
             max_holder_stores_per_job: Some(20),
             colgen: true,
             ..Default::default()
+        }
+    }
+
+    /// Preset for ≳ 1000-node clusters: pruned candidates plus the
+    /// block-angular sharded solve, one shard per cluster zone.
+    pub fn huge_cluster(epoch_s: f64) -> Self {
+        LipsConfig {
+            shard_zones: Some(0),
+            colgen: false,
+            ..Self::large_cluster(epoch_s)
         }
     }
 }
@@ -194,6 +218,12 @@ pub struct LipsScheduler {
     /// restricted master (`None` before the first solve or with colgen
     /// off). The colgen analogue of `basis`.
     colgen_state: Option<ColGenState>,
+    /// Per-shard bases + master columns of the previous epoch's sharded
+    /// solve (`None` before the first solve or with sharding off). The
+    /// sharded analogue of `colgen_state`.
+    shard_state: Option<ShardState>,
+    /// Epoch solves served by the sharded decomposition.
+    shard_solves: usize,
     /// Total pricing rounds across all column-generated epoch solves.
     pricing_rounds: usize,
     /// Carried basis/column entries dropped because their machine was
@@ -215,6 +245,8 @@ impl LipsScheduler {
             dual_solves: 0,
             lp_iterations: 0,
             colgen_state: None,
+            shard_state: None,
+            shard_solves: 0,
             pricing_rounds: 0,
             stale_basis_entries_dropped: 0,
             epoch_outcomes: Vec::new(),
@@ -257,9 +289,16 @@ impl LipsScheduler {
     }
 
     /// Total restricted-master pricing rounds across all epoch solves
-    /// (0 unless [`LipsConfig::colgen`] is on).
+    /// (0 unless [`LipsConfig::colgen`] or [`LipsConfig::shard_zones`]
+    /// is on).
     pub fn pricing_rounds(&self) -> usize {
         self.pricing_rounds
+    }
+
+    /// Epoch solves served by the sharded decomposition (see
+    /// [`LipsConfig::shard_zones`]).
+    pub fn shard_solves(&self) -> usize {
+        self.shard_solves
     }
 
     /// Carried warm-start/colgen entries dropped because their machine
@@ -286,6 +325,29 @@ impl LipsScheduler {
         inst: &LpInstance<'_>,
     ) -> Result<FractionalSchedule, EpochSolveError> {
         let budget = self.config.max_pivots_per_epoch;
+        if let Some(zones) = self.config.shard_zones {
+            let mut prior = self.shard_state.take();
+            if let Some(p) = prior.as_mut() {
+                self.stale_basis_entries_dropped += p.sanitize_for_cluster(inst.cluster);
+            }
+            let mut solver = EpochSolver::new(inst).sharded_with(
+                ShardOptions {
+                    zones,
+                    ..ShardOptions::default()
+                },
+                prior.as_ref(),
+            );
+            if let Some(b) = budget {
+                solver = solver.pivot_budget(b);
+            }
+            let report = solver.run()?;
+            if let Some((state, stats)) = report.shard {
+                self.shard_state = Some(state);
+                self.pricing_rounds += stats.rounds;
+            }
+            self.shard_solves += 1;
+            return Ok(report.schedule);
+        }
         if self.config.colgen {
             let mut prior = self.colgen_state.take();
             if let Some(p) = prior.as_mut() {
@@ -333,6 +395,7 @@ impl LipsScheduler {
         if !self.config.dual_resolve
             || !self.config.warm_start
             || self.config.colgen
+            || self.config.shard_zones.is_some()
             || self.basis.is_none()
         {
             return None;
@@ -397,7 +460,10 @@ impl LipsScheduler {
         }
         match solver.run() {
             Ok(report) => {
-                if self.config.warm_start && !self.config.colgen {
+                if self.config.warm_start
+                    && !self.config.colgen
+                    && self.config.shard_zones.is_none()
+                {
                     self.basis = Some(report.basis);
                 }
                 self.epoch_outcomes.push(EpochOutcome::CertifiedCold);
@@ -989,6 +1055,36 @@ mod tests {
         );
         assert!(rounds >= solves, "every colgen solve prices at least once");
         assert_eq!(no_rounds, 0);
+    }
+
+    #[test]
+    fn sharded_and_exact_epoch_loops_agree_on_cost() {
+        // The sharded rung is a solve-path knob like colgen: shard
+        // subproblems only propose columns and seed bases, and the master
+        // re-prices until the full-model certifier accepts, so an identical
+        // run with sharding on and off must land on the same total dollars.
+        let run = |zones: Option<usize>| {
+            let mut cluster = ec2_20_node(0.5, 1e9);
+            let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
+            let placement = Placement::spread_blocks(&cluster, 9);
+            let mut cfg = LipsConfig::small_cluster(400.0);
+            cfg.shard_zones = zones;
+            let mut sched = LipsScheduler::new(cfg);
+            let report = Simulation::new(&cluster, &bound)
+                .with_placement(placement)
+                .run(&mut sched)
+                .unwrap();
+            (report.metrics.total_dollars(), sched.shard_solves())
+        };
+        let (sharded_cost, shard_solves) = run(Some(0));
+        let (exact_cost, no_shard_solves) = run(None);
+        let scale = 1.0 + exact_cost.abs();
+        assert!(
+            (sharded_cost - exact_cost).abs() / scale < 1e-6,
+            "sharded ${sharded_cost} vs exact ${exact_cost}"
+        );
+        assert!(shard_solves > 0, "sharded rung never engaged");
+        assert_eq!(no_shard_solves, 0);
     }
 
     #[test]

@@ -827,6 +827,24 @@ impl std::fmt::Display for EpochCertificate {
     }
 }
 
+/// Wall-clock of one epoch solve, split by phase. Every field comes from
+/// [`lips_lp::clock::Stopwatch`], so all three are `0.0` when the solver
+/// clock is disabled and never influence the solve itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Model construction: candidate enumeration, (restricted) model
+    /// build, presolve, column pricing and appends — everything outside
+    /// the simplex and the certifier.
+    pub build_ms: f64,
+    /// Simplex wall-time. Sums every master round; a sharded solve also
+    /// adds the shard subproblems' simplex time (the fan-out's *wall*
+    /// clock is reported separately in [`ShardStats::subproblem_ms`]).
+    pub solve_ms: f64,
+    /// Independent KKT certification (including excluded-column pricing
+    /// for restricted solves). `0.0` when certification was not requested.
+    pub certify_ms: f64,
+}
+
 /// Everything one epoch solve hands back, fields populated according to
 /// what the [`EpochSolver`] builder requested.
 #[derive(Debug, Clone)]
@@ -846,9 +864,13 @@ pub struct SolveReport {
     pub basis: WarmStart,
     /// Cross-epoch column state + telemetry; `Some` iff colgen mode.
     pub colgen: Option<(ColGenState, ColGenStats)>,
+    /// Cross-epoch shard state + telemetry; `Some` iff sharded mode.
+    pub shard: Option<(ShardState, ShardStats)>,
     /// Variables fixed plus rows dropped by epoch presolve (0 unless
     /// [`EpochSolver::presolve`] was requested).
     pub presolve_removed: usize,
+    /// Per-phase wall-clock of this solve.
+    pub timings: PhaseTimings,
 }
 
 /// The unified builder-style solve entry point (the former seven `solve*`
@@ -876,6 +898,7 @@ pub struct EpochSolver<'i, 'c> {
     certify: bool,
     shadow_prices: bool,
     colgen: Option<(ColGenOptions, Option<&'i ColGenState>)>,
+    shard: Option<(ShardOptions, Option<&'i ShardState>)>,
     pivot_budget: Option<usize>,
     dual: bool,
     presolve: bool,
@@ -890,6 +913,7 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
             certify: false,
             shadow_prices: false,
             colgen: None,
+            shard: None,
             pivot_budget: None,
             dual: false,
             presolve: false,
@@ -948,6 +972,35 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
         self
     }
 
+    /// Solve by block-angular shard decomposition ([`sharded_run`]):
+    /// partition the live machines into `zones` zone-aligned shards
+    /// (`0` = one shard per cluster zone), fan the restricted per-shard
+    /// subproblems across the worker pool, stitch their column proposals
+    /// into a restricted master that prices cross-shard transfers, and
+    /// certify the stitched solution against the full model. Implies
+    /// certification; takes precedence over [`EpochSolver::colgen`]. The
+    /// basis passed to [`EpochSolver::warm`] is ignored in this mode —
+    /// the shard state carries its own bases.
+    #[must_use]
+    pub fn sharded(self, zones: usize) -> Self {
+        self.sharded_with(
+            ShardOptions {
+                zones,
+                ..ShardOptions::default()
+            },
+            None,
+        )
+    }
+
+    /// [`EpochSolver::sharded`] with explicit options and a prior epoch's
+    /// carried [`ShardState`] (per-shard bases + master columns), the
+    /// cross-epoch warm path of the sharded ladder rung.
+    #[must_use]
+    pub fn sharded_with(mut self, opts: ShardOptions, prior: Option<&'i ShardState>) -> Self {
+        self.shard = Some((opts, prior));
+        self
+    }
+
     /// Re-optimize with the *bounded dual simplex*
     /// ([`lips_lp::solve_dual_with_options`]) starting from the basis
     /// passed to [`EpochSolver::warm`], instead of the primal simplex.
@@ -994,6 +1047,19 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
 
     /// Execute the configured solve.
     pub fn run(self) -> Result<SolveReport, EpochSolveError> {
+        if let Some((opts, prior)) = &self.shard {
+            let out = sharded_run(self.inst, opts, *prior, self.pivot_budget, self.pool)?;
+            return Ok(SolveReport {
+                schedule: out.schedule,
+                shadow_prices: Some(out.shadow_prices),
+                certificate: Some(EpochCertificate::Restricted(out.certificate)),
+                basis: out.state.master.basis.clone(),
+                colgen: None,
+                shard: Some((out.state, out.stats)),
+                presolve_removed: 0,
+                timings: out.timings,
+            });
+        }
         if let Some((opts, prior)) = &self.colgen {
             let out = colgen_run(self.inst, opts, *prior, self.pivot_budget, self.pool)?;
             return Ok(SolveReport {
@@ -1002,17 +1068,23 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
                 certificate: Some(EpochCertificate::Restricted(out.certificate)),
                 basis: out.state.basis.clone(),
                 colgen: Some((out.state, out.stats)),
+                shard: None,
                 presolve_removed: 0,
+                timings: out.timings,
             });
         }
 
+        let t_build = lips_lp::clock::Stopwatch::start();
         let (model, maps) = build(self.inst, self.pool);
+        let mut build_ms = t_build.elapsed_ms();
         let (sol, presolve_removed) = if self.presolve {
+            let t_pre = lips_lp::clock::Stopwatch::start();
             let (reduced, restore) =
                 lips_lp::presolve::presolve_with(&model, lips_lp::presolve::certified_options())?;
             // The carried basis is keyed to the full model; project it
             // into the reduced space so the warm/dual path still applies.
             let mapped = self.warm.map(|w| restore.map_warm_start(&model, w));
+            build_ms += t_pre.elapsed_ms();
             let sol = if self.dual {
                 solve_model_dual(&reduced, mapped.as_ref(), self.pivot_budget)?
             } else {
@@ -1027,6 +1099,7 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
         } else {
             (solve_model(&model, self.warm, self.pivot_budget)?, 0)
         };
+        let t_cert = lips_lp::clock::Stopwatch::start();
         let certificate = if self.certify {
             match lips_audit::certify_with(self.pool, &model, &sol) {
                 Ok(cert) if cert.is_optimal() => Some(EpochCertificate::Full(cert)),
@@ -1036,6 +1109,7 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
         } else {
             None
         };
+        let certify_ms = t_cert.elapsed_ms();
         let shadow_prices = self.shadow_prices.then(|| {
             let sens = lips_lp::sensitivity::analyze(&model, &sol);
             maps.capacity_rows
@@ -1049,13 +1123,20 @@ impl<'i, 'c> EpochSolver<'i, 'c> {
                 .collect()
         });
         let basis = sol.warm_start().cloned().unwrap_or_default();
+        let timings = PhaseTimings {
+            build_ms,
+            solve_ms: sol.stats().solve_ms,
+            certify_ms,
+        };
         Ok(SolveReport {
             schedule: decode(self.inst, &maps, &sol),
             shadow_prices,
             certificate,
             basis,
             colgen: None,
+            shard: None,
             presolve_removed,
+            timings,
         })
     }
 }
@@ -1249,98 +1330,125 @@ pub struct ColGenOutcome {
     /// Carry into the next epoch's [`EpochSolver::colgen`] call.
     pub state: ColGenState,
     pub stats: ColGenStats,
+    pub timings: PhaseTimings,
 }
 
-/// The column-generation engine behind [`EpochSolver::colgen`]: solve
-/// `inst` by delayed column generation over a restricted master.
-///
-/// The master starts with every `nd`/fake column, the full row set, and
-/// only the seed task arcs (top-N cheapest per job, plus whatever `prior`
-/// carried over). Each round solves the master warm from the incumbent
-/// basis, prices every excluded arc against the master's duals across
-/// `pool`'s workers ([`lips_lp::ColumnPricer::price_out_batch`]), appends
-/// everything that prices out through [`Model::add_column`], and repeats
-/// until nothing does — at which point the master's optimum *is* the full
-/// model's optimum, and the returned certificate proves it by re-pricing
-/// every excluded column independently
-/// ([`lips_audit::certify_restricted_with`]).
-///
-/// A restriction can be infeasible where the full model is not (a pool
-/// floor unreachable on the seeded machines); the loop then appends the
-/// whole remainder and retries once, so feasibility semantics match
-/// the direct solve exactly.
-fn colgen_run(
-    inst: &LpInstance<'_>,
-    opts: &ColGenOptions,
-    prior: Option<&ColGenState>,
-    pivot_budget: Option<usize>,
-    pool: Pool,
-) -> Result<ColGenOutcome, EpochSolveError> {
-    use std::collections::BTreeSet;
-
-    let t_build = lips_lp::clock::Stopwatch::start();
-    let (job_machines, job_stores) = candidates(inst);
-    let arcs = enumerate_arcs(inst, &job_machines, &job_stores);
-
-    // --- seed the active set -------------------------------------------
-    let mut active: BTreeSet<String> = BTreeSet::new();
-    {
-        let mut by_job: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, a) in arcs.iter().enumerate() {
-            by_job.entry(a.k).or_default().push(i);
-        }
-        for idxs in by_job.values_mut() {
-            idxs.sort_by(|&a, &b| {
-                arcs[a]
-                    .cost
-                    .total_cmp(&arcs[b].cost)
-                    .then_with(|| arcs[a].name.cmp(&arcs[b].name))
-            });
-            for &i in idxs.iter().take(opts.seed_arcs_per_job.max(1)) {
-                active.insert(arcs[i].name.clone());
-            }
+/// Seed arc names for a restricted master: the `per_job` cheapest arcs of
+/// every job (LP cost, ties by name — Figure 1's dominance calculus as a
+/// seeding heuristic) plus whatever `carried` names still denote a
+/// candidate arc of this epoch's model.
+fn seed_active(
+    arcs: &[ArcCand],
+    per_job: usize,
+    carried: Option<&std::collections::BTreeSet<String>>,
+) -> std::collections::BTreeSet<String> {
+    let mut active = std::collections::BTreeSet::new();
+    let mut by_job: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, a) in arcs.iter().enumerate() {
+        by_job.entry(a.k).or_default().push(i);
+    }
+    for idxs in by_job.values_mut() {
+        idxs.sort_by(|&a, &b| {
+            arcs[a]
+                .cost
+                .total_cmp(&arcs[b].cost)
+                .then_with(|| arcs[a].name.cmp(&arcs[b].name))
+        });
+        for &i in idxs.iter().take(per_job.max(1)) {
+            active.insert(arcs[i].name.clone());
         }
     }
-    if let Some(p) = prior {
-        let known: BTreeSet<&str> = arcs.iter().map(|a| a.name.as_str()).collect();
-        for name in &p.active {
+    if let Some(carried) = carried {
+        let known: std::collections::BTreeSet<&str> =
+            arcs.iter().map(|a| a.name.as_str()).collect();
+        for name in carried {
             if known.contains(name.as_str()) {
                 active.insert(name.clone());
             }
         }
     }
+    active
+}
 
+/// Column of one arc in the full row space, written into a reusable
+/// buffer — must mirror the builder's coefficients exactly (same
+/// work/size/bandwidth formulas). Buffer discipline keeps the pricing
+/// loop free of per-arc heap allocation: each pricing worker reuses one
+/// scratch vector across every arc it prices.
+fn arc_terms_into(
+    inst: &LpInstance<'_>,
+    rows: &RowIds,
+    a: &ArcCand,
+    t: &mut Vec<(lips_lp::ConstraintId, f64)>,
+) {
+    let job = &inst.jobs[a.k];
+    let work = job.work_ecu();
+    t.push((rows.cov[a.k], 1.0));
+    if let Some(m) = a.m {
+        t.push((rows.lnk[&(a.k, m)], 1.0));
+        if let Some(&x) = rows.xfer.get(&a.l) {
+            let bw = inst.cluster.bandwidth_machine_store(a.l, m);
+            t.push((x, job.size_mb / bw));
+        }
+    }
+    if let Some(&c) = rows.cpu.get(&a.l) {
+        t.push((c, work));
+    }
+    for &p in &rows.job_pools[a.k] {
+        t.push((p, work));
+    }
+}
+
+/// Result of one restricted-master pricing loop: the final master model,
+/// its optimal solution, and the loop's telemetry. Shared by the colgen
+/// ([`colgen_run`]) and sharded ([`sharded_run`]) engines — both end in
+/// the same master-plus-pricing fixpoint, they only differ in how the
+/// initial active set and warm basis are produced.
+struct MasterRun {
+    model: Model,
+    maps: VarMaps,
+    rows: RowIds,
+    sol: lips_lp::Solution,
+    active: std::collections::BTreeSet<String>,
+    rounds: usize,
+    appended: usize,
+    agg: SolveStats,
+    build_ms: f64,
+}
+
+/// The restricted-master / pricing loop. Each round solves the master
+/// warm from the incumbent basis, prices every excluded arc against the
+/// master's duals across `pool`'s workers
+/// ([`lips_lp::ColumnPricer::price_out_batch`]), appends everything that
+/// prices out through [`Model::add_column`], and repeats until nothing
+/// does — at which point the master's optimum *is* the full model's
+/// optimum.
+///
+/// A restriction can be infeasible where the full model is not (a pool
+/// floor unreachable on the seeded machines); the loop then appends the
+/// whole remainder and retries once, so feasibility semantics match the
+/// direct solve exactly.
+#[allow(clippy::too_many_arguments)] // internal driver shared by colgen and sharded paths
+fn master_price_loop(
+    inst: &LpInstance<'_>,
+    job_machines: &[Vec<MachineId>],
+    job_stores: &[Vec<StoreId>],
+    arcs: &[ArcCand],
+    mut active: std::collections::BTreeSet<String>,
+    mut warm: Option<WarmStart>,
+    max_rounds: usize,
+    pivot_budget: Option<usize>,
+    pool: Pool,
+) -> Result<MasterRun, EpochSolveError> {
+    let t_build = lips_lp::clock::Stopwatch::start();
     let (mut model, mut maps, rows) =
-        build_filtered(inst, &job_machines, &job_stores, Some(&active), pool);
+        build_filtered(inst, job_machines, job_stores, Some(&active), pool);
     let mut build_ms = t_build.elapsed_ms();
 
-    // Column of one arc in the master's rows, written into a reusable
-    // buffer — must mirror the builder's coefficients exactly (same
-    // work/size/bandwidth formulas). Buffer discipline keeps the pricing
-    // loop free of per-arc heap allocation: each pricing worker reuses one
-    // scratch vector across every arc it prices.
-    let arc_terms_into = |a: &ArcCand, t: &mut Vec<(lips_lp::ConstraintId, f64)>| {
-        let job = &inst.jobs[a.k];
-        let work = job.work_ecu();
-        t.push((rows.cov[a.k], 1.0));
-        if let Some(m) = a.m {
-            t.push((rows.lnk[&(a.k, m)], 1.0));
-            if let Some(&x) = rows.xfer.get(&a.l) {
-                let bw = inst.cluster.bandwidth_machine_store(a.l, m);
-                t.push((x, job.size_mb / bw));
-            }
-        }
-        if let Some(&c) = rows.cpu.get(&a.l) {
-            t.push((c, work));
-        }
-        for &p in &rows.job_pools[a.k] {
-            t.push((p, work));
-        }
-    };
     let mut scratch: Vec<(lips_lp::ConstraintId, f64)> = Vec::new();
     let mut append_arc = |model: &mut Model, maps: &mut VarMaps, a: &ArcCand| {
         scratch.clear();
-        arc_terms_into(a, &mut scratch);
+        arc_terms_into(inst, &rows, a, &mut scratch);
         let v = model.add_column(a.name.clone(), 0.0, 1.0, a.cost, scratch.iter().copied());
         maps.xt.insert((a.k, a.l, a.m), v);
         maps.ann.annotate_var(
@@ -1353,16 +1461,12 @@ fn colgen_run(
         );
     };
 
-    // --- restricted-master / pricing loop ------------------------------
-    let mut warm: Option<WarmStart> = prior.map(|p| p.basis.clone());
-    let mut stats = ColGenStats {
-        total_columns: arcs.len(),
-        ..ColGenStats::default()
-    };
+    let mut rounds = 0;
+    let mut appended = 0;
     let mut agg = SolveStats::default();
     let mut first_warm: Option<lips_lp::WarmOutcome> = None;
     let sol = loop {
-        stats.rounds += 1;
+        rounds += 1;
         let sol = match solve_model(&model, warm.as_ref(), pivot_budget) {
             Ok(s) => s,
             Err(LpError::Infeasible) if active.len() < arcs.len() => {
@@ -1372,7 +1476,7 @@ fn colgen_run(
                 let t = lips_lp::clock::Stopwatch::start();
                 for a in arcs.iter().filter(|a| !active.contains(&a.name)) {
                     append_arc(&mut model, &mut maps, a);
-                    stats.appended += 1;
+                    appended += 1;
                 }
                 active.extend(arcs.iter().map(|a| a.name.clone()));
                 build_ms += t.elapsed_ms();
@@ -1398,7 +1502,7 @@ fn colgen_run(
         let candidates: Vec<&ArcCand> = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
         let mut entering: Vec<&ArcCand> = pricer
             .price_out_batch(pool, candidates.len(), |i, buf| {
-                arc_terms_into(candidates[i], buf);
+                arc_terms_into(inst, &rows, candidates[i], buf);
                 candidates[i].cost
             })
             .into_iter()
@@ -1408,46 +1512,86 @@ fn colgen_run(
             build_ms += t.elapsed_ms();
             break sol;
         }
-        if stats.rounds >= opts.max_rounds {
+        if rounds >= max_rounds {
             // Round budget exhausted: go exact in one step.
             entering = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
         }
         for a in entering {
             append_arc(&mut model, &mut maps, a);
             active.insert(a.name.clone());
-            stats.appended += 1;
+            appended += 1;
         }
         build_ms += t.elapsed_ms();
         warm = sol.warm_start().cloned();
     };
+    agg.warm = first_warm.unwrap_or_default();
+    Ok(MasterRun {
+        model,
+        maps,
+        rows,
+        sol,
+        active,
+        rounds,
+        appended,
+        agg,
+        build_ms,
+    })
+}
 
-    // --- certify against the full model --------------------------------
+/// The shared certification/decoding tail of a restricted solve.
+struct RestrictedFinish {
+    schedule: FractionalSchedule,
+    shadow_prices: Vec<(MachineId, f64)>,
+    certificate: lips_audit::RestrictedCertificate,
+    basis: WarmStart,
+    /// Task columns that mattered at the optimum (basic or nonzero) —
+    /// the next epoch's carried active set.
+    surviving: std::collections::BTreeSet<String>,
+    certify_ms: f64,
+}
+
+/// Certify a finished master against the *full* model (master KKT plus an
+/// independent pricing pass over every excluded column), then decode the
+/// schedule and the next epoch's carry-over state.
+fn finish_restricted(
+    inst: &LpInstance<'_>,
+    arcs: &[ArcCand],
+    run: &MasterRun,
+    context: &str,
+    pool: Pool,
+) -> Result<RestrictedFinish, EpochSolveError> {
     // Column assembly for the certificate parallelizes per arc; the
     // certificate itself splits its KKT and re-pricing passes across the
     // same pool.
-    let excluded_arcs: Vec<&ArcCand> = arcs.iter().filter(|a| !active.contains(&a.name)).collect();
+    let t_cert = lips_lp::clock::Stopwatch::start();
+    let excluded_arcs: Vec<&ArcCand> = arcs
+        .iter()
+        .filter(|a| !run.active.contains(&a.name))
+        .collect();
     let excluded: Vec<lips_audit::ExcludedColumn> = pool.par_map(&excluded_arcs, |_, a| {
         let mut terms = Vec::new();
-        arc_terms_into(a, &mut terms);
+        arc_terms_into(inst, &run.rows, a, &mut terms);
         lips_audit::ExcludedColumn {
             name: a.name.clone(),
             obj: a.cost,
             terms,
         }
     });
-    let certificate = match lips_audit::certify_restricted_with(pool, &model, &sol, &excluded) {
-        Ok(cert) if cert.is_optimal() => cert,
-        Ok(cert) => {
-            return Err(EpochSolveError::Certification(format!(
-                "colgen master failed full-model certification: {cert}"
-            )))
-        }
-        Err(e) => return Err(EpochSolveError::Certification(e.to_string())),
-    };
+    let certificate =
+        match lips_audit::certify_restricted_with(pool, &run.model, &run.sol, &excluded) {
+            Ok(cert) if cert.is_optimal() => cert,
+            Ok(cert) => {
+                return Err(EpochSolveError::Certification(format!(
+                    "{context} failed full-model certification: {cert}"
+                )))
+            }
+            Err(e) => return Err(EpochSolveError::Certification(e.to_string())),
+        };
+    let certify_ms = t_cert.elapsed_ms();
 
-    // --- decode + next-epoch state --------------------------------------
-    let sens = lips_lp::sensitivity::analyze(&model, &sol);
-    let shadow_prices: Vec<(MachineId, f64)> = maps
+    let sens = lips_lp::sensitivity::analyze(&run.model, &run.sol);
+    let shadow_prices: Vec<(MachineId, f64)> = run
+        .maps
         .capacity_rows
         .iter()
         .map(|&(m, row)| {
@@ -1457,36 +1601,483 @@ fn colgen_run(
             )
         })
         .collect();
-    let basis = sol.warm_start().cloned().unwrap_or_default();
+    let basis = run.sol.warm_start().cloned().unwrap_or_default();
     // Carry only the columns that mattered at the optimum (basic or at a
     // nonzero value): the master stays lean across epochs instead of
     // monotonically accreting every column that ever priced in.
-    let surviving: BTreeSet<String> = maps
+    let surviving: std::collections::BTreeSet<String> = run
+        .maps
+        .xt
+        .values()
+        .filter_map(|&v| {
+            let name = run.model.var_name(v);
+            let keep =
+                run.sol.value_of(v) > 1e-9 || basis.var(name) == Some(lips_lp::BasisStatus::Basic);
+            keep.then(|| name.to_string())
+        })
+        .collect();
+    let mut schedule = decode(inst, &run.maps, &run.sol);
+    schedule.iterations = run.agg.iterations;
+    schedule.stats = run.agg;
+    Ok(RestrictedFinish {
+        schedule,
+        shadow_prices,
+        certificate,
+        basis,
+        surviving,
+        certify_ms,
+    })
+}
+
+/// The column-generation engine behind [`EpochSolver::colgen`]: solve
+/// `inst` by delayed column generation over a restricted master.
+///
+/// The master starts with every `nd`/fake column, the full row set, and
+/// only the seed task arcs (top-N cheapest per job, plus whatever `prior`
+/// carried over), then runs [`master_price_loop`] to the pricing fixpoint
+/// and proves full-model optimality via [`finish_restricted`]'s
+/// excluded-column certificate.
+fn colgen_run(
+    inst: &LpInstance<'_>,
+    opts: &ColGenOptions,
+    prior: Option<&ColGenState>,
+    pivot_budget: Option<usize>,
+    pool: Pool,
+) -> Result<ColGenOutcome, EpochSolveError> {
+    let t_enum = lips_lp::clock::Stopwatch::start();
+    let (job_machines, job_stores) = candidates(inst);
+    let arcs = enumerate_arcs(inst, &job_machines, &job_stores);
+    let active = seed_active(&arcs, opts.seed_arcs_per_job, prior.map(|p| &p.active));
+    let enumerate_ms = t_enum.elapsed_ms();
+
+    let warm = prior.map(|p| p.basis.clone());
+    let run = master_price_loop(
+        inst,
+        &job_machines,
+        &job_stores,
+        &arcs,
+        active,
+        warm,
+        opts.max_rounds,
+        pivot_budget,
+        pool,
+    )?;
+    let fin = finish_restricted(inst, &arcs, &run, "colgen master", pool)?;
+
+    let stats = ColGenStats {
+        rounds: run.rounds,
+        appended: run.appended,
+        active_columns: run.maps.xt.len(),
+        total_columns: arcs.len(),
+        build_ms: enumerate_ms + run.build_ms,
+    };
+    let timings = PhaseTimings {
+        build_ms: stats.build_ms,
+        solve_ms: run.agg.solve_ms,
+        certify_ms: fin.certify_ms,
+    };
+    Ok(ColGenOutcome {
+        schedule: fin.schedule,
+        shadow_prices: fin.shadow_prices,
+        certificate: fin.certificate,
+        state: ColGenState {
+            active: fin.surviving,
+            basis: fin.basis,
+        },
+        stats,
+        timings,
+    })
+}
+
+/// Tuning for the block-angular sharded solve ([`EpochSolver::sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Number of machine shards. `0` (the default) means one shard per
+    /// cluster zone — the paper's natural partition, since cross-shard
+    /// data movement then prices exactly as cross-zone transfer.
+    pub zones: usize,
+    /// Safety seed: cheapest arcs per job stitched into the master on top
+    /// of the shard proposals, so every coverage row has a real column
+    /// even for jobs a failed shard subproblem proposed nothing for.
+    pub seed_arcs_per_job: usize,
+    /// Master pricing-round budget (same semantics as
+    /// [`ColGenOptions::max_rounds`]).
+    pub max_rounds: usize,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            zones: 0,
+            seed_arcs_per_job: 1,
+            max_rounds: 50,
+        }
+    }
+}
+
+/// Cross-epoch state of the sharded solve: every shard subproblem's last
+/// optimal basis (so next epoch's shard solves re-optimize dual-first
+/// under churn) plus the stitched master's surviving columns and basis
+/// (exactly a [`ColGenState`]).
+#[derive(Debug, Clone, Default)]
+pub struct ShardState {
+    shard_bases: Vec<WarmStart>,
+    master: ColGenState,
+}
+
+impl ShardState {
+    /// Number of task columns the master carries into the next epoch.
+    pub fn carried_columns(&self) -> usize {
+        self.master.carried_columns()
+    }
+
+    /// Number of shard bases carried.
+    pub fn shards(&self) -> usize {
+        self.shard_bases.len()
+    }
+
+    /// Drop carried columns and basis entries referencing machines no
+    /// longer alive in `cluster` (see [`ColGenState::sanitize_for_cluster`]
+    /// and [`sanitize_warm_start`]). Returns how many entries were dropped.
+    pub fn sanitize_for_cluster(&mut self, cluster: &Cluster) -> usize {
+        let mut dropped = self.master.sanitize_for_cluster(cluster);
+        for ws in &mut self.shard_bases {
+            dropped += sanitize_warm_start(ws, cluster);
+        }
+        dropped
+    }
+}
+
+/// Telemetry from one sharded solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Shards actually built this epoch (≤ requested, ≥ 1).
+    pub shards: usize,
+    /// Shard subproblems whose carried basis was usable (warm, repaired,
+    /// or dual).
+    pub shard_warm_hits: usize,
+    /// Shard subproblems re-optimized by the bounded dual simplex.
+    pub shard_dual_solves: usize,
+    /// Shard subproblems whose LP failed — their jobs enter the master
+    /// via the safety seed and pricing instead, so a failed shard costs
+    /// master rounds, never correctness.
+    pub shard_failures: usize,
+    /// Simplex pivots summed across all shard subproblems.
+    pub subproblem_iterations: usize,
+    /// Wall-clock of the parallel subproblem fan-out as seen by the
+    /// coordinator (builds + solves of every shard).
+    pub subproblem_ms: f64,
+    /// Task columns proposed to the master by the shard optima (union,
+    /// including the safety seed and carried master columns).
+    pub proposed_columns: usize,
+    /// Master pricing rounds / columns appended by master pricing.
+    pub rounds: usize,
+    pub appended: usize,
+    /// Task columns in the final stitched master / in the full model.
+    pub active_columns: usize,
+    pub total_columns: usize,
+    /// Wall-clock building the master and pricing columns (everything
+    /// except shard fan-out, simplex, and certification).
+    pub build_ms: f64,
+}
+
+/// Everything a sharded epoch solve hands back.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    pub schedule: FractionalSchedule,
+    /// Shadow price of each machine's CPU-capacity row (see
+    /// [`EpochSolver::shadow_prices`]).
+    pub shadow_prices: Vec<(MachineId, f64)>,
+    /// Full-model KKT certificate: the stitched master's own certificate
+    /// plus a pricing pass over every excluded column.
+    pub certificate: lips_audit::RestrictedCertificate,
+    /// Carry into the next epoch's [`EpochSolver::sharded_with`] call.
+    pub state: ShardState,
+    pub stats: ShardStats,
+    pub timings: PhaseTimings,
+}
+
+/// What one shard subproblem hands back to the coordinator.
+struct ShardProposal {
+    /// Task arcs at the shard optimum (basic or nonzero), by name.
+    proposal: Vec<String>,
+    /// The shard's optimal basis, carried into the next epoch.
+    basis: Option<WarmStart>,
+    iterations: usize,
+    solve_ms: f64,
+    warm_hit: bool,
+    dual: bool,
+    failed: bool,
+}
+
+/// Fallback fake-node price for shard subproblems when the instance has
+/// none: a shard must stay feasible when the true optimum runs a job
+/// outside the shard, so deferral must always be available inside the
+/// subproblem — priced far above any real arc, and invisible to the
+/// master, which prices deferral (or not) from the unmodified instance.
+const SHARD_FAKE_COST: f64 = 1.0;
+
+/// Solve one shard's restricted subproblem: the instance narrowed to the
+/// shard's machines (task arcs and new-copy destinations inside the
+/// shard; data holders stay visible wherever they live, so cross-shard
+/// reads are priced, not forbidden), with pool floors dropped (global
+/// coupling is the master's job) and the fake node forced on (work the
+/// shard cannot take is deferral *from this shard's viewpoint*, not
+/// infeasibility). Dual-simplex-first from the carried basis under churn,
+/// warm primal as fallback. Never fails: an unsolvable shard returns an
+/// empty proposal and lets the master recover it through pricing.
+fn solve_shard(
+    inst: &LpInstance<'_>,
+    job_machines: &[Vec<MachineId>],
+    job_stores: &[Vec<StoreId>],
+    members: &std::collections::BTreeSet<MachineId>,
+    warm: Option<&WarmStart>,
+    pivot_budget: Option<usize>,
+) -> ShardProposal {
+    let failed = ShardProposal {
+        proposal: Vec::new(),
+        basis: None,
+        iterations: 0,
+        solve_ms: 0.0,
+        warm_hit: false,
+        dual: false,
+        failed: true,
+    };
+    let sub_machines: Vec<Vec<MachineId>> = job_machines
+        .iter()
+        .map(|ms| ms.iter().copied().filter(|m| members.contains(m)).collect())
+        .collect();
+    let sub_stores: Vec<Vec<StoreId>> = inst
+        .jobs
+        .iter()
+        .zip(job_stores)
+        .map(|(job, ss)| {
+            let holders: std::collections::BTreeSet<StoreId> =
+                job.avail.iter().map(|&(s, _)| s).collect();
+            ss.iter()
+                .copied()
+                .filter(|&s| {
+                    holders.contains(&s)
+                        || inst
+                            .cluster
+                            .store(s)
+                            .colocated
+                            .is_some_and(|m| members.contains(&m))
+                })
+                .collect()
+        })
+        .collect();
+    let mut sub = inst.clone();
+    sub.fake_cost = Some(inst.fake_cost.unwrap_or(SHARD_FAKE_COST));
+    sub.pool_floors = Vec::new();
+    // The shard build is serial: the fan-out itself already occupies the
+    // pool's workers, one shard per worker.
+    let (model, maps, _rows) =
+        build_filtered(&sub, &sub_machines, &sub_stores, None, Pool::serial());
+    let solved = match warm {
+        Some(w) => solve_model_dual(&model, Some(w), pivot_budget)
+            .map(|s| (s, true))
+            .or_else(|_| solve_model(&model, Some(w), pivot_budget).map(|s| (s, false))),
+        None => solve_model(&model, None, pivot_budget).map(|s| (s, false)),
+    };
+    let Ok((sol, dual)) = solved else {
+        return failed;
+    };
+    let basis = sol.warm_start().cloned();
+    let warm_hit = dual
+        || matches!(
+            sol.stats().warm,
+            lips_lp::WarmOutcome::Warm | lips_lp::WarmOutcome::WarmRepaired
+        );
+    let proposal: Vec<String> = maps
         .xt
         .values()
         .filter_map(|&v| {
             let name = model.var_name(v);
-            let keep =
-                sol.value_of(v) > 1e-9 || basis.var(name) == Some(lips_lp::BasisStatus::Basic);
+            let keep = sol.value_of(v) > 1e-9
+                || basis
+                    .as_ref()
+                    .is_some_and(|b| b.var(name) == Some(lips_lp::BasisStatus::Basic));
             keep.then(|| name.to_string())
         })
         .collect();
-    stats.active_columns = maps.xt.len();
-    stats.build_ms = build_ms;
+    ShardProposal {
+        proposal,
+        basis,
+        iterations: sol.iterations(),
+        solve_ms: sol.stats().solve_ms,
+        warm_hit,
+        dual,
+        failed: false,
+    }
+}
 
-    let mut schedule = decode(inst, &maps, &sol);
-    schedule.iterations = agg.iterations;
-    agg.warm = first_warm.unwrap_or_default();
-    schedule.stats = agg;
-    Ok(ColGenOutcome {
-        schedule,
-        shadow_prices,
-        certificate,
-        state: ColGenState {
-            active: surviving,
-            basis,
+/// The block-angular sharded engine behind [`EpochSolver::sharded`]: a
+/// Dantzig–Wolfe-flavoured decomposition of the Fig-4 epoch LP.
+///
+/// The LP is block-angular — per-machine CPU/read rows and per-store
+/// capacity rows are separable, coupled only by the per-job coverage and
+/// linking rows — so the live machines are partitioned into zone-aligned
+/// shards and each shard solves its restricted subproblem independently,
+/// fanned across `pool`'s workers ([`solve_shard`]). The shard optima are
+/// *column proposals*: their nonzero/basic task arcs seed a stitched
+/// restricted master over the full row set, whose duals on the coverage
+/// and linking rows are exactly the cross-zone transfer prices. The
+/// master then re-dispatches columns through the ordinary pricing loop
+/// ([`master_price_loop`]) until no arc anywhere — in-shard or cross —
+/// prices out, and [`finish_restricted`] certifies the stitched solution
+/// against the full model. Certified optimality is therefore inherited,
+/// not approximated: the shard phase only decides where the master
+/// *starts*, never where it stops.
+///
+/// Determinism: the partition is a sorted chunking, shard solves are
+/// serial inside `par_map` workers and merged in shard order, and the
+/// master loop is the same deterministic machinery colgen uses — so the
+/// whole solve is bitwise identical at any thread count.
+fn sharded_run(
+    inst: &LpInstance<'_>,
+    opts: &ShardOptions,
+    prior: Option<&ShardState>,
+    pivot_budget: Option<usize>,
+    pool: Pool,
+) -> Result<ShardOutcome, EpochSolveError> {
+    let t_enum = lips_lp::clock::Stopwatch::start();
+    let (job_machines, job_stores) = candidates(inst);
+    let arcs = enumerate_arcs(inst, &job_machines, &job_stores);
+
+    // Zone-aligned partition: live machines sorted by (zone, id), split
+    // into near-equal contiguous chunks. Deterministic by construction; a
+    // revocation shifts chunk boundaries, which degrades shard warm hits
+    // for one epoch but never correctness.
+    let mut live: Vec<MachineId> = inst
+        .cluster
+        .machines
+        .iter()
+        .filter(|m| m.tp_ecu > 0.0)
+        .map(|m| m.id)
+        .collect();
+    live.sort_by_key(|&m| (inst.cluster.machine(m).zone, m));
+    let requested = if opts.zones == 0 {
+        inst.cluster.zones.len().max(1)
+    } else {
+        opts.zones
+    };
+    let nshards = requested.min(live.len()).max(1);
+    let members: Vec<std::collections::BTreeSet<MachineId>> = (0..nshards)
+        .map(|s| {
+            live[s * live.len() / nshards..(s + 1) * live.len() / nshards]
+                .iter()
+                .copied()
+                .collect()
+        })
+        .collect();
+    let enumerate_ms = t_enum.elapsed_ms();
+
+    // --- shard subproblem fan-out --------------------------------------
+    let t_sub = lips_lp::clock::Stopwatch::start();
+    let shard_idx: Vec<usize> = (0..nshards).collect();
+    let proposals: Vec<ShardProposal> = pool.par_map(&shard_idx, |_, &s| {
+        let warm = prior
+            .and_then(|p| p.shard_bases.get(s))
+            .filter(|w| !w.is_empty());
+        solve_shard(
+            inst,
+            &job_machines,
+            &job_stores,
+            &members[s],
+            warm,
+            pivot_budget,
+        )
+    });
+    let subproblem_ms = t_sub.elapsed_ms();
+
+    // --- stitch + master pricing ---------------------------------------
+    // Active set: shard proposals ∪ safety seed ∪ carried master columns.
+    // Proposal names are always known (shard candidates are subsets of the
+    // full candidate sets, and naming is shared).
+    let mut active = seed_active(
+        &arcs,
+        opts.seed_arcs_per_job,
+        prior.map(|p| &p.master.active),
+    );
+    for p in &proposals {
+        active.extend(p.proposal.iter().cloned());
+    }
+    let proposed_columns = active.len();
+    // Master warm start: the carried master basis when there is one, else
+    // the shard bases absorbed in shard order (task columns are disjoint
+    // across shards; coupling-row conflicts resolve first-shard-wins and
+    // the repair loop completes or cold-falls-back — never a correctness
+    // concern).
+    let warm: Option<WarmStart> = match prior {
+        Some(p) if !p.master.basis.is_empty() => Some(p.master.basis.clone()),
+        _ => {
+            let mut ws = WarmStart::new();
+            for p in &proposals {
+                if let Some(b) = &p.basis {
+                    ws.absorb(b);
+                }
+            }
+            (!ws.is_empty()).then_some(ws)
+        }
+    };
+    let run = master_price_loop(
+        inst,
+        &job_machines,
+        &job_stores,
+        &arcs,
+        active,
+        warm,
+        opts.max_rounds,
+        pivot_budget,
+        pool,
+    )?;
+    let fin = finish_restricted(inst, &arcs, &run, "sharded master", pool)?;
+
+    let subproblem_iterations: usize = proposals.iter().map(|p| p.iterations).sum();
+    let subproblem_solve_ms: f64 = proposals.iter().map(|p| p.solve_ms).sum();
+    let stats = ShardStats {
+        shards: nshards,
+        shard_warm_hits: proposals.iter().filter(|p| p.warm_hit).count(),
+        shard_dual_solves: proposals.iter().filter(|p| p.dual).count(),
+        shard_failures: proposals.iter().filter(|p| p.failed).count(),
+        subproblem_iterations,
+        subproblem_ms,
+        proposed_columns,
+        rounds: run.rounds,
+        appended: run.appended,
+        active_columns: run.maps.xt.len(),
+        total_columns: arcs.len(),
+        build_ms: enumerate_ms + run.build_ms,
+    };
+    let timings = PhaseTimings {
+        build_ms: enumerate_ms + run.build_ms,
+        solve_ms: run.agg.solve_ms + subproblem_solve_ms,
+        certify_ms: fin.certify_ms,
+    };
+    // The report's stats aggregate the epoch's *total* simplex work —
+    // master rounds plus every shard subproblem.
+    let mut schedule = fin.schedule;
+    schedule.stats.iterations += subproblem_iterations;
+    schedule.stats.solve_ms += subproblem_solve_ms;
+    schedule.iterations = schedule.stats.iterations;
+    let state = ShardState {
+        shard_bases: proposals
+            .into_iter()
+            .map(|p| p.basis.unwrap_or_default())
+            .collect(),
+        master: ColGenState {
+            active: fin.surviving,
+            basis: fin.basis,
         },
+    };
+    Ok(ShardOutcome {
+        schedule,
+        shadow_prices: fin.shadow_prices,
+        certificate: fin.certificate,
+        state,
         stats,
+        timings,
     })
 }
 
@@ -1971,6 +2562,170 @@ mod tests {
             assert_eq!(m1, m2);
             assert!((p1 - p2).abs() < 1e-6, "machine {m1:?}: {p1} vs {p2}");
         }
+    }
+
+    #[test]
+    fn sharded_matches_full_solve_objective() {
+        // Three zone-aligned shards propose columns independently; the
+        // stitched master must land on the monolithic certified optimum
+        // exactly, with the certificate re-pricing every excluded arc.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let mut inst = base_inst(&cluster, spread_jobs(8));
+        inst.fake_cost = Some(1.0);
+        let full = solve(&inst).unwrap();
+        let out = EpochSolver::new(&inst).sharded(3).run().unwrap();
+        let cert = out.certificate.expect("sharded always certifies");
+        assert!(cert.is_optimal(), "{cert}");
+        assert!(
+            (out.schedule.lp_objective - full.lp_objective).abs() < 1e-6,
+            "sharded {} vs full {}",
+            out.schedule.lp_objective,
+            full.lp_objective
+        );
+        let (state, stats) = out.shard.expect("sharded mode reports its state");
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.shard_failures, 0);
+        assert_eq!(state.shards(), 3);
+        assert!(state.carried_columns() > 0);
+        assert!(stats.active_columns <= stats.total_columns);
+        assert!(stats.proposed_columns > 0);
+    }
+
+    #[test]
+    fn sharded_without_fake_cost_still_matches_full() {
+        // Offline-style instance (no fake node): each shard subproblem
+        // forces its own fake node internally so narrowing to a shard can
+        // never manufacture infeasibility, while the master solves the
+        // unmodified instance.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let inst = base_inst(&cluster, spread_jobs(6));
+        assert!(inst.fake_cost.is_none());
+        let full = solve(&inst).unwrap();
+        let out = EpochSolver::new(&inst).sharded(4).run().unwrap();
+        assert!(
+            (out.schedule.lp_objective - full.lp_objective).abs() < 1e-6,
+            "sharded {} vs full {}",
+            out.schedule.lp_objective,
+            full.lp_objective
+        );
+        assert!(out.schedule.deferred.is_empty());
+    }
+
+    #[test]
+    fn sharded_state_reuse_matches_full_after_churn() {
+        // Epoch 2 perturbs epoch 1 (work drift); the carried shard bases
+        // and master columns must re-land on the full optimum.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let inst1 = base_inst(&cluster, spread_jobs(6));
+        let e1 = EpochSolver::new(&inst1).sharded(3).run().unwrap();
+        let (state1, _) = e1.shard.expect("sharded mode reports its state");
+
+        let mut jobs2 = spread_jobs(6);
+        jobs2[2].tcp *= 1.4;
+        jobs2[4].size_mb *= 0.9;
+        let inst2 = base_inst(&cluster, jobs2);
+        let full2 = solve(&inst2).unwrap();
+        let e2 = EpochSolver::new(&inst2)
+            .sharded_with(
+                ShardOptions {
+                    zones: 3,
+                    ..ShardOptions::default()
+                },
+                Some(&state1),
+            )
+            .run()
+            .unwrap();
+        let cert = e2.certificate.expect("sharded always certifies");
+        assert!(cert.is_optimal(), "{cert}");
+        assert!(
+            (e2.schedule.lp_objective - full2.lp_objective).abs() < 1e-6,
+            "warm sharded {} vs full {}",
+            e2.schedule.lp_objective,
+            full2.lp_objective
+        );
+    }
+
+    #[test]
+    fn sharded_single_shard_and_oversharded_both_work() {
+        // Degenerate partitions: one shard (the subproblem *is* the whole
+        // instance) and more shards than machines (clamped) must both
+        // reach the certified optimum.
+        let cluster = two_node();
+        let inst = base_inst(&cluster, vec![one_job(1024.0, 2.0, StoreId(0))]);
+        let full = solve(&inst).unwrap();
+        for zones in [1, 64] {
+            let out = EpochSolver::new(&inst).sharded(zones).run().unwrap();
+            assert!(
+                (out.schedule.lp_objective - full.lp_objective).abs() < 1e-9,
+                "zones={zones}"
+            );
+            let (_, stats) = out.shard.unwrap();
+            assert!(stats.shards <= 2, "zones={zones}: {} shards", stats.shards);
+        }
+    }
+
+    #[test]
+    fn sharded_thread_count_never_changes_the_solve() {
+        // The determinism contract extends to the decomposed path: the
+        // shard fan-out, stitched master, and certification must be
+        // bitwise identical at 1/2/8 threads.
+        let cluster = ec2_20_node(0.5, 100_000.0);
+        let mut inst = base_inst(&cluster, spread_jobs(8));
+        inst.fake_cost = Some(1.0);
+        let run = |threads: usize| {
+            EpochSolver::new(&inst)
+                .threads(threads)
+                .sharded(3)
+                .run()
+                .unwrap()
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_eq!(
+                base.schedule.lp_objective.to_bits(),
+                other.schedule.lp_objective.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                base.schedule.assignments, other.schedule.assignments,
+                "threads={threads}"
+            );
+            assert_eq!(
+                base.schedule.moves, other.schedule.moves,
+                "threads={threads}"
+            );
+            let (state_a, stats_a) = base.shard.as_ref().unwrap();
+            let (state_b, stats_b) = other.shard.as_ref().unwrap();
+            assert_eq!(state_a.carried_columns(), state_b.carried_columns());
+            assert_eq!(stats_a.active_columns, stats_b.active_columns);
+            assert_eq!(stats_a.proposed_columns, stats_b.proposed_columns);
+            assert_eq!(stats_a.rounds, stats_b.rounds);
+            assert_eq!(stats_a.subproblem_iterations, stats_b.subproblem_iterations);
+        }
+    }
+
+    #[test]
+    fn shard_state_sanitize_drops_dead_machine_entries() {
+        use lips_lp::BasisStatus;
+        let mut cluster = two_node();
+        let mut state = ShardState::default();
+        let mut ws = WarmStart::new();
+        ws.set_var("xt_0_1_0", BasisStatus::Basic);
+        ws.set_var("xt_0_0_0", BasisStatus::Basic);
+        ws.set_row("cpu_1", BasisStatus::AtLower);
+        state.shard_bases.push(ws);
+        state.master.active.insert("xt_0_1_0".to_string());
+        state.master.active.insert("xt_0_0_0".to_string());
+        assert_eq!(state.sanitize_for_cluster(&cluster), 0);
+        cluster.machines[1].tp_ecu = 0.0;
+        assert_eq!(state.sanitize_for_cluster(&cluster), 3);
+        assert_eq!(state.carried_columns(), 1);
+        assert_eq!(
+            state.shard_bases[0].var("xt_0_0_0"),
+            Some(BasisStatus::Basic)
+        );
+        assert_eq!(state.shard_bases[0].var("xt_0_1_0"), None);
     }
 
     #[test]

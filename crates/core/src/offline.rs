@@ -125,6 +125,7 @@ pub fn co_schedule_colgen(
         certificate,
         state,
         stats,
+        timings: report.timings,
     })
 }
 

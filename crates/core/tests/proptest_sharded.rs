@@ -1,0 +1,234 @@
+//! Property tests for the block-angular sharded solve: across random
+//! clusters, random zone partitions, and chained epoch sequences with
+//! mid-chain revocations, the stitched sharded optimum must equal the
+//! monolithic certified optimum (the shards only decide where the master
+//! *starts*, never where it stops), and the whole chain must be
+//! **bitwise** identical at 1 vs 4 threads.
+
+use lips_cluster::{ec2_mixed_cluster, Cluster, DataId, StoreId};
+use lips_core::lp_build::{
+    EpochCertificate, EpochSolver, LpInstance, LpJob, PruneConfig, ShardOptions, ShardState,
+    SolveReport,
+};
+use lips_workload::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomChain {
+    nodes: usize,
+    c1: f64,
+    seed: u64,
+    jobs: Vec<(f64, f64, usize)>, // (size_mb, tcp, holder index)
+    duration: f64,
+    /// Requested shard count (0 = one shard per cluster zone).
+    zones: usize,
+    epochs: usize,
+    /// Machine index to revoke (tp_ecu = 0) at epoch 1, if any — the
+    /// carried shard + master state must be repaired identically at
+    /// every width and still land on the monolithic optimum.
+    revoke: Option<usize>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = RandomChain> {
+    (
+        8usize..24,
+        0.0f64..0.8,
+        0u64..5000,
+        prop::collection::vec((64.0f64..2048.0, 0.05f64..3.0, 0usize..100), 3..8),
+        2_000.0f64..50_000.0,
+        // Last element encodes `Option<usize>`: ≥ 100 means no revocation.
+        (0usize..6, 2usize..4, 0usize..200),
+    )
+        .prop_map(
+            |(nodes, c1, seed, jobs, duration, (zones, epochs, revoke))| RandomChain {
+                nodes,
+                c1,
+                seed,
+                jobs,
+                duration,
+                zones,
+                epochs,
+                revoke: (revoke < 100).then_some(revoke),
+            },
+        )
+}
+
+fn lp_jobs(rc: &RandomChain, epoch: usize) -> Vec<LpJob> {
+    rc.jobs
+        .iter()
+        .enumerate()
+        .map(|(k, &(size, tcp, h))| LpJob {
+            id: JobId(k),
+            data: Some(DataId(k)),
+            size_mb: size * 0.9f64.powi(epoch as i32),
+            tcp,
+            fixed_ecu: 0.0,
+            // Two replica holders so a revocation never strands a job.
+            avail: vec![
+                (StoreId(h % rc.nodes), 1.0),
+                (StoreId((h + rc.nodes / 2 + 1) % rc.nodes), 1.0),
+            ],
+        })
+        .collect()
+}
+
+fn instance<'c>(rc: &RandomChain, cluster: &'c Cluster, epoch: usize) -> LpInstance<'c> {
+    LpInstance {
+        cluster,
+        jobs: lp_jobs(rc, epoch),
+        duration: rc.duration,
+        fake_cost: Some(1.0),
+        allow_moves: true,
+        enforce_transfer_time: false,
+        store_free_mb: vec![],
+        pool_floors: vec![],
+        prune: PruneConfig::default(),
+    }
+}
+
+/// Apply the chain's scripted revocation to the live cluster at epoch 1.
+fn maybe_revoke(rc: &RandomChain, cluster: &mut Cluster, epoch: usize) {
+    if epoch == 1 {
+        if let Some(m) = rc.revoke {
+            let m = m % cluster.machines.len();
+            // Leave at least one machine up so the epoch stays solvable.
+            if cluster.machines.iter().filter(|x| x.tp_ecu > 0.0).count() > 1 {
+                cluster.machines[m].tp_ecu = 0.0;
+            }
+        }
+    }
+}
+
+/// Assert every observable of two same-epoch sharded reports is
+/// bit-identical.
+fn assert_bitwise(a: &SolveReport, b: &SolveReport, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        a.schedule.lp_objective.to_bits(),
+        b.schedule.lp_objective.to_bits(),
+        "{}: lp_objective {} vs {}",
+        ctx,
+        a.schedule.lp_objective,
+        b.schedule.lp_objective
+    );
+    prop_assert_eq!(
+        a.schedule.predicted_dollars.to_bits(),
+        b.schedule.predicted_dollars.to_bits(),
+        "{}: predicted_dollars",
+        ctx
+    );
+    prop_assert_eq!(
+        &a.schedule.assignments,
+        &b.schedule.assignments,
+        "{}: assignments",
+        ctx
+    );
+    prop_assert_eq!(&a.schedule.moves, &b.schedule.moves, "{}: moves", ctx);
+    prop_assert_eq!(
+        a.schedule.stats.iterations,
+        b.schedule.stats.iterations,
+        "{}: iterations",
+        ctx
+    );
+    match (a.certificate.as_ref(), b.certificate.as_ref()) {
+        (Some(EpochCertificate::Restricted(ca)), Some(EpochCertificate::Restricted(cb))) => {
+            prop_assert_eq!(
+                ca.master.duality_gap.to_bits(),
+                cb.master.duality_gap.to_bits(),
+                "{}: master duality_gap",
+                ctx
+            );
+            prop_assert_eq!(
+                ca.max_excluded_violation.to_bits(),
+                cb.max_excluded_violation.to_bits(),
+                "{}: max_excluded_violation",
+                ctx
+            );
+            prop_assert_eq!(ca.is_optimal(), cb.is_optimal(), "{}: verdict", ctx);
+        }
+        (x, y) => prop_assert!(
+            false,
+            "{ctx}: expected restricted certificates on both sides: {} vs {}",
+            x.is_some(),
+            y.is_some()
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded chains equal the monolithic certified optimum at every
+    /// epoch, for any zone partition, and are bitwise identical at
+    /// 1 vs 4 threads.
+    #[test]
+    fn sharded_chain_matches_monolith_and_is_width_invariant(rc in chain_strategy()) {
+        let mut cluster = ec2_mixed_cluster(rc.nodes, rc.c1, 1e9, rc.seed);
+        let opts = ShardOptions {
+            zones: rc.zones,
+            ..ShardOptions::default()
+        };
+        let mut serial: Option<ShardState> = None;
+        let mut wide: Option<ShardState> = None;
+        for e in 0..rc.epochs {
+            maybe_revoke(&rc, &mut cluster, e);
+            if let Some(s) = serial.as_mut() {
+                s.sanitize_for_cluster(&cluster);
+            }
+            if let Some(s) = wide.as_mut() {
+                s.sanitize_for_cluster(&cluster);
+            }
+            let inst = instance(&rc, &cluster, e);
+            let run = |threads: usize, state: Option<&ShardState>| {
+                EpochSolver::new(&inst)
+                    .threads(threads)
+                    .sharded_with(opts.clone(), state)
+                    .run()
+            };
+            let a = run(1, serial.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("serial sharded failed: {e}")))?;
+            let b = run(4, wide.as_ref())
+                .map_err(|e| TestCaseError::fail(format!("parallel sharded failed: {e}")))?;
+            assert_bitwise(&a, &b, &format!("epoch {e}"))?;
+
+            // The stitched solution must carry a *passing* full-model
+            // certificate — sharding implies certification.
+            let cert_ok = matches!(
+                a.certificate.as_ref(),
+                Some(EpochCertificate::Restricted(c)) if c.is_optimal()
+            );
+            prop_assert!(cert_ok, "epoch {}: sharded solve not certified optimal", e);
+
+            // And it must equal the monolithic certified optimum — the
+            // decomposition is a solve path, not an approximation.
+            let mono = EpochSolver::new(&inst)
+                .threads(1)
+                .certify()
+                .run()
+                .map_err(|e| TestCaseError::fail(format!("monolithic solve failed: {e}")))?;
+            let mono_ok = mono
+                .certificate
+                .as_ref()
+                .is_some_and(|c| matches!(c, EpochCertificate::Full(f) if f.is_optimal()));
+            prop_assert!(mono_ok, "epoch {}: monolithic solve not certified", e);
+            let scale = 1.0 + mono.schedule.predicted_dollars.abs();
+            prop_assert!(
+                (a.schedule.predicted_dollars - mono.schedule.predicted_dollars).abs() / scale
+                    < 1e-6,
+                "epoch {}: sharded ${} vs monolithic ${}",
+                e,
+                a.schedule.predicted_dollars,
+                mono.schedule.predicted_dollars
+            );
+
+            let (sa, stats_a) = a.shard.expect("sharded mode carries state");
+            let (sb, stats_b) = b.shard.expect("sharded mode carries state");
+            prop_assert_eq!(stats_a.shards, stats_b.shards, "epoch {}", e);
+            prop_assert_eq!(stats_a.rounds, stats_b.rounds, "epoch {}", e);
+            prop_assert_eq!(stats_a.active_columns, stats_b.active_columns, "epoch {}", e);
+            prop_assert_eq!(stats_a.proposed_columns, stats_b.proposed_columns, "epoch {}", e);
+            serial = Some(sa);
+            wide = Some(sb);
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`swim`] — a seeded SWIM-like Facebook workload generator for the
 //!   100-node experiments (Figures 9/10).
 //! * [`rand_gen`] — fully random workloads for the Figure 5 sweep.
+//! * [`google_trace`] — Google cluster-data per-job summary reader and a
+//!   trace-shaped synthetic generator for the 1k/10k-node scale runs.
 //! * [`bind`] — attaches a workload's inputs to a cluster as data objects.
 //!
 //! ```
@@ -24,6 +26,7 @@
 pub mod arrivals;
 pub mod bind;
 pub mod dag;
+pub mod google_trace;
 pub mod job;
 pub mod kind;
 pub mod rand_gen;
@@ -34,6 +37,10 @@ pub mod swim_tsv;
 pub use arrivals::{assign_arrivals, ArrivalProcess};
 pub use bind::{bind_workload, BoundWorkload, PlacementPolicy};
 pub use dag::{DagError, JobDag};
+pub use google_trace::{
+    google_records_to_jobs, google_synth, parse_google_tsv, write_google_tsv, GoogleParseError,
+    GoogleSynthCfg, GoogleTraceRecord, GOOGLE_PROD_PRIORITY,
+};
 pub use job::{JobId, JobPriority, JobSpec, ReduceSpec};
 pub use kind::JobKind;
 pub use rand_gen::{random_workload, RandomWorkloadCfg};
