@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use lips_cluster::{ec2_mixed_cluster, Cluster};
-use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips_sim::{MachineState, PendingJob, Placement, Scheduler, SchedulerContext};
 use lips_workload::{bind_workload, BoundWorkload, JobKind, JobSpec, PlacementPolicy};
 
@@ -52,7 +52,7 @@ fn bench_decide(c: &mut Criterion) {
             b.iter(|| {
                 // Fresh scheduler each iteration: `decide` mutates its read
                 // ledger, and a stale ledger would change the work.
-                let mut s = LipsScheduler::new(LipsConfig::large_cluster(600.0));
+                let mut s = LipsScheduler::new(SchedulerConfig::large_cluster(600.0));
                 let ctx = SchedulerContext {
                     now: 0.0,
                     cluster: &fx.cluster,

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use lips_cluster::{ec2_100_node, ec2_20_node};
-use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips_sim::{Placement, Scheduler, Simulation};
 use lips_workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy, SwimCfg};
 
@@ -19,7 +19,7 @@ fn run_suite(kind: &str) -> f64 {
     );
     let placement = Placement::spread_blocks(&cluster, 1);
     let mut sched: Box<dyn Scheduler> = match kind {
-        "lips" => Box::new(LipsScheduler::new(LipsConfig::small_cluster(600.0))),
+        "lips" => Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(600.0))),
         "default" => Box::new(HadoopDefaultScheduler::new()),
         _ => Box::new(DelayScheduler::default()),
     };
@@ -60,7 +60,7 @@ fn bench_swim(c: &mut Criterion) {
                 );
                 let placement = Placement::spread_blocks(&cluster, 1);
                 let mut sched: Box<dyn Scheduler> = match *kind {
-                    "lips" => Box::new(LipsScheduler::new(LipsConfig::large_cluster(600.0))),
+                    "lips" => Box::new(LipsScheduler::new(SchedulerConfig::large_cluster(600.0))),
                     _ => Box::new(HadoopDefaultScheduler::new()),
                 };
                 let r = Simulation::new(&cluster, &bound)

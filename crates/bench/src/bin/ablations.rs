@@ -18,7 +18,7 @@ use lips_bench::report::{emit_json, ExperimentRecord};
 use lips_bench::table::{dollars, pct, secs};
 use lips_bench::Table;
 use lips_cluster::ec2_mixed_cluster;
-use lips_core::{DelayScheduler, LipsConfig, LipsScheduler};
+use lips_core::{DelayScheduler, LipsScheduler, SchedulerConfig};
 use lips_sim::{Placement, Simulation};
 use lips_workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -33,7 +33,7 @@ fn jobs() -> Vec<JobSpec> {
 
 fn run_with(
     nodes: usize,
-    cfg: LipsConfig,
+    cfg: SchedulerConfig,
     replicas: usize,
     stragglers: Option<(f64, f64)>,
 ) -> (lips_sim::SimReport, f64) {
@@ -87,8 +87,8 @@ fn main() {
     // ---- 1. pruning ------------------------------------------------------
     println!("Ablation 1 — candidate pruning (40-node cluster, epoch 2000 s)\n");
     let mut t = Table::new(["config", "total $", "wall time (whole sim)"]);
-    let exact = LipsConfig::small_cluster(2000.0);
-    let mut pruned = LipsConfig::large_cluster(2000.0);
+    let exact = SchedulerConfig::small_cluster(2000.0);
+    let mut pruned = SchedulerConfig::large_cluster(2000.0);
     pruned.epoch_s = 2000.0;
     let (re, we) = run_with(40, exact, 1, None);
     let (rp, wp) = run_with(40, pruned, 1, None);
@@ -126,7 +126,7 @@ fn main() {
     ]);
     for r in [1usize, 2, 3] {
         let d = run_delay(20, r, None);
-        let (l, _) = run_with(20, LipsConfig::small_cluster(2000.0), r, None);
+        let (l, _) = run_with(20, SchedulerConfig::small_cluster(2000.0), r, None);
         t.row([
             format!("{r}"),
             dollars(d.metrics.total_dollars()),
@@ -152,8 +152,13 @@ fn main() {
         "straggler makespan",
         "$ change",
     ]);
-    let (l0, _) = run_with(20, LipsConfig::small_cluster(2000.0), 1, None);
-    let (l1, _) = run_with(20, LipsConfig::small_cluster(2000.0), 1, Some((0.1, 4.0)));
+    let (l0, _) = run_with(20, SchedulerConfig::small_cluster(2000.0), 1, None);
+    let (l1, _) = run_with(
+        20,
+        SchedulerConfig::small_cluster(2000.0),
+        1,
+        Some((0.1, 4.0)),
+    );
     let d0 = run_delay(20, 1, None);
     let d1 = run_delay(20, 1, Some((0.1, 4.0)));
     t.row([
@@ -189,7 +194,7 @@ fn main() {
     println!("Ablation 4 — fairness floors sigma (two pools, tight 200 s epochs)\n");
     let mut t = Table::new(["sigma", "total $", "pool completion spread"]);
     for sigma in [0.0, 0.5, 1.0] {
-        let mut cfg = LipsConfig::small_cluster(200.0);
+        let mut cfg = SchedulerConfig::small_cluster(200.0);
         cfg.fairness = sigma;
         let (r, _) = run_with(20, cfg, 1, None);
         let mut by_pool: std::collections::HashMap<&str, f64> = Default::default();

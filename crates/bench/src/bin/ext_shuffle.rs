@@ -13,7 +13,7 @@ use lips_bench::report::{emit_json, ExperimentRecord};
 use lips_bench::table::{dollars, pct};
 use lips_bench::Table;
 use lips_cluster::ec2_20_node;
-use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips_sim::{Placement, Scheduler, Simulation};
 use lips_workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -41,7 +41,7 @@ fn run(kind: &str, shuffle_ratio: f64) -> lips_sim::SimReport {
     );
     let placement = Placement::spread_blocks(&cluster, 17);
     let mut sched: Box<dyn Scheduler> = match kind {
-        "lips" => Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+        "lips" => Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(2000.0))),
         "default" => Box::new(HadoopDefaultScheduler::new()),
         _ => Box::new(DelayScheduler::default()),
     };

@@ -543,7 +543,7 @@ fn run_scale_series(threads: usize, host_parallelism: usize, args: &[String]) {
                 format!("{:.1}", r.certify_ms),
                 format!("{:.1}", r.epoch_ms),
                 r.shards.to_string(),
-                r.rounds.to_string(),
+                r.pricing_rounds.to_string(),
                 if r.certified {
                     "certified".to_string()
                 } else {
@@ -562,7 +562,7 @@ fn run_scale_series(threads: usize, host_parallelism: usize, args: &[String]) {
                 format!("{:.1}", probe.certify_ms),
                 format!("{:.1}", probe.epoch_ms),
                 probe.shards.to_string(),
-                probe.rounds.to_string(),
+                probe.pricing_rounds.to_string(),
                 if probe.certified {
                     "certified".to_string()
                 } else {

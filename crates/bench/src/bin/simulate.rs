@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use lips_cluster::{ec2_100_node, ec2_mixed_cluster, Cluster};
 use lips_core::{
     AdaptiveConfig, AdaptiveLips, DelayScheduler, FairScheduler, HadoopDefaultScheduler,
-    LipsConfig, LipsScheduler,
+    LipsScheduler, SchedulerConfig,
 };
 use lips_sim::{Placement, Scheduler, Simulation};
 use lips_workload::{bind_workload, swim_trace, table_iv_suite, JobSpec, PlacementPolicy, SwimCfg};
@@ -153,15 +153,15 @@ fn build_scheduler(cfg: &SchedulerCfg) -> Box<dyn Scheduler> {
             pruned,
         } => {
             let mut c = if *pruned {
-                LipsConfig::large_cluster(*epoch_s)
+                SchedulerConfig::large_cluster(*epoch_s)
             } else {
-                LipsConfig::small_cluster(*epoch_s)
+                SchedulerConfig::small_cluster(*epoch_s)
             };
             c.fairness = *fairness;
             Box::new(LipsScheduler::new(c))
         }
         SchedulerCfg::LipsAdaptive { cost_preference } => Box::new(AdaptiveLips::new(
-            LipsConfig::small_cluster(400.0),
+            SchedulerConfig::small_cluster(400.0),
             AdaptiveConfig {
                 cost_preference: *cost_preference,
                 ..Default::default()

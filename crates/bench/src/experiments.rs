@@ -3,7 +3,7 @@
 //! format results).
 
 use lips_cluster::{ec2_100_node, ec2_20_node, Cluster};
-use lips_core::LipsConfig;
+use lips_core::SchedulerConfig;
 use lips_workload::{swim_trace, table_iv_suite, JobSpec, SwimCfg};
 
 use crate::matchup::{run_matchup, Matchup, MatchupSpec, SchedulerKind};
@@ -56,7 +56,7 @@ pub fn fig6_run(setting: Fig6Setting, epoch_s: f64, seed: u64) -> Matchup {
         make_cluster: move || ec2_20_node(setting.c1_fraction(), 1e9),
         make_jobs: table_iv_suite,
         seed,
-        lips: LipsConfig::small_cluster(epoch_s),
+        lips: SchedulerConfig::small_cluster(epoch_s),
     };
     run_matchup(&spec, &PAPER_SCHEDULERS)
 }
@@ -67,7 +67,7 @@ pub fn fig8_run(epoch_s: f64, seed: u64) -> lips_sim::SimReport {
         make_cluster: || ec2_20_node(0.5, 1e9),
         make_jobs: table_iv_suite,
         seed,
-        lips: LipsConfig::small_cluster(epoch_s),
+        lips: SchedulerConfig::small_cluster(epoch_s),
     };
     let m = run_matchup(&spec, &[SchedulerKind::Lips]);
     m.reports.into_iter().next().unwrap().1
@@ -86,7 +86,7 @@ pub fn fig9_run(epoch_s: f64, seed: u64, scale: f64) -> Matchup {
         make_cluster: move || ec2_100_node(1e9, seed),
         make_jobs: move || swim_trace(&cfg, seed),
         seed,
-        lips: LipsConfig::large_cluster(epoch_s),
+        lips: SchedulerConfig::large_cluster(epoch_s),
     };
     run_matchup(&spec, &PAPER_SCHEDULERS)
 }

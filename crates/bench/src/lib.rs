@@ -20,6 +20,7 @@ pub mod lp_epoch;
 pub mod matchup;
 pub mod report;
 pub mod scale;
+pub mod serve_traj;
 pub mod table;
 
 pub use experiments::{fig11_run, fig6_run, fig8_run, fig9_run, Fig6Setting, PAPER_SCHEDULERS};

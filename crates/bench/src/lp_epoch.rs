@@ -38,6 +38,7 @@ use lips_core::lp_build::{
     sanitize_warm_start, ColGenOptions, ColGenState, EpochSolver, LpInstance, LpJob, PruneConfig,
     ShardOptions, ShardState,
 };
+pub use lips_core::EpochRecord;
 use lips_lp::{WarmOutcome, WarmStart};
 use lips_workload::JobId;
 use serde::Serialize;
@@ -88,52 +89,16 @@ impl EpochMode {
     }
 }
 
-/// One epoch's solver telemetry.
-#[derive(Debug, Clone, Serialize)]
-pub struct EpochRecord {
-    pub epoch: usize,
-    pub jobs: usize,
-    pub iterations: usize,
-    pub phase1_iterations: usize,
-    pub refactors: usize,
-    pub ftran_nnz: u64,
-    /// `"Cold"`, `"Warm"`, or `"WarmRepaired"`.
-    pub warm: String,
-    /// Simplex wall-time as reported by the solver (summed across pricing
-    /// rounds in colgen mode; shard subproblem simplex included in
-    /// sharded mode).
-    pub solve_ms: f64,
-    /// Model-construction wall-time as metered by the solver's phase
-    /// clock: candidate enumeration, (restricted) model build, presolve,
-    /// pricing and column appends — everything outside the simplex and
-    /// the certifier. Previously folded into `epoch_ms` for every mode.
-    pub build_ms: f64,
-    /// Independent KKT-certification wall-time (excluded-column pricing
-    /// included for the restricted modes).
-    pub certify_ms: f64,
-    /// Wall-time of the whole epoch call: model build, solve, pricing,
-    /// certification. The honest cross-mode comparison — colgen must win
-    /// here, not just on simplex time.
-    pub epoch_ms: f64,
-    /// Task columns the simplex actually saw (colgen: final master;
-    /// cold/warm: the full model, so equal to `total_columns`).
-    pub active_columns: usize,
-    /// Task columns of the full model.
-    pub total_columns: usize,
-    /// Restricted-master solve/price rounds (1 in cold/warm modes).
-    pub pricing_rounds: usize,
-    /// Dual-simplex pivots (0 outside [`EpochMode::Dual`]; also counted
-    /// in `iterations`).
-    pub dual_pivots: usize,
-    /// Nonbasic bound flips by the dual solver (not pivots, not counted
-    /// in `iterations`).
-    pub bound_flips: usize,
-    /// Variables fixed + rows dropped by epoch presolve before the
-    /// simplex ran (0 in modes that solve the unreduced model).
-    pub presolve_removed: usize,
-    pub objective: f64,
-    pub certified: bool,
-}
+// One epoch's solver telemetry is recorded on the workspace-wide stable
+// schema, `lips_core::EpochRecord` (re-exported above): the same shape the
+// online scheduler logs per decision epoch and the serve daemon exposes
+// over its metrics endpoint. Bench-specific semantics of shared fields:
+// `outcome` holds the [`EpochMode`] label (the rung is *chosen* here, not
+// discovered by a ladder), `epoch_ms` is the honest whole-call wall-time
+// (build + solve + pricing + certification, metered around the call rather
+// than summed from phase timings), and `incremental` means the mode
+// re-used carried state — a chained basis that warmed, or carried
+// colgen/shard state.
 
 /// A full epoch sequence under one starting policy.
 #[derive(Debug, Clone, Serialize)]
@@ -251,6 +216,9 @@ pub fn run_epochs(
             },
         };
         let t = Instant::now();
+        // (shards, shard_failures, subproblem_ms); nonzero only in
+        // sharded mode.
+        let mut shard_info = (0usize, 0usize, 0.0f64);
         let (sched, certified, active, total, rounds, presolve_removed, timings) = match mode {
             EpochMode::Cold | EpochMode::Warm => {
                 let seed = if mode == EpochMode::Warm {
@@ -333,6 +301,7 @@ pub fn run_epochs(
                     .is_optimal();
                 let (state, stats) = report.shard.expect("sharded mode carries state");
                 shard_state = Some(state);
+                shard_info = (stats.shards, stats.shard_failures, stats.subproblem_ms);
                 (
                     report.schedule,
                     certified,
@@ -372,26 +341,37 @@ pub fn run_epochs(
         out.total_ftran_nnz += stats.ftran_nnz;
         out.total_pricing_rounds += rounds;
         out.all_certified &= certified;
+        let incremental = e > 0
+            && match mode {
+                EpochMode::Cold => false,
+                EpochMode::Warm | EpochMode::Dual => stats.warm != WarmOutcome::Cold,
+                EpochMode::ColGen | EpochMode::Sharded => true,
+            };
         out.epochs.push(EpochRecord {
             epoch: e,
             jobs: n_jobs,
+            outcome: mode.label().to_string(),
+            warm: format!("{:?}", stats.warm),
             iterations: stats.iterations,
             phase1_iterations: stats.phase1_iterations,
             refactors: stats.refactors,
             ftran_nnz: stats.ftran_nnz,
-            warm: format!("{:?}", stats.warm),
-            solve_ms: stats.solve_ms,
-            build_ms: timings.build_ms,
-            certify_ms: timings.certify_ms,
-            epoch_ms,
-            active_columns: active,
-            total_columns: total,
-            pricing_rounds: rounds,
             dual_pivots: stats.dual_pivots,
             bound_flips: stats.bound_flips,
+            pricing_rounds: rounds,
+            active_columns: active,
+            total_columns: total,
+            shards: shard_info.0,
+            shard_failures: shard_info.1,
+            subproblem_ms: shard_info.2,
             presolve_removed,
+            build_ms: timings.build_ms,
+            solve_ms: stats.solve_ms,
+            certify_ms: timings.certify_ms,
+            epoch_ms,
             objective: sched.predicted_dollars,
             certified,
+            incremental,
         });
     }
     if epochs > 0 {

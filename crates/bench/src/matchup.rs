@@ -5,7 +5,9 @@
 //! independent yet perfectly comparable.
 
 use lips_cluster::Cluster;
-use lips_core::{DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips_core::{
+    DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig,
+};
 use lips_sim::{Placement, Scheduler, SimReport, Simulation};
 use lips_workload::{bind_workload, JobSpec, PlacementPolicy};
 
@@ -47,7 +49,7 @@ where
     /// Seed for input binding and the initial block spread.
     pub seed: u64,
     /// LiPS configuration (other schedulers have no knobs here).
-    pub lips: LipsConfig,
+    pub lips: SchedulerConfig,
 }
 
 /// Results per scheduler, in [`SchedulerKind::ALL`] order (minus any
@@ -123,7 +125,7 @@ pub fn run_one(
     bound: &lips_workload::BoundWorkload,
     placement: Placement,
     kind: SchedulerKind,
-    lips: &LipsConfig,
+    lips: &SchedulerConfig,
 ) -> SimReport {
     let sim = Simulation::new(cluster, bound).with_placement(placement);
     let mut sched: Box<dyn Scheduler> = match kind {
@@ -152,7 +154,7 @@ mod tests {
                 ]
             },
             seed: 42,
-            lips: LipsConfig::small_cluster(400.0),
+            lips: SchedulerConfig::small_cluster(400.0),
         }
     }
 

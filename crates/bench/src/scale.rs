@@ -43,33 +43,15 @@ pub struct ScaleSpec {
     pub probe_jobs: Option<usize>,
 }
 
-/// One epoch of a scale point.
-#[derive(Debug, Clone, Serialize)]
-pub struct ScaleEpoch {
-    pub epoch: usize,
-    /// Solver-metered model construction (enumeration, restricted build,
-    /// master pricing); 0.0 for the greedy, which builds no model.
-    pub build_ms: f64,
-    /// Simplex wall-time (master rounds + shard subproblems), or the
-    /// whole greedy scan in greedy mode.
-    pub solve_ms: f64,
-    /// Full-model KKT certification; 0.0 for the greedy (nothing is
-    /// certified — that is the point being measured).
-    pub certify_ms: f64,
-    /// Whole-epoch wall-clock.
-    pub epoch_ms: f64,
-    pub iterations: usize,
-    /// Shards built (0 in greedy mode).
-    pub shards: usize,
-    pub shard_failures: usize,
-    /// Wall-clock of the parallel shard fan-out.
-    pub subproblem_ms: f64,
-    pub active_columns: usize,
-    pub total_columns: usize,
-    pub rounds: usize,
-    pub objective: f64,
-    pub certified: bool,
-}
+/// One epoch of a scale point, on the workspace-wide stable schema
+/// ([`lips_core::EpochRecord`]). Scale-specific field semantics:
+/// `outcome` is `"sharded"` or `"greedy"`, `epoch_ms` the whole-epoch
+/// wall-clock metered around the call, `incremental` whether carried
+/// shard/master state was re-used (always false for the stateless
+/// greedy), and the greedy leaves every model-side counter at zero —
+/// it builds no model and certifies nothing, which is the point being
+/// measured.
+pub type ScaleEpoch = lips_core::EpochRecord;
 
 /// One (nodes × jobs) point of the trajectory.
 #[derive(Debug, Clone, Serialize)]
@@ -199,6 +181,8 @@ fn sharded_epoch(
     state: Option<&ShardState>,
     threads: usize,
 ) -> (ScaleEpoch, ShardState) {
+    let n_jobs = jobs.len();
+    let carried = state.is_some();
     let inst = instance(cluster, jobs);
     let t = Instant::now();
     let report = with_width(EpochSolver::new(&inst), threads)
@@ -212,21 +196,32 @@ fn sharded_epoch(
         .expect("sharded mode always certifies")
         .is_optimal();
     let (state, stats) = report.shard.expect("sharded mode carries state");
+    let s = &report.schedule.stats;
     let rec = ScaleEpoch {
         epoch,
+        jobs: n_jobs,
+        outcome: "sharded".to_string(),
+        warm: format!("{:?}", s.warm),
+        iterations: s.iterations,
+        phase1_iterations: s.phase1_iterations,
+        refactors: s.refactors,
+        ftran_nnz: s.ftran_nnz,
+        dual_pivots: s.dual_pivots,
+        bound_flips: s.bound_flips,
+        pricing_rounds: stats.rounds,
+        active_columns: stats.active_columns,
+        total_columns: stats.total_columns,
+        shards: stats.shards,
+        shard_failures: stats.shard_failures,
+        subproblem_ms: stats.subproblem_ms,
+        presolve_removed: 0,
         build_ms: report.timings.build_ms,
         solve_ms: report.timings.solve_ms,
         certify_ms: report.timings.certify_ms,
         epoch_ms,
-        iterations: report.schedule.stats.iterations,
-        shards: stats.shards,
-        shard_failures: stats.shard_failures,
-        subproblem_ms: stats.subproblem_ms,
-        active_columns: stats.active_columns,
-        total_columns: stats.total_columns,
-        rounds: stats.rounds,
         objective: report.schedule.predicted_dollars,
         certified,
+        incremental: carried,
     };
     (rec, state)
 }
@@ -256,24 +251,18 @@ pub fn run_scale_point(spec: &ScaleSpec, threads: usize) -> ScalePoint {
             state = Some(next);
             rec
         } else {
+            let n_jobs = jobs.len();
             let t = Instant::now();
             let (_picks, dollars) = greedy_schedule(&cluster, &jobs);
             let ms = t.elapsed().as_secs_f64() * 1e3;
             ScaleEpoch {
                 epoch: e,
-                build_ms: 0.0,
+                jobs: n_jobs,
+                outcome: "greedy".to_string(),
                 solve_ms: ms,
-                certify_ms: 0.0,
                 epoch_ms: ms,
-                iterations: 0,
-                shards: 0,
-                shard_failures: 0,
-                subproblem_ms: 0.0,
-                active_columns: 0,
-                total_columns: 0,
-                rounds: 0,
                 objective: dollars,
-                certified: false,
+                ..ScaleEpoch::degraded(e, n_jobs)
             }
         };
         out.total_build_ms += rec.build_ms;

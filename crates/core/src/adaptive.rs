@@ -19,7 +19,7 @@
 
 use lips_sim::{Action, Scheduler, SchedulerContext, Time};
 
-use crate::lips::{LipsConfig, LipsScheduler};
+use crate::lips::{LipsScheduler, SchedulerConfig};
 
 /// Configuration for [`AdaptiveLips`].
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ pub struct AdaptiveLips {
 }
 
 impl AdaptiveLips {
-    pub fn new(base: LipsConfig, adaptive: AdaptiveConfig) -> Self {
+    pub fn new(base: SchedulerConfig, adaptive: AdaptiveConfig) -> Self {
         assert!((0.0..=1.0).contains(&adaptive.cost_preference));
         assert!(adaptive.min_epoch_s > 0.0 && adaptive.max_epoch_s >= adaptive.min_epoch_s);
         let current_epoch = adaptive.min_epoch_s;
@@ -120,7 +120,7 @@ mod tests {
         let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, seed);
         let placement = Placement::spread_blocks(&cluster, seed);
         let mut sched = AdaptiveLips::new(
-            LipsConfig::small_cluster(400.0),
+            SchedulerConfig::small_cluster(400.0),
             AdaptiveConfig {
                 cost_preference: pref,
                 ..Default::default()
@@ -166,8 +166,10 @@ mod tests {
         let jobs = vec![JobSpec::new(0, "a", JobKind::Stress2, 2048.0, 32)];
         let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 3);
         let placement = Placement::spread_blocks(&cluster, 3);
-        let mut sched =
-            AdaptiveLips::new(LipsConfig::small_cluster(400.0), AdaptiveConfig::default());
+        let mut sched = AdaptiveLips::new(
+            SchedulerConfig::small_cluster(400.0),
+            AdaptiveConfig::default(),
+        );
         let _ = Simulation::new(&cluster, &bound)
             .with_placement(placement)
             .run(&mut sched)
@@ -181,7 +183,7 @@ mod tests {
     #[should_panic]
     fn invalid_preference_rejected() {
         AdaptiveLips::new(
-            LipsConfig::small_cluster(400.0),
+            SchedulerConfig::small_cluster(400.0),
             AdaptiveConfig {
                 cost_preference: 2.0,
                 ..Default::default()

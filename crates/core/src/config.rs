@@ -1,0 +1,549 @@
+//! The public scheduling configuration surface.
+//!
+//! [`SchedulerConfig`] is the one typed knob set every entry point — the
+//! simulator, `lips-serve`, the benches — consumes. It replaces the
+//! batch-era sprawl of flat fields reached through ad-hoc struct literals:
+//! construct it through a preset ([`SchedulerConfig::preset`], or the
+//! named constructors), refine it through the validating
+//! [`SchedulerConfigBuilder`], and hand it to
+//! [`crate::LipsScheduler::new`].
+//!
+//! Every knob is a *solve-path* or *policy* knob: presets and builder
+//! settings can change how fast an epoch solves or how much of the queue
+//! it sees, but a certified optimum is certified under any of them.
+
+use std::fmt;
+
+/// Tuning for [`crate::LipsScheduler`] — the one configuration type
+/// shared by the simulator, the `lips-serve` daemon, and the benches.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Epoch length `e` in seconds — the paper's cost↔makespan knob
+    /// (Figure 8): longer epochs let the LP concentrate work on the
+    /// cheapest nodes; shorter epochs force parallelism.
+    pub epoch_s: f64,
+    /// Fake-node price in dollars per ECU-second. Must dwarf every real
+    /// price (real prices are ~1e-5 $/ECU-s).
+    pub fake_cost: f64,
+    /// Jobs per epoch LP (FIFO beyond this wait a turn); keeps solve times
+    /// flat on trace workloads.
+    pub max_jobs_per_lp: usize,
+    /// Machine-candidate cap per job (`None` = exact model).
+    pub max_machines_per_job: Option<usize>,
+    /// New-copy store-candidate cap per job (`None` = exact model).
+    pub max_new_stores_per_job: Option<usize>,
+    /// Holder-store cap per job: only the K stores holding the most
+    /// unread data enter the LP (the rest defer to later epochs via the
+    /// fake node). `None` = all holders.
+    pub max_holder_stores_per_job: Option<usize>,
+    /// Allocations smaller than this fraction of a natural task are
+    /// deferred to the next epoch rather than launched as micro-tasks
+    /// (the paper's minimum viable task size) — unless they are the last
+    /// crumbs of a job.
+    pub min_task_fraction: f64,
+    /// Enforce the per-machine read-time budget (constraint (21)).
+    pub enforce_transfer_time: bool,
+    /// Fair-sharing strength σ ∈ [0, 1]: each FairScheduler pool with
+    /// queued work is guaranteed at least
+    /// `σ · min(pool demand, capacity / #pools)` ECU-seconds per epoch.
+    /// 0 disables fairness (pure cost optimization, the paper's default);
+    /// if the fairness floors make an epoch LP infeasible the scheduler
+    /// retries without them.
+    pub fairness: f64,
+    /// Seed each epoch's LP from the previous epoch's optimal basis.
+    /// Successive epoch LPs are structurally near-identical (same machine
+    /// and store rows, a few job columns added/removed, costs drifting as
+    /// work completes), so the previous basis is usually a few pivots from
+    /// the new optimum. The solver falls back to a cold solve on its own
+    /// whenever the saved basis cannot be salvaged; disabling this only
+    /// forces every solve cold (an ablation/debugging knob — the optimum
+    /// never depends on it).
+    pub warm_start: bool,
+    /// Solve each epoch LP by delayed column generation
+    /// ([`crate::lp_build::EpochSolver::colgen`]): a restricted master
+    /// seeded with the cheapest arcs per job (plus the previous epoch's
+    /// surviving columns), grown by pricing until it provably matches the
+    /// full model's optimum. Strictly a solve-path knob, like
+    /// `warm_start`: every epoch is still KKT-certified against the full
+    /// model, so the optimum never depends on it. Pays off once the full
+    /// model is large (≳ 50 machines); on small clusters the full LP is
+    /// already cheap.
+    pub colgen: bool,
+    /// Solve each epoch LP by block-angular shard decomposition
+    /// ([`crate::lp_build::EpochSolver::sharded`]): partition the live
+    /// machines into this many zone-aligned shards (`Some(0)` = one shard
+    /// per cluster zone), fan the restricted per-shard subproblems across
+    /// the worker pool — each warm-started from its prior-epoch basis,
+    /// dual-simplex-first under churn — and stitch their column proposals
+    /// into a restricted master that prices cross-zone transfers until
+    /// the KKT certifier accepts the result against the full model. Takes
+    /// precedence over `colgen` (it subsumes the same master/pricing
+    /// machinery); like `colgen` and `warm_start`, strictly a solve-path
+    /// knob that can never change an optimum. This is the ladder rung
+    /// that makes multi-thousand-node epochs tractable.
+    pub shard_zones: Option<usize>,
+    /// Simplex pivot budget per epoch solve (`None` = unlimited). An
+    /// epoch whose LP exceeds it walks the degradation ladder (cold
+    /// retry, then greedy placement) instead of stalling the cluster —
+    /// the fault-tolerance analogue of a wall-clock solve budget.
+    pub max_pivots_per_epoch: Option<usize>,
+    /// Try a bounded dual-simplex re-solve from the carried basis
+    /// *before* the primal path each epoch
+    /// ([`crate::lp_build::EpochSolver::dual`]). After churn that only
+    /// drifts bounds and costs the carried basis is usually still dual
+    /// feasible, and the dual method re-optimizes in a handful of pivots
+    /// with no phase 1; when it is not (topology deltas, one-sided rows
+    /// gone dual-infeasible) the rung fails fast and the ladder continues
+    /// with warm primal. Requires `warm_start`. Under `colgen` the same
+    /// knob makes the first restricted-master round dual-simplex-first
+    /// from the carried master basis — the incremental-arrival path the
+    /// `lips-serve` daemon rides. Strictly a solve-path knob: every
+    /// successful rung is still independently KKT-certified.
+    pub dual_resolve: bool,
+    /// Shrink each epoch LP with certification-safe presolve before the
+    /// simplex ([`crate::lp_build::EpochSolver::presolve`]):
+    /// redundant-row dropping plus Fig-1 dominated-column fixing, with
+    /// the warm basis mapped through the reduction and the solution
+    /// restored to (and certified against) the full model.
+    pub presolve: bool,
+    /// Worker threads for model build, column pricing, and certification
+    /// (`None` = the `LIPS_THREADS` environment variable, else the
+    /// machine's available parallelism). Pure throughput tuning: the
+    /// deterministic merge discipline of `lips-par` makes every solve
+    /// bitwise identical at any value, including 1.
+    pub threads: Option<usize>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            epoch_s: 400.0,
+            fake_cost: 1.0,
+            max_jobs_per_lp: 48,
+            max_machines_per_job: None,
+            max_new_stores_per_job: Some(8),
+            max_holder_stores_per_job: None,
+            min_task_fraction: 0.05,
+            enforce_transfer_time: true,
+            fairness: 0.0,
+            warm_start: true,
+            colgen: false,
+            shard_zones: None,
+            max_pivots_per_epoch: None,
+            dual_resolve: true,
+            presolve: false,
+            threads: None,
+        }
+    }
+}
+
+/// The validated preset families — one per cluster scale the paper's
+/// evaluation exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// ≤ ~20-node clusters: exact model, no pruning.
+    Small,
+    /// ~100-node clusters / trace workloads: pruned candidates plus
+    /// column generation.
+    LargeCluster,
+    /// ≳ 1000-node clusters: pruned candidates plus the block-angular
+    /// sharded solve, one shard per cluster zone.
+    HugeCluster,
+}
+
+impl Preset {
+    /// Parse a preset name as the CLIs spell it.
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name {
+            "small" => Some(Preset::Small),
+            "large" | "large_cluster" => Some(Preset::LargeCluster),
+            "huge" | "huge_cluster" => Some(Preset::HugeCluster),
+            _ => None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Start a validating builder from the default configuration.
+    pub fn builder() -> SchedulerConfigBuilder {
+        SchedulerConfigBuilder {
+            cfg: SchedulerConfig::default(),
+        }
+    }
+
+    /// Start a validating builder from a preset.
+    pub fn preset(preset: Preset, epoch_s: f64) -> SchedulerConfigBuilder {
+        let cfg = match preset {
+            Preset::Small => SchedulerConfig::small_cluster(epoch_s),
+            Preset::LargeCluster => SchedulerConfig::large_cluster(epoch_s),
+            Preset::HugeCluster => SchedulerConfig::huge_cluster(epoch_s),
+        };
+        SchedulerConfigBuilder { cfg }
+    }
+
+    /// Preset for ≤ ~20-node clusters: exact model.
+    pub fn small_cluster(epoch_s: f64) -> Self {
+        SchedulerConfig {
+            epoch_s,
+            max_new_stores_per_job: None,
+            ..Default::default()
+        }
+    }
+
+    /// Preset for ~100-node clusters / trace workloads: pruned candidates.
+    pub fn large_cluster(epoch_s: f64) -> Self {
+        SchedulerConfig {
+            epoch_s,
+            max_jobs_per_lp: 16,
+            max_machines_per_job: Some(16),
+            max_new_stores_per_job: Some(6),
+            max_holder_stores_per_job: Some(20),
+            colgen: true,
+            ..Default::default()
+        }
+    }
+
+    /// Preset for ≳ 1000-node clusters: pruned candidates plus the
+    /// block-angular sharded solve, one shard per cluster zone.
+    pub fn huge_cluster(epoch_s: f64) -> Self {
+        SchedulerConfig {
+            shard_zones: Some(0),
+            colgen: false,
+            ..Self::large_cluster(epoch_s)
+        }
+    }
+
+    /// Check every cross-field invariant the builder enforces. Presets
+    /// always validate; hand-rolled struct literals can call this before
+    /// use.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.epoch_s.is_finite() && self.epoch_s > 0.0) {
+            return Err(ConfigError::NonPositiveEpoch(self.epoch_s));
+        }
+        if !(self.fake_cost.is_finite() && self.fake_cost > 0.0) {
+            return Err(ConfigError::NonPositiveFakeCost(self.fake_cost));
+        }
+        if self.max_jobs_per_lp == 0 {
+            return Err(ConfigError::ZeroJobsPerLp);
+        }
+        if !(0.0..=1.0).contains(&self.min_task_fraction) {
+            return Err(ConfigError::MinTaskFractionOutOfRange(
+                self.min_task_fraction,
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.fairness) {
+            return Err(ConfigError::FairnessOutOfRange(self.fairness));
+        }
+        if self.dual_resolve && !self.warm_start {
+            return Err(ConfigError::DualResolveNeedsWarmStart);
+        }
+        if self.threads == Some(0) {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`SchedulerConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `epoch_s` must be finite and positive.
+    NonPositiveEpoch(f64),
+    /// `fake_cost` must be finite and positive (it prices deferral).
+    NonPositiveFakeCost(f64),
+    /// `max_jobs_per_lp` of zero would starve every epoch LP.
+    ZeroJobsPerLp,
+    /// `min_task_fraction` must lie in `[0, 1]`.
+    MinTaskFractionOutOfRange(f64),
+    /// `fairness` (σ) must lie in `[0, 1]`.
+    FairnessOutOfRange(f64),
+    /// `dual_resolve` re-optimizes the *carried* basis; without
+    /// `warm_start` there is never one to carry.
+    DualResolveNeedsWarmStart,
+    /// `threads` of zero cannot run anything; use `None` for the default.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveEpoch(e) => {
+                write!(f, "epoch_s must be finite and > 0 (got {e})")
+            }
+            ConfigError::NonPositiveFakeCost(c) => {
+                write!(f, "fake_cost must be finite and > 0 (got {c})")
+            }
+            ConfigError::ZeroJobsPerLp => write!(f, "max_jobs_per_lp must be >= 1"),
+            ConfigError::MinTaskFractionOutOfRange(v) => {
+                write!(f, "min_task_fraction must lie in [0, 1] (got {v})")
+            }
+            ConfigError::FairnessOutOfRange(v) => {
+                write!(f, "fairness must lie in [0, 1] (got {v})")
+            }
+            ConfigError::DualResolveNeedsWarmStart => {
+                write!(
+                    f,
+                    "dual_resolve requires warm_start (no basis is carried without it)"
+                )
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "threads must be >= 1 (use None for the default)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`SchedulerConfig`] with validation at [`build`]
+/// ([`SchedulerConfigBuilder::build`]) time. Start from
+/// [`SchedulerConfig::builder`] (defaults) or
+/// [`SchedulerConfig::preset`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfigBuilder {
+    cfg: SchedulerConfig,
+}
+
+impl SchedulerConfigBuilder {
+    /// Epoch length `e` in seconds (the cost↔makespan knob).
+    #[must_use]
+    pub fn epoch_s(mut self, epoch_s: f64) -> Self {
+        self.cfg.epoch_s = epoch_s;
+        self
+    }
+
+    /// Fake-node price in dollars per ECU-second.
+    #[must_use]
+    pub fn fake_cost(mut self, fake_cost: f64) -> Self {
+        self.cfg.fake_cost = fake_cost;
+        self
+    }
+
+    /// Jobs per epoch LP (FIFO beyond this wait a turn).
+    #[must_use]
+    pub fn max_jobs_per_lp(mut self, n: usize) -> Self {
+        self.cfg.max_jobs_per_lp = n;
+        self
+    }
+
+    /// Machine-candidate cap per job (`None` = exact model).
+    #[must_use]
+    pub fn max_machines_per_job(mut self, n: Option<usize>) -> Self {
+        self.cfg.max_machines_per_job = n;
+        self
+    }
+
+    /// New-copy store-candidate cap per job (`None` = exact model).
+    #[must_use]
+    pub fn max_new_stores_per_job(mut self, n: Option<usize>) -> Self {
+        self.cfg.max_new_stores_per_job = n;
+        self
+    }
+
+    /// Holder-store cap per job (`None` = all holders).
+    #[must_use]
+    pub fn max_holder_stores_per_job(mut self, n: Option<usize>) -> Self {
+        self.cfg.max_holder_stores_per_job = n;
+        self
+    }
+
+    /// Minimum viable task size as a fraction of a natural task.
+    #[must_use]
+    pub fn min_task_fraction(mut self, f: f64) -> Self {
+        self.cfg.min_task_fraction = f;
+        self
+    }
+
+    /// Enforce the per-machine read-time budget (constraint (21)).
+    #[must_use]
+    pub fn enforce_transfer_time(mut self, on: bool) -> Self {
+        self.cfg.enforce_transfer_time = on;
+        self
+    }
+
+    /// Fair-sharing strength σ ∈ [0, 1].
+    #[must_use]
+    pub fn fairness(mut self, sigma: f64) -> Self {
+        self.cfg.fairness = sigma;
+        self
+    }
+
+    /// Seed each epoch's LP from the previous epoch's optimal basis.
+    #[must_use]
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.cfg.warm_start = on;
+        self
+    }
+
+    /// Solve each epoch LP by delayed column generation.
+    #[must_use]
+    pub fn colgen(mut self, on: bool) -> Self {
+        self.cfg.colgen = on;
+        self
+    }
+
+    /// Solve each epoch LP by block-angular shard decomposition
+    /// (`Some(0)` = one shard per cluster zone; `None` = off).
+    #[must_use]
+    pub fn shard_zones(mut self, zones: Option<usize>) -> Self {
+        self.cfg.shard_zones = zones;
+        self
+    }
+
+    /// Simplex pivot budget per epoch solve (`None` = unlimited).
+    #[must_use]
+    pub fn max_pivots_per_epoch(mut self, budget: Option<usize>) -> Self {
+        self.cfg.max_pivots_per_epoch = budget;
+        self
+    }
+
+    /// Try a bounded dual-simplex re-solve from the carried basis first.
+    #[must_use]
+    pub fn dual_resolve(mut self, on: bool) -> Self {
+        self.cfg.dual_resolve = on;
+        self
+    }
+
+    /// Certification-safe presolve before the simplex.
+    #[must_use]
+    pub fn presolve(mut self, on: bool) -> Self {
+        self.cfg.presolve = on;
+        self
+    }
+
+    /// Worker threads (`None` = `LIPS_THREADS`, else available
+    /// parallelism). Bitwise-identical results at any value.
+    #[must_use]
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Validate every cross-field invariant and hand back the config.
+    pub fn build(self) -> Result<SchedulerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// The batch-era name for [`SchedulerConfig`], kept as a thin forward for
+/// one release.
+#[deprecated(
+    since = "0.9.0",
+    note = "renamed to `SchedulerConfig`; construct through \
+            `SchedulerConfig::builder()` / `SchedulerConfig::preset(..)`"
+)]
+pub type LipsConfig = SchedulerConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [Preset::Small, Preset::LargeCluster, Preset::HugeCluster] {
+            let cfg = SchedulerConfig::preset(p, 400.0).build().unwrap();
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn preset_knobs_match_their_scale() {
+        let small = SchedulerConfig::preset(Preset::Small, 100.0)
+            .build()
+            .unwrap();
+        assert!(!small.colgen && small.shard_zones.is_none());
+        assert_eq!(small.max_new_stores_per_job, None);
+
+        let large = SchedulerConfig::preset(Preset::LargeCluster, 100.0)
+            .build()
+            .unwrap();
+        assert!(large.colgen);
+        assert_eq!(large.max_jobs_per_lp, 16);
+
+        let huge = SchedulerConfig::preset(Preset::HugeCluster, 100.0)
+            .build()
+            .unwrap();
+        assert_eq!(huge.shard_zones, Some(0));
+        assert!(!huge.colgen);
+    }
+
+    #[test]
+    fn preset_names_parse() {
+        assert_eq!(Preset::parse("small"), Some(Preset::Small));
+        assert_eq!(Preset::parse("large_cluster"), Some(Preset::LargeCluster));
+        assert_eq!(Preset::parse("huge"), Some(Preset::HugeCluster));
+        assert_eq!(Preset::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn builder_rejects_bad_epoch() {
+        let err = SchedulerConfig::builder().epoch_s(0.0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveEpoch(0.0));
+        assert!(SchedulerConfig::builder()
+            .epoch_s(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_cross_field_violations() {
+        assert_eq!(
+            SchedulerConfig::builder()
+                .warm_start(false)
+                .build()
+                .unwrap_err(),
+            ConfigError::DualResolveNeedsWarmStart
+        );
+        // Explicitly turning the dual rung off makes cold-only legal.
+        let cfg = SchedulerConfig::builder()
+            .warm_start(false)
+            .dual_resolve(false)
+            .build()
+            .unwrap();
+        assert!(!cfg.warm_start);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_fractions() {
+        assert!(SchedulerConfig::builder()
+            .min_task_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(SchedulerConfig::builder().fairness(-0.1).build().is_err());
+        assert!(SchedulerConfig::builder()
+            .max_jobs_per_lp(0)
+            .build()
+            .is_err());
+        assert!(SchedulerConfig::builder().threads(Some(0)).build().is_err());
+    }
+
+    #[test]
+    fn config_errors_display() {
+        // Every variant renders a non-empty, informative message.
+        let errs = [
+            ConfigError::NonPositiveEpoch(0.0),
+            ConfigError::NonPositiveFakeCost(-1.0),
+            ConfigError::ZeroJobsPerLp,
+            ConfigError::MinTaskFractionOutOfRange(2.0),
+            ConfigError::FairnessOutOfRange(-1.0),
+            ConfigError::DualResolveNeedsWarmStart,
+            ConfigError::ZeroThreads,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_threads_knob_round_trips() {
+        let cfg = SchedulerConfig::preset(Preset::Small, 50.0)
+            .threads(Some(2))
+            .max_pivots_per_epoch(Some(10_000))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.max_pivots_per_epoch, Some(10_000));
+        assert_eq!(cfg.epoch_s, 50.0);
+    }
+}

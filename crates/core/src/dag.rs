@@ -111,7 +111,7 @@ pub fn run_dag(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+    use crate::{HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
     use lips_cluster::ec2_20_node;
     use lips_workload::{JobId, JobKind, JobSpec};
 
@@ -162,7 +162,7 @@ mod tests {
         let lips = run_dag(
             &mut c1,
             &diamond(),
-            |_| Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+            |_| Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(2000.0))),
             3,
         )
         .unwrap();
@@ -192,7 +192,7 @@ mod tests {
         let report = run_dag(
             &mut cluster,
             &diamond(),
-            |_| Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+            |_| Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(2000.0))),
             4,
         )
         .unwrap();

@@ -19,7 +19,7 @@
 //!   all as [`lips_sim::Scheduler`] implementations for head-to-head runs.
 //!
 //! ```
-//! use lips_core::{LipsConfig, LipsScheduler, DelayScheduler};
+//! use lips_core::{SchedulerConfig, LipsScheduler, DelayScheduler};
 //! use lips_sim::{Placement, Scheduler, Simulation};
 //! use lips_cluster::ec2_20_node;
 //! use lips_workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
@@ -36,7 +36,7 @@
 //!         .metrics
 //!         .total_dollars()
 //! };
-//! let lips = run(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)));
+//! let lips = run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(2000.0)));
 //! let delay = run(&mut DelayScheduler::default());
 //! assert!(lips < delay); // the paper's headline, in five lines
 //! ```
@@ -45,17 +45,22 @@ pub mod adaptive;
 pub mod advisor;
 pub mod analysis;
 pub mod baselines;
+pub mod config;
 pub mod dag;
 pub mod lips;
 pub mod lp_build;
 pub mod offline;
+pub mod report;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveLips};
 pub use advisor::{capacity_advice, CapacityAdvice};
 pub use analysis::{break_even_ratio, move_pays_off, savings_per_mb};
 pub use baselines::{DelayScheduler, FairScheduler, HadoopDefaultScheduler};
+#[allow(deprecated)]
+pub use config::LipsConfig;
+pub use config::{ConfigError, Preset, SchedulerConfig, SchedulerConfigBuilder};
 pub use dag::{run_dag, DagReport, DagRunError};
-pub use lips::{EpochOutcome, LipsConfig, LipsScheduler};
+pub use lips::{EpochOutcome, LipsScheduler};
 pub use lp_build::{
     sanitize_warm_start, ColGenOptions, ColGenOutcome, ColGenState, ColGenStats, EpochCertificate,
     EpochSolveError, EpochSolver, SolveReport,
@@ -63,3 +68,4 @@ pub use lp_build::{
 pub use offline::{
     co_schedule, co_schedule_colgen, greedy_schedule, simple_task_schedule, OfflineSchedule,
 };
+pub use report::{EpochRecord, RunSummary};

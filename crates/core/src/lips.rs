@@ -21,154 +21,15 @@ use lips_cluster::{DataId, StoreId};
 use lips_lp::{WarmOutcome, WarmStart};
 use lips_sim::{Action, Scheduler, SchedulerContext, WORK_EPS};
 
+pub use crate::config::SchedulerConfig;
 use crate::lp_build::{
     sanitize_warm_start, ColGenOptions, ColGenState, EpochSolveError, EpochSolver,
-    FractionalSchedule, LpInstance, LpJob, PruneConfig, ShardOptions, ShardState,
+    FractionalSchedule, LpInstance, LpJob, PruneConfig, ShardOptions, ShardState, SolveReport,
 };
+use crate::report::EpochRecord;
 
-/// Tuning for [`LipsScheduler`].
-#[derive(Debug, Clone)]
-pub struct LipsConfig {
-    /// Epoch length `e` in seconds.
-    pub epoch_s: f64,
-    /// Fake-node price in dollars per ECU-second. Must dwarf every real
-    /// price (real prices are ~1e-5 $/ECU-s).
-    pub fake_cost: f64,
-    /// Jobs per epoch LP (FIFO beyond this wait a turn); keeps solve times
-    /// flat on trace workloads.
-    pub max_jobs_per_lp: usize,
-    /// Machine-candidate cap per job (`None` = exact model).
-    pub max_machines_per_job: Option<usize>,
-    /// New-copy store-candidate cap per job (`None` = exact model).
-    pub max_new_stores_per_job: Option<usize>,
-    /// Holder-store cap per job: only the K stores holding the most
-    /// unread data enter the LP (the rest defer to later epochs via the
-    /// fake node). `None` = all holders.
-    pub max_holder_stores_per_job: Option<usize>,
-    /// Allocations smaller than this fraction of a natural task are
-    /// deferred to the next epoch rather than launched as micro-tasks
-    /// (the paper's minimum viable task size) — unless they are the last
-    /// crumbs of a job.
-    pub min_task_fraction: f64,
-    /// Enforce the per-machine read-time budget (constraint (21)).
-    pub enforce_transfer_time: bool,
-    /// Fair-sharing strength σ ∈ [0, 1]: each FairScheduler pool with
-    /// queued work is guaranteed at least
-    /// `σ · min(pool demand, capacity / #pools)` ECU-seconds per epoch.
-    /// 0 disables fairness (pure cost optimization, the paper's default);
-    /// if the fairness floors make an epoch LP infeasible the scheduler
-    /// retries without them.
-    pub fairness: f64,
-    /// Seed each epoch's LP from the previous epoch's optimal basis.
-    /// Successive epoch LPs are structurally near-identical (same machine
-    /// and store rows, a few job columns added/removed, costs drifting as
-    /// work completes), so the previous basis is usually a few pivots from
-    /// the new optimum. The solver falls back to a cold solve on its own
-    /// whenever the saved basis cannot be salvaged; disabling this only
-    /// forces every solve cold (an ablation/debugging knob — the optimum
-    /// never depends on it).
-    pub warm_start: bool,
-    /// Solve each epoch LP by delayed column generation
-    /// ([`EpochSolver::colgen`]): a restricted master seeded with
-    /// the cheapest arcs per job (plus the previous epoch's surviving
-    /// columns), grown by pricing until it provably matches the full
-    /// model's optimum. Strictly a solve-path knob, like `warm_start`:
-    /// every epoch is still KKT-certified against the full model, so the
-    /// optimum never depends on it. Pays off once the full model is large
-    /// (≳ 50 machines); on small clusters the full LP is already cheap.
-    pub colgen: bool,
-    /// Solve each epoch LP by block-angular shard decomposition
-    /// ([`EpochSolver::sharded`]): partition the live machines into this
-    /// many zone-aligned shards (`Some(0)` = one shard per cluster zone),
-    /// fan the restricted per-shard subproblems across the worker pool —
-    /// each warm-started from its prior-epoch basis, dual-simplex-first
-    /// under churn — and stitch their column proposals into a restricted
-    /// master that prices cross-zone transfers until the KKT certifier
-    /// accepts the result against the full model. Takes precedence over
-    /// `colgen` (it subsumes the same master/pricing machinery); like
-    /// `colgen` and `warm_start`, strictly a solve-path knob that can
-    /// never change an optimum. This is the ladder rung that makes
-    /// multi-thousand-node epochs tractable.
-    pub shard_zones: Option<usize>,
-    /// Simplex pivot budget per epoch solve (`None` = unlimited). An
-    /// epoch whose LP exceeds it walks the degradation ladder (cold
-    /// retry, then greedy placement) instead of stalling the cluster —
-    /// the fault-tolerance analogue of a wall-clock solve budget.
-    pub max_pivots_per_epoch: Option<usize>,
-    /// Try a bounded dual-simplex re-solve from the carried basis
-    /// *before* the primal path each epoch ([`EpochSolver::dual`]). After
-    /// churn that only drifts bounds and costs the carried basis is
-    /// usually still dual feasible, and the dual method re-optimizes in a
-    /// handful of pivots with no phase 1; when it is not (topology
-    /// deltas, one-sided rows gone dual-infeasible) the rung fails fast
-    /// and the ladder continues with warm primal. Requires `warm_start`;
-    /// a no-op under `colgen` (the master carries columns, not a
-    /// full-model basis). Strictly a solve-path knob: every successful
-    /// rung is still independently KKT-certified.
-    pub dual_resolve: bool,
-    /// Shrink each epoch LP with certification-safe presolve before the
-    /// simplex ([`EpochSolver::presolve`]): redundant-row dropping plus
-    /// Fig-1 dominated-column fixing, with the warm basis mapped through
-    /// the reduction and the solution restored to (and certified against)
-    /// the full model.
-    pub presolve: bool,
-}
-
-impl Default for LipsConfig {
-    fn default() -> Self {
-        LipsConfig {
-            epoch_s: 400.0,
-            fake_cost: 1.0,
-            max_jobs_per_lp: 48,
-            max_machines_per_job: None,
-            max_new_stores_per_job: Some(8),
-            max_holder_stores_per_job: None,
-            min_task_fraction: 0.05,
-            enforce_transfer_time: true,
-            fairness: 0.0,
-            warm_start: true,
-            colgen: false,
-            shard_zones: None,
-            max_pivots_per_epoch: None,
-            dual_resolve: true,
-            presolve: false,
-        }
-    }
-}
-
-impl LipsConfig {
-    /// Preset for ≤ ~20-node clusters: exact model.
-    pub fn small_cluster(epoch_s: f64) -> Self {
-        LipsConfig {
-            epoch_s,
-            max_new_stores_per_job: None,
-            ..Default::default()
-        }
-    }
-
-    /// Preset for ~100-node clusters / trace workloads: pruned candidates.
-    pub fn large_cluster(epoch_s: f64) -> Self {
-        LipsConfig {
-            epoch_s,
-            max_jobs_per_lp: 16,
-            max_machines_per_job: Some(16),
-            max_new_stores_per_job: Some(6),
-            max_holder_stores_per_job: Some(20),
-            colgen: true,
-            ..Default::default()
-        }
-    }
-
-    /// Preset for ≳ 1000-node clusters: pruned candidates plus the
-    /// block-angular sharded solve, one shard per cluster zone.
-    pub fn huge_cluster(epoch_s: f64) -> Self {
-        LipsConfig {
-            shard_zones: Some(0),
-            colgen: false,
-            ..Self::large_cluster(epoch_s)
-        }
-    }
-}
+#[allow(deprecated)]
+pub use crate::config::LipsConfig;
 
 /// How one epoch's scheduling decision was ultimately produced — the
 /// rungs of the degradation ladder a fault-mode run reports per epoch.
@@ -192,10 +53,31 @@ pub enum EpochOutcome {
     Degraded,
 }
 
+impl EpochOutcome {
+    /// The stable schema spelling (see [`crate::report::EpochRecord`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EpochOutcome::CertifiedDual => "CertifiedDual",
+            EpochOutcome::Certified => "Certified",
+            EpochOutcome::CertifiedCold => "CertifiedCold",
+            EpochOutcome::Degraded => "Degraded",
+        }
+    }
+}
+
+/// What one ladder rung hands back to the record keeper: the full
+/// [`SolveReport`] plus whether the solve re-used carried state (basis or
+/// master columns) instead of building cold — the serve daemon's
+/// incremental-re-solve criterion.
+struct RungResult {
+    report: SolveReport,
+    incremental: bool,
+}
+
 /// The LiPS epoch scheduler.
 #[derive(Debug)]
 pub struct LipsScheduler {
-    pub config: LipsConfig,
+    pub config: SchedulerConfig,
     /// MB of each (data, store) already handed to chunks. Re-synced from
     /// the engine's read ledger at every decision point when the context
     /// provides one, so chunk kills (fault revocations) refund reads here
@@ -231,10 +113,14 @@ pub struct LipsScheduler {
     stale_basis_entries_dropped: usize,
     /// Per-epoch record of how each LP decision epoch was produced.
     epoch_outcomes: Vec<EpochOutcome>,
+    /// Flattened per-epoch records on the stable schema
+    /// ([`crate::report::EpochRecord`]): one per LP decision epoch,
+    /// parallel to `epoch_outcomes`.
+    records: Vec<EpochRecord>,
 }
 
 impl LipsScheduler {
-    pub fn new(config: LipsConfig) -> Self {
+    pub fn new(config: SchedulerConfig) -> Self {
         LipsScheduler {
             config,
             issued: BTreeMap::new(),
@@ -250,15 +136,26 @@ impl LipsScheduler {
             pricing_rounds: 0,
             stale_basis_entries_dropped: 0,
             epoch_outcomes: Vec::new(),
+            records: Vec::new(),
         }
     }
 
     /// With the default configuration and a given epoch.
     pub fn with_epoch(epoch_s: f64) -> Self {
-        Self::new(LipsConfig {
+        Self::new(SchedulerConfig {
             epoch_s,
             ..Default::default()
         })
+    }
+
+    /// An [`EpochSolver`] for `inst` with the configured worker-thread
+    /// count applied (the `threads` knob of [`SchedulerConfig`]).
+    fn solver<'i, 'c>(&self, inst: &'i LpInstance<'c>) -> EpochSolver<'i, 'c> {
+        let mut solver = EpochSolver::new(inst);
+        if let Some(t) = self.config.threads {
+            solver = solver.threads(t);
+        }
+        solver
     }
 
     /// Number of LP solves performed so far.
@@ -278,7 +175,7 @@ impl LipsScheduler {
     }
 
     /// Number of epoch solves absorbed by the dual-simplex rung (see
-    /// [`LipsConfig::dual_resolve`]).
+    /// [`SchedulerConfig::dual_resolve`]).
     pub fn dual_solves(&self) -> usize {
         self.dual_solves
     }
@@ -289,14 +186,14 @@ impl LipsScheduler {
     }
 
     /// Total restricted-master pricing rounds across all epoch solves
-    /// (0 unless [`LipsConfig::colgen`] or [`LipsConfig::shard_zones`]
+    /// (0 unless [`SchedulerConfig::colgen`] or [`SchedulerConfig::shard_zones`]
     /// is on).
     pub fn pricing_rounds(&self) -> usize {
         self.pricing_rounds
     }
 
     /// Epoch solves served by the sharded decomposition (see
-    /// [`LipsConfig::shard_zones`]).
+    /// [`SchedulerConfig::shard_zones`]).
     pub fn shard_solves(&self) -> usize {
         self.shard_solves
     }
@@ -312,6 +209,13 @@ impl LipsScheduler {
         &self.epoch_outcomes
     }
 
+    /// Per-epoch records on the stable reporting schema, one per LP
+    /// decision epoch (see [`crate::report`]). This is what the
+    /// `lips-serve` metrics endpoint and the benches aggregate.
+    pub fn epoch_records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
     /// Solve one epoch LP along the configured path: column generation,
     /// warm-started full model, or cold full model. All three land on the
     /// same (certified) optimum; they differ only in how much model the
@@ -320,17 +224,15 @@ impl LipsScheduler {
     /// machines are dropped so a topology delta perturbs the next solve
     /// instead of feeding the repair loop garbage — and is `take`n so a
     /// failed solve drops it instead of retrying it forever.
-    fn epoch_solve(
-        &mut self,
-        inst: &LpInstance<'_>,
-    ) -> Result<FractionalSchedule, EpochSolveError> {
+    fn epoch_solve(&mut self, inst: &LpInstance<'_>) -> Result<RungResult, EpochSolveError> {
         let budget = self.config.max_pivots_per_epoch;
         if let Some(zones) = self.config.shard_zones {
             let mut prior = self.shard_state.take();
             if let Some(p) = prior.as_mut() {
                 self.stale_basis_entries_dropped += p.sanitize_for_cluster(inst.cluster);
             }
-            let mut solver = EpochSolver::new(inst).sharded_with(
+            let carried = prior.is_some();
+            let mut solver = self.solver(inst).sharded_with(
                 ShardOptions {
                     zones,
                     ..ShardOptions::default()
@@ -341,28 +243,47 @@ impl LipsScheduler {
                 solver = solver.pivot_budget(b);
             }
             let report = solver.run()?;
-            if let Some((state, stats)) = report.shard {
+            if let Some((state, stats)) = report.shard.clone() {
                 self.shard_state = Some(state);
                 self.pricing_rounds += stats.rounds;
             }
             self.shard_solves += 1;
-            return Ok(report.schedule);
+            return Ok(RungResult {
+                incremental: carried,
+                report,
+            });
         }
         if self.config.colgen {
             let mut prior = self.colgen_state.take();
             if let Some(p) = prior.as_mut() {
                 self.stale_basis_entries_dropped += p.sanitize_for_cluster(inst.cluster);
             }
-            let mut solver =
-                EpochSolver::new(inst).colgen(ColGenOptions::default(), prior.as_ref());
+            // The incremental-arrival path: carried master columns seed
+            // the restriction, the carried basis warm-starts it —
+            // dual-simplex rung first when the dual knob is on.
+            let carried = prior.is_some();
+            let opts = ColGenOptions {
+                dual_first: self.config.dual_resolve && carried,
+                ..ColGenOptions::default()
+            };
+            let mut solver = self.solver(inst).colgen(opts, prior.as_ref());
             if let Some(b) = budget {
                 solver = solver.pivot_budget(b);
             }
             let report = solver.run()?;
-            let (state, stats) = report.colgen.expect("colgen mode reports its state");
+            let (state, stats) = report
+                .colgen
+                .clone()
+                .expect("colgen mode reports its state");
             self.colgen_state = Some(state);
             self.pricing_rounds += stats.rounds;
-            Ok(report.schedule)
+            if stats.dual_master {
+                self.dual_solves += 1;
+            }
+            Ok(RungResult {
+                incremental: carried && report.schedule.stats.warm != WarmOutcome::Cold,
+                report,
+            })
         } else {
             let mut warm = if self.config.warm_start {
                 self.basis.take()
@@ -372,7 +293,8 @@ impl LipsScheduler {
             if let Some(ws) = warm.as_mut() {
                 self.stale_basis_entries_dropped += sanitize_warm_start(ws, inst.cluster);
             }
-            let mut solver = EpochSolver::new(inst).warm(warm.as_ref()).certify();
+            let carried = warm.is_some();
+            let mut solver = self.solver(inst).warm(warm.as_ref()).certify();
             if self.config.presolve {
                 solver = solver.presolve();
             }
@@ -380,18 +302,21 @@ impl LipsScheduler {
                 solver = solver.pivot_budget(b);
             }
             let report = solver.run()?;
-            self.basis = Some(report.basis);
-            Ok(report.schedule)
+            self.basis = Some(report.basis.clone());
+            Ok(RungResult {
+                incremental: carried && report.schedule.stats.warm != WarmOutcome::Cold,
+                report,
+            })
         }
     }
 
     /// The ladder's first rung: a bounded dual-simplex re-solve from the
-    /// carried basis ([`LipsConfig::dual_resolve`]). Only attempted when a
+    /// carried basis ([`SchedulerConfig::dual_resolve`]). Only attempted when a
     /// basis exists on the non-colgen warm path. The basis is *taken* and
     /// sanitized here; on failure the sanitized basis is put back so the
     /// primal rung still warm-starts from it (and does not re-count the
     /// stale entries), on success the re-optimized basis replaces it.
-    fn try_dual_rung(&mut self, inst: &LpInstance<'_>) -> Option<FractionalSchedule> {
+    fn try_dual_rung(&mut self, inst: &LpInstance<'_>) -> Option<RungResult> {
         if !self.config.dual_resolve
             || !self.config.warm_start
             || self.config.colgen
@@ -402,7 +327,7 @@ impl LipsScheduler {
         }
         let mut ws = self.basis.take()?;
         self.stale_basis_entries_dropped += sanitize_warm_start(&mut ws, inst.cluster);
-        let mut solver = EpochSolver::new(inst).warm(Some(&ws)).dual().certify();
+        let mut solver = self.solver(inst).warm(Some(&ws)).dual().certify();
         if self.config.presolve {
             solver = solver.presolve();
         }
@@ -411,9 +336,12 @@ impl LipsScheduler {
         }
         match solver.run() {
             Ok(report) => {
-                self.basis = Some(report.basis);
+                self.basis = Some(report.basis.clone());
                 self.dual_solves += 1;
-                Some(report.schedule)
+                Some(RungResult {
+                    incremental: true,
+                    report,
+                })
             }
             Err(_) => {
                 // Not dual feasible (or budget blown): hand the sanitized
@@ -430,13 +358,24 @@ impl LipsScheduler {
     /// degrades to greedy placement and retries the LP next epoch). Every
     /// rung that returns a schedule returned a *certified* one.
     fn solve_with_ladder(&mut self, inst: &LpInstance<'_>) -> Option<FractionalSchedule> {
-        if let Some(s) = self.try_dual_rung(inst) {
-            self.epoch_outcomes.push(EpochOutcome::CertifiedDual);
-            return Some(s);
+        let epoch = self.solves.saturating_sub(1);
+        let jobs = inst.jobs.len();
+        let finish = |this: &mut Self, outcome: EpochOutcome, r: RungResult| {
+            this.epoch_outcomes.push(outcome);
+            this.records.push(EpochRecord::from_solve_report(
+                epoch,
+                jobs,
+                outcome,
+                &r.report,
+                r.incremental,
+            ));
+            r.report.schedule
+        };
+        if let Some(r) = self.try_dual_rung(inst) {
+            return Some(finish(self, EpochOutcome::CertifiedDual, r));
         }
-        if let Ok(s) = self.epoch_solve(inst) {
-            self.epoch_outcomes.push(EpochOutcome::Certified);
-            return Some(s);
+        if let Ok(r) = self.epoch_solve(inst) {
+            return Some(finish(self, EpochOutcome::Certified, r));
         }
         // Fairness floors can conflict with data/capacity constraints
         // (and with a shrunken post-fault cluster); cost-only scheduling
@@ -445,16 +384,15 @@ impl LipsScheduler {
         if !inst.pool_floors.is_empty() {
             let mut relaxed = inst.clone();
             relaxed.pool_floors.clear();
-            if let Ok(s) = self.epoch_solve(&relaxed) {
-                self.epoch_outcomes.push(EpochOutcome::Certified);
-                return Some(s);
+            if let Ok(r) = self.epoch_solve(&relaxed) {
+                return Some(finish(self, EpochOutcome::Certified, r));
             }
         }
         // Last LP rung: one cold, exact (non-colgen) solve with no carried
         // state at all, floors relaxed, still pivot-budgeted.
         let mut cold = inst.clone();
         cold.pool_floors.clear();
-        let mut solver = EpochSolver::new(&cold).certify();
+        let mut solver = self.solver(&cold).certify();
         if let Some(b) = self.config.max_pivots_per_epoch {
             solver = solver.pivot_budget(b);
         }
@@ -464,13 +402,20 @@ impl LipsScheduler {
                     && !self.config.colgen
                     && self.config.shard_zones.is_none()
                 {
-                    self.basis = Some(report.basis);
+                    self.basis = Some(report.basis.clone());
                 }
-                self.epoch_outcomes.push(EpochOutcome::CertifiedCold);
-                Some(report.schedule)
+                Some(finish(
+                    self,
+                    EpochOutcome::CertifiedCold,
+                    RungResult {
+                        incremental: false,
+                        report,
+                    },
+                ))
             }
             Err(_) => {
                 self.epoch_outcomes.push(EpochOutcome::Degraded);
+                self.records.push(EpochRecord::degraded(epoch, jobs));
                 None
             }
         }
@@ -799,7 +744,9 @@ mod tests {
         let placement = Placement::spread_blocks(&cluster, seed);
         Simulation::new(&cluster, &bound)
             .with_placement(placement)
-            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(epoch)))
+            .run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+                epoch,
+            )))
             .unwrap()
     }
 
@@ -844,7 +791,7 @@ mod tests {
         let mut infeasible = feasible.clone();
         infeasible.duration = 1024.0 * 10.0 / 7.0 * 0.9; // 10% short of capacity
 
-        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(600.0));
+        let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(600.0));
         // Epoch 0: no carried basis — the primal rung serves it.
         assert!(sched.solve_with_ladder(&feasible).is_some());
         // Epoch 1: unchanged model, carried basis — the dual rung's.
@@ -952,7 +899,7 @@ mod tests {
         let mut cluster = ec2_mixed_cluster(40, 0.5, 1e9, 5);
         let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 5);
         let placement = Placement::spread_blocks(&cluster, 5);
-        let mut sched = LipsScheduler::new(LipsConfig::large_cluster(400.0));
+        let mut sched = LipsScheduler::new(SchedulerConfig::large_cluster(400.0));
         let report = Simulation::new(&cluster, &bound)
             .with_placement(placement)
             .run(&mut sched)
@@ -978,7 +925,7 @@ mod tests {
         let mut cluster = ec2_20_node(0.5, 1e9);
         let bound = bind_workload(&mut cluster, jobs, PlacementPolicy::RoundRobin, 1);
         let placement = Placement::spread_blocks(&cluster, 1);
-        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(200.0));
+        let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(200.0));
         Simulation::new(&cluster, &bound)
             .with_placement(placement)
             .run(&mut sched)
@@ -1002,7 +949,7 @@ mod tests {
             let mut cluster = ec2_20_node(0.5, 1e9);
             let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
             let placement = Placement::spread_blocks(&cluster, 9);
-            let mut cfg = LipsConfig::small_cluster(400.0);
+            let mut cfg = SchedulerConfig::small_cluster(400.0);
             cfg.warm_start = warm;
             let mut sched = LipsScheduler::new(cfg);
             let report = Simulation::new(&cluster, &bound)
@@ -1033,7 +980,7 @@ mod tests {
             let mut cluster = ec2_20_node(0.5, 1e9);
             let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
             let placement = Placement::spread_blocks(&cluster, 9);
-            let mut cfg = LipsConfig::small_cluster(400.0);
+            let mut cfg = SchedulerConfig::small_cluster(400.0);
             cfg.colgen = colgen;
             let mut sched = LipsScheduler::new(cfg);
             let report = Simulation::new(&cluster, &bound)
@@ -1067,7 +1014,7 @@ mod tests {
             let mut cluster = ec2_20_node(0.5, 1e9);
             let bound = bind_workload(&mut cluster, small_suite(), PlacementPolicy::RoundRobin, 9);
             let placement = Placement::spread_blocks(&cluster, 9);
-            let mut cfg = LipsConfig::small_cluster(400.0);
+            let mut cfg = SchedulerConfig::small_cluster(400.0);
             cfg.shard_zones = zones;
             let mut sched = LipsScheduler::new(cfg);
             let report = Simulation::new(&cluster, &bound)
@@ -1115,7 +1062,7 @@ mod tests {
             21,
         );
         let placement = lips_sim::Placement::spread_blocks(&cluster, 21);
-        let mut cfg = LipsConfig::small_cluster(200.0); // tight epochs
+        let mut cfg = SchedulerConfig::small_cluster(200.0); // tight epochs
         cfg.fairness = 1.0;
         let mut sched = LipsScheduler::new(cfg);
         let r = lips_sim::Simulation::new(&cluster, &bound)
@@ -1157,7 +1104,7 @@ mod tests {
                 22,
             );
             let placement = lips_sim::Placement::spread_blocks(&cluster, 22);
-            let mut cfg = LipsConfig::small_cluster(400.0);
+            let mut cfg = SchedulerConfig::small_cluster(400.0);
             cfg.fairness = sigma;
             lips_sim::Simulation::new(&cluster, &bound)
                 .with_placement(placement)
@@ -1183,7 +1130,7 @@ mod tests {
         );
         let p1 = lips_sim::Placement::spread_blocks(&cluster, 23);
         let p2 = lips_sim::Placement::spread_blocks(&cluster, 23);
-        let mut cfg = LipsConfig::small_cluster(400.0);
+        let mut cfg = SchedulerConfig::small_cluster(400.0);
         cfg.fairness = 1.0;
         let with_fair = lips_sim::Simulation::new(&cluster, &bound)
             .with_placement(p1)
@@ -1191,7 +1138,9 @@ mod tests {
             .unwrap();
         let without = lips_sim::Simulation::new(&cluster, &bound)
             .with_placement(p2)
-            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(400.0)))
+            .run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+                400.0,
+            )))
             .unwrap();
         assert_eq!(
             with_fair.metrics.total_dollars(),
@@ -1217,7 +1166,9 @@ mod tests {
         let placement = lips_sim::Placement::spread_blocks(&cluster, 31);
         let lips = lips_sim::Simulation::new(&cluster, &bound)
             .with_placement(placement)
-            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)))
+            .run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+                2000.0,
+            )))
             .unwrap();
         assert_eq!(lips.outcomes.len(), 2);
         let demand: f64 = jobs

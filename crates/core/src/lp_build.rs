@@ -1202,6 +1202,16 @@ pub struct ColGenOptions {
     /// loop terminates without it (every round appends ≥ 1 column), but a
     /// bound keeps worst-case degenerate instances from crawling.
     pub max_rounds: usize,
+    /// Try the bounded dual simplex from the carried basis on the *first*
+    /// master round, falling back to the warm primal path when the basis
+    /// is not dual feasible. This is the incremental-arrival rung the
+    /// `lips-serve` daemon rides: after a queue delta that only adds and
+    /// retires columns, the carried master basis is usually still dual
+    /// feasible and re-optimizes in a handful of pivots with no phase 1.
+    /// Pointless without a carried [`ColGenState`] (the dual attempt
+    /// fails fast and the round proceeds primal); strictly a solve-path
+    /// knob — the fixpoint and its full-model certificate are unchanged.
+    pub dual_first: bool,
 }
 
 impl Default for ColGenOptions {
@@ -1209,6 +1219,7 @@ impl Default for ColGenOptions {
         ColGenOptions {
             seed_arcs_per_job: 8,
             max_rounds: 50,
+            dual_first: false,
         }
     }
 }
@@ -1315,6 +1326,9 @@ pub struct ColGenStats {
     /// Wall-clock spent building the master and appending columns
     /// (everything except the simplex itself and certification).
     pub build_ms: f64,
+    /// The first master round was absorbed by the bounded dual simplex
+    /// from the carried basis (see [`ColGenOptions::dual_first`]).
+    pub dual_master: bool,
 }
 
 /// Everything a column-generated epoch solve hands back.
@@ -1414,6 +1428,9 @@ struct MasterRun {
     appended: usize,
     agg: SolveStats,
     build_ms: f64,
+    /// The first round's solve was the bounded dual simplex (see
+    /// [`ColGenOptions::dual_first`]).
+    dual_master: bool,
 }
 
 /// The restricted-master / pricing loop. Each round solves the master
@@ -1438,6 +1455,7 @@ fn master_price_loop(
     mut warm: Option<WarmStart>,
     max_rounds: usize,
     pivot_budget: Option<usize>,
+    dual_first: bool,
     pool: Pool,
 ) -> Result<MasterRun, EpochSolveError> {
     let t_build = lips_lp::clock::Stopwatch::start();
@@ -1465,9 +1483,26 @@ fn master_price_loop(
     let mut appended = 0;
     let mut agg = SolveStats::default();
     let mut first_warm: Option<lips_lp::WarmOutcome> = None;
+    let mut dual_master = false;
     let sol = loop {
         rounds += 1;
-        let sol = match solve_model(&model, warm.as_ref(), pivot_budget) {
+        // The incremental rung: on the first round only, try to
+        // re-optimize the carried basis with the bounded dual simplex —
+        // new columns perturb the master without disturbing dual
+        // feasibility — and fall back to the warm primal path when the
+        // basis is unusable (`solve_model_dual` fails fast on `None`).
+        let solved = if dual_first && rounds == 1 {
+            match solve_model_dual(&model, warm.as_ref(), pivot_budget) {
+                Ok(s) => {
+                    dual_master = true;
+                    Ok(s)
+                }
+                Err(_) => solve_model(&model, warm.as_ref(), pivot_budget),
+            }
+        } else {
+            solve_model(&model, warm.as_ref(), pivot_budget)
+        };
+        let sol = match solved {
             Ok(s) => s,
             Err(LpError::Infeasible) if active.len() < arcs.len() => {
                 // The *restriction* may be infeasible even when the
@@ -1535,6 +1570,7 @@ fn master_price_loop(
         appended,
         agg,
         build_ms,
+        dual_master,
     })
 }
 
@@ -1660,6 +1696,7 @@ fn colgen_run(
         warm,
         opts.max_rounds,
         pivot_budget,
+        opts.dual_first,
         pool,
     )?;
     let fin = finish_restricted(inst, &arcs, &run, "colgen master", pool)?;
@@ -1670,6 +1707,7 @@ fn colgen_run(
         active_columns: run.maps.xt.len(),
         total_columns: arcs.len(),
         build_ms: enumerate_ms + run.build_ms,
+        dual_master: run.dual_master,
     };
     let timings = PhaseTimings {
         build_ms: stats.build_ms,
@@ -2030,6 +2068,7 @@ fn sharded_run(
         warm,
         opts.max_rounds,
         pivot_budget,
+        false,
         pool,
     )?;
     let fin = finish_restricted(inst, &arcs, &run, "sharded master", pool)?;

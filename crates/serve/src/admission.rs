@@ -1,0 +1,132 @@
+//! Admission control: decide at arrival time whether a job enters the
+//! scheduler queue or is turned away.
+//!
+//! Two gates, both deterministic functions of the current queue:
+//!
+//! * a global cap on admitted-but-unfinished jobs (protects the LP
+//!   pruning window from unbounded backlog), and
+//! * per-pool ECU budgets: a pool may not hold more unassigned
+//!   ECU-seconds of backlog than its budget, so one misbehaving tenant
+//!   cannot starve the rest of the cluster's epoch capacity.
+
+use std::collections::BTreeMap;
+
+use lips_sim::PendingJob;
+use lips_workload::JobSpec;
+
+/// Admission policy knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum admitted-but-unfinished jobs; arrivals beyond it are
+    /// rejected outright.
+    pub max_queue_jobs: usize,
+    /// Default per-pool backlog budget in unassigned ECU-seconds
+    /// (`None` = unlimited).
+    pub default_pool_budget_ecu: Option<f64>,
+    /// Per-pool overrides of the default budget.
+    pub pool_budgets_ecu: BTreeMap<String, f64>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queue_jobs: 512,
+            default_pool_budget_ecu: None,
+            pool_budgets_ecu: BTreeMap::new(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn budget_for(&self, pool: &str) -> Option<f64> {
+        self.pool_budgets_ecu
+            .get(pool)
+            .copied()
+            .or(self.default_pool_budget_ecu)
+    }
+}
+
+/// The verdict for one arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    Admitted,
+    /// The global queue cap was reached.
+    RejectedQueueFull,
+    /// The job's pool is over its backlog budget.
+    RejectedPoolBudget,
+}
+
+impl AdmissionDecision {
+    pub fn admitted(self) -> bool {
+        self == AdmissionDecision::Admitted
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmissionDecision::Admitted => "admitted",
+            AdmissionDecision::RejectedQueueFull => "queue_full",
+            AdmissionDecision::RejectedPoolBudget => "pool_budget",
+        }
+    }
+}
+
+/// Evaluate `spec` against the policy given the current queue.
+pub fn admit(cfg: &AdmissionConfig, queue: &[PendingJob], spec: &JobSpec) -> AdmissionDecision {
+    if queue.len() >= cfg.max_queue_jobs {
+        return AdmissionDecision::RejectedQueueFull;
+    }
+    if let Some(budget) = cfg.budget_for(&spec.pool) {
+        let backlog: f64 = queue
+            .iter()
+            .filter(|j| j.pool == spec.pool)
+            .map(PendingJob::unassigned_ecu)
+            .sum();
+        if backlog + spec.total_ecu_sec_with_reduce() > budget {
+            return AdmissionDecision::RejectedPoolBudget;
+        }
+    }
+    AdmissionDecision::Admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_workload::{JobKind, JobSpec};
+
+    fn spec(id: usize, pool: &str) -> JobSpec {
+        JobSpec::new(id, format!("j{id}"), JobKind::Grep, 1024.0, 4).in_pool(pool)
+    }
+
+    #[test]
+    fn queue_cap_rejects() {
+        let cfg = AdmissionConfig {
+            max_queue_jobs: 1,
+            ..Default::default()
+        };
+        let queued = vec![PendingJob::from_spec(&spec(0, "a"))];
+        assert_eq!(
+            admit(&cfg, &queued, &spec(1, "a")),
+            AdmissionDecision::RejectedQueueFull
+        );
+        assert!(admit(&cfg, &[], &spec(1, "a")).admitted());
+    }
+
+    #[test]
+    fn pool_budget_counts_only_same_pool() {
+        let mut cfg = AdmissionConfig::default();
+        let want = spec(2, "tight");
+        cfg.pool_budgets_ecu
+            .insert("tight".into(), want.total_ecu_sec_with_reduce() * 1.5);
+        // Backlog from another pool does not count against "tight".
+        let queued = vec![
+            PendingJob::from_spec(&spec(0, "other")),
+            PendingJob::from_spec(&spec(1, "tight")),
+        ];
+        assert_eq!(
+            admit(&cfg, &queued, &want),
+            AdmissionDecision::RejectedPoolBudget
+        );
+        let queued = vec![PendingJob::from_spec(&spec(0, "other"))];
+        assert!(admit(&cfg, &queued, &want).admitted());
+    }
+}

@@ -1,0 +1,332 @@
+//! The LDJSON control API: one JSON object per line in, one per line out.
+//!
+//! ```text
+//! {"cmd":"submit","name":"g1","kind":"grep","input_mb":512,"tasks":8}
+//! {"cmd":"run","epochs":3}
+//! {"cmd":"drain"}
+//! {"cmd":"status"}
+//! {"cmd":"metrics"}
+//! {"cmd":"revoke","machine":4}
+//! {"cmd":"rejoin","machine":4}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Every reply carries `"ok"`; errors come back as
+//! `{"ok":false,"error":"..."}` and never kill the daemon.
+
+use serde::{Deserialize, Serialize};
+
+use lips_workload::{JobKind, JobSpec};
+
+use crate::daemon::Daemon;
+use crate::metrics;
+
+fn default_input_mb() -> f64 {
+    1024.0
+}
+fn default_tasks() -> u32 {
+    8
+}
+fn default_run_epochs() -> usize {
+    1
+}
+fn default_drain_epochs() -> usize {
+    10_000
+}
+
+/// One parsed control line.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "cmd", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Command {
+    Submit {
+        #[serde(default)]
+        id: Option<usize>,
+        #[serde(default)]
+        name: Option<String>,
+        /// Workload kind: grep | wordcount | pi | stress1 | stress2.
+        #[serde(default)]
+        kind: Option<String>,
+        #[serde(default = "default_input_mb")]
+        input_mb: f64,
+        #[serde(default = "default_tasks")]
+        tasks: u32,
+        #[serde(default)]
+        pool: Option<String>,
+        #[serde(default)]
+        arrival_s: Option<f64>,
+        #[serde(default)]
+        read_fraction: Option<f64>,
+        #[serde(default)]
+        reduce_tasks: Option<u32>,
+        #[serde(default)]
+        shuffle_mb: Option<f64>,
+    },
+    Run {
+        #[serde(default = "default_run_epochs")]
+        epochs: usize,
+    },
+    Drain {
+        #[serde(default = "default_drain_epochs")]
+        max_epochs: usize,
+    },
+    Status,
+    Metrics,
+    Revoke {
+        machine: usize,
+    },
+    Rejoin {
+        machine: usize,
+    },
+    Shutdown,
+}
+
+#[derive(Serialize)]
+struct SubmitReply {
+    ok: bool,
+    id: usize,
+    /// "queued" for future arrivals, otherwise the admission verdict.
+    decision: String,
+}
+
+#[derive(Serialize)]
+struct RunReply {
+    ok: bool,
+    epochs_run: usize,
+    now: f64,
+    queue: usize,
+    completed: usize,
+}
+
+#[derive(Serialize)]
+struct StatusReply {
+    ok: bool,
+    now: f64,
+    epoch_s: f64,
+    epochs_run: usize,
+    queue: usize,
+    pending_arrivals: usize,
+    admitted: usize,
+    completed: usize,
+    certified_share: f64,
+    incremental_share: f64,
+    total_dollars: f64,
+}
+
+#[derive(Serialize)]
+struct MetricsReply {
+    ok: bool,
+    metrics: String,
+}
+
+#[derive(Serialize)]
+struct FlagReply {
+    ok: bool,
+    changed: bool,
+}
+
+fn err(msg: &str) -> String {
+    // The shim serializes `str` directly (quoting + escaping).
+    let quoted = serde_json::to_string(msg).unwrap_or_else(|_| "\"error\"".to_owned());
+    format!("{{\"ok\":false,\"error\":{quoted}}}")
+}
+
+fn parse_kind(s: &str) -> Option<JobKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "grep" => Some(JobKind::Grep),
+        "wordcount" | "word_count" | "wc" => Some(JobKind::WordCount),
+        "pi" => Some(JobKind::Pi),
+        "stress1" => Some(JobKind::Stress1),
+        "stress2" => Some(JobKind::Stress2),
+        _ => None,
+    }
+}
+
+/// Handle one control line against the daemon. Returns the reply line and
+/// whether the caller should shut down.
+pub fn handle_line(daemon: &mut Daemon, line: &str) -> (String, bool) {
+    let line = line.trim();
+    if line.is_empty() {
+        return (err("empty line"), false);
+    }
+    let cmd: Command = match serde_json::from_str(line) {
+        Ok(c) => c,
+        Err(e) => return (err(&format!("bad command: {e:?}")), false),
+    };
+    let reply = match cmd {
+        Command::Submit {
+            id,
+            name,
+            kind,
+            input_mb,
+            tasks,
+            pool,
+            arrival_s,
+            read_fraction,
+            reduce_tasks,
+            shuffle_mb,
+        } => {
+            let Some(kind) = parse_kind(kind.as_deref().unwrap_or("grep")) else {
+                return (err("unknown kind"), false);
+            };
+            if !(input_mb.is_finite() && input_mb >= 0.0) || tasks == 0 {
+                return (err("input_mb must be finite and >= 0, tasks > 0"), false);
+            }
+            let id = id.unwrap_or_else(|| daemon.fresh_job_id());
+            let name = name.unwrap_or_else(|| format!("job-{id}"));
+            let mut spec = JobSpec::new(id, name, kind, input_mb, tasks);
+            if let Some(p) = pool {
+                spec = spec.in_pool(p);
+            }
+            if let Some(t) = arrival_s {
+                spec = spec.arriving_at(t);
+            }
+            if let Some(f) = read_fraction {
+                if !(0.0..=1.0).contains(&f) {
+                    return (err("read_fraction must be in [0, 1]"), false);
+                }
+                spec = spec.reading_fraction(f);
+            }
+            if let (Some(rt), Some(smb)) = (reduce_tasks, shuffle_mb) {
+                let tcp = spec.tcp_ecu_sec_per_mb;
+                spec = spec.with_reduce(rt, smb, tcp);
+            }
+            let decision = match daemon.submit(spec) {
+                None => "queued".to_owned(),
+                Some(d) => d.as_str().to_owned(),
+            };
+            serde_json::to_string(&SubmitReply {
+                ok: true,
+                id,
+                decision,
+            })
+        }
+        Command::Run { epochs } => {
+            for _ in 0..epochs {
+                daemon.run_epoch();
+            }
+            serde_json::to_string(&RunReply {
+                ok: true,
+                epochs_run: daemon.epochs_run(),
+                now: daemon.now(),
+                queue: daemon.queue_len(),
+                completed: daemon.completed().len(),
+            })
+        }
+        Command::Drain { max_epochs } => {
+            let ran = daemon.run_until_drained(max_epochs);
+            serde_json::to_string(&RunReply {
+                ok: true,
+                epochs_run: ran,
+                now: daemon.now(),
+                queue: daemon.queue_len(),
+                completed: daemon.completed().len(),
+            })
+        }
+        Command::Status => {
+            let s = daemon.summary();
+            serde_json::to_string(&StatusReply {
+                ok: true,
+                now: daemon.now(),
+                epoch_s: daemon.epoch_s(),
+                epochs_run: daemon.epochs_run(),
+                queue: s.queued,
+                pending_arrivals: s.pending_arrivals,
+                admitted: s.admitted,
+                completed: s.completed,
+                certified_share: s.solver.certified_share,
+                incremental_share: s.solver.incremental_share,
+                total_dollars: s.total_dollars,
+            })
+        }
+        Command::Metrics => serde_json::to_string(&MetricsReply {
+            ok: true,
+            metrics: metrics::render(daemon),
+        }),
+        Command::Revoke { machine } => serde_json::to_string(&FlagReply {
+            ok: true,
+            changed: daemon.revoke(machine),
+        }),
+        Command::Rejoin { machine } => serde_json::to_string(&FlagReply {
+            ok: true,
+            changed: daemon.rejoin(machine),
+        }),
+        Command::Shutdown => return ("{\"ok\":true}".to_owned(), true),
+    };
+    match reply {
+        Ok(r) => (r, false),
+        Err(e) => (err(&format!("serialize reply: {e:?}")), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::ServeConfig;
+    use lips_cluster::ec2_20_node;
+
+    fn daemon() -> Daemon {
+        Daemon::new(ec2_20_node(0.5, 1e9), ServeConfig::default())
+    }
+
+    #[test]
+    fn submit_run_status_round_trip() {
+        let mut d = daemon();
+        let (r, stop) = handle_line(
+            &mut d,
+            r#"{"cmd":"submit","name":"g1","kind":"grep","input_mb":256,"tasks":4}"#,
+        );
+        assert!(!stop);
+        assert!(r.contains("\"ok\":true") && r.contains("admitted"), "{r}");
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"run","epochs":2}"#);
+        assert!(r.contains("\"epochs_run\":2"), "{r}");
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"status"}"#);
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+
+    #[test]
+    fn future_submit_queues() {
+        let mut d = daemon();
+        let (r, _) = handle_line(
+            &mut d,
+            r#"{"cmd":"submit","input_mb":64,"tasks":1,"arrival_s":500.0}"#,
+        );
+        assert!(r.contains("queued"), "{r}");
+        assert_eq!(d.pending_arrivals(), 1);
+    }
+
+    #[test]
+    fn bad_lines_err_without_shutdown() {
+        let mut d = daemon();
+        for line in [
+            "",
+            "not json",
+            r#"{"cmd":"unknown"}"#,
+            r#"{"cmd":"submit","kind":"mystery","input_mb":1}"#,
+        ] {
+            let (r, stop) = handle_line(&mut d, line);
+            assert!(r.contains("\"ok\":false"), "{line} -> {r}");
+            assert!(!stop);
+        }
+    }
+
+    #[test]
+    fn shutdown_signals() {
+        let mut d = daemon();
+        let (r, stop) = handle_line(&mut d, r#"{"cmd":"shutdown"}"#);
+        assert!(stop);
+        assert!(r.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn revoke_and_rejoin_flags() {
+        let mut d = daemon();
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"revoke","machine":3}"#);
+        assert!(r.contains("\"changed\":true"), "{r}");
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"revoke","machine":3}"#);
+        assert!(r.contains("\"changed\":false"), "{r}");
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"rejoin","machine":3}"#);
+        assert!(r.contains("\"changed\":true"), "{r}");
+        let (r, _) = handle_line(&mut d, r#"{"cmd":"revoke","machine":999}"#);
+        assert!(r.contains("\"changed\":false"), "{r}");
+    }
+}

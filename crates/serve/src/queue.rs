@@ -1,0 +1,94 @@
+//! The arrival queue: jobs that have been handed to the daemon but whose
+//! arrival time is still in the (virtual) future.
+//!
+//! Arrivals are kept sorted by `(arrival_s, id)` so that pops at an epoch
+//! boundary are deterministic regardless of submission interleaving — two
+//! daemons fed the same set of specs in any order pop identical batches.
+
+use std::collections::VecDeque;
+
+use lips_workload::JobSpec;
+
+/// A time-ordered queue of not-yet-arrived job specs.
+#[derive(Debug, Default)]
+pub struct ArrivalQueue {
+    /// Sorted by `(arrival_s, id)`, front = earliest.
+    pending: VecDeque<JobSpec>,
+}
+
+impl ArrivalQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a spec at its sorted position (stable for equal keys).
+    pub fn push(&mut self, spec: JobSpec) {
+        let key = (spec.arrival_s, spec.id.0);
+        let at = self
+            .pending
+            .iter()
+            .position(|j| (j.arrival_s, j.id.0) > key)
+            .unwrap_or(self.pending.len());
+        self.pending.insert(at, spec);
+    }
+
+    /// Remove and return every spec with `arrival_s <= now`, earliest
+    /// first.
+    pub fn pop_due(&mut self, now: f64) -> Vec<JobSpec> {
+        let mut due = Vec::new();
+        while let Some(j) = self.pending.pop_front() {
+            if j.arrival_s <= now {
+                due.push(j);
+            } else {
+                self.pending.push_front(j);
+                break;
+            }
+        }
+        due
+    }
+
+    /// Arrival time of the next pending spec, if any.
+    pub fn next_arrival(&self) -> Option<f64> {
+        self.pending.front().map(|j| j.arrival_s)
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lips_workload::{JobKind, JobSpec};
+
+    fn spec(id: usize, at: f64) -> JobSpec {
+        JobSpec::new(id, format!("j{id}"), JobKind::Grep, 128.0, 2).arriving_at(at)
+    }
+
+    #[test]
+    fn pops_in_time_then_id_order() {
+        let mut q = ArrivalQueue::new();
+        q.push(spec(3, 10.0));
+        q.push(spec(1, 5.0));
+        q.push(spec(2, 10.0));
+        assert_eq!(q.next_arrival(), Some(5.0));
+        let due = q.pop_due(10.0);
+        let ids: Vec<usize> = due.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn future_arrivals_stay_queued() {
+        let mut q = ArrivalQueue::new();
+        q.push(spec(0, 100.0));
+        assert!(q.pop_due(99.9).is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(100.0).len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Closed-loop epoch-length tuning on the paper's cost-vs-makespan knob.
+//!
+//! Figure 8 of the paper: longer epochs give the LP more room to place
+//! work on cheap nodes (lower $) at the price of slower drain; shorter
+//! epochs chase makespan. The tuner closes the loop on observed backlog:
+//! it picks the epoch length that would drain the current backlog in
+//! `target_epochs` epochs at full cluster throughput, smoothed so the
+//! length ramps rather than jumps, and clamped to a safe band.
+//!
+//! Everything here is pure arithmetic on virtual-time state — no clocks,
+//! no randomness — so tuned trajectories stay bitwise reproducible.
+
+/// Tuning band and loop gain.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Shortest epoch the tuner will pick (makespan end of the knob).
+    pub min_epoch_s: f64,
+    /// Longest epoch the tuner will pick (cost end of the knob).
+    pub max_epoch_s: f64,
+    /// Target number of epochs the current backlog should take to drain.
+    pub target_epochs: f64,
+    /// Exponential smoothing factor in `(0, 1]`: 1 jumps straight to the
+    /// ideal length, small values ramp slowly.
+    pub smoothing: f64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            min_epoch_s: 100.0,
+            max_epoch_s: 1600.0,
+            target_epochs: 2.0,
+            smoothing: 0.5,
+        }
+    }
+}
+
+/// The tuner itself; stateless beyond its config (the "state" of the loop
+/// is the scheduler's current epoch length, passed in each step).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochTuner {
+    pub cfg: TuneConfig,
+}
+
+impl EpochTuner {
+    pub fn new(cfg: TuneConfig) -> Self {
+        EpochTuner { cfg }
+    }
+
+    /// Next epoch length given the queue backlog (unassigned ECU-seconds),
+    /// the live cluster throughput (ECU per second), and the current
+    /// epoch length.
+    pub fn next_epoch(&self, backlog_ecu: f64, capacity_ecu_per_s: f64, current_s: f64) -> f64 {
+        let c = &self.cfg;
+        let clamp = |x: f64| x.clamp(c.min_epoch_s, c.max_epoch_s);
+        if capacity_ecu_per_s <= 0.0 {
+            // No live machines: epoch length is moot; hold position.
+            return clamp(current_s);
+        }
+        let ideal = if backlog_ecu > 0.0 {
+            backlog_ecu / (capacity_ecu_per_s * c.target_epochs)
+        } else {
+            // Idle: drift to the short end so the next arrival gets a
+            // responsive first epoch.
+            c.min_epoch_s
+        };
+        let ideal = clamp(ideal);
+        let alpha = c.smoothing.clamp(0.0, 1.0);
+        clamp(current_s + alpha * (ideal - current_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_band() {
+        let t = EpochTuner::new(TuneConfig {
+            smoothing: 1.0,
+            ..Default::default()
+        });
+        // Enormous backlog saturates at max.
+        assert_eq!(t.next_epoch(1e12, 10.0, 400.0), t.cfg.max_epoch_s);
+        // Tiny backlog floors at min.
+        assert_eq!(t.next_epoch(1.0, 10.0, 400.0), t.cfg.min_epoch_s);
+    }
+
+    #[test]
+    fn targets_backlog_over_target_epochs() {
+        let t = EpochTuner::new(TuneConfig {
+            smoothing: 1.0,
+            target_epochs: 2.0,
+            ..Default::default()
+        });
+        // 8000 ECU backlog at 10 ECU/s -> 800 s of work -> 400 s epochs.
+        assert!((t.next_epoch(8000.0, 10.0, 100.0) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_ramps() {
+        let t = EpochTuner::new(TuneConfig {
+            smoothing: 0.5,
+            target_epochs: 2.0,
+            ..Default::default()
+        });
+        // Halfway from 100 toward 400.
+        assert!((t.next_epoch(8000.0, 10.0, 100.0) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_cluster_holds() {
+        let t = EpochTuner::new(TuneConfig::default());
+        assert_eq!(t.next_epoch(1000.0, 0.0, 400.0), 400.0);
+    }
+}

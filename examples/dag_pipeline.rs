@@ -9,7 +9,7 @@
 
 use lips::cluster::ec2_20_node;
 use lips::core::dag::run_dag;
-use lips::core::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips::sim::Scheduler;
 use lips::workload::{JobDag, JobId, JobKind, JobSpec};
 
@@ -53,7 +53,7 @@ fn main() {
         (
             "lips",
             Box::new(|_: usize| {
-                Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0)))
+                Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(1600.0)))
                     as Box<dyn Scheduler>
             }) as Box<dyn Fn(usize) -> Box<dyn Scheduler>>,
         ),

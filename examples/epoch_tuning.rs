@@ -10,7 +10,7 @@
 //! (default slowdown budget: 1.5x the fastest observed makespan)
 
 use lips::cluster::ec2_20_node;
-use lips::core::{LipsConfig, LipsScheduler};
+use lips::core::{LipsScheduler, SchedulerConfig};
 use lips::sim::{Placement, Simulation};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -35,7 +35,7 @@ fn main() {
         let mut cluster = ec2_20_node(0.5, 1e9);
         let workload = bind_workload(&mut cluster, make_jobs(), PlacementPolicy::RoundRobin, 3);
         let placement = Placement::spread_blocks(&cluster, 3);
-        let mut sched = LipsScheduler::new(LipsConfig::small_cluster(epoch));
+        let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(epoch));
         let r = Simulation::new(&cluster, &workload)
             .with_placement(placement)
             .run(&mut sched)

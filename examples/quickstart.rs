@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use lips::cluster::ec2_20_node;
-use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -36,7 +36,8 @@ fn main() {
         // this workload (see the fig8 binary for the full tradeoff).
         (
             "lips",
-            Box::new(LipsScheduler::new(LipsConfig::small_cluster(1600.0))) as Box<dyn Scheduler>,
+            Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(1600.0)))
+                as Box<dyn Scheduler>,
         ),
         ("hadoop-default", Box::new(HadoopDefaultScheduler::new())),
         ("delay", Box::new(DelayScheduler::default())),

@@ -6,7 +6,7 @@
 //! (defaults: 100 jobs, 600 s epoch; the paper's full day is 400 jobs)
 
 use lips::cluster::ec2_100_node;
-use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::{bind_workload, swim_trace, PlacementPolicy, SwimCfg};
 
@@ -35,7 +35,8 @@ fn main() {
     for (name, mut sched) in [
         (
             "lips",
-            Box::new(LipsScheduler::new(LipsConfig::large_cluster(epoch))) as Box<dyn Scheduler>,
+            Box::new(LipsScheduler::new(SchedulerConfig::large_cluster(epoch)))
+                as Box<dyn Scheduler>,
         ),
         ("hadoop-default", Box::new(HadoopDefaultScheduler::new())),
         ("delay", Box::new(DelayScheduler::default())),

@@ -20,7 +20,7 @@
 use lips_cluster::{ec2_100_node, ec2_mixed_cluster, Cluster};
 use lips_core::{
     AdaptiveConfig, AdaptiveLips, DelayScheduler, FairScheduler, HadoopDefaultScheduler,
-    LipsConfig, LipsScheduler,
+    LipsScheduler, SchedulerConfig,
 };
 use lips_sim::{Placement, Scheduler, SimError, SimReport, Simulation};
 use lips_workload::{bind_workload, JobSpec, PlacementPolicy};
@@ -31,7 +31,7 @@ pub enum SchedulerChoice {
     /// LiPS with a fixed epoch (exact small-cluster model).
     Lips { epoch_s: f64 },
     /// LiPS with an explicit configuration.
-    LipsConfigured(LipsConfig),
+    LipsConfigured(SchedulerConfig),
     /// Adaptive-epoch LiPS at a cost preference σ ∈ [0,1].
     LipsAdaptive { cost_preference: f64 },
     /// Hadoop's default FIFO-locality scheduler.
@@ -46,11 +46,11 @@ impl SchedulerChoice {
     fn build(&self) -> Box<dyn Scheduler> {
         match self {
             SchedulerChoice::Lips { epoch_s } => {
-                Box::new(LipsScheduler::new(LipsConfig::small_cluster(*epoch_s)))
+                Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(*epoch_s)))
             }
             SchedulerChoice::LipsConfigured(cfg) => Box::new(LipsScheduler::new(cfg.clone())),
             SchedulerChoice::LipsAdaptive { cost_preference } => Box::new(AdaptiveLips::new(
-                LipsConfig::small_cluster(400.0),
+                SchedulerConfig::small_cluster(400.0),
                 AdaptiveConfig {
                     cost_preference: *cost_preference,
                     ..Default::default()
@@ -222,7 +222,7 @@ mod tests {
     fn every_scheduler_choice_works() {
         for choice in [
             SchedulerChoice::Lips { epoch_s: 400.0 },
-            SchedulerChoice::LipsConfigured(LipsConfig::large_cluster(400.0)),
+            SchedulerChoice::LipsConfigured(SchedulerConfig::large_cluster(400.0)),
             SchedulerChoice::LipsAdaptive {
                 cost_preference: 0.5,
             },

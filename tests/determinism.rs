@@ -2,7 +2,7 @@
 //! results — the whole harness is built on this.
 
 use lips::cluster::{ec2_100_node, ec2_20_node, random_cluster, RandomClusterCfg};
-use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{DelayScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::{bind_workload, swim_trace, table_iv_suite, PlacementPolicy, SwimCfg};
 
@@ -24,8 +24,14 @@ fn run_cost(sched: &mut dyn Scheduler, seed: u64) -> (f64, f64) {
 
 #[test]
 fn lips_runs_are_bit_identical() {
-    let a = run_cost(&mut LipsScheduler::new(LipsConfig::small_cluster(600.0)), 9);
-    let b = run_cost(&mut LipsScheduler::new(LipsConfig::small_cluster(600.0)), 9);
+    let a = run_cost(
+        &mut LipsScheduler::new(SchedulerConfig::small_cluster(600.0)),
+        9,
+    );
+    let b = run_cost(
+        &mut LipsScheduler::new(SchedulerConfig::small_cluster(600.0)),
+        9,
+    );
     assert_eq!(a, b);
 }
 

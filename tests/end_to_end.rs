@@ -3,7 +3,7 @@
 
 use lips::cluster::{ec2_20_node, ec2_mixed_cluster};
 use lips::core::{
-    DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsConfig, LipsScheduler,
+    DelayScheduler, FairScheduler, HadoopDefaultScheduler, LipsScheduler, SchedulerConfig,
 };
 use lips::sim::{Placement, Scheduler, SimReport, Simulation};
 use lips::workload::{bind_workload, table_iv_suite, JobKind, JobSpec, PlacementPolicy};
@@ -30,7 +30,7 @@ fn run(sched: &mut dyn Scheduler, jobs: Vec<JobSpec>, seed: u64) -> SimReport {
 #[test]
 fn every_scheduler_completes_the_mixed_workload() {
     let scheds: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(LipsScheduler::new(LipsConfig::small_cluster(400.0))),
+        Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(400.0))),
         Box::new(HadoopDefaultScheduler::new()),
         Box::new(DelayScheduler::default()),
         Box::new(FairScheduler::new()),
@@ -53,7 +53,7 @@ fn executed_ecu_seconds_match_workload_demand() {
         .map(lips::workload::JobSpec::total_ecu_sec)
         .sum();
     let scheds: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(LipsScheduler::new(LipsConfig::small_cluster(400.0))),
+        Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(400.0))),
         Box::new(HadoopDefaultScheduler::new()),
         Box::new(DelayScheduler::default()),
     ];
@@ -75,7 +75,7 @@ fn cpu_bill_equals_priced_work() {
     let mut cluster = ec2_20_node(0.5, 1e9);
     let workload = bind_workload(&mut cluster, mixed_jobs(), PlacementPolicy::RoundRobin, 3);
     let placement = Placement::spread_blocks(&cluster, 3);
-    let mut sched = LipsScheduler::new(LipsConfig::small_cluster(400.0));
+    let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(400.0));
     let r = Simulation::new(&cluster, &workload)
         .with_placement(placement)
         .run(&mut sched)
@@ -96,7 +96,7 @@ fn paper_cost_ordering_holds_on_the_table_iv_suite() {
     // heterogeneous testbed.
     let mut costs = std::collections::HashMap::new();
     let scheds: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(LipsScheduler::new(LipsConfig::small_cluster(2000.0))),
+        Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(2000.0))),
         Box::new(HadoopDefaultScheduler::new()),
         Box::new(DelayScheduler::default()),
     ];
@@ -131,7 +131,9 @@ fn lips_saving_grows_with_heterogeneity() {
                 .metrics
                 .total_dollars()
         };
-        let lips = run_on(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)));
+        let lips = run_on(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+            2000.0,
+        )));
         let delay = run_on(&mut DelayScheduler::default());
         1.0 - lips / delay
     };
@@ -151,7 +153,7 @@ fn online_arrivals_complete_under_all_schedulers() {
         })
         .collect();
     let scheds: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(LipsScheduler::new(LipsConfig::small_cluster(400.0))),
+        Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(400.0))),
         Box::new(HadoopDefaultScheduler::new()),
         Box::new(DelayScheduler::default()),
         Box::new(FairScheduler::new()),

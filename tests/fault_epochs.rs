@@ -5,7 +5,7 @@
 //! chunks).
 
 use lips::cluster::{ec2_20_node, MachineId, StoreId};
-use lips::core::{EpochOutcome, LipsConfig, LipsScheduler};
+use lips::core::{EpochOutcome, LipsScheduler, SchedulerConfig};
 use lips::sim::{assert_valid, FaultPlan, Placement, Simulation};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
 
@@ -31,7 +31,7 @@ fn twenty_epoch_fault_run_certifies_or_degrades_every_epoch() {
     let mut epoch = 400.0;
     let mut m = f64::INFINITY;
     for _ in 0..4 {
-        let mut probe = LipsScheduler::new(LipsConfig::small_cluster(epoch));
+        let mut probe = LipsScheduler::new(SchedulerConfig::small_cluster(epoch));
         let clean = Simulation::new(&cluster, &workload)
             .with_placement(placement.clone())
             .run(&mut probe)
@@ -49,7 +49,7 @@ fn twenty_epoch_fault_run_certifies_or_degrades_every_epoch() {
         .revoke_at(0.55 * m, MachineId(13))
         .rejoin_at(0.75 * m, MachineId(3));
 
-    let mut sched = LipsScheduler::new(LipsConfig::small_cluster(epoch));
+    let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(epoch));
     let report = Simulation::new(&cluster, &workload)
         .with_placement(placement)
         .with_faults(plan)
@@ -137,14 +137,14 @@ fn job_survives_revocation_of_its_only_holders_machine() {
         .colocated
         .expect("store 0 is a DataNode");
 
-    let mut probe = LipsScheduler::new(LipsConfig::small_cluster(300.0));
+    let mut probe = LipsScheduler::new(SchedulerConfig::small_cluster(300.0));
     let clean = Simulation::new(&cluster, &workload)
         .with_placement(placement.clone())
         .run(&mut probe)
         .expect("clean run completes");
 
     let plan = FaultPlan::new().revoke_at(clean.makespan * 0.2, victim);
-    let mut sched = LipsScheduler::new(LipsConfig::small_cluster(clean.makespan / 8.0));
+    let mut sched = LipsScheduler::new(SchedulerConfig::small_cluster(clean.makespan / 8.0));
     let report = Simulation::new(&cluster, &workload)
         .with_placement(placement)
         .with_faults(plan)

@@ -4,7 +4,7 @@
 use lips::cluster::{ec2_20_node, StoreId};
 use lips::core::lp_build::LpJob;
 use lips::core::offline::{co_schedule, greedy_schedule, lp_jobs_from_specs, simple_task_schedule};
-use lips::core::{DelayScheduler, LipsConfig, LipsScheduler};
+use lips::core::{DelayScheduler, LipsScheduler, SchedulerConfig};
 use lips::lp::{Cmp, Model, Sense};
 use lips::sim::{Placement, Simulation};
 use lips::workload::{bind_workload, JobKind, JobSpec, PlacementPolicy};
@@ -75,7 +75,9 @@ fn epoch_dial_moves_cost_and_time_in_opposite_directions() {
         let placement = Placement::spread_blocks(&cluster, 11);
         let r = Simulation::new(&cluster, &bound)
             .with_placement(placement)
-            .run(&mut LipsScheduler::new(LipsConfig::small_cluster(epoch)))
+            .run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+                epoch,
+            )))
             .unwrap();
         (r.metrics.total_dollars(), r.makespan)
     };
@@ -106,7 +108,9 @@ fn lp_optimum_lower_bounds_simulated_lips_cost() {
     let offline = co_schedule(&cluster, lp_jobs, 1e9).unwrap();
     let sim = Simulation::new(&cluster, &bound)
         .with_placement(Placement::spread_blocks(&cluster, 13))
-        .run(&mut LipsScheduler::new(LipsConfig::small_cluster(3200.0)))
+        .run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(
+            3200.0,
+        )))
         .unwrap();
     assert!(
         offline.predicted_dollars <= sim.metrics.total_dollars() + 1e-6,
@@ -155,7 +159,7 @@ proptest! {
                 .metrics
                 .total_dollars()
         };
-        let lips = run(&mut LipsScheduler::new(LipsConfig::small_cluster(2000.0)));
+        let lips = run(&mut LipsScheduler::new(SchedulerConfig::small_cluster(2000.0)));
         let delay = run(&mut DelayScheduler::default());
         prop_assert!(lips <= delay * 1.05, "lips {lips} vs delay {delay}");
     }

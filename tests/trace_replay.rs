@@ -4,7 +4,7 @@
 use std::io::Cursor;
 
 use lips::cluster::ec2_mixed_cluster;
-use lips::core::{HadoopDefaultScheduler, LipsConfig, LipsScheduler};
+use lips::core::{HadoopDefaultScheduler, LipsScheduler, SchedulerConfig};
 use lips::sim::{Placement, Scheduler, Simulation};
 use lips::workload::swim_tsv::{jobs_to_records, SwimConvertCfg};
 use lips::workload::{
@@ -32,7 +32,8 @@ fn tsv_trace_runs_under_every_scheduler() {
     for (name, mut sched) in [
         (
             "lips",
-            Box::new(LipsScheduler::new(LipsConfig::small_cluster(300.0))) as Box<dyn Scheduler>,
+            Box::new(LipsScheduler::new(SchedulerConfig::small_cluster(300.0)))
+                as Box<dyn Scheduler>,
         ),
         ("default", Box::new(HadoopDefaultScheduler::new())),
     ] {
